@@ -1,0 +1,80 @@
+// Ablation -- the layered-Dewey bound f (the paper's §2.1 "constant
+// f"). Sweeps f at fixed tree shapes and reports the design trade-off:
+// small f minimizes label bytes but adds layers (more climb work per
+// LCA); large f approaches plain Dewey's per-label growth. The sweet
+// spot for deep trees sits at moderate f (8-64).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "labeling/layered_dewey.h"
+
+namespace crimson {
+namespace {
+
+void BM_AblationF(benchmark::State& state) {
+  uint32_t f = static_cast<uint32_t>(state.range(0));
+  const PhyloTree& tree =
+      bench::CachedCaterpillar(static_cast<uint32_t>(state.range(1)));
+  LayeredDeweyScheme scheme(f);
+  Status s = scheme.Build(tree);
+  if (!s.ok()) {
+    state.SkipWithError(s.ToString().c_str());
+    return;
+  }
+  Rng rng(23);
+  std::vector<std::pair<NodeId, NodeId>> queries(4096);
+  for (auto& q : queries) {
+    q.first = static_cast<NodeId>(rng.Uniform(tree.size()));
+    q.second = static_cast<NodeId>(rng.Uniform(tree.size()));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = queries[i++ & 4095];
+    benchmark::DoNotOptimize(scheme.Lca(a, b));
+  }
+  state.counters["f"] = static_cast<double>(f);
+  state.counters["layers"] = static_cast<double>(scheme.num_layers());
+  state.counters["max_label_B"] = static_cast<double>(scheme.MaxLabelBytes());
+  state.counters["avg_label_B"] =
+      static_cast<double>(scheme.TotalLabelBytes()) /
+      static_cast<double>(tree.size());
+}
+
+// Args: {f, depth}.
+BENCHMARK(BM_AblationF)
+    ->Args({3, 100000})->Args({4, 100000})->Args({8, 100000})
+    ->Args({16, 100000})->Args({64, 100000})->Args({256, 100000})
+    ->Args({8, 1000000})->Args({64, 1000000});
+
+void BM_AblationF_Yule(benchmark::State& state) {
+  uint32_t f = static_cast<uint32_t>(state.range(0));
+  const PhyloTree& tree = bench::CachedYule(100000);
+  LayeredDeweyScheme scheme(f);
+  if (!scheme.Build(tree).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  Rng rng(24);
+  std::vector<std::pair<NodeId, NodeId>> queries(4096);
+  for (auto& q : queries) {
+    q.first = static_cast<NodeId>(rng.Uniform(tree.size()));
+    q.second = static_cast<NodeId>(rng.Uniform(tree.size()));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = queries[i++ & 4095];
+    benchmark::DoNotOptimize(scheme.Lca(a, b));
+  }
+  state.counters["f"] = static_cast<double>(f);
+  state.counters["layers"] = static_cast<double>(scheme.num_layers());
+  state.counters["avg_label_B"] =
+      static_cast<double>(scheme.TotalLabelBytes()) /
+      static_cast<double>(tree.size());
+}
+
+BENCHMARK(BM_AblationF_Yule)->Arg(3)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace crimson

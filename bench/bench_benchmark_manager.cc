@@ -1,0 +1,138 @@
+// E11 -- the Benchmark Manager end-to-end (paper §2.2 / Fig. 3):
+// sample -> project -> reconstruct -> compare, for NJ and UPGMA across
+// sample sizes. RF accuracy is exported as a counter next to latency.
+//
+// Shape expectations:
+//  * rf_norm(NJ) <= rf_norm(UPGMA) on the rate-perturbed (non-clock)
+//    gold standard;
+//  * both improve (rf falls) as sequence length grows;
+//  * runtime is dominated by the O(k^3) reconstruction for large k.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "crimson/benchmark_manager.h"
+#include "sim/seq_evolve.h"
+#include "sim/tree_sim.h"
+
+namespace crimson {
+namespace {
+
+struct Gold {
+  PhyloTree tree;
+  std::map<std::string, std::string> seqs;
+  std::unique_ptr<BenchmarkManager> manager;
+};
+
+/// Gold standard: birth-death tree (512 extant species), clock broken,
+/// sequences of the requested length.
+const Gold& CachedGold(size_t seq_length) {
+  static auto* cache = new std::map<size_t, std::unique_ptr<Gold>>();
+  auto it = cache->find(seq_length);
+  if (it == cache->end()) {
+    auto gold = std::make_unique<Gold>();
+    Rng rng(0xC0FFEE);
+    BirthDeathOptions opts;
+    opts.n_leaves = 512;
+    opts.death_rate = 0.25;
+    gold->tree = std::move(SimulateBirthDeath(opts, &rng)).value();
+    double max_w = 0;
+    for (double w : gold->tree.RootPathWeights()) max_w = std::max(max_w, w);
+    for (NodeId n = 1; n < gold->tree.size(); ++n) {
+      gold->tree.set_edge_length(n,
+                                 gold->tree.edge_length(n) / max_w * 0.7);
+    }
+    PerturbBranchRates(&gold->tree, 3.0, &rng);
+    SeqEvolveOptions seq_opts;
+    seq_opts.model = SubstModel::kHKY85;
+    seq_opts.base_freqs = {0.3, 0.2, 0.2, 0.3};
+    seq_opts.seq_length = seq_length;
+    auto ev = SequenceEvolver::Create(seq_opts);
+    gold->seqs = std::move(*ev->EvolveLeaves(gold->tree, &rng));
+    gold->manager = std::make_unique<BenchmarkManager>(&gold->tree,
+                                                       &gold->seqs, 8);
+    if (!gold->manager->Init().ok()) abort();
+    cache->emplace(seq_length, std::move(gold));
+    it = cache->find(seq_length);
+  }
+  return *it->second;
+}
+
+void RunPipeline(benchmark::State& state,
+                 const ReconstructionAlgorithm& algorithm) {
+  const Gold& gold = CachedGold(static_cast<size_t>(state.range(1)));
+  SelectionSpec sel;
+  sel.kind = SelectionSpec::Kind::kUniform;
+  sel.k = static_cast<size_t>(state.range(0));
+  Rng rng(17);
+  double rf_sum = 0;
+  int64_t runs = 0;
+  for (auto _ : state) {
+    auto run = gold.manager->Evaluate(algorithm, sel, &rng);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      break;
+    }
+    rf_sum += run->rf.normalized;
+    ++runs;
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["k"] = static_cast<double>(sel.k);
+  state.counters["seq_len"] = static_cast<double>(state.range(1));
+  if (runs > 0) state.counters["rf_norm"] = rf_sum / static_cast<double>(runs);
+}
+
+void BM_Pipeline_NJ(benchmark::State& state) {
+  RunPipeline(state, *MakeNjAlgorithm(DistanceCorrection::kJC69));
+}
+void BM_Pipeline_UPGMA(benchmark::State& state) {
+  RunPipeline(state, *MakeUpgmaAlgorithm(DistanceCorrection::kJC69));
+}
+
+// Args: {sample size k, sequence length}.
+BENCHMARK(BM_Pipeline_NJ)
+    ->Args({16, 500})->Args({64, 500})->Args({128, 500})
+    ->Args({64, 125})->Args({64, 2000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Pipeline_UPGMA)
+    ->Args({16, 500})->Args({64, 500})->Args({128, 500})
+    ->Args({64, 125})->Args({64, 2000})
+    ->Unit(benchmark::kMillisecond);
+
+// Stage breakdown at a fixed configuration: where does the time go?
+void BM_PipelineStages(benchmark::State& state) {
+  const Gold& gold = CachedGold(500);
+  SelectionSpec sel;
+  sel.kind = SelectionSpec::Kind::kUniform;
+  sel.k = static_cast<size_t>(state.range(0));
+  auto nj = MakeNjAlgorithm();
+  Rng rng(18);
+  double sample_s = 0, project_s = 0, reconstruct_s = 0, compare_s = 0;
+  int64_t runs = 0;
+  for (auto _ : state) {
+    auto run = gold.manager->Evaluate(*nj, sel, &rng);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      break;
+    }
+    sample_s += run->sample_seconds;
+    project_s += run->project_seconds;
+    reconstruct_s += run->reconstruct_seconds;
+    compare_s += run->compare_seconds;
+    ++runs;
+  }
+  if (runs > 0) {
+    state.counters["sample_ms"] = 1e3 * sample_s / static_cast<double>(runs);
+    state.counters["project_ms"] = 1e3 * project_s / static_cast<double>(runs);
+    state.counters["reconstruct_ms"] =
+        1e3 * reconstruct_s / static_cast<double>(runs);
+    state.counters["compare_ms"] = 1e3 * compare_s / static_cast<double>(runs);
+  }
+}
+
+BENCHMARK(BM_PipelineStages)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace crimson

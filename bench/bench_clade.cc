@@ -1,0 +1,88 @@
+// E12 -- minimal spanning clade (paper §2.2): LCA of the input leaves
+// plus subtree enumeration. Shape expectation: cost = k LCA probes +
+// O(|clade|) traversal; the clade size, not the tree size, dominates.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "labeling/layered_dewey.h"
+#include "query/clade.h"
+#include "query/sampling.h"
+
+namespace crimson {
+namespace {
+
+void BM_MinimalSpanningClade(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  const PhyloTree& tree = bench::CachedYule(n);
+  static auto* schemes =
+      new std::map<uint32_t, std::unique_ptr<LayeredDeweyScheme>>();
+  auto it = schemes->find(n);
+  if (it == schemes->end()) {
+    auto s = std::make_unique<LayeredDeweyScheme>(8);
+    if (!s->Build(tree).ok()) abort();
+    it = schemes->emplace(n, std::move(s)).first;
+  }
+  Sampler sampler(&tree);
+  Rng rng(15);
+  auto sample =
+      sampler.SampleUniform(static_cast<size_t>(state.range(1)), &rng);
+  size_t clade_nodes = 0;
+  for (auto _ : state) {
+    auto clade = MinimalSpanningClade(tree, *it->second, *sample);
+    if (!clade.ok()) state.SkipWithError(clade.status().ToString().c_str());
+    clade_nodes = clade->nodes.size();
+    benchmark::DoNotOptimize(clade);
+  }
+  state.counters["k"] = static_cast<double>(state.range(1));
+  state.counters["clade_nodes"] = static_cast<double>(clade_nodes);
+}
+
+// Sibling-cluster clades stay small even in huge trees: sample leaves
+// under one subtree instead of uniformly.
+void BM_LocalizedClade(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  const PhyloTree& tree = bench::CachedYule(n);
+  static auto* schemes =
+      new std::map<uint32_t, std::unique_ptr<LayeredDeweyScheme>>();
+  auto it = schemes->find(n);
+  if (it == schemes->end()) {
+    auto s = std::make_unique<LayeredDeweyScheme>(8);
+    if (!s->Build(tree).ok()) abort();
+    it = schemes->emplace(n, std::move(s)).first;
+  }
+  // Pick an internal node ~log2(n) levels down and use its leaves.
+  NodeId anchor = tree.root();
+  for (int d = 0; d < 8 && !tree.is_leaf(anchor); ++d) {
+    anchor = tree.first_child(anchor);
+  }
+  Sampler sampler(&tree);
+  std::vector<NodeId> pool = sampler.LeavesUnder(anchor);
+  if (pool.size() < 4) {
+    state.SkipWithError("anchor subtree too small");
+    return;
+  }
+  std::vector<NodeId> sample(pool.begin(),
+                             pool.begin() + std::min<size_t>(16, pool.size()));
+  size_t clade_nodes = 0;
+  for (auto _ : state) {
+    auto clade = MinimalSpanningClade(tree, *it->second, sample);
+    if (!clade.ok()) state.SkipWithError(clade.status().ToString().c_str());
+    clade_nodes = clade->nodes.size();
+    benchmark::DoNotOptimize(clade);
+  }
+  state.counters["clade_nodes"] = static_cast<double>(clade_nodes);
+}
+
+// Args: {tree leaves, sampled k}.
+BENCHMARK(BM_MinimalSpanningClade)
+    ->Args({10000, 8})->Args({10000, 64})
+    ->Args({100000, 8})->Args({100000, 64})->Args({100000, 512})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LocalizedClade)->Args({100000, 0});
+
+}  // namespace
+}  // namespace crimson

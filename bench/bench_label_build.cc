@@ -1,0 +1,61 @@
+// E4 -- index build time per node across schemes and tree shapes.
+// Shape expectation: all schemes build in O(n); the layered scheme's
+// constant is modestly higher (layer construction) but stays linear
+// where plain Dewey's total work is O(n * depth) on deep trees.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "labeling/dewey_scheme.h"
+#include "labeling/interval_scheme.h"
+#include "labeling/layered_dewey.h"
+
+namespace crimson {
+namespace {
+
+const PhyloTree& TreeFor(int shape, int64_t size) {
+  if (shape == 0) return bench::CachedCaterpillar(static_cast<uint32_t>(size));
+  return bench::CachedYule(static_cast<uint32_t>(size));
+}
+
+template <typename MakeScheme>
+void RunBuild(benchmark::State& state, MakeScheme make) {
+  const PhyloTree& tree = TreeFor(static_cast<int>(state.range(0)),
+                                  state.range(1));
+  for (auto _ : state) {
+    auto scheme = make();
+    Status s = scheme.Build(tree);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    benchmark::DoNotOptimize(scheme.node_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tree.size()));
+  state.counters["nodes"] = static_cast<double>(tree.size());
+}
+
+void BM_Build_Dewey(benchmark::State& state) {
+  RunBuild(state, [] { return DeweyScheme(); });
+}
+void BM_Build_LayeredDewey(benchmark::State& state) {
+  RunBuild(state, [] { return LayeredDeweyScheme(8); });
+}
+void BM_Build_Interval(benchmark::State& state) {
+  RunBuild(state, [] { return IntervalScheme(); });
+}
+
+// Args: {shape (0=caterpillar by depth, 1=yule by leaves), size}.
+BENCHMARK(BM_Build_Dewey)
+    ->Args({0, 1000})->Args({0, 10000})
+    ->Args({1, 10000})->Args({1, 100000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Build_LayeredDewey)
+    ->Args({0, 1000})->Args({0, 10000})->Args({0, 100000})->Args({0, 1000000})
+    ->Args({1, 10000})->Args({1, 100000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Build_Interval)
+    ->Args({0, 1000})->Args({0, 10000})->Args({0, 100000})->Args({0, 1000000})
+    ->Args({1, 10000})->Args({1, 100000})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,73 @@
+// E3 -- label size vs depth (paper §2.1 claim: Dewey labels grow with
+// depth; Crimson's layered labels stay bounded by f).
+//
+// Series reported: for each (scheme, depth) the bytes/node and max
+// label bytes appear as benchmark counters. Plain Dewey at depth 10^5+
+// is intentionally absent: its labels alone would need O(depth) bytes
+// per node (gigabytes at the paper's 10^6 scale), which is the claim.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "labeling/dewey_scheme.h"
+#include "labeling/interval_scheme.h"
+#include "labeling/layered_dewey.h"
+
+namespace crimson {
+namespace {
+
+template <typename Scheme>
+void RunLabelSize(benchmark::State& state, Scheme& scheme) {
+  const PhyloTree& tree = bench::CachedCaterpillar(
+      static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    Status s = scheme.Build(tree);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    benchmark::DoNotOptimize(scheme.node_count());
+  }
+  state.counters["nodes"] = static_cast<double>(tree.size());
+  state.counters["depth"] = static_cast<double>(state.range(0));
+  state.counters["max_label_B"] = static_cast<double>(scheme.MaxLabelBytes());
+  state.counters["avg_label_B"] =
+      static_cast<double>(scheme.TotalLabelBytes()) /
+      static_cast<double>(tree.size());
+  state.counters["total_label_MiB"] =
+      static_cast<double>(scheme.TotalLabelBytes()) / (1024.0 * 1024.0);
+}
+
+void BM_LabelSize_Dewey(benchmark::State& state) {
+  DeweyScheme scheme;
+  RunLabelSize(state, scheme);
+}
+
+void BM_LabelSize_LayeredDewey(benchmark::State& state) {
+  LayeredDeweyScheme scheme(8);
+  RunLabelSize(state, scheme);
+}
+
+void BM_LabelSize_LayeredDeweyF16(benchmark::State& state) {
+  LayeredDeweyScheme scheme(16);
+  RunLabelSize(state, scheme);
+}
+
+void BM_LabelSize_Interval(benchmark::State& state) {
+  IntervalScheme scheme;
+  RunLabelSize(state, scheme);
+}
+
+// Plain Dewey: quadratic total label bytes confines it to 10^4.
+BENCHMARK(BM_LabelSize_Dewey)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+// Layered/interval scale to the paper's 10^5..10^6-level regime.
+BENCHMARK(BM_LabelSize_LayeredDewey)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LabelSize_LayeredDeweyF16)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LabelSize_Interval)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,106 @@
+// E5 -- LCA query latency on deep trees (paper §2.1: layered Dewey
+// answers LCA in O(f * layers) while naive parent walks and interval
+// climbing degrade linearly with depth; plain Dewey pays for long
+// prefix comparisons and label storage).
+//
+// Shape expectation: layered-Dewey latency is flat across the depth
+// sweep; naive/interval grow roughly linearly with depth.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "labeling/dewey_scheme.h"
+#include "labeling/interval_scheme.h"
+#include "labeling/layered_dewey.h"
+
+namespace crimson {
+namespace {
+
+template <typename Scheme>
+void RunLca(benchmark::State& state, Scheme& scheme) {
+  const PhyloTree& tree =
+      bench::CachedCaterpillar(static_cast<uint32_t>(state.range(0)));
+  Status s = scheme.Build(tree);
+  if (!s.ok()) {
+    state.SkipWithError(s.ToString().c_str());
+    return;
+  }
+  Rng rng(1234);
+  // Pre-draw query pairs so RNG cost stays out of the loop.
+  std::vector<std::pair<NodeId, NodeId>> queries(4096);
+  for (auto& q : queries) {
+    q.first = static_cast<NodeId>(rng.Uniform(tree.size()));
+    q.second = static_cast<NodeId>(rng.Uniform(tree.size()));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = queries[i++ & 4095];
+    auto lca = scheme.Lca(a, b);
+    benchmark::DoNotOptimize(lca);
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+
+void BM_Lca_LayeredDewey(benchmark::State& state) {
+  LayeredDeweyScheme scheme(8);
+  RunLca(state, scheme);
+}
+void BM_Lca_Dewey(benchmark::State& state) {
+  DeweyScheme scheme;
+  RunLca(state, scheme);
+}
+void BM_Lca_Interval(benchmark::State& state) {
+  IntervalScheme scheme;
+  RunLca(state, scheme);
+}
+void BM_Lca_NaiveWalk(benchmark::State& state) {
+  NaiveScheme scheme;
+  RunLca(state, scheme);
+}
+
+BENCHMARK(BM_Lca_LayeredDewey)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_Lca_Dewey)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_Lca_Interval)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Lca_NaiveWalk)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// LCA on realistic (Yule) shapes: depth ~ log n, all schemes fast; the
+// layered scheme must not regress on shallow trees.
+template <typename Scheme>
+void RunLcaYule(benchmark::State& state, Scheme& scheme) {
+  const PhyloTree& tree =
+      bench::CachedYule(static_cast<uint32_t>(state.range(0)));
+  Status s = scheme.Build(tree);
+  if (!s.ok()) {
+    state.SkipWithError(s.ToString().c_str());
+    return;
+  }
+  Rng rng(99);
+  std::vector<std::pair<NodeId, NodeId>> queries(4096);
+  for (auto& q : queries) {
+    q.first = static_cast<NodeId>(rng.Uniform(tree.size()));
+    q.second = static_cast<NodeId>(rng.Uniform(tree.size()));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = queries[i++ & 4095];
+    benchmark::DoNotOptimize(scheme.Lca(a, b));
+  }
+}
+
+void BM_LcaYule_LayeredDewey(benchmark::State& state) {
+  LayeredDeweyScheme scheme(8);
+  RunLcaYule(state, scheme);
+}
+void BM_LcaYule_Naive(benchmark::State& state) {
+  NaiveScheme scheme;
+  RunLcaYule(state, scheme);
+}
+BENCHMARK(BM_LcaYule_LayeredDewey)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_LcaYule_Naive)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,116 @@
+// E9 -- Data Loader throughput (paper §3 "Loading Data"): parsing
+// Newick/NEXUS and loading trees (three modes) into the relational
+// repositories, including layered-Dewey index construction.
+// Shape expectation: throughput (nodes/s) roughly flat across sizes
+// (linear loading); with-species mode adds per-sequence cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "crimson/crimson.h"
+#include "sim/seq_evolve.h"
+#include "tree/newick.h"
+#include "tree/nexus.h"
+
+namespace crimson {
+namespace {
+
+std::string YuleNewick(uint32_t n_leaves) {
+  static auto* cache = new std::map<uint32_t, std::string>();
+  auto it = cache->find(n_leaves);
+  if (it == cache->end()) {
+    it = cache->emplace(n_leaves,
+                        WriteNewick(bench::CachedYule(n_leaves))).first;
+  }
+  return it->second;
+}
+
+void BM_ParseNewick(benchmark::State& state) {
+  std::string text = YuleNewick(static_cast<uint32_t>(state.range(0)));
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto t = ParseNewick(text);
+    if (!t.ok()) state.SkipWithError(t.status().ToString().c_str());
+    nodes = t->size();
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(nodes));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+
+void BM_LoadStructureOnly(benchmark::State& state) {
+  std::string text = YuleNewick(static_cast<uint32_t>(state.range(0)));
+  uint64_t nodes = 0;
+  int run = 0;
+  for (auto _ : state) {
+    auto c = Crimson::Open();
+    if (!c.ok()) state.SkipWithError("open failed");
+    auto report = (*c)->LoadNewick("t" + std::to_string(run++), text,
+                                   LoadMode::kTreeStructureOnly);
+    if (!report.ok()) state.SkipWithError(report.status().ToString().c_str());
+    nodes = report->nodes_loaded;
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(nodes));
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
+void BM_LoadWithSpeciesData(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  const PhyloTree& tree = bench::CachedYule(n);
+  // Sequences evolve once; loading is what is being measured.
+  static auto* seq_cache =
+      new std::map<uint32_t, std::map<std::string, std::string>>();
+  auto sit = seq_cache->find(n);
+  if (sit == seq_cache->end()) {
+    SeqEvolveOptions opts;
+    opts.seq_length = 200;
+    auto ev = SequenceEvolver::Create(opts);
+    Rng rng(10);
+    sit = seq_cache->emplace(n, *ev->EvolveLeaves(tree, &rng)).first;
+  }
+  int run = 0;
+  for (auto _ : state) {
+    auto c = Crimson::Open();
+    std::string name = "t" + std::to_string(run++);
+    auto report = (*c)->LoadTree(name, tree);
+    if (!report.ok()) state.SkipWithError(report.status().ToString().c_str());
+    auto append = (*c)->AppendSpeciesData(name, sit->second);
+    if (!append.ok()) state.SkipWithError(append.status().ToString().c_str());
+    benchmark::DoNotOptimize(append);
+  }
+  state.counters["species"] = static_cast<double>(n);
+}
+
+void BM_LoadOnDisk(benchmark::State& state) {
+  // Same load against a real file (page writes + fsync on flush).
+  std::string text = YuleNewick(static_cast<uint32_t>(state.range(0)));
+  std::string path = "/tmp/crimson_bench_load.db";
+  int run = 0;
+  for (auto _ : state) {
+    RemoveFile(path).ToString();
+    CrimsonOptions opts;
+    opts.db_path = path;
+    auto c = Crimson::Open(opts);
+    auto report = (*c)->LoadNewick("t" + std::to_string(run++), text,
+                                   LoadMode::kTreeStructureOnly);
+    if (!report.ok()) state.SkipWithError(report.status().ToString().c_str());
+    if (!(*c)->Flush().ok()) state.SkipWithError("flush failed");
+  }
+  RemoveFile(path).ToString();
+}
+
+BENCHMARK(BM_ParseNewick)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LoadStructureOnly)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LoadWithSpeciesData)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LoadOnDisk)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace crimson

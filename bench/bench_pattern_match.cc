@@ -1,0 +1,103 @@
+// E8 -- tree pattern match (paper §2.2): project the pattern's leaf
+// set, then compare. Cost = projection + linear-time comparison.
+// Shape expectation: scales with pattern size, not tree size.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "labeling/layered_dewey.h"
+#include "query/pattern_match.h"
+#include "query/sampling.h"
+
+namespace crimson {
+namespace {
+
+struct MatchBundle {
+  std::unique_ptr<LayeredDeweyScheme> scheme;
+  std::unique_ptr<TreeProjector> projector;
+  std::unique_ptr<PatternMatcher> matcher;
+  std::unique_ptr<Sampler> sampler;
+};
+
+const MatchBundle& CachedMatcher(uint32_t n_leaves) {
+  static auto* cache = new std::map<uint32_t, std::unique_ptr<MatchBundle>>();
+  auto it = cache->find(n_leaves);
+  if (it == cache->end()) {
+    const PhyloTree& tree = bench::CachedYule(n_leaves);
+    auto b = std::make_unique<MatchBundle>();
+    b->scheme = std::make_unique<LayeredDeweyScheme>(8);
+    if (!b->scheme->Build(tree).ok()) abort();
+    b->projector = std::make_unique<TreeProjector>(&tree, b->scheme.get());
+    b->matcher = std::make_unique<PatternMatcher>(b->projector.get());
+    b->sampler = std::make_unique<Sampler>(&tree);
+    it = cache->emplace(n_leaves, std::move(b)).first;
+  }
+  return *it->second;
+}
+
+// Matching a true pattern (a projection of the tree itself).
+void BM_PatternMatch_Hit(benchmark::State& state) {
+  const MatchBundle& b = CachedMatcher(static_cast<uint32_t>(state.range(0)));
+  Rng rng(8);
+  auto sample = b.sampler->SampleUniform(
+      static_cast<size_t>(state.range(1)), &rng);
+  auto pattern = b.projector->Project(*sample);
+  if (!pattern.ok()) {
+    state.SkipWithError("projection failed");
+    return;
+  }
+  bool exact = false;
+  for (auto _ : state) {
+    auto m = b.matcher->Match(*pattern, 1e-9, /*match_weights=*/true);
+    if (!m.ok()) state.SkipWithError(m.status().ToString().c_str());
+    exact = m->exact;
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["exact"] = exact ? 1 : 0;
+}
+
+// Matching a decoy: same species, shuffled topology (exercise the
+// negative path and the similarity machinery).
+void BM_PatternMatch_Miss(benchmark::State& state) {
+  const MatchBundle& b = CachedMatcher(static_cast<uint32_t>(state.range(0)));
+  Rng rng(9);
+  auto sample = b.sampler->SampleUniform(
+      static_cast<size_t>(state.range(1)), &rng);
+  auto projection = b.projector->Project(*sample);
+  if (!projection.ok()) {
+    state.SkipWithError("projection failed");
+    return;
+  }
+  // Decoy: random topology over the same leaf names.
+  std::vector<std::string> names;
+  for (NodeId n : projection->Leaves()) names.push_back(projection->name(n));
+  PhyloTree decoy = MakeRandomBinary(static_cast<uint32_t>(names.size()),
+                                     &rng);
+  std::vector<NodeId> decoy_leaves = decoy.Leaves();
+  for (size_t i = 0; i < decoy_leaves.size(); ++i) {
+    decoy.set_name(decoy_leaves[i], names[i]);
+  }
+  bool exact = true;
+  for (auto _ : state) {
+    auto m = b.matcher->Match(decoy, 1e-9, /*match_weights=*/false);
+    if (!m.ok()) state.SkipWithError(m.status().ToString().c_str());
+    exact = m->exact;
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["exact"] = exact ? 1 : 0;
+}
+
+// Args: {tree leaves, pattern leaves}.
+BENCHMARK(BM_PatternMatch_Hit)
+    ->Args({10000, 16})->Args({10000, 128})->Args({10000, 1024})
+    ->Args({100000, 16})->Args({100000, 128})->Args({100000, 1024})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PatternMatch_Miss)
+    ->Args({100000, 16})->Args({100000, 128})->Args({100000, 1024})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace crimson

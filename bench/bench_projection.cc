@@ -1,0 +1,110 @@
+// E7 -- tree projection (paper Fig. 2 / §2.2): project the tree induced
+// by k sampled species out of a large gold-standard tree. This is the
+// workhorse query of the Benchmark Manager, since reconstruction
+// algorithms "can only handle a relatively small input set (several
+// hundred to several thousand species)".
+//
+// Shape expectation: after the one-time O(n) projector setup, each
+// projection costs O(k log k) sorting plus k LCA probes -- driven by
+// the sample size, not the 10^5..10^6-node tree.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "labeling/layered_dewey.h"
+#include "query/projection.h"
+#include "query/sampling.h"
+
+namespace crimson {
+namespace {
+
+struct ProjectorBundle {
+  std::unique_ptr<LayeredDeweyScheme> scheme;
+  std::unique_ptr<TreeProjector> projector;
+  std::unique_ptr<Sampler> sampler;
+};
+
+const ProjectorBundle& CachedBundle(uint32_t n_leaves) {
+  static auto* cache =
+      new std::map<uint32_t, std::unique_ptr<ProjectorBundle>>();
+  auto it = cache->find(n_leaves);
+  if (it == cache->end()) {
+    const PhyloTree& tree = bench::CachedYule(n_leaves);
+    auto bundle = std::make_unique<ProjectorBundle>();
+    bundle->scheme = std::make_unique<LayeredDeweyScheme>(8);
+    Status s = bundle->scheme->Build(tree);
+    if (!s.ok()) abort();
+    bundle->projector =
+        std::make_unique<TreeProjector>(&tree, bundle->scheme.get());
+    bundle->sampler = std::make_unique<Sampler>(&tree);
+    it = cache->emplace(n_leaves, std::move(bundle)).first;
+  }
+  return *it->second;
+}
+
+void BM_ProjectUniformSample(benchmark::State& state) {
+  const ProjectorBundle& b =
+      CachedBundle(static_cast<uint32_t>(state.range(0)));
+  size_t k = static_cast<size_t>(state.range(1));
+  Rng rng(6);
+  auto sample = b.sampler->SampleUniform(k, &rng);
+  if (!sample.ok()) {
+    state.SkipWithError("sampling failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto proj = b.projector->Project(*sample);
+    if (!proj.ok()) state.SkipWithError(proj.status().ToString().c_str());
+    benchmark::DoNotOptimize(proj);
+  }
+  state.counters["tree_nodes"] =
+      static_cast<double>(bench::CachedYule(
+                              static_cast<uint32_t>(state.range(0))).size());
+  state.counters["k"] = static_cast<double>(k);
+}
+
+// Args: {tree leaves, sample size k}. k spans the paper's stated
+// reconstruction input range.
+BENCHMARK(BM_ProjectUniformSample)
+    ->Args({10000, 100})->Args({10000, 1000})
+    ->Args({100000, 100})->Args({100000, 1000})->Args({100000, 4000})
+    ->Args({500000, 100})->Args({500000, 1000})->Args({500000, 4000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ProjectFromDeepTree(benchmark::State& state) {
+  // Deep-chain regime: long merged unary paths.
+  const PhyloTree& tree =
+      bench::CachedCaterpillar(static_cast<uint32_t>(state.range(0)));
+  static auto* schemes =
+      new std::map<int64_t, std::unique_ptr<LayeredDeweyScheme>>();
+  auto it = schemes->find(state.range(0));
+  if (it == schemes->end()) {
+    auto s = std::make_unique<LayeredDeweyScheme>(8);
+    if (!s->Build(tree).ok()) abort();
+    it = schemes->emplace(state.range(0), std::move(s)).first;
+  }
+  TreeProjector projector(&tree, it->second.get());
+  Sampler sampler(&tree);
+  Rng rng(7);
+  auto sample = sampler.SampleUniform(
+      static_cast<size_t>(state.range(1)), &rng);
+  if (!sample.ok()) {
+    state.SkipWithError("sampling failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto proj = projector.Project(*sample);
+    benchmark::DoNotOptimize(proj);
+  }
+}
+
+BENCHMARK(BM_ProjectFromDeepTree)
+    ->Args({100000, 100})->Args({100000, 1000})
+    ->Args({1000000, 100})->Args({1000000, 1000})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace crimson

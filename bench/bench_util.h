@@ -1,0 +1,47 @@
+// Shared fixtures for the Crimson benchmark suite. Trees are cached per
+// (shape, size) so repeated benchmark registrations do not rebuild the
+// gold standard each time.
+
+#ifndef CRIMSON_BENCH_BENCH_UTIL_H_
+#define CRIMSON_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+
+#include "common/random.h"
+#include "sim/tree_sim.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace bench {
+
+/// Deep chain tree with `depth` levels (the paper's depth regime).
+inline const PhyloTree& CachedCaterpillar(uint32_t depth) {
+  static auto* cache = new std::map<uint32_t, std::unique_ptr<PhyloTree>>();
+  auto it = cache->find(depth);
+  if (it == cache->end()) {
+    it = cache->emplace(depth, std::make_unique<PhyloTree>(
+                                   MakeCaterpillar(depth))).first;
+  }
+  return *it->second;
+}
+
+/// Yule gold-standard tree with n leaves (2n-1 nodes).
+inline const PhyloTree& CachedYule(uint32_t n_leaves) {
+  static auto* cache = new std::map<uint32_t, std::unique_ptr<PhyloTree>>();
+  auto it = cache->find(n_leaves);
+  if (it == cache->end()) {
+    Rng rng(0xBEEF + n_leaves);
+    YuleOptions opts;
+    opts.n_leaves = n_leaves;
+    auto t = SimulateYule(opts, &rng);
+    it = cache->emplace(n_leaves, std::make_unique<PhyloTree>(
+                                      std::move(t).value())).first;
+  }
+  return *it->second;
+}
+
+}  // namespace bench
+}  // namespace crimson
+
+#endif  // CRIMSON_BENCH_BENCH_UTIL_H_

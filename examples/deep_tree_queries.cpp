@@ -1,0 +1,86 @@
+// Deep-tree indexing demo -- the paper's motivating scenario (§1-2.1):
+// phylogenetic simulation trees are far deeper than XML documents
+// (average depth > 1000, up to a million levels), which breaks plain
+// Dewey labels. This program builds trees across that depth range and
+// reports, for each labeling scheme:
+//   * label storage (max and total bytes),
+//   * LCA latency measured over random node pairs.
+//
+// Run:  ./deep_tree_queries [max_depth]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "labeling/dewey_scheme.h"
+#include "labeling/interval_scheme.h"
+#include "labeling/layered_dewey.h"
+#include "tree/tree_builders.h"
+
+namespace {
+
+using namespace crimson;
+
+void Report(const char* label, LabelingScheme* scheme, const PhyloTree& tree,
+            Rng* rng) {
+  WallTimer timer;
+  Status s = scheme->Build(tree);
+  if (!s.ok()) {
+    printf("  %-22s build failed: %s\n", label, s.ToString().c_str());
+    return;
+  }
+  double build_s = timer.ElapsedSeconds();
+
+  const int kQueries = 20000;
+  std::vector<std::pair<NodeId, NodeId>> queries(kQueries);
+  for (auto& q : queries) {
+    q.first = static_cast<NodeId>(rng->Uniform(tree.size()));
+    q.second = static_cast<NodeId>(rng->Uniform(tree.size()));
+  }
+  timer.Restart();
+  uint64_t checksum = 0;
+  for (const auto& [a, b] : queries) {
+    checksum += *scheme->Lca(a, b);
+  }
+  double lca_ns = timer.ElapsedSeconds() / kQueries * 1e9;
+  printf("  %-22s build %7.3fs   max label %6zu B   total %9.2f MiB   "
+         "LCA %9.0f ns  [chk %llu]\n",
+         label, build_s, scheme->MaxLabelBytes(),
+         scheme->TotalLabelBytes() / 1024.0 / 1024.0, lca_ns,
+         static_cast<unsigned long long>(checksum % 997));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t max_depth =
+      argc > 1 ? static_cast<uint32_t>(atoi(argv[1])) : 1000000;
+
+  Rng rng(1);
+  for (uint32_t depth = 1000; depth <= max_depth; depth *= 10) {
+    PhyloTree tree = MakeCaterpillar(depth);
+    printf("caterpillar depth %u (%zu nodes):\n", depth, tree.size());
+    LayeredDeweyScheme layered8(8);
+    Report("layered_dewey(f=8)", &layered8, tree, &rng);
+    LayeredDeweyScheme layered64(64);
+    Report("layered_dewey(f=64)", &layered64, tree, &rng);
+    IntervalScheme interval;
+    Report("interval(pre/post)", &interval, tree, &rng);
+    NaiveScheme naive;
+    Report("naive parent walk", &naive, tree, &rng);
+    if (depth <= 10000) {
+      DeweyScheme dewey;
+      Report("plain dewey [11]", &dewey, tree, &rng);
+    } else {
+      printf("  %-22s skipped: labels would need O(depth) bytes/node "
+             "(~%.1f GiB total here)\n",
+             "plain dewey [11]",
+             static_cast<double>(depth) * depth / 1e9);
+    }
+    printf("\n");
+  }
+  printf("The bounded layered labels and flat LCA latency across three\n"
+         "orders of magnitude of depth are the paper's §2.1 claims.\n");
+  return 0;
+}

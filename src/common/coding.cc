@@ -1,0 +1,97 @@
+#include "common/coding.h"
+
+namespace crimson {
+
+char* EncodeVarint32(char* dst, uint32_t v) {
+  auto* ptr = reinterpret_cast<uint8_t*>(dst);
+  while (v >= 0x80) {
+    *ptr++ = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  *ptr++ = static_cast<uint8_t>(v);
+  return reinterpret_cast<char*>(ptr);
+}
+
+char* EncodeVarint64(char* dst, uint64_t v) {
+  auto* ptr = reinterpret_cast<uint8_t*>(dst);
+  while (v >= 0x80) {
+    *ptr++ = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  *ptr++ = static_cast<uint8_t>(v);
+  return reinterpret_cast<char*>(ptr);
+}
+
+int PutVarint32(std::string* dst, uint32_t v) {
+  char buf[kMaxVarint32Bytes];
+  char* end = EncodeVarint32(buf, v);
+  dst->append(buf, end - buf);
+  return static_cast<int>(end - buf);
+}
+
+int PutVarint64(std::string* dst, uint64_t v) {
+  char buf[kMaxVarint64Bytes];
+  char* end = EncodeVarint64(buf, v);
+  dst->append(buf, end - buf);
+  return static_cast<int>(end - buf);
+}
+
+namespace {
+
+// Shared LEB128 decode; max_bytes bounds overlong encodings.
+bool DecodeVarint(Slice* input, uint64_t* value, int max_bytes) {
+  uint64_t result = 0;
+  int shift = 0;
+  const auto* p = reinterpret_cast<const uint8_t*>(input->data());
+  const auto* limit = p + input->size();
+  for (int i = 0; i < max_bytes && p < limit; ++i, ++p) {
+    uint64_t byte = *p;
+    result |= (byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      input->remove_prefix(i + 1);
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v64;
+  if (!DecodeVarint(input, &v64, kMaxVarint32Bytes)) return false;
+  if (v64 > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v64);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  return DecodeVarint(input, value, kMaxVarint64Bytes);
+}
+
+int VarintLength(uint64_t v) {
+  int len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint64_t len;
+  if (!GetVarint64(input, &len)) return false;
+  if (input->size() < len) return false;
+  *result = Slice(input->data(), static_cast<size_t>(len));
+  input->remove_prefix(static_cast<size_t>(len));
+  return true;
+}
+
+}  // namespace crimson

@@ -1,0 +1,143 @@
+// Fixed-width and varint encodings used by the storage engine and the
+// label codecs. Little-endian on-disk layout, independent of host order.
+
+#ifndef CRIMSON_COMMON_CODING_H_
+#define CRIMSON_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace crimson {
+
+// ---------------------------------------------------------------------------
+// Fixed-width little-endian encodings.
+// ---------------------------------------------------------------------------
+
+inline void EncodeFixed16(char* dst, uint16_t v) {
+  dst[0] = static_cast<char>(v & 0xff);
+  dst[1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+inline void EncodeFixed32(char* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+inline void EncodeFixed64(char* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+inline uint16_t DecodeFixed16(const char* src) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(src[0])) |
+         (static_cast<uint16_t>(static_cast<uint8_t>(src[1])) << 8);
+}
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(src[i]);
+  }
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(src[i]);
+  }
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  EncodeFixed16(buf, v);
+  dst->append(buf, 2);
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Varints (LEB128, unsigned). 32-bit values use at most 5 bytes,
+// 64-bit values at most 10 bytes.
+// ---------------------------------------------------------------------------
+
+inline constexpr int kMaxVarint32Bytes = 5;
+inline constexpr int kMaxVarint64Bytes = 10;
+
+/// Appends v to *dst in varint format; returns bytes written.
+int PutVarint32(std::string* dst, uint32_t v);
+int PutVarint64(std::string* dst, uint64_t v);
+
+/// Encodes into a raw buffer (must have room for kMaxVarintNNBytes);
+/// returns a pointer one past the last written byte.
+char* EncodeVarint32(char* dst, uint32_t v);
+char* EncodeVarint64(char* dst, uint64_t v);
+
+/// Parses a varint from input, advancing it past the parsed bytes.
+/// Returns false on truncated/overlong input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Number of bytes PutVarintNN would write.
+int VarintLength(uint64_t v);
+
+// ---------------------------------------------------------------------------
+// Length-prefixed strings.
+// ---------------------------------------------------------------------------
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+// ---------------------------------------------------------------------------
+// Doubles: encoded via bit_cast to fixed64.
+// ---------------------------------------------------------------------------
+
+inline void PutDouble(std::string* dst, double d) {
+  uint64_t bits;
+  memcpy(&bits, &d, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+inline double DecodeDouble(const char* src) {
+  uint64_t bits = DecodeFixed64(src);
+  double d;
+  memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+inline bool GetDouble(Slice* input, double* d) {
+  if (input->size() < 8) return false;
+  *d = DecodeDouble(input->data());
+  input->remove_prefix(8);
+  return true;
+}
+
+inline bool GetFixed32(Slice* input, uint32_t* v) {
+  if (input->size() < 4) return false;
+  *v = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  return true;
+}
+
+inline bool GetFixed64(Slice* input, uint64_t* v) {
+  if (input->size() < 8) return false;
+  *v = DecodeFixed64(input->data());
+  input->remove_prefix(8);
+  return true;
+}
+
+}  // namespace crimson
+
+#endif  // CRIMSON_COMMON_CODING_H_

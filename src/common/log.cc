@@ -1,0 +1,52 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace crimson {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex& LogMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void LogMessage(LogLevel level, std::string_view file, int line,
+                std::string_view msg) {
+  if (level < MinLogLevel()) return;
+  // Shorten path to basename for readability.
+  size_t slash = file.rfind('/');
+  if (slash != std::string_view::npos) file = file.substr(slash + 1);
+  std::lock_guard<std::mutex> lock(LogMutex());
+  fprintf(stderr, "[%s %.*s:%d] %.*s\n", LevelName(level),
+          static_cast<int>(file.size()), file.data(), line,
+          static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace crimson

@@ -1,0 +1,57 @@
+// Minimal leveled logging to stderr. The loader uses this to surface
+// "loading status as well as errors ... dynamically generated and
+// displayed to the user" (paper §3).
+
+#ifndef CRIMSON_COMMON_LOG_H_
+#define CRIMSON_COMMON_LOG_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace crimson {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+/// Emits a single log line (thread-safe).
+void LogMessage(LogLevel level, std::string_view file, int line,
+                std::string_view msg);
+
+namespace internal {
+
+/// Stream-style collector used by the CRIMSON_LOG macro.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace crimson
+
+#define CRIMSON_LOG(level)                                            \
+  if (::crimson::LogLevel::level < ::crimson::MinLogLevel()) {        \
+  } else                                                              \
+    ::crimson::internal::LogStream(::crimson::LogLevel::level,        \
+                                   __FILE__, __LINE__)
+
+#endif  // CRIMSON_COMMON_LOG_H_

@@ -1,0 +1,38 @@
+#include "common/random.h"
+
+#include <unordered_set>
+
+namespace crimson {
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  assert(k <= n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Floyd's algorithm: O(k) expected draws, good when k << n.
+  if (k < n / 4) {
+    std::unordered_set<uint64_t> chosen;
+    chosen.reserve(static_cast<size_t>(k) * 2);
+    for (uint64_t j = n - k; j < n; ++j) {
+      uint64_t t = Uniform(j + 1);
+      if (chosen.insert(t).second) {
+        out.push_back(t);
+      } else {
+        chosen.insert(j);
+        out.push_back(j);
+      }
+    }
+    return out;
+  }
+  // Dense case: partial Fisher-Yates over an index array.
+  std::vector<uint64_t> idx(n);
+  for (uint64_t i = 0; i < n; ++i) idx[i] = i;
+  for (uint64_t i = 0; i < k; ++i) {
+    uint64_t j = i + Uniform(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace crimson

@@ -1,0 +1,85 @@
+// Result<T>: value-or-Status, the Crimson analogue of absl::StatusOr.
+
+#ifndef CRIMSON_COMMON_RESULT_H_
+#define CRIMSON_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace crimson {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value is absent. Construction from a value yields ok(); construction
+/// from a Status must use a non-OK status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversions from value and Status intentionally mirror
+  /// absl::StatusOr ergonomics (`return value;` / `return status;`).
+  Result(T value) : value_(std::move(value)) {}       // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); checked via assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if an error is held.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+}  // namespace crimson
+
+/// Evaluates `rexpr` (a Result<T>), propagates the error, otherwise
+/// assigns the value to `lhs`. Usable in functions returning Status or
+/// Result<U>. Variadic so that template arguments containing commas
+/// (e.g. std::map<K, V>) survive preprocessing.
+#define CRIMSON_ASSIGN_OR_RETURN(lhs, ...)            \
+  CRIMSON_ASSIGN_OR_RETURN_IMPL_(                     \
+      CRIMSON_CONCAT_(_result_tmp_, __LINE__), lhs, __VA_ARGS__)
+
+#define CRIMSON_CONCAT_INNER_(a, b) a##b
+#define CRIMSON_CONCAT_(a, b) CRIMSON_CONCAT_INNER_(a, b)
+
+#define CRIMSON_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, ...) \
+  auto tmp = (__VA_ARGS__);                           \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // CRIMSON_COMMON_RESULT_H_

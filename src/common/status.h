@@ -1,0 +1,144 @@
+// Status: exception-free error propagation for the Crimson library.
+//
+// Crimson follows the Google C++ style guide and does not use exceptions.
+// All fallible operations return a Status (or Result<T>, see result.h).
+// A Status is cheap to copy in the OK case (single word) and carries a
+// code plus a human-readable message otherwise.
+
+#ifndef CRIMSON_COMMON_STATUS_H_
+#define CRIMSON_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace crimson {
+
+/// Canonical error codes, modeled after absl::StatusCode / rocksdb::Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kCorruption = 4,
+  kIOError = 5,
+  kOutOfRange = 6,
+  kFailedPrecondition = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+  kResourceExhausted = 10,
+};
+
+/// Returns a stable lowercase name for a code ("ok", "not_found", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic error type. OK statuses are represented by a null
+/// rep pointer so that the common success path allocates nothing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? new Rep(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      rep_.reset(other.rep_ ? new Rep(*other.rep_) : nullptr);
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory functions -- the only way to construct a non-OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(StatusCode::kIOError, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(StatusCode::kUnimplemented, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, msg);
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Message attached at construction; empty for OK.
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    Rep(StatusCode c, std::string_view m) : code(c), message(m) {}
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string_view msg)
+      : rep_(new Rep(code, msg)) {}
+
+  std::unique_ptr<Rep> rep_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace crimson
+
+/// Propagates a non-OK status to the caller. Usable in functions
+/// returning Status.
+#define CRIMSON_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::crimson::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // CRIMSON_COMMON_STATUS_H_

@@ -1,0 +1,123 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace crimson {
+
+std::vector<std::string_view> StrSplit(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (tolower(static_cast<unsigned char>(a[i])) !=
+        tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpperAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty integer");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  long long v = strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) return Status::OutOfRange("integer overflow: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("trailing garbage in integer: " + buf);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty double");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double v = strtod(buf.c_str(), &end);
+  if (errno == ERANGE) return Status::OutOfRange("double overflow: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("trailing garbage in double: " + buf);
+  }
+  return v;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n) + 1);
+    vsnprintf(out.data(), out.size(), fmt, ap2);
+    out.resize(static_cast<size_t>(n));
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
+  return StrFormat("%.1f %s", v, kUnits[unit]);
+}
+
+}  // namespace crimson

@@ -1,0 +1,44 @@
+// Small string helpers shared across modules (formatting, splitting,
+// numeric parsing). No locale dependence.
+
+#ifndef CRIMSON_COMMON_STRING_UTIL_H_
+#define CRIMSON_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace crimson {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> StrSplit(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+std::string ToLowerAscii(std::string_view s);
+std::string ToUpperAscii(std::string_view s);
+
+/// Strict numeric parsing: the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count ("1.5 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_COMMON_STRING_UTIL_H_

@@ -1,0 +1,145 @@
+#include "crimson/benchmark_manager.h"
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "recon/nj.h"
+#include "recon/upgma.h"
+
+namespace crimson {
+
+namespace {
+
+class NjAlgorithm final : public ReconstructionAlgorithm {
+ public:
+  explicit NjAlgorithm(DistanceCorrection c) : correction_(c) {}
+  std::string name() const override { return "neighbor_joining"; }
+  Result<PhyloTree> Reconstruct(
+      const std::map<std::string, std::string>& sequences) const override {
+    CRIMSON_ASSIGN_OR_RETURN(DistanceMatrix m,
+                             ComputeDistanceMatrix(sequences, correction_));
+    return NeighborJoining(m);
+  }
+
+ private:
+  DistanceCorrection correction_;
+};
+
+class UpgmaAlgorithm final : public ReconstructionAlgorithm {
+ public:
+  explicit UpgmaAlgorithm(DistanceCorrection c) : correction_(c) {}
+  std::string name() const override { return "upgma"; }
+  Result<PhyloTree> Reconstruct(
+      const std::map<std::string, std::string>& sequences) const override {
+    CRIMSON_ASSIGN_OR_RETURN(DistanceMatrix m,
+                             ComputeDistanceMatrix(sequences, correction_));
+    return Upgma(m);
+  }
+
+ private:
+  DistanceCorrection correction_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReconstructionAlgorithm> MakeNjAlgorithm(
+    DistanceCorrection correction) {
+  return std::make_unique<NjAlgorithm>(correction);
+}
+
+std::unique_ptr<ReconstructionAlgorithm> MakeUpgmaAlgorithm(
+    DistanceCorrection correction) {
+  return std::make_unique<UpgmaAlgorithm>(correction);
+}
+
+BenchmarkManager::BenchmarkManager(
+    const PhyloTree* gold_tree,
+    const std::map<std::string, std::string>* sequences, uint32_t f)
+    : tree_(gold_tree), sequences_(sequences), scheme_(f) {}
+
+Status BenchmarkManager::Init() {
+  if (tree_ == nullptr || tree_->empty()) {
+    return Status::InvalidArgument("benchmark manager needs a gold tree");
+  }
+  CRIMSON_RETURN_IF_ERROR(scheme_.Build(*tree_));
+  sampler_ = std::make_unique<Sampler>(tree_);
+  projector_ = std::make_unique<TreeProjector>(tree_, &scheme_);
+  return Status::OK();
+}
+
+Result<std::vector<NodeId>> BenchmarkManager::SelectSpecies(
+    const SelectionSpec& selection, Rng* rng) const {
+  switch (selection.kind) {
+    case SelectionSpec::Kind::kUniform:
+      return sampler_->SampleUniform(selection.k, rng);
+    case SelectionSpec::Kind::kWithRespectToTime:
+      return sampler_->SampleWithRespectToTime(selection.k, selection.time,
+                                               rng);
+    case SelectionSpec::Kind::kUserList: {
+      std::vector<NodeId> out;
+      out.reserve(selection.species.size());
+      for (const std::string& s : selection.species) {
+        NodeId n = tree_->FindByName(s);
+        if (n == kNoNode || !tree_->is_leaf(n)) {
+          return Status::NotFound(
+              StrFormat("species '%s' is not a leaf of the gold tree",
+                        s.c_str()));
+        }
+        out.push_back(n);
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown selection kind");
+}
+
+Result<BenchmarkRun> BenchmarkManager::Evaluate(
+    const ReconstructionAlgorithm& algorithm, const SelectionSpec& selection,
+    Rng* rng, bool compute_triplets) const {
+  if (sampler_ == nullptr) {
+    return Status::FailedPrecondition("Init() not called");
+  }
+  BenchmarkRun run;
+  run.algorithm = algorithm.name();
+
+  WallTimer timer;
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<NodeId> sample,
+                           SelectSpecies(selection, rng));
+  run.sample_seconds = timer.ElapsedSeconds();
+  run.sample_size = sample.size();
+  if (sample.size() < 3) {
+    return Status::InvalidArgument(
+        "need at least 3 sampled species to benchmark");
+  }
+
+  timer.Restart();
+  CRIMSON_ASSIGN_OR_RETURN(run.reference, projector_->Project(sample));
+  run.project_seconds = timer.ElapsedSeconds();
+
+  // Collect the sampled species' sequences.
+  std::map<std::string, std::string> seqs;
+  for (NodeId n : sample) {
+    auto it = sequences_->find(tree_->name(n));
+    if (it == sequences_->end()) {
+      return Status::NotFound(
+          StrFormat("no sequence for sampled species '%s'",
+                    tree_->name(n).c_str()));
+    }
+    seqs.emplace(it->first, it->second);
+  }
+
+  timer.Restart();
+  CRIMSON_ASSIGN_OR_RETURN(run.reconstructed, algorithm.Reconstruct(seqs));
+  run.reconstruct_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  CRIMSON_ASSIGN_OR_RETURN(run.rf,
+                           RobinsonFoulds(run.reference, run.reconstructed));
+  if (compute_triplets && sample.size() <= 512) {
+    CRIMSON_ASSIGN_OR_RETURN(
+        run.triplets, TripletDistance(run.reference, run.reconstructed));
+  }
+  run.compare_seconds = timer.ElapsedSeconds();
+  return run;
+}
+
+}  // namespace crimson

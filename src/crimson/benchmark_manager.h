@@ -1,0 +1,101 @@
+// Benchmark Manager (paper §2.2, Fig. 3): characterizes and evaluates a
+// tree inference algorithm by comparing its output to projection trees
+// derived from the gold-standard simulation tree. The pipeline is:
+//   sample species -> project the true tree over the sample ->
+//   fetch/simulate sequences -> run the algorithm -> score against the
+//   projection (Robinson-Foulds, triplets).
+
+#ifndef CRIMSON_CRIMSON_BENCHMARK_MANAGER_H_
+#define CRIMSON_CRIMSON_BENCHMARK_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "labeling/layered_dewey.h"
+#include "query/projection.h"
+#include "query/sampling.h"
+#include "recon/distance.h"
+#include "recon/rf_distance.h"
+#include "recon/triplet.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+/// A tree inference algorithm under evaluation. Implementations exist
+/// for NJ and UPGMA; users plug in their own.
+class ReconstructionAlgorithm {
+ public:
+  virtual ~ReconstructionAlgorithm() = default;
+  virtual std::string name() const = 0;
+  /// Builds a tree whose leaves are exactly the keys of `sequences`.
+  virtual Result<PhyloTree> Reconstruct(
+      const std::map<std::string, std::string>& sequences) const = 0;
+};
+
+/// Distance-based algorithms shipped with Crimson.
+std::unique_ptr<ReconstructionAlgorithm> MakeNjAlgorithm(
+    DistanceCorrection correction = DistanceCorrection::kJC69);
+std::unique_ptr<ReconstructionAlgorithm> MakeUpgmaAlgorithm(
+    DistanceCorrection correction = DistanceCorrection::kJC69);
+
+/// How to choose the species sample (the three demo selection modes).
+struct SelectionSpec {
+  enum class Kind { kUniform, kWithRespectToTime, kUserList };
+  Kind kind = Kind::kUniform;
+  size_t k = 32;                      // kUniform / kWithRespectToTime
+  double time = 0;                    // kWithRespectToTime
+  std::vector<std::string> species;   // kUserList
+};
+
+struct BenchmarkRun {
+  std::string algorithm;
+  size_t sample_size = 0;
+  PhyloTree reference;      // projection of the true tree
+  PhyloTree reconstructed;  // algorithm output
+  RfResult rf;
+  TripletResult triplets;   // populated when sample_size is moderate
+  double sample_seconds = 0;
+  double project_seconds = 0;
+  double reconstruct_seconds = 0;
+  double compare_seconds = 0;
+};
+
+/// Evaluates algorithms against one gold-standard tree held in memory
+/// (the Crimson facade wires this to the repositories).
+class BenchmarkManager {
+ public:
+  /// The tree and sequences must outlive the manager. `sequences` maps
+  /// every leaf name to its (aligned) sequence.
+  BenchmarkManager(const PhyloTree* gold_tree,
+                   const std::map<std::string, std::string>* sequences,
+                   uint32_t f = 8);
+
+  Status Init();
+
+  /// Runs one evaluation.
+  Result<BenchmarkRun> Evaluate(const ReconstructionAlgorithm& algorithm,
+                                const SelectionSpec& selection, Rng* rng,
+                                bool compute_triplets = false) const;
+
+  const Sampler& sampler() const { return *sampler_; }
+  const TreeProjector& projector() const { return *projector_; }
+  const LayeredDeweyScheme& scheme() const { return scheme_; }
+
+ private:
+  Result<std::vector<NodeId>> SelectSpecies(const SelectionSpec& selection,
+                                            Rng* rng) const;
+
+  const PhyloTree* tree_;
+  const std::map<std::string, std::string>* sequences_;
+  LayeredDeweyScheme scheme_;
+  std::unique_ptr<Sampler> sampler_;
+  std::unique_ptr<TreeProjector> projector_;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_CRIMSON_BENCHMARK_MANAGER_H_

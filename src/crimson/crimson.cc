@@ -1,0 +1,339 @@
+#include "crimson/crimson.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/string_util.h"
+#include "recon/rf_distance.h"
+#include "tree/ascii_render.h"
+#include "tree/newick.h"
+#include "tree/nexus.h"
+
+namespace crimson {
+
+namespace {
+
+std::string JoinSpecies(const std::vector<std::string>& species) {
+  std::string out;
+  for (size_t i = 0; i < species.size(); ++i) {
+    if (i) out.push_back(',');
+    out += species[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Crimson>> Crimson::Open(const CrimsonOptions& options) {
+  auto c = std::unique_ptr<Crimson>(new Crimson());
+  c->options_ = options;
+  c->rng_.Reseed(options.seed);
+  DatabaseOptions db_opts;
+  db_opts.buffer_pool_pages = options.buffer_pool_pages;
+  if (options.db_path.empty()) {
+    CRIMSON_ASSIGN_OR_RETURN(c->db_, Database::OpenInMemory(db_opts));
+  } else {
+    CRIMSON_ASSIGN_OR_RETURN(c->db_, Database::Open(options.db_path, db_opts));
+  }
+  CRIMSON_ASSIGN_OR_RETURN(c->trees_, TreeRepository::Open(c->db_.get()));
+  CRIMSON_ASSIGN_OR_RETURN(c->species_, SpeciesRepository::Open(c->db_.get()));
+  CRIMSON_ASSIGN_OR_RETURN(c->queries_, QueryRepository::Open(c->db_.get()));
+  c->loader_ = std::make_unique<DataLoader>(c->trees_.get(),
+                                            c->species_.get(), options.f);
+  return c;
+}
+
+Result<LoadReport> Crimson::LoadNewick(const std::string& name,
+                                       const std::string& newick,
+                                       LoadMode mode) {
+  return loader_->LoadNewick(name, newick, mode);
+}
+
+Result<LoadReport> Crimson::LoadNexus(const std::string& name,
+                                      const std::string& nexus,
+                                      LoadMode mode) {
+  return loader_->LoadNexus(name, nexus, mode);
+}
+
+Result<LoadReport> Crimson::LoadTree(const std::string& name,
+                                     const PhyloTree& tree) {
+  return loader_->LoadTree(name, tree);
+}
+
+Result<LoadReport> Crimson::AppendSpeciesData(
+    const std::string& tree_name,
+    const std::map<std::string, std::string>& sequences) {
+  return loader_->AppendSpecies(tree_name, sequences);
+}
+
+Result<std::vector<TreeInfo>> Crimson::ListTrees() const {
+  return trees_->ListTrees();
+}
+
+Result<Crimson::TreeHandle*> Crimson::Handle(const std::string& name) {
+  auto it = handles_.find(name);
+  if (it != handles_.end()) return it->second.get();
+  CRIMSON_ASSIGN_OR_RETURN(TreeInfo info, trees_->GetTreeInfo(name));
+  auto handle = std::make_unique<TreeHandle>(
+      static_cast<uint32_t>(info.f > 0 ? info.f : options_.f));
+  handle->info = info;
+  CRIMSON_ASSIGN_OR_RETURN(handle->tree, trees_->LoadTree(info.tree_id));
+  CRIMSON_RETURN_IF_ERROR(handle->scheme.Build(handle->tree));
+  handle->sampler = std::make_unique<Sampler>(&handle->tree);
+  handle->projector =
+      std::make_unique<TreeProjector>(&handle->tree, &handle->scheme);
+  handle->matcher = std::make_unique<PatternMatcher>(handle->projector.get());
+  TreeHandle* raw = handle.get();
+  handles_.emplace(name, std::move(handle));
+  return raw;
+}
+
+Result<const PhyloTree*> Crimson::GetTree(const std::string& name) {
+  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(name));
+  return const_cast<const PhyloTree*>(&handle->tree);
+}
+
+Result<std::vector<NodeId>> Crimson::ResolveSpecies(
+    TreeHandle* handle, const std::vector<std::string>& species) const {
+  std::vector<NodeId> out;
+  out.reserve(species.size());
+  for (const std::string& s : species) {
+    NodeId n = handle->tree.FindByName(s);
+    if (n == kNoNode) {
+      return Status::NotFound(StrFormat("species '%s' not in tree '%s'",
+                                        s.c_str(),
+                                        handle->info.name.c_str()));
+    }
+    out.push_back(n);
+  }
+  return out;
+}
+
+void Crimson::RecordQuery(const std::string& kind, const std::string& params,
+                          const std::string& summary) {
+  Result<int64_t> r = queries_->Record(kind, params, summary);
+  if (!r.ok()) {
+    CRIMSON_LOG(kWarning) << "query history write failed: " << r.status();
+  }
+}
+
+Result<Crimson::LcaAnswer> Crimson::Lca(const std::string& tree_name,
+                                        const std::string& a,
+                                        const std::string& b) {
+  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                           ResolveSpecies(handle, {a, b}));
+  CRIMSON_ASSIGN_OR_RETURN(NodeId lca, handle->scheme.Lca(nodes[0], nodes[1]));
+  LcaAnswer answer;
+  answer.node = lca;
+  answer.name = handle->tree.name(lca);
+  RecordQuery("lca",
+              StrFormat("tree=%s&a=%s&b=%s", tree_name.c_str(), a.c_str(),
+                        b.c_str()),
+              StrFormat("lca node=%u name=%s", lca, answer.name.c_str()));
+  return answer;
+}
+
+Result<PhyloTree> Crimson::Project(const std::string& tree_name,
+                                   const std::vector<std::string>& species) {
+  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                           ResolveSpecies(handle, species));
+  CRIMSON_ASSIGN_OR_RETURN(PhyloTree projection,
+                           handle->projector->Project(nodes));
+  RecordQuery("project",
+              StrFormat("tree=%s&species=%s", tree_name.c_str(),
+                        JoinSpecies(species).c_str()),
+              StrFormat("projection nodes=%zu", projection.size()));
+  return projection;
+}
+
+Result<std::vector<std::string>> Crimson::SampleUniform(
+    const std::string& tree_name, size_t k) {
+  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                           handle->sampler->SampleUniform(k, &rng_));
+  std::vector<std::string> names;
+  names.reserve(nodes.size());
+  for (NodeId n : nodes) names.push_back(handle->tree.name(n));
+  RecordQuery("sample_uniform",
+              StrFormat("tree=%s&k=%zu", tree_name.c_str(), k),
+              StrFormat("sampled %zu species", names.size()));
+  return names;
+}
+
+Result<std::vector<std::string>> Crimson::SampleWithRespectToTime(
+    const std::string& tree_name, size_t k, double time) {
+  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(
+      std::vector<NodeId> nodes,
+      handle->sampler->SampleWithRespectToTime(k, time, &rng_));
+  std::vector<std::string> names;
+  names.reserve(nodes.size());
+  for (NodeId n : nodes) names.push_back(handle->tree.name(n));
+  RecordQuery("sample_time",
+              StrFormat("tree=%s&k=%zu&time=%.17g", tree_name.c_str(), k,
+                        time),
+              StrFormat("sampled %zu species", names.size()));
+  return names;
+}
+
+Result<Crimson::CladeAnswer> Crimson::MinimalClade(
+    const std::string& tree_name, const std::vector<std::string>& species) {
+  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                           ResolveSpecies(handle, species));
+  CRIMSON_ASSIGN_OR_RETURN(
+      Clade clade, MinimalSpanningClade(handle->tree, handle->scheme, nodes));
+  CladeAnswer answer;
+  answer.root = clade.root;
+  answer.node_count = clade.nodes.size();
+  for (NodeId n : clade.nodes) {
+    if (handle->tree.is_leaf(n)) ++answer.leaf_count;
+  }
+  RecordQuery("clade",
+              StrFormat("tree=%s&species=%s", tree_name.c_str(),
+                        JoinSpecies(species).c_str()),
+              StrFormat("clade root=%u nodes=%zu leaves=%zu", clade.root,
+                        answer.node_count, answer.leaf_count));
+  return answer;
+}
+
+Result<Crimson::PatternAnswer> Crimson::MatchPattern(
+    const std::string& tree_name, const std::string& pattern_newick,
+    bool match_weights) {
+  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(PhyloTree pattern, ParseNewick(pattern_newick));
+  CRIMSON_ASSIGN_OR_RETURN(
+      PatternMatcher::MatchResult match,
+      handle->matcher->Match(pattern, 1e-9, match_weights));
+  PatternAnswer answer;
+  answer.exact = match.exact;
+  answer.projection = std::move(match.projection);
+  if (!answer.exact && pattern.LeafCount() >= 3) {
+    // Approximate similarity: RF between pattern and projection.
+    Result<RfResult> rf = RobinsonFoulds(pattern, answer.projection);
+    if (rf.ok()) answer.rf_normalized = rf->normalized;
+  }
+  RecordQuery("pattern_match",
+              StrFormat("tree=%s&pattern=%s&weights=%d", tree_name.c_str(),
+                        pattern_newick.c_str(), match_weights ? 1 : 0),
+              StrFormat("exact=%d rf=%.4f", answer.exact ? 1 : 0,
+                        answer.rf_normalized));
+  return answer;
+}
+
+Result<BenchmarkRun> Crimson::Benchmark(
+    const std::string& tree_name, const ReconstructionAlgorithm& algorithm,
+    const SelectionSpec& selection) {
+  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
+  std::map<std::string, std::string> seqs;
+  CRIMSON_ASSIGN_OR_RETURN(
+      seqs, species_->SequencesForTree(handle->info.tree_id));
+  if (seqs.empty()) {
+    return Status::FailedPrecondition(
+        StrFormat("tree '%s' has no species data loaded",
+                  tree_name.c_str()));
+  }
+  BenchmarkManager manager(&handle->tree, &seqs,
+                           static_cast<uint32_t>(handle->info.f));
+  CRIMSON_RETURN_IF_ERROR(manager.Init());
+  CRIMSON_ASSIGN_OR_RETURN(
+      BenchmarkRun run,
+      manager.Evaluate(algorithm, selection, &rng_, /*compute_triplets=*/true));
+  RecordQuery(
+      "benchmark",
+      StrFormat("tree=%s&algorithm=%s&k=%zu", tree_name.c_str(),
+                run.algorithm.c_str(), run.sample_size),
+      StrFormat("rf=%zu/%zu normalized=%.4f", run.rf.distance,
+                run.rf.splits_a + run.rf.splits_b, run.rf.normalized));
+  return run;
+}
+
+Result<std::vector<QueryRepository::Entry>> Crimson::QueryHistory(
+    size_t limit) {
+  return queries_->History(limit);
+}
+
+Result<std::string> Crimson::RerunQuery(int64_t query_id) {
+  CRIMSON_ASSIGN_OR_RETURN(QueryRepository::Entry entry,
+                           queries_->Get(query_id));
+  // Parse "k=v&k=v" parameters.
+  std::map<std::string, std::string> params;
+  for (std::string_view pair : StrSplit(entry.params, '&')) {
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    params[std::string(pair.substr(0, eq))] =
+        std::string(pair.substr(eq + 1));
+  }
+  const std::string& tree = params["tree"];
+  if (entry.kind == "lca") {
+    CRIMSON_ASSIGN_OR_RETURN(LcaAnswer a, Lca(tree, params["a"], params["b"]));
+    return StrFormat("lca node=%u name=%s", a.node, a.name.c_str());
+  }
+  if (entry.kind == "project") {
+    std::vector<std::string> species;
+    for (std::string_view s : StrSplit(params["species"], ',')) {
+      species.emplace_back(s);
+    }
+    CRIMSON_ASSIGN_OR_RETURN(PhyloTree p, Project(tree, species));
+    return WriteNewick(p);
+  }
+  if (entry.kind == "sample_uniform") {
+    CRIMSON_ASSIGN_OR_RETURN(int64_t k, ParseInt64(params["k"]));
+    CRIMSON_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                             SampleUniform(tree, static_cast<size_t>(k)));
+    return JoinSpecies(names);
+  }
+  if (entry.kind == "sample_time") {
+    CRIMSON_ASSIGN_OR_RETURN(int64_t k, ParseInt64(params["k"]));
+    CRIMSON_ASSIGN_OR_RETURN(double t, ParseDouble(params["time"]));
+    CRIMSON_ASSIGN_OR_RETURN(
+        std::vector<std::string> names,
+        SampleWithRespectToTime(tree, static_cast<size_t>(k), t));
+    return JoinSpecies(names);
+  }
+  if (entry.kind == "clade") {
+    std::vector<std::string> species;
+    for (std::string_view s : StrSplit(params["species"], ',')) {
+      species.emplace_back(s);
+    }
+    CRIMSON_ASSIGN_OR_RETURN(CladeAnswer c, MinimalClade(tree, species));
+    return StrFormat("clade root=%u nodes=%zu", c.root, c.node_count);
+  }
+  if (entry.kind == "pattern_match") {
+    CRIMSON_ASSIGN_OR_RETURN(
+        PatternAnswer p,
+        MatchPattern(tree, params["pattern"], params["weights"] == "1"));
+    return StrFormat("exact=%d rf=%.4f", p.exact ? 1 : 0, p.rf_normalized);
+  }
+  return Status::Unimplemented(
+      StrFormat("cannot rerun query kind '%s'", entry.kind.c_str()));
+}
+
+Result<std::string> Crimson::ExportNexus(const std::string& tree_name) {
+  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
+  NexusDocument doc;
+  for (NodeId n : handle->tree.Leaves()) {
+    doc.taxa.push_back(handle->tree.name(n));
+  }
+  CRIMSON_ASSIGN_OR_RETURN(
+      doc.sequences, species_->SequencesForTree(handle->info.tree_id));
+  NexusTree nt;
+  nt.name = tree_name;
+  nt.tree = handle->tree;
+  doc.trees.push_back(std::move(nt));
+  return WriteNexus(doc);
+}
+
+Result<std::string> Crimson::RenderTree(const std::string& tree_name,
+                                        size_t max_nodes) {
+  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
+  AsciiRenderOptions options;
+  options.max_nodes = max_nodes;
+  return RenderAscii(handle->tree, options);
+}
+
+Status Crimson::Flush() { return db_->Flush(); }
+
+}  // namespace crimson

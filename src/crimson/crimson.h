@@ -1,0 +1,171 @@
+// Crimson: the public entry point. Wires the repository manager
+// (storage engine + repositories), the query processors (LCA,
+// projection, sampling, clade, pattern match over the layered-Dewey
+// index), and the benchmark manager together -- the architecture of the
+// paper's Figure 3, with the GUI replaced by this API and the example
+// CLI programs (see DESIGN.md substitutions).
+
+#ifndef CRIMSON_CRIMSON_CRIMSON_H_
+#define CRIMSON_CRIMSON_CRIMSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "crimson/benchmark_manager.h"
+#include "crimson/data_loader.h"
+#include "crimson/repositories.h"
+#include "query/clade.h"
+#include "query/pattern_match.h"
+#include "storage/database.h"
+
+namespace crimson {
+
+struct CrimsonOptions {
+  /// Database file path; empty runs fully in memory.
+  std::string db_path;
+  /// Buffer pool capacity in pages.
+  size_t buffer_pool_pages = 4096;
+  /// Layered-Dewey bound f used when indexing loaded trees.
+  uint32_t f = 8;
+  /// Deterministic seed for sampling queries.
+  uint64_t seed = 42;
+};
+
+/// Facade over the whole system. Not thread-safe (single-user demo
+/// semantics, as in the paper).
+class Crimson {
+ public:
+  static Result<std::unique_ptr<Crimson>> Open(
+      const CrimsonOptions& options = {});
+
+  Crimson(const Crimson&) = delete;
+  Crimson& operator=(const Crimson&) = delete;
+
+  // -- loading (paper §3 "Loading Data") -----------------------------------
+
+  Result<LoadReport> LoadNewick(
+      const std::string& name, const std::string& newick,
+      LoadMode mode = LoadMode::kTreeStructureOnly);
+  Result<LoadReport> LoadNexus(
+      const std::string& name, const std::string& nexus,
+      LoadMode mode = LoadMode::kTreeWithSpeciesData);
+  Result<LoadReport> LoadTree(const std::string& name, const PhyloTree& tree);
+  Result<LoadReport> AppendSpeciesData(
+      const std::string& tree_name,
+      const std::map<std::string, std::string>& sequences);
+
+  Result<std::vector<TreeInfo>> ListTrees() const;
+
+  /// The in-memory handle for a loaded tree (cached after first use).
+  Result<const PhyloTree*> GetTree(const std::string& name);
+
+  // -- structure queries (recorded in the query history) -------------------
+
+  /// LCA of two species; returns the ancestor's node id and name.
+  struct LcaAnswer {
+    NodeId node = kNoNode;
+    std::string name;
+  };
+  Result<LcaAnswer> Lca(const std::string& tree_name, const std::string& a,
+                        const std::string& b);
+
+  /// Projection of the tree induced by the named species (Fig. 2).
+  Result<PhyloTree> Project(const std::string& tree_name,
+                            const std::vector<std::string>& species);
+
+  /// Uniform random species sample.
+  Result<std::vector<std::string>> SampleUniform(const std::string& tree_name,
+                                                 size_t k);
+
+  /// Sampling with respect to evolutionary time (paper §2.2).
+  Result<std::vector<std::string>> SampleWithRespectToTime(
+      const std::string& tree_name, size_t k, double time);
+
+  /// Minimal spanning clade size + root for the named species.
+  struct CladeAnswer {
+    NodeId root = kNoNode;
+    size_t node_count = 0;
+    size_t leaf_count = 0;
+  };
+  Result<CladeAnswer> MinimalClade(const std::string& tree_name,
+                                   const std::vector<std::string>& species);
+
+  /// Tree pattern match against a Newick pattern (paper §2.2).
+  struct PatternAnswer {
+    bool exact = false;
+    double rf_normalized = 0.0;  // similarity of pattern vs projection
+    PhyloTree projection;
+  };
+  Result<PatternAnswer> MatchPattern(const std::string& tree_name,
+                                     const std::string& pattern_newick,
+                                     bool match_weights = false);
+
+  // -- benchmarking ---------------------------------------------------------
+
+  /// Evaluates a reconstruction algorithm against a loaded gold tree;
+  /// sequences come from the species repository.
+  Result<BenchmarkRun> Benchmark(const std::string& tree_name,
+                                 const ReconstructionAlgorithm& algorithm,
+                                 const SelectionSpec& selection);
+
+  // -- query history (paper §2.1 Query Repository) -------------------------
+
+  Result<std::vector<QueryRepository::Entry>> QueryHistory(size_t limit = 50);
+
+  /// Re-executes a recorded query by id; returns the fresh result
+  /// summary. Supported kinds: lca, project, sample_uniform,
+  /// sample_time, clade, pattern_match.
+  Result<std::string> RerunQuery(int64_t query_id);
+
+  /// Exports a loaded tree (and any stored sequences) as a NEXUS
+  /// document -- the demo's "view as NEXUS" output path.
+  Result<std::string> ExportNexus(const std::string& tree_name);
+
+  /// Renders a loaded tree (or a projection) as an ASCII dendrogram --
+  /// the library stand-in for the demo's Walrus viewer.
+  Result<std::string> RenderTree(const std::string& tree_name,
+                                 size_t max_nodes = 512);
+
+  /// Persists all state to disk (no-op for in-memory databases).
+  Status Flush();
+
+  Database* database() { return db_.get(); }
+  SpeciesRepository* species_repository() { return species_.get(); }
+
+ private:
+  Crimson() = default;
+
+  struct TreeHandle {
+    TreeInfo info;
+    PhyloTree tree;
+    LayeredDeweyScheme scheme;
+    std::unique_ptr<Sampler> sampler;
+    std::unique_ptr<TreeProjector> projector;
+    std::unique_ptr<PatternMatcher> matcher;
+
+    explicit TreeHandle(uint32_t f) : scheme(f) {}
+  };
+
+  Result<TreeHandle*> Handle(const std::string& name);
+  Result<std::vector<NodeId>> ResolveSpecies(
+      TreeHandle* handle, const std::vector<std::string>& species) const;
+  void RecordQuery(const std::string& kind, const std::string& params,
+                   const std::string& summary);
+
+  CrimsonOptions options_;
+  Rng rng_{42};
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TreeRepository> trees_;
+  std::unique_ptr<SpeciesRepository> species_;
+  std::unique_ptr<QueryRepository> queries_;
+  std::unique_ptr<DataLoader> loader_;
+  std::map<std::string, std::unique_ptr<TreeHandle>> handles_;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_CRIMSON_CRIMSON_H_

@@ -1,0 +1,115 @@
+#include "crimson/data_loader.h"
+
+#include "common/log.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "labeling/layered_dewey.h"
+#include "tree/newick.h"
+
+namespace crimson {
+
+Result<LoadReport> DataLoader::LoadTree(const std::string& name,
+                                        const PhyloTree& tree,
+                                        LoadProgressFn progress) {
+  WallTimer timer;
+  if (progress) progress("indexing", 0);
+  LayeredDeweyScheme scheme(f_);
+  CRIMSON_RETURN_IF_ERROR(scheme.Build(tree));
+  if (progress) progress("storing", 0);
+  Result<int64_t> stored = trees_->StoreTree(name, tree, scheme);
+  if (!stored.ok()) {
+    CRIMSON_LOG(kError) << "loading tree '" << name
+                        << "' failed: " << stored.status();
+    return stored.status();
+  }
+  LoadReport report;
+  report.tree_id = *stored;
+  report.tree_name = name;
+  report.nodes_loaded = tree.size();
+  report.seconds = timer.ElapsedSeconds();
+  CRIMSON_LOG(kInfo) << "loaded tree '" << name << "' (" << tree.size()
+                     << " nodes) in " << report.seconds << "s";
+  if (progress) progress("done", tree.size());
+  return report;
+}
+
+Result<LoadReport> DataLoader::LoadNewick(const std::string& name,
+                                          const std::string& newick_text,
+                                          LoadMode mode,
+                                          LoadProgressFn progress) {
+  if (mode == LoadMode::kAppendSpeciesData) {
+    return Status::InvalidArgument(
+        "Newick input carries no species data to append");
+  }
+  if (progress) progress("parsing", 0);
+  Result<PhyloTree> parsed = ParseNewick(newick_text);
+  if (!parsed.ok()) {
+    CRIMSON_LOG(kError) << "newick parse error: " << parsed.status();
+    return parsed.status();
+  }
+  return LoadTree(name, *parsed, std::move(progress));
+}
+
+Result<LoadReport> DataLoader::LoadNexus(const std::string& name,
+                                         const std::string& nexus_text,
+                                         LoadMode mode,
+                                         LoadProgressFn progress) {
+  if (progress) progress("parsing", 0);
+  Result<NexusDocument> parsed = ParseNexus(nexus_text);
+  if (!parsed.ok()) {
+    CRIMSON_LOG(kError) << "nexus parse error: " << parsed.status();
+    return parsed.status();
+  }
+  const NexusDocument& doc = *parsed;
+
+  if (mode == LoadMode::kAppendSpeciesData) {
+    if (doc.sequences.empty()) {
+      return Status::InvalidArgument("NEXUS input has no CHARACTERS data");
+    }
+    return AppendSpecies(name, doc.sequences, std::move(progress));
+  }
+
+  if (doc.trees.empty()) {
+    return Status::InvalidArgument("NEXUS input has no TREES block");
+  }
+  CRIMSON_ASSIGN_OR_RETURN(LoadReport report,
+                           LoadTree(name, doc.trees[0].tree, progress));
+  if (mode == LoadMode::kTreeWithSpeciesData && !doc.sequences.empty()) {
+    CRIMSON_ASSIGN_OR_RETURN(LoadReport append,
+                             AppendSpecies(name, doc.sequences, progress));
+    report.species_loaded = append.species_loaded;
+  }
+  return report;
+}
+
+Result<LoadReport> DataLoader::AppendSpecies(
+    const std::string& tree_name,
+    const std::map<std::string, std::string>& sequences,
+    LoadProgressFn progress) {
+  WallTimer timer;
+  CRIMSON_ASSIGN_OR_RETURN(TreeInfo info, trees_->GetTreeInfo(tree_name));
+  LoadReport report;
+  report.tree_id = info.tree_id;
+  report.tree_name = tree_name;
+  uint64_t done = 0;
+  for (const auto& [species, seq] : sequences) {
+    Result<NodeId> node = trees_->FindNodeByName(info.tree_id, species);
+    if (!node.ok()) {
+      CRIMSON_LOG(kError) << "append species: '" << species
+                          << "' not found in tree '" << tree_name << "'";
+      return node.status();
+    }
+    CRIMSON_RETURN_IF_ERROR(
+        species_->Put(info.tree_id, species, *node, seq));
+    ++done;
+    if (progress && done % 1024 == 0) progress("species", done);
+  }
+  report.species_loaded = done;
+  report.seconds = timer.ElapsedSeconds();
+  CRIMSON_LOG(kInfo) << "appended " << done << " sequences to '" << tree_name
+                     << "' in " << report.seconds << "s";
+  if (progress) progress("done", done);
+  return report;
+}
+
+}  // namespace crimson

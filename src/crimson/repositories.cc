@@ -1,0 +1,434 @@
+#include "crimson/repositories.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace crimson {
+
+namespace {
+
+/// nodes/subtrees point-access key: (tree_id << 32) | local id.
+int64_t PackKey(int64_t tree_id, uint32_t local) {
+  return (tree_id << 32) | static_cast<int64_t>(local);
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+Result<Table> OpenOrCreate(Database* db, const std::string& name,
+                           const Schema& schema,
+                           const std::vector<IndexSpec>& indexes) {
+  CRIMSON_ASSIGN_OR_RETURN(bool exists, db->HasTable(name));
+  if (exists) return db->OpenTable(name);
+  return db->CreateTable(name, schema, indexes);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TreeRepository
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<TreeRepository>> TreeRepository::Open(Database* db) {
+  auto repo = std::unique_ptr<TreeRepository>(new TreeRepository(db));
+
+  Schema trees_schema({{"tree_id", ColumnType::kInt64},
+                       {"name", ColumnType::kString},
+                       {"n_nodes", ColumnType::kInt64},
+                       {"n_leaves", ColumnType::kInt64},
+                       {"f", ColumnType::kInt64},
+                       {"max_depth", ColumnType::kInt64}});
+  CRIMSON_ASSIGN_OR_RETURN(
+      Table trees,
+      OpenOrCreate(db, "trees", trees_schema,
+                   {{"trees_by_id", "tree_id", /*unique=*/true},
+                    {"trees_by_name", "name", /*unique=*/true}}));
+  repo->trees_ = std::make_unique<Table>(std::move(trees));
+
+  Schema nodes_schema({{"node_key", ColumnType::kInt64},
+                       {"tree_id", ColumnType::kInt64},
+                       {"name", ColumnType::kString},
+                       {"parent", ColumnType::kInt64},
+                       {"edge_length", ColumnType::kDouble},
+                       {"root_weight", ColumnType::kDouble},
+                       {"subtree", ColumnType::kInt64},
+                       {"local_depth", ColumnType::kInt64}});
+  CRIMSON_ASSIGN_OR_RETURN(
+      Table nodes,
+      OpenOrCreate(db, "nodes", nodes_schema,
+                   {{"nodes_by_key", "node_key", /*unique=*/true},
+                    {"nodes_by_tree", "tree_id", /*unique=*/false},
+                    {"nodes_by_name", "name", /*unique=*/false},
+                    {"nodes_by_weight", "root_weight", /*unique=*/false}}));
+  repo->nodes_ = std::make_unique<Table>(std::move(nodes));
+
+  Schema subtrees_schema({{"subtree_key", ColumnType::kInt64},
+                          {"tree_id", ColumnType::kInt64},
+                          {"source_node", ColumnType::kInt64},
+                          {"root_node", ColumnType::kInt64}});
+  CRIMSON_ASSIGN_OR_RETURN(
+      Table subtrees,
+      OpenOrCreate(db, "subtrees", subtrees_schema,
+                   {{"subtrees_by_key", "subtree_key", /*unique=*/true},
+                    {"subtrees_by_tree", "tree_id", /*unique=*/false}}));
+  repo->subtrees_ = std::make_unique<Table>(std::move(subtrees));
+  return repo;
+}
+
+Result<int64_t> TreeRepository::StoreTree(const std::string& name,
+                                          const PhyloTree& tree,
+                                          const LayeredDeweyScheme& scheme) {
+  if (tree.empty()) {
+    return Status::InvalidArgument("cannot store an empty tree");
+  }
+  // Allocate the next tree id (small table scan).
+  int64_t tree_id = 1;
+  CRIMSON_RETURN_IF_ERROR(
+      trees_->Scan([&](const RecordId&, const Row& row) {
+        tree_id = std::max(tree_id, std::get<int64_t>(row[0]) + 1);
+        return true;
+      }));
+
+  Row meta = {tree_id,
+              name,
+              static_cast<int64_t>(tree.size()),
+              static_cast<int64_t>(tree.LeafCount()),
+              static_cast<int64_t>(scheme.f()),
+              static_cast<int64_t>(tree.MaxDepth())};
+  CRIMSON_RETURN_IF_ERROR(trees_->Insert(meta).status());
+
+  std::vector<double> weights = tree.RootPathWeights();
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    Row row = {PackKey(tree_id, n),
+               tree_id,
+               tree.name(n),
+               static_cast<int64_t>(
+                   n == tree.root() ? -1 : static_cast<int64_t>(tree.parent(n))),
+               tree.edge_length(n),
+               weights[n],
+               static_cast<int64_t>(scheme.SubtreeOf(n)),
+               static_cast<int64_t>(scheme.LocalDepth(n))};
+    CRIMSON_RETURN_IF_ERROR(nodes_->Insert(row).status());
+  }
+  for (uint32_t s = 0; s < scheme.NumSubtrees(0); ++s) {
+    NodeId src = scheme.SourceOfSubtree(s);
+    Row row = {PackKey(tree_id, s), tree_id,
+               static_cast<int64_t>(src == kNoNode ? -1
+                                                   : static_cast<int64_t>(src)),
+               static_cast<int64_t>(0)};
+    CRIMSON_RETURN_IF_ERROR(subtrees_->Insert(row).status());
+  }
+  return tree_id;
+}
+
+Result<TreeInfo> TreeRepository::GetTreeInfo(const std::string& name) const {
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<RecordId> rids,
+                           trees_->IndexLookup("trees_by_name", name));
+  if (rids.empty()) {
+    return Status::NotFound(StrFormat("no tree named '%s'", name.c_str()));
+  }
+  Row row;
+  CRIMSON_RETURN_IF_ERROR(trees_->Get(rids[0], &row));
+  TreeInfo info;
+  info.tree_id = std::get<int64_t>(row[0]);
+  info.name = std::get<std::string>(row[1]);
+  info.n_nodes = std::get<int64_t>(row[2]);
+  info.n_leaves = std::get<int64_t>(row[3]);
+  info.f = std::get<int64_t>(row[4]);
+  info.max_depth = std::get<int64_t>(row[5]);
+  return info;
+}
+
+Result<std::vector<TreeInfo>> TreeRepository::ListTrees() const {
+  std::vector<TreeInfo> out;
+  CRIMSON_RETURN_IF_ERROR(trees_->Scan([&](const RecordId&, const Row& row) {
+    TreeInfo info;
+    info.tree_id = std::get<int64_t>(row[0]);
+    info.name = std::get<std::string>(row[1]);
+    info.n_nodes = std::get<int64_t>(row[2]);
+    info.n_leaves = std::get<int64_t>(row[3]);
+    info.f = std::get<int64_t>(row[4]);
+    info.max_depth = std::get<int64_t>(row[5]);
+    out.push_back(std::move(info));
+    return true;
+  }));
+  std::sort(out.begin(), out.end(),
+            [](const TreeInfo& a, const TreeInfo& b) {
+              return a.tree_id < b.tree_id;
+            });
+  return out;
+}
+
+Result<PhyloTree> TreeRepository::LoadTree(int64_t tree_id) const {
+  // Range scan the point-access index over this tree's key interval:
+  // keys are (tree_id << 32 | node), so nodes come back in arena order
+  // (parents before children) and the tree rebuilds in one pass.
+  std::string lower, upper;
+  CRIMSON_RETURN_IF_ERROR(
+      nodes_->EncodeKeyFor("nodes_by_key", PackKey(tree_id, 0), &lower));
+  CRIMSON_RETURN_IF_ERROR(
+      nodes_->EncodeKeyFor("nodes_by_key", PackKey(tree_id + 1, 0), &upper));
+  PhyloTree tree;
+  Status row_status;
+  Status scan_status = nodes_->IndexRangeScan(
+      "nodes_by_key", lower, upper, [&](const Slice&, RecordId rid) {
+        Row row;
+        row_status = nodes_->Get(rid, &row);
+        if (!row_status.ok()) return false;
+        int64_t parent = std::get<int64_t>(row[3]);
+        const std::string& nm = std::get<std::string>(row[2]);
+        double edge = std::get<double>(row[4]);
+        if (parent < 0) {
+          tree.AddRoot(nm, edge);
+        } else {
+          tree.AddChild(static_cast<NodeId>(parent), nm, edge);
+        }
+        return true;
+      });
+  CRIMSON_RETURN_IF_ERROR(row_status);
+  CRIMSON_RETURN_IF_ERROR(scan_status);
+  if (tree.empty()) {
+    return Status::NotFound(StrFormat("no tree with id %lld",
+                                      static_cast<long long>(tree_id)));
+  }
+  CRIMSON_RETURN_IF_ERROR(tree.Validate());
+  return tree;
+}
+
+Result<NodeId> TreeRepository::FindNodeByName(int64_t tree_id,
+                                              const std::string& name) const {
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<RecordId> rids,
+                           nodes_->IndexLookup("nodes_by_name", name));
+  for (const RecordId& rid : rids) {
+    Row row;
+    CRIMSON_RETURN_IF_ERROR(nodes_->Get(rid, &row));
+    if (std::get<int64_t>(row[1]) == tree_id) {
+      return static_cast<NodeId>(std::get<int64_t>(row[0]) & 0xffffffffLL);
+    }
+  }
+  return Status::NotFound(
+      StrFormat("species '%s' not in tree %lld", name.c_str(),
+                static_cast<long long>(tree_id)));
+}
+
+Result<TreeRepository::NodeRow> TreeRepository::GetNode(int64_t tree_id,
+                                                        NodeId node) const {
+  CRIMSON_ASSIGN_OR_RETURN(
+      std::vector<RecordId> rids,
+      nodes_->IndexLookup("nodes_by_key", PackKey(tree_id, node)));
+  if (rids.empty()) {
+    return Status::NotFound(StrFormat("node %u not in tree %lld", node,
+                                      static_cast<long long>(tree_id)));
+  }
+  Row row;
+  CRIMSON_RETURN_IF_ERROR(nodes_->Get(rids[0], &row));
+  NodeRow out;
+  out.node = node;
+  int64_t parent = std::get<int64_t>(row[3]);
+  out.parent = parent < 0 ? kNoNode : static_cast<NodeId>(parent);
+  out.name = std::get<std::string>(row[2]);
+  out.edge_length = std::get<double>(row[4]);
+  out.root_weight = std::get<double>(row[5]);
+  out.subtree = static_cast<uint32_t>(std::get<int64_t>(row[6]));
+  out.local_depth = static_cast<uint32_t>(std::get<int64_t>(row[7]));
+  return out;
+}
+
+Result<std::vector<NodeId>> TreeRepository::NodesInTimeRange(
+    int64_t tree_id, double lo, double hi) const {
+  std::string lower, upper;
+  CRIMSON_RETURN_IF_ERROR(
+      nodes_->EncodeKeyFor("nodes_by_weight", lo, &lower));
+  CRIMSON_RETURN_IF_ERROR(
+      nodes_->EncodeKeyFor("nodes_by_weight", hi, &upper));
+  std::vector<NodeId> out;
+  Status row_status;
+  Status scan_status = nodes_->IndexRangeScan(
+      "nodes_by_weight", lower, upper, [&](const Slice&, RecordId rid) {
+        Row row;
+        row_status = nodes_->Get(rid, &row);
+        if (!row_status.ok()) return false;
+        if (std::get<int64_t>(row[1]) == tree_id) {
+          out.push_back(
+              static_cast<NodeId>(std::get<int64_t>(row[0]) & 0xffffffffLL));
+        }
+        return true;
+      });
+  CRIMSON_RETURN_IF_ERROR(row_status);
+  CRIMSON_RETURN_IF_ERROR(scan_status);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status TreeRepository::DropTree(int64_t tree_id) {
+  // Collect record ids first (deleting during a scan is unsafe).
+  std::vector<RecordId> doomed;
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<RecordId> tree_rids,
+                           trees_->IndexLookup("trees_by_id", tree_id));
+  for (const RecordId& rid : tree_rids) {
+    CRIMSON_RETURN_IF_ERROR(trees_->Delete(rid));
+  }
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<RecordId> node_rids,
+                           nodes_->IndexLookup("nodes_by_tree", tree_id));
+  for (const RecordId& rid : node_rids) {
+    CRIMSON_RETURN_IF_ERROR(nodes_->Delete(rid));
+  }
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<RecordId> sub_rids,
+                           subtrees_->IndexLookup("subtrees_by_tree", tree_id));
+  for (const RecordId& rid : sub_rids) {
+    CRIMSON_RETURN_IF_ERROR(subtrees_->Delete(rid));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SpeciesRepository
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<SpeciesRepository>> SpeciesRepository::Open(
+    Database* db) {
+  auto repo = std::unique_ptr<SpeciesRepository>(new SpeciesRepository(db));
+  Schema schema({{"tree_id", ColumnType::kInt64},
+                 {"species", ColumnType::kString},
+                 {"node", ColumnType::kInt64},
+                 {"sequence", ColumnType::kBytes}});
+  CRIMSON_ASSIGN_OR_RETURN(
+      Table t,
+      OpenOrCreate(db, "species", schema,
+                   {{"species_by_name", "species", /*unique=*/false},
+                    {"species_by_tree", "tree_id", /*unique=*/false}}));
+  repo->species_ = std::make_unique<Table>(std::move(t));
+  return repo;
+}
+
+Status SpeciesRepository::Put(int64_t tree_id, const std::string& species,
+                              NodeId node, const std::string& sequence) {
+  Row row = {tree_id, species,
+             static_cast<int64_t>(node == kNoNode
+                                      ? -1
+                                      : static_cast<int64_t>(node)),
+             sequence};
+  return species_->Insert(row).status();
+}
+
+Result<std::string> SpeciesRepository::GetSequence(
+    const std::string& species) const {
+  CRIMSON_ASSIGN_OR_RETURN(
+      std::vector<RecordId> rids,
+      species_->IndexLookup("species_by_name", species));
+  if (rids.empty()) {
+    return Status::NotFound(
+        StrFormat("no sequence for species '%s'", species.c_str()));
+  }
+  Row row;
+  CRIMSON_RETURN_IF_ERROR(species_->Get(rids[0], &row));
+  return std::get<std::string>(row[3]);
+}
+
+Result<std::map<std::string, std::string>>
+SpeciesRepository::SequencesForTree(int64_t tree_id) const {
+  CRIMSON_ASSIGN_OR_RETURN(
+      std::vector<RecordId> rids,
+      species_->IndexLookup("species_by_tree", tree_id));
+  std::map<std::string, std::string> out;
+  for (const RecordId& rid : rids) {
+    Row row;
+    CRIMSON_RETURN_IF_ERROR(species_->Get(rid, &row));
+    out[std::get<std::string>(row[1])] = std::get<std::string>(row[3]);
+  }
+  return out;
+}
+
+Result<std::map<std::string, std::string>> SpeciesRepository::SequencesFor(
+    const std::vector<std::string>& species) const {
+  std::map<std::string, std::string> out;
+  for (const std::string& s : species) {
+    CRIMSON_ASSIGN_OR_RETURN(std::string seq, GetSequence(s));
+    out[s] = std::move(seq);
+  }
+  return out;
+}
+
+Result<uint64_t> SpeciesRepository::Count() const {
+  return species_->row_count();
+}
+
+// ---------------------------------------------------------------------------
+// QueryRepository
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<QueryRepository>> QueryRepository::Open(Database* db) {
+  auto repo = std::unique_ptr<QueryRepository>(new QueryRepository(db));
+  Schema schema({{"query_id", ColumnType::kInt64},
+                 {"timestamp", ColumnType::kInt64},
+                 {"kind", ColumnType::kString},
+                 {"params", ColumnType::kString},
+                 {"summary", ColumnType::kString}});
+  CRIMSON_ASSIGN_OR_RETURN(
+      Table t, OpenOrCreate(db, "queries", schema,
+                            {{"queries_by_id", "query_id", /*unique=*/true}}));
+  repo->queries_ = std::make_unique<Table>(std::move(t));
+  CRIMSON_RETURN_IF_ERROR(
+      repo->queries_->Scan([&](const RecordId&, const Row& row) {
+        repo->next_id_ =
+            std::max(repo->next_id_, std::get<int64_t>(row[0]) + 1);
+        return true;
+      }));
+  return repo;
+}
+
+Result<int64_t> QueryRepository::Record(const std::string& kind,
+                                        const std::string& params,
+                                        const std::string& summary) {
+  int64_t id = next_id_++;
+  Row row = {id, NowMicros(), kind, params, summary};
+  CRIMSON_RETURN_IF_ERROR(queries_->Insert(row).status());
+  return id;
+}
+
+Result<std::vector<QueryRepository::Entry>> QueryRepository::History(
+    size_t limit) const {
+  std::vector<Entry> out;
+  CRIMSON_RETURN_IF_ERROR(
+      queries_->Scan([&](const RecordId&, const Row& row) {
+        Entry e;
+        e.query_id = std::get<int64_t>(row[0]);
+        e.timestamp_micros = std::get<int64_t>(row[1]);
+        e.kind = std::get<std::string>(row[2]);
+        e.params = std::get<std::string>(row[3]);
+        e.summary = std::get<std::string>(row[4]);
+        out.push_back(std::move(e));
+        return true;
+      }));
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.query_id > b.query_id;
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+Result<QueryRepository::Entry> QueryRepository::Get(int64_t query_id) const {
+  CRIMSON_ASSIGN_OR_RETURN(
+      std::vector<RecordId> rids,
+      queries_->IndexLookup("queries_by_id", query_id));
+  if (rids.empty()) {
+    return Status::NotFound(StrFormat("no query %lld",
+                                      static_cast<long long>(query_id)));
+  }
+  Row row;
+  CRIMSON_RETURN_IF_ERROR(queries_->Get(rids[0], &row));
+  Entry e;
+  e.query_id = std::get<int64_t>(row[0]);
+  e.timestamp_micros = std::get<int64_t>(row[1]);
+  e.kind = std::get<std::string>(row[2]);
+  e.params = std::get<std::string>(row[3]);
+  e.summary = std::get<std::string>(row[4]);
+  return e;
+}
+
+}  // namespace crimson

@@ -1,0 +1,169 @@
+// The Repository Manager (paper §2.1, Fig. 3): tree structure and
+// species data are stored separately -- queries are structure-based, so
+// the Tree Repository holds topology plus the layered-Dewey index in
+// relational form, while the Species Repository holds the (large)
+// sequence data. The Query Repository records user queries for recall
+// and re-run.
+//
+// Relational layout (all tables live in one storage/Database):
+//   trees(tree_id, name*, n_nodes, n_leaves, f, max_depth)
+//   nodes(tree_id*, node_key*, name*, parent, ordinal, edge_length,
+//         root_weight*, subtree, local_depth)
+//     - node_key packs (tree_id << 32 | node_id) for point access
+//   subtrees(tree_id*, subtree_id, source_node, root_node)
+//   species(tree_id, species_name*, node_id, sequence)
+//   queries(query_id*, timestamp, kind, params, summary)
+//   (* = indexed column)
+
+#ifndef CRIMSON_CRIMSON_REPOSITORIES_H_
+#define CRIMSON_CRIMSON_REPOSITORIES_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "labeling/layered_dewey.h"
+#include "storage/database.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+/// Metadata row for a stored tree.
+struct TreeInfo {
+  int64_t tree_id = 0;
+  std::string name;
+  int64_t n_nodes = 0;
+  int64_t n_leaves = 0;
+  int64_t f = 0;          // layered-Dewey parameter used at load time
+  int64_t max_depth = 0;
+};
+
+/// Stores phylogenetic tree structure plus its layered-Dewey
+/// decomposition. One instance per open Database.
+class TreeRepository {
+ public:
+  /// Creates/opens the repository tables inside db.
+  static Result<std::unique_ptr<TreeRepository>> Open(Database* db);
+
+  /// Persists a tree (structure + labeling) under a unique name.
+  /// Returns the assigned tree id.
+  Result<int64_t> StoreTree(const std::string& name, const PhyloTree& tree,
+                            const LayeredDeweyScheme& scheme);
+
+  /// Tree metadata by name.
+  Result<TreeInfo> GetTreeInfo(const std::string& name) const;
+
+  /// All stored trees.
+  Result<std::vector<TreeInfo>> ListTrees() const;
+
+  /// Reconstructs the full in-memory tree.
+  Result<PhyloTree> LoadTree(int64_t tree_id) const;
+
+  /// Point access: node id of a species by name within a tree (uses the
+  /// species-name index; paper challenge #1 "random access based on
+  /// species names").
+  Result<NodeId> FindNodeByName(int64_t tree_id,
+                                const std::string& name) const;
+
+  /// Point access: single node row (parent, edge length, root weight)
+  /// without loading the tree.
+  struct NodeRow {
+    NodeId node = kNoNode;
+    NodeId parent = kNoNode;
+    std::string name;
+    double edge_length = 0;
+    double root_weight = 0;
+    uint32_t subtree = 0;
+    uint32_t local_depth = 0;
+  };
+  Result<NodeRow> GetNode(int64_t tree_id, NodeId node) const;
+
+  /// Nodes whose root-path weight lies in [lo, hi) -- "random access
+  /// based on evolutionary time" via the root_weight index. Note: the
+  /// index spans all trees; rows from other trees are filtered out.
+  Result<std::vector<NodeId>> NodesInTimeRange(int64_t tree_id, double lo,
+                                               double hi) const;
+
+  /// Deletes a tree and its rows (loader error-recovery path).
+  Status DropTree(int64_t tree_id);
+
+ private:
+  explicit TreeRepository(Database* db) : db_(db) {}
+
+  Database* db_;
+  std::unique_ptr<Table> trees_;
+  std::unique_ptr<Table> nodes_;
+  std::unique_ptr<Table> subtrees_;
+};
+
+/// Stores species data (gene sequences) keyed by species name.
+class SpeciesRepository {
+ public:
+  static Result<std::unique_ptr<SpeciesRepository>> Open(Database* db);
+
+  /// Adds one species' sequence (tree association optional; pass -1 and
+  /// kNoNode when unknown).
+  Status Put(int64_t tree_id, const std::string& species, NodeId node,
+             const std::string& sequence);
+
+  /// Sequence by species name (first match).
+  Result<std::string> GetSequence(const std::string& species) const;
+
+  /// All sequences for a tree.
+  Result<std::map<std::string, std::string>> SequencesForTree(
+      int64_t tree_id) const;
+
+  /// Sequences for a specific species subset (NotFound lists the first
+  /// missing species).
+  Result<std::map<std::string, std::string>> SequencesFor(
+      const std::vector<std::string>& species) const;
+
+  Result<uint64_t> Count() const;
+
+ private:
+  explicit SpeciesRepository(Database* db) : db_(db) {}
+
+  Database* db_;
+  std::unique_ptr<Table> species_;
+};
+
+/// Query history: every user-visible query is recorded and can be
+/// recalled (paper §2.1: "makes it convenient for users to recall and
+/// rerun historical queries").
+class QueryRepository {
+ public:
+  static Result<std::unique_ptr<QueryRepository>> Open(Database* db);
+
+  struct Entry {
+    int64_t query_id = 0;
+    int64_t timestamp_micros = 0;
+    std::string kind;     // "lca", "project", "sample_time", ...
+    std::string params;   // human-readable parameter string
+    std::string summary;  // result summary
+  };
+
+  /// Appends an entry; returns its id.
+  Result<int64_t> Record(const std::string& kind, const std::string& params,
+                         const std::string& summary);
+
+  /// Most recent `limit` entries, newest first.
+  Result<std::vector<Entry>> History(size_t limit = 50) const;
+
+  /// One entry by id.
+  Result<Entry> Get(int64_t query_id) const;
+
+ private:
+  explicit QueryRepository(Database* db) : db_(db) {}
+
+  Database* db_;
+  std::unique_ptr<Table> queries_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_CRIMSON_REPOSITORIES_H_

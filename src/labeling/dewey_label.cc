@@ -1,0 +1,76 @@
+#include "labeling/dewey_label.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace crimson {
+
+DeweyLabel DeweyLabel::CommonPrefix(const DeweyLabel& other) const {
+  size_t n = CommonPrefixLength(other);
+  return DeweyLabel(std::vector<uint32_t>(components_.begin(),
+                                          components_.begin() + n));
+}
+
+size_t DeweyLabel::CommonPrefixLength(const DeweyLabel& other) const {
+  size_t n = std::min(components_.size(), other.components_.size());
+  size_t i = 0;
+  while (i < n && components_[i] == other.components_[i]) ++i;
+  return i;
+}
+
+bool DeweyLabel::IsPrefixOf(const DeweyLabel& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  return CommonPrefixLength(other) == components_.size();
+}
+
+int DeweyLabel::Compare(const DeweyLabel& other) const {
+  size_t n = std::min(components_.size(), other.components_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (components_[i] != other.components_[i]) {
+      return components_[i] < other.components_[i] ? -1 : 1;
+    }
+  }
+  if (components_.size() == other.components_.size()) return 0;
+  return components_.size() < other.components_.size() ? -1 : 1;
+}
+
+void DeweyLabel::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, static_cast<uint32_t>(components_.size()));
+  for (uint32_t c : components_) PutVarint32(dst, c);
+}
+
+Result<DeweyLabel> DeweyLabel::DecodeFrom(Slice* input) {
+  uint32_t n = 0;
+  if (!GetVarint32(input, &n)) {
+    return Status::Corruption("dewey label: bad length");
+  }
+  std::vector<uint32_t> comps;
+  comps.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t c = 0;
+    if (!GetVarint32(input, &c)) {
+      return Status::Corruption("dewey label: truncated");
+    }
+    comps.push_back(c);
+  }
+  return DeweyLabel(std::move(comps));
+}
+
+size_t DeweyLabel::EncodedBytes() const {
+  size_t bytes = VarintLength(components_.size());
+  for (uint32_t c : components_) bytes += VarintLength(c);
+  return bytes;
+}
+
+std::string DeweyLabel::ToString() const {
+  if (components_.empty()) return "()";
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+}  // namespace crimson

@@ -1,0 +1,66 @@
+// DeweyLabel: a root-to-node path of 1-based child ordinals, as in the
+// paper's §2.1 example (Lla = 2.1.1, Spy = 2.1.2). Provides the prefix
+// operations that make Dewey labels suit structure queries: the LCA of
+// two nodes is the node whose label is the longest common prefix.
+
+#ifndef CRIMSON_LABELING_DEWEY_LABEL_H_
+#define CRIMSON_LABELING_DEWEY_LABEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace crimson {
+
+/// Sequence of 1-based child ordinals from the root. The root's label
+/// is empty.
+class DeweyLabel {
+ public:
+  DeweyLabel() = default;
+  explicit DeweyLabel(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+
+  const std::vector<uint32_t>& components() const { return components_; }
+  size_t depth() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+  uint32_t component(size_t i) const { return components_[i]; }
+
+  void Append(uint32_t ordinal) { components_.push_back(ordinal); }
+  void Pop() { components_.pop_back(); }
+
+  /// Longest common prefix with another label (the LCA's label).
+  DeweyLabel CommonPrefix(const DeweyLabel& other) const;
+
+  /// Length of the longest common prefix.
+  size_t CommonPrefixLength(const DeweyLabel& other) const;
+
+  /// True if this label is a prefix of (or equal to) other, i.e. this
+  /// node is an ancestor-or-self of other.
+  bool IsPrefixOf(const DeweyLabel& other) const;
+
+  /// Document-order comparison (component-wise, shorter prefix first).
+  int Compare(const DeweyLabel& other) const;
+
+  /// Varint byte encoding (the storage footprint the paper worries
+  /// about on deep trees).
+  void EncodeTo(std::string* dst) const;
+  static Result<DeweyLabel> DecodeFrom(Slice* input);
+  size_t EncodedBytes() const;
+
+  /// "2.1.1" display form; "()" for the root.
+  std::string ToString() const;
+
+  bool operator==(const DeweyLabel& other) const {
+    return components_ == other.components_;
+  }
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_LABELING_DEWEY_LABEL_H_

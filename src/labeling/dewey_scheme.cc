@@ -1,0 +1,66 @@
+#include "labeling/dewey_scheme.h"
+
+namespace crimson {
+
+Status DeweyScheme::Build(const PhyloTree& tree) {
+  tree_ = &tree;
+  labels_.assign(tree.size(), DeweyLabel());
+  if (tree.empty()) return Status::OK();
+  // Child ordinals are 1-based positions in the sibling chain, exactly
+  // as in the paper's example. Arena order (parents before children)
+  // lets us build each label from its parent's.
+  std::vector<uint32_t> ordinal(tree.size(), 0);
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    uint32_t ord = 0;
+    for (NodeId c = tree.first_child(n); c != kNoNode;
+         c = tree.next_sibling(c)) {
+      ordinal[c] = ++ord;
+    }
+  }
+  for (NodeId n = 1; n < tree.size(); ++n) {
+    labels_[n] = labels_[tree.parent(n)];
+    labels_[n].Append(ordinal[n]);
+  }
+  return Status::OK();
+}
+
+Result<NodeId> DeweyScheme::Lca(NodeId a, NodeId b) const {
+  if (tree_ == nullptr) return Status::FailedPrecondition("not built");
+  if (a >= labels_.size() || b >= labels_.size()) {
+    return Status::InvalidArgument("node out of range");
+  }
+  size_t lcp = labels_[a].CommonPrefixLength(labels_[b]);
+  // Walk a up (depth(a) - lcp) steps: its label is a prefix chain.
+  NodeId n = a;
+  for (size_t i = labels_[a].depth(); i > lcp; --i) n = tree_->parent(n);
+  return n;
+}
+
+Result<bool> DeweyScheme::IsAncestorOrSelf(NodeId anc, NodeId n) const {
+  if (tree_ == nullptr) return Status::FailedPrecondition("not built");
+  if (anc >= labels_.size() || n >= labels_.size()) {
+    return Status::InvalidArgument("node out of range");
+  }
+  return labels_[anc].IsPrefixOf(labels_[n]);
+}
+
+size_t DeweyScheme::LabelBytes(NodeId n) const {
+  return labels_[n].EncodedBytes();
+}
+
+NodeId DeweyScheme::NodeForLabel(const DeweyLabel& label) const {
+  if (tree_ == nullptr || tree_->empty()) return kNoNode;
+  NodeId n = tree_->root();
+  for (size_t i = 0; i < label.depth(); ++i) {
+    uint32_t ord = label.component(i);
+    NodeId c = tree_->first_child(n);
+    for (uint32_t k = 1; k < ord && c != kNoNode; ++k) {
+      c = tree_->next_sibling(c);
+    }
+    if (c == kNoNode) return kNoNode;
+    n = c;
+  }
+  return n;
+}
+
+}  // namespace crimson

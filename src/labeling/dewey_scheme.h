@@ -1,0 +1,39 @@
+// Plain Dewey labeling [11]: each node stores its full root path of
+// child ordinals. LCA is a longest-common-prefix computation. The
+// scheme the paper starts from -- and whose O(depth) labels it fixes.
+
+#ifndef CRIMSON_LABELING_DEWEY_SCHEME_H_
+#define CRIMSON_LABELING_DEWEY_SCHEME_H_
+
+#include <vector>
+
+#include "labeling/dewey_label.h"
+#include "labeling/scheme.h"
+
+namespace crimson {
+
+class DeweyScheme final : public LabelingScheme {
+ public:
+  DeweyScheme() = default;
+
+  std::string name() const override { return "dewey"; }
+  Status Build(const PhyloTree& tree) override;
+  Result<NodeId> Lca(NodeId a, NodeId b) const override;
+  Result<bool> IsAncestorOrSelf(NodeId anc, NodeId n) const override;
+  size_t LabelBytes(NodeId n) const override;
+  size_t node_count() const override { return labels_.size(); }
+
+  /// The label itself (golden tests check the paper's 2.1.1 examples).
+  const DeweyLabel& label(NodeId n) const { return labels_[n]; }
+
+  /// Node whose label equals `label`; kNoNode if out of range.
+  NodeId NodeForLabel(const DeweyLabel& label) const;
+
+ private:
+  const PhyloTree* tree_ = nullptr;
+  std::vector<DeweyLabel> labels_;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_LABELING_DEWEY_SCHEME_H_

@@ -1,0 +1,79 @@
+#include "labeling/interval_scheme.h"
+
+namespace crimson {
+
+Status IntervalScheme::Build(const PhyloTree& tree) {
+  tree_ = &tree;
+  pre_.assign(tree.size(), 0);
+  max_pre_.assign(tree.size(), 0);
+  if (tree.empty()) return Status::OK();
+  uint32_t counter = 0;
+  tree.PreOrder([&](NodeId n) {
+    pre_[n] = counter++;
+    return true;
+  });
+  // max_pre via post-order accumulation.
+  tree.PostOrder([&](NodeId n) {
+    uint32_t m = pre_[n];
+    for (NodeId c = tree.first_child(n); c != kNoNode;
+         c = tree.next_sibling(c)) {
+      if (max_pre_[c] > m) m = max_pre_[c];
+    }
+    max_pre_[n] = m;
+    return true;
+  });
+  return Status::OK();
+}
+
+Result<NodeId> IntervalScheme::Lca(NodeId a, NodeId b) const {
+  if (tree_ == nullptr) return Status::FailedPrecondition("not built");
+  if (a >= pre_.size() || b >= pre_.size()) {
+    return Status::InvalidArgument("node out of range");
+  }
+  // Intervals answer containment, not LCA: climb from the shallower
+  // candidate until its interval covers the other node. O(depth).
+  NodeId cur = a;
+  while (!Contains(cur, b)) cur = tree_->parent(cur);
+  return cur;
+}
+
+Result<bool> IntervalScheme::IsAncestorOrSelf(NodeId anc, NodeId n) const {
+  if (tree_ == nullptr) return Status::FailedPrecondition("not built");
+  if (anc >= pre_.size() || n >= pre_.size()) {
+    return Status::InvalidArgument("node out of range");
+  }
+  return Contains(anc, n);
+}
+
+Status NaiveScheme::Build(const PhyloTree& tree) {
+  tree_ = &tree;
+  depth_ = tree.Depths();
+  return Status::OK();
+}
+
+Result<NodeId> NaiveScheme::Lca(NodeId a, NodeId b) const {
+  if (tree_ == nullptr) return Status::FailedPrecondition("not built");
+  if (a >= tree_->size() || b >= tree_->size()) {
+    return Status::InvalidArgument("node out of range");
+  }
+  while (a != b) {
+    if (depth_[a] >= depth_[b]) {
+      a = tree_->parent(a);
+    } else {
+      b = tree_->parent(b);
+    }
+  }
+  return a;
+}
+
+Result<bool> NaiveScheme::IsAncestorOrSelf(NodeId anc, NodeId n) const {
+  if (tree_ == nullptr) return Status::FailedPrecondition("not built");
+  while (n != kNoNode) {
+    if (n == anc) return true;
+    if (depth_[n] == 0) break;
+    n = tree_->parent(n);
+  }
+  return false;
+}
+
+}  // namespace crimson

@@ -1,0 +1,61 @@
+// Interval (pre/post-order) labeling, the classic XML scheme the paper
+// cites as related work [2,3]: each node stores its preorder rank and
+// the maximum preorder rank in its subtree. Ancestor tests are O(1),
+// but LCA has no direct answer -- the scheme must walk up the tree --
+// which is exactly the paper's argument for Dewey-style labels in
+// phylogenetic workloads.
+
+#ifndef CRIMSON_LABELING_INTERVAL_SCHEME_H_
+#define CRIMSON_LABELING_INTERVAL_SCHEME_H_
+
+#include <vector>
+
+#include "labeling/scheme.h"
+
+namespace crimson {
+
+class IntervalScheme final : public LabelingScheme {
+ public:
+  IntervalScheme() = default;
+
+  std::string name() const override { return "interval"; }
+  Status Build(const PhyloTree& tree) override;
+  Result<NodeId> Lca(NodeId a, NodeId b) const override;
+  Result<bool> IsAncestorOrSelf(NodeId anc, NodeId n) const override;
+  size_t LabelBytes(NodeId) const override { return 8; }  // two fixed32
+  size_t node_count() const override { return pre_.size(); }
+
+  uint32_t pre(NodeId n) const { return pre_[n]; }
+  uint32_t max_descendant_pre(NodeId n) const { return max_pre_[n]; }
+
+ private:
+  bool Contains(NodeId anc, NodeId n) const {
+    return pre_[anc] <= pre_[n] && pre_[n] <= max_pre_[anc];
+  }
+
+  const PhyloTree* tree_ = nullptr;
+  std::vector<uint32_t> pre_;
+  std::vector<uint32_t> max_pre_;
+};
+
+/// Baseline with no index at all: parent-pointer walks (what one gets
+/// from the raw tree). LCA and ancestor checks are O(depth).
+class NaiveScheme final : public LabelingScheme {
+ public:
+  NaiveScheme() = default;
+
+  std::string name() const override { return "naive_parent_walk"; }
+  Status Build(const PhyloTree& tree) override;
+  Result<NodeId> Lca(NodeId a, NodeId b) const override;
+  Result<bool> IsAncestorOrSelf(NodeId anc, NodeId n) const override;
+  size_t LabelBytes(NodeId) const override { return 0; }
+  size_t node_count() const override { return tree_ ? tree_->size() : 0; }
+
+ private:
+  const PhyloTree* tree_ = nullptr;
+  std::vector<uint32_t> depth_;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_LABELING_INTERVAL_SCHEME_H_

@@ -1,0 +1,20 @@
+#include "labeling/scheme.h"
+
+namespace crimson {
+
+size_t LabelingScheme::TotalLabelBytes() const {
+  size_t total = 0;
+  for (NodeId n = 0; n < node_count(); ++n) total += LabelBytes(n);
+  return total;
+}
+
+size_t LabelingScheme::MaxLabelBytes() const {
+  size_t best = 0;
+  for (NodeId n = 0; n < node_count(); ++n) {
+    size_t b = LabelBytes(n);
+    if (b > best) best = b;
+  }
+  return best;
+}
+
+}  // namespace crimson

@@ -1,0 +1,48 @@
+// LabelingScheme: common interface over the node-labeling strategies
+// compared in the paper -- plain Dewey [11], Crimson's layered Dewey
+// (the contribution), interval/pre-post encodings [2,3], and the naive
+// parent-walk baseline. The query processors and benches are generic
+// over this interface.
+
+#ifndef CRIMSON_LABELING_SCHEME_H_
+#define CRIMSON_LABELING_SCHEME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+class LabelingScheme {
+ public:
+  virtual ~LabelingScheme() = default;
+
+  /// Scheme name for reports ("dewey", "layered_dewey(f=8)", ...).
+  virtual std::string name() const = 0;
+
+  /// Builds labels for the tree. The tree must outlive the scheme.
+  virtual Status Build(const PhyloTree& tree) = 0;
+
+  /// Least common ancestor of a and b.
+  virtual Result<NodeId> Lca(NodeId a, NodeId b) const = 0;
+
+  /// True if anc is an ancestor of (or equal to) n.
+  virtual Result<bool> IsAncestorOrSelf(NodeId anc, NodeId n) const = 0;
+
+  /// Per-node label footprint in bytes (as stored).
+  virtual size_t LabelBytes(NodeId n) const = 0;
+
+  /// Aggregate label statistics (the quantity the paper bounds by f).
+  size_t TotalLabelBytes() const;
+  size_t MaxLabelBytes() const;
+
+  /// Number of labeled nodes.
+  virtual size_t node_count() const = 0;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_LABELING_SCHEME_H_

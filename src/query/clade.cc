@@ -1,0 +1,21 @@
+#include "query/clade.h"
+
+#include "query/lca.h"
+
+namespace crimson {
+
+Result<Clade> MinimalSpanningClade(const PhyloTree& tree,
+                                   const LabelingScheme& scheme,
+                                   const std::vector<NodeId>& leaves) {
+  Clade clade;
+  CRIMSON_ASSIGN_OR_RETURN(clade.root, LcaOfSet(scheme, leaves));
+  tree.PreOrder(
+      [&](NodeId n) {
+        clade.nodes.push_back(n);
+        return true;
+      },
+      clade.root);
+  return clade;
+}
+
+}  // namespace crimson

@@ -1,0 +1,27 @@
+// Minimal spanning clade (paper §2.2): the set of nodes in the subtree
+// rooted at the LCA of a given leaf set.
+
+#ifndef CRIMSON_QUERY_CLADE_H_
+#define CRIMSON_QUERY_CLADE_H_
+
+#include <vector>
+
+#include "labeling/scheme.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+struct Clade {
+  NodeId root = kNoNode;
+  /// Every node in the subtree rooted at `root`, in pre-order.
+  std::vector<NodeId> nodes;
+};
+
+/// Computes the minimal spanning clade of `leaves` (non-empty).
+Result<Clade> MinimalSpanningClade(const PhyloTree& tree,
+                                   const LabelingScheme& scheme,
+                                   const std::vector<NodeId>& leaves);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_QUERY_CLADE_H_

@@ -1,0 +1,17 @@
+#include "query/lca.h"
+
+namespace crimson {
+
+Result<NodeId> LcaOfSet(const LabelingScheme& scheme,
+                        const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("LCA of empty node set");
+  }
+  NodeId acc = nodes[0];
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    CRIMSON_ASSIGN_OR_RETURN(acc, scheme.Lca(acc, nodes[i]));
+  }
+  return acc;
+}
+
+}  // namespace crimson

@@ -1,0 +1,18 @@
+// Set-LCA helper built on any LabelingScheme.
+
+#ifndef CRIMSON_QUERY_LCA_H_
+#define CRIMSON_QUERY_LCA_H_
+
+#include <vector>
+
+#include "labeling/scheme.h"
+
+namespace crimson {
+
+/// LCA of a non-empty set of nodes (left fold of pairwise LCA).
+Result<NodeId> LcaOfSet(const LabelingScheme& scheme,
+                        const std::vector<NodeId>& nodes);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_QUERY_LCA_H_

@@ -1,0 +1,79 @@
+#include "query/pattern_match.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace crimson {
+
+namespace {
+
+/// Canonical form of a subtree for unordered comparison. Only leaf
+/// names participate (internal labels are bookkeeping, not biology);
+/// edge weights are quantized by eps when use_weights is set.
+std::string CanonicalShape(const PhyloTree& t, NodeId n, double eps,
+                           bool use_weights, bool is_root) {
+  std::string weight;
+  if (use_weights && !is_root) {
+    long long q = eps > 0 ? std::llround(t.edge_length(n) / eps)
+                          : std::llround(t.edge_length(n) * 1e9);
+    weight = ":" + std::to_string(q);
+  }
+  if (t.is_leaf(n)) {
+    return "L[" + t.name(n) + weight + "]";
+  }
+  std::vector<std::string> kids;
+  for (NodeId c = t.first_child(n); c != kNoNode; c = t.next_sibling(c)) {
+    kids.push_back(CanonicalShape(t, c, eps, use_weights, false));
+  }
+  std::sort(kids.begin(), kids.end());
+  std::string out = "(";
+  for (const std::string& k : kids) out += k;
+  out += ")";
+  out += weight;
+  return out;
+}
+
+}  // namespace
+
+PatternMatcher::PatternMatcher(const TreeProjector* projector)
+    : projector_(projector) {
+  const PhyloTree& t = projector_->tree();
+  for (NodeId n = 0; n < t.size(); ++n) {
+    if (t.is_leaf(n) && !t.name(n).empty()) {
+      leaf_by_name_.emplace(t.name(n), n);
+    }
+  }
+}
+
+Result<PhyloTree> PatternMatcher::ProjectPattern(
+    const PhyloTree& pattern) const {
+  std::vector<NodeId> targets;
+  for (NodeId n = 0; n < pattern.size(); ++n) {
+    if (!pattern.is_leaf(n)) continue;
+    auto it = leaf_by_name_.find(pattern.name(n));
+    if (it == leaf_by_name_.end()) {
+      return Status::NotFound(
+          StrFormat("pattern leaf '%s' not in target tree",
+                    pattern.name(n).c_str()));
+    }
+    targets.push_back(it->second);
+  }
+  return projector_->Project(std::move(targets));
+}
+
+Result<PatternMatcher::MatchResult> PatternMatcher::Match(
+    const PhyloTree& pattern, double eps, bool match_weights) const {
+  MatchResult result;
+  CRIMSON_ASSIGN_OR_RETURN(result.projection, ProjectPattern(pattern));
+  const std::string proj_canon = CanonicalShape(
+      result.projection, result.projection.root(), eps, match_weights, true);
+  const std::string pat_canon =
+      CanonicalShape(pattern, pattern.root(), eps, match_weights, true);
+  result.exact = proj_canon == pat_canon;
+  return result;
+}
+
+}  // namespace crimson

@@ -1,0 +1,50 @@
+// Tree pattern match (paper §2.2): does a given pattern tree occur in
+// the target tree as the projection induced by the pattern's leaves?
+// Exact match compares the projected tree with the pattern (unordered,
+// names + topology + edge weights); approximate match exposes the
+// projection so callers can score similarity (e.g. Robinson-Foulds in
+// src/recon).
+
+#ifndef CRIMSON_QUERY_PATTERN_MATCH_H_
+#define CRIMSON_QUERY_PATTERN_MATCH_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "query/projection.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+/// Reusable matcher over one target tree; builds the leaf-name lookup
+/// once.
+class PatternMatcher {
+ public:
+  /// projector must outlive the matcher (and owns the target tree ref).
+  explicit PatternMatcher(const TreeProjector* projector);
+
+  /// Projects the target tree over the pattern's leaf names. Fails with
+  /// NotFound if some pattern leaf does not exist in the target.
+  Result<PhyloTree> ProjectPattern(const PhyloTree& pattern) const;
+
+  struct MatchResult {
+    bool exact = false;
+    /// The projection induced by the pattern's leaves (for similarity
+    /// scoring on non-exact matches).
+    PhyloTree projection;
+  };
+
+  /// Exact structural match: the projection must equal the pattern as
+  /// an unordered weighted tree. `eps` bounds edge-weight differences;
+  /// with match_weights=false only names + topology are compared.
+  Result<MatchResult> Match(const PhyloTree& pattern, double eps = 1e-9,
+                            bool match_weights = true) const;
+
+ private:
+  const TreeProjector* projector_;
+  std::unordered_map<std::string, NodeId> leaf_by_name_;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_QUERY_PATTERN_MATCH_H_

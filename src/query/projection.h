@@ -1,0 +1,48 @@
+// Tree projection (paper §1 Fig. 1-2 and §2.2): given a tree T and a
+// subset S of its leaves, produce the tree induced by S -- every node
+// has >= 2 children (unary original nodes are merged, edge weights
+// summed), edge weights are path-weight differences, and the projection
+// root is the LCA of S.
+//
+// Algorithm (the paper's): sort S in pre-order of T; insert nodes left
+// to right, maintaining the rightmost path of the growing projection on
+// a stack; each insertion computes one LCA between the new leaf and the
+// current rightmost leaf via the labeling scheme.
+
+#ifndef CRIMSON_QUERY_PROJECTION_H_
+#define CRIMSON_QUERY_PROJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "labeling/scheme.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+/// Reusable projector; precomputes pre-order ranks, depths, and root
+/// path weights of the source tree once (O(n)), then answers each
+/// projection in O(|S| log |S| + |S| * lca_cost).
+class TreeProjector {
+ public:
+  /// Both arguments must outlive the projector; scheme must be built
+  /// over *tree.
+  TreeProjector(const PhyloTree* tree, const LabelingScheme* scheme);
+
+  /// Projects the tree induced by the given leaves (duplicates are
+  /// ignored). Fails if any node is not a leaf of the source tree.
+  Result<PhyloTree> Project(std::vector<NodeId> leaves) const;
+
+  const PhyloTree& tree() const { return *tree_; }
+
+ private:
+  const PhyloTree* tree_;
+  const LabelingScheme* scheme_;
+  std::vector<uint32_t> preorder_;
+  std::vector<uint32_t> depth_;
+  std::vector<double> root_weight_;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_QUERY_PROJECTION_H_

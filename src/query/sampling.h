@@ -1,0 +1,54 @@
+// Species sampling (paper §2.2): uniform random leaf samples, and
+// "sampling a set of species with respect to a given time" -- find the
+// frontier of minimal nodes whose root-path weight exceeds t, then draw
+// evenly from the leaf sets under each frontier node. These samples
+// feed the Benchmark Manager's projection + reconstruction pipeline.
+
+#ifndef CRIMSON_QUERY_SAMPLING_H_
+#define CRIMSON_QUERY_SAMPLING_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+/// Reusable sampler over one tree (precomputes leaves and weights).
+class Sampler {
+ public:
+  explicit Sampler(const PhyloTree* tree);
+
+  /// k distinct leaves uniformly at random. k must not exceed the leaf
+  /// count.
+  Result<std::vector<NodeId>> SampleUniform(size_t k, Rng* rng) const;
+
+  /// The paper's time-respecting sample: the frontier F of minimal
+  /// nodes with root-path weight > time is computed; k draws are spread
+  /// as evenly as possible over the frontier subtrees (k/|F| each,
+  /// remainder to random frontier nodes), sampling uniformly among the
+  /// leaves under each chosen node. Fails if fewer than k leaves lie
+  /// under the frontier, or the frontier is empty.
+  Result<std::vector<NodeId>> SampleWithRespectToTime(size_t k, double time,
+                                                      Rng* rng) const;
+
+  /// Minimal nodes (in pre-order) whose root-path weight exceeds
+  /// `time`; exposed for tests (paper example: t=1 on the Fig. 1 tree
+  /// gives {Bha, x, Syn, Bsu}).
+  std::vector<NodeId> TimeFrontier(double time) const;
+
+  /// All leaves under `node` (pre-order).
+  std::vector<NodeId> LeavesUnder(NodeId node) const;
+
+  const std::vector<NodeId>& leaves() const { return leaves_; }
+
+ private:
+  const PhyloTree* tree_;
+  std::vector<NodeId> leaves_;
+  std::vector<double> root_weight_;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_QUERY_SAMPLING_H_

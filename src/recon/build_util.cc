@@ -1,0 +1,23 @@
+#include "recon/build_util.h"
+
+namespace crimson {
+
+PhyloTree BuildNodesToTree(const std::vector<BuildNode>& nodes,
+                           int root_index) {
+  PhyloTree out;
+  if (root_index < 0 || nodes.empty()) return out;
+  out.Reserve(nodes.size());
+  std::vector<NodeId> map(nodes.size(), kNoNode);
+  map[root_index] = out.AddRoot(nodes[root_index].name, 0.0);
+  std::vector<int> queue = {root_index};
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    int v = queue[qi];
+    for (int c : nodes[v].children) {
+      map[c] = out.AddChild(map[v], nodes[c].name, nodes[c].edge_length);
+      queue.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace crimson

@@ -1,0 +1,29 @@
+// Shared helper for reconstruction algorithms that assemble trees
+// bottom-up (children exist before parents), which the parent-first
+// PhyloTree arena cannot express directly.
+
+#ifndef CRIMSON_RECON_BUILD_UTIL_H_
+#define CRIMSON_RECON_BUILD_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+/// Scratch node for bottom-up construction.
+struct BuildNode {
+  std::string name;
+  double edge_length = 0.0;
+  std::vector<int> children;
+};
+
+/// Converts a BuildNode forest (rooted at root_index) into a PhyloTree
+/// via BFS, preserving child order.
+PhyloTree BuildNodesToTree(const std::vector<BuildNode>& nodes,
+                           int root_index);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_RECON_BUILD_UTIL_H_

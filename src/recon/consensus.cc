@@ -1,0 +1,175 @@
+#include "recon/consensus.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+#include "recon/build_util.h"
+
+namespace crimson {
+
+namespace {
+
+using Bits = std::vector<uint64_t>;
+
+size_t PopCount(const Bits& b) {
+  size_t c = 0;
+  for (uint64_t w : b) c += static_cast<size_t>(__builtin_popcountll(w));
+  return c;
+}
+
+bool IsSubset(const Bits& a, const Bits& b) {  // a subset of b
+  for (size_t w = 0; w < a.size(); ++w) {
+    if ((a[w] & ~b[w]) != 0) return false;
+  }
+  return true;
+}
+
+/// Collects every internal cluster (leaf set under an internal node,
+/// excluding the root's full set) of a rooted tree.
+Status CollectClusters(const PhyloTree& tree,
+                       const std::unordered_map<std::string, uint32_t>& index,
+                       std::vector<Bits>* out) {
+  size_t words = (index.size() + 63) / 64;
+  std::vector<Bits> sets(tree.size());
+  Status status;
+  tree.PostOrder([&](NodeId n) {
+    Bits& bits = sets[n];
+    bits.assign(words, 0);
+    if (tree.is_leaf(n)) {
+      auto it = index.find(tree.name(n));
+      if (it == index.end()) {
+        status = Status::InvalidArgument(
+            StrFormat("leaf '%s' missing from shared set",
+                      tree.name(n).c_str()));
+        return false;
+      }
+      bits[it->second / 64] |= 1ULL << (it->second % 64);
+      return true;
+    }
+    for (NodeId c = tree.first_child(n); c != kNoNode;
+         c = tree.next_sibling(c)) {
+      for (size_t w = 0; w < words; ++w) bits[w] |= sets[c][w];
+      sets[c].clear();
+      sets[c].shrink_to_fit();
+    }
+    size_t count = PopCount(bits);
+    if (n != tree.root() && count >= 2 && count < index.size()) {
+      out->push_back(bits);
+    }
+    return true;
+  });
+  return status;
+}
+
+}  // namespace
+
+Result<PhyloTree> MajorityRuleConsensus(const std::vector<PhyloTree>& trees,
+                                        double threshold) {
+  if (trees.empty()) {
+    return Status::InvalidArgument("consensus of zero trees");
+  }
+  // Shared leaf index from the first tree.
+  std::unordered_map<std::string, uint32_t> index;
+  std::vector<std::string> names;
+  for (NodeId n = 0; n < trees[0].size(); ++n) {
+    if (trees[0].is_leaf(n)) {
+      if (!index.emplace(trees[0].name(n), index.size()).second) {
+        return Status::InvalidArgument("duplicate leaf name");
+      }
+      names.push_back(trees[0].name(n));
+    }
+  }
+  size_t n_leaves = index.size();
+  size_t words = (n_leaves + 63) / 64;
+
+  // Count cluster occurrences across the profile.
+  std::unordered_map<std::string, size_t> counts;
+  std::unordered_map<std::string, Bits> bits_of;
+  for (const PhyloTree& t : trees) {
+    if (t.LeafCount() != n_leaves) {
+      return Status::InvalidArgument("trees have different leaf sets");
+    }
+    std::vector<Bits> clusters;
+    CRIMSON_RETURN_IF_ERROR(CollectClusters(t, index, &clusters));
+    for (Bits& b : clusters) {
+      std::string key(reinterpret_cast<const char*>(b.data()),
+                      words * sizeof(uint64_t));
+      ++counts[key];
+      bits_of.emplace(std::move(key), std::move(b));
+    }
+  }
+  const double cutoff = threshold * static_cast<double>(trees.size());
+  struct Kept {
+    Bits bits;
+    size_t size;
+    double support;
+  };
+  std::vector<Kept> kept;
+  for (const auto& [key, count] : counts) {
+    if (static_cast<double>(count) > cutoff) {
+      kept.push_back({bits_of[key], PopCount(bits_of[key]),
+                      static_cast<double>(count) /
+                          static_cast<double>(trees.size())});
+    }
+  }
+  // Majority clusters are pairwise compatible (each pair is either
+  // disjoint or nested), so attaching each cluster below the smallest
+  // strict superset yields the unique consensus tree. Sorting by size
+  // descending makes every superset available before its subsets.
+  std::sort(kept.begin(), kept.end(),
+            [](const Kept& a, const Kept& b) { return a.size > b.size; });
+
+  std::vector<BuildNode> nodes;
+  BuildNode root_node;
+  int root = 0;
+  nodes.push_back(std::move(root_node));
+  std::vector<int> cluster_node(kept.size());
+  std::vector<const Bits*> node_bits = {nullptr};  // per build node
+
+  for (size_t i = 0; i < kept.size(); ++i) {
+    // Find the smallest already-placed cluster containing this one:
+    // scan previous kept clusters in descending size; the last superset
+    // found is the tightest.
+    int parent = root;
+    for (size_t j = 0; j < i; ++j) {
+      if (kept[j].size > kept[i].size &&
+          IsSubset(kept[i].bits, kept[j].bits)) {
+        parent = cluster_node[j];
+      } else if (kept[j].size == kept[i].size &&
+                 kept[i].bits == kept[j].bits) {
+        return Status::Internal("duplicate majority cluster");
+      }
+    }
+    BuildNode bn;
+    bn.edge_length = kept[i].support;
+    int idx = static_cast<int>(nodes.size());
+    nodes.push_back(std::move(bn));
+    nodes[parent].children.push_back(idx);
+    cluster_node[i] = idx;
+    node_bits.push_back(&kept[i].bits);
+  }
+  // Attach each leaf under the smallest kept cluster containing it.
+  for (size_t leaf = 0; leaf < n_leaves; ++leaf) {
+    int parent = root;
+    size_t best_size = n_leaves + 1;
+    for (size_t i = 0; i < kept.size(); ++i) {
+      if ((kept[i].bits[leaf / 64] >> (leaf % 64)) & 1ULL) {
+        if (kept[i].size < best_size) {
+          best_size = kept[i].size;
+          parent = cluster_node[i];
+        }
+      }
+    }
+    BuildNode bn;
+    bn.name = names[leaf];
+    bn.edge_length = 1.0;
+    int idx = static_cast<int>(nodes.size());
+    nodes.push_back(std::move(bn));
+    nodes[parent].children.push_back(idx);
+  }
+  return BuildNodesToTree(nodes, root);
+}
+
+}  // namespace crimson

@@ -1,0 +1,29 @@
+// Majority-rule consensus tree (paper reference [1], Amenta, Clarke &
+// St. John 2003): given a profile of rooted trees over the same leaf
+// set, keep the clusters that appear in more than half of the trees --
+// such clusters are pairwise compatible, so they assemble into a unique
+// tree. Used to summarize replicate reconstruction runs in the
+// Benchmark Manager.
+
+#ifndef CRIMSON_RECON_CONSENSUS_H_
+#define CRIMSON_RECON_CONSENSUS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+/// Builds the majority-rule consensus of `trees` (all over the same
+/// leaf-name set; at least one tree). `threshold` is the inclusion
+/// fraction: a cluster is kept when count > threshold * |trees|
+/// (default strict majority). Edge lengths in the output carry the
+/// cluster's support fraction (a common convention for consensus
+/// trees).
+Result<PhyloTree> MajorityRuleConsensus(const std::vector<PhyloTree>& trees,
+                                        double threshold = 0.5);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_RECON_CONSENSUS_H_

@@ -1,0 +1,101 @@
+#include "recon/distance.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace crimson {
+
+namespace {
+
+bool IsPurineChar(char c) { return c == 'A' || c == 'G'; }
+
+}  // namespace
+
+Result<double> PDistance(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(
+        StrFormat("sequence length mismatch: %zu vs %zu", a.size(),
+                  b.size()));
+  }
+  if (a.empty()) {
+    return Status::InvalidArgument("empty sequences");
+  }
+  size_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++diff;
+  }
+  return static_cast<double>(diff) / static_cast<double>(a.size());
+}
+
+Result<double> CorrectedDistance(const std::string& a, const std::string& b,
+                                 DistanceCorrection correction,
+                                 double saturation_cap) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("sequence length mismatch");
+  }
+  if (a.empty()) {
+    return Status::InvalidArgument("empty sequences");
+  }
+  switch (correction) {
+    case DistanceCorrection::kPDistance:
+      return PDistance(a, b);
+    case DistanceCorrection::kJC69: {
+      CRIMSON_ASSIGN_OR_RETURN(double p, PDistance(a, b));
+      double arg = 1.0 - 4.0 * p / 3.0;
+      if (arg <= 0) return saturation_cap;
+      double d = -0.75 * std::log(arg);
+      return d > saturation_cap ? saturation_cap : d;
+    }
+    case DistanceCorrection::kK80: {
+      size_t transitions = 0, transversions = 0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] == b[i]) continue;
+        if (IsPurineChar(a[i]) == IsPurineChar(b[i])) {
+          ++transitions;
+        } else {
+          ++transversions;
+        }
+      }
+      double n = static_cast<double>(a.size());
+      double p = static_cast<double>(transitions) / n;
+      double q = static_cast<double>(transversions) / n;
+      double arg1 = 1.0 - 2.0 * p - q;
+      double arg2 = 1.0 - 2.0 * q;
+      if (arg1 <= 0 || arg2 <= 0) return saturation_cap;
+      double d = -0.5 * std::log(arg1) - 0.25 * std::log(arg2);
+      return d > saturation_cap ? saturation_cap : d;
+    }
+  }
+  return Status::Internal("unknown distance correction");
+}
+
+Result<DistanceMatrix> ComputeDistanceMatrix(
+    const std::map<std::string, std::string>& sequences,
+    DistanceCorrection correction, double saturation_cap) {
+  if (sequences.size() < 2) {
+    return Status::InvalidArgument(
+        "distance matrix needs at least two taxa");
+  }
+  DistanceMatrix m;
+  m.names.reserve(sequences.size());
+  std::vector<const std::string*> seqs;
+  for (const auto& [name, seq] : sequences) {
+    m.names.push_back(name);
+    seqs.push_back(&seq);
+  }
+  size_t n = m.names.size();
+  m.d.assign(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      CRIMSON_ASSIGN_OR_RETURN(
+          double dist,
+          CorrectedDistance(*seqs[i], *seqs[j], correction, saturation_cap));
+      m.d[i][j] = dist;
+      m.d[j][i] = dist;
+    }
+  }
+  return m;
+}
+
+}  // namespace crimson

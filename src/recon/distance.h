@@ -1,0 +1,49 @@
+// Evolutionary distance estimation from aligned sequences; input to
+// the distance-based reconstruction algorithms (UPGMA, NJ) that the
+// Benchmark Manager evaluates.
+
+#ifndef CRIMSON_RECON_DISTANCE_H_
+#define CRIMSON_RECON_DISTANCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace crimson {
+
+/// Symmetric pairwise distance matrix with taxon names.
+struct DistanceMatrix {
+  std::vector<std::string> names;
+  /// d[i][j]; d[i][i] == 0.
+  std::vector<std::vector<double>> d;
+
+  size_t size() const { return names.size(); }
+};
+
+enum class DistanceCorrection {
+  kPDistance,  // raw fraction of differing sites
+  kJC69,       // Jukes-Cantor correction
+  kK80,        // Kimura two-parameter correction
+};
+
+/// Proportion of differing sites between two equal-length sequences.
+Result<double> PDistance(const std::string& a, const std::string& b);
+
+/// Model-corrected distance between two sequences. Saturated pairs
+/// (where the correction diverges) are clamped to `saturation_cap`.
+Result<double> CorrectedDistance(const std::string& a, const std::string& b,
+                                 DistanceCorrection correction,
+                                 double saturation_cap = 5.0);
+
+/// Builds the full matrix from taxon -> sequence. All sequences must
+/// have equal length; at least two taxa required.
+Result<DistanceMatrix> ComputeDistanceMatrix(
+    const std::map<std::string, std::string>& sequences,
+    DistanceCorrection correction,
+    double saturation_cap = 5.0);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_RECON_DISTANCE_H_

@@ -1,0 +1,104 @@
+#include "recon/nj.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "recon/build_util.h"
+
+namespace crimson {
+
+Result<PhyloTree> NeighborJoining(const DistanceMatrix& matrix) {
+  size_t n = matrix.size();
+  if (n < 2) {
+    return Status::InvalidArgument("NJ needs at least two taxa");
+  }
+  std::vector<BuildNode> nodes;
+  nodes.reserve(2 * n);
+  std::vector<int> active;     // indexes into `nodes`
+  std::vector<std::vector<double>> d = matrix.d;  // working copy
+  std::vector<int> slot;       // active cluster -> row in d
+  for (size_t i = 0; i < n; ++i) {
+    BuildNode leaf;
+    leaf.name = matrix.names[i];
+    nodes.push_back(std::move(leaf));
+    active.push_back(static_cast<int>(i));
+    slot.push_back(static_cast<int>(i));
+  }
+  // Row storage grows as clusters are created; D is indexed by slot id.
+  auto dist = [&](int a, int b) -> double { return d[a][b]; };
+
+  while (active.size() > 2) {
+    size_t m = active.size();
+    // Row sums r_i over the active set.
+    std::vector<double> r(m, 0.0);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < m; ++j) {
+        if (i != j) r[i] += dist(slot[active[i]] , slot[active[j]]);
+      }
+    }
+    // Q-criterion minimization.
+    double best_q = std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 1;
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        double q = (static_cast<double>(m) - 2.0) *
+                       dist(slot[active[i]], slot[active[j]]) -
+                   r[i] - r[j];
+        if (q < best_q) {
+          best_q = q;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    int a = active[bi], b = active[bj];
+    double dab = dist(slot[a], slot[b]);
+    // Branch lengths to the new internal node u.
+    double la = 0.5 * dab +
+                (r[bi] - r[bj]) / (2.0 * (static_cast<double>(m) - 2.0));
+    double lb = dab - la;
+    la = std::max(0.0, la);
+    lb = std::max(0.0, lb);
+    nodes[a].edge_length = la;
+    nodes[b].edge_length = lb;
+    BuildNode u;
+    u.children = {a, b};
+    int u_idx = static_cast<int>(nodes.size());
+    nodes.push_back(std::move(u));
+
+    // New distance row: d(u,k) = (d(a,k) + d(b,k) - d(a,b)) / 2.
+    size_t new_slot = d.size();
+    std::vector<double> row(new_slot + 1, 0.0);
+    for (auto& existing : d) existing.push_back(0.0);
+    d.push_back(std::move(row));
+    for (size_t k = 0; k < m; ++k) {
+      if (k == bi || k == bj) continue;
+      int c = active[k];
+      double duk =
+          0.5 * (dist(slot[a], slot[c]) + dist(slot[b], slot[c]) - dab);
+      d[new_slot][slot[c]] = duk;
+      d[slot[c]][new_slot] = duk;
+    }
+    // Replace a,b by u in the active set.
+    if (bj != m - 1) std::swap(active[bj], active[m - 1]);
+    active.pop_back();
+    active[bi == m - 1 ? bj : bi] = u_idx;
+    slot.push_back(static_cast<int>(new_slot));
+    if (static_cast<size_t>(u_idx) != slot.size() - 1) {
+      return Status::Internal("NJ bookkeeping error");
+    }
+  }
+
+  // Two clusters left: join them under a root, splitting the distance.
+  int a = active[0], b = active[1];
+  double dab = dist(slot[a], slot[b]);
+  nodes[a].edge_length = std::max(0.0, dab / 2.0);
+  nodes[b].edge_length = std::max(0.0, dab / 2.0);
+  BuildNode root;
+  root.children = {a, b};
+  int root_idx = static_cast<int>(nodes.size());
+  nodes.push_back(std::move(root));
+  return BuildNodesToTree(nodes, root_idx);
+}
+
+}  // namespace crimson

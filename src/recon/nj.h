@@ -1,0 +1,22 @@
+// Neighbor-Joining (Saitou & Nei 1987): the standard distance-based
+// phylogeny reconstruction algorithm, statistically consistent without
+// a molecular clock. One of the algorithms Crimson's Benchmark Manager
+// evaluates against gold-standard projections.
+
+#ifndef CRIMSON_RECON_NJ_H_
+#define CRIMSON_RECON_NJ_H_
+
+#include "common/result.h"
+#include "recon/distance.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+/// Reconstructs a tree from a distance matrix (>= 2 taxa). The result
+/// is the NJ tree rooted arbitrarily at the final join; negative branch
+/// length estimates are clamped to zero (standard practice). O(n^3).
+Result<PhyloTree> NeighborJoining(const DistanceMatrix& matrix);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_RECON_NJ_H_

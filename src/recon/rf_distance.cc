@@ -1,0 +1,114 @@
+#include "recon/rf_distance.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace crimson {
+
+namespace {
+
+/// Collects the non-trivial bipartitions of a tree as canonicalized
+/// bitset strings. A split is canonical when leaf 0's side is zeroed
+/// out (flipping if necessary) so the two orientations compare equal.
+Status CollectSplits(const PhyloTree& tree,
+                     const std::unordered_map<std::string, uint32_t>& index,
+                     std::unordered_set<std::string>* out) {
+  size_t n_leaves = index.size();
+  size_t words = (n_leaves + 63) / 64;
+  // Bottom-up leaf sets, freed as soon as the parent consumes them.
+  std::vector<std::vector<uint64_t>> sets(tree.size());
+  Status status;
+  tree.PostOrder([&](NodeId n) {
+    auto& bits = sets[n];
+    bits.assign(words, 0);
+    if (tree.is_leaf(n)) {
+      auto it = index.find(tree.name(n));
+      if (it == index.end()) {
+        status = Status::InvalidArgument(
+            StrFormat("leaf '%s' missing from the shared leaf set",
+                      tree.name(n).c_str()));
+        return false;
+      }
+      bits[it->second / 64] |= (1ULL << (it->second % 64));
+      return true;
+    }
+    size_t count = 0;
+    for (NodeId c = tree.first_child(n); c != kNoNode;
+         c = tree.next_sibling(c)) {
+      for (size_t w = 0; w < words; ++w) bits[w] |= sets[c][w];
+      sets[c].clear();
+      sets[c].shrink_to_fit();
+    }
+    for (size_t w = 0; w < words; ++w) {
+      count += static_cast<size_t>(__builtin_popcountll(bits[w]));
+    }
+    // Non-trivial split: 2 <= |side| <= n-2, and skip the root edge.
+    if (n != tree.root() && count >= 2 && count <= n_leaves - 2) {
+      std::vector<uint64_t> canon = bits;
+      if (canon[0] & 1ULL) {
+        // Flip to the side not containing leaf 0.
+        for (size_t w = 0; w < words; ++w) canon[w] = ~canon[w];
+        // Mask tail bits beyond n_leaves.
+        size_t tail = n_leaves % 64;
+        if (tail != 0) canon[words - 1] &= (1ULL << tail) - 1;
+      }
+      out->emplace(reinterpret_cast<const char*>(canon.data()),
+                   words * sizeof(uint64_t));
+    }
+    return true;
+  });
+  return status;
+}
+
+}  // namespace
+
+Result<RfResult> RobinsonFoulds(const PhyloTree& a, const PhyloTree& b) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("RF distance of empty tree");
+  }
+  // Shared leaf index from tree a; verify uniqueness and set equality.
+  std::unordered_map<std::string, uint32_t> index;
+  uint32_t next = 0;
+  Status status;
+  a.PreOrder([&](NodeId n) {
+    if (!a.is_leaf(n)) return true;
+    if (!index.emplace(a.name(n), next).second) {
+      status = Status::InvalidArgument(
+          StrFormat("duplicate leaf name '%s'", a.name(n).c_str()));
+      return false;
+    }
+    ++next;
+    return true;
+  });
+  CRIMSON_RETURN_IF_ERROR(status);
+  size_t b_leaves = b.LeafCount();
+  if (b_leaves != index.size()) {
+    return Status::InvalidArgument(
+        StrFormat("leaf sets differ in size: %zu vs %zu", index.size(),
+                  b_leaves));
+  }
+
+  std::unordered_set<std::string> splits_a, splits_b;
+  CRIMSON_RETURN_IF_ERROR(CollectSplits(a, index, &splits_a));
+  CRIMSON_RETURN_IF_ERROR(CollectSplits(b, index, &splits_b));
+
+  size_t common = 0;
+  for (const std::string& s : splits_a) {
+    if (splits_b.count(s)) ++common;
+  }
+  RfResult r;
+  r.splits_a = splits_a.size();
+  r.splits_b = splits_b.size();
+  r.distance = splits_a.size() + splits_b.size() - 2 * common;
+  size_t denom = splits_a.size() + splits_b.size();
+  r.normalized = denom == 0
+                     ? 0.0
+                     : static_cast<double>(r.distance) /
+                           static_cast<double>(denom);
+  return r;
+}
+
+}  // namespace crimson

@@ -1,0 +1,33 @@
+// Robinson-Foulds (bipartition) distance: the standard topological
+// disagreement measure between two trees over the same leaf set, and
+// the score the Benchmark Manager reports when comparing reconstructed
+// trees to gold-standard projections. Trees are compared as unrooted:
+// every internal edge induces a bipartition of the leaves.
+
+#ifndef CRIMSON_RECON_RF_DISTANCE_H_
+#define CRIMSON_RECON_RF_DISTANCE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+struct RfResult {
+  /// |splits(A) ^ splits(B)| (symmetric difference).
+  size_t distance = 0;
+  /// Non-trivial splits in each tree.
+  size_t splits_a = 0;
+  size_t splits_b = 0;
+  /// distance / (splits_a + splits_b); 0 when both trees are stars.
+  double normalized = 0.0;
+};
+
+/// Computes the unrooted RF distance. Both trees must have identical
+/// non-empty leaf-name sets with unique names.
+Result<RfResult> RobinsonFoulds(const PhyloTree& a, const PhyloTree& b);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_RECON_RF_DISTANCE_H_

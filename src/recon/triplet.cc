@@ -1,0 +1,107 @@
+#include "recon/triplet.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace crimson {
+
+namespace {
+
+/// Per-tree precomputation: leaf ids in shared order plus an LCA-depth
+/// oracle, so each triple resolves in O(1).
+struct TripletOracle {
+  std::vector<uint32_t> depth;
+  std::vector<NodeId> parent;
+  std::vector<NodeId> leaves;  // indexed by shared leaf ordinal
+
+  /// Depth of LCA(a, b) by parent walk.
+  uint32_t LcaDepth(NodeId a, NodeId b) const {
+    while (a != b) {
+      if (depth[a] >= depth[b]) {
+        a = parent[a];
+      } else {
+        b = parent[b];
+      }
+    }
+    return depth[a];
+  }
+
+  /// 0: (a,b) closest; 1: (a,c); 2: (b,c); 3: unresolved (tie).
+  int Resolve(size_t a, size_t b, size_t c) const {
+    uint32_t ab = LcaDepth(leaves[a], leaves[b]);
+    uint32_t ac = LcaDepth(leaves[a], leaves[c]);
+    uint32_t bc = LcaDepth(leaves[b], leaves[c]);
+    if (ab > ac && ab > bc) return 0;
+    if (ac > ab && ac > bc) return 1;
+    if (bc > ab && bc > ac) return 2;
+    return 3;
+  }
+};
+
+Result<TripletOracle> BuildOracle(
+    const PhyloTree& t,
+    const std::unordered_map<std::string, size_t>& index) {
+  TripletOracle o;
+  o.depth = t.Depths();
+  o.parent.resize(t.size());
+  for (NodeId n = 0; n < t.size(); ++n) o.parent[n] = t.parent(n);
+  o.leaves.assign(index.size(), kNoNode);
+  for (NodeId n = 0; n < t.size(); ++n) {
+    if (!t.is_leaf(n)) continue;
+    auto it = index.find(t.name(n));
+    if (it == index.end()) {
+      return Status::InvalidArgument(
+          StrFormat("leaf '%s' not in shared set", t.name(n).c_str()));
+    }
+    if (o.leaves[it->second] != kNoNode) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate leaf '%s'", t.name(n).c_str()));
+    }
+    o.leaves[it->second] = n;
+  }
+  for (NodeId leaf : o.leaves) {
+    if (leaf == kNoNode) {
+      return Status::InvalidArgument("leaf sets differ");
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+Result<TripletResult> TripletDistance(const PhyloTree& a,
+                                      const PhyloTree& b) {
+  std::unordered_map<std::string, size_t> index;
+  for (NodeId n = 0; n < a.size(); ++n) {
+    if (a.is_leaf(n)) index.emplace(a.name(n), index.size());
+  }
+  if (index.size() < 3) {
+    return Status::InvalidArgument("triplet distance needs >= 3 leaves");
+  }
+  if (b.LeafCount() != index.size()) {
+    return Status::InvalidArgument("leaf sets differ in size");
+  }
+  CRIMSON_ASSIGN_OR_RETURN(TripletOracle oa, BuildOracle(a, index));
+  CRIMSON_ASSIGN_OR_RETURN(TripletOracle ob, BuildOracle(b, index));
+
+  TripletResult r;
+  size_t k = index.size();
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      for (size_t l = j + 1; l < k; ++l) {
+        ++r.total;
+        if (oa.Resolve(i, j, l) != ob.Resolve(i, j, l)) ++r.differing;
+      }
+    }
+  }
+  r.fraction = r.total == 0
+                   ? 0.0
+                   : static_cast<double>(r.differing) /
+                         static_cast<double>(r.total);
+  return r;
+}
+
+}  // namespace crimson

@@ -1,0 +1,26 @@
+// Rooted triplet distance: the fraction of leaf triples {a,b,c} whose
+// rooted topology ("which pair is closest") differs between two trees.
+// Finer-grained than RF for rooted comparisons; used as a secondary
+// benchmark score. Naive O(k^3) over the sampled leaf set -- intended
+// for the benchmark-sized inputs (k up to a few hundred).
+
+#ifndef CRIMSON_RECON_TRIPLET_H_
+#define CRIMSON_RECON_TRIPLET_H_
+
+#include "common/result.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+struct TripletResult {
+  uint64_t total = 0;      // C(k, 3)
+  uint64_t differing = 0;  // triples resolved differently
+  double fraction = 0.0;
+};
+
+/// Compares all leaf triples of two trees over the same leaf set.
+Result<TripletResult> TripletDistance(const PhyloTree& a, const PhyloTree& b);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_RECON_TRIPLET_H_

@@ -1,0 +1,77 @@
+#include "recon/upgma.h"
+
+#include <limits>
+
+#include "recon/build_util.h"
+
+namespace crimson {
+
+Result<PhyloTree> Upgma(const DistanceMatrix& matrix) {
+  size_t n = matrix.size();
+  if (n < 2) {
+    return Status::InvalidArgument("UPGMA needs at least two taxa");
+  }
+  struct Cluster {
+    int node;        // index into build nodes
+    size_t size;     // number of taxa
+    double height;   // ultrametric height of the cluster root
+    int slot;        // row in the working distance matrix
+  };
+  std::vector<BuildNode> nodes;
+  nodes.reserve(2 * n);
+  std::vector<Cluster> active;
+  std::vector<std::vector<double>> d = matrix.d;
+  for (size_t i = 0; i < n; ++i) {
+    BuildNode leaf;
+    leaf.name = matrix.names[i];
+    nodes.push_back(std::move(leaf));
+    active.push_back({static_cast<int>(i), 1, 0.0, static_cast<int>(i)});
+  }
+
+  while (active.size() > 1) {
+    size_t m = active.size();
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 1;
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        double dij = d[active[i].slot][active[j].slot];
+        if (dij < best) {
+          best = dij;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    Cluster a = active[bi];
+    Cluster b = active[bj];
+    double height = best / 2.0;
+    nodes[a.node].edge_length = height - a.height;
+    nodes[b.node].edge_length = height - b.height;
+    BuildNode u;
+    u.children = {a.node, b.node};
+    int u_idx = static_cast<int>(nodes.size());
+    nodes.push_back(std::move(u));
+
+    // Size-weighted average distances to the merged cluster.
+    size_t new_slot = d.size();
+    for (auto& row : d) row.push_back(0.0);
+    d.emplace_back(new_slot + 1, 0.0);
+    for (size_t k = 0; k < m; ++k) {
+      if (k == bi || k == bj) continue;
+      const Cluster& c = active[k];
+      double davg = (d[a.slot][c.slot] * static_cast<double>(a.size) +
+                     d[b.slot][c.slot] * static_cast<double>(b.size)) /
+                    static_cast<double>(a.size + b.size);
+      d[new_slot][c.slot] = davg;
+      d[c.slot][new_slot] = davg;
+    }
+    Cluster merged{u_idx, a.size + b.size, height,
+                   static_cast<int>(new_slot)};
+    // Remove bj first (larger index), then replace bi.
+    active.erase(active.begin() + static_cast<long>(bj));
+    active[bi] = merged;
+  }
+  return BuildNodesToTree(nodes, active[0].node);
+}
+
+}  // namespace crimson

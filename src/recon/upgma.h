@@ -1,0 +1,21 @@
+// UPGMA (average-linkage hierarchical clustering): the classic
+// clock-assuming reconstruction baseline. Produces an ultrametric
+// rooted tree; systematically wrong when lineage rates vary, which the
+// Benchmark Manager experiment (E11) demonstrates against NJ.
+
+#ifndef CRIMSON_RECON_UPGMA_H_
+#define CRIMSON_RECON_UPGMA_H_
+
+#include "common/result.h"
+#include "recon/distance.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+/// Reconstructs an ultrametric tree from a distance matrix (>= 2
+/// taxa). O(n^3).
+Result<PhyloTree> Upgma(const DistanceMatrix& matrix);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_RECON_UPGMA_H_

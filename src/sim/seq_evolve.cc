@@ -1,0 +1,168 @@
+#include "sim/seq_evolve.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace crimson {
+
+namespace {
+
+inline bool IsPurine(int b) { return b == 0 || b == 2; }  // A or G
+
+inline int BaseIndex(char c) {
+  switch (c) {
+    case 'A':
+      return 0;
+    case 'C':
+      return 1;
+    case 'G':
+      return 2;
+    case 'T':
+      return 3;
+    default:
+      return -1;
+  }
+}
+
+}  // namespace
+
+SequenceEvolver::SequenceEvolver(const SeqEvolveOptions& options)
+    : options_(options) {
+  // JC69/K80 are HKY85 special cases (uniform frequencies; kappa=1 for
+  // JC69), so a single parameterization drives everything.
+  if (options_.model == SubstModel::kJC69) {
+    options_.kappa = 1.0;
+    pi_ = {0.25, 0.25, 0.25, 0.25};
+  } else if (options_.model == SubstModel::kK80) {
+    pi_ = {0.25, 0.25, 0.25, 0.25};
+  } else {
+    pi_ = options_.base_freqs;
+  }
+  const double pi_a = pi_[0], pi_c = pi_[1], pi_g = pi_[2], pi_t = pi_[3];
+  const double pi_r = pi_a + pi_g;
+  const double pi_y = pi_c + pi_t;
+  // Normalize so a branch of length 1 is one expected substitution per
+  // site: beta = 1 / (2 kappa (pi_A pi_G + pi_C pi_T) + 2 pi_R pi_Y).
+  beta_ = 1.0 / (2.0 * options_.kappa * (pi_a * pi_g + pi_c * pi_t) +
+                 2.0 * pi_r * pi_y);
+}
+
+Result<SequenceEvolver> SequenceEvolver::Create(
+    const SeqEvolveOptions& options) {
+  if (options.seq_length == 0) {
+    return Status::InvalidArgument("seq_length must be > 0");
+  }
+  if (options.mu <= 0) {
+    return Status::InvalidArgument("mu must be > 0");
+  }
+  if (options.kappa <= 0) {
+    return Status::InvalidArgument("kappa must be > 0");
+  }
+  if (options.model == SubstModel::kHKY85) {
+    double sum = 0;
+    for (double f : options.base_freqs) {
+      if (f <= 0) {
+        return Status::InvalidArgument("base frequencies must be positive");
+      }
+      sum += f;
+    }
+    if (std::fabs(sum - 1.0) > 1e-9) {
+      return Status::InvalidArgument(
+          StrFormat("base frequencies sum to %.12f, expected 1", sum));
+    }
+  }
+  return SequenceEvolver(options);
+}
+
+TransitionMatrix SequenceEvolver::Transition(double t) const {
+  // HKY85 closed form (Felsenstein 2004 eq. 13.9 parameterization).
+  const double kappa = options_.kappa;
+  const double d = beta_ * options_.mu * (t < 0 ? 0 : t);
+  const double e1 = std::exp(-d);
+  const double pi_r = pi_[0] + pi_[2];
+  const double pi_y = pi_[1] + pi_[3];
+  TransitionMatrix p;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const double pij = pi_[j];
+      const double group = IsPurine(j) ? pi_r : pi_y;
+      const double a_j = 1.0 + group * (kappa - 1.0);
+      const double e2 = std::exp(-d * a_j);
+      if (i == j) {
+        p[i][j] = pij + pij * (1.0 / group - 1.0) * e1 +
+                  ((group - pij) / group) * e2;
+      } else if (IsPurine(i) == IsPurine(j)) {
+        // Transition (A<->G or C<->T).
+        p[i][j] = pij + pij * (1.0 / group - 1.0) * e1 - (pij / group) * e2;
+      } else {
+        // Transversion.
+        p[i][j] = pij * (1.0 - e1);
+      }
+    }
+  }
+  return p;
+}
+
+std::string SequenceEvolver::SampleRootSequence(size_t length,
+                                                Rng* rng) const {
+  std::string seq(length, 'A');
+  const double c0 = pi_[0];
+  const double c1 = c0 + pi_[1];
+  const double c2 = c1 + pi_[2];
+  for (size_t i = 0; i < length; ++i) {
+    double u = rng->NextDouble();
+    seq[i] = u < c0 ? 'A' : u < c1 ? 'C' : u < c2 ? 'G' : 'T';
+  }
+  return seq;
+}
+
+std::string SequenceEvolver::MutateAlong(const std::string& parent,
+                                         double branch, Rng* rng) const {
+  TransitionMatrix p = Transition(branch);
+  // Cumulative rows for O(1) categorical sampling per site.
+  double cum[4][3];
+  for (int i = 0; i < 4; ++i) {
+    cum[i][0] = p[i][0];
+    cum[i][1] = cum[i][0] + p[i][1];
+    cum[i][2] = cum[i][1] + p[i][2];
+  }
+  std::string child(parent.size(), 'A');
+  for (size_t s = 0; s < parent.size(); ++s) {
+    int i = BaseIndex(parent[s]);
+    double u = rng->NextDouble();
+    child[s] = u < cum[i][0]   ? 'A'
+               : u < cum[i][1] ? 'C'
+               : u < cum[i][2] ? 'G'
+                               : 'T';
+  }
+  return child;
+}
+
+Result<std::vector<std::string>> SequenceEvolver::EvolveAllNodes(
+    const PhyloTree& tree, Rng* rng) const {
+  if (tree.empty()) {
+    return Status::InvalidArgument("cannot evolve over an empty tree");
+  }
+  std::vector<std::string> seqs(tree.size());
+  seqs[tree.root()] = SampleRootSequence(options_.seq_length, rng);
+  // Arena order: parents precede children, so a flat loop suffices and
+  // no recursion touches deep trees.
+  for (NodeId n = 1; n < tree.size(); ++n) {
+    seqs[n] = MutateAlong(seqs[tree.parent(n)], tree.edge_length(n), rng);
+  }
+  return seqs;
+}
+
+Result<std::map<std::string, std::string>> SequenceEvolver::EvolveLeaves(
+    const PhyloTree& tree, Rng* rng) const {
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<std::string> all,
+                           EvolveAllNodes(tree, rng));
+  std::map<std::string, std::string> out;
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    if (tree.is_leaf(n)) out[tree.name(n)] = std::move(all[n]);
+  }
+  return out;
+}
+
+}  // namespace crimson

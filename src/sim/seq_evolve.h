@@ -1,0 +1,83 @@
+// Sequence evolution along a phylogeny -- the "complex sequence
+// evolution models" half of the CIPRes gold standard (paper §1). A root
+// sequence is drawn from the model's stationary distribution and
+// mutated down every branch with the model's transition matrix
+// P(t) = exp(Qt), using the closed forms for JC69, K80 and HKY85.
+
+#ifndef CRIMSON_SIM_SEQ_EVOLVE_H_
+#define CRIMSON_SIM_SEQ_EVOLVE_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+/// Nucleotide order used throughout: A=0, C=1, G=2, T=3.
+inline constexpr char kDnaAlphabet[5] = "ACGT";
+
+enum class SubstModel {
+  kJC69,   // equal rates, uniform frequencies
+  kK80,    // transition/transversion ratio kappa, uniform frequencies
+  kHKY85,  // kappa + arbitrary base frequencies
+};
+
+struct SeqEvolveOptions {
+  SubstModel model = SubstModel::kJC69;
+  /// Sites per sequence.
+  size_t seq_length = 1000;
+  /// Overall substitution rate scaling (branch length multiplier).
+  double mu = 1.0;
+  /// Transition/transversion rate ratio (K80, HKY85).
+  double kappa = 2.0;
+  /// Stationary base frequencies A,C,G,T (HKY85); must sum to 1.
+  std::array<double, 4> base_freqs = {0.25, 0.25, 0.25, 0.25};
+};
+
+/// 4x4 row-stochastic matrix: P[i][j] = Pr(j at branch end | i at start).
+using TransitionMatrix = std::array<std::array<double, 4>, 4>;
+
+class SequenceEvolver {
+ public:
+  /// Validates options (frequencies, rates) on construction via Create.
+  static Result<SequenceEvolver> Create(const SeqEvolveOptions& options);
+
+  const SeqEvolveOptions& options() const { return options_; }
+
+  /// Transition probabilities for a branch of length t (in expected
+  /// substitutions per site after mu scaling). Rows sum to 1.
+  TransitionMatrix Transition(double t) const;
+
+  /// Evolves sequences for every node; result[i] is node i's sequence.
+  Result<std::vector<std::string>> EvolveAllNodes(const PhyloTree& tree,
+                                                  Rng* rng) const;
+
+  /// Leaf name -> sequence (the species data Crimson stores).
+  Result<std::map<std::string, std::string>> EvolveLeaves(
+      const PhyloTree& tree, Rng* rng) const;
+
+  /// Draws a fresh sequence from the stationary distribution.
+  std::string SampleRootSequence(size_t length, Rng* rng) const;
+
+ private:
+  explicit SequenceEvolver(const SeqEvolveOptions& options);
+
+  std::string MutateAlong(const std::string& parent, double branch,
+                          Rng* rng) const;
+
+  SeqEvolveOptions options_;
+  // Derived HKY85 quantities (also cover JC69/K80 as special cases).
+  std::array<double, 4> pi_;
+  double beta_ = 1.0;  // rate normalizer so branch lengths are in
+                       // expected substitutions per site
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_SIM_SEQ_EVOLVE_H_

@@ -1,0 +1,204 @@
+#include "sim/tree_sim.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace crimson {
+
+namespace {
+
+/// Rebuilds `tree` keeping only the subtree spanned by `keep_leaves`,
+/// collapsing unary internal nodes (their edge lengths are summed).
+PhyloTree PruneToLeaves(const PhyloTree& tree,
+                        const std::vector<NodeId>& keep_leaves) {
+  std::vector<uint8_t> keep(tree.size(), 0);
+  for (NodeId leaf : keep_leaves) keep[leaf] = 1;
+  // Mark ancestors of kept leaves.
+  for (NodeId leaf : keep_leaves) {
+    NodeId n = leaf;
+    while (n != kNoNode && n != tree.root()) {
+      n = tree.parent(n);
+      if (keep[n]) break;
+      keep[n] = 1;
+    }
+  }
+  if (!keep_leaves.empty()) keep[tree.root()] = 1;
+
+  // Count kept children per kept node to identify unary chains.
+  PhyloTree out;
+  if (keep_leaves.empty()) return out;
+  std::vector<NodeId> map(tree.size(), kNoNode);
+  // new parent under which a node's kept descendants attach, plus the
+  // accumulated edge length through collapsed unary nodes.
+  struct Pending {
+    NodeId src;
+    NodeId dst_parent;  // node in `out`
+    double carried;     // edge length accumulated from collapsed chain
+  };
+  // Root handling: descend from the root through unary kept chains; the
+  // projection root is the first kept node with >= 2 kept children or a
+  // kept leaf.
+  auto kept_children = [&](NodeId n) {
+    std::vector<NodeId> kids;
+    for (NodeId c = tree.first_child(n); c != kNoNode;
+         c = tree.next_sibling(c)) {
+      if (keep[c]) kids.push_back(c);
+    }
+    return kids;
+  };
+  NodeId top = tree.root();
+  while (true) {
+    std::vector<NodeId> kids = kept_children(top);
+    if (kids.size() == 1 && !tree.is_leaf(top)) {
+      top = kids[0];
+    } else {
+      break;
+    }
+  }
+  map[top] = out.AddRoot(tree.name(top), 0.0);
+  std::vector<Pending> stack;
+  for (NodeId c : kept_children(top)) {
+    stack.push_back({c, map[top], tree.edge_length(c)});
+  }
+  while (!stack.empty()) {
+    Pending p = stack.back();
+    stack.pop_back();
+    std::vector<NodeId> kids = kept_children(p.src);
+    if (kids.size() == 1) {
+      // Unary: collapse into the child, summing edge weights.
+      stack.push_back(
+          {kids[0], p.dst_parent, p.carried + tree.edge_length(kids[0])});
+      continue;
+    }
+    NodeId dst = out.AddChild(p.dst_parent, tree.name(p.src), p.carried);
+    map[p.src] = dst;
+    for (NodeId c : kids) {
+      stack.push_back({c, dst, tree.edge_length(c)});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PhyloTree> SimulateYule(const YuleOptions& options, Rng* rng) {
+  if (options.n_leaves < 1) {
+    return Status::InvalidArgument("yule: n_leaves must be >= 1");
+  }
+  if (options.birth_rate <= 0) {
+    return Status::InvalidArgument("yule: birth_rate must be > 0");
+  }
+  PhyloTree tree;
+  tree.Reserve(2 * options.n_leaves);
+  NodeId root = tree.AddRoot("");
+  struct Lineage {
+    NodeId node;
+    double born;
+  };
+  std::vector<Lineage> active = {{root, 0.0}};
+  double now = 0.0;
+  while (active.size() < options.n_leaves) {
+    now += rng->Exponential(options.birth_rate *
+                            static_cast<double>(active.size()));
+    size_t pick = static_cast<size_t>(rng->Uniform(active.size()));
+    Lineage parent = active[pick];
+    // The lineage speciates: its node becomes internal; the edge above
+    // it spans [born, now].
+    tree.set_edge_length(parent.node, now - parent.born);
+    NodeId a = tree.AddChild(parent.node, "", 0.0);
+    NodeId b = tree.AddChild(parent.node, "", 0.0);
+    active[pick] = {a, now};
+    active.push_back({b, now});
+  }
+  // Terminate all extant lineages at the same final time (ultrametric).
+  double extra = rng->Exponential(options.birth_rate *
+                                  static_cast<double>(active.size()));
+  double t_end = now + extra;
+  for (size_t i = 0; i < active.size(); ++i) {
+    tree.set_edge_length(active[i].node, t_end - active[i].born);
+    tree.set_name(active[i].node,
+                  StrFormat("%s%zu", options.leaf_prefix, i));
+  }
+  // Root edge length is 0 by convention.
+  tree.set_edge_length(root, 0.0);
+  return tree;
+}
+
+Result<PhyloTree> SimulateBirthDeath(const BirthDeathOptions& options,
+                                     Rng* rng) {
+  if (options.n_leaves < 1) {
+    return Status::InvalidArgument("birth-death: n_leaves must be >= 1");
+  }
+  if (options.birth_rate <= options.death_rate) {
+    return Status::InvalidArgument(
+        "birth-death: requires birth_rate > death_rate");
+  }
+  for (int attempt = 0; attempt < options.max_restarts; ++attempt) {
+    PhyloTree tree;
+    tree.Reserve(4 * options.n_leaves);
+    NodeId root = tree.AddRoot("");
+    struct Lineage {
+      NodeId node;
+      double born;
+    };
+    std::vector<Lineage> active = {{root, 0.0}};
+    std::vector<NodeId> extinct;
+    double now = 0.0;
+    const double total_rate = options.birth_rate + options.death_rate;
+    bool died_out = false;
+    while (active.size() < options.n_leaves) {
+      now += rng->Exponential(total_rate * static_cast<double>(active.size()));
+      size_t pick = static_cast<size_t>(rng->Uniform(active.size()));
+      Lineage lin = active[pick];
+      bool is_birth = rng->NextDouble() <
+                      options.birth_rate / total_rate;
+      tree.set_edge_length(lin.node, now - lin.born);
+      if (is_birth) {
+        NodeId a = tree.AddChild(lin.node, "", 0.0);
+        NodeId b = tree.AddChild(lin.node, "", 0.0);
+        active[pick] = {a, now};
+        active.push_back({b, now});
+      } else {
+        tree.set_name(lin.node, StrFormat("%s%zu", options.extinct_prefix,
+                                          extinct.size()));
+        extinct.push_back(lin.node);
+        active.erase(active.begin() + static_cast<long>(pick));
+        if (active.empty()) {
+          died_out = true;
+          break;
+        }
+      }
+    }
+    if (died_out) continue;
+    double t_end =
+        now + rng->Exponential(total_rate * static_cast<double>(active.size()));
+    std::vector<NodeId> extant;
+    for (size_t i = 0; i < active.size(); ++i) {
+      tree.set_edge_length(active[i].node, t_end - active[i].born);
+      tree.set_name(active[i].node,
+                    StrFormat("%s%zu", options.leaf_prefix, i));
+      extant.push_back(active[i].node);
+    }
+    tree.set_edge_length(root, 0.0);
+    if (!options.prune_extinct) return tree;
+    PhyloTree pruned = PruneToLeaves(tree, extant);
+    CRIMSON_RETURN_IF_ERROR(pruned.Validate());
+    return pruned;
+  }
+  return Status::Internal(
+      "birth-death process died out in every restart attempt");
+}
+
+void PerturbBranchRates(PhyloTree* tree, double spread, Rng* rng) {
+  if (spread < 1.0) spread = 1.0;
+  const double log_spread = std::log(spread);
+  for (NodeId n = 1; n < tree->size(); ++n) {
+    double u = rng->NextDouble() * 2.0 - 1.0;  // [-1, 1)
+    double mult = std::exp(u * log_spread);
+    tree->set_edge_length(n, tree->edge_length(n) * mult);
+  }
+}
+
+}  // namespace crimson

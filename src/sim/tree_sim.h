@@ -1,0 +1,61 @@
+// Stochastic tree simulation -- the substitute for CIPRes's curated
+// gold-standard mega-tree (see DESIGN.md substitutions). Yule (pure
+// birth) and birth-death branching processes generate trees whose
+// storage/query behaviour matches the paper's regime: millions of
+// nodes, average depth well beyond XML documents.
+
+#ifndef CRIMSON_SIM_TREE_SIM_H_
+#define CRIMSON_SIM_TREE_SIM_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+struct YuleOptions {
+  /// Number of extant species (leaves) to grow to. Must be >= 1.
+  uint32_t n_leaves = 100;
+  /// Speciation rate (per lineage per unit time).
+  double birth_rate = 1.0;
+  /// Prefix for leaf names ("S0", "S1", ...).
+  const char* leaf_prefix = "S";
+};
+
+/// Simulates a Yule (pure-birth) tree. The result is ultrametric: all
+/// leaves end at the same evolutionary time.
+Result<PhyloTree> SimulateYule(const YuleOptions& options, Rng* rng);
+
+struct BirthDeathOptions {
+  /// Extant species to reach before stopping. Must be >= 1.
+  uint32_t n_leaves = 100;
+  double birth_rate = 1.0;
+  /// Extinction rate; must be < birth_rate for the process to be
+  /// supercritical.
+  double death_rate = 0.3;
+  /// Remove extinct lineages (and collapse unary nodes) so only the
+  /// reconstructed tree of extant species remains. When false, extinct
+  /// tips stay in the tree (named with `extinct_prefix`).
+  bool prune_extinct = true;
+  /// Attempts before giving up when the process keeps dying out.
+  int max_restarts = 64;
+  const char* leaf_prefix = "S";
+  const char* extinct_prefix = "X";
+};
+
+/// Simulates a birth-death tree. With pruning enabled the returned tree
+/// is generally non-ultrametric in shape statistics relevant to
+/// reconstruction benchmarks (UPGMA's clock assumption is violated by
+/// pruned birth-death trees with rate variation; see bench E11).
+Result<PhyloTree> SimulateBirthDeath(const BirthDeathOptions& options,
+                                     Rng* rng);
+
+/// Applies per-branch rate multipliers drawn log-uniformly from
+/// [1/spread, spread], breaking the molecular clock. spread >= 1.
+void PerturbBranchRates(PhyloTree* tree, double spread, Rng* rng);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_SIM_TREE_SIM_H_

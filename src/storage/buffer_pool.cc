@@ -1,0 +1,158 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace crimson {
+
+char* PageGuard::data() {
+  assert(valid());
+  return pool_->frames_[frame_].data.data();
+}
+
+const char* PageGuard::data() const {
+  assert(valid());
+  return pool_->frames_[frame_].data.data();
+}
+
+void PageGuard::MarkDirty() {
+  assert(valid());
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
+  assert(capacity >= 8 && "buffer pool needs at least 8 frames");
+  frames_.resize(capacity);
+  free_frames_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    frames_[i].data.resize(kPageSize);
+    free_frames_.push_back(capacity - 1 - i);  // hand out low indices first
+  }
+}
+
+void BufferPool::Unpin(size_t frame_index) {
+  Frame& f = frames_[frame_index];
+  assert(f.pin_count > 0);
+  --f.pin_count;
+  if (f.pin_count == 0 && f.valid) {
+    lru_.push_front(frame_index);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::WriteBack(Frame& frame) {
+  if (frame.dirty) {
+    CRIMSON_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.data()));
+    frame.dirty = false;
+    ++stats_.dirty_writebacks;
+  }
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: all frames pinned");
+  }
+  size_t idx = lru_.back();
+  lru_.pop_back();
+  Frame& f = frames_[idx];
+  f.in_lru = false;
+  assert(f.pin_count == 0 && f.valid);
+  CRIMSON_RETURN_IF_ERROR(WriteBack(f));
+  page_table_.erase(f.page_id);
+  f.valid = false;
+  ++stats_.evictions;
+  return idx;
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    size_t idx = it->second;
+    Frame& f = frames_[idx];
+    if (f.pin_count == 0 && f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageGuard(this, idx, id);
+  }
+  ++stats_.misses;
+  CRIMSON_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = frames_[idx];
+  Status s = pager_->ReadPage(id, f.data.data());
+  if (!s.ok()) {
+    free_frames_.push_back(idx);
+    return s;
+  }
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.valid = true;
+  f.in_lru = false;
+  page_table_[id] = idx;
+  return PageGuard(this, idx, id);
+}
+
+Result<PageGuard> BufferPool::New(PageId* out_id) {
+  CRIMSON_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
+  CRIMSON_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = frames_[idx];
+  memset(f.data.data(), 0, kPageSize);
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;  // zeroed content must reach disk
+  f.valid = true;
+  f.in_lru = false;
+  page_table_[id] = idx;
+  *out_id = id;
+  return PageGuard(this, idx, id);
+}
+
+Status BufferPool::Free(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pin_count > 0) {
+      return Status::FailedPrecondition(
+          StrFormat("freeing pinned page %u", id));
+    }
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.valid = false;
+    f.dirty = false;
+    free_frames_.push_back(it->second);
+    page_table_.erase(it);
+  }
+  return pager_->FreePage(id);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.valid) {
+      CRIMSON_RETURN_IF_ERROR(WriteBack(f));
+    }
+  }
+  return pager_->Flush();
+}
+
+}  // namespace crimson

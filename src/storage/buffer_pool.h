@@ -1,0 +1,132 @@
+// BufferPool: fixed-capacity page cache with LRU eviction and pin
+// counting. All higher layers (heap files, B+Trees) access pages through
+// PageGuard handles obtained here.
+//
+// The paper's "database challenge #1" argues that gold-standard trees are
+// huge while individual queries touch small portions, making buffered
+// random access (not main-memory structures) the right design; the buffer
+// pool is where that trade-off lives, and bench_storage measures it.
+
+#ifndef CRIMSON_STORAGE_BUFFER_POOL_H_
+#define CRIMSON_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace crimson {
+
+class BufferPool;
+
+/// RAII pin on a cached page. While a PageGuard is alive the frame
+/// cannot be evicted. Call MarkDirty() after mutating data().
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame_index, PageId page_id)
+      : pool_(pool), frame_(frame_index), page_id_(page_id) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      frame_ = other.frame_;
+      page_id_ = other.page_id_;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+
+  char* data();
+  const char* data() const;
+
+  /// Records that the caller mutated the page; it will be written back
+  /// on eviction or flush.
+  void MarkDirty();
+
+  /// Drops the pin early (idempotent).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_ = kInvalidPageId;
+};
+
+/// Cache statistics (cumulative).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+/// Page cache over a Pager. Single-threaded by design (Crimson's demo
+/// workload is a loader plus an interactive reader).
+class BufferPool {
+ public:
+  /// capacity = number of resident pages.
+  BufferPool(Pager* pager, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches a page, reading it from disk on miss. The guard pins it.
+  Result<PageGuard> Fetch(PageId id);
+
+  /// Allocates a brand-new page (zeroed) and pins it.
+  Result<PageGuard> New(PageId* out_id);
+
+  /// Frees a page back to the pager; the page must not be pinned.
+  Status Free(PageId id);
+
+  /// Writes back all dirty pages and syncs the file.
+  Status FlushAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+  size_t capacity() const { return frames_.size(); }
+  Pager* pager() { return pager_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    bool valid = false;
+    std::vector<char> data;
+    std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0 && valid
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame_index);
+  Result<size_t> GetVictimFrame();
+  Status WriteBack(Frame& frame);
+
+  Pager* pager_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;        // front = most recent
+  std::vector<size_t> free_frames_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_STORAGE_BUFFER_POOL_H_

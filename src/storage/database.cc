@@ -1,0 +1,110 @@
+#include "storage/database.h"
+
+#include "common/string_util.h"
+#include "storage/file.h"
+
+namespace crimson {
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& path, const DatabaseOptions& options) {
+  CRIMSON_ASSIGN_OR_RETURN(std::unique_ptr<File> file, OpenPosixFile(path));
+  return Build(std::move(file), options);
+}
+
+Result<std::unique_ptr<Database>> Database::OpenInMemory(
+    const DatabaseOptions& options) {
+  return Build(NewMemFile(), options);
+}
+
+Result<std::unique_ptr<Database>> Database::Build(
+    std::unique_ptr<File> file, const DatabaseOptions& options) {
+  auto db = std::unique_ptr<Database>(new Database());
+  CRIMSON_ASSIGN_OR_RETURN(db->pager_, Pager::Open(std::move(file)));
+  db->pool_ = std::make_unique<BufferPool>(db->pager_.get(),
+                                           options.buffer_pool_pages);
+  if (db->pager_->catalog_root() == kInvalidPageId) {
+    CRIMSON_ASSIGN_OR_RETURN(BTree catalog, BTree::Create(db->pool_.get()));
+    CRIMSON_RETURN_IF_ERROR(db->pager_->SetCatalogRoot(catalog.anchor()));
+  }
+  return db;
+}
+
+Result<BTree> Database::CatalogTree() const {
+  return BTree::Open(pool_.get(), pager_->catalog_root());
+}
+
+Result<Table> Database::CreateTable(const std::string& name,
+                                    const Schema& schema,
+                                    const std::vector<IndexSpec>& indexes) {
+  CRIMSON_ASSIGN_OR_RETURN(BTree catalog, CatalogTree());
+  std::string existing;
+  Status lookup = catalog.Get(Slice(name), &existing);
+  if (lookup.ok()) {
+    return Status::AlreadyExists(StrFormat("table %s exists", name.c_str()));
+  }
+  if (!lookup.IsNotFound()) return lookup;
+
+  TableDef def;
+  def.name = name;
+  def.schema = schema;
+  CRIMSON_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool_.get()));
+  def.heap_first_page = heap.first_page();
+  for (const IndexSpec& spec : indexes) {
+    int col = schema.FindColumn(spec.column);
+    if (col < 0) {
+      return Status::InvalidArgument(
+          StrFormat("index %s references unknown column %s",
+                    spec.name.c_str(), spec.column.c_str()));
+    }
+    CRIMSON_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool_.get()));
+    IndexDef idx;
+    idx.name = spec.name;
+    idx.column = col;
+    idx.unique = spec.unique;
+    idx.anchor = tree.anchor();
+    def.indexes.push_back(std::move(idx));
+  }
+
+  std::string encoded;
+  def.EncodeTo(&encoded);
+  CRIMSON_RETURN_IF_ERROR(
+      catalog.Insert(Slice(name), Slice(encoded), /*unique=*/true));
+  return Table::Open(pool_.get(), std::move(def));
+}
+
+Result<Table> Database::OpenTable(const std::string& name) const {
+  CRIMSON_ASSIGN_OR_RETURN(BTree catalog, CatalogTree());
+  std::string encoded;
+  Status s = catalog.Get(Slice(name), &encoded);
+  if (s.IsNotFound()) {
+    return Status::NotFound(StrFormat("no table named %s", name.c_str()));
+  }
+  CRIMSON_RETURN_IF_ERROR(s);
+  CRIMSON_ASSIGN_OR_RETURN(TableDef def, TableDef::DecodeFrom(Slice(encoded)));
+  return Table::Open(pool_.get(), std::move(def));
+}
+
+Result<bool> Database::HasTable(const std::string& name) const {
+  CRIMSON_ASSIGN_OR_RETURN(BTree catalog, CatalogTree());
+  std::string encoded;
+  Status s = catalog.Get(Slice(name), &encoded);
+  if (s.ok()) return true;
+  if (s.IsNotFound()) return false;
+  return s;
+}
+
+Result<std::vector<std::string>> Database::ListTables() const {
+  CRIMSON_ASSIGN_OR_RETURN(BTree catalog, CatalogTree());
+  std::vector<std::string> names;
+  BTree::Iterator it = catalog.NewIterator();
+  CRIMSON_RETURN_IF_ERROR(it.SeekToFirst());
+  while (it.Valid()) {
+    names.push_back(it.key().ToString());
+    CRIMSON_RETURN_IF_ERROR(it.Next());
+  }
+  return names;
+}
+
+Status Database::Flush() { return pool_->FlushAll(); }
+
+}  // namespace crimson

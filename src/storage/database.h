@@ -1,0 +1,79 @@
+// Database: top of the storage engine. Owns the file, pager, buffer
+// pool, and catalog, and hands out Table handles by name.
+
+#ifndef CRIMSON_STORAGE_DATABASE_H_
+#define CRIMSON_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "storage/table.h"
+
+namespace crimson {
+
+struct DatabaseOptions {
+  /// Buffer pool capacity in pages (default 1024 pages = 8 MiB).
+  size_t buffer_pool_pages = 1024;
+};
+
+/// Column spec used when creating a table.
+struct IndexSpec {
+  std::string name;
+  std::string column;  // column name in the schema
+  bool unique = false;
+};
+
+/// Embedded single-user database. Not thread-safe.
+class Database {
+ public:
+  /// Opens (or creates) an on-disk database.
+  static Result<std::unique_ptr<Database>> Open(
+      const std::string& path, const DatabaseOptions& options = {});
+
+  /// Opens a fully in-memory database (tests, benches).
+  static Result<std::unique_ptr<Database>> OpenInMemory(
+      const DatabaseOptions& options = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table with the given schema and secondary indexes.
+  Result<Table> CreateTable(const std::string& name, const Schema& schema,
+                            const std::vector<IndexSpec>& indexes = {});
+
+  /// Opens an existing table.
+  Result<Table> OpenTable(const std::string& name) const;
+
+  /// True if the catalog has this table.
+  Result<bool> HasTable(const std::string& name) const;
+
+  /// Names of all tables.
+  Result<std::vector<std::string>> ListTables() const;
+
+  /// Writes back all dirty pages and syncs.
+  Status Flush();
+
+  BufferPool* buffer_pool() { return pool_.get(); }
+  const BufferPoolStats& stats() const { return pool_->stats(); }
+
+ private:
+  Database() = default;
+
+  static Result<std::unique_ptr<Database>> Build(
+      std::unique_ptr<File> file, const DatabaseOptions& options);
+
+  Result<BTree> CatalogTree() const;
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_STORAGE_DATABASE_H_

@@ -1,0 +1,138 @@
+#include "storage/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace crimson {
+
+namespace {
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IOError(context + ": " + strerror(errno));
+}
+
+class PosixFile final : public File {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+
+  Status Read(uint64_t offset, size_t n, char* scratch) const override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = pread(fd_, scratch + done, n - done,
+                        static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread");
+      }
+      if (r == 0) return Status::IOError("short read (EOF)");
+      done += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t w = pwrite(fd_, data + done, n - done,
+                         static_cast<off_t>(offset + done));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pwrite");
+      }
+      done += static_cast<size_t>(w);
+    }
+    if (offset + n > size_) size_ = offset + n;
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fdatasync(fd_) != 0) return ErrnoStatus("fdatasync");
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+  Status Truncate(uint64_t new_size) override {
+    if (ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+      return ErrnoStatus("ftruncate");
+    }
+    size_ = new_size;
+    return Status::OK();
+  }
+
+  void set_size(uint64_t s) { size_ = s; }
+
+ private:
+  int fd_;
+  uint64_t size_ = 0;
+};
+
+class MemFile final : public File {
+ public:
+  Status Read(uint64_t offset, size_t n, char* scratch) const override {
+    if (offset + n > data_.size()) {
+      return Status::IOError(
+          StrFormat("mem read past EOF (off=%llu n=%zu size=%zu)",
+                    static_cast<unsigned long long>(offset), n, data_.size()));
+    }
+    memcpy(scratch, data_.data() + offset, n);
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    if (offset + n > data_.size()) data_.resize(offset + n);
+    memcpy(data_.data() + offset, data, n);
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+  uint64_t Size() const override { return data_.size(); }
+
+  Status Truncate(uint64_t new_size) override {
+    data_.resize(new_size);
+    return Status::OK();
+  }
+
+ private:
+  std::vector<char> data_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<File>> OpenPosixFile(const std::string& path) {
+  int fd = open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    close(fd);
+    return ErrnoStatus("fstat " + path);
+  }
+  auto file = std::make_unique<PosixFile>(fd);
+  file->set_size(static_cast<uint64_t>(st.st_size));
+  return std::unique_ptr<File>(std::move(file));
+}
+
+Status RemoveFile(const std::string& path) {
+  if (unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink " + path);
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<File> NewMemFile() { return std::make_unique<MemFile>(); }
+
+}  // namespace crimson

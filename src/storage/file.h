@@ -1,0 +1,52 @@
+// Block-file abstraction underneath the pager. Two implementations:
+// PosixFile (on-disk) and MemFile (in-memory, for tests and benches that
+// want to isolate CPU cost from the filesystem).
+
+#ifndef CRIMSON_STORAGE_FILE_H_
+#define CRIMSON_STORAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace crimson {
+
+/// Random-access byte file. Not thread-safe; the buffer pool serializes
+/// access.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads exactly n bytes at offset into scratch. Fails with IOError on
+  /// short read.
+  virtual Status Read(uint64_t offset, size_t n, char* scratch) const = 0;
+
+  /// Writes exactly n bytes at offset, extending the file if needed.
+  virtual Status Write(uint64_t offset, const char* data, size_t n) = 0;
+
+  /// Forces written data to stable storage (no-op for MemFile).
+  virtual Status Sync() = 0;
+
+  /// Current file size in bytes.
+  virtual uint64_t Size() const = 0;
+
+  /// Grows the file to at least new_size bytes (zero-filled).
+  virtual Status Truncate(uint64_t new_size) = 0;
+};
+
+/// Opens (creating if necessary) an on-disk file.
+Result<std::unique_ptr<File>> OpenPosixFile(const std::string& path);
+
+/// Deletes a file from the filesystem (used by tests).
+Status RemoveFile(const std::string& path);
+
+/// Creates an empty in-memory file.
+std::unique_ptr<File> NewMemFile();
+
+}  // namespace crimson
+
+#endif  // CRIMSON_STORAGE_FILE_H_

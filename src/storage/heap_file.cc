@@ -1,0 +1,266 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/string_util.h"
+
+namespace crimson {
+
+namespace {
+
+uint16_t NumSlots(const char* page) { return DecodeFixed16(page + 2); }
+void SetNumSlots(char* page, uint16_t n) { EncodeFixed16(page + 2, n); }
+uint16_t RecordAreaStart(const char* page) { return DecodeFixed16(page + 4); }
+void SetRecordAreaStart(char* page, uint16_t v) { EncodeFixed16(page + 4, v); }
+PageId NextPage(const char* page) { return DecodeFixed32(page + 8); }
+void SetNextPage(char* page, PageId id) { EncodeFixed32(page + 8, id); }
+
+}  // namespace
+
+void HeapFile::FormatHeapPage(char* data) {
+  memset(data, 0, kPageSize);
+  data[0] = static_cast<char>(PageType::kHeap);
+  SetNumSlots(data, 0);
+  static_assert(kPageSize <= 0xffff, "record offsets are fixed16");
+  SetRecordAreaStart(data, static_cast<uint16_t>(kPageSize));
+  SetNextPage(data, kInvalidPageId);
+}
+
+Result<HeapFile> HeapFile::Create(BufferPool* pool) {
+  PageId id;
+  CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool->New(&id));
+  FormatHeapPage(guard.data());
+  guard.MarkDirty();
+  HeapFile hf(pool, id);
+  hf.tail_page_ = id;
+  return hf;
+}
+
+Result<HeapFile> HeapFile::Open(BufferPool* pool, PageId first_page) {
+  HeapFile hf(pool, first_page);
+  // Walk the chain to find the tail and count live records.
+  PageId cur = first_page;
+  while (cur != kInvalidPageId) {
+    CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool->Fetch(cur));
+    if (static_cast<PageType>(guard.data()[0]) != PageType::kHeap) {
+      return Status::Corruption(
+          StrFormat("page %u in heap chain is not a heap page", cur));
+    }
+    uint16_t slots = NumSlots(guard.data());
+    for (uint16_t s = 0; s < slots; ++s) {
+      const char* slot = guard.data() + kHeaderSize + s * kSlotSize;
+      if (DecodeFixed16(slot) != kTombstoneOffset) ++hf.record_count_;
+    }
+    PageId next = NextPage(guard.data());
+    if (next == kInvalidPageId) hf.tail_page_ = cur;
+    cur = next;
+  }
+  return hf;
+}
+
+Result<PageId> HeapFile::WriteOverflowChain(const Slice& record) {
+  PageId first = kInvalidPageId;
+  PageId prev = kInvalidPageId;
+  size_t off = 0;
+  while (off < record.size()) {
+    size_t chunk = std::min<size_t>(kOverflowCapacity, record.size() - off);
+    PageId id;
+    CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->New(&id));
+    char* d = guard.data();
+    d[0] = static_cast<char>(PageType::kOverflow);
+    EncodeFixed32(d + 1, kInvalidPageId);
+    EncodeFixed16(d + 5, static_cast<uint16_t>(chunk));
+    memcpy(d + kOverflowHeaderSize, record.data() + off, chunk);
+    guard.MarkDirty();
+    if (prev != kInvalidPageId) {
+      CRIMSON_ASSIGN_OR_RETURN(PageGuard pg, pool_->Fetch(prev));
+      EncodeFixed32(pg.data() + 1, id);
+      pg.MarkDirty();
+    } else {
+      first = id;
+    }
+    prev = id;
+    off += chunk;
+  }
+  return first;
+}
+
+Status HeapFile::FreeOverflowChain(PageId first) {
+  PageId cur = first;
+  while (cur != kInvalidPageId) {
+    PageId next;
+    {
+      CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(cur));
+      if (static_cast<PageType>(guard.data()[0]) != PageType::kOverflow) {
+        return Status::Corruption(
+            StrFormat("page %u in overflow chain is not overflow", cur));
+      }
+      next = DecodeFixed32(guard.data() + 1);
+    }
+    CRIMSON_RETURN_IF_ERROR(pool_->Free(cur));
+    cur = next;
+  }
+  return Status::OK();
+}
+
+Result<RecordId> HeapFile::InsertPayload(const char* payload, uint16_t len,
+                                         bool overflow_stub) {
+  // Try the tail page first; extend the chain if it cannot fit.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(tail_page_));
+    char* d = guard.data();
+    uint16_t slots = NumSlots(d);
+    uint32_t dir_end = kHeaderSize + (slots + 1u) * kSlotSize;
+    uint16_t area_start = RecordAreaStart(d);
+    if (dir_end + len <= area_start && slots < 0x7fff) {
+      uint16_t new_start = static_cast<uint16_t>(area_start - len);
+      memcpy(d + new_start, payload, len);
+      char* slot = d + kHeaderSize + slots * kSlotSize;
+      EncodeFixed16(slot, new_start);
+      EncodeFixed16(slot + 2,
+                    static_cast<uint16_t>(len | (overflow_stub ? kOverflowFlag
+                                                               : 0)));
+      SetNumSlots(d, static_cast<uint16_t>(slots + 1));
+      SetRecordAreaStart(d, new_start);
+      guard.MarkDirty();
+      ++record_count_;
+      return RecordId{guard.page_id(), slots};
+    }
+    if (attempt == 1) break;
+    // Chain a fresh page.
+    PageId new_id;
+    CRIMSON_ASSIGN_OR_RETURN(PageGuard fresh, pool_->New(&new_id));
+    FormatHeapPage(fresh.data());
+    fresh.MarkDirty();
+    SetNextPage(d, new_id);
+    guard.MarkDirty();
+    tail_page_ = new_id;
+  }
+  return Status::Internal("record does not fit in a fresh heap page");
+}
+
+Result<RecordId> HeapFile::Insert(const Slice& record) {
+  if (record.size() <= kMaxInlineRecord) {
+    return InsertPayload(record.data(), static_cast<uint16_t>(record.size()),
+                         /*overflow_stub=*/false);
+  }
+  CRIMSON_ASSIGN_OR_RETURN(PageId first, WriteOverflowChain(record));
+  char stub[kOverflowStubSize];
+  EncodeFixed32(stub, first);
+  EncodeFixed64(stub + 4, record.size());
+  return InsertPayload(stub, kOverflowStubSize, /*overflow_stub=*/true);
+}
+
+Status HeapFile::Get(const RecordId& id, std::string* out) const {
+  CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(id.page));
+  const char* d = guard.data();
+  if (static_cast<PageType>(d[0]) != PageType::kHeap) {
+    return Status::Corruption(StrFormat("page %u is not a heap page", id.page));
+  }
+  if (id.slot >= NumSlots(d)) {
+    return Status::NotFound(StrFormat("slot %u out of range", id.slot));
+  }
+  const char* slot = d + kHeaderSize + id.slot * kSlotSize;
+  uint16_t offset = DecodeFixed16(slot);
+  if (offset == kTombstoneOffset) return Status::NotFound("record deleted");
+  uint16_t raw_len = DecodeFixed16(slot + 2);
+  bool is_stub = (raw_len & kOverflowFlag) != 0;
+  uint16_t len = raw_len & ~kOverflowFlag;
+  if (!is_stub) {
+    out->assign(d + offset, len);
+    return Status::OK();
+  }
+  // Follow the overflow chain.
+  if (len != kOverflowStubSize) {
+    return Status::Corruption("bad overflow stub size");
+  }
+  PageId cur = DecodeFixed32(d + offset);
+  uint64_t total = DecodeFixed64(d + offset + 4);
+  out->clear();
+  out->reserve(total);
+  while (cur != kInvalidPageId) {
+    CRIMSON_ASSIGN_OR_RETURN(PageGuard og, pool_->Fetch(cur));
+    const char* od = og.data();
+    if (static_cast<PageType>(od[0]) != PageType::kOverflow) {
+      return Status::Corruption("broken overflow chain");
+    }
+    uint16_t chunk = DecodeFixed16(od + 5);
+    out->append(od + kOverflowHeaderSize, chunk);
+    cur = DecodeFixed32(od + 1);
+  }
+  if (out->size() != total) {
+    return Status::Corruption(
+        StrFormat("overflow chain length %zu != recorded %llu", out->size(),
+                  static_cast<unsigned long long>(total)));
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Delete(const RecordId& id) {
+  PageId overflow_first = kInvalidPageId;
+  {
+    CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(id.page));
+    char* d = guard.data();
+    if (static_cast<PageType>(d[0]) != PageType::kHeap) {
+      return Status::Corruption(
+          StrFormat("page %u is not a heap page", id.page));
+    }
+    if (id.slot >= NumSlots(d)) {
+      return Status::NotFound(StrFormat("slot %u out of range", id.slot));
+    }
+    char* slot = d + kHeaderSize + id.slot * kSlotSize;
+    uint16_t offset = DecodeFixed16(slot);
+    if (offset == kTombstoneOffset) {
+      return Status::NotFound("record already deleted");
+    }
+    uint16_t raw_len = DecodeFixed16(slot + 2);
+    if (raw_len & kOverflowFlag) {
+      overflow_first = DecodeFixed32(d + offset);
+    }
+    // Tombstone sentinel in the offset field (a real offset is always
+    // < kPageSize); the record space is not reclaimed.
+    EncodeFixed16(slot, kTombstoneOffset);
+    guard.MarkDirty();
+    --record_count_;
+  }
+  if (overflow_first != kInvalidPageId) {
+    CRIMSON_RETURN_IF_ERROR(FreeOverflowChain(overflow_first));
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Scan(
+    const std::function<bool(const RecordId&, const Slice&)>& fn) const {
+  PageId cur = first_page_;
+  std::string big;  // reassembly buffer for overflow records
+  while (cur != kInvalidPageId) {
+    PageId next;
+    uint16_t slots;
+    {
+      CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(cur));
+      const char* d = guard.data();
+      next = NextPage(d);
+      slots = NumSlots(d);
+      for (uint16_t s = 0; s < slots; ++s) {
+        const char* slot = d + kHeaderSize + s * kSlotSize;
+        if (DecodeFixed16(slot) == kTombstoneOffset) continue;
+        uint16_t raw_len = DecodeFixed16(slot + 2);
+        RecordId rid{cur, s};
+        if ((raw_len & kOverflowFlag) == 0) {
+          uint16_t offset = DecodeFixed16(slot);
+          if (!fn(rid, Slice(d + offset, raw_len))) return Status::OK();
+        } else {
+          // Re-fetch through Get to assemble the overflow chain. We must
+          // do this outside the guard scope to limit pins; collect first.
+          CRIMSON_RETURN_IF_ERROR(Get(rid, &big));
+          if (!fn(rid, Slice(big))) return Status::OK();
+        }
+      }
+    }
+    cur = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace crimson

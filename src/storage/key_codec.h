@@ -1,0 +1,73 @@
+// Order-preserving key encodings for B+Tree indexes: memcmp order on
+// the encoded bytes equals the natural order of the value. Used for the
+// species-name index (raw bytes), the time index (doubles), and node-id
+// indexes (u64).
+
+#ifndef CRIMSON_STORAGE_KEY_CODEC_H_
+#define CRIMSON_STORAGE_KEY_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace crimson {
+
+/// Appends a big-endian u64 (memcmp order == numeric order).
+inline void AppendU64Key(std::string* dst, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline uint64_t DecodeU64Key(const char* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(src[i]);
+  }
+  return v;
+}
+
+/// Appends a double such that memcmp order equals numeric order
+/// (including negatives; NaNs sort above +inf and are not meaningful).
+inline void AppendDoubleKey(std::string* dst, double d) {
+  uint64_t bits;
+  memcpy(&bits, &d, sizeof(bits));
+  if (bits & (1ULL << 63)) {
+    bits = ~bits;  // negative: reverse order of magnitudes
+  } else {
+    bits |= (1ULL << 63);  // positive: sort above negatives
+  }
+  AppendU64Key(dst, bits);
+}
+
+inline double DecodeDoubleKey(const char* src) {
+  uint64_t bits = DecodeU64Key(src);
+  if (bits & (1ULL << 63)) {
+    bits &= ~(1ULL << 63);
+  } else {
+    bits = ~bits;
+  }
+  double d;
+  memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+/// Convenience single-value encoders.
+inline std::string U64Key(uint64_t v) {
+  std::string s;
+  AppendU64Key(&s, v);
+  return s;
+}
+
+inline std::string DoubleKey(double d) {
+  std::string s;
+  AppendDoubleKey(&s, d);
+  return s;
+}
+
+inline std::string StringKey(std::string_view v) { return std::string(v); }
+
+}  // namespace crimson
+
+#endif  // CRIMSON_STORAGE_KEY_CODEC_H_

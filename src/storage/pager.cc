@@ -1,0 +1,122 @@
+#include "storage/pager.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/string_util.h"
+
+namespace crimson {
+
+Result<std::unique_ptr<Pager>> Pager::Open(std::unique_ptr<File> file) {
+  auto pager = std::unique_ptr<Pager>(new Pager(std::move(file)));
+  if (pager->file_->Size() == 0) {
+    CRIMSON_RETURN_IF_ERROR(pager->InitializeFresh());
+  } else {
+    CRIMSON_RETURN_IF_ERROR(pager->LoadHeader());
+  }
+  return pager;
+}
+
+Status Pager::InitializeFresh() {
+  page_count_ = 1;
+  freelist_head_ = kInvalidPageId;
+  catalog_root_ = kInvalidPageId;
+  return WriteHeader();
+}
+
+Status Pager::LoadHeader() {
+  std::vector<char> buf(kPageSize);
+  CRIMSON_RETURN_IF_ERROR(file_->Read(0, kPageSize, buf.data()));
+  if (memcmp(buf.data() + kHeaderMagicOffset, kDbMagic, sizeof(kDbMagic)) !=
+      0) {
+    return Status::Corruption("bad database magic");
+  }
+  uint32_t page_size = DecodeFixed32(buf.data() + kHeaderPageSizeOffset);
+  if (page_size != kPageSize) {
+    return Status::Corruption(
+        StrFormat("page size mismatch: file has %u, build expects %u",
+                  page_size, kPageSize));
+  }
+  page_count_ = DecodeFixed32(buf.data() + kHeaderPageCountOffset);
+  freelist_head_ = DecodeFixed32(buf.data() + kHeaderFreelistOffset);
+  catalog_root_ = DecodeFixed32(buf.data() + kHeaderCatalogRootOffset);
+  if (page_count_ == 0) return Status::Corruption("zero page count");
+  return Status::OK();
+}
+
+Status Pager::WriteHeader() {
+  std::vector<char> buf(kPageSize, 0);
+  memcpy(buf.data() + kHeaderMagicOffset, kDbMagic, sizeof(kDbMagic));
+  EncodeFixed32(buf.data() + kHeaderPageSizeOffset, kPageSize);
+  EncodeFixed32(buf.data() + kHeaderPageCountOffset, page_count_);
+  EncodeFixed32(buf.data() + kHeaderFreelistOffset, freelist_head_);
+  EncodeFixed32(buf.data() + kHeaderCatalogRootOffset, catalog_root_);
+  return file_->Write(0, buf.data(), kPageSize);
+}
+
+Status Pager::ReadPage(PageId id, char* buf) const {
+  if (id >= page_count_) {
+    return Status::OutOfRange(
+        StrFormat("read of page %u beyond page count %u", id, page_count_));
+  }
+  return file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, buf);
+}
+
+Status Pager::WritePage(PageId id, const char* buf) {
+  if (id >= page_count_) {
+    return Status::OutOfRange(
+        StrFormat("write of page %u beyond page count %u", id, page_count_));
+  }
+  return file_->Write(static_cast<uint64_t>(id) * kPageSize, buf, kPageSize);
+}
+
+Result<PageId> Pager::AllocatePage() {
+  if (freelist_head_ != kInvalidPageId) {
+    PageId id = freelist_head_;
+    // A free page stores the next freelist entry at byte offset 1
+    // (offset 0 holds the kFree type tag).
+    std::vector<char> buf(kPageSize);
+    CRIMSON_RETURN_IF_ERROR(ReadPage(id, buf.data()));
+    if (static_cast<PageType>(buf[0]) != PageType::kFree) {
+      return Status::Corruption(
+          StrFormat("freelist page %u is not marked free", id));
+    }
+    freelist_head_ = DecodeFixed32(buf.data() + 1);
+    CRIMSON_RETURN_IF_ERROR(WriteHeader());
+    return id;
+  }
+  PageId id = page_count_;
+  ++page_count_;
+  // Extend the file with a zero page so later reads succeed.
+  std::vector<char> zero(kPageSize, 0);
+  CRIMSON_RETURN_IF_ERROR(
+      file_->Write(static_cast<uint64_t>(id) * kPageSize, zero.data(),
+                   kPageSize));
+  CRIMSON_RETURN_IF_ERROR(WriteHeader());
+  return id;
+}
+
+Status Pager::FreePage(PageId id) {
+  if (id == kHeaderPageId || id >= page_count_) {
+    return Status::InvalidArgument(StrFormat("cannot free page %u", id));
+  }
+  std::vector<char> buf(kPageSize, 0);
+  buf[0] = static_cast<char>(PageType::kFree);
+  EncodeFixed32(buf.data() + 1, freelist_head_);
+  CRIMSON_RETURN_IF_ERROR(WritePage(id, buf.data()));
+  freelist_head_ = id;
+  return WriteHeader();
+}
+
+Status Pager::SetCatalogRoot(PageId root) {
+  catalog_root_ = root;
+  return WriteHeader();
+}
+
+Status Pager::Flush() {
+  CRIMSON_RETURN_IF_ERROR(WriteHeader());
+  return file_->Sync();
+}
+
+}  // namespace crimson

@@ -1,0 +1,64 @@
+// Pager: page-granular allocation and I/O over a File, plus the
+// database header (page count, freelist, catalog root).
+
+#ifndef CRIMSON_STORAGE_PAGER_H_
+#define CRIMSON_STORAGE_PAGER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/file.h"
+#include "storage/page.h"
+
+namespace crimson {
+
+/// Owns the database file and its header. All page reads/writes go
+/// through here; the BufferPool caches on top.
+class Pager {
+ public:
+  /// Opens an existing database file or initializes a fresh one.
+  static Result<std::unique_ptr<Pager>> Open(std::unique_ptr<File> file);
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Reads page `id` into `buf` (kPageSize bytes).
+  Status ReadPage(PageId id, char* buf) const;
+
+  /// Writes page `id` from `buf` (kPageSize bytes).
+  Status WritePage(PageId id, const char* buf);
+
+  /// Allocates a page: pops the freelist or extends the file.
+  /// The returned page's content is undefined; callers must format it.
+  Result<PageId> AllocatePage();
+
+  /// Returns a page to the freelist.
+  Status FreePage(PageId id);
+
+  /// Total pages in the file, including header.
+  uint32_t page_count() const { return page_count_; }
+
+  /// Catalog root accessors (persisted in the header page).
+  PageId catalog_root() const { return catalog_root_; }
+  Status SetCatalogRoot(PageId root);
+
+  /// Flushes the header and syncs the file.
+  Status Flush();
+
+ private:
+  explicit Pager(std::unique_ptr<File> file) : file_(std::move(file)) {}
+
+  Status WriteHeader();
+  Status LoadHeader();
+  Status InitializeFresh();
+
+  std::unique_ptr<File> file_;
+  uint32_t page_count_ = 1;
+  PageId freelist_head_ = kInvalidPageId;
+  PageId catalog_root_ = kInvalidPageId;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_STORAGE_PAGER_H_

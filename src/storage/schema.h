@@ -1,0 +1,74 @@
+// Typed schemas and row encoding for the relational layer. Crimson
+// stores tree structure and species data "in relational form" (paper
+// §2.1); these are the row formats those tables use.
+
+#ifndef CRIMSON_STORAGE_SCHEMA_H_
+#define CRIMSON_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace crimson {
+
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kBytes = 3,
+};
+
+std::string_view ColumnTypeName(ColumnType t);
+
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// Ordered list of typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the column with this name, or -1.
+  int FindColumn(std::string_view name) const;
+
+  /// Serialization for the catalog.
+  void EncodeTo(std::string* dst) const;
+  static Result<Schema> DecodeFrom(Slice* input);
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A single typed cell. kBytes values also use std::string storage.
+using Value = std::variant<int64_t, double, std::string>;
+
+/// Row of values matching a Schema positionally.
+using Row = std::vector<Value>;
+
+/// Encodes a row; fails if the arity or value kinds do not match.
+Status EncodeRow(const Schema& schema, const Row& row, std::string* dst);
+
+/// Decodes a row previously encoded with the same schema.
+Status DecodeRow(const Schema& schema, Slice input, Row* row);
+
+/// Order-preserving index-key encoding of a single value (see
+/// storage/key_codec.h for the primitive encodings).
+Status EncodeValueKey(ColumnType type, const Value& value, std::string* dst);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_STORAGE_SCHEMA_H_

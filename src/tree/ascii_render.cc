@@ -1,0 +1,63 @@
+#include "tree/ascii_render.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace crimson {
+
+std::string RenderAscii(const PhyloTree& tree,
+                        const AsciiRenderOptions& options) {
+  if (tree.empty()) return "(empty tree)\n";
+  if (options.max_nodes != 0 && tree.size() > options.max_nodes) {
+    return StrFormat(
+        "(tree with %zu nodes exceeds the %zu-node rendering limit; "
+        "project a smaller subtree first)\n",
+        tree.size(), options.max_nodes);
+  }
+
+  std::string out;
+  auto label = [&](NodeId n) {
+    std::string text = tree.name(n).empty() ? "?" : tree.name(n);
+    if (options.show_edge_lengths && n != tree.root()) {
+      text += StrFormat(":%.*g", options.precision, tree.edge_length(n));
+    }
+    return text;
+  };
+
+  // Iterative pre-order carrying the line prefix; a node knows whether
+  // it is its parent's last child, which picks the branch glyph.
+  struct Frame {
+    NodeId node;
+    std::string prefix;
+    bool is_last;
+    bool is_root;
+  };
+  std::vector<Frame> stack = {{tree.root(), "", true, true}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.is_root) {
+      out += label(f.node);
+    } else {
+      out += f.prefix;
+      out += f.is_last ? "└── " : "├── ";
+      out += label(f.node);
+    }
+    out.push_back('\n');
+    // Children pushed in reverse so the first child renders first.
+    std::vector<NodeId> kids;
+    for (NodeId c = tree.first_child(f.node); c != kNoNode;
+         c = tree.next_sibling(c)) {
+      kids.push_back(c);
+    }
+    std::string child_prefix =
+        f.is_root ? "" : f.prefix + (f.is_last ? "    " : "│   ");
+    for (size_t i = kids.size(); i > 0; --i) {
+      stack.push_back({kids[i - 1], child_prefix, i == kids.size(), false});
+    }
+  }
+  return out;
+}
+
+}  // namespace crimson

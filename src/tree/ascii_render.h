@@ -1,0 +1,40 @@
+// Tree Viewer (paper Fig. 3 / §3 "Visualizing the results"): the demo
+// displayed result trees via the Walrus 3D viewer or as NEXUS text. As
+// a C++ library we render dendrograms as ASCII art (and NEXUS/Newick
+// via tree/nexus.h, tree/newick.h).
+
+#ifndef CRIMSON_TREE_ASCII_RENDER_H_
+#define CRIMSON_TREE_ASCII_RENDER_H_
+
+#include <string>
+
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+struct AsciiRenderOptions {
+  /// Show ":length" after each node label.
+  bool show_edge_lengths = true;
+  /// printf precision for edge lengths.
+  int precision = 4;
+  /// Stop rendering below this many nodes (huge trees are unreadable;
+  /// callers should project first). 0 = unlimited.
+  size_t max_nodes = 512;
+};
+
+/// Renders a tree as an indented ASCII dendrogram, e.g. for Fig. 2:
+///
+///   root
+///   ├── ?:0.75
+///   │   ├── Lla:1.5
+///   │   └── Bha:1.5
+///   └── Syn:2.5
+///
+/// Unnamed nodes print as "?". Returns an error note instead of art
+/// when the tree exceeds options.max_nodes.
+std::string RenderAscii(const PhyloTree& tree,
+                        const AsciiRenderOptions& options = {});
+
+}  // namespace crimson
+
+#endif  // CRIMSON_TREE_ASCII_RENDER_H_

@@ -1,0 +1,315 @@
+#include "tree/newick.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace crimson {
+
+namespace {
+
+/// Cursor over the input with comment/whitespace skipping.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  size_t pos() const { return pos_; }
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  /// Skips whitespace and [...] comments.
+  void SkipTrivia() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '[') {
+        size_t close = text_.find(']', pos_);
+        if (close == std::string_view::npos) {
+          pos_ = text_.size();  // unterminated comment: consume to end
+          return;
+        }
+        pos_ = close + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  char Peek() {
+    SkipTrivia();
+    return AtEnd() ? '\0' : text_[pos_];
+  }
+
+  void Advance() { ++pos_; }
+
+  /// Parses a (possibly quoted) label.
+  Result<std::string> ReadLabel() {
+    SkipTrivia();
+    if (AtEnd()) return Status::InvalidArgument("newick: label at EOF");
+    std::string out;
+    if (text_[pos_] == '\'') {
+      ++pos_;
+      while (true) {
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument("newick: unterminated quoted label");
+        }
+        char c = text_[pos_++];
+        if (c == '\'') {
+          if (pos_ < text_.size() && text_[pos_] == '\'') {
+            out.push_back('\'');  // '' escapes a quote
+            ++pos_;
+          } else {
+            break;
+          }
+        } else {
+          out.push_back(c);
+        }
+      }
+      return out;
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '(' || c == ')' || c == '[' || c == ']' || c == ':' ||
+          c == ';' || c == ',' ||
+          isspace(static_cast<unsigned char>(c))) {
+        break;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return out;
+  }
+
+  /// Parses a floating-point edge length after ':'.
+  Result<double> ReadLength() {
+    SkipTrivia();
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument(
+          StrFormat("newick: expected number at position %zu", start));
+    }
+    return ParseDouble(text_.substr(start, pos_ - start));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PhyloTree> ParseNewick(std::string_view text) {
+  Scanner scan(text);
+  PhyloTree tree;
+  std::vector<NodeId> open;  // stack of unclosed internal nodes
+  bool done = false;
+  // After a completed subtree (leaf or closed group), only ',', ')' or
+  // ';' may follow; this catches inputs like "(A:1:2);" or "(A B);".
+  bool expect_separator = false;
+
+  // A label/length pair can follow either a leaf token or a ')'.
+  auto read_suffix = [&](NodeId node) -> Status {
+    if (scan.Peek() != ':' && scan.Peek() != '\0' && scan.Peek() != ',' &&
+        scan.Peek() != ')' && scan.Peek() != ';') {
+      CRIMSON_ASSIGN_OR_RETURN(std::string label, scan.ReadLabel());
+      tree.set_name(node, std::move(label));
+    }
+    if (scan.Peek() == ':') {
+      scan.Advance();
+      CRIMSON_ASSIGN_OR_RETURN(double len, scan.ReadLength());
+      tree.set_edge_length(node, len);
+    }
+    return Status::OK();
+  };
+
+  while (!done) {
+    char c = scan.Peek();
+    switch (c) {
+      case '\0':
+        return Status::InvalidArgument("newick: unexpected end of input");
+      case '(': {
+        if (expect_separator) {
+          return Status::InvalidArgument(StrFormat(
+              "newick: expected ',' or ')' at position %zu", scan.pos()));
+        }
+        scan.Advance();
+        NodeId n;
+        if (tree.empty()) {
+          n = tree.AddRoot();
+        } else {
+          if (open.empty()) {
+            return Status::InvalidArgument(
+                StrFormat("newick: '(' outside tree at position %zu",
+                          scan.pos()));
+          }
+          n = tree.AddChild(open.back());
+        }
+        open.push_back(n);
+        break;
+      }
+      case ')': {
+        if (!expect_separator) {
+          return Status::InvalidArgument(StrFormat(
+              "newick: empty subtree before ')' at position %zu",
+              scan.pos()));
+        }
+        scan.Advance();
+        if (open.empty()) {
+          return Status::InvalidArgument(
+              StrFormat("newick: unbalanced ')' at position %zu",
+                        scan.pos()));
+        }
+        NodeId n = open.back();
+        open.pop_back();
+        CRIMSON_RETURN_IF_ERROR(read_suffix(n));
+        expect_separator = true;
+        break;
+      }
+      case ',':
+        if (!expect_separator) {
+          return Status::InvalidArgument(StrFormat(
+              "newick: empty subtree before ',' at position %zu",
+              scan.pos()));
+        }
+        scan.Advance();
+        if (open.empty()) {
+          return Status::InvalidArgument(
+              StrFormat("newick: ',' outside tree at position %zu",
+                        scan.pos()));
+        }
+        expect_separator = false;
+        break;
+      case ';':
+        scan.Advance();
+        if (!open.empty()) {
+          return Status::InvalidArgument(
+              StrFormat("newick: ';' with %zu unclosed '('", open.size()));
+        }
+        if (tree.empty()) {
+          return Status::InvalidArgument("newick: empty tree");
+        }
+        done = true;
+        break;
+      default: {
+        if (expect_separator) {
+          return Status::InvalidArgument(StrFormat(
+              "newick: expected ',' or ')' at position %zu", scan.pos()));
+        }
+        // A leaf (or a single-node tree at the top level).
+        NodeId n;
+        if (tree.empty()) {
+          n = tree.AddRoot();
+        } else {
+          if (open.empty()) {
+            return Status::InvalidArgument(StrFormat(
+                "newick: trailing content at position %zu", scan.pos()));
+          }
+          n = tree.AddChild(open.back());
+        }
+        CRIMSON_RETURN_IF_ERROR(read_suffix(n));
+        expect_separator = true;
+        break;
+      }
+    }
+  }
+  // Only trivia may follow the ';'.
+  if (scan.Peek() != '\0') {
+    return Status::InvalidArgument(StrFormat(
+        "newick: trailing content after ';' at position %zu", scan.pos()));
+  }
+  CRIMSON_RETURN_IF_ERROR(tree.Validate());
+  return tree;
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& label) {
+  if (label.empty()) return false;
+  for (char c : label) {
+    if (c == '(' || c == ')' || c == '[' || c == ']' || c == ':' ||
+        c == ';' || c == ',' || c == '\'' ||
+        isspace(static_cast<unsigned char>(c))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendLabel(std::string* out, const std::string& label) {
+  if (!NeedsQuoting(label)) {
+    out->append(label);
+    return;
+  }
+  out->push_back('\'');
+  for (char c : label) {
+    if (c == '\'') out->push_back('\'');
+    out->push_back(c);
+  }
+  out->push_back('\'');
+}
+
+}  // namespace
+
+std::string WriteNewick(const PhyloTree& tree,
+                        const NewickWriteOptions& options) {
+  std::string out;
+  if (tree.empty()) {
+    out.push_back(';');  // (assignment from a literal trips a GCC 12
+                         // -Wrestrict false positive when inlined)
+    return out;
+  }
+  // Iterative serialization: frames carry the next child to emit.
+  struct Frame {
+    NodeId node;
+    NodeId next_child;
+    bool opened;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({tree.root(), tree.first_child(tree.root()), false});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (tree.is_leaf(f.node)) {
+      AppendLabel(&out, tree.name(f.node));
+      if (options.include_edge_lengths && f.node != tree.root()) {
+        out += StrFormat(":%.*g", options.precision,
+                         tree.edge_length(f.node));
+      }
+      stack.pop_back();
+      continue;
+    }
+    if (!f.opened) {
+      out.push_back('(');
+      f.opened = true;
+    }
+    if (f.next_child != kNoNode) {
+      NodeId child = f.next_child;
+      f.next_child = tree.next_sibling(child);
+      if (child != tree.first_child(f.node)) out.push_back(',');
+      stack.push_back({child, tree.first_child(child), false});
+      continue;
+    }
+    out.push_back(')');
+    if (options.include_internal_names) {
+      AppendLabel(&out, tree.name(f.node));
+    }
+    if (options.include_edge_lengths && f.node != tree.root()) {
+      out += StrFormat(":%.*g", options.precision, tree.edge_length(f.node));
+    }
+    stack.pop_back();
+  }
+  out.push_back(';');
+  return out;
+}
+
+}  // namespace crimson

@@ -1,0 +1,41 @@
+// Newick format reader/writer. Hand-rolled and fully iterative: Crimson
+// simulation trees can be 10^6 levels deep, so neither parsing nor
+// serialization may recurse.
+//
+// Supported syntax:
+//   tree      := subtree ";"
+//   subtree   := "(" subtree ("," subtree)* ")" [label] [":" length]
+//              | label [":" length]
+//   label     := unquoted token (no "()[]:;," or whitespace)
+//              | 'single-quoted' (with '' as an escaped quote)
+//   comments  := "[...]" anywhere between tokens (skipped)
+
+#ifndef CRIMSON_TREE_NEWICK_H_
+#define CRIMSON_TREE_NEWICK_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+/// Parses a single Newick tree. Fails with InvalidArgument and a
+/// character position on malformed input.
+Result<PhyloTree> ParseNewick(std::string_view text);
+
+struct NewickWriteOptions {
+  bool include_edge_lengths = true;
+  bool include_internal_names = true;
+  /// printf precision for edge lengths.
+  int precision = 10;
+};
+
+/// Serializes a tree to Newick (with trailing ";").
+std::string WriteNewick(const PhyloTree& tree,
+                        const NewickWriteOptions& options = {});
+
+}  // namespace crimson
+
+#endif  // CRIMSON_TREE_NEWICK_H_

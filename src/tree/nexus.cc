@@ -1,0 +1,338 @@
+#include "tree/nexus.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "tree/newick.h"
+
+namespace crimson {
+
+namespace {
+
+/// NEXUS tokenizer: words, punctuation ( ; = , ), quoted labels,
+/// [comments] skipped. Underscores in unquoted tokens are preserved.
+class NexusScanner {
+ public:
+  explicit NexusScanner(std::string_view text) : text_(text) {}
+
+  void SkipTrivia() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '[') {
+        size_t close = text_.find(']', pos_);
+        pos_ = close == std::string_view::npos ? text_.size() : close + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipTrivia();
+    return pos_ >= text_.size();
+  }
+
+  char PeekChar() {
+    SkipTrivia();
+    return pos_ >= text_.size() ? '\0' : text_[pos_];
+  }
+
+  /// Reads the next token: a single punctuation char (";", "=", ","),
+  /// a quoted string, or a word.
+  Result<std::string> Next() {
+    SkipTrivia();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("nexus: unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == ';' || c == '=' || c == ',') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string out;
+      while (true) {
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument("nexus: unterminated quote");
+        }
+        char q = text_[pos_++];
+        if (q == '\'') {
+          if (pos_ < text_.size() && text_[pos_] == '\'') {
+            out.push_back('\'');
+            ++pos_;
+          } else {
+            break;
+          }
+        } else {
+          out.push_back(q);
+        }
+      }
+      return out;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char w = text_[pos_];
+      if (isspace(static_cast<unsigned char>(w)) || w == ';' || w == '=' ||
+          w == ',' || w == '[' || w == '\'') {
+        break;
+      }
+      out.push_back(w);
+      ++pos_;
+    }
+    return out;
+  }
+
+  /// Captures raw text (quote-aware) up to and including the next
+  /// unquoted ';'. Used for TREE commands whose payload is Newick.
+  Result<std::string> CaptureUntilSemicolon() {
+    SkipTrivia();
+    std::string out;
+    bool in_quote = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (in_quote) {
+        out.push_back(c);
+        if (c == '\'') in_quote = false;  // '' handled fine: re-enters below
+        continue;
+      }
+      if (c == '\'') {
+        in_quote = true;
+        out.push_back(c);
+        continue;
+      }
+      if (c == '[') {  // skip comment
+        size_t close = text_.find(']', pos_);
+        pos_ = close == std::string_view::npos ? text_.size() : close + 1;
+        continue;
+      }
+      if (c == ';') {
+        out.push_back(';');
+        return out;
+      }
+      out.push_back(c);
+    }
+    return Status::InvalidArgument("nexus: missing ';'");
+  }
+
+  /// Skips tokens through the next ';'.
+  Status SkipCommand() {
+    while (true) {
+      CRIMSON_ASSIGN_OR_RETURN(std::string tok, Next());
+      if (tok == ";") return Status::OK();
+    }
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status ParseTaxaBlock(NexusScanner* scan, NexusDocument* doc) {
+  while (true) {
+    CRIMSON_ASSIGN_OR_RETURN(std::string cmd, scan->Next());
+    if (EqualsIgnoreCase(cmd, "END") || EqualsIgnoreCase(cmd, "ENDBLOCK")) {
+      return scan->SkipCommand();
+    }
+    if (EqualsIgnoreCase(cmd, "TAXLABELS")) {
+      while (true) {
+        // Declared before the macro: GCC 12 emits a spurious
+        // -Wmaybe-uninitialized through the moved-from Result otherwise.
+        std::string tok;
+        CRIMSON_ASSIGN_OR_RETURN(tok, scan->Next());
+        if (tok == ";") break;
+        doc->taxa.push_back(std::move(tok));
+      }
+    } else {
+      CRIMSON_RETURN_IF_ERROR(scan->SkipCommand());
+    }
+  }
+}
+
+Status ParseTreesBlock(NexusScanner* scan, NexusDocument* doc) {
+  std::map<std::string, std::string> translate;
+  while (true) {
+    CRIMSON_ASSIGN_OR_RETURN(std::string cmd, scan->Next());
+    if (EqualsIgnoreCase(cmd, "END") || EqualsIgnoreCase(cmd, "ENDBLOCK")) {
+      return scan->SkipCommand();
+    }
+    if (EqualsIgnoreCase(cmd, "TRANSLATE")) {
+      while (true) {
+        CRIMSON_ASSIGN_OR_RETURN(std::string key, scan->Next());
+        if (key == ";") break;
+        CRIMSON_ASSIGN_OR_RETURN(std::string value, scan->Next());
+        translate[key] = value;
+        std::string sep;
+        CRIMSON_ASSIGN_OR_RETURN(sep, scan->Next());
+        if (sep == ";") break;
+        if (sep != ",") {
+          return Status::InvalidArgument("nexus: bad TRANSLATE separator");
+        }
+      }
+    } else if (EqualsIgnoreCase(cmd, "TREE")) {
+      NexusTree nt;
+      CRIMSON_ASSIGN_OR_RETURN(nt.name, scan->Next());
+      CRIMSON_ASSIGN_OR_RETURN(std::string eq, scan->Next());
+      if (eq != "=") {
+        return Status::InvalidArgument("nexus: TREE missing '='");
+      }
+      CRIMSON_ASSIGN_OR_RETURN(std::string newick,
+                               scan->CaptureUntilSemicolon());
+      // A rooting annotation like [&R] is already stripped as a comment
+      // by the scanner; CaptureUntilSemicolon skips comments too.
+      CRIMSON_ASSIGN_OR_RETURN(nt.tree, ParseNewick(newick));
+      // Apply TRANSLATE to leaf names.
+      if (!translate.empty()) {
+        for (NodeId n = 0; n < nt.tree.size(); ++n) {
+          auto it = translate.find(nt.tree.name(n));
+          if (it != translate.end()) nt.tree.set_name(n, it->second);
+        }
+      }
+      doc->trees.push_back(std::move(nt));
+    } else {
+      CRIMSON_RETURN_IF_ERROR(scan->SkipCommand());
+    }
+  }
+}
+
+Status ParseCharactersBlock(NexusScanner* scan, NexusDocument* doc) {
+  while (true) {
+    CRIMSON_ASSIGN_OR_RETURN(std::string cmd, scan->Next());
+    if (EqualsIgnoreCase(cmd, "END") || EqualsIgnoreCase(cmd, "ENDBLOCK")) {
+      return scan->SkipCommand();
+    }
+    if (EqualsIgnoreCase(cmd, "FORMAT")) {
+      // Look for DATATYPE=<x>; ignore other settings.
+      std::string prev;
+      while (true) {
+        CRIMSON_ASSIGN_OR_RETURN(std::string tok, scan->Next());
+        if (tok == ";") break;
+        if (EqualsIgnoreCase(prev, "DATATYPE") && tok != "=") {
+          doc->datatype = ToUpperAscii(tok);
+        }
+        if (tok != "=") prev = tok;
+      }
+    } else if (EqualsIgnoreCase(cmd, "MATRIX")) {
+      // taxon sequence pairs; repeated taxa append (interleaved files).
+      while (true) {
+        CRIMSON_ASSIGN_OR_RETURN(std::string taxon, scan->Next());
+        if (taxon == ";") break;
+        CRIMSON_ASSIGN_OR_RETURN(std::string seq, scan->Next());
+        if (seq == ";") {
+          return Status::InvalidArgument(
+              "nexus: MATRIX row for " + taxon + " missing sequence");
+        }
+        doc->sequences[taxon] += seq;
+      }
+    } else {
+      CRIMSON_RETURN_IF_ERROR(scan->SkipCommand());
+    }
+  }
+}
+
+}  // namespace
+
+Result<NexusDocument> ParseNexus(std::string_view text) {
+  NexusScanner scan(text);
+  CRIMSON_ASSIGN_OR_RETURN(std::string magic, scan.Next());
+  if (!EqualsIgnoreCase(magic, "#NEXUS")) {
+    return Status::InvalidArgument("nexus: missing #NEXUS header");
+  }
+  NexusDocument doc;
+  while (!scan.AtEnd()) {
+    CRIMSON_ASSIGN_OR_RETURN(std::string word, scan.Next());
+    if (!EqualsIgnoreCase(word, "BEGIN")) {
+      return Status::InvalidArgument("nexus: expected BEGIN, got " + word);
+    }
+    CRIMSON_ASSIGN_OR_RETURN(std::string block, scan.Next());
+    CRIMSON_ASSIGN_OR_RETURN(std::string semi, scan.Next());
+    if (semi != ";") {
+      return Status::InvalidArgument("nexus: BEGIN missing ';'");
+    }
+    if (EqualsIgnoreCase(block, "TAXA")) {
+      CRIMSON_RETURN_IF_ERROR(ParseTaxaBlock(&scan, &doc));
+    } else if (EqualsIgnoreCase(block, "TREES")) {
+      CRIMSON_RETURN_IF_ERROR(ParseTreesBlock(&scan, &doc));
+    } else if (EqualsIgnoreCase(block, "CHARACTERS") ||
+               EqualsIgnoreCase(block, "DATA")) {
+      CRIMSON_RETURN_IF_ERROR(ParseCharactersBlock(&scan, &doc));
+    } else {
+      // Unknown block: skip commands until END;
+      while (true) {
+        CRIMSON_ASSIGN_OR_RETURN(std::string cmd, scan.Next());
+        if (EqualsIgnoreCase(cmd, "END") ||
+            EqualsIgnoreCase(cmd, "ENDBLOCK")) {
+          CRIMSON_RETURN_IF_ERROR(scan.SkipCommand());
+          break;
+        }
+        CRIMSON_RETURN_IF_ERROR(scan.SkipCommand());
+      }
+    }
+  }
+  return doc;
+}
+
+namespace {
+
+std::string QuoteIfNeeded(const std::string& label) {
+  bool need = label.empty();
+  for (char c : label) {
+    if (isspace(static_cast<unsigned char>(c)) || c == ';' || c == '=' ||
+        c == ',' || c == '[' || c == ']' || c == '(' || c == ')' ||
+        c == '\'') {
+      need = true;
+      break;
+    }
+  }
+  if (!need) return label;
+  std::string out = "'";
+  for (char c : label) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+std::string WriteNexus(const NexusDocument& doc) {
+  std::string out = "#NEXUS\n\n";
+  out += "BEGIN TAXA;\n";
+  out += StrFormat("  DIMENSIONS NTAX=%zu;\n", doc.taxa.size());
+  out += "  TAXLABELS";
+  for (const std::string& t : doc.taxa) {
+    out += " " + QuoteIfNeeded(t);
+  }
+  out += ";\nEND;\n\n";
+
+  if (!doc.sequences.empty()) {
+    size_t nchar = doc.sequences.begin()->second.size();
+    out += "BEGIN DATA;\n";
+    out += StrFormat("  DIMENSIONS NTAX=%zu NCHAR=%zu;\n",
+                     doc.sequences.size(), nchar);
+    out += StrFormat("  FORMAT DATATYPE=%s MISSING=? GAP=-;\n",
+                     doc.datatype.c_str());
+    out += "  MATRIX\n";
+    for (const auto& [taxon, seq] : doc.sequences) {
+      out += "    " + QuoteIfNeeded(taxon) + " " + seq + "\n";
+    }
+    out += "  ;\nEND;\n\n";
+  }
+
+  if (!doc.trees.empty()) {
+    out += "BEGIN TREES;\n";
+    for (const NexusTree& nt : doc.trees) {
+      out += StrFormat("  TREE %s = [&R] ",
+                       QuoteIfNeeded(nt.name).c_str());
+      out += WriteNewick(nt.tree);
+      out += "\n";
+    }
+    out += "END;\n";
+  }
+  return out;
+}
+
+}  // namespace crimson

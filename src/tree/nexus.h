@@ -1,0 +1,50 @@
+// NEXUS file format support (Maddison, Swofford & Maddison 1997), the
+// standard exchange format for phylogenetic data and the input format
+// of the Crimson loader (paper §2.1, §3).
+//
+// Supported blocks:
+//   TAXA       -- DIMENSIONS NTAX, TAXLABELS
+//   TREES      -- TRANSLATE, TREE <name> = [&R/&U] <newick>;
+//   CHARACTERS / DATA -- DIMENSIONS NCHAR, FORMAT DATATYPE, MATRIX
+// Unknown blocks and commands are skipped (the format is extensible by
+// design). Comments [...] are honored everywhere.
+
+#ifndef CRIMSON_TREE_NEXUS_H_
+#define CRIMSON_TREE_NEXUS_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+/// A named tree inside a TREES block.
+struct NexusTree {
+  std::string name;
+  PhyloTree tree;
+};
+
+/// Parsed contents of a NEXUS file.
+struct NexusDocument {
+  std::vector<std::string> taxa;
+  std::vector<NexusTree> trees;
+  /// taxon -> molecular sequence (CHARACTERS/DATA matrix).
+  std::map<std::string, std::string> sequences;
+  /// FORMAT DATATYPE (upper-cased; "DNA" if unspecified).
+  std::string datatype = "DNA";
+};
+
+/// Parses a NEXUS document.
+Result<NexusDocument> ParseNexus(std::string_view text);
+
+/// Serializes a document (TAXA, then DATA if sequences exist, then
+/// TREES if trees exist).
+std::string WriteNexus(const NexusDocument& doc);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_TREE_NEXUS_H_

@@ -1,0 +1,253 @@
+#include "tree/phylo_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace crimson {
+
+NodeId PhyloTree::AddRoot(std::string name, double edge_length) {
+  assert(nodes_.empty() && "AddRoot on non-empty tree");
+  Node n;
+  n.name = std::move(name);
+  n.edge_length = edge_length;
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+NodeId PhyloTree::AddChild(NodeId parent, std::string name,
+                           double edge_length) {
+  assert(parent < nodes_.size());
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.name = std::move(name);
+  n.edge_length = edge_length;
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  Node& p = nodes_[parent];
+  if (p.first_child == kNoNode) {
+    p.first_child = id;
+  } else {
+    nodes_[p.last_child].next_sibling = id;
+  }
+  p.last_child = id;
+  return id;
+}
+
+void PhyloTree::Reserve(size_t n) { nodes_.reserve(n); }
+
+int PhyloTree::OutDegree(NodeId n) const {
+  int d = 0;
+  for (NodeId c = nodes_[n].first_child; c != kNoNode;
+       c = nodes_[c].next_sibling) {
+    ++d;
+  }
+  return d;
+}
+
+std::vector<NodeId> PhyloTree::Children(NodeId n) const {
+  std::vector<NodeId> out;
+  for (NodeId c = nodes_[n].first_child; c != kNoNode;
+       c = nodes_[c].next_sibling) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+void PhyloTree::PreOrder(const std::function<bool(NodeId)>& fn,
+                         NodeId start) const {
+  if (nodes_.empty()) return;
+  // Sibling-chain trick: visiting n pushes its next sibling (resuming
+  // the parent's child list later) and then its first child, so no
+  // per-node child vector is materialized.
+  std::vector<NodeId> stack = {start};
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (!fn(n)) return;
+    if (n != start && nodes_[n].next_sibling != kNoNode) {
+      stack.push_back(nodes_[n].next_sibling);
+    }
+    if (nodes_[n].first_child != kNoNode) {
+      stack.push_back(nodes_[n].first_child);
+    }
+  }
+}
+
+void PhyloTree::PostOrder(const std::function<bool(NodeId)>& fn,
+                          NodeId start) const {
+  if (nodes_.empty()) return;
+  // Two-phase iterative post-order using the sibling-chain trick: an
+  // unexpanded node pushes (sibling, unexpanded), (self, expanded),
+  // (first child, unexpanded); every child subtree completes above the
+  // expanded marker.
+  std::vector<std::pair<NodeId, bool>> stack = {{start, false}};
+  while (!stack.empty()) {
+    auto [n, expanded] = stack.back();
+    stack.pop_back();
+    if (expanded) {
+      if (!fn(n)) return;
+      continue;
+    }
+    if (n != start && nodes_[n].next_sibling != kNoNode) {
+      stack.push_back({nodes_[n].next_sibling, false});
+    }
+    stack.push_back({n, true});
+    if (nodes_[n].first_child != kNoNode) {
+      stack.push_back({nodes_[n].first_child, false});
+    }
+  }
+}
+
+std::vector<uint32_t> PhyloTree::PreOrderRanks() const {
+  std::vector<uint32_t> rank(nodes_.size(), 0);
+  uint32_t next = 0;
+  PreOrder([&](NodeId n) {
+    rank[n] = next++;
+    return true;
+  });
+  return rank;
+}
+
+std::vector<uint32_t> PhyloTree::Depths() const {
+  std::vector<uint32_t> depth(nodes_.size(), 0);
+  // Arena order guarantees parents precede children.
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    depth[i] = depth[nodes_[i].parent] + 1;
+  }
+  return depth;
+}
+
+std::vector<double> PhyloTree::RootPathWeights() const {
+  std::vector<double> w(nodes_.size(), 0.0);
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    w[i] = w[nodes_[i].parent] + nodes_[i].edge_length;
+  }
+  return w;
+}
+
+std::vector<NodeId> PhyloTree::Leaves() const {
+  std::vector<NodeId> out;
+  PreOrder([&](NodeId n) {
+    if (is_leaf(n)) out.push_back(n);
+    return true;
+  });
+  return out;
+}
+
+size_t PhyloTree::LeafCount() const {
+  size_t n = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].first_child == kNoNode) ++n;
+  }
+  return n;
+}
+
+uint32_t PhyloTree::MaxDepth() const {
+  uint32_t best = 0;
+  std::vector<uint32_t> d = Depths();
+  for (uint32_t v : d) best = std::max(best, v);
+  return best;
+}
+
+NodeId PhyloTree::FindByName(std::string_view name) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return kNoNode;
+}
+
+NodeId PhyloTree::NaiveLca(NodeId a, NodeId b) const {
+  std::vector<uint32_t> depth = Depths();
+  while (a != b) {
+    if (depth[a] >= depth[b]) {
+      a = nodes_[a].parent;
+    } else {
+      b = nodes_[b].parent;
+    }
+  }
+  return a;
+}
+
+bool PhyloTree::IsAncestorOrSelf(NodeId anc, NodeId n) const {
+  while (n != kNoNode) {
+    if (n == anc) return true;
+    n = nodes_[n].parent;
+  }
+  return false;
+}
+
+namespace {
+
+/// Canonical string of a subtree: name, edge length (rounded), and the
+/// sorted canonical forms of children. Used for unordered comparison.
+std::string Canonical(const PhyloTree& t, NodeId n, double eps) {
+  std::vector<std::string> kids;
+  for (NodeId c = t.first_child(n); c != kNoNode; c = t.next_sibling(c)) {
+    kids.push_back(Canonical(t, c, eps));
+  }
+  std::sort(kids.begin(), kids.end());
+  // Quantize the edge length by eps so nearly-equal weights compare equal.
+  long long q = eps > 0 ? std::llround(t.edge_length(n) / eps) : 0;
+  std::string out = "(";
+  out += t.name(n);
+  out += ":";
+  out += std::to_string(q);
+  for (const std::string& k : kids) out += k;
+  out += ")";
+  return out;
+}
+
+bool OrderedEqual(const PhyloTree& a, NodeId na, const PhyloTree& b, NodeId nb,
+                  double eps) {
+  if (a.name(na) != b.name(nb)) return false;
+  if (std::fabs(a.edge_length(na) - b.edge_length(nb)) > eps) return false;
+  NodeId ca = a.first_child(na), cb = b.first_child(nb);
+  while (ca != kNoNode && cb != kNoNode) {
+    if (!OrderedEqual(a, ca, b, cb, eps)) return false;
+    ca = a.next_sibling(ca);
+    cb = b.next_sibling(cb);
+  }
+  return ca == kNoNode && cb == kNoNode;
+}
+
+}  // namespace
+
+bool PhyloTree::Equal(const PhyloTree& a, const PhyloTree& b, double eps,
+                      bool ordered) {
+  if (a.empty() || b.empty()) return a.empty() == b.empty();
+  if (a.size() != b.size()) return false;
+  if (ordered) return OrderedEqual(a, a.root(), b, b.root(), eps);
+  return Canonical(a, a.root(), eps) == Canonical(b, b.root(), eps);
+}
+
+Status PhyloTree::Validate() const {
+  if (nodes_.empty()) return Status::OK();
+  if (nodes_[0].parent != kNoNode) {
+    return Status::Corruption("root has a parent");
+  }
+  size_t reachable = 0;
+  PreOrder([&](NodeId) {
+    ++reachable;
+    return true;
+  });
+  if (reachable != nodes_.size()) {
+    return Status::Corruption(
+        StrFormat("%zu of %zu nodes reachable from root", reachable,
+                  nodes_.size()));
+  }
+  // Child lists must agree with parent pointers.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (NodeId c = nodes_[i].first_child; c != kNoNode;
+         c = nodes_[c].next_sibling) {
+      if (nodes_[c].parent != static_cast<NodeId>(i)) {
+        return Status::Corruption("child/parent pointer mismatch");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace crimson

@@ -1,0 +1,92 @@
+#include "tree/tree_builders.h"
+
+#include "common/string_util.h"
+
+namespace crimson {
+
+PhyloTree MakePaperFigure1Tree() {
+  // Reconstructed from three worked examples in the paper that pin the
+  // shape and weights down uniquely:
+  //  * Dewey labels: Lla = (2.1.1), Spy = (2.1.2), LCA = (2.1)  [§2.1]
+  //    -> root's 2nd child is an internal node P; P's 1st child is an
+  //       internal node x; x's children are Lla, Spy.
+  //  * Projection of {Bha, Lla, Syn} (Fig. 2): root -> P' = 0.75,
+  //    P' -> Bha = 1.5, P' -> Lla = 1.5 (merged 0.5 + 1.0 through x),
+  //    root -> Syn = 2.5.
+  //  * Sampling at time 1 (§2.2): the frontier of minimal nodes with
+  //    root-path weight > 1 is exactly {Bha, x, Syn, Bsu}:
+  //    Bha = 0.75+1.5 = 2.25, x = 0.75+0.5 = 1.25, Syn = 2.5,
+  //    Bsu = 1.25.
+  PhyloTree t;
+  NodeId root = t.AddRoot("root");
+  t.AddChild(root, "Syn", 2.5);                  // child 1
+  NodeId p = t.AddChild(root, "", 0.75);         // child 2 ("P", node 3 in Fig. 4)
+  t.AddChild(root, "Bsu", 1.25);                 // child 3
+  NodeId x = t.AddChild(p, "", 0.5);             // P child 1 ("x", node 4 in Fig. 4)
+  t.AddChild(p, "Bha", 1.5);                     // P child 2
+  t.AddChild(x, "Lla", 1.0);                     // x child 1 -> Dewey 2.1.1
+  t.AddChild(x, "Spy", 1.0);                     // x child 2 -> Dewey 2.1.2
+  return t;
+}
+
+PhyloTree MakeCaterpillar(uint32_t depth, double edge_len) {
+  PhyloTree t;
+  t.Reserve(2 * depth + 2);
+  NodeId cur = t.AddRoot("");
+  for (uint32_t d = 0; d < depth; ++d) {
+    t.AddChild(cur, StrFormat("L%u", d), edge_len);
+    cur = t.AddChild(cur, "", edge_len);
+  }
+  t.set_name(cur, StrFormat("L%u", depth));
+  return t;
+}
+
+PhyloTree MakeBalancedBinary(uint32_t levels, double edge_len) {
+  PhyloTree t;
+  t.Reserve((2u << levels));
+  NodeId root = t.AddRoot("");
+  std::vector<NodeId> frontier = {root};
+  for (uint32_t lvl = 0; lvl < levels; ++lvl) {
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() * 2);
+    for (NodeId n : frontier) {
+      next.push_back(t.AddChild(n, "", edge_len));
+      next.push_back(t.AddChild(n, "", edge_len));
+    }
+    frontier = std::move(next);
+  }
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    t.set_name(frontier[i], StrFormat("L%zu", i));
+  }
+  return t;
+}
+
+PhyloTree MakeRandomBinary(uint32_t n_leaves, Rng* rng) {
+  // Grow by repeatedly picking a random current leaf and giving it two
+  // children; the picked node becomes internal. Produces a random
+  // binary shape whose depth concentrates around O(log n) with heavy
+  // tails, useful as a generic workload.
+  PhyloTree t;
+  if (n_leaves == 0) return t;
+  t.Reserve(2 * n_leaves);
+  NodeId root = t.AddRoot("");
+  if (n_leaves == 1) {
+    t.set_name(root, "L0");
+    return t;
+  }
+  std::vector<NodeId> leaves = {root};
+  while (leaves.size() < n_leaves) {
+    size_t pick = static_cast<size_t>(rng->Uniform(leaves.size()));
+    NodeId n = leaves[pick];
+    NodeId a = t.AddChild(n, "", rng->Exponential(1.0));
+    NodeId b = t.AddChild(n, "", rng->Exponential(1.0));
+    leaves[pick] = a;
+    leaves.push_back(b);
+  }
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    t.set_name(leaves[i], StrFormat("L%zu", i));
+  }
+  return t;
+}
+
+}  // namespace crimson

@@ -1,0 +1,45 @@
+// Deterministic tree constructors used by tests, benches, and examples,
+// including the exact worked example from the paper (Figure 1).
+
+#ifndef CRIMSON_TREE_TREE_BUILDERS_H_
+#define CRIMSON_TREE_TREE_BUILDERS_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+
+/// The sample phylogenetic tree of paper Figure 1:
+///
+///        root
+///       /    \        root->A: 1.25,  root->Bsu: 2.5
+///      A      Bsu
+///     / \             A->Bha: 1.5,  A->B: 0.75
+///   Bha   B
+///        /|\          B->Lla: 0.75(*), B->Spy: 1, B->Syn? no --
+///
+/// Exactly as drawn: root has children {A, Bsu}; A has {Bha, B, Syn};
+/// B has {Lla, Spy}. Edge weights: root->A=1.25, root->Bsu=2.5,
+/// A->Bha=1.5, A->B=0.75, A->Syn=1.5? -- see the cc for the calibrated
+/// numbers; they reproduce both the Figure 2 projection (Lla edge
+/// 0.75+0.75=1.5) and the §2.2 time-sampling frontier at t=1.
+PhyloTree MakePaperFigure1Tree();
+
+/// Caterpillar (maximally deep) tree: depth internal levels, one leaf
+/// hanging off each internal node plus a terminal leaf. Leaf names
+/// "L0".."L<depth>"; every edge has length edge_len.
+PhyloTree MakeCaterpillar(uint32_t depth, double edge_len = 1.0);
+
+/// Perfectly balanced binary tree with 2^levels leaves ("L0"...).
+PhyloTree MakeBalancedBinary(uint32_t levels, double edge_len = 1.0);
+
+/// Random binary tree shape over n leaves grown by random leaf-edge
+/// splitting (uniform over a broad class of shapes); edge lengths
+/// drawn Exponential(1).
+PhyloTree MakeRandomBinary(uint32_t n_leaves, Rng* rng);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_TREE_TREE_BUILDERS_H_

@@ -1,0 +1,153 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.h"
+
+namespace crimson {
+namespace {
+
+TEST(FixedCodingTest, Fixed16RoundTrip) {
+  char buf[2];
+  for (uint32_t v : {0u, 1u, 255u, 256u, 0xffffu}) {
+    EncodeFixed16(buf, static_cast<uint16_t>(v));
+    EXPECT_EQ(DecodeFixed16(buf), v);
+  }
+}
+
+TEST(FixedCodingTest, Fixed32RoundTrip) {
+  char buf[4];
+  for (uint32_t v : {0u, 1u, 0xffu, 0x12345678u, 0xffffffffu}) {
+    EncodeFixed32(buf, v);
+    EXPECT_EQ(DecodeFixed32(buf), v);
+  }
+}
+
+TEST(FixedCodingTest, Fixed64RoundTrip) {
+  char buf[8];
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0xdeadbeefcafebabe},
+                     std::numeric_limits<uint64_t>::max()}) {
+    EncodeFixed64(buf, v);
+    EXPECT_EQ(DecodeFixed64(buf), v);
+  }
+}
+
+TEST(FixedCodingTest, LittleEndianLayout) {
+  char buf[4];
+  EncodeFixed32(buf, 0x01020304u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x01);
+}
+
+TEST(VarintTest, KnownEncodedSizes) {
+  EXPECT_EQ(VarintLength(0), 1);
+  EXPECT_EQ(VarintLength(127), 1);
+  EXPECT_EQ(VarintLength(128), 2);
+  EXPECT_EQ(VarintLength(16383), 2);
+  EXPECT_EQ(VarintLength(16384), 3);
+  EXPECT_EQ(VarintLength(std::numeric_limits<uint64_t>::max()), 10);
+}
+
+TEST(VarintTest, RoundTrip32Boundaries) {
+  for (uint32_t v :
+       {0u, 1u, 127u, 128u, 16383u, 16384u, 0xffffffu, 0xffffffffu}) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    Slice in(buf);
+    uint32_t decoded = 0;
+    ASSERT_TRUE(GetVarint32(&in, &decoded));
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  for (size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+    Slice in(buf.data(), cut);
+    uint64_t v;
+    EXPECT_FALSE(GetVarint64(&in, &v)) << "cut=" << cut;
+  }
+}
+
+TEST(VarintTest, Oversized32Rejected) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t{1} << 35);
+  Slice in(buf);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&in, &v));
+}
+
+// Property sweep: random round trips at several magnitudes.
+class VarintPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VarintPropertyTest, RandomRoundTrips) {
+  int bits = GetParam();
+  Rng rng(1234 + static_cast<uint64_t>(bits));
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.Next() >> (64 - bits);
+    std::string buf;
+    PutVarint64(&buf, v);
+    Slice in(buf);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(&in, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, VarintPropertyTest,
+                         ::testing::Values(1, 8, 16, 24, 32, 48, 63, 64));
+
+TEST(LengthPrefixedTest, RoundTrip) {
+  std::string buf;
+  PutLengthPrefixedSlice(&buf, Slice("hello"));
+  PutLengthPrefixedSlice(&buf, Slice(""));
+  PutLengthPrefixedSlice(&buf, Slice(std::string(1000, 'x')));
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(LengthPrefixedTest, TruncatedPayloadFails) {
+  std::string buf;
+  PutLengthPrefixedSlice(&buf, Slice("hello"));
+  Slice in(buf.data(), buf.size() - 2);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&in, &out));
+}
+
+TEST(DoubleCodingTest, RoundTripIncludingSpecials) {
+  for (double d : {0.0, -0.0, 1.5, -273.15, 1e300, -1e-300,
+                   std::numeric_limits<double>::infinity()}) {
+    std::string buf;
+    PutDouble(&buf, d);
+    Slice in(buf);
+    double decoded = 0;
+    ASSERT_TRUE(GetDouble(&in, &decoded));
+    EXPECT_EQ(decoded, d);
+  }
+}
+
+TEST(SliceTest, CompareAndPrefix) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+  Slice s("hello");
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "llo");
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,120 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace crimson {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing species");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing species");
+  EXPECT_EQ(s.ToString(), "not_found: missing species");
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsPredicate) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("bad page");
+  Status t = s;
+  EXPECT_TRUE(t.IsCorruption());
+  EXPECT_EQ(t.message(), "bad page");
+  // Copy assignment over a non-OK status.
+  Status u = Status::IOError("disk");
+  u = s;
+  EXPECT_TRUE(u.IsCorruption());
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status s = Status::IOError("pread");
+  Status t = std::move(s);
+  EXPECT_TRUE(t.IsIOError());
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+  EXPECT_EQ(Status(), Status::OK());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "resource_exhausted");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  CRIMSON_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_TRUE(Chained(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok = ParsePositive(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_EQ(ok.value_or(-1), 7);
+
+  Result<int> bad = ParsePositive(0);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsOutOfRange());
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+Result<int> DoubleIt(int x) {
+  CRIMSON_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = DoubleIt(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> bad = DoubleIt(-3);
+  EXPECT_TRUE(bad.status().IsOutOfRange());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+}  // namespace
+}  // namespace crimson

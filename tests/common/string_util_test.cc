@@ -1,0 +1,72 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace crimson {
+namespace {
+
+TEST(StrSplitTest, BasicAndEmptyFields) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+  EXPECT_EQ(StrSplit("abc", ',').size(), 1u);
+}
+
+TEST(StrJoinTest, Joins) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"x"}, ","), "x");
+}
+
+TEST(StripWhitespaceTest, Strips) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(CaseTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("BEGIN", "begin"));
+  EXPECT_TRUE(EqualsIgnoreCase("TaXa", "tAxA"));
+  EXPECT_FALSE(EqualsIgnoreCase("taxa", "tax"));
+  EXPECT_EQ(ToUpperAscii("nexus"), "NEXUS");
+  EXPECT_EQ(ToLowerAscii("NeXuS"), "nexus");
+}
+
+TEST(ParseInt64Test, ValidAndInvalid) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("9999999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e-3"), -1e-3);
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.75"), 0.75);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.5abc").ok());
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+  // Long output beyond any small static buffer.
+  std::string long_out = StrFormat("%s", std::string(5000, 'y').c_str());
+  EXPECT_EQ(long_out.size(), 5000u);
+}
+
+TEST(HumanBytesTest, Units) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+}  // namespace
+}  // namespace crimson

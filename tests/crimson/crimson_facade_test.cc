@@ -1,0 +1,250 @@
+#include "crimson/crimson.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/seq_evolve.h"
+#include "storage/file.h"
+#include "tree/newick.h"
+#include "tree/nexus.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+constexpr char kFig1Newick[] =
+    "(Syn:2.5,((Lla:1,Spy:1):0.5,Bha:1.5):0.75,Bsu:1.25)root;";
+
+class CrimsonFacadeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CrimsonOptions opts;
+    opts.f = 3;
+    auto c = Crimson::Open(opts);
+    ASSERT_TRUE(c.ok()) << c.status();
+    crimson_ = std::move(c).value();
+    auto report = crimson_->LoadNewick("fig1", kFig1Newick);
+    ASSERT_TRUE(report.ok()) << report.status();
+  }
+
+  std::unique_ptr<Crimson> crimson_;
+};
+
+TEST_F(CrimsonFacadeTest, ListAndGetTree) {
+  auto list = crimson_->ListTrees();
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 1u);
+  EXPECT_EQ((*list)[0].name, "fig1");
+  EXPECT_EQ((*list)[0].n_nodes, 8);
+  auto tree = crimson_->GetTree("fig1");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(PhyloTree::Equal(**tree, MakePaperFigure1Tree(), 1e-9,
+                               /*ordered=*/false));
+}
+
+TEST_F(CrimsonFacadeTest, LcaQuery) {
+  auto a = crimson_->Lca("fig1", "Lla", "Spy");
+  ASSERT_TRUE(a.ok()) << a.status();
+  auto tree = crimson_->GetTree("fig1");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(a->node, (*tree)->parent((*tree)->FindByName("Lla")));
+  auto b = crimson_->Lca("fig1", "Lla", "Syn");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->name, "root");
+  EXPECT_TRUE(crimson_->Lca("fig1", "Lla", "Zzz").status().IsNotFound());
+  EXPECT_TRUE(crimson_->Lca("ghost", "A", "B").status().IsNotFound());
+}
+
+TEST_F(CrimsonFacadeTest, ProjectQueryMatchesFigure2) {
+  auto proj = crimson_->Project("fig1", {"Bha", "Lla", "Syn"});
+  ASSERT_TRUE(proj.ok()) << proj.status();
+  auto expected = ParseNewick("((Lla:1.5,Bha:1.5):0.75,Syn:2.5)root;");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(PhyloTree::Equal(*proj, *expected, 1e-9, /*ordered=*/false));
+}
+
+TEST_F(CrimsonFacadeTest, SamplingQueries) {
+  auto uniform = crimson_->SampleUniform("fig1", 3);
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_EQ(uniform->size(), 3u);
+  auto timed = crimson_->SampleWithRespectToTime("fig1", 4, 1.0);
+  ASSERT_TRUE(timed.ok());
+  std::set<std::string> names(timed->begin(), timed->end());
+  EXPECT_TRUE(names.count("Bha"));
+  EXPECT_TRUE(names.count("Syn"));
+  EXPECT_TRUE(names.count("Bsu"));
+}
+
+TEST_F(CrimsonFacadeTest, CladeQuery) {
+  auto clade = crimson_->MinimalClade("fig1", {"Lla", "Spy"});
+  ASSERT_TRUE(clade.ok());
+  EXPECT_EQ(clade->node_count, 3u);
+  EXPECT_EQ(clade->leaf_count, 2u);
+  auto wide = crimson_->MinimalClade("fig1", {"Lla", "Bsu"});
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->node_count, 8u);
+}
+
+TEST_F(CrimsonFacadeTest, PatternMatchQuery) {
+  auto hit =
+      crimson_->MatchPattern("fig1", "((Bha:1.5,Lla:1.5):0.75,Syn:2.5);",
+                             /*match_weights=*/true);
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  EXPECT_TRUE(hit->exact);
+  // Non-match with 4 leaves so unrooted RF is informative (3-leaf
+  // unrooted trees have no non-trivial splits).
+  auto miss = crimson_->MatchPattern(
+      "fig1", "((Bha:1,Lla:1):1,(Spy:1,Syn:1):1);",
+      /*match_weights=*/false);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->exact);
+  EXPECT_GT(miss->rf_normalized, 0.0);
+}
+
+TEST_F(CrimsonFacadeTest, QueryHistoryRecordsEverything) {
+  ASSERT_TRUE(crimson_->Lca("fig1", "Lla", "Spy").ok());
+  ASSERT_TRUE(crimson_->Project("fig1", {"Bha", "Syn"}).ok());
+  ASSERT_TRUE(crimson_->SampleUniform("fig1", 2).ok());
+  auto history = crimson_->QueryHistory();
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 3u);
+  EXPECT_EQ((*history)[0].kind, "sample_uniform");
+  EXPECT_EQ((*history)[1].kind, "project");
+  EXPECT_EQ((*history)[2].kind, "lca");
+  EXPECT_FALSE((*history)[2].summary.empty());
+}
+
+TEST_F(CrimsonFacadeTest, RerunQueryReproducesAnswers) {
+  auto first = crimson_->Lca("fig1", "Lla", "Syn");
+  ASSERT_TRUE(first.ok());
+  auto history = crimson_->QueryHistory(1);
+  ASSERT_TRUE(history.ok());
+  int64_t qid = (*history)[0].query_id;
+  auto rerun = crimson_->RerunQuery(qid);
+  ASSERT_TRUE(rerun.ok()) << rerun.status();
+  EXPECT_NE(rerun->find("root"), std::string::npos);
+  // Projection reruns return Newick.
+  ASSERT_TRUE(crimson_->Project("fig1", {"Bha", "Lla", "Syn"}).ok());
+  history = crimson_->QueryHistory(1);
+  auto proj_rerun = crimson_->RerunQuery((*history)[0].query_id);
+  ASSERT_TRUE(proj_rerun.ok());
+  auto reparsed = ParseNewick(*proj_rerun);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->LeafCount(), 3u);
+}
+
+TEST_F(CrimsonFacadeTest, BenchmarkRequiresSpeciesData) {
+  SelectionSpec sel;
+  sel.kind = SelectionSpec::Kind::kUniform;
+  sel.k = 4;
+  auto nj = MakeNjAlgorithm();
+  EXPECT_TRUE(crimson_->Benchmark("fig1", *nj, sel)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(CrimsonFacadeTest, BenchmarkWithLoadedSequences) {
+  // Attach simulated sequences, then benchmark NJ end to end.
+  auto tree = crimson_->GetTree("fig1");
+  ASSERT_TRUE(tree.ok());
+  SeqEvolveOptions opts;
+  opts.seq_length = 400;
+  auto ev = SequenceEvolver::Create(opts);
+  ASSERT_TRUE(ev.ok());
+  Rng rng(5);
+  auto seqs = ev->EvolveLeaves(**tree, &rng);
+  ASSERT_TRUE(seqs.ok());
+  ASSERT_TRUE(crimson_->AppendSpeciesData("fig1", *seqs).ok());
+
+  SelectionSpec sel;
+  sel.kind = SelectionSpec::Kind::kUniform;
+  sel.k = 5;
+  auto nj = MakeNjAlgorithm();
+  auto run = crimson_->Benchmark("fig1", *nj, sel);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->sample_size, 5u);
+  EXPECT_EQ(run->reconstructed.LeafCount(), 5u);
+}
+
+TEST(CrimsonPersistenceTest, OnDiskLifecycle) {
+  std::string path = testing::TempDir() + "/crimson_facade.db";
+  RemoveFile(path);
+  {
+    CrimsonOptions opts;
+    opts.db_path = path;
+    opts.f = 3;
+    auto c = Crimson::Open(opts);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE((*c)->LoadNewick("fig1", kFig1Newick).ok());
+    ASSERT_TRUE((*c)->Lca("fig1", "Lla", "Spy").ok());
+    ASSERT_TRUE((*c)->Flush().ok());
+  }
+  {
+    CrimsonOptions opts;
+    opts.db_path = path;
+    auto c = Crimson::Open(opts);
+    ASSERT_TRUE(c.ok());
+    auto list = (*c)->ListTrees();
+    ASSERT_TRUE(list.ok());
+    ASSERT_EQ(list->size(), 1u);
+    // Query history survived.
+    auto history = (*c)->QueryHistory();
+    ASSERT_TRUE(history.ok());
+    ASSERT_EQ(history->size(), 1u);
+    EXPECT_EQ((*history)[0].kind, "lca");
+    // And the tree still answers queries.
+    auto a = (*c)->Lca("fig1", "Lla", "Syn");
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a->name, "root");
+  }
+  RemoveFile(path);
+}
+
+TEST(CrimsonOptionsTest, DuplicateLoadRejected) {
+  auto c = Crimson::Open();
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE((*c)->LoadNewick("t", "(A:1,B:1);").ok());
+  EXPECT_TRUE((*c)->LoadNewick("t", "(C:1,D:1);").status().IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace crimson
+
+namespace crimson {
+namespace {
+
+TEST(CrimsonViewerTest, ExportNexusAndRender) {
+  CrimsonOptions opts;
+  opts.f = 3;
+  auto c = Crimson::Open(opts);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(
+      (*c)->LoadNewick("fig1",
+                       "(Syn:2.5,((Lla:1,Spy:1):0.5,Bha:1.5):0.75,Bsu:1.25)"
+                       "root;")
+          .ok());
+  std::map<std::string, std::string> seqs = {{"Syn", "ACGT"},
+                                             {"Bha", "TTTT"}};
+  ASSERT_TRUE((*c)->AppendSpeciesData("fig1", seqs).ok());
+
+  auto nexus = (*c)->ExportNexus("fig1");
+  ASSERT_TRUE(nexus.ok()) << nexus.status();
+  EXPECT_NE(nexus->find("#NEXUS"), std::string::npos);
+  EXPECT_NE(nexus->find("TAXLABELS"), std::string::npos);
+  EXPECT_NE(nexus->find("ACGT"), std::string::npos);
+  EXPECT_NE(nexus->find("TREE fig1"), std::string::npos);
+  // The exported document reparses to an equal tree.
+  auto doc = ParseNexus(*nexus);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->trees.size(), 1u);
+  EXPECT_TRUE(PhyloTree::Equal(doc->trees[0].tree, MakePaperFigure1Tree(),
+                               1e-9, /*ordered=*/false));
+
+  auto art = (*c)->RenderTree("fig1");
+  ASSERT_TRUE(art.ok());
+  EXPECT_NE(art->find("Lla:1"), std::string::npos);
+  EXPECT_NE(art->find("└──"), std::string::npos);
+  EXPECT_TRUE((*c)->RenderTree("ghost").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace crimson

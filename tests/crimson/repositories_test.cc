@@ -1,0 +1,231 @@
+#include "crimson/repositories.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/tree_sim.h"
+#include "storage/file.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+class RepositoriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::OpenInMemory();
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    auto trees = TreeRepository::Open(db_.get());
+    ASSERT_TRUE(trees.ok()) << trees.status();
+    trees_ = std::move(trees).value();
+    auto species = SpeciesRepository::Open(db_.get());
+    ASSERT_TRUE(species.ok());
+    species_ = std::move(species).value();
+    auto queries = QueryRepository::Open(db_.get());
+    ASSERT_TRUE(queries.ok());
+    queries_ = std::move(queries).value();
+  }
+
+  int64_t StoreFig1(const std::string& name = "fig1") {
+    PhyloTree t = MakePaperFigure1Tree();
+    LayeredDeweyScheme scheme(3);
+    EXPECT_TRUE(scheme.Build(t).ok());
+    auto id = trees_->StoreTree(name, t, scheme);
+    EXPECT_TRUE(id.ok()) << id.status();
+    return *id;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TreeRepository> trees_;
+  std::unique_ptr<SpeciesRepository> species_;
+  std::unique_ptr<QueryRepository> queries_;
+};
+
+TEST_F(RepositoriesTest, StoreAndLoadRoundTrip) {
+  int64_t id = StoreFig1();
+  auto info = trees_->GetTreeInfo("fig1");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->tree_id, id);
+  EXPECT_EQ(info->n_nodes, 8);
+  EXPECT_EQ(info->n_leaves, 5);
+  EXPECT_EQ(info->f, 3);
+  EXPECT_EQ(info->max_depth, 3);
+
+  auto loaded = trees_->LoadTree(id);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(PhyloTree::Equal(*loaded, MakePaperFigure1Tree(), 1e-9,
+                               /*ordered=*/true));
+}
+
+TEST_F(RepositoriesTest, FindNodeByName) {
+  int64_t id = StoreFig1();
+  PhyloTree t = MakePaperFigure1Tree();
+  for (const char* name : {"Bha", "Lla", "Spy", "Syn", "Bsu"}) {
+    auto node = trees_->FindNodeByName(id, name);
+    ASSERT_TRUE(node.ok()) << name;
+    EXPECT_EQ(*node, t.FindByName(name));
+  }
+  EXPECT_TRUE(trees_->FindNodeByName(id, "Nope").status().IsNotFound());
+}
+
+TEST_F(RepositoriesTest, NamesScopedPerTree) {
+  int64_t id1 = StoreFig1("first");
+  int64_t id2 = StoreFig1("second");
+  ASSERT_NE(id1, id2);
+  auto n1 = trees_->FindNodeByName(id1, "Lla");
+  auto n2 = trees_->FindNodeByName(id2, "Lla");
+  ASSERT_TRUE(n1.ok() && n2.ok());
+  EXPECT_EQ(*n1, *n2);  // same position in identical trees
+  auto list = trees_->ListTrees();
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 2u);
+}
+
+TEST_F(RepositoriesTest, DuplicateTreeNameRejected) {
+  StoreFig1("dup");
+  PhyloTree t = MakePaperFigure1Tree();
+  LayeredDeweyScheme scheme(3);
+  ASSERT_TRUE(scheme.Build(t).ok());
+  EXPECT_TRUE(trees_->StoreTree("dup", t, scheme).status().IsAlreadyExists());
+}
+
+TEST_F(RepositoriesTest, GetNodePointAccess) {
+  int64_t id = StoreFig1();
+  PhyloTree t = MakePaperFigure1Tree();
+  NodeId lla = t.FindByName("Lla");
+  auto row = trees_->GetNode(id, lla);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->name, "Lla");
+  EXPECT_EQ(row->parent, t.parent(lla));
+  EXPECT_DOUBLE_EQ(row->edge_length, 1.0);
+  EXPECT_DOUBLE_EQ(row->root_weight, 2.25);
+  EXPECT_EQ(row->subtree, 1u);  // Figure 4: Lla is in the split subtree
+  EXPECT_TRUE(trees_->GetNode(id, 999).status().IsNotFound());
+}
+
+TEST_F(RepositoriesTest, TimeRangeQueryUsesWeightIndex) {
+  int64_t id = StoreFig1();
+  PhyloTree t = MakePaperFigure1Tree();
+  // Nodes with weight in [1.0, 2.4): x(1.25), Bsu(1.25), Bha(2.25),
+  // Lla(2.25), Spy(2.25).
+  auto nodes = trees_->NodesInTimeRange(id, 1.0, 2.4);
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(nodes->size(), 5u);
+  // Upper bound excluded: Syn at 2.5 is out.
+  for (NodeId n : *nodes) EXPECT_NE(n, t.FindByName("Syn"));
+}
+
+TEST_F(RepositoriesTest, DropTreeRemovesEverything) {
+  int64_t id = StoreFig1("doomed");
+  ASSERT_TRUE(trees_->DropTree(id).ok());
+  EXPECT_TRUE(trees_->GetTreeInfo("doomed").status().IsNotFound());
+  EXPECT_TRUE(trees_->LoadTree(id).status().IsNotFound());
+  EXPECT_TRUE(trees_->FindNodeByName(id, "Lla").status().IsNotFound());
+}
+
+TEST_F(RepositoriesTest, SpeciesRepositoryRoundTrip) {
+  int64_t id = StoreFig1();
+  ASSERT_TRUE(species_->Put(id, "Bha", 5, "ACGTACGT").ok());
+  ASSERT_TRUE(species_->Put(id, "Lla", 6, "TTTTACGT").ok());
+  auto seq = species_->GetSequence("Bha");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, "ACGTACGT");
+  EXPECT_TRUE(species_->GetSequence("Zzz").status().IsNotFound());
+  auto all = species_->SequencesForTree(id);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+  auto subset = species_->SequencesFor({"Lla"});
+  ASSERT_TRUE(subset.ok());
+  EXPECT_EQ(subset->at("Lla"), "TTTTACGT");
+  EXPECT_TRUE(species_->SequencesFor({"Lla", "Zzz"}).status().IsNotFound());
+  EXPECT_EQ(*species_->Count(), 2u);
+}
+
+TEST_F(RepositoriesTest, LongSequencesSpillToOverflowPages) {
+  int64_t id = StoreFig1();
+  std::string genome(200000, 'A');
+  for (size_t i = 0; i < genome.size(); ++i) genome[i] = "ACGT"[i % 4];
+  ASSERT_TRUE(species_->Put(id, "Bha", 5, genome).ok());
+  auto seq = species_->GetSequence("Bha");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, genome);
+}
+
+TEST_F(RepositoriesTest, QueryRepositoryHistoryOrder) {
+  for (int i = 0; i < 5; ++i) {
+    auto id = queries_->Record("lca", "a=x&b=y", "result " + std::to_string(i));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, i + 1);
+  }
+  auto history = queries_->History(3);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 3u);
+  EXPECT_EQ((*history)[0].query_id, 5);  // newest first
+  EXPECT_EQ((*history)[2].query_id, 3);
+  auto one = queries_->Get(2);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->summary, "result 1");
+  EXPECT_TRUE(queries_->Get(99).status().IsNotFound());
+}
+
+TEST(RepositoriesPersistenceTest, SurvivesReopen) {
+  std::string path = testing::TempDir() + "/crimson_repo_test.db";
+  RemoveFile(path);
+  int64_t tree_id;
+  {
+    auto db = Database::Open(path);
+    ASSERT_TRUE(db.ok());
+    auto trees = TreeRepository::Open(db->get());
+    ASSERT_TRUE(trees.ok());
+    PhyloTree t = MakePaperFigure1Tree();
+    LayeredDeweyScheme scheme(3);
+    ASSERT_TRUE(scheme.Build(t).ok());
+    auto id = (*trees)->StoreTree("persisted", t, scheme);
+    ASSERT_TRUE(id.ok());
+    tree_id = *id;
+    auto species = SpeciesRepository::Open(db->get());
+    ASSERT_TRUE(species.ok());
+    ASSERT_TRUE((*species)->Put(tree_id, "Bha", 5, "ACGT").ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+  {
+    auto db = Database::Open(path);
+    ASSERT_TRUE(db.ok());
+    auto trees = TreeRepository::Open(db->get());
+    ASSERT_TRUE(trees.ok());
+    auto loaded = (*trees)->LoadTree(tree_id);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_TRUE(PhyloTree::Equal(*loaded, MakePaperFigure1Tree(), 1e-9,
+                                 /*ordered=*/true));
+    auto species = SpeciesRepository::Open(db->get());
+    ASSERT_TRUE(species.ok());
+    EXPECT_EQ(*(*species)->GetSequence("Bha"), "ACGT");
+  }
+  RemoveFile(path);
+}
+
+TEST(RepositoriesScaleTest, ThousandLeafTreeRoundTrip) {
+  auto db = Database::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  auto trees = TreeRepository::Open(db->get());
+  ASSERT_TRUE(trees.ok());
+  Rng rng(314);
+  YuleOptions opts;
+  opts.n_leaves = 1000;
+  auto t = SimulateYule(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  LayeredDeweyScheme scheme(8);
+  ASSERT_TRUE(scheme.Build(*t).ok());
+  auto id = (*trees)->StoreTree("yule1k", *t, scheme);
+  ASSERT_TRUE(id.ok());
+  auto loaded = (*trees)->LoadTree(*id);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(PhyloTree::Equal(*loaded, *t, 1e-9, /*ordered=*/true));
+  // Point access against the big nodes table.
+  auto node = (*trees)->FindNodeByName(*id, "S500");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(t->name(*node), "S500");
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,150 @@
+#include "labeling/dewey_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "common/slice.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+TEST(DeweyLabelTest, BasicOperations) {
+  DeweyLabel root;
+  EXPECT_TRUE(root.empty());
+  EXPECT_EQ(root.ToString(), "()");
+
+  DeweyLabel l({2, 1, 1});
+  EXPECT_EQ(l.depth(), 3u);
+  EXPECT_EQ(l.ToString(), "2.1.1");
+}
+
+TEST(DeweyLabelTest, CommonPrefix) {
+  DeweyLabel lla({2, 1, 1});
+  DeweyLabel spy({2, 1, 2});
+  // Paper §2.1: LCA(Lla, Spy) has label (2.1).
+  EXPECT_EQ(lla.CommonPrefix(spy).ToString(), "2.1");
+  EXPECT_EQ(lla.CommonPrefixLength(spy), 2u);
+  DeweyLabel other({3});
+  EXPECT_TRUE(lla.CommonPrefix(other).empty());
+  EXPECT_EQ(lla.CommonPrefix(lla).ToString(), "2.1.1");
+}
+
+TEST(DeweyLabelTest, PrefixIsAncestry) {
+  DeweyLabel anc({2, 1});
+  DeweyLabel desc({2, 1, 1});
+  EXPECT_TRUE(anc.IsPrefixOf(desc));
+  EXPECT_TRUE(anc.IsPrefixOf(anc));
+  EXPECT_FALSE(desc.IsPrefixOf(anc));
+  EXPECT_TRUE(DeweyLabel().IsPrefixOf(desc));  // root above everything
+  EXPECT_FALSE(DeweyLabel({2, 2}).IsPrefixOf(desc));
+}
+
+TEST(DeweyLabelTest, DocumentOrderCompare) {
+  EXPECT_LT(DeweyLabel({1}).Compare(DeweyLabel({2})), 0);
+  EXPECT_LT(DeweyLabel({2}).Compare(DeweyLabel({2, 1})), 0);
+  EXPECT_EQ(DeweyLabel({2, 1}).Compare(DeweyLabel({2, 1})), 0);
+  EXPECT_GT(DeweyLabel({2, 1, 2}).Compare(DeweyLabel({2, 1, 1})), 0);
+}
+
+TEST(DeweyLabelTest, EncodeDecodeRoundTrip) {
+  DeweyLabel l({1, 300, 70000, 2});
+  std::string buf;
+  l.EncodeTo(&buf);
+  EXPECT_EQ(buf.size(), l.EncodedBytes());
+  Slice in(buf);
+  auto decoded = DeweyLabel::DecodeFrom(&in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(*decoded == l);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(DeweyLabelTest, DecodeTruncatedFails) {
+  DeweyLabel l({1, 2, 3});
+  std::string buf;
+  l.EncodeTo(&buf);
+  Slice in(buf.data(), buf.size() - 1);
+  EXPECT_FALSE(DeweyLabel::DecodeFrom(&in).ok());
+}
+
+class DeweySchemeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tree_ = MakePaperFigure1Tree();
+    ASSERT_TRUE(scheme_.Build(tree_).ok());
+  }
+  PhyloTree tree_;
+  DeweyScheme scheme_;
+};
+
+TEST_F(DeweySchemeTest, PaperExampleLabels) {
+  // "the label of the leaf node Lla in Figure 1 would be (2.1.1), and
+  //  that of Spy would be (2.1.2)"
+  EXPECT_EQ(scheme_.label(tree_.FindByName("Lla")).ToString(), "2.1.1");
+  EXPECT_EQ(scheme_.label(tree_.FindByName("Spy")).ToString(), "2.1.2");
+  EXPECT_EQ(scheme_.label(tree_.root()).ToString(), "()");
+  EXPECT_EQ(scheme_.label(tree_.FindByName("Syn")).ToString(), "1");
+  EXPECT_EQ(scheme_.label(tree_.FindByName("Bsu")).ToString(), "3");
+}
+
+TEST_F(DeweySchemeTest, PaperExampleLca) {
+  // "the least common ancestor of Lla and Spy ... the (interior) node
+  //  with label (2.1)"
+  NodeId lla = tree_.FindByName("Lla");
+  NodeId spy = tree_.FindByName("Spy");
+  auto lca = scheme_.Lca(lla, spy);
+  ASSERT_TRUE(lca.ok());
+  EXPECT_EQ(scheme_.label(*lca).ToString(), "2.1");
+  EXPECT_EQ(*lca, tree_.parent(lla));
+}
+
+TEST_F(DeweySchemeTest, NodeForLabelInvertsLabeling) {
+  for (NodeId n = 0; n < tree_.size(); ++n) {
+    EXPECT_EQ(scheme_.NodeForLabel(scheme_.label(n)), n);
+  }
+  EXPECT_EQ(scheme_.NodeForLabel(DeweyLabel({9, 9})), kNoNode);
+}
+
+TEST_F(DeweySchemeTest, AncestorChecks) {
+  NodeId lla = tree_.FindByName("Lla");
+  EXPECT_TRUE(*scheme_.IsAncestorOrSelf(tree_.root(), lla));
+  EXPECT_TRUE(*scheme_.IsAncestorOrSelf(lla, lla));
+  EXPECT_FALSE(*scheme_.IsAncestorOrSelf(lla, tree_.root()));
+  EXPECT_FALSE(*scheme_.IsAncestorOrSelf(tree_.FindByName("Bsu"), lla));
+}
+
+TEST_F(DeweySchemeTest, OutOfRangeRejected) {
+  EXPECT_FALSE(scheme_.Lca(0, 999).ok());
+  EXPECT_FALSE(scheme_.IsAncestorOrSelf(999, 0).ok());
+}
+
+TEST(DeweySchemeDeepTest, LabelBytesGrowWithDepth) {
+  // The paper's core complaint: Dewey label size is proportional to
+  // node depth.
+  DeweyScheme shallow, deep;
+  PhyloTree t1 = MakeCaterpillar(10);
+  PhyloTree t2 = MakeCaterpillar(1000);
+  ASSERT_TRUE(shallow.Build(t1).ok());
+  ASSERT_TRUE(deep.Build(t2).ok());
+  EXPECT_GT(deep.MaxLabelBytes(), 50 * shallow.MaxLabelBytes() / 10);
+  EXPECT_GE(deep.MaxLabelBytes(), 1000u);  // >= one byte per level
+}
+
+TEST(DeweySchemeDeepTest, AgreesWithNaiveLcaOnRandomTrees) {
+  Rng rng(21);
+  PhyloTree t = MakeRandomBinary(300, &rng);
+  DeweyScheme scheme;
+  ASSERT_TRUE(scheme.Build(t).ok());
+  for (int i = 0; i < 2000; ++i) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(t.size()));
+    NodeId b = static_cast<NodeId>(rng.Uniform(t.size()));
+    ASSERT_EQ(*scheme.Lca(a, b), t.NaiveLca(a, b));
+  }
+}
+
+TEST(DeweySchemeDeepTest, NotBuiltFailsGracefully) {
+  DeweyScheme scheme;
+  EXPECT_TRUE(scheme.Lca(0, 0).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,92 @@
+#include "labeling/interval_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+class IntervalSchemeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tree_ = MakePaperFigure1Tree();
+    ASSERT_TRUE(scheme_.Build(tree_).ok());
+  }
+  PhyloTree tree_;
+  IntervalScheme scheme_;
+};
+
+TEST_F(IntervalSchemeTest, PreOrderRanksAreIntervals) {
+  EXPECT_EQ(scheme_.pre(tree_.root()), 0u);
+  EXPECT_EQ(scheme_.max_descendant_pre(tree_.root()), tree_.size() - 1);
+  for (NodeId n = 0; n < tree_.size(); ++n) {
+    EXPECT_LE(scheme_.pre(n), scheme_.max_descendant_pre(n));
+    if (tree_.is_leaf(n)) {
+      EXPECT_EQ(scheme_.pre(n), scheme_.max_descendant_pre(n));
+    }
+  }
+}
+
+TEST_F(IntervalSchemeTest, AncestorChecks) {
+  NodeId lla = tree_.FindByName("Lla");
+  NodeId x = tree_.parent(lla);
+  EXPECT_TRUE(*scheme_.IsAncestorOrSelf(tree_.root(), lla));
+  EXPECT_TRUE(*scheme_.IsAncestorOrSelf(x, lla));
+  EXPECT_TRUE(*scheme_.IsAncestorOrSelf(lla, lla));
+  EXPECT_FALSE(*scheme_.IsAncestorOrSelf(lla, x));
+  EXPECT_FALSE(*scheme_.IsAncestorOrSelf(tree_.FindByName("Syn"), lla));
+}
+
+TEST_F(IntervalSchemeTest, LcaByClimbing) {
+  NodeId lla = tree_.FindByName("Lla");
+  NodeId spy = tree_.FindByName("Spy");
+  NodeId syn = tree_.FindByName("Syn");
+  EXPECT_EQ(*scheme_.Lca(lla, spy), tree_.parent(lla));
+  EXPECT_EQ(*scheme_.Lca(lla, syn), tree_.root());
+  EXPECT_EQ(*scheme_.Lca(lla, lla), lla);
+}
+
+TEST(IntervalSchemeRandomTest, AgreesWithNaive) {
+  Rng rng(31);
+  PhyloTree t = MakeRandomBinary(300, &rng);
+  IntervalScheme scheme;
+  ASSERT_TRUE(scheme.Build(t).ok());
+  for (int i = 0; i < 1500; ++i) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(t.size()));
+    NodeId b = static_cast<NodeId>(rng.Uniform(t.size()));
+    ASSERT_EQ(*scheme.Lca(a, b), t.NaiveLca(a, b));
+    ASSERT_EQ(*scheme.IsAncestorOrSelf(a, b), t.IsAncestorOrSelf(a, b));
+  }
+}
+
+TEST(IntervalSchemeTest2, FixedLabelBytes) {
+  PhyloTree deep = MakeCaterpillar(1000);
+  IntervalScheme scheme;
+  ASSERT_TRUE(scheme.Build(deep).ok());
+  // Interval labels are depth-independent (two fixed32 words)...
+  EXPECT_EQ(scheme.MaxLabelBytes(), 8u);
+  // ...but LCA still requires O(depth) climbing; correctness only here,
+  // the cost shows up in bench_lca.
+  NodeId a = deep.FindByName("L999");
+  NodeId b = deep.FindByName("L0");
+  EXPECT_EQ(*scheme.Lca(a, b), deep.parent(b));
+}
+
+TEST(NaiveSchemeTest, MatchesTreeHelpers) {
+  Rng rng(33);
+  PhyloTree t = MakeRandomBinary(200, &rng);
+  NaiveScheme scheme;
+  ASSERT_TRUE(scheme.Build(t).ok());
+  EXPECT_EQ(scheme.LabelBytes(0), 0u);
+  for (int i = 0; i < 500; ++i) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(t.size()));
+    NodeId b = static_cast<NodeId>(rng.Uniform(t.size()));
+    ASSERT_EQ(*scheme.Lca(a, b), t.NaiveLca(a, b));
+    ASSERT_EQ(*scheme.IsAncestorOrSelf(a, b), t.IsAncestorOrSelf(a, b));
+  }
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,279 @@
+#include "labeling/layered_dewey.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+// Golden tests for the paper's Figure 4: the sample tree decomposed
+// with f=3 splits into layer-0 subtrees {root,Syn,P,Bha,Bsu} and
+// {x,Lla,Spy}, with P the source node of the split-off subtree.
+class Figure4Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tree_ = MakePaperFigure1Tree();
+    scheme_ = std::make_unique<LayeredDeweyScheme>(3);
+    ASSERT_TRUE(scheme_->Build(tree_).ok());
+    lla_ = tree_.FindByName("Lla");
+    spy_ = tree_.FindByName("Spy");
+    syn_ = tree_.FindByName("Syn");
+    bha_ = tree_.FindByName("Bha");
+    bsu_ = tree_.FindByName("Bsu");
+    x_ = tree_.parent(lla_);
+    p_ = tree_.parent(x_);
+  }
+
+  PhyloTree tree_;
+  std::unique_ptr<LayeredDeweyScheme> scheme_;
+  NodeId lla_, spy_, syn_, bha_, bsu_, x_, p_;
+};
+
+TEST_F(Figure4Test, TwoLayerZeroSubtrees) {
+  EXPECT_EQ(scheme_->NumSubtrees(0), 2u);
+  // Subtree 0: root, Syn, P, Bha, Bsu.
+  EXPECT_EQ(scheme_->SubtreeOf(tree_.root()), 0u);
+  EXPECT_EQ(scheme_->SubtreeOf(syn_), 0u);
+  EXPECT_EQ(scheme_->SubtreeOf(p_), 0u);
+  EXPECT_EQ(scheme_->SubtreeOf(bha_), 0u);
+  EXPECT_EQ(scheme_->SubtreeOf(bsu_), 0u);
+  // Subtree 1: x, Lla, Spy (split off at x).
+  EXPECT_EQ(scheme_->SubtreeOf(x_), 1u);
+  EXPECT_EQ(scheme_->SubtreeOf(lla_), 1u);
+  EXPECT_EQ(scheme_->SubtreeOf(spy_), 1u);
+}
+
+TEST_F(Figure4Test, SourceNodeIsP) {
+  // "node 3 the source node of node 6": subtree 1 was split off from P.
+  EXPECT_EQ(scheme_->SourceOfSubtree(1), p_);
+  EXPECT_EQ(scheme_->SourceOfSubtree(0), kNoNode);
+}
+
+TEST_F(Figure4Test, TwoLayersTotal) {
+  // Layer 1 has one subtree containing both items, so recursion stops.
+  EXPECT_EQ(scheme_->num_layers(), 2u);
+  EXPECT_EQ(scheme_->NumSubtrees(1), 1u);
+}
+
+TEST_F(Figure4Test, LocalLabelsBoundedByF) {
+  for (NodeId n = 0; n < tree_.size(); ++n) {
+    EXPECT_LT(scheme_->LocalDepth(n), 3u);
+    EXPECT_EQ(scheme_->LocalLabel(n).depth(), scheme_->LocalDepth(n));
+  }
+  // x is a subtree root: local label empty.
+  EXPECT_TRUE(scheme_->LocalLabel(x_).empty());
+  EXPECT_EQ(scheme_->LocalLabel(lla_).ToString(), "1");
+  EXPECT_EQ(scheme_->LocalLabel(spy_).ToString(), "2");
+}
+
+TEST_F(Figure4Test, PaperLcaWalkthrough) {
+  // "the LCA of Lla and Syn ... is node 1" (the root).
+  EXPECT_EQ(*scheme_->Lca(lla_, syn_), tree_.root());
+  // Within one subtree: LCA(Lla, Spy) = x.
+  EXPECT_EQ(*scheme_->Lca(lla_, spy_), x_);
+  // Cross-subtree with non-root answer: LCA(Lla, Bha) = P.
+  EXPECT_EQ(*scheme_->Lca(lla_, bha_), p_);
+  // Self and ancestor cases.
+  EXPECT_EQ(*scheme_->Lca(lla_, lla_), lla_);
+  EXPECT_EQ(*scheme_->Lca(lla_, x_), x_);
+  EXPECT_EQ(*scheme_->Lca(p_, lla_), p_);
+}
+
+TEST_F(Figure4Test, AncestorOrSelf) {
+  EXPECT_TRUE(*scheme_->IsAncestorOrSelf(tree_.root(), lla_));
+  EXPECT_TRUE(*scheme_->IsAncestorOrSelf(p_, lla_));
+  EXPECT_TRUE(*scheme_->IsAncestorOrSelf(x_, spy_));
+  EXPECT_FALSE(*scheme_->IsAncestorOrSelf(syn_, lla_));
+  EXPECT_FALSE(*scheme_->IsAncestorOrSelf(lla_, spy_));
+}
+
+TEST(LayeredDeweyTest, DeepCaterpillarHasManyLayersButTinyLabels) {
+  const uint32_t kDepth = 100000;
+  PhyloTree t = MakeCaterpillar(kDepth);
+  LayeredDeweyScheme scheme(8);
+  ASSERT_TRUE(scheme.Build(t).ok());
+  EXPECT_GT(scheme.num_layers(), 3u);
+  // Label sizes stay bounded by f regardless of the 100k depth: at most
+  // f-1 varint components plus subtree id and length.
+  for (NodeId n = 0; n < t.size(); n += 997) {
+    EXPECT_LT(scheme.LocalDepth(n), 8u);
+  }
+  EXPECT_LE(scheme.MaxLabelBytes(), 7u + 5u + 1u);
+}
+
+TEST(LayeredDeweyTest, LcaOnDeepChainIsCorrectAndCheap) {
+  const uint32_t kDepth = 50000;
+  PhyloTree t = MakeCaterpillar(kDepth);
+  LayeredDeweyScheme scheme(16);
+  ASSERT_TRUE(scheme.Build(t).ok());
+  // Leaves at depth d hang off the chain; LCA of two leaves is the
+  // chain node at the shallower depth.
+  NodeId deep_leaf = t.FindByName("L49999");
+  NodeId mid_leaf = t.FindByName("L25000");
+  NodeId lca = *scheme.Lca(deep_leaf, mid_leaf);
+  EXPECT_EQ(lca, t.parent(mid_leaf));
+  EXPECT_EQ(*scheme.Lca(deep_leaf, deep_leaf), deep_leaf);
+}
+
+class LayeredDeweyPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, int>> {};
+
+TEST_P(LayeredDeweyPropertyTest, AgreesWithNaiveLcaEverywhere) {
+  auto [f, shape] = GetParam();
+  Rng rng(1000 + f + static_cast<uint64_t>(shape) * 31);
+  PhyloTree t;
+  switch (shape) {
+    case 0:
+      t = MakeCaterpillar(200);
+      break;
+    case 1:
+      t = MakeBalancedBinary(7);
+      break;
+    default:
+      t = MakeRandomBinary(250, &rng);
+  }
+  LayeredDeweyScheme scheme(f);
+  ASSERT_TRUE(scheme.Build(t).ok());
+  // Local depth bound holds for every node.
+  for (NodeId n = 0; n < t.size(); ++n) {
+    ASSERT_LT(scheme.LocalDepth(n), f);
+  }
+  // LCA agreement on random pairs.
+  for (int i = 0; i < 1500; ++i) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(t.size()));
+    NodeId b = static_cast<NodeId>(rng.Uniform(t.size()));
+    ASSERT_EQ(*scheme.Lca(a, b), t.NaiveLca(a, b))
+        << "f=" << f << " shape=" << shape << " a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LayeredDeweyPropertyTest,
+    ::testing::Combine(::testing::Values(3u, 4u, 5u, 8u, 16u, 64u),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(LayeredDeweyTest, SingleNodeTree) {
+  PhyloTree t;
+  t.AddRoot("only");
+  LayeredDeweyScheme scheme(4);
+  ASSERT_TRUE(scheme.Build(t).ok());
+  EXPECT_EQ(scheme.num_layers(), 1u);
+  EXPECT_EQ(*scheme.Lca(0, 0), 0u);
+}
+
+TEST(LayeredDeweyTest, ShallowTreeStaysSingleLayer) {
+  PhyloTree t = MakeBalancedBinary(3);  // depth 3 < f=8
+  LayeredDeweyScheme scheme(8);
+  ASSERT_TRUE(scheme.Build(t).ok());
+  EXPECT_EQ(scheme.num_layers(), 1u);
+  EXPECT_EQ(scheme.NumSubtrees(0), 1u);
+}
+
+TEST(LayeredDeweyTest, SmallFClampedToThree) {
+  // f < 3 cannot converge (see the constructor comment); it is clamped.
+  LayeredDeweyScheme scheme0(0);
+  EXPECT_EQ(scheme0.f(), 3u);
+  LayeredDeweyScheme scheme2(2);
+  EXPECT_EQ(scheme2.f(), 3u);
+}
+
+TEST(LayeredDeweyTest, NotBuiltFailsGracefully) {
+  LayeredDeweyScheme scheme(4);
+  EXPECT_TRUE(scheme.Lca(0, 0).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace crimson
+
+namespace crimson {
+namespace {
+
+// Regression tests for the layer-recursive climb (ClimbIntoSubtree /
+// ChildOfAncestor): cross-subtree LCA must stay correct when the two
+// nodes are separated by many layers, and must not cost O(depth/f).
+
+TEST(LayeredDeweyClimbTest, VeryDeepCrossSubtreeLcaExactness) {
+  const uint32_t kDepth = 300000;
+  PhyloTree t = MakeCaterpillar(kDepth);
+  LayeredDeweyScheme scheme(8);
+  ASSERT_TRUE(scheme.Build(t).ok());
+  ASSERT_GT(scheme.num_layers(), 4u);
+  Rng rng(5150);
+  for (int i = 0; i < 300; ++i) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(t.size()));
+    NodeId b = static_cast<NodeId>(rng.Uniform(t.size()));
+    ASSERT_EQ(*scheme.Lca(a, b), t.NaiveLca(a, b)) << a << "," << b;
+  }
+}
+
+TEST(LayeredDeweyClimbTest, AdversarialPairsAcrossLayerBoundaries) {
+  // Pairs straddling subtree boundaries at every layer: node k*f-1 vs
+  // k*f (the last in one subtree and the first of the next).
+  const uint32_t kDepth = 10000;
+  const uint32_t f = 8;
+  PhyloTree t = MakeCaterpillar(kDepth);
+  LayeredDeweyScheme scheme(f);
+  ASSERT_TRUE(scheme.Build(t).ok());
+  // Chain nodes in a caterpillar: the internal spine. Walk it and test
+  // each boundary pair plus long-range pairs against the root subtree.
+  std::vector<NodeId> spine;
+  NodeId cur = t.root();
+  while (!t.is_leaf(cur)) {
+    spine.push_back(cur);
+    // second child is the next spine node.
+    NodeId c = t.first_child(cur);
+    c = t.next_sibling(c);
+    if (c == kNoNode) break;
+    cur = c;
+  }
+  for (size_t i = f - 2; i + 1 < spine.size(); i += f - 1) {
+    NodeId shallow = spine[i];
+    NodeId deep = spine[i + 1];
+    EXPECT_EQ(*scheme.Lca(shallow, deep), shallow);
+    EXPECT_TRUE(*scheme.IsAncestorOrSelf(shallow, deep));
+    EXPECT_FALSE(*scheme.IsAncestorOrSelf(deep, shallow));
+  }
+  // Deepest leaf against every 500th spine node.
+  NodeId deepest = spine.back();
+  for (size_t i = 0; i < spine.size(); i += 500) {
+    EXPECT_EQ(*scheme.Lca(spine[i], deepest), spine[i]);
+  }
+}
+
+TEST(LayeredDeweyClimbTest, BushyDeepHybridTree) {
+  // A tree that is both deep and bushy: a deep spine with a balanced
+  // bush hanging off every 50th spine node. Exercises climbs whose
+  // entry points are mid-subtree.
+  PhyloTree t;
+  NodeId cur = t.AddRoot("");
+  std::vector<NodeId> bush_roots;
+  for (int d = 0; d < 2000; ++d) {
+    if (d % 50 == 0) bush_roots.push_back(t.AddChild(cur, "", 1.0));
+    cur = t.AddChild(cur, "", 1.0);
+  }
+  for (NodeId b : bush_roots) {
+    std::vector<NodeId> frontier = {b};
+    for (int lvl = 0; lvl < 3; ++lvl) {
+      std::vector<NodeId> next;
+      for (NodeId n : frontier) {
+        next.push_back(t.AddChild(n, "", 1.0));
+        next.push_back(t.AddChild(n, "", 1.0));
+      }
+      frontier = std::move(next);
+    }
+  }
+  ASSERT_TRUE(t.Validate().ok());
+  LayeredDeweyScheme scheme(4);
+  ASSERT_TRUE(scheme.Build(t).ok());
+  Rng rng(62);
+  for (int i = 0; i < 2000; ++i) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(t.size()));
+    NodeId b = static_cast<NodeId>(rng.Uniform(t.size()));
+    ASSERT_EQ(*scheme.Lca(a, b), t.NaiveLca(a, b));
+  }
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,95 @@
+#include "query/clade.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "labeling/layered_dewey.h"
+#include "query/lca.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+class CladeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tree_ = MakePaperFigure1Tree();
+    scheme_ = std::make_unique<LayeredDeweyScheme>(3);
+    ASSERT_TRUE(scheme_->Build(tree_).ok());
+  }
+  PhyloTree tree_;
+  std::unique_ptr<LayeredDeweyScheme> scheme_;
+};
+
+TEST_F(CladeTest, LcaOfSetFoldsCorrectly) {
+  NodeId lla = tree_.FindByName("Lla");
+  NodeId spy = tree_.FindByName("Spy");
+  NodeId bha = tree_.FindByName("Bha");
+  EXPECT_EQ(*LcaOfSet(*scheme_, {lla}), lla);
+  EXPECT_EQ(*LcaOfSet(*scheme_, {lla, spy}), tree_.parent(lla));
+  EXPECT_EQ(*LcaOfSet(*scheme_, {lla, spy, bha}),
+            tree_.parent(tree_.parent(lla)));
+  EXPECT_EQ(*LcaOfSet(*scheme_, {lla, spy, bha, tree_.FindByName("Syn")}),
+            tree_.root());
+  EXPECT_TRUE(LcaOfSet(*scheme_, {}).status().IsInvalidArgument());
+}
+
+TEST_F(CladeTest, MinimalCladeOfSiblings) {
+  NodeId lla = tree_.FindByName("Lla");
+  NodeId spy = tree_.FindByName("Spy");
+  auto clade = MinimalSpanningClade(tree_, *scheme_, {lla, spy});
+  ASSERT_TRUE(clade.ok());
+  EXPECT_EQ(clade->root, tree_.parent(lla));
+  // x's subtree: x, Lla, Spy.
+  EXPECT_EQ(clade->nodes.size(), 3u);
+  std::set<NodeId> nodes(clade->nodes.begin(), clade->nodes.end());
+  EXPECT_TRUE(nodes.count(lla));
+  EXPECT_TRUE(nodes.count(spy));
+}
+
+TEST_F(CladeTest, MinimalCladeSpanningRoot) {
+  auto clade = MinimalSpanningClade(
+      tree_, *scheme_, {tree_.FindByName("Lla"), tree_.FindByName("Syn")});
+  ASSERT_TRUE(clade.ok());
+  EXPECT_EQ(clade->root, tree_.root());
+  EXPECT_EQ(clade->nodes.size(), tree_.size());
+}
+
+TEST(CladePropertyTest, CladeIsExactlyTheLcaSubtree) {
+  Rng rng(61);
+  PhyloTree t = MakeRandomBinary(300, &rng);
+  LayeredDeweyScheme scheme(8);
+  ASSERT_TRUE(scheme.Build(t).ok());
+  std::vector<NodeId> leaves = t.Leaves();
+  for (int rep = 0; rep < 30; ++rep) {
+    std::vector<NodeId> sample;
+    for (uint64_t i : rng.SampleWithoutReplacement(leaves.size(), 5)) {
+      sample.push_back(leaves[i]);
+    }
+    auto clade = MinimalSpanningClade(t, scheme, sample);
+    ASSERT_TRUE(clade.ok());
+    // Every sampled leaf is inside; every clade node descends from root.
+    std::set<NodeId> nodes(clade->nodes.begin(), clade->nodes.end());
+    for (NodeId s : sample) EXPECT_TRUE(nodes.count(s));
+    for (NodeId n : clade->nodes) {
+      EXPECT_TRUE(t.IsAncestorOrSelf(clade->root, n));
+    }
+    // Minimality: no child of the clade root contains all samples.
+    for (NodeId c = t.first_child(clade->root); c != kNoNode;
+         c = t.next_sibling(c)) {
+      bool contains_all = true;
+      for (NodeId s : sample) {
+        if (!t.IsAncestorOrSelf(c, s)) {
+          contains_all = false;
+          break;
+        }
+      }
+      EXPECT_FALSE(contains_all);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crimson

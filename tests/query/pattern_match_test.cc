@@ -1,0 +1,101 @@
+#include "query/pattern_match.h"
+
+#include <gtest/gtest.h>
+
+#include "labeling/layered_dewey.h"
+#include "tree/newick.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+class PatternMatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tree_ = MakePaperFigure1Tree();
+    scheme_ = std::make_unique<LayeredDeweyScheme>(3);
+    ASSERT_TRUE(scheme_->Build(tree_).ok());
+    projector_ = std::make_unique<TreeProjector>(&tree_, scheme_.get());
+    matcher_ = std::make_unique<PatternMatcher>(projector_.get());
+  }
+
+  PhyloTree Pattern(const std::string& newick) {
+    auto t = ParseNewick(newick);
+    EXPECT_TRUE(t.ok()) << t.status();
+    return std::move(t).value();
+  }
+
+  PhyloTree tree_;
+  std::unique_ptr<LayeredDeweyScheme> scheme_;
+  std::unique_ptr<TreeProjector> projector_;
+  std::unique_ptr<PatternMatcher> matcher_;
+};
+
+TEST_F(PatternMatchTest, PaperFigure2PatternMatches) {
+  // "the tree pattern shown in Figure 2 will match the tree shown in
+  //  Figure 1"
+  PhyloTree pattern =
+      Pattern("((Bha:1.5,Lla:1.5):0.75,Syn:2.5);");
+  auto m = matcher_->Match(pattern, 1e-9, /*match_weights=*/true);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->exact);
+}
+
+TEST_F(PatternMatchTest, TopologySwapDoesNotMatch) {
+  // Exchanging species across clades (Lla <-> Syn) breaks the match.
+  PhyloTree pattern =
+      Pattern("((Bha:1.5,Syn:1.5):0.75,Lla:2.5);");
+  auto m = matcher_->Match(pattern, 1e-9, /*match_weights=*/false);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->exact);
+}
+
+TEST_F(PatternMatchTest, WrongWeightsFailOnlyWeightedMatch) {
+  PhyloTree pattern = Pattern("((Bha:9,Lla:9):9,Syn:9);");
+  auto weighted = matcher_->Match(pattern, 1e-9, /*match_weights=*/true);
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_FALSE(weighted->exact);
+  auto topo = matcher_->Match(pattern, 1e-9, /*match_weights=*/false);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_TRUE(topo->exact);
+}
+
+TEST_F(PatternMatchTest, ChildOrderIsIrrelevant) {
+  PhyloTree pattern =
+      Pattern("(Syn:2.5,(Lla:1.5,Bha:1.5):0.75);");
+  auto m = matcher_->Match(pattern, 1e-9, /*match_weights=*/true);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->exact);
+}
+
+TEST_F(PatternMatchTest, UnknownSpeciesReported) {
+  PhyloTree pattern = Pattern("((Bha:1,Zzz:1):1,Syn:1);");
+  auto m = matcher_->Match(pattern);
+  EXPECT_TRUE(m.status().IsNotFound());
+}
+
+TEST_F(PatternMatchTest, ProjectionReturnedForScoring) {
+  PhyloTree pattern = Pattern("((Bha:1,Syn:1):1,Lla:1);");
+  auto m = matcher_->Match(pattern, 1e-9, /*match_weights=*/false);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->exact);
+  EXPECT_EQ(m->projection.LeafCount(), 3u);
+  EXPECT_NE(m->projection.FindByName("Bha"), kNoNode);
+}
+
+TEST_F(PatternMatchTest, FullTreePatternMatchesItself) {
+  PhyloTree pattern = MakePaperFigure1Tree();
+  auto m = matcher_->Match(pattern, 1e-9, /*match_weights=*/true);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->exact);
+}
+
+TEST_F(PatternMatchTest, SiblingPairPattern) {
+  PhyloTree pattern = Pattern("(Lla:1,Spy:1);");
+  auto m = matcher_->Match(pattern, 1e-9, true);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->exact);
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,229 @@
+#include "query/projection.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "labeling/dewey_scheme.h"
+#include "labeling/layered_dewey.h"
+#include "tree/newick.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+class Figure2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tree_ = MakePaperFigure1Tree();
+    scheme_ = std::make_unique<LayeredDeweyScheme>(3);
+    ASSERT_TRUE(scheme_->Build(tree_).ok());
+    projector_ = std::make_unique<TreeProjector>(&tree_, scheme_.get());
+  }
+  PhyloTree tree_;
+  std::unique_ptr<LayeredDeweyScheme> scheme_;
+  std::unique_ptr<TreeProjector> projector_;
+};
+
+TEST_F(Figure2Test, PaperProjectionGolden) {
+  // Projecting {Bha, Lla, Syn} from the Fig. 1 tree must produce the
+  // Fig. 2 tree exactly: root -> P'(0.75) -> {Bha:1.5, Lla:1.5} and
+  // root -> Syn:2.5, with Lla's edge merged (0.5 + 1.0) through the
+  // suppressed unary node x.
+  auto proj = projector_->Project({tree_.FindByName("Bha"),
+                                   tree_.FindByName("Lla"),
+                                   tree_.FindByName("Syn")});
+  ASSERT_TRUE(proj.ok()) << proj.status();
+  ASSERT_EQ(proj->size(), 5u);
+  ASSERT_EQ(proj->LeafCount(), 3u);
+
+  NodeId root = proj->root();
+  EXPECT_EQ(proj->name(root), "root");
+  auto kids = proj->Children(root);
+  ASSERT_EQ(kids.size(), 2u);
+
+  NodeId syn = proj->FindByName("Syn");
+  ASSERT_NE(syn, kNoNode);
+  EXPECT_EQ(proj->parent(syn), root);
+  EXPECT_DOUBLE_EQ(proj->edge_length(syn), 2.5);
+
+  NodeId bha = proj->FindByName("Bha");
+  NodeId lla = proj->FindByName("Lla");
+  ASSERT_NE(bha, kNoNode);
+  ASSERT_NE(lla, kNoNode);
+  ASSERT_EQ(proj->parent(bha), proj->parent(lla));
+  NodeId p = proj->parent(bha);
+  EXPECT_EQ(proj->parent(p), root);
+  EXPECT_DOUBLE_EQ(proj->edge_length(p), 0.75);
+  EXPECT_DOUBLE_EQ(proj->edge_length(bha), 1.5);
+  EXPECT_DOUBLE_EQ(proj->edge_length(lla), 1.5);  // merged 0.5 + 1.0
+}
+
+TEST_F(Figure2Test, ProjectionMatchesExpectedNewick) {
+  auto proj = projector_->Project({tree_.FindByName("Bha"),
+                                   tree_.FindByName("Lla"),
+                                   tree_.FindByName("Syn")});
+  ASSERT_TRUE(proj.ok());
+  auto expected = ParseNewick("((Lla:1.5,Bha:1.5):0.75,Syn:2.5)root;");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(PhyloTree::Equal(*proj, *expected, 1e-9, /*ordered=*/false));
+}
+
+TEST_F(Figure2Test, SingleLeafProjection) {
+  auto proj = projector_->Project({tree_.FindByName("Spy")});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->size(), 1u);
+  EXPECT_EQ(proj->name(proj->root()), "Spy");
+}
+
+TEST_F(Figure2Test, TwoLeafProjection) {
+  auto proj =
+      projector_->Project({tree_.FindByName("Lla"), tree_.FindByName("Spy")});
+  ASSERT_TRUE(proj.ok());
+  // Root is the LCA x (unnamed); both edges length 1.
+  ASSERT_EQ(proj->size(), 3u);
+  EXPECT_DOUBLE_EQ(proj->edge_length(proj->FindByName("Lla")), 1.0);
+  EXPECT_DOUBLE_EQ(proj->edge_length(proj->FindByName("Spy")), 1.0);
+}
+
+TEST_F(Figure2Test, DuplicatesIgnored) {
+  NodeId bha = tree_.FindByName("Bha");
+  auto proj = projector_->Project({bha, bha, tree_.FindByName("Syn"), bha});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->LeafCount(), 2u);
+}
+
+TEST_F(Figure2Test, EmptyProjection) {
+  auto proj = projector_->Project({});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_TRUE(proj->empty());
+}
+
+TEST_F(Figure2Test, NonLeafRejected) {
+  NodeId x = tree_.parent(tree_.FindByName("Lla"));
+  auto proj = projector_->Project({x, tree_.FindByName("Syn")});
+  EXPECT_TRUE(proj.status().IsInvalidArgument());
+  EXPECT_TRUE(projector_->Project({9999}).status().IsInvalidArgument());
+}
+
+TEST_F(Figure2Test, AllLeavesProjectionKeepsTopology) {
+  std::vector<NodeId> all = tree_.Leaves();
+  auto proj = projector_->Project(all);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->LeafCount(), 5u);
+  // Fig. 1 has no unary nodes, so the projection is the whole tree.
+  EXPECT_EQ(proj->size(), tree_.size());
+  EXPECT_TRUE(PhyloTree::Equal(*proj, tree_, 1e-9, /*ordered=*/false));
+}
+
+// Properties that must hold for any sample from any tree.
+class ProjectionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProjectionPropertyTest, InvariantsOnRandomSamples) {
+  Rng rng(4242 + static_cast<uint64_t>(GetParam()));
+  PhyloTree t = MakeRandomBinary(400, &rng);
+  LayeredDeweyScheme scheme(8);
+  ASSERT_TRUE(scheme.Build(t).ok());
+  TreeProjector projector(&t, &scheme);
+  std::vector<double> weights = t.RootPathWeights();
+  std::vector<NodeId> leaves = t.Leaves();
+
+  size_t k = static_cast<size_t>(GetParam());
+  std::vector<uint64_t> pick = rng.SampleWithoutReplacement(leaves.size(), k);
+  std::vector<NodeId> sample;
+  std::set<std::string> sample_names;
+  for (uint64_t i : pick) {
+    sample.push_back(leaves[i]);
+    sample_names.insert(t.name(leaves[i]));
+  }
+  auto proj = projector.Project(sample);
+  ASSERT_TRUE(proj.ok()) << proj.status();
+
+  // (1) Leaf set preserved exactly.
+  std::set<std::string> proj_names;
+  for (NodeId n : proj->Leaves()) proj_names.insert(proj->name(n));
+  EXPECT_EQ(proj_names, sample_names);
+
+  // (2) Every internal node has out-degree >= 2 (paper definition).
+  for (NodeId n = 0; n < proj->size(); ++n) {
+    if (!proj->is_leaf(n)) EXPECT_GE(proj->OutDegree(n), 2);
+  }
+
+  // (3) Edge weights are path-weight differences: each projected
+  // leaf's root-path weight equals its original weight minus the
+  // projection root's original weight.
+  std::vector<double> proj_weights = proj->RootPathWeights();
+  // Map back by name.
+  double root_offset = -1;
+  for (NodeId orig : sample) {
+    NodeId pn = proj->FindByName(t.name(orig));
+    ASSERT_NE(pn, kNoNode);
+    double offset = weights[orig] - proj_weights[pn];
+    if (root_offset < 0) {
+      root_offset = offset;
+    } else {
+      EXPECT_NEAR(offset, root_offset, 1e-9);
+    }
+  }
+
+  // (4) Valid tree structure.
+  EXPECT_TRUE(proj->Validate().ok());
+
+  // (5) Idempotence: projecting the projection's full leaf set from
+  // the original again yields an equal tree.
+  auto proj2 = projector.Project(sample);
+  ASSERT_TRUE(proj2.ok());
+  EXPECT_TRUE(PhyloTree::Equal(*proj, *proj2, 1e-9, /*ordered=*/true));
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, ProjectionPropertyTest,
+                         ::testing::Values(2, 3, 5, 16, 64, 200, 400));
+
+TEST(ProjectionSchemesTest, DeweyAndLayeredProjectIdentically) {
+  Rng rng(77);
+  PhyloTree t = MakeRandomBinary(200, &rng);
+  DeweyScheme dewey;
+  LayeredDeweyScheme layered(4);
+  ASSERT_TRUE(dewey.Build(t).ok());
+  ASSERT_TRUE(layered.Build(t).ok());
+  TreeProjector pd(&t, &dewey);
+  TreeProjector pl(&t, &layered);
+  std::vector<NodeId> leaves = t.Leaves();
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<NodeId> sample;
+    for (uint64_t i : rng.SampleWithoutReplacement(leaves.size(), 20)) {
+      sample.push_back(leaves[i]);
+    }
+    auto a = pd.Project(sample);
+    auto b = pl.Project(sample);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(PhyloTree::Equal(*a, *b, 1e-9, /*ordered=*/true));
+  }
+}
+
+TEST(ProjectionDeepTest, CaterpillarProjectionSumsEdges) {
+  // Projection from a deep caterpillar exercises long merged paths.
+  PhyloTree t = MakeCaterpillar(5000, 0.5);
+  LayeredDeweyScheme scheme(8);
+  ASSERT_TRUE(scheme.Build(t).ok());
+  TreeProjector projector(&t, &scheme);
+  NodeId a = t.FindByName("L0");
+  NodeId b = t.FindByName("L2500");
+  NodeId c = t.FindByName("L5000");
+  auto proj = projector.Project({a, b, c});
+  ASSERT_TRUE(proj.ok());
+  ASSERT_EQ(proj->LeafCount(), 3u);
+  // The internal node above L2500 is the chain point 2500 edges below
+  // the root (each edge 0.5); the long unary chain merges into one edge.
+  NodeId pb = proj->FindByName("L2500");
+  NodeId m = proj->parent(pb);
+  EXPECT_NEAR(proj->edge_length(m), 2500 * 0.5, 1e-6);
+  EXPECT_NEAR(proj->edge_length(pb), 0.5, 1e-9);
+  // L5000 hangs 2500 merged edges below the same point.
+  EXPECT_NEAR(proj->edge_length(proj->FindByName("L5000")), 2500 * 0.5,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,150 @@
+#include "query/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+class PaperSamplingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tree_ = MakePaperFigure1Tree();
+    sampler_ = std::make_unique<Sampler>(&tree_);
+  }
+  PhyloTree tree_;
+  std::unique_ptr<Sampler> sampler_;
+};
+
+TEST_F(PaperSamplingTest, TimeFrontierGolden) {
+  // Paper §2.2: at evolutionary distance 1 the frontier is exactly
+  // {Bha, x, Syn, Bsu} where x is the parent of Lla and Spy.
+  std::vector<NodeId> frontier = sampler_->TimeFrontier(1.0);
+  NodeId x = tree_.parent(tree_.FindByName("Lla"));
+  std::set<NodeId> expect = {tree_.FindByName("Bha"), x,
+                             tree_.FindByName("Syn"),
+                             tree_.FindByName("Bsu")};
+  EXPECT_EQ(std::set<NodeId>(frontier.begin(), frontier.end()), expect);
+}
+
+TEST_F(PaperSamplingTest, TimeSampleMatchesPaperOutcomes) {
+  // "The result is {Bha, Lla, Syn, BSU} or {Bha, Spy, Syn, BSU}."
+  Rng rng(9);
+  for (int rep = 0; rep < 50; ++rep) {
+    auto sample = sampler_->SampleWithRespectToTime(4, 1.0, &rng);
+    ASSERT_TRUE(sample.ok()) << sample.status();
+    std::set<std::string> names;
+    for (NodeId n : *sample) names.insert(tree_.name(n));
+    std::set<std::string> a = {"Bha", "Lla", "Syn", "Bsu"};
+    std::set<std::string> b = {"Bha", "Spy", "Syn", "Bsu"};
+    EXPECT_TRUE(names == a || names == b)
+        << "unexpected sample in rep " << rep;
+  }
+}
+
+TEST_F(PaperSamplingTest, BothPaperOutcomesOccur) {
+  Rng rng(10);
+  bool saw_lla = false, saw_spy = false;
+  for (int rep = 0; rep < 200 && !(saw_lla && saw_spy); ++rep) {
+    auto sample = sampler_->SampleWithRespectToTime(4, 1.0, &rng);
+    ASSERT_TRUE(sample.ok());
+    for (NodeId n : *sample) {
+      if (tree_.name(n) == "Lla") saw_lla = true;
+      if (tree_.name(n) == "Spy") saw_spy = true;
+    }
+  }
+  EXPECT_TRUE(saw_lla);
+  EXPECT_TRUE(saw_spy);
+}
+
+TEST_F(PaperSamplingTest, FrontierMinimality) {
+  // Every frontier node's weight exceeds t, its parent's does not.
+  std::vector<double> w = tree_.RootPathWeights();
+  for (double t : {0.0, 0.5, 1.0, 2.0, 2.4}) {
+    for (NodeId n : sampler_->TimeFrontier(t)) {
+      EXPECT_GT(w[n], t);
+      if (n != tree_.root()) EXPECT_LE(w[tree_.parent(n)], t);
+    }
+  }
+}
+
+TEST_F(PaperSamplingTest, FrontierBeyondTreeIsEmpty) {
+  EXPECT_TRUE(sampler_->TimeFrontier(100.0).empty());
+  Rng rng(11);
+  EXPECT_TRUE(
+      sampler_->SampleWithRespectToTime(2, 100.0, &rng).status().IsNotFound());
+}
+
+TEST_F(PaperSamplingTest, UniformSampleBasics) {
+  Rng rng(12);
+  auto s = sampler_->SampleUniform(3, &rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 3u);
+  std::set<NodeId> uniq(s->begin(), s->end());
+  EXPECT_EQ(uniq.size(), 3u);
+  for (NodeId n : *s) EXPECT_TRUE(tree_.is_leaf(n));
+  // Oversampling rejected.
+  EXPECT_TRUE(sampler_->SampleUniform(6, &rng).status().IsInvalidArgument());
+  // Sampling everything returns all leaves.
+  auto all = sampler_->SampleUniform(5, &rng);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 5u);
+}
+
+TEST_F(PaperSamplingTest, LeavesUnder) {
+  NodeId p = tree_.parent(tree_.parent(tree_.FindByName("Lla")));
+  auto leaves = sampler_->LeavesUnder(p);
+  std::set<std::string> names;
+  for (NodeId n : leaves) names.insert(tree_.name(n));
+  EXPECT_EQ(names, (std::set<std::string>{"Bha", "Lla", "Spy"}));
+}
+
+class SamplingPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SamplingPropertyTest, TimeSamplingOnYuleLikeTree) {
+  Rng rng(500 + GetParam());
+  PhyloTree t = MakeRandomBinary(500, &rng);
+  Sampler sampler(&t);
+  std::vector<double> w = t.RootPathWeights();
+  double max_w = *std::max_element(w.begin(), w.end());
+  double time = max_w * 0.2;
+  size_t k = GetParam();
+  auto sample = sampler.SampleWithRespectToTime(k, time, &rng);
+  ASSERT_TRUE(sample.ok()) << sample.status();
+  EXPECT_EQ(sample->size(), k);
+  std::set<NodeId> uniq(sample->begin(), sample->end());
+  EXPECT_EQ(uniq.size(), k) << "sample has duplicates";
+  for (NodeId n : *sample) {
+    EXPECT_TRUE(t.is_leaf(n));
+    EXPECT_GT(w[n], time) << "sampled leaf above the time frontier";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SamplingPropertyTest,
+                         ::testing::Values(1, 4, 16, 64, 250));
+
+TEST(SamplingDistributionTest, UniformSamplingIsRoughlyUniform) {
+  PhyloTree t = MakeBalancedBinary(5);  // 32 leaves
+  Sampler sampler(&t);
+  Rng rng(13);
+  std::map<NodeId, int> counts;
+  const int reps = 4000;
+  for (int i = 0; i < reps; ++i) {
+    auto sample = sampler.SampleUniform(4, &rng);
+    ASSERT_TRUE(sample.ok());
+    for (NodeId n : *sample) ++counts[n];
+  }
+  // Each leaf expected reps * 4 / 32 = 500 hits; allow generous slack.
+  for (const auto& [leaf, count] : counts) {
+    EXPECT_GT(count, 350) << t.name(leaf);
+    EXPECT_LT(count, 650) << t.name(leaf);
+  }
+  EXPECT_EQ(counts.size(), 32u);
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,82 @@
+#include "recon/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crimson {
+namespace {
+
+TEST(PDistanceTest, CountsMismatches) {
+  EXPECT_DOUBLE_EQ(*PDistance("ACGT", "ACGT"), 0.0);
+  EXPECT_DOUBLE_EQ(*PDistance("ACGT", "ACGA"), 0.25);
+  EXPECT_DOUBLE_EQ(*PDistance("AAAA", "TTTT"), 1.0);
+  EXPECT_FALSE(PDistance("ACG", "ACGT").ok());
+  EXPECT_FALSE(PDistance("", "").ok());
+}
+
+TEST(JC69CorrectionTest, KnownValues) {
+  // d = -3/4 ln(1 - 4p/3); p=0.1 -> ~0.10732563.
+  std::string a(100, 'A');
+  std::string b = a;
+  for (int i = 0; i < 10; ++i) b[i] = 'C';
+  auto d = CorrectedDistance(a, b, DistanceCorrection::kJC69);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, -0.75 * std::log(1.0 - 4.0 * 0.1 / 3.0), 1e-12);
+  // Correction always >= p.
+  EXPECT_GT(*d, 0.1);
+}
+
+TEST(JC69CorrectionTest, SaturationClamped) {
+  std::string a(100, 'A');
+  std::string b(100, 'T');  // p = 1.0 > 0.75: correction diverges
+  auto d = CorrectedDistance(a, b, DistanceCorrection::kJC69, 5.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 5.0);
+}
+
+TEST(K80CorrectionTest, SeparatesTransitionsAndTransversions) {
+  // 10% transitions (A->G), 5% transversions (A->C) over 200 sites.
+  std::string a(200, 'A');
+  std::string b = a;
+  for (int i = 0; i < 20; ++i) b[i] = 'G';          // transitions
+  for (int i = 20; i < 30; ++i) b[i] = 'C';         // transversions
+  auto d = CorrectedDistance(a, b, DistanceCorrection::kK80);
+  ASSERT_TRUE(d.ok());
+  double p = 0.1, q = 0.05;
+  double expect = -0.5 * std::log(1 - 2 * p - q) - 0.25 * std::log(1 - 2 * q);
+  EXPECT_NEAR(*d, expect, 1e-12);
+}
+
+TEST(K80CorrectionTest, EqualSequencesZero) {
+  std::string a(50, 'G');
+  EXPECT_DOUBLE_EQ(*CorrectedDistance(a, a, DistanceCorrection::kK80), 0.0);
+}
+
+TEST(DistanceMatrixTest, SymmetricWithZeroDiagonal) {
+  std::map<std::string, std::string> seqs = {
+      {"A", "AAAA"}, {"B", "AAAT"}, {"C", "TTTT"}};
+  auto m = ComputeDistanceMatrix(seqs, DistanceCorrection::kPDistance);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size(), 3u);
+  EXPECT_EQ(m->names, (std::vector<std::string>{"A", "B", "C"}));
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(m->d[i][i], 0.0);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m->d[i][j], m->d[j][i]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(m->d[0][1], 0.25);
+  EXPECT_DOUBLE_EQ(m->d[0][2], 1.0);
+  EXPECT_DOUBLE_EQ(m->d[1][2], 0.75);
+}
+
+TEST(DistanceMatrixTest, ErrorsPropagated) {
+  std::map<std::string, std::string> one = {{"A", "ACGT"}};
+  EXPECT_FALSE(ComputeDistanceMatrix(one, DistanceCorrection::kJC69).ok());
+  std::map<std::string, std::string> ragged = {{"A", "ACGT"}, {"B", "AC"}};
+  EXPECT_FALSE(ComputeDistanceMatrix(ragged, DistanceCorrection::kJC69).ok());
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "recon/nj.h"
+#include "recon/rf_distance.h"
+#include "recon/upgma.h"
+#include "sim/tree_sim.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+/// Path-length (additive) distance matrix of a tree's leaves.
+DistanceMatrix AdditiveMatrix(const PhyloTree& t) {
+  DistanceMatrix m;
+  std::vector<NodeId> leaves = t.Leaves();
+  std::vector<double> w = t.RootPathWeights();
+  std::vector<uint32_t> depth = t.Depths();
+  for (NodeId l : leaves) m.names.push_back(t.name(l));
+  size_t n = leaves.size();
+  m.d.assign(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      NodeId lca = t.NaiveLca(leaves[i], leaves[j]);
+      double dist = w[leaves[i]] + w[leaves[j]] - 2 * w[lca];
+      m.d[i][j] = m.d[j][i] = dist;
+    }
+  }
+  return m;
+}
+
+TEST(NjTest, RecoversKnownQuartet) {
+  // Classic additive example: ((A,B),(C,D)) with internal edge 1.
+  // d(A,B)=2, d(C,D)=2, cross distances 5 via the middle edge.
+  DistanceMatrix m;
+  m.names = {"A", "B", "C", "D"};
+  m.d = {{0, 2, 5, 5}, {2, 0, 5, 5}, {5, 5, 0, 2}, {5, 5, 2, 0}};
+  auto t = NeighborJoining(m);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->LeafCount(), 4u);
+  // A,B must be siblings (and C,D): check via RF against the truth.
+  PhyloTree truth;
+  NodeId r = truth.AddRoot("");
+  NodeId ab = truth.AddChild(r, "", 0.5);
+  NodeId cd = truth.AddChild(r, "", 0.5);
+  truth.AddChild(ab, "A", 1.0);
+  truth.AddChild(ab, "B", 1.0);
+  truth.AddChild(cd, "C", 1.0);
+  truth.AddChild(cd, "D", 1.0);
+  auto rf = RobinsonFoulds(*t, truth);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(rf->distance, 0u);
+}
+
+TEST(NjTest, TwoAndThreeTaxa) {
+  DistanceMatrix two;
+  two.names = {"A", "B"};
+  two.d = {{0, 3}, {3, 0}};
+  auto t2 = NeighborJoining(two);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->LeafCount(), 2u);
+  // Total path length A..B preserved.
+  std::vector<double> w = t2->RootPathWeights();
+  EXPECT_NEAR(w[t2->FindByName("A")] + w[t2->FindByName("B")], 3.0, 1e-9);
+
+  DistanceMatrix three;
+  three.names = {"A", "B", "C"};
+  three.d = {{0, 2, 3}, {2, 0, 3}, {3, 3, 0}};
+  auto t3 = NeighborJoining(three);
+  ASSERT_TRUE(t3.ok());
+  EXPECT_EQ(t3->LeafCount(), 3u);
+}
+
+TEST(NjTest, OneTaxonRejected) {
+  DistanceMatrix m;
+  m.names = {"A"};
+  m.d = {{0}};
+  EXPECT_FALSE(NeighborJoining(m).ok());
+  EXPECT_FALSE(Upgma(m).ok());
+}
+
+class NjConsistencyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(NjConsistencyTest, RecoversAdditiveTreesExactly) {
+  // NJ is guaranteed to reconstruct the true topology from exact
+  // additive distances -- the core correctness property.
+  Rng rng(900 + GetParam());
+  BirthDeathOptions opts;
+  opts.n_leaves = GetParam();
+  opts.death_rate = 0.3;
+  auto truth = SimulateBirthDeath(opts, &rng);
+  ASSERT_TRUE(truth.ok());
+  PerturbBranchRates(&*truth, 3.0, &rng);  // break the clock
+  DistanceMatrix m = AdditiveMatrix(*truth);
+  auto recon = NeighborJoining(m);
+  ASSERT_TRUE(recon.ok()) << recon.status();
+  auto rf = RobinsonFoulds(*recon, *truth);
+  ASSERT_TRUE(rf.ok()) << rf.status();
+  EXPECT_EQ(rf->distance, 0u)
+      << "NJ failed to recover an additive tree of " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NjConsistencyTest,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u));
+
+TEST(UpgmaTest, RecoversUltrametricTree) {
+  // UPGMA is consistent on ultrametric (clock-like) distances.
+  Rng rng(950);
+  YuleOptions opts;
+  opts.n_leaves = 32;
+  auto truth = SimulateYule(opts, &rng);
+  ASSERT_TRUE(truth.ok());
+  DistanceMatrix m = AdditiveMatrix(*truth);
+  auto recon = Upgma(m);
+  ASSERT_TRUE(recon.ok());
+  auto rf = RobinsonFoulds(*recon, *truth);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(rf->distance, 0u);
+}
+
+TEST(UpgmaTest, OutputIsUltrametric) {
+  Rng rng(951);
+  BirthDeathOptions opts;
+  opts.n_leaves = 20;
+  auto truth = SimulateBirthDeath(opts, &rng);
+  ASSERT_TRUE(truth.ok());
+  PerturbBranchRates(&*truth, 3.0, &rng);
+  auto recon = Upgma(AdditiveMatrix(*truth));
+  ASSERT_TRUE(recon.ok());
+  std::vector<double> w = recon->RootPathWeights();
+  double h = -1;
+  for (NodeId n : recon->Leaves()) {
+    if (h < 0) h = w[n];
+    EXPECT_NEAR(w[n], h, 1e-9);
+  }
+}
+
+TEST(UpgmaTest, FailsOnNonClockData) {
+  // The textbook UPGMA failure: rate variation makes the closest pair
+  // (B,C) straddle the true split AB|CD, so average-linkage joins
+  // across it while NJ (additive-consistent) does not.
+  // Truth: ((A:5,B:0.5):0.5,(C:0.5,D:5):0.5).
+  PhyloTree truth;
+  NodeId r = truth.AddRoot("");
+  NodeId ab = truth.AddChild(r, "", 0.5);
+  NodeId cd = truth.AddChild(r, "", 0.5);
+  truth.AddChild(ab, "A", 5.0);
+  truth.AddChild(ab, "B", 0.5);
+  truth.AddChild(cd, "C", 0.5);
+  truth.AddChild(cd, "D", 5.0);
+  DistanceMatrix m = AdditiveMatrix(truth);
+  auto nj = NeighborJoining(m);
+  auto up = Upgma(m);
+  ASSERT_TRUE(nj.ok() && up.ok());
+  auto rf_nj = RobinsonFoulds(*nj, truth);
+  auto rf_up = RobinsonFoulds(*up, truth);
+  ASSERT_TRUE(rf_nj.ok() && rf_up.ok());
+  EXPECT_EQ(rf_nj->distance, 0u) << "NJ handles non-clock data";
+  EXPECT_GT(rf_up->distance, 0u) << "UPGMA should be fooled here";
+}
+
+TEST(ReconTest, BranchLengthsApproximatelyRecovered) {
+  DistanceMatrix m;
+  m.names = {"A", "B", "C", "D"};
+  m.d = {{0, 2, 5, 5}, {2, 0, 5, 5}, {5, 5, 0, 2}, {5, 5, 2, 0}};
+  auto t = NeighborJoining(m);
+  ASSERT_TRUE(t.ok());
+  // Pairwise path lengths in the reconstruction match the input matrix.
+  std::vector<double> w = t->RootPathWeights();
+  auto path = [&](const char* a, const char* b) {
+    NodeId na = t->FindByName(a), nb = t->FindByName(b);
+    NodeId lca = t->NaiveLca(na, nb);
+    return w[na] + w[nb] - 2 * w[lca];
+  };
+  EXPECT_NEAR(path("A", "B"), 2.0, 1e-9);
+  EXPECT_NEAR(path("C", "D"), 2.0, 1e-9);
+  EXPECT_NEAR(path("A", "C"), 5.0, 1e-9);
+  EXPECT_NEAR(path("B", "D"), 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,130 @@
+#include "recon/rf_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tree/newick.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+PhyloTree T(const char* newick) {
+  auto t = ParseNewick(newick);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return std::move(t).value();
+}
+
+TEST(RfTest, IdenticalTreesZero) {
+  PhyloTree a = T("((A,B),(C,D));");
+  PhyloTree b = T("((A,B),(C,D));");
+  auto rf = RobinsonFoulds(a, b);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(rf->distance, 0u);
+  EXPECT_DOUBLE_EQ(rf->normalized, 0.0);
+}
+
+TEST(RfTest, ChildOrderAndRootPlacementIrrelevant) {
+  // Unrooted RF: rotations and rerootings along the same topology agree.
+  PhyloTree a = T("((A,B),(C,D));");
+  PhyloTree b = T("((D,C),(B,A));");
+  auto rf = RobinsonFoulds(a, b);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(rf->distance, 0u);
+  PhyloTree c = T("(A,(B,(C,D)));");  // different rooting, same splits
+  auto rf2 = RobinsonFoulds(a, c);
+  ASSERT_TRUE(rf2.ok());
+  EXPECT_EQ(rf2->distance, 0u);
+}
+
+TEST(RfTest, MaximallyDifferentQuartets) {
+  PhyloTree a = T("((A,B),(C,D));");  // split AB|CD
+  PhyloTree b = T("((A,C),(B,D));");  // split AC|BD
+  auto rf = RobinsonFoulds(a, b);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(rf->splits_a, 1u);
+  EXPECT_EQ(rf->splits_b, 1u);
+  EXPECT_EQ(rf->distance, 2u);
+  EXPECT_DOUBLE_EQ(rf->normalized, 1.0);
+}
+
+TEST(RfTest, PartialOverlap) {
+  PhyloTree a = T("(((A,B),C),(D,E));");  // splits AB|..., ABC|DE
+  PhyloTree b = T("(((A,B),D),(C,E));");  // splits AB|..., ABD|CE
+  auto rf = RobinsonFoulds(a, b);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(rf->splits_a, 2u);
+  EXPECT_EQ(rf->splits_b, 2u);
+  EXPECT_EQ(rf->distance, 2u);  // AB shared; the other two differ
+  EXPECT_DOUBLE_EQ(rf->normalized, 0.5);
+}
+
+TEST(RfTest, StarTreeHasNoSplits) {
+  PhyloTree star = T("(A,B,C,D,E);");
+  PhyloTree resolved = T("((A,B),(C,(D,E)));");
+  auto rf = RobinsonFoulds(star, resolved);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(rf->splits_a, 0u);
+  EXPECT_EQ(rf->splits_b, 2u);
+  EXPECT_EQ(rf->distance, 2u);
+  auto self = RobinsonFoulds(star, star);
+  ASSERT_TRUE(self.ok());
+  EXPECT_DOUBLE_EQ(self->normalized, 0.0);  // 0/0 convention
+}
+
+TEST(RfTest, MismatchedLeafSetsRejected) {
+  PhyloTree a = T("((A,B),(C,D));");
+  PhyloTree b = T("((A,B),(C,E));");
+  EXPECT_FALSE(RobinsonFoulds(a, b).ok());
+  PhyloTree c = T("((A,B),C);");
+  EXPECT_FALSE(RobinsonFoulds(a, c).ok());
+}
+
+TEST(RfTest, DuplicateLeafNamesRejected) {
+  PhyloTree a = T("((A,A),(C,D));");
+  PhyloTree b = T("((A,C),(A,D));");
+  EXPECT_FALSE(RobinsonFoulds(a, b).ok());
+}
+
+TEST(RfTest, CaterpillarVersusBalancedIsFar) {
+  // 32-leaf caterpillar vs balanced tree share very few splits.
+  PhyloTree cat;
+  {
+    NodeId cur = cat.AddRoot("");
+    for (int i = 0; i < 31; ++i) {
+      cat.AddChild(cur, "L" + std::to_string(i), 1.0);
+      cur = cat.AddChild(cur, "", 1.0);
+    }
+    cat.set_name(cur, "L31");
+  }
+  PhyloTree bal = MakeBalancedBinary(5);
+  auto rf = RobinsonFoulds(cat, bal);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_GT(rf->normalized, 0.5);
+  EXPECT_LE(rf->normalized, 1.0);
+}
+
+TEST(RfTest, RandomTreeSelfDistanceZeroAfterRewrite) {
+  Rng rng(71);
+  PhyloTree t = MakeRandomBinary(100, &rng);
+  auto reparsed = ParseNewick(WriteNewick(t));
+  ASSERT_TRUE(reparsed.ok());
+  auto rf = RobinsonFoulds(t, *reparsed);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(rf->distance, 0u);
+}
+
+TEST(RfTest, SymmetricInArguments) {
+  Rng rng(72);
+  PhyloTree a = MakeRandomBinary(64, &rng);
+  PhyloTree b = MakeRandomBinary(64, &rng);
+  // Same leaf names by construction (L0..L63).
+  auto ab = RobinsonFoulds(a, b);
+  auto ba = RobinsonFoulds(b, a);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_EQ(ab->distance, ba->distance);
+  EXPECT_DOUBLE_EQ(ab->normalized, ba->normalized);
+}
+
+}  // namespace
+}  // namespace crimson

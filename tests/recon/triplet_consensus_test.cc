@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "recon/consensus.h"
+#include "recon/rf_distance.h"
+#include "recon/triplet.h"
+#include "tree/newick.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+PhyloTree T(const char* newick) {
+  auto t = ParseNewick(newick);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return std::move(t).value();
+}
+
+TEST(TripletTest, IdenticalTreesZero) {
+  PhyloTree a = T("((A,B),(C,(D,E)));");
+  auto r = TripletDistance(a, a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->total, 10u);  // C(5,3)
+  EXPECT_EQ(r->differing, 0u);
+}
+
+TEST(TripletTest, SingleSwapCounted) {
+  PhyloTree a = T("((A,B),C);");
+  PhyloTree b = T("((A,C),B);");
+  auto r = TripletDistance(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->total, 1u);
+  EXPECT_EQ(r->differing, 1u);
+  EXPECT_DOUBLE_EQ(r->fraction, 1.0);
+}
+
+TEST(TripletTest, UnresolvedVersusResolved) {
+  PhyloTree star = T("(A,B,C);");
+  PhyloTree resolved = T("((A,B),C);");
+  auto r = TripletDistance(star, resolved);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->differing, 1u);  // unresolved != cherry(A,B)
+  auto same = TripletDistance(star, star);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->differing, 0u);
+}
+
+TEST(TripletTest, ErrorsOnBadInput) {
+  PhyloTree a = T("((A,B),C);");
+  PhyloTree b = T("((A,B),D);");
+  EXPECT_FALSE(TripletDistance(a, b).ok());
+  PhyloTree tiny = T("(A,B);");
+  EXPECT_FALSE(TripletDistance(tiny, tiny).ok());
+}
+
+TEST(TripletTest, CorrelatesWithTopologicalDisagreement) {
+  Rng rng(81);
+  PhyloTree a = MakeRandomBinary(30, &rng);
+  PhyloTree b = MakeRandomBinary(30, &rng);
+  auto same = TripletDistance(a, a);
+  auto diff = TripletDistance(a, b);
+  ASSERT_TRUE(same.ok() && diff.ok());
+  EXPECT_EQ(same->differing, 0u);
+  EXPECT_GT(diff->differing, 0u);
+}
+
+TEST(ConsensusTest, IdenticalProfileReturnsSameTopology) {
+  PhyloTree a = T("((A,B),(C,(D,E)));");
+  std::vector<PhyloTree> profile = {a, a, a};
+  auto c = MajorityRuleConsensus(profile);
+  ASSERT_TRUE(c.ok()) << c.status();
+  auto rf = RobinsonFoulds(*c, a);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(rf->distance, 0u);
+}
+
+TEST(ConsensusTest, MajorityClusterSurvivesMinorityNoise) {
+  // (A,B) cherry in 2 of 3 trees -> kept. Every other cluster appears
+  // once only ({A,B,C}, {A,B,D}, {A,C}, {A,C,D}) -> dropped.
+  PhyloTree t1 = T("(((A,B),C),D);");
+  PhyloTree t2 = T("(((A,B),D),C);");
+  PhyloTree t3 = T("(((A,C),D),B);");
+  auto c = MajorityRuleConsensus({t1, t2, t3});
+  ASSERT_TRUE(c.ok());
+  // The consensus contains the AB cluster: LCA(A,B) is not the root
+  // and its subtree holds exactly {A, B}.
+  NodeId a = c->FindByName("A");
+  NodeId b = c->FindByName("B");
+  NodeId lca = c->NaiveLca(a, b);
+  EXPECT_NE(lca, c->root());
+  size_t clade_leaves = 0;
+  c->PreOrder(
+      [&](NodeId n) {
+        if (c->is_leaf(n)) ++clade_leaves;
+        return true;
+      },
+      lca);
+  EXPECT_EQ(clade_leaves, 2u);
+  // A and C are NOT grouped.
+  NodeId cc = c->FindByName("C");
+  EXPECT_EQ(c->NaiveLca(a, cc), c->root());
+}
+
+TEST(ConsensusTest, ConflictingProfileYieldsStar) {
+  PhyloTree t1 = T("((A,B),(C,D));");
+  PhyloTree t2 = T("((A,C),(B,D));");
+  PhyloTree t3 = T("((A,D),(B,C));");
+  auto c = MajorityRuleConsensus({t1, t2, t3});
+  ASSERT_TRUE(c.ok());
+  // No cluster has majority: consensus is the star on 4 leaves.
+  EXPECT_EQ(c->LeafCount(), 4u);
+  EXPECT_EQ(c->OutDegree(c->root()), 4);
+}
+
+TEST(ConsensusTest, SupportValuesOnEdges) {
+  PhyloTree t1 = T("(((A,B),C),D);");
+  PhyloTree t2 = T("(((A,B),C),D);");
+  PhyloTree t3 = T("(((A,C),B),D);");
+  auto c = MajorityRuleConsensus({t1, t2, t3});
+  ASSERT_TRUE(c.ok());
+  NodeId lca = c->NaiveLca(c->FindByName("A"), c->FindByName("B"));
+  // (A,B) appears in 2/3 of the profile.
+  EXPECT_NEAR(c->edge_length(lca), 2.0 / 3.0, 1e-9);
+}
+
+TEST(ConsensusTest, ErrorsOnBadProfiles) {
+  EXPECT_FALSE(MajorityRuleConsensus({}).ok());
+  PhyloTree a = T("((A,B),C);");
+  PhyloTree b = T("((A,B),D);");
+  EXPECT_FALSE(MajorityRuleConsensus({a, b}).ok());
+}
+
+TEST(ConsensusTest, ThresholdControlsStrictness) {
+  PhyloTree t1 = T("((A,B),(C,D));");
+  PhyloTree t2 = T("((A,B),(C,D));");
+  PhyloTree t3 = T("((A,C),(B,D));");
+  // Strict consensus (threshold ~1.0): nothing survives but the root.
+  auto strict = MajorityRuleConsensus({t1, t2, t3}, 0.99);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->OutDegree(strict->root()), 4);
+  // Majority keeps AB|CD from two trees.
+  auto maj = MajorityRuleConsensus({t1, t2, t3}, 0.5);
+  ASSERT_TRUE(maj.ok());
+  EXPECT_LT(maj->OutDegree(maj->root()), 4);
+}
+
+}  // namespace
+}  // namespace crimson

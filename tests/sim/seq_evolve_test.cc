@@ -1,0 +1,230 @@
+#include "sim/seq_evolve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/tree_sim.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+SeqEvolveOptions Options(SubstModel model, double kappa = 2.0) {
+  SeqEvolveOptions o;
+  o.model = model;
+  o.kappa = kappa;
+  o.seq_length = 500;
+  if (model == SubstModel::kHKY85) {
+    o.base_freqs = {0.3, 0.2, 0.2, 0.3};
+  }
+  return o;
+}
+
+class TransitionMatrixTest
+    : public ::testing::TestWithParam<std::tuple<SubstModel, double>> {};
+
+TEST_P(TransitionMatrixTest, RowsSumToOneAndNonNegative) {
+  auto [model, t] = GetParam();
+  auto ev = SequenceEvolver::Create(Options(model));
+  ASSERT_TRUE(ev.ok());
+  TransitionMatrix p = ev->Transition(t);
+  for (int i = 0; i < 4; ++i) {
+    double row = 0;
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_GE(p[i][j], -1e-12);
+      EXPECT_LE(p[i][j], 1.0 + 1e-12);
+      row += p[i][j];
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9) << "model/t " << static_cast<int>(model)
+                                << "/" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TransitionMatrixTest,
+    ::testing::Combine(::testing::Values(SubstModel::kJC69, SubstModel::kK80,
+                                         SubstModel::kHKY85),
+                       ::testing::Values(0.0, 0.01, 0.1, 1.0, 10.0, 100.0)));
+
+TEST(TransitionMatrixTest2, ZeroTimeIsIdentity) {
+  for (SubstModel m :
+       {SubstModel::kJC69, SubstModel::kK80, SubstModel::kHKY85}) {
+    auto ev = SequenceEvolver::Create(Options(m));
+    ASSERT_TRUE(ev.ok());
+    TransitionMatrix p = ev->Transition(0.0);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_NEAR(p[i][j], i == j ? 1.0 : 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TransitionMatrixTest2, LongTimeConvergesToStationary) {
+  auto ev = SequenceEvolver::Create(Options(SubstModel::kHKY85));
+  ASSERT_TRUE(ev.ok());
+  TransitionMatrix p = ev->Transition(500.0);
+  const auto& pi = ev->options().base_freqs;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(p[i][j], pi[j], 1e-6);
+    }
+  }
+}
+
+TEST(TransitionMatrixTest2, DetailedBalanceHolds) {
+  auto ev = SequenceEvolver::Create(Options(SubstModel::kHKY85, 3.0));
+  ASSERT_TRUE(ev.ok());
+  const auto& pi = ev->options().base_freqs;
+  for (double t : {0.05, 0.3, 1.0}) {
+    TransitionMatrix p = ev->Transition(t);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_NEAR(pi[i] * p[i][j], pi[j] * p[j][i], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TransitionMatrixTest2, JC69IsHkyWithKappaOneUniformFreqs) {
+  auto jc = SequenceEvolver::Create(Options(SubstModel::kJC69));
+  SeqEvolveOptions hky_opts = Options(SubstModel::kHKY85, 1.0);
+  hky_opts.base_freqs = {0.25, 0.25, 0.25, 0.25};
+  auto hky = SequenceEvolver::Create(hky_opts);
+  ASSERT_TRUE(jc.ok() && hky.ok());
+  for (double t : {0.1, 0.5, 2.0}) {
+    TransitionMatrix a = jc->Transition(t);
+    TransitionMatrix b = hky->Transition(t);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_NEAR(a[i][j], b[i][j], 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TransitionMatrixTest2, JC69ClosedForm) {
+  auto ev = SequenceEvolver::Create(Options(SubstModel::kJC69));
+  ASSERT_TRUE(ev.ok());
+  for (double t : {0.05, 0.2, 1.0}) {
+    TransitionMatrix p = ev->Transition(t);
+    double same = 0.25 + 0.75 * std::exp(-4.0 * t / 3.0);
+    double diff = 0.25 - 0.25 * std::exp(-4.0 * t / 3.0);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_NEAR(p[i][j], i == j ? same : diff, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TransitionMatrixTest2, K80TransitionsExceedTransversions) {
+  auto ev = SequenceEvolver::Create(Options(SubstModel::kK80, 5.0));
+  ASSERT_TRUE(ev.ok());
+  TransitionMatrix p = ev->Transition(0.2);
+  // A->G (transition) more likely than A->C (transversion) with kappa>1.
+  EXPECT_GT(p[0][2], p[0][1]);
+  EXPECT_GT(p[1][3], p[1][0]);
+}
+
+TEST(SeqEvolverTest, InvalidOptionsRejected) {
+  SeqEvolveOptions o;
+  o.seq_length = 0;
+  EXPECT_FALSE(SequenceEvolver::Create(o).ok());
+  o = SeqEvolveOptions{};
+  o.mu = -1;
+  EXPECT_FALSE(SequenceEvolver::Create(o).ok());
+  o = SeqEvolveOptions{};
+  o.model = SubstModel::kHKY85;
+  o.base_freqs = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_FALSE(SequenceEvolver::Create(o).ok());
+  o.base_freqs = {0.7, 0.3, -0.2, 0.2};
+  EXPECT_FALSE(SequenceEvolver::Create(o).ok());
+}
+
+TEST(SeqEvolverTest, RootSequenceFollowsStationary) {
+  auto ev = SequenceEvolver::Create(Options(SubstModel::kHKY85));
+  ASSERT_TRUE(ev.ok());
+  Rng rng(201);
+  std::string seq = ev->SampleRootSequence(100000, &rng);
+  std::map<char, int> counts;
+  for (char c : seq) ++counts[c];
+  EXPECT_NEAR(counts['A'] / 100000.0, 0.3, 0.01);
+  EXPECT_NEAR(counts['C'] / 100000.0, 0.2, 0.01);
+  EXPECT_NEAR(counts['G'] / 100000.0, 0.2, 0.01);
+  EXPECT_NEAR(counts['T'] / 100000.0, 0.3, 0.01);
+}
+
+TEST(SeqEvolverTest, EvolveAllNodesShapesAndDivergence) {
+  Rng rng(202);
+  PhyloTree t = MakeBalancedBinary(4, 0.05);
+  auto ev = SequenceEvolver::Create(Options(SubstModel::kJC69));
+  ASSERT_TRUE(ev.ok());
+  auto seqs = ev->EvolveAllNodes(t, &rng);
+  ASSERT_TRUE(seqs.ok());
+  ASSERT_EQ(seqs->size(), t.size());
+  for (const std::string& s : *seqs) EXPECT_EQ(s.size(), 500u);
+  // Parent/child sequences differ at roughly the expected rate: for a
+  // branch of 0.05 expected substitutions per site, the observed
+  // p-distance is near 0.05 * (fraction of visible changes) -- just
+  // assert a sane band.
+  for (NodeId n = 1; n < t.size(); ++n) {
+    int diff = 0;
+    for (size_t s = 0; s < 500; ++s) {
+      if ((*seqs)[n][s] != (*seqs)[t.parent(n)][s]) ++diff;
+    }
+    EXPECT_LT(diff / 500.0, 0.15) << "branch diverged too fast";
+  }
+}
+
+TEST(SeqEvolverTest, DivergenceGrowsWithBranchLength) {
+  Rng rng(203);
+  auto ev = SequenceEvolver::Create(Options(SubstModel::kJC69));
+  ASSERT_TRUE(ev.ok());
+  // Two-leaf trees with short and long branches.
+  PhyloTree short_t, long_t;
+  NodeId r = short_t.AddRoot("");
+  short_t.AddChild(r, "A", 0.01);
+  short_t.AddChild(r, "B", 0.01);
+  r = long_t.AddRoot("");
+  long_t.AddChild(r, "A", 1.0);
+  long_t.AddChild(r, "B", 1.0);
+  auto near = ev->EvolveLeaves(short_t, &rng);
+  auto far = ev->EvolveLeaves(long_t, &rng);
+  ASSERT_TRUE(near.ok() && far.ok());
+  auto pdist = [](const std::string& a, const std::string& b) {
+    int d = 0;
+    for (size_t i = 0; i < a.size(); ++i) d += a[i] != b[i];
+    return d / static_cast<double>(a.size());
+  };
+  EXPECT_LT(pdist(near->at("A"), near->at("B")), 0.10);
+  EXPECT_GT(pdist(far->at("A"), far->at("B")), 0.35);
+}
+
+TEST(SeqEvolverTest, EvolveLeavesKeyedByName) {
+  Rng rng(204);
+  PhyloTree t = MakePaperFigure1Tree();
+  auto ev = SequenceEvolver::Create(Options(SubstModel::kK80));
+  ASSERT_TRUE(ev.ok());
+  auto seqs = ev->EvolveLeaves(t, &rng);
+  ASSERT_TRUE(seqs.ok());
+  EXPECT_EQ(seqs->size(), 5u);
+  for (const char* n : {"Bha", "Lla", "Spy", "Syn", "Bsu"}) {
+    EXPECT_TRUE(seqs->count(n)) << n;
+  }
+}
+
+TEST(SeqEvolverTest, DeterministicBySeed) {
+  PhyloTree t = MakePaperFigure1Tree();
+  auto ev = SequenceEvolver::Create(Options(SubstModel::kJC69));
+  ASSERT_TRUE(ev.ok());
+  Rng a(5), b(5);
+  auto sa = ev->EvolveLeaves(t, &a);
+  auto sb = ev->EvolveLeaves(t, &b);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  EXPECT_EQ(*sa, *sb);
+}
+
+}  // namespace
+}  // namespace crimson

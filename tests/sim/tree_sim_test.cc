@@ -1,0 +1,175 @@
+#include "sim/tree_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace crimson {
+namespace {
+
+TEST(YuleTest, LeafCountAndValidity) {
+  Rng rng(101);
+  for (uint32_t n : {1u, 2u, 10u, 500u}) {
+    YuleOptions opts;
+    opts.n_leaves = n;
+    auto t = SimulateYule(opts, &rng);
+    ASSERT_TRUE(t.ok()) << t.status();
+    EXPECT_EQ(t->LeafCount(), n);
+    EXPECT_TRUE(t->Validate().ok());
+  }
+}
+
+TEST(YuleTest, TreesAreUltrametric) {
+  Rng rng(102);
+  YuleOptions opts;
+  opts.n_leaves = 200;
+  auto t = SimulateYule(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  std::vector<double> w = t->RootPathWeights();
+  double leaf_depth = -1;
+  for (NodeId n = 0; n < t->size(); ++n) {
+    if (!t->is_leaf(n)) continue;
+    if (leaf_depth < 0) leaf_depth = w[n];
+    EXPECT_NEAR(w[n], leaf_depth, 1e-9);
+  }
+  EXPECT_GT(leaf_depth, 0.0);
+}
+
+TEST(YuleTest, BinaryInternalNodes) {
+  Rng rng(103);
+  YuleOptions opts;
+  opts.n_leaves = 100;
+  auto t = SimulateYule(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  for (NodeId n = 0; n < t->size(); ++n) {
+    if (!t->is_leaf(n)) EXPECT_EQ(t->OutDegree(n), 2);
+  }
+}
+
+TEST(YuleTest, DeterministicBySeed) {
+  YuleOptions opts;
+  opts.n_leaves = 50;
+  Rng a(7), b(7);
+  auto ta = SimulateYule(opts, &a);
+  auto tb = SimulateYule(opts, &b);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  EXPECT_TRUE(PhyloTree::Equal(*ta, *tb, 0, /*ordered=*/true));
+}
+
+TEST(YuleTest, UniqueLeafNames) {
+  Rng rng(104);
+  YuleOptions opts;
+  opts.n_leaves = 300;
+  auto t = SimulateYule(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  std::set<std::string> names;
+  for (NodeId n : t->Leaves()) names.insert(t->name(n));
+  EXPECT_EQ(names.size(), 300u);
+}
+
+TEST(YuleTest, InvalidOptionsRejected) {
+  Rng rng(105);
+  YuleOptions opts;
+  opts.n_leaves = 0;
+  EXPECT_FALSE(SimulateYule(opts, &rng).ok());
+  opts.n_leaves = 5;
+  opts.birth_rate = 0;
+  EXPECT_FALSE(SimulateYule(opts, &rng).ok());
+}
+
+TEST(BirthDeathTest, PrunedTreeHasOnlyExtantLeaves) {
+  Rng rng(106);
+  BirthDeathOptions opts;
+  opts.n_leaves = 100;
+  opts.death_rate = 0.4;
+  auto t = SimulateBirthDeath(opts, &rng);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_TRUE(t->Validate().ok());
+  EXPECT_EQ(t->LeafCount(), 100u);
+  for (NodeId n : t->Leaves()) {
+    EXPECT_EQ(t->name(n).rfind("S", 0), 0u) << t->name(n);
+  }
+  // No unary nodes survive pruning.
+  for (NodeId n = 0; n < t->size(); ++n) {
+    if (!t->is_leaf(n)) EXPECT_GE(t->OutDegree(n), 2);
+  }
+}
+
+TEST(BirthDeathTest, UnprunedKeepsExtinctTips) {
+  Rng rng(107);
+  BirthDeathOptions opts;
+  opts.n_leaves = 60;
+  opts.death_rate = 0.5;
+  opts.birth_rate = 1.0;
+  opts.prune_extinct = false;
+  auto t = SimulateBirthDeath(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  size_t extinct = 0;
+  for (NodeId n : t->Leaves()) {
+    if (t->name(n).rfind("X", 0) == 0) ++extinct;
+  }
+  EXPECT_GT(extinct, 0u);
+  EXPECT_GE(t->LeafCount(), 60u + extinct);
+}
+
+TEST(BirthDeathTest, SubcriticalRejected) {
+  Rng rng(108);
+  BirthDeathOptions opts;
+  opts.birth_rate = 0.5;
+  opts.death_rate = 0.5;
+  EXPECT_TRUE(SimulateBirthDeath(opts, &rng).status().IsInvalidArgument());
+}
+
+TEST(BirthDeathTest, PrunedLeafDepthsVary) {
+  // With extinction, pruned trees show varying leaf path weights once
+  // branch rates are perturbed (the non-clock regime for E11).
+  Rng rng(109);
+  BirthDeathOptions opts;
+  opts.n_leaves = 150;
+  opts.death_rate = 0.4;
+  auto t = SimulateBirthDeath(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  PerturbBranchRates(&*t, 4.0, &rng);
+  std::vector<double> w = t->RootPathWeights();
+  double lo = 1e300, hi = 0;
+  for (NodeId n : t->Leaves()) {
+    lo = std::min(lo, w[n]);
+    hi = std::max(hi, w[n]);
+  }
+  EXPECT_GT(hi / lo, 1.2) << "expected clock violation after perturbation";
+}
+
+TEST(PerturbBranchRatesTest, PreservesTopologyAndPositivity) {
+  Rng rng(110);
+  YuleOptions opts;
+  opts.n_leaves = 100;
+  auto t = SimulateYule(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  PhyloTree before = *t;
+  PerturbBranchRates(&*t, 2.0, &rng);
+  EXPECT_EQ(t->size(), before.size());
+  for (NodeId n = 1; n < t->size(); ++n) {
+    EXPECT_GE(t->edge_length(n), 0.0);
+    double ratio = t->edge_length(n) / before.edge_length(n);
+    EXPECT_GE(ratio, 0.5 - 1e-9);
+    EXPECT_LE(ratio, 2.0 + 1e-9);
+  }
+}
+
+TEST(SimScaleTest, LargeYuleTreeIsFast) {
+  Rng rng(111);
+  YuleOptions opts;
+  opts.n_leaves = 100000;
+  auto t = SimulateYule(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->LeafCount(), 100000u);
+  EXPECT_EQ(t->size(), 2 * 100000u - 1);
+  // Yule depth concentrates around O(log n) but is comfortably deeper
+  // than balanced; sanity bound only.
+  EXPECT_GT(t->MaxDepth(), 17u);
+}
+
+}  // namespace
+}  // namespace crimson

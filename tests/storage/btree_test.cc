@@ -1,0 +1,259 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "storage/key_codec.h"
+
+namespace crimson {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto p = Pager::Open(NewMemFile());
+    ASSERT_TRUE(p.ok());
+    pager_ = std::move(p).value();
+    pool_ = std::make_unique<BufferPool>(pager_.get(), 256);
+    auto t = BTree::Create(pool_.get());
+    ASSERT_TRUE(t.ok());
+    tree_ = std::make_unique<BTree>(std::move(t).value());
+  }
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, EmptyTreeBehaviour) {
+  std::string v;
+  EXPECT_TRUE(tree_->Get(Slice("k"), &v).IsNotFound());
+  EXPECT_EQ(*tree_->Count(), 0u);
+  auto it = tree_->NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(BTreeTest, SingleInsertGet) {
+  ASSERT_TRUE(tree_->Insert(Slice("species"), Slice("42")).ok());
+  std::string v;
+  ASSERT_TRUE(tree_->Get(Slice("species"), &v).ok());
+  EXPECT_EQ(v, "42");
+  EXPECT_TRUE(tree_->Get(Slice("specie"), &v).IsNotFound());
+  EXPECT_TRUE(tree_->Get(Slice("speciesz"), &v).IsNotFound());
+}
+
+TEST_F(BTreeTest, SequentialInsertsSplitCorrectly) {
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    std::string key = StrFormat("key%08d", i);
+    ASSERT_TRUE(tree_->Insert(Slice(key), Slice(std::to_string(i))).ok())
+        << i;
+  }
+  EXPECT_EQ(*tree_->Count(), static_cast<uint64_t>(n));
+  for (int i = 0; i < n; i += 97) {
+    std::string v;
+    ASSERT_TRUE(tree_->Get(Slice(StrFormat("key%08d", i)), &v).ok());
+    EXPECT_EQ(v, std::to_string(i));
+  }
+}
+
+TEST_F(BTreeTest, ReverseOrderInserts) {
+  const int n = 5000;
+  for (int i = n - 1; i >= 0; --i) {
+    ASSERT_TRUE(
+        tree_->Insert(Slice(StrFormat("k%06d", i)), Slice("v")).ok());
+  }
+  EXPECT_EQ(*tree_->Count(), static_cast<uint64_t>(n));
+  // Iteration yields ascending order.
+  auto it = tree_->NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  std::string prev;
+  int count = 0;
+  while (it.Valid()) {
+    std::string k = it.key().ToString();
+    if (count > 0) EXPECT_LT(prev, k);
+    prev = k;
+    ++count;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, n);
+}
+
+// Property: a random workload agrees with std::map exactly.
+class BTreeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeRandomTest, MatchesStdMap) {
+  auto p = Pager::Open(NewMemFile());
+  ASSERT_TRUE(p.ok());
+  auto pager = std::move(p).value();
+  BufferPool pool(pager.get(), 256);
+  auto t = BTree::Create(&pool);
+  ASSERT_TRUE(t.ok());
+  BTree tree = std::move(t).value();
+
+  int n = GetParam();
+  Rng rng(777 + static_cast<uint64_t>(n));
+  std::map<std::string, std::string> reference;
+  for (int i = 0; i < n; ++i) {
+    std::string key = StrFormat("k%llu", static_cast<unsigned long long>(
+                                              rng.Uniform(1u << 20)));
+    std::string value = StrFormat("v%d", i);
+    if (reference.emplace(key, value).second) {
+      ASSERT_TRUE(tree.Insert(Slice(key), Slice(value), /*unique=*/true).ok());
+    } else {
+      EXPECT_TRUE(tree.Insert(Slice(key), Slice(value), /*unique=*/true)
+                      .IsAlreadyExists());
+    }
+  }
+  // Full-order agreement via iterator.
+  auto it = tree.NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  auto ref_it = reference.begin();
+  while (it.Valid()) {
+    ASSERT_NE(ref_it, reference.end());
+    EXPECT_EQ(it.key().ToString(), ref_it->first);
+    EXPECT_EQ(it.value().ToString(), ref_it->second);
+    ++ref_it;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(ref_it, reference.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BTreeRandomTest,
+                         ::testing::Values(10, 100, 1000, 20000));
+
+TEST_F(BTreeTest, SeekFindsLowerBound) {
+  for (int i = 0; i < 100; i += 2) {
+    ASSERT_TRUE(
+        tree_->Insert(Slice(StrFormat("k%03d", i)), Slice("v")).ok());
+  }
+  auto it = tree_->NewIterator();
+  ASSERT_TRUE(it.Seek(Slice("k005")).ok());
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key().ToString(), "k006");
+  ASSERT_TRUE(it.Seek(Slice("k098")).ok());
+  EXPECT_EQ(it.key().ToString(), "k098");
+  ASSERT_TRUE(it.Seek(Slice("k099")).ok());
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(BTreeTest, DuplicateKeysAllRetained) {
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree_->Insert(Slice("dup"), Slice(std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(tree_->Insert(Slice("aaa"), Slice("x")).ok());
+  ASSERT_TRUE(tree_->Insert(Slice("zzz"), Slice("y")).ok());
+  auto it = tree_->NewIterator();
+  ASSERT_TRUE(it.Seek(Slice("dup")).ok());
+  int count = 0;
+  std::set<std::string> values;
+  while (it.Valid() && it.key() == Slice("dup")) {
+    values.insert(it.value().ToString());
+    ++count;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, 500);
+  EXPECT_EQ(values.size(), 500u);
+}
+
+TEST_F(BTreeTest, DeleteSpecificValueAmongDuplicates) {
+  ASSERT_TRUE(tree_->Insert(Slice("d"), Slice("1")).ok());
+  ASSERT_TRUE(tree_->Insert(Slice("d"), Slice("2")).ok());
+  ASSERT_TRUE(tree_->Insert(Slice("d"), Slice("3")).ok());
+  Slice two("2");
+  ASSERT_TRUE(tree_->Delete(Slice("d"), &two).ok());
+  auto it = tree_->NewIterator();
+  ASSERT_TRUE(it.Seek(Slice("d")).ok());
+  std::set<std::string> values;
+  while (it.Valid() && it.key() == Slice("d")) {
+    values.insert(it.value().ToString());
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(values, (std::set<std::string>{"1", "3"}));
+  // Deleting an absent value reports NotFound.
+  Slice nine("9");
+  EXPECT_TRUE(tree_->Delete(Slice("d"), &nine).IsNotFound());
+}
+
+TEST_F(BTreeTest, DeleteThenReinsert) {
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(
+        tree_->Insert(Slice(StrFormat("k%05d", i)), Slice("v")).ok());
+  }
+  for (int i = 0; i < 2000; i += 2) {
+    ASSERT_TRUE(tree_->Delete(Slice(StrFormat("k%05d", i))).ok());
+  }
+  EXPECT_EQ(*tree_->Count(), 1000u);
+  for (int i = 0; i < 2000; i += 2) {
+    ASSERT_TRUE(
+        tree_->Insert(Slice(StrFormat("k%05d", i)), Slice("w")).ok());
+  }
+  EXPECT_EQ(*tree_->Count(), 2000u);
+  std::string v;
+  ASSERT_TRUE(tree_->Get(Slice("k00002"), &v).ok());
+  EXPECT_EQ(v, "w");
+}
+
+TEST_F(BTreeTest, OversizedKeyValueRejected) {
+  std::string big_key(BTree::kMaxKeySize + 1, 'k');
+  std::string big_val(BTree::kMaxValueSize + 1, 'v');
+  EXPECT_TRUE(
+      tree_->Insert(Slice(big_key), Slice("v")).IsInvalidArgument());
+  EXPECT_TRUE(
+      tree_->Insert(Slice("k"), Slice(big_val)).IsInvalidArgument());
+  // Max sizes are accepted.
+  std::string max_key(BTree::kMaxKeySize, 'k');
+  std::string max_val(BTree::kMaxValueSize, 'v');
+  EXPECT_TRUE(tree_->Insert(Slice(max_key), Slice(max_val)).ok());
+}
+
+TEST_F(BTreeTest, LargeKeysForceDeepSplits) {
+  // Big cells -> few per page -> a tall tree quickly.
+  for (int i = 0; i < 300; ++i) {
+    std::string key = StrFormat("%04d-", i) + std::string(500, 'p');
+    ASSERT_TRUE(tree_->Insert(Slice(key), Slice(std::string(500, 'q'))).ok());
+  }
+  EXPECT_EQ(*tree_->Count(), 300u);
+  std::string v;
+  std::string probe = "0123-" + std::string(500, 'p');
+  ASSERT_TRUE(tree_->Get(Slice(probe), &v).ok());
+  EXPECT_EQ(v.size(), 500u);
+}
+
+TEST_F(BTreeTest, PersistsThroughAnchorAfterReopen) {
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(
+        tree_->Insert(Slice(StrFormat("k%05d", i)), Slice("v")).ok());
+  }
+  PageId anchor = tree_->anchor();
+  auto reopened = BTree::Open(pool_.get(), anchor);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*reopened->Count(), 3000u);
+  std::string v;
+  EXPECT_TRUE(reopened->Get(Slice("k02999"), &v).ok());
+}
+
+TEST_F(BTreeTest, OrderPreservingDoubleKeys) {
+  // The time index depends on DoubleKey respecting numeric order.
+  std::vector<double> values = {-100.5, -1.0, -0.25, 0.0, 0.125, 3.0, 1e9};
+  Rng rng(5);
+  std::vector<double> shuffled = values;
+  rng.Shuffle(&shuffled);
+  for (double x : shuffled) {
+    ASSERT_TRUE(tree_->Insert(Slice(DoubleKey(x)), Slice("v")).ok());
+  }
+  auto it = tree_->NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  for (double expected : values) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_DOUBLE_EQ(DecodeDoubleKey(it.key().data()), expected);
+    ASSERT_TRUE(it.Next().ok());
+  }
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,108 @@
+#include "storage/file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace crimson {
+namespace {
+
+class FileTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      path_ = testing::TempDir() + "/crimson_file_test.bin";
+      RemoveFile(path_);
+      auto r = OpenPosixFile(path_);
+      ASSERT_TRUE(r.ok()) << r.status();
+      file_ = std::move(r).value();
+    } else {
+      file_ = NewMemFile();
+    }
+  }
+
+  void TearDown() override {
+    file_.reset();
+    if (!path_.empty()) RemoveFile(path_);
+  }
+
+  std::string path_;
+  std::unique_ptr<File> file_;
+};
+
+TEST_P(FileTest, StartsEmpty) { EXPECT_EQ(file_->Size(), 0u); }
+
+TEST_P(FileTest, WriteThenReadBack) {
+  ASSERT_TRUE(file_->Write(0, "hello", 5).ok());
+  EXPECT_EQ(file_->Size(), 5u);
+  char buf[5];
+  ASSERT_TRUE(file_->Read(0, 5, buf).ok());
+  EXPECT_EQ(std::string(buf, 5), "hello");
+}
+
+TEST_P(FileTest, WriteAtOffsetExtends) {
+  ASSERT_TRUE(file_->Write(100, "xy", 2).ok());
+  EXPECT_GE(file_->Size(), 102u);
+  char buf[2];
+  ASSERT_TRUE(file_->Read(100, 2, buf).ok());
+  EXPECT_EQ(std::string(buf, 2), "xy");
+}
+
+TEST_P(FileTest, ReadPastEndFails) {
+  ASSERT_TRUE(file_->Write(0, "abc", 3).ok());
+  char buf[10];
+  EXPECT_FALSE(file_->Read(0, 10, buf).ok());
+  EXPECT_FALSE(file_->Read(100, 1, buf).ok());
+}
+
+TEST_P(FileTest, OverwriteInPlace) {
+  ASSERT_TRUE(file_->Write(0, "aaaa", 4).ok());
+  ASSERT_TRUE(file_->Write(1, "bb", 2).ok());
+  char buf[4];
+  ASSERT_TRUE(file_->Read(0, 4, buf).ok());
+  EXPECT_EQ(std::string(buf, 4), "abba");
+}
+
+TEST_P(FileTest, TruncateGrowsAndShrinks) {
+  ASSERT_TRUE(file_->Write(0, "abcdef", 6).ok());
+  ASSERT_TRUE(file_->Truncate(3).ok());
+  EXPECT_EQ(file_->Size(), 3u);
+  ASSERT_TRUE(file_->Truncate(10).ok());
+  EXPECT_EQ(file_->Size(), 10u);
+  char buf[3];
+  ASSERT_TRUE(file_->Read(0, 3, buf).ok());
+  EXPECT_EQ(std::string(buf, 3), "abc");
+}
+
+TEST_P(FileTest, SyncSucceeds) {
+  ASSERT_TRUE(file_->Write(0, "z", 1).ok());
+  EXPECT_TRUE(file_->Sync().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(MemAndPosix, FileTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Posix" : "Mem";
+                         });
+
+TEST(PosixFileTest, PersistsAcrossReopen) {
+  std::string path = testing::TempDir() + "/crimson_reopen_test.bin";
+  RemoveFile(path);
+  {
+    auto f = OpenPosixFile(path);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Write(0, "persist", 7).ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+  }
+  {
+    auto f = OpenPosixFile(path);
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ((*f)->Size(), 7u);
+    char buf[7];
+    ASSERT_TRUE((*f)->Read(0, 7, buf).ok());
+    EXPECT_EQ(std::string(buf, 7), "persist");
+  }
+  RemoveFile(path);
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,230 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace crimson {
+namespace {
+
+Schema SpeciesSchema() {
+  return Schema({{"id", ColumnType::kInt64},
+                 {"name", ColumnType::kString},
+                 {"weight", ColumnType::kDouble},
+                 {"seq", ColumnType::kBytes}});
+}
+
+TEST(SchemaTest, EncodeDecodeRoundTrip) {
+  Schema s = SpeciesSchema();
+  std::string buf;
+  s.EncodeTo(&buf);
+  Slice in(buf);
+  auto decoded = Schema::DecodeFrom(&in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(*decoded == s);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s = SpeciesSchema();
+  EXPECT_EQ(s.FindColumn("name"), 1);
+  EXPECT_EQ(s.FindColumn("seq"), 3);
+  EXPECT_EQ(s.FindColumn("nope"), -1);
+}
+
+TEST(RowCodecTest, RoundTrip) {
+  Schema s = SpeciesSchema();
+  Row row = {int64_t{-12345}, std::string("Bha"), 2.25,
+             std::string("ACGT")};
+  std::string buf;
+  ASSERT_TRUE(EncodeRow(s, row, &buf).ok());
+  Row out;
+  ASSERT_TRUE(DecodeRow(s, Slice(buf), &out).ok());
+  EXPECT_EQ(std::get<int64_t>(out[0]), -12345);
+  EXPECT_EQ(std::get<std::string>(out[1]), "Bha");
+  EXPECT_DOUBLE_EQ(std::get<double>(out[2]), 2.25);
+  EXPECT_EQ(std::get<std::string>(out[3]), "ACGT");
+}
+
+TEST(RowCodecTest, ArityAndTypeMismatchRejected) {
+  Schema s = SpeciesSchema();
+  std::string buf;
+  EXPECT_TRUE(EncodeRow(s, {int64_t{1}}, &buf).IsInvalidArgument());
+  Row wrong_type = {std::string("x"), std::string("Bha"), 2.25,
+                    std::string("A")};
+  EXPECT_TRUE(EncodeRow(s, wrong_type, &buf).IsInvalidArgument());
+}
+
+TEST(RowCodecTest, TrailingBytesDetected) {
+  Schema s({{"a", ColumnType::kInt64}});
+  std::string buf;
+  ASSERT_TRUE(EncodeRow(s, {int64_t{1}}, &buf).ok());
+  buf += "junk";
+  Row out;
+  EXPECT_TRUE(DecodeRow(s, Slice(buf), &out).IsCorruption());
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::OpenInMemory();
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    auto t = db_->CreateTable(
+        "species", SpeciesSchema(),
+        {{"by_id", "id", /*unique=*/true}, {"by_name", "name", false},
+         {"by_weight", "weight", false}});
+    ASSERT_TRUE(t.ok()) << t.status();
+    table_ = std::make_unique<Table>(std::move(t).value());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(TableTest, InsertGetRoundTrip) {
+  auto rid = table_->Insert({int64_t{1}, std::string("Bha"), 2.25,
+                             std::string("ACGT")});
+  ASSERT_TRUE(rid.ok());
+  Row row;
+  ASSERT_TRUE(table_->Get(*rid, &row).ok());
+  EXPECT_EQ(std::get<std::string>(row[1]), "Bha");
+}
+
+TEST_F(TableTest, UniqueIndexViolationLeavesTableClean) {
+  ASSERT_TRUE(
+      table_->Insert({int64_t{1}, std::string("A"), 0.0, std::string("")})
+          .ok());
+  auto dup =
+      table_->Insert({int64_t{1}, std::string("B"), 0.0, std::string("")});
+  EXPECT_TRUE(dup.status().IsAlreadyExists());
+  EXPECT_EQ(table_->row_count(), 1u);
+  // The non-unique name index must not have picked up the failed row.
+  auto hits = table_->IndexLookup("by_name", std::string("B"));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST_F(TableTest, IndexLookupFindsAllDuplicates) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table_
+                    ->Insert({int64_t{i}, std::string("same"),
+                              static_cast<double>(i), std::string("")})
+                    .ok());
+  }
+  auto hits = table_->IndexLookup("by_name", std::string("same"));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 10u);
+}
+
+TEST_F(TableTest, IndexRangeScanOverDoubles) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table_
+                    ->Insert({int64_t{i}, std::string("s"),
+                              static_cast<double>(i) * 0.5, std::string("")})
+                    .ok());
+  }
+  std::string lo, hi;
+  ASSERT_TRUE(table_->EncodeKeyFor("by_weight", 10.0, &lo).ok());
+  ASSERT_TRUE(table_->EncodeKeyFor("by_weight", 20.0, &hi).ok());
+  int count = 0;
+  ASSERT_TRUE(table_
+                  ->IndexRangeScan("by_weight", lo, hi,
+                                   [&](const Slice&, RecordId) {
+                                     ++count;
+                                     return true;
+                                   })
+                  .ok());
+  EXPECT_EQ(count, 20);  // weights 10.0, 10.5, ..., 19.5
+}
+
+TEST_F(TableTest, DeleteRemovesIndexEntries) {
+  auto rid = table_->Insert({int64_t{7}, std::string("doomed"), 1.0,
+                             std::string("")});
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(table_->Delete(*rid).ok());
+  auto hits = table_->IndexLookup("by_name", std::string("doomed"));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+  // The unique id becomes available again.
+  EXPECT_TRUE(
+      table_->Insert({int64_t{7}, std::string("again"), 1.0, std::string("")})
+          .ok());
+}
+
+TEST_F(TableTest, ScanSeesEveryRow) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(table_
+                    ->Insert({int64_t{i}, std::string("n"), 0.0,
+                              std::string("")})
+                    .ok());
+  }
+  int64_t sum = 0;
+  ASSERT_TRUE(table_
+                  ->Scan([&](const RecordId&, const Row& row) {
+                    sum += std::get<int64_t>(row[0]);
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(sum, 49 * 50 / 2);
+}
+
+TEST_F(TableTest, UnknownIndexRejected) {
+  EXPECT_TRUE(
+      table_->IndexLookup("no_such", std::string("x")).status().IsNotFound());
+}
+
+TEST(DatabaseTest, CatalogListsAndReopens) {
+  std::string path = testing::TempDir() + "/crimson_db_test.db";
+  RemoveFile(path);
+  {
+    auto db = Database::Open(path);
+    ASSERT_TRUE(db.ok());
+    Schema s({{"k", ColumnType::kString}, {"v", ColumnType::kInt64}});
+    auto t = (*db)->CreateTable("kv", s, {{"by_k", "k", true}});
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(t->Insert({std::string("alpha"), int64_t{1}}).ok());
+    ASSERT_TRUE(t->Insert({std::string("beta"), int64_t{2}}).ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+  {
+    auto db = Database::Open(path);
+    ASSERT_TRUE(db.ok());
+    auto names = (*db)->ListTables();
+    ASSERT_TRUE(names.ok());
+    ASSERT_EQ(names->size(), 1u);
+    EXPECT_EQ((*names)[0], "kv");
+    auto t = (*db)->OpenTable("kv");
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->row_count(), 2u);
+    auto hits = t->IndexLookup("by_k", std::string("beta"));
+    ASSERT_TRUE(hits.ok());
+    ASSERT_EQ(hits->size(), 1u);
+    Row row;
+    ASSERT_TRUE(t->Get((*hits)[0], &row).ok());
+    EXPECT_EQ(std::get<int64_t>(row[1]), 2);
+  }
+  RemoveFile(path);
+}
+
+TEST(DatabaseTest, DuplicateTableRejected) {
+  auto db = Database::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  Schema s({{"a", ColumnType::kInt64}});
+  ASSERT_TRUE((*db)->CreateTable("t", s).ok());
+  EXPECT_TRUE((*db)->CreateTable("t", s).status().IsAlreadyExists());
+  EXPECT_TRUE(*(*db)->HasTable("t"));
+  EXPECT_FALSE(*(*db)->HasTable("u"));
+  EXPECT_TRUE((*db)->OpenTable("u").status().IsNotFound());
+}
+
+TEST(DatabaseTest, IndexOnUnknownColumnRejected) {
+  auto db = Database::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  Schema s({{"a", ColumnType::kInt64}});
+  auto t = (*db)->CreateTable("t", s, {{"bad", "missing", false}});
+  EXPECT_TRUE(t.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,67 @@
+#include "tree/ascii_render.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+TEST(AsciiRenderTest, EmptyAndSingle) {
+  PhyloTree empty;
+  EXPECT_EQ(RenderAscii(empty), "(empty tree)\n");
+  PhyloTree one;
+  one.AddRoot("solo");
+  EXPECT_EQ(RenderAscii(one), "solo\n");
+}
+
+TEST(AsciiRenderTest, Figure1Golden) {
+  PhyloTree t = MakePaperFigure1Tree();
+  AsciiRenderOptions opts;
+  opts.precision = 4;
+  std::string art = RenderAscii(t, opts);
+  EXPECT_EQ(art,
+            "root\n"
+            "├── Syn:2.5\n"
+            "├── ?:0.75\n"
+            "│   ├── ?:0.5\n"
+            "│   │   ├── Lla:1\n"
+            "│   │   └── Spy:1\n"
+            "│   └── Bha:1.5\n"
+            "└── Bsu:1.25\n");
+}
+
+TEST(AsciiRenderTest, LengthsCanBeHidden) {
+  PhyloTree t;
+  NodeId r = t.AddRoot("r");
+  t.AddChild(r, "A", 1.0);
+  t.AddChild(r, "B", 2.0);
+  AsciiRenderOptions opts;
+  opts.show_edge_lengths = false;
+  EXPECT_EQ(RenderAscii(t, opts), "r\n├── A\n└── B\n");
+}
+
+TEST(AsciiRenderTest, HugeTreeRefused) {
+  PhyloTree t = MakeBalancedBinary(10);  // 2047 nodes
+  AsciiRenderOptions opts;
+  opts.max_nodes = 512;
+  std::string art = RenderAscii(t, opts);
+  EXPECT_NE(art.find("exceeds"), std::string::npos);
+  opts.max_nodes = 0;  // unlimited renders fine
+  art = RenderAscii(t, opts);
+  EXPECT_GT(art.size(), 2047u);
+}
+
+TEST(AsciiRenderTest, EveryNodeAppearsOnItsOwnLine) {
+  Rng rng(91);
+  PhyloTree t = MakeRandomBinary(50, &rng);
+  AsciiRenderOptions opts;
+  opts.max_nodes = 0;
+  std::string art = RenderAscii(t, opts);
+  size_t lines = 0;
+  for (char c : art) lines += c == '\n';
+  EXPECT_EQ(lines, t.size());
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,137 @@
+#include "tree/newick.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+TEST(NewickParseTest, SimpleTree) {
+  auto t = ParseNewick("(A:1,B:2):0;");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->size(), 3u);
+  EXPECT_EQ(t->LeafCount(), 2u);
+  NodeId a = t->FindByName("A");
+  ASSERT_NE(a, kNoNode);
+  EXPECT_DOUBLE_EQ(t->edge_length(a), 1.0);
+  EXPECT_DOUBLE_EQ(t->edge_length(t->FindByName("B")), 2.0);
+}
+
+TEST(NewickParseTest, NestedWithInternalLabels) {
+  auto t = ParseNewick("((A:1,B:1)AB:0.5,C:2)Root;");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->size(), 5u);
+  EXPECT_EQ(t->name(t->root()), "Root");
+  NodeId ab = t->FindByName("AB");
+  ASSERT_NE(ab, kNoNode);
+  EXPECT_FALSE(t->is_leaf(ab));
+  EXPECT_DOUBLE_EQ(t->edge_length(ab), 0.5);
+}
+
+TEST(NewickParseTest, SingleLeafTree) {
+  auto t = ParseNewick("OnlyOne:3.5;");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->size(), 1u);
+  EXPECT_EQ(t->name(t->root()), "OnlyOne");
+}
+
+TEST(NewickParseTest, QuotedLabels) {
+  auto t = ParseNewick("('Homo sapiens':1,'it''s':2);");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_NE(t->FindByName("Homo sapiens"), kNoNode);
+  EXPECT_NE(t->FindByName("it's"), kNoNode);
+}
+
+TEST(NewickParseTest, CommentsAndWhitespaceSkipped) {
+  auto t = ParseNewick("  ( [comment] A : 1 , \n B:2 ) [&R] ; ");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->LeafCount(), 2u);
+}
+
+TEST(NewickParseTest, ScientificNotationLengths) {
+  auto t = ParseNewick("(A:1e-3,B:2.5E2);");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_DOUBLE_EQ(t->edge_length(t->FindByName("A")), 1e-3);
+  EXPECT_DOUBLE_EQ(t->edge_length(t->FindByName("B")), 250.0);
+}
+
+TEST(NewickParseTest, MultifurcationsAllowed) {
+  auto t = ParseNewick("(A,B,C,D,E);");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->OutDegree(t->root()), 5);
+}
+
+class NewickErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NewickErrorTest, MalformedInputRejected) {
+  auto t = ParseNewick(GetParam());
+  EXPECT_FALSE(t.ok()) << "input: " << GetParam();
+  EXPECT_TRUE(t.status().IsInvalidArgument()) << t.status();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, NewickErrorTest,
+    ::testing::Values("", ";", "(A,B;", "(A,B));", "A,B;", "(A:xyz);",
+                      "(A,B)", "(A,B);junk", "((A,B)", "(A,'unterminated);",
+                      "(A:1:2);"));
+
+TEST(NewickWriteTest, RoundTripPreservesTree) {
+  PhyloTree original = MakePaperFigure1Tree();
+  std::string text = WriteNewick(original);
+  auto reparsed = ParseNewick(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << " text: " << text;
+  EXPECT_TRUE(PhyloTree::Equal(original, *reparsed, 1e-9, /*ordered=*/true));
+}
+
+TEST(NewickWriteTest, QuotesSpecialLabels) {
+  PhyloTree t;
+  NodeId r = t.AddRoot("");
+  t.AddChild(r, "has space", 1.0);
+  t.AddChild(r, "has'quote", 2.0);
+  std::string text = WriteNewick(t);
+  auto reparsed = ParseNewick(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_NE(reparsed->FindByName("has space"), kNoNode);
+  EXPECT_NE(reparsed->FindByName("has'quote"), kNoNode);
+}
+
+TEST(NewickWriteTest, OptionsControlOutput) {
+  PhyloTree t;
+  NodeId r = t.AddRoot("R");
+  t.AddChild(r, "A", 1.5);
+  NewickWriteOptions opts;
+  opts.include_edge_lengths = false;
+  EXPECT_EQ(WriteNewick(t, opts), "(A)R;");
+  opts.include_edge_lengths = true;
+  opts.include_internal_names = false;
+  EXPECT_EQ(WriteNewick(t, opts), "(A:1.5);");
+}
+
+TEST(NewickWriteTest, EmptyTree) {
+  PhyloTree t;
+  EXPECT_EQ(WriteNewick(t), ";");
+}
+
+TEST(NewickRoundTripTest, DeepTreeIsIterativelySafe) {
+  // Depth 100k: recursion in parse or write would crash here.
+  PhyloTree deep = MakeCaterpillar(100000);
+  std::string text = WriteNewick(deep);
+  auto reparsed = ParseNewick(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->size(), deep.size());
+  EXPECT_EQ(reparsed->MaxDepth(), 100000u);
+}
+
+TEST(NewickRoundTripTest, RandomTreesSurviveRoundTrip) {
+  Rng rng(17);
+  for (int rep = 0; rep < 10; ++rep) {
+    PhyloTree t = MakeRandomBinary(200, &rng);
+    auto reparsed = ParseNewick(WriteNewick(t));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_TRUE(PhyloTree::Equal(t, *reparsed, 1e-6, /*ordered=*/true));
+  }
+}
+
+}  // namespace
+}  // namespace crimson

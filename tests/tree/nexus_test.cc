@@ -1,0 +1,187 @@
+#include "tree/nexus.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/newick.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+constexpr char kSampleNexus[] = R"(#NEXUS
+BEGIN TAXA;
+  DIMENSIONS NTAX=4;
+  TAXLABELS Bha Lla Spy Syn;
+END;
+
+BEGIN DATA;
+  DIMENSIONS NTAX=4 NCHAR=8;
+  FORMAT DATATYPE=DNA MISSING=? GAP=-;
+  MATRIX
+    Bha ACGTACGT
+    Lla ACGTACGA
+    Spy ACGTACCA
+    Syn TTGTACCA
+  ;
+END;
+
+BEGIN TREES;
+  TREE sample = [&R] ((Bha:1.5,(Lla:1,Spy:1):0.5):0.75,Syn:2.5);
+END;
+)";
+
+TEST(NexusParseTest, FullDocument) {
+  auto doc = ParseNexus(kSampleNexus);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->taxa.size(), 4u);
+  EXPECT_EQ(doc->taxa[0], "Bha");
+  EXPECT_EQ(doc->datatype, "DNA");
+  ASSERT_EQ(doc->sequences.size(), 4u);
+  EXPECT_EQ(doc->sequences.at("Bha"), "ACGTACGT");
+  ASSERT_EQ(doc->trees.size(), 1u);
+  EXPECT_EQ(doc->trees[0].name, "sample");
+  EXPECT_EQ(doc->trees[0].tree.LeafCount(), 4u);
+  EXPECT_NE(doc->trees[0].tree.FindByName("Syn"), kNoNode);
+}
+
+TEST(NexusParseTest, TranslateTableApplied) {
+  const char* text = R"(#NEXUS
+BEGIN TREES;
+  TRANSLATE 1 Bha, 2 Lla, 3 Syn;
+  TREE t = ((1:1,2:1):1,3:2);
+END;
+)";
+  auto doc = ParseNexus(text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->trees.size(), 1u);
+  EXPECT_NE(doc->trees[0].tree.FindByName("Bha"), kNoNode);
+  EXPECT_NE(doc->trees[0].tree.FindByName("Lla"), kNoNode);
+  EXPECT_EQ(doc->trees[0].tree.FindByName("1"), kNoNode);
+}
+
+TEST(NexusParseTest, InterleavedMatrixConcatenates) {
+  const char* text = R"(#NEXUS
+BEGIN DATA;
+  MATRIX
+    A ACGT
+    B TTTT
+    A GGGG
+    B CCCC
+  ;
+END;
+)";
+  auto doc = ParseNexus(text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->sequences.at("A"), "ACGTGGGG");
+  EXPECT_EQ(doc->sequences.at("B"), "TTTTCCCC");
+}
+
+TEST(NexusParseTest, UnknownBlocksSkipped) {
+  const char* text = R"(#NEXUS
+BEGIN ASSUMPTIONS;
+  USERTYPE mine = 4;
+  OPTIONS DEFTYPE = unord;
+END;
+BEGIN TAXA;
+  TAXLABELS X Y;
+END;
+)";
+  auto doc = ParseNexus(text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->taxa.size(), 2u);
+}
+
+TEST(NexusParseTest, QuotedTaxaAndComments) {
+  const char* text = R"(#NEXUS
+[file comment]
+BEGIN TAXA;
+  TAXLABELS 'Homo sapiens' [inline] Pan_troglodytes;
+END;
+)";
+  auto doc = ParseNexus(text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->taxa.size(), 2u);
+  EXPECT_EQ(doc->taxa[0], "Homo sapiens");
+  EXPECT_EQ(doc->taxa[1], "Pan_troglodytes");
+}
+
+TEST(NexusParseTest, MultipleTreesInOneBlock) {
+  const char* text = R"(#NEXUS
+BEGIN TREES;
+  TREE one = (A:1,B:1);
+  TREE two = ((A:1,B:1):1,C:1);
+END;
+)";
+  auto doc = ParseNexus(text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->trees.size(), 2u);
+  EXPECT_EQ(doc->trees[0].tree.LeafCount(), 2u);
+  EXPECT_EQ(doc->trees[1].tree.LeafCount(), 3u);
+}
+
+TEST(NexusParseTest, ErrorsReported) {
+  EXPECT_FALSE(ParseNexus("not nexus at all").ok());
+  EXPECT_FALSE(ParseNexus("#NEXUS\nBEGIN TAXA").ok());       // no ';'
+  EXPECT_FALSE(ParseNexus("#NEXUS\nTAXLABELS A;").ok());     // no BEGIN
+  EXPECT_FALSE(
+      ParseNexus("#NEXUS\nBEGIN TREES;\nTREE t (A,B);\nEND;\n").ok());
+  EXPECT_FALSE(
+      ParseNexus("#NEXUS\nBEGIN TREES;\nTREE t = (A,,B);\nEND;\n").ok());
+}
+
+TEST(NexusWriteTest, RoundTrip) {
+  NexusDocument doc;
+  doc.taxa = {"Bha", "Lla", "Syn"};
+  doc.sequences["Bha"] = "ACGT";
+  doc.sequences["Lla"] = "ACGA";
+  doc.sequences["Syn"] = "TTTT";
+  NexusTree nt;
+  nt.name = "gold";
+  nt.tree = *ParseNewick("((Bha:1,Lla:1):1,Syn:2);");
+  doc.trees.push_back(std::move(nt));
+
+  std::string text = WriteNexus(doc);
+  auto reparsed = ParseNexus(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << text;
+  EXPECT_EQ(reparsed->taxa, doc.taxa);
+  EXPECT_EQ(reparsed->sequences, doc.sequences);
+  ASSERT_EQ(reparsed->trees.size(), 1u);
+  EXPECT_EQ(reparsed->trees[0].name, "gold");
+  EXPECT_TRUE(PhyloTree::Equal(reparsed->trees[0].tree, doc.trees[0].tree,
+                               1e-9, /*ordered=*/true));
+}
+
+TEST(NexusWriteTest, QuotedNamesSurviveRoundTrip) {
+  NexusDocument doc;
+  doc.taxa = {"Homo sapiens"};
+  NexusTree nt;
+  nt.name = "t";
+  PhyloTree tree;
+  NodeId r = tree.AddRoot("");
+  tree.AddChild(r, "Homo sapiens", 1.0);
+  tree.AddChild(r, "Pan", 1.0);
+  nt.tree = std::move(tree);
+  doc.trees.push_back(std::move(nt));
+  auto reparsed = ParseNexus(WriteNexus(doc));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_NE(reparsed->trees[0].tree.FindByName("Homo sapiens"), kNoNode);
+}
+
+TEST(NexusParseTest, PaperFigure1AsNexusRoundTrip) {
+  NexusDocument doc;
+  PhyloTree fig1 = MakePaperFigure1Tree();
+  for (NodeId n = 0; n < fig1.size(); ++n) {
+    if (fig1.is_leaf(n)) doc.taxa.push_back(fig1.name(n));
+  }
+  NexusTree nt;
+  nt.name = "fig1";
+  nt.tree = fig1;
+  doc.trees.push_back(std::move(nt));
+  auto reparsed = ParseNexus(WriteNexus(doc));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_TRUE(PhyloTree::Equal(reparsed->trees[0].tree, fig1, 1e-9,
+                               /*ordered=*/true));
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,218 @@
+#include "tree/phylo_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "tree/tree_builders.h"
+
+namespace crimson {
+namespace {
+
+TEST(PhyloTreeTest, EmptyTree) {
+  PhyloTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.root(), kNoNode);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.LeafCount(), 0u);
+}
+
+TEST(PhyloTreeTest, SingleNode) {
+  PhyloTree t;
+  NodeId r = t.AddRoot("only");
+  EXPECT_EQ(r, t.root());
+  EXPECT_TRUE(t.is_leaf(r));
+  EXPECT_EQ(t.LeafCount(), 1u);
+  EXPECT_EQ(t.MaxDepth(), 0u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(PhyloTreeTest, PaperFigure1Shape) {
+  PhyloTree t = MakePaperFigure1Tree();
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.LeafCount(), 5u);
+  EXPECT_EQ(t.MaxDepth(), 3u);
+  ASSERT_TRUE(t.Validate().ok());
+  // Root children: Syn, P, Bsu in order.
+  auto kids = t.Children(t.root());
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(t.name(kids[0]), "Syn");
+  EXPECT_EQ(t.name(kids[2]), "Bsu");
+  EXPECT_EQ(t.OutDegree(t.root()), 3);
+  // Leaf names present.
+  for (const char* name : {"Bha", "Lla", "Spy", "Syn", "Bsu"}) {
+    NodeId n = t.FindByName(name);
+    ASSERT_NE(n, kNoNode) << name;
+    EXPECT_TRUE(t.is_leaf(n));
+  }
+}
+
+TEST(PhyloTreeTest, PaperFigure1Weights) {
+  PhyloTree t = MakePaperFigure1Tree();
+  std::vector<double> w = t.RootPathWeights();
+  // The §2.2 frontier calibration: Bha=2.25, x=1.25, Syn=2.5, Bsu=1.25.
+  EXPECT_DOUBLE_EQ(w[t.FindByName("Bha")], 2.25);
+  EXPECT_DOUBLE_EQ(w[t.FindByName("Syn")], 2.5);
+  EXPECT_DOUBLE_EQ(w[t.FindByName("Bsu")], 1.25);
+  NodeId x = t.parent(t.FindByName("Lla"));
+  EXPECT_DOUBLE_EQ(w[x], 1.25);
+  EXPECT_DOUBLE_EQ(w[t.FindByName("Lla")], 2.25);
+}
+
+TEST(PhyloTreeTest, PreOrderVisitsParentFirstLeftToRight) {
+  PhyloTree t = MakePaperFigure1Tree();
+  std::vector<std::string> order;
+  t.PreOrder([&](NodeId n) {
+    order.push_back(t.name(n));
+    return true;
+  });
+  ASSERT_EQ(order.size(), 8u);
+  EXPECT_EQ(order[0], "root");
+  EXPECT_EQ(order[1], "Syn");
+  // P subtree: P, x, Lla, Spy, Bha, then Bsu.
+  EXPECT_EQ(order[3], "");   // x
+  EXPECT_EQ(order[4], "Lla");
+  EXPECT_EQ(order[5], "Spy");
+  EXPECT_EQ(order[6], "Bha");
+  EXPECT_EQ(order[7], "Bsu");
+}
+
+TEST(PhyloTreeTest, PostOrderVisitsChildrenFirst) {
+  PhyloTree t = MakePaperFigure1Tree();
+  std::vector<uint32_t> rank(t.size());
+  uint32_t next = 0;
+  t.PostOrder([&](NodeId n) {
+    rank[n] = next++;
+    return true;
+  });
+  EXPECT_EQ(next, t.size());
+  for (NodeId n = 1; n < t.size(); ++n) {
+    EXPECT_LT(rank[n], rank[t.parent(n)]) << "child after parent";
+  }
+}
+
+TEST(PhyloTreeTest, EarlyStopTraversals) {
+  PhyloTree t = MakeBalancedBinary(4);
+  int visited = 0;
+  t.PreOrder([&](NodeId) { return ++visited < 5; });
+  EXPECT_EQ(visited, 5);
+  visited = 0;
+  t.PostOrder([&](NodeId) { return ++visited < 5; });
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(PhyloTreeTest, SubtreeTraversalDoesNotEscape) {
+  PhyloTree t = MakePaperFigure1Tree();
+  NodeId p = t.parent(t.parent(t.FindByName("Lla")));  // internal P
+  std::vector<std::string> names;
+  t.PreOrder(
+      [&](NodeId n) {
+        names.push_back(t.name(n));
+        return true;
+      },
+      p);
+  // P's subtree: P, x, Lla, Spy, Bha -- not Syn/Bsu/root.
+  EXPECT_EQ(names.size(), 5u);
+  for (const std::string& n : names) {
+    EXPECT_NE(n, "Syn");
+    EXPECT_NE(n, "Bsu");
+    EXPECT_NE(n, "root");
+  }
+}
+
+TEST(PhyloTreeTest, DepthsAndRanks) {
+  PhyloTree t = MakeCaterpillar(100);
+  EXPECT_EQ(t.MaxDepth(), 100u);
+  std::vector<uint32_t> rank = t.PreOrderRanks();
+  EXPECT_EQ(rank[t.root()], 0u);
+  std::set<uint32_t> uniq(rank.begin(), rank.end());
+  EXPECT_EQ(uniq.size(), t.size());
+}
+
+TEST(PhyloTreeTest, DeepTreeTraversalsAreIterative) {
+  // 200k levels would overflow any recursive traversal stack.
+  PhyloTree t = MakeCaterpillar(200000);
+  size_t count = 0;
+  t.PreOrder([&](NodeId) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, t.size());
+  count = 0;
+  t.PostOrder([&](NodeId) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, t.size());
+  EXPECT_EQ(t.MaxDepth(), 200000u);
+}
+
+TEST(PhyloTreeTest, NaiveLcaMatchesKnownAnswers) {
+  PhyloTree t = MakePaperFigure1Tree();
+  NodeId lla = t.FindByName("Lla");
+  NodeId spy = t.FindByName("Spy");
+  NodeId syn = t.FindByName("Syn");
+  NodeId bha = t.FindByName("Bha");
+  EXPECT_EQ(t.NaiveLca(lla, spy), t.parent(lla));            // x
+  EXPECT_EQ(t.NaiveLca(lla, syn), t.root());                 // paper example
+  EXPECT_EQ(t.NaiveLca(lla, bha), t.parent(t.parent(lla)));  // P
+  EXPECT_EQ(t.NaiveLca(lla, lla), lla);
+}
+
+TEST(PhyloTreeTest, IsAncestorOrSelf) {
+  PhyloTree t = MakePaperFigure1Tree();
+  NodeId lla = t.FindByName("Lla");
+  EXPECT_TRUE(t.IsAncestorOrSelf(t.root(), lla));
+  EXPECT_TRUE(t.IsAncestorOrSelf(lla, lla));
+  EXPECT_FALSE(t.IsAncestorOrSelf(lla, t.root()));
+  EXPECT_FALSE(t.IsAncestorOrSelf(t.FindByName("Syn"), lla));
+}
+
+TEST(PhyloTreeTest, EqualOrderedAndUnordered) {
+  PhyloTree a = MakePaperFigure1Tree();
+  PhyloTree b = MakePaperFigure1Tree();
+  EXPECT_TRUE(PhyloTree::Equal(a, b, 1e-9, /*ordered=*/true));
+  EXPECT_TRUE(PhyloTree::Equal(a, b, 1e-9, /*ordered=*/false));
+
+  // Same topology, different child order: unordered-equal only.
+  PhyloTree c;
+  NodeId r = c.AddRoot("r");
+  c.AddChild(r, "B", 2.0);
+  c.AddChild(r, "A", 1.0);
+  PhyloTree d;
+  r = d.AddRoot("r");
+  d.AddChild(r, "A", 1.0);
+  d.AddChild(r, "B", 2.0);
+  EXPECT_FALSE(PhyloTree::Equal(c, d, 1e-9, /*ordered=*/true));
+  EXPECT_TRUE(PhyloTree::Equal(c, d, 1e-9, /*ordered=*/false));
+
+  // Weight difference breaks equality at tight eps, passes at loose.
+  PhyloTree e = d;
+  e.set_edge_length(e.FindByName("A"), 1.0001);
+  EXPECT_FALSE(PhyloTree::Equal(d, e, 1e-9, false));
+  EXPECT_TRUE(PhyloTree::Equal(d, e, 0.01, false));
+}
+
+TEST(PhyloTreeTest, BuildersProduceExpectedShapes) {
+  PhyloTree cat = MakeCaterpillar(10);
+  EXPECT_EQ(cat.LeafCount(), 11u);
+  EXPECT_EQ(cat.MaxDepth(), 10u);
+  EXPECT_TRUE(cat.Validate().ok());
+
+  PhyloTree bal = MakeBalancedBinary(5);
+  EXPECT_EQ(bal.LeafCount(), 32u);
+  EXPECT_EQ(bal.MaxDepth(), 5u);
+  EXPECT_TRUE(bal.Validate().ok());
+
+  Rng rng(3);
+  PhyloTree rnd = MakeRandomBinary(500, &rng);
+  EXPECT_EQ(rnd.LeafCount(), 500u);
+  EXPECT_TRUE(rnd.Validate().ok());
+  for (NodeId n = 0; n < rnd.size(); ++n) {
+    if (!rnd.is_leaf(n)) EXPECT_EQ(rnd.OutDegree(n), 2);
+  }
+}
+
+}  // namespace
+}  // namespace crimson
