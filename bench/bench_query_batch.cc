@@ -1,0 +1,124 @@
+// Batched vs. sequential query throughput through the session API: an
+// LCA + clade mix over the cached Yule gold standard, executed one
+// request at a time through Execute and as one ExecuteBatch call over
+// the session worker pool. Batched results are defined to be
+// byte-identical to sequential execution (tickets are assigned in
+// request order), so this measures pure dispatch/concurrency overhead.
+//
+// Ships its own main: by default results are also written to
+// BENCH_query_batch.json (benchmark's JSON format, the file the
+// harness collects); pass --benchmark_out=... to override.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "crimson/crimson.h"
+
+namespace crimson {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Crimson> session;
+  TreeRef tree;
+  std::vector<QueryRequest> requests;
+};
+
+/// Session over the cached Yule tree plus a deterministic LCA + clade
+/// request mix (3:1), cached per (n_leaves, n_requests, workers).
+const Fixture& CachedFixture(uint32_t n_leaves, size_t n_requests,
+                             size_t workers) {
+  static auto* cache = new std::map<std::string, std::unique_ptr<Fixture>>();
+  std::string key = std::to_string(n_leaves) + "/" +
+                    std::to_string(n_requests) + "/" +
+                    std::to_string(workers);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    auto fx = std::make_unique<Fixture>();
+    CrimsonOptions options;
+    options.batch_workers = workers;
+    fx->session = std::move(Crimson::Open(options)).value();
+    const PhyloTree& gold = bench::CachedYule(n_leaves);
+    fx->tree = fx->session->LoadTree("yule", gold).value().ref;
+
+    std::vector<std::string> leaves;
+    for (NodeId n : gold.Leaves()) leaves.push_back(gold.name(n));
+    Rng rng(0xBA7C4);
+    fx->requests.reserve(n_requests);
+    for (size_t i = 0; i < n_requests; ++i) {
+      const std::string& a = leaves[rng.Uniform(leaves.size())];
+      const std::string& b = leaves[rng.Uniform(leaves.size())];
+      if (i % 4 == 3) {
+        fx->requests.emplace_back(CladeQuery{{a, b}});
+      } else {
+        fx->requests.emplace_back(LcaQuery{a, b});
+      }
+    }
+    it = cache->emplace(key, std::move(fx)).first;
+  }
+  return *it->second;
+}
+
+constexpr size_t kRequests = 1024;
+
+void BM_QueryMix_Sequential(benchmark::State& state) {
+  const Fixture& fx = CachedFixture(
+      static_cast<uint32_t>(state.range(0)), kRequests, /*workers=*/1);
+  for (auto _ : state) {
+    for (const QueryRequest& request : fx.requests) {
+      auto r = fx.session->Execute(fx.tree, request);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kRequests));
+  state.counters["queries"] = static_cast<double>(kRequests);
+}
+
+void BM_QueryMix_Batched(benchmark::State& state) {
+  const Fixture& fx =
+      CachedFixture(static_cast<uint32_t>(state.range(0)), kRequests,
+                    static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto results = fx.session->ExecuteBatch(fx.tree, fx.requests);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kRequests));
+  state.counters["workers"] = static_cast<double>(state.range(1));
+}
+
+BENCHMARK(BM_QueryMix_Sequential)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QueryMix_Batched)
+    ->Args({1000, 2})->Args({1000, 4})->Args({1000, 8})
+    ->Args({10000, 2})->Args({10000, 4})->Args({10000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace crimson
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out = "--benchmark_out=BENCH_query_batch.json";
+  std::string fmt = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out.data());
+    args.push_back(fmt.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Batched query execution through the session API: bind a simulated
+// Yule tree to a TreeRef once, build a mixed list of typed requests,
+// and run it both sequentially (Execute per request) and batched
+// (ExecuteBatch over the worker pool), verifying that the two
+// executions produce identical results before comparing wall time.
+//
+// Run:  ./batch_queries [n_leaves] [n_requests] [workers]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "crimson/crimson.h"
+#include "sim/tree_sim.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(crimson::Result<T> r, const char* what) {
+  if (!r.ok()) {
+    fprintf(stderr, "%s failed: %s\n", what, r.status().ToString().c_str());
+    exit(1);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace crimson;
+  uint32_t n_leaves = argc > 1 ? static_cast<uint32_t>(atoi(argv[1])) : 10000;
+  size_t n_requests = argc > 2 ? static_cast<size_t>(atoi(argv[2])) : 4096;
+  size_t workers = argc > 3 ? static_cast<size_t>(atoi(argv[3])) : 4;
+
+  Rng rng(2718);
+  YuleOptions tree_opts;
+  tree_opts.n_leaves = n_leaves;
+  PhyloTree gold = Unwrap(SimulateYule(tree_opts, &rng), "simulate");
+
+  // Two same-seed sessions so the sequential run cannot be polluted by
+  // the batched run's query tickets (and vice versa).
+  CrimsonOptions options;
+  options.seed = 7;
+  options.batch_workers = workers;
+  auto sequential_session = Unwrap(Crimson::Open(options), "open");
+  auto batched_session = Unwrap(Crimson::Open(options), "open");
+  TreeRef seq_tree =
+      Unwrap(sequential_session->LoadTree("yule", gold), "load").ref;
+  TreeRef batch_tree =
+      Unwrap(batched_session->LoadTree("yule", gold), "load").ref;
+  printf("gold standard: %zu leaves; %zu requests; %zu workers\n",
+         gold.LeafCount(), n_requests, workers);
+
+  std::vector<std::string> leaves;
+  for (NodeId n : gold.Leaves()) leaves.push_back(gold.name(n));
+  std::vector<QueryRequest> requests;
+  requests.reserve(n_requests);
+  for (size_t i = 0; i < n_requests; ++i) {
+    const std::string& a = leaves[rng.Uniform(leaves.size())];
+    const std::string& b = leaves[rng.Uniform(leaves.size())];
+    switch (i % 4) {
+      case 0:
+      case 1:
+        requests.emplace_back(LcaQuery{a, b});
+        break;
+      case 2:
+        requests.emplace_back(CladeQuery{{a, b}});
+        break;
+      default:
+        requests.emplace_back(SampleUniformQuery{8});
+        break;
+    }
+  }
+
+  WallTimer timer;
+  std::vector<std::string> sequential_rendered;
+  sequential_rendered.reserve(n_requests);
+  for (const QueryRequest& request : requests) {
+    sequential_rendered.push_back(RenderResult(
+        Unwrap(sequential_session->Execute(seq_tree, request), "execute")));
+  }
+  double sequential_s = timer.ElapsedSeconds();
+
+  timer.Restart();
+  auto batched = batched_session->ExecuteBatch(batch_tree, requests);
+  double batched_s = timer.ElapsedSeconds();
+
+  size_t mismatches = 0;
+  for (size_t i = 0; i < n_requests; ++i) {
+    if (!batched[i].ok() ||
+        RenderResult(*batched[i]) != sequential_rendered[i]) {
+      ++mismatches;
+    }
+  }
+  printf("sequential: %.3fs   batched: %.3fs   (%.2fx)\n", sequential_s,
+         batched_s, batched_s > 0 ? sequential_s / batched_s : 0.0);
+  printf("result check: %zu/%zu identical%s\n", n_requests - mismatches,
+         n_requests, mismatches ? "  <-- BUG" : " (byte-for-byte)");
+  return mismatches == 0 ? 0 : 1;
+}

@@ -98,15 +98,22 @@ int main(int argc, char** argv) {
          "the DATA block if desired)\n",
          nexus.size());
 
-  // ---- demonstrate queries ------------------------------------------------
-  auto sample = Unwrap(crimson->SampleUniform("gold", 8), "sample");
+  // ---- demonstrate queries (bind the handle once, then Execute) ----------
+  TreeRef tree = report.ref;
+  auto sample = std::get<SampleAnswer>(
+      Unwrap(crimson->Execute(tree, SampleUniformQuery{8}), "sample"));
   printf("\nuniform sample of 8 species: ");
-  for (const auto& s : sample) printf("%s ", s.c_str());
-  auto lca = Unwrap(crimson->Lca("gold", sample[0], sample[1]), "lca");
-  printf("\nLCA(%s, %s) = node %u\n", sample[0].c_str(), sample[1].c_str(),
-         lca.node);
-  auto proj = Unwrap(crimson->Project("gold", sample), "project");
-  printf("projection over the sample: %zu nodes\n", proj.size());
+  for (const auto& s : sample.species) printf("%s ", s.c_str());
+  auto lca = std::get<LcaAnswer>(
+      Unwrap(crimson->Execute(
+                 tree, LcaQuery{sample.species[0], sample.species[1]}),
+             "lca"));
+  printf("\nLCA(%s, %s) = node %u\n", sample.species[0].c_str(),
+         sample.species[1].c_str(), lca.node);
+  auto proj = std::get<ProjectAnswer>(
+      Unwrap(crimson->Execute(tree, ProjectQuery{sample.species}),
+             "project"));
+  printf("projection over the sample: %zu nodes\n", proj.projection.size());
   printf("\ndatabase left at %s\n", db_path.c_str());
   return 0;
 }

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "crimson/benchmark_manager.h"
+#include "crimson/crimson.h"
 #include "sim/seq_evolve.h"
 #include "sim/tree_sim.h"
 
@@ -59,8 +59,15 @@ int main(int argc, char** argv) {
     auto evolver = Unwrap(SequenceEvolver::Create(seq_opts), "evolver");
     auto sequences = Unwrap(evolver.EvolveLeaves(gold, &rng), "evolve");
 
-    BenchmarkManager manager(&gold, &sequences, 8);
-    if (!manager.Init().ok()) return 1;
+    // One Crimson session per sweep: the gold standard is loaded once
+    // and evaluations run through the facade's Benchmark path (which
+    // also records them in the query history).
+    CrimsonOptions options;
+    options.seed = 4711 + seq_len;
+    auto crimson = Unwrap(Crimson::Open(options), "open");
+    std::string tree_name = "gold_" + std::to_string(seq_len);
+    Unwrap(crimson->LoadTree(tree_name, gold), "load tree");
+    Unwrap(crimson->AppendSpeciesData(tree_name, sequences), "load species");
 
     for (size_t k : {16, 64, 256}) {
       const int reps = 5;
@@ -69,9 +76,13 @@ int main(int argc, char** argv) {
         SelectionSpec sel;
         sel.kind = SelectionSpec::Kind::kUniform;
         sel.k = k;
-        nj_rf += Unwrap(manager.Evaluate(*nj, sel, &rng), "nj")
+        nj_rf += Unwrap(crimson->Benchmark(tree_name, *nj, sel,
+                                           /*compute_triplets=*/false),
+                        "nj")
                      .rf.normalized;
-        upgma_rf += Unwrap(manager.Evaluate(*upgma, sel, &rng), "upgma")
+        upgma_rf += Unwrap(crimson->Benchmark(tree_name, *upgma, sel,
+                                              /*compute_triplets=*/false),
+                           "upgma")
                         .rf.normalized;
       }
       printf("%-8zu %6zu %8d | %-18.4f %-18.4f%s\n", seq_len, k, reps,

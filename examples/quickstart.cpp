@@ -53,49 +53,69 @@ int main() {
            dewey.label(n).ToString().c_str());
   }
 
-  // ---- open Crimson (in-memory) and load the tree ---------------------
+  // ---- open Crimson (in-memory) and bind the tree to a handle ---------
   CrimsonOptions options;
   options.f = 3;  // the paper's Figure 4 uses f = 3
   auto crimson = Unwrap(Crimson::Open(options), "open");
-  Unwrap(crimson->LoadTree("fig1", fig1), "load");
+  TreeRef tree = Unwrap(crimson->LoadTree("fig1", fig1), "load").ref;
 
-  // ---- LCA queries -----------------------------------------------------
-  auto lca1 = Unwrap(crimson->Lca("fig1", "Lla", "Spy"), "lca");
+  // ---- LCA queries (typed requests through the one Execute path) -------
+  auto lca1 = std::get<LcaAnswer>(
+      Unwrap(crimson->Execute(tree, LcaQuery{"Lla", "Spy"}), "lca"));
   printf("\nLCA(Lla, Spy) = node %u  (the interior node '2.1')\n",
          lca1.node);
-  auto lca2 = Unwrap(crimson->Lca("fig1", "Lla", "Syn"), "lca");
+  auto lca2 = std::get<LcaAnswer>(
+      Unwrap(crimson->Execute(tree, LcaQuery{"Lla", "Syn"}), "lca"));
   printf("LCA(Lla, Syn) = node %u '%s'  (paper: node 1, the root)\n",
          lca2.node, lca2.name.c_str());
 
   // ---- Figure 2: tree projection ---------------------------------------
-  auto projection =
-      Unwrap(crimson->Project("fig1", {"Bha", "Lla", "Syn"}), "project");
+  auto projection = std::get<ProjectAnswer>(
+      Unwrap(crimson->Execute(tree, ProjectQuery{{"Bha", "Lla", "Syn"}}),
+             "project"));
   printf("\nProjection over {Bha, Lla, Syn} (Figure 2):\n  %s\n",
-         WriteNewick(projection).c_str());
+         WriteNewick(projection.projection).c_str());
   printf("  (note Lla's merged edge 0.5 + 1.0 = 1.5)\n");
 
   // ---- §2.2: sampling with respect to time -----------------------------
-  auto sample =
-      Unwrap(crimson->SampleWithRespectToTime("fig1", 4, 1.0), "sample");
+  auto sample = std::get<SampleAnswer>(
+      Unwrap(crimson->Execute(tree, SampleTimeQuery{4, 1.0}), "sample"));
   printf("\nSample of 4 species at evolutionary distance 1: {");
-  for (size_t i = 0; i < sample.size(); ++i) {
-    printf("%s%s", i ? ", " : "", sample[i].c_str());
+  for (size_t i = 0; i < sample.species.size(); ++i) {
+    printf("%s%s", i ? ", " : "", sample.species[i].c_str());
   }
   printf("}\n  (paper: {Bha, Lla, Syn, Bsu} or {Bha, Spy, Syn, Bsu})\n");
 
   // ---- tree pattern match ----------------------------------------------
-  auto hit = Unwrap(
-      crimson->MatchPattern("fig1", "((Bha:1.5,Lla:1.5):0.75,Syn:2.5);",
-                            /*match_weights=*/true),
-      "pattern");
+  auto hit = std::get<PatternAnswer>(Unwrap(
+      crimson->Execute(
+          tree, PatternQuery{"((Bha:1.5,Lla:1.5):0.75,Syn:2.5);",
+                             /*match_weights=*/true}),
+      "pattern"));
   printf("\nFigure 2 pattern matches Figure 1 tree: %s\n",
          hit.exact ? "YES" : "no");
-  auto miss = Unwrap(
-      crimson->MatchPattern("fig1", "((Bha:1,Syn:1):1,Lla:1);",
-                            /*match_weights=*/false),
-      "pattern");
+  auto miss = std::get<PatternAnswer>(Unwrap(
+      crimson->Execute(tree, PatternQuery{"((Bha:1,Syn:1):1,Lla:1);",
+                                          /*match_weights=*/false}),
+      "pattern"));
   printf("Swapped pattern (Lla <-> Syn) matches:      %s\n",
          miss.exact ? "yes" : "NO");
+
+  // ---- batched execution ------------------------------------------------
+  std::vector<QueryRequest> batch = {
+      LcaQuery{"Bha", "Bsu"},
+      CladeQuery{{"Lla", "Spy"}},
+      SampleUniformQuery{3},
+  };
+  auto batch_results = crimson->ExecuteBatch(tree, batch);
+  printf("\nExecuteBatch over %zu mixed queries:\n", batch.size());
+  for (size_t i = 0; i < batch_results.size(); ++i) {
+    printf("  [%zu] %-14s -> %s\n", i,
+           std::string(QueryKindName(batch[i])).c_str(),
+           batch_results[i].ok()
+               ? SummarizeResult(*batch_results[i]).c_str()
+               : batch_results[i].status().ToString().c_str());
+  }
 
   // ---- Tree Viewer (Fig. 3): ASCII dendrogram of the projection --------
   auto art = Unwrap(crimson->RenderTree("fig1"), "render");

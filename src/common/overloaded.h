@@ -1,0 +1,18 @@
+// Overload-set helper for std::visit: combines lambdas into one
+// callable (the standard "overloaded" idiom).
+
+#ifndef CRIMSON_COMMON_OVERLOADED_H_
+#define CRIMSON_COMMON_OVERLOADED_H_
+
+namespace crimson {
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+}  // namespace crimson
+
+#endif  // CRIMSON_COMMON_OVERLOADED_H_

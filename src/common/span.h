@@ -1,0 +1,58 @@
+// Minimal std::span stand-in (the project targets C++17). A Span is a
+// non-owning view over a contiguous sequence; it never allocates and is
+// cheap to copy. Only the read-side surface needed by the batched query
+// API is provided.
+
+#ifndef CRIMSON_COMMON_SPAN_H_
+#define CRIMSON_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace crimson {
+
+template <typename T>
+class Span {
+ public:
+  using value_type = std::remove_cv_t<T>;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+
+  template <size_t N>
+  constexpr Span(T (&array)[N]) : data_(array), size_(N) {}  // NOLINT
+
+  /// Views over vectors; the const overload participates only when T is
+  /// const-qualified so a Span<T> cannot silently drop constness.
+  Span(std::vector<value_type>& v) : data_(v.data()), size_(v.size()) {}  // NOLINT
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_const_v<U>>>
+  Span(const std::vector<value_type>& v)  // NOLINT
+      : data_(v.data()), size_(v.size()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+  constexpr Span subspan(size_t offset, size_t count) const {
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_COMMON_SPAN_H_

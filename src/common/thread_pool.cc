@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace crimson {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
+  // Shared state outlives every worker task via shared_ptr: ParallelFor
+  // only returns once `done` reaches n, and tasks touch nothing after
+  // incrementing it.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first exception thrown by body
+  };
+  auto state = std::make_shared<State>();
+  const size_t total = n;
+  auto drain = [state, total, &body] {
+    for (;;) {
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      // An index always counts as done even if body throws; otherwise
+      // the caller would wait forever (or a worker would terminate).
+      // The first exception is rethrown on the calling thread below.
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+  size_t helpers = std::min(total - 1, threads_.size());
+  for (size_t i = 0; i < helpers; ++i) Submit(drain);
+  drain();  // the caller works too
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == total;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace crimson

@@ -1,0 +1,51 @@
+// Fixed-size worker pool used by the batched query path. Workers sleep
+// on a condition variable; ParallelFor hands out indices through an
+// atomic cursor so callers get static work distribution without
+// per-task allocation ordering effects.
+
+#ifndef CRIMSON_COMMON_THREAD_POOL_H_
+#define CRIMSON_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace crimson {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(0) .. body(n-1) across the pool and blocks until every
+  /// index has finished. The calling thread participates, so the pool
+  /// makes progress even with a single worker. `body` must be safe to
+  /// invoke concurrently for distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+}  // namespace crimson
+
+#endif  // CRIMSON_COMMON_THREAD_POOL_H_

@@ -65,7 +65,10 @@ struct BenchmarkRun {
 };
 
 /// Evaluates algorithms against one gold-standard tree held in memory
-/// (the Crimson facade wires this to the repositories).
+/// (the Crimson facade wires this to the repositories). Immutable
+/// after Init(): Evaluate is const and randomness comes from the
+/// caller's Rng, so one manager may be shared across threads (each
+/// with its own Rng).
 class BenchmarkManager {
  public:
   /// The tree and sequences must outlive the manager. `sequences` maps

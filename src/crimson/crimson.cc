@@ -1,9 +1,12 @@
 #include "crimson/crimson.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/log.h"
+#include "common/overloaded.h"
 #include "common/string_util.h"
+#include "query/lca.h"
 #include "recon/rf_distance.h"
 #include "tree/ascii_render.h"
 #include "tree/newick.h"
@@ -13,21 +16,22 @@ namespace crimson {
 
 namespace {
 
-std::string JoinSpecies(const std::vector<std::string>& species) {
-  std::string out;
-  for (size_t i = 0; i < species.size(); ++i) {
-    if (i) out.push_back(',');
-    out += species[i];
-  }
-  return out;
+/// Derives the seed for one query's private Rng from the session seed
+/// and the query's ticket. Sequential and batched execution assign the
+/// same tickets in request order, so sampling results are identical in
+/// both modes, and two sessions with different seeds draw differently.
+uint64_t QuerySeed(uint64_t session_seed, uint64_t ticket) {
+  uint64_t state = session_seed + 0x9E3779B97F4A7C15ULL * (ticket + 1);
+  return SplitMix64(&state);
 }
 
 }  // namespace
 
+Crimson::~Crimson() = default;
+
 Result<std::unique_ptr<Crimson>> Crimson::Open(const CrimsonOptions& options) {
   auto c = std::unique_ptr<Crimson>(new Crimson());
   c->options_ = options;
-  c->rng_.Reseed(options.seed);
   DatabaseOptions db_opts;
   db_opts.buffer_pool_pages = options.buffer_pool_pages;
   if (options.db_path.empty()) {
@@ -40,196 +44,338 @@ Result<std::unique_ptr<Crimson>> Crimson::Open(const CrimsonOptions& options) {
   CRIMSON_ASSIGN_OR_RETURN(c->queries_, QueryRepository::Open(c->db_.get()));
   c->loader_ = std::make_unique<DataLoader>(c->trees_.get(),
                                             c->species_.get(), options.f);
+  c->pool_ = std::make_unique<ThreadPool>(
+      options.batch_workers > 0 ? options.batch_workers : 1);
   return c;
 }
 
-Result<LoadReport> Crimson::LoadNewick(const std::string& name,
-                                       const std::string& newick,
-                                       LoadMode mode) {
-  return loader_->LoadNewick(name, newick, mode);
+// -- loading ----------------------------------------------------------------
+
+Result<SessionLoadReport> Crimson::FinishLoad(Result<LoadReport> report) {
+  if (!report.ok()) return report.status();
+  SessionLoadReport out;
+  static_cast<LoadReport&>(out) = *report;
+  CRIMSON_ASSIGN_OR_RETURN(out.ref, OpenTree(out.tree_name));
+  return out;
 }
 
-Result<LoadReport> Crimson::LoadNexus(const std::string& name,
-                                      const std::string& nexus,
-                                      LoadMode mode) {
-  return loader_->LoadNexus(name, nexus, mode);
+Result<SessionLoadReport> Crimson::LoadNewick(const std::string& name,
+                                              const std::string& newick,
+                                              LoadMode mode) {
+  Result<LoadReport> report = [&] {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    return loader_->LoadNewick(name, newick, mode);
+  }();
+  return FinishLoad(std::move(report));
 }
 
-Result<LoadReport> Crimson::LoadTree(const std::string& name,
-                                     const PhyloTree& tree) {
-  return loader_->LoadTree(name, tree);
+Result<SessionLoadReport> Crimson::LoadNexus(const std::string& name,
+                                             const std::string& nexus,
+                                             LoadMode mode) {
+  Result<LoadReport> report = [&] {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    return loader_->LoadNexus(name, nexus, mode);
+  }();
+  return FinishLoad(std::move(report));
+}
+
+Result<SessionLoadReport> Crimson::LoadTree(const std::string& name,
+                                            const PhyloTree& tree) {
+  Result<LoadReport> report = [&] {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    return loader_->LoadTree(name, tree);
+  }();
+  return FinishLoad(std::move(report));
 }
 
 Result<LoadReport> Crimson::AppendSpeciesData(
     const std::string& tree_name,
     const std::map<std::string, std::string>& sequences) {
+  std::lock_guard<std::mutex> lock(db_mu_);
   return loader_->AppendSpecies(tree_name, sequences);
 }
 
 Result<std::vector<TreeInfo>> Crimson::ListTrees() const {
+  std::lock_guard<std::mutex> lock(db_mu_);
   return trees_->ListTrees();
 }
 
-Result<Crimson::TreeHandle*> Crimson::Handle(const std::string& name) {
-  auto it = handles_.find(name);
-  if (it != handles_.end()) return it->second.get();
-  CRIMSON_ASSIGN_OR_RETURN(TreeInfo info, trees_->GetTreeInfo(name));
-  auto handle = std::make_unique<TreeHandle>(
-      static_cast<uint32_t>(info.f > 0 ? info.f : options_.f));
-  handle->info = info;
-  CRIMSON_ASSIGN_OR_RETURN(handle->tree, trees_->LoadTree(info.tree_id));
-  CRIMSON_RETURN_IF_ERROR(handle->scheme.Build(handle->tree));
-  handle->sampler = std::make_unique<Sampler>(&handle->tree);
-  handle->projector =
-      std::make_unique<TreeProjector>(&handle->tree, &handle->scheme);
-  handle->matcher = std::make_unique<PatternMatcher>(handle->projector.get());
-  TreeHandle* raw = handle.get();
-  handles_.emplace(name, std::move(handle));
-  return raw;
+Result<TreeRef> Crimson::OpenTree(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(handles_mu_);
+    auto it = handle_ids_.find(name);
+    if (it != handle_ids_.end()) return TreeRef(it->second);
+  }
+  // Materialize without holding the cache lock so a slow first open
+  // (storage load + index build on a large tree) never stalls query
+  // dispatch on already-open trees. A racing open may duplicate the
+  // work; the insertion below double-checks and keeps one handle.
+  auto handle = [&]() -> Result<std::shared_ptr<TreeHandle>> {
+    std::shared_ptr<TreeHandle> h;
+    {
+      std::lock_guard<std::mutex> db_lock(db_mu_);
+      CRIMSON_ASSIGN_OR_RETURN(TreeInfo info, trees_->GetTreeInfo(name));
+      h = std::make_shared<TreeHandle>(
+          static_cast<uint32_t>(info.f > 0 ? info.f : options_.f));
+      h->info = info;
+      CRIMSON_ASSIGN_OR_RETURN(h->tree, trees_->LoadTree(info.tree_id));
+    }
+    // Index build is pure compute; no lock held.
+    CRIMSON_RETURN_IF_ERROR(h->scheme.Build(h->tree));
+    h->sampler = std::make_unique<Sampler>(&h->tree);
+    h->projector = std::make_unique<TreeProjector>(&h->tree, &h->scheme);
+    h->matcher = std::make_unique<PatternMatcher>(h->projector.get());
+    return h;
+  }();
+  if (!handle.ok()) return handle.status();
+
+  std::unique_lock<std::shared_mutex> lock(handles_mu_);
+  auto it = handle_ids_.find(name);
+  if (it != handle_ids_.end()) return TreeRef(it->second);  // lost the race
+  handles_.push_back(std::move(*handle));
+  uint64_t id = handles_.size();
+  handle_ids_.emplace(name, id);
+  return TreeRef(id);
+}
+
+Result<std::shared_ptr<const Crimson::TreeHandle>> Crimson::HandleFor(
+    TreeRef tree) const {
+  std::shared_lock<std::shared_mutex> lock(handles_mu_);
+  if (!tree.valid() || tree.id() > handles_.size()) {
+    return Status::InvalidArgument(
+        "invalid TreeRef (not issued by this session)");
+  }
+  return handles_[tree.id() - 1];
+}
+
+Result<TreeInfo> Crimson::GetTreeInfo(TreeRef tree) const {
+  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const TreeHandle> handle,
+                           HandleFor(tree));
+  return handle->info;
+}
+
+Result<const PhyloTree*> Crimson::GetTree(TreeRef tree) const {
+  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const TreeHandle> handle,
+                           HandleFor(tree));
+  // Handles are never evicted, so the pointer stays valid for the
+  // session lifetime.
+  return &handle->tree;
 }
 
 Result<const PhyloTree*> Crimson::GetTree(const std::string& name) {
-  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(name));
-  return const_cast<const PhyloTree*>(&handle->tree);
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(name));
+  return GetTree(ref);
 }
 
+// -- query execution --------------------------------------------------------
+
 Result<std::vector<NodeId>> Crimson::ResolveSpecies(
-    TreeHandle* handle, const std::vector<std::string>& species) const {
+    const TreeHandle& handle, const std::vector<std::string>& species) {
   std::vector<NodeId> out;
   out.reserve(species.size());
   for (const std::string& s : species) {
-    NodeId n = handle->tree.FindByName(s);
+    NodeId n = handle.tree.FindByName(s);
     if (n == kNoNode) {
       return Status::NotFound(StrFormat("species '%s' not in tree '%s'",
                                         s.c_str(),
-                                        handle->info.name.c_str()));
+                                        handle.info.name.c_str()));
     }
     out.push_back(n);
   }
   return out;
 }
 
-void Crimson::RecordQuery(const std::string& kind, const std::string& params,
+Result<QueryResult> Crimson::ExecuteOnHandle(const TreeHandle& handle,
+                                             const QueryRequest& request,
+                                             uint64_t ticket) const {
+  return std::visit(
+      Overloaded{
+          [&](const LcaQuery& q) -> Result<QueryResult> {
+            CRIMSON_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                                     ResolveSpecies(handle, {q.a, q.b}));
+            CRIMSON_ASSIGN_OR_RETURN(NodeId lca,
+                                     handle.scheme.Lca(nodes[0], nodes[1]));
+            LcaAnswer answer;
+            answer.node = lca;
+            answer.name = handle.tree.name(lca);
+            return QueryResult(std::move(answer));
+          },
+          [&](const ProjectQuery& q) -> Result<QueryResult> {
+            CRIMSON_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                                     ResolveSpecies(handle, q.species));
+            CRIMSON_ASSIGN_OR_RETURN(PhyloTree projection,
+                                     handle.projector->Project(nodes));
+            return QueryResult(ProjectAnswer{std::move(projection)});
+          },
+          [&](const SampleUniformQuery& q) -> Result<QueryResult> {
+            Rng rng(QuerySeed(options_.seed, ticket));
+            CRIMSON_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                                     handle.sampler->SampleUniform(q.k, &rng));
+            SampleAnswer answer;
+            answer.species.reserve(nodes.size());
+            for (NodeId n : nodes) answer.species.push_back(handle.tree.name(n));
+            return QueryResult(std::move(answer));
+          },
+          [&](const SampleTimeQuery& q) -> Result<QueryResult> {
+            Rng rng(QuerySeed(options_.seed, ticket));
+            CRIMSON_ASSIGN_OR_RETURN(
+                std::vector<NodeId> nodes,
+                handle.sampler->SampleWithRespectToTime(q.k, q.time, &rng));
+            SampleAnswer answer;
+            answer.species.reserve(nodes.size());
+            for (NodeId n : nodes) answer.species.push_back(handle.tree.name(n));
+            return QueryResult(std::move(answer));
+          },
+          [&](const CladeQuery& q) -> Result<QueryResult> {
+            CRIMSON_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                                     ResolveSpecies(handle, q.species));
+            CRIMSON_ASSIGN_OR_RETURN(
+                Clade clade,
+                MinimalSpanningClade(handle.tree, handle.scheme, nodes));
+            CladeAnswer answer;
+            answer.root = clade.root;
+            answer.node_count = clade.nodes.size();
+            for (NodeId n : clade.nodes) {
+              if (handle.tree.is_leaf(n)) ++answer.leaf_count;
+            }
+            return QueryResult(std::move(answer));
+          },
+          [&](const PatternQuery& q) -> Result<QueryResult> {
+            CRIMSON_ASSIGN_OR_RETURN(PhyloTree pattern,
+                                     ParseNewick(q.pattern_newick));
+            CRIMSON_ASSIGN_OR_RETURN(
+                PatternMatcher::MatchResult match,
+                handle.matcher->Match(pattern, 1e-9, q.match_weights));
+            PatternAnswer answer;
+            answer.exact = match.exact;
+            answer.projection = std::move(match.projection);
+            if (!answer.exact && pattern.LeafCount() >= 3) {
+              // Approximate similarity: RF between pattern and projection.
+              Result<RfResult> rf = RobinsonFoulds(pattern, answer.projection);
+              if (rf.ok()) answer.rf_normalized = rf->normalized;
+            }
+            return QueryResult(std::move(answer));
+          },
+      },
+      request);
+}
+
+void Crimson::RecordQuery(std::string_view kind, const std::string& params,
                           const std::string& summary) {
-  Result<int64_t> r = queries_->Record(kind, params, summary);
+  std::lock_guard<std::mutex> lock(db_mu_);
+  Result<int64_t> r = queries_->Record(std::string(kind), params, summary);
   if (!r.ok()) {
     CRIMSON_LOG(kWarning) << "query history write failed: " << r.status();
   }
 }
 
+Result<QueryResult> Crimson::Execute(TreeRef tree,
+                                     const QueryRequest& request) {
+  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const TreeHandle> handle,
+                           HandleFor(tree));
+  uint64_t ticket = ticket_.fetch_add(1, std::memory_order_relaxed);
+  Result<QueryResult> result = ExecuteOnHandle(*handle, request, ticket);
+  if (result.ok()) {
+    RecordQuery(QueryKindName(request),
+                EncodeQueryParams(handle->info.name, request),
+                SummarizeResult(*result));
+  }
+  return result;
+}
+
+std::vector<Result<QueryResult>> Crimson::ExecuteBatch(
+    TreeRef tree, Span<const QueryRequest> requests) {
+  const size_t n = requests.size();
+  std::vector<Result<QueryResult>> results(
+      n, Result<QueryResult>(Status::Internal("query not executed")));
+  if (n == 0) return results;
+  Result<std::shared_ptr<const TreeHandle>> handle_or = HandleFor(tree);
+  if (!handle_or.ok()) {
+    for (auto& r : results) r = handle_or.status();
+    return results;
+  }
+  const TreeHandle& handle = **handle_or;
+  // Tickets are assigned in request order *before* dispatch, so the
+  // i-th request draws exactly what it would draw under sequential
+  // Execute calls -- batched results are byte-identical.
+  const uint64_t base = ticket_.fetch_add(n, std::memory_order_relaxed);
+  pool_->ParallelFor(n, [&](size_t i) {
+    results[i] = ExecuteOnHandle(handle, requests[i], base + i);
+  });
+  // History is written after the barrier, in request order, keeping the
+  // Query Repository deterministic under concurrency.
+  for (size_t i = 0; i < n; ++i) {
+    if (!results[i].ok()) continue;
+    RecordQuery(QueryKindName(requests[i]),
+                EncodeQueryParams(handle.info.name, requests[i]),
+                SummarizeResult(*results[i]));
+  }
+  return results;
+}
+
+// -- legacy named wrappers --------------------------------------------------
+
 Result<Crimson::LcaAnswer> Crimson::Lca(const std::string& tree_name,
                                         const std::string& a,
                                         const std::string& b) {
-  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
-  CRIMSON_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
-                           ResolveSpecies(handle, {a, b}));
-  CRIMSON_ASSIGN_OR_RETURN(NodeId lca, handle->scheme.Lca(nodes[0], nodes[1]));
-  LcaAnswer answer;
-  answer.node = lca;
-  answer.name = handle->tree.name(lca);
-  RecordQuery("lca",
-              StrFormat("tree=%s&a=%s&b=%s", tree_name.c_str(), a.c_str(),
-                        b.c_str()),
-              StrFormat("lca node=%u name=%s", lca, answer.name.c_str()));
-  return answer;
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(QueryResult r, Execute(ref, LcaQuery{a, b}));
+  return std::get<LcaAnswer>(std::move(r));
 }
 
 Result<PhyloTree> Crimson::Project(const std::string& tree_name,
                                    const std::vector<std::string>& species) {
-  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
-  CRIMSON_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
-                           ResolveSpecies(handle, species));
-  CRIMSON_ASSIGN_OR_RETURN(PhyloTree projection,
-                           handle->projector->Project(nodes));
-  RecordQuery("project",
-              StrFormat("tree=%s&species=%s", tree_name.c_str(),
-                        JoinSpecies(species).c_str()),
-              StrFormat("projection nodes=%zu", projection.size()));
-  return projection;
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(QueryResult r, Execute(ref, ProjectQuery{species}));
+  return std::get<ProjectAnswer>(std::move(r)).projection;
 }
 
 Result<std::vector<std::string>> Crimson::SampleUniform(
     const std::string& tree_name, size_t k) {
-  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
-  CRIMSON_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
-                           handle->sampler->SampleUniform(k, &rng_));
-  std::vector<std::string> names;
-  names.reserve(nodes.size());
-  for (NodeId n : nodes) names.push_back(handle->tree.name(n));
-  RecordQuery("sample_uniform",
-              StrFormat("tree=%s&k=%zu", tree_name.c_str(), k),
-              StrFormat("sampled %zu species", names.size()));
-  return names;
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(QueryResult r,
+                           Execute(ref, SampleUniformQuery{k}));
+  return std::get<SampleAnswer>(std::move(r)).species;
 }
 
 Result<std::vector<std::string>> Crimson::SampleWithRespectToTime(
     const std::string& tree_name, size_t k, double time) {
-  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
-  CRIMSON_ASSIGN_OR_RETURN(
-      std::vector<NodeId> nodes,
-      handle->sampler->SampleWithRespectToTime(k, time, &rng_));
-  std::vector<std::string> names;
-  names.reserve(nodes.size());
-  for (NodeId n : nodes) names.push_back(handle->tree.name(n));
-  RecordQuery("sample_time",
-              StrFormat("tree=%s&k=%zu&time=%.17g", tree_name.c_str(), k,
-                        time),
-              StrFormat("sampled %zu species", names.size()));
-  return names;
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(QueryResult r,
+                           Execute(ref, SampleTimeQuery{k, time}));
+  return std::get<SampleAnswer>(std::move(r)).species;
 }
 
 Result<Crimson::CladeAnswer> Crimson::MinimalClade(
     const std::string& tree_name, const std::vector<std::string>& species) {
-  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
-  CRIMSON_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
-                           ResolveSpecies(handle, species));
-  CRIMSON_ASSIGN_OR_RETURN(
-      Clade clade, MinimalSpanningClade(handle->tree, handle->scheme, nodes));
-  CladeAnswer answer;
-  answer.root = clade.root;
-  answer.node_count = clade.nodes.size();
-  for (NodeId n : clade.nodes) {
-    if (handle->tree.is_leaf(n)) ++answer.leaf_count;
-  }
-  RecordQuery("clade",
-              StrFormat("tree=%s&species=%s", tree_name.c_str(),
-                        JoinSpecies(species).c_str()),
-              StrFormat("clade root=%u nodes=%zu leaves=%zu", clade.root,
-                        answer.node_count, answer.leaf_count));
-  return answer;
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(QueryResult r, Execute(ref, CladeQuery{species}));
+  return std::get<CladeAnswer>(std::move(r));
 }
 
 Result<Crimson::PatternAnswer> Crimson::MatchPattern(
     const std::string& tree_name, const std::string& pattern_newick,
     bool match_weights) {
-  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
-  CRIMSON_ASSIGN_OR_RETURN(PhyloTree pattern, ParseNewick(pattern_newick));
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
   CRIMSON_ASSIGN_OR_RETURN(
-      PatternMatcher::MatchResult match,
-      handle->matcher->Match(pattern, 1e-9, match_weights));
-  PatternAnswer answer;
-  answer.exact = match.exact;
-  answer.projection = std::move(match.projection);
-  if (!answer.exact && pattern.LeafCount() >= 3) {
-    // Approximate similarity: RF between pattern and projection.
-    Result<RfResult> rf = RobinsonFoulds(pattern, answer.projection);
-    if (rf.ok()) answer.rf_normalized = rf->normalized;
-  }
-  RecordQuery("pattern_match",
-              StrFormat("tree=%s&pattern=%s&weights=%d", tree_name.c_str(),
-                        pattern_newick.c_str(), match_weights ? 1 : 0),
-              StrFormat("exact=%d rf=%.4f", answer.exact ? 1 : 0,
-                        answer.rf_normalized));
-  return answer;
+      QueryResult r, Execute(ref, PatternQuery{pattern_newick, match_weights}));
+  return std::get<PatternAnswer>(std::move(r));
 }
+
+// -- benchmarking -----------------------------------------------------------
 
 Result<BenchmarkRun> Crimson::Benchmark(
     const std::string& tree_name, const ReconstructionAlgorithm& algorithm,
-    const SelectionSpec& selection) {
-  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
+    const SelectionSpec& selection, bool compute_triplets) {
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const TreeHandle> handle,
+                           HandleFor(ref));
   std::map<std::string, std::string> seqs;
-  CRIMSON_ASSIGN_OR_RETURN(
-      seqs, species_->SequencesForTree(handle->info.tree_id));
+  {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    CRIMSON_ASSIGN_OR_RETURN(
+        seqs, species_->SequencesForTree(handle->info.tree_id));
+  }
   if (seqs.empty()) {
     return Status::FailedPrecondition(
         StrFormat("tree '%s' has no species data loaded",
@@ -238,9 +384,11 @@ Result<BenchmarkRun> Crimson::Benchmark(
   BenchmarkManager manager(&handle->tree, &seqs,
                            static_cast<uint32_t>(handle->info.f));
   CRIMSON_RETURN_IF_ERROR(manager.Init());
+  uint64_t ticket = ticket_.fetch_add(1, std::memory_order_relaxed);
+  Rng rng(QuerySeed(options_.seed, ticket));
   CRIMSON_ASSIGN_OR_RETURN(
       BenchmarkRun run,
-      manager.Evaluate(algorithm, selection, &rng_, /*compute_triplets=*/true));
+      manager.Evaluate(algorithm, selection, &rng, compute_triplets));
   RecordQuery(
       "benchmark",
       StrFormat("tree=%s&algorithm=%s&k=%zu", tree_name.c_str(),
@@ -250,75 +398,46 @@ Result<BenchmarkRun> Crimson::Benchmark(
   return run;
 }
 
+// -- query history ----------------------------------------------------------
+
 Result<std::vector<QueryRepository::Entry>> Crimson::QueryHistory(
     size_t limit) {
+  std::lock_guard<std::mutex> lock(db_mu_);
   return queries_->History(limit);
 }
 
 Result<std::string> Crimson::RerunQuery(int64_t query_id) {
-  CRIMSON_ASSIGN_OR_RETURN(QueryRepository::Entry entry,
-                           queries_->Get(query_id));
-  // Parse "k=v&k=v" parameters.
-  std::map<std::string, std::string> params;
-  for (std::string_view pair : StrSplit(entry.params, '&')) {
-    size_t eq = pair.find('=');
-    if (eq == std::string_view::npos) continue;
-    params[std::string(pair.substr(0, eq))] =
-        std::string(pair.substr(eq + 1));
+  QueryRepository::Entry entry;
+  {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    CRIMSON_ASSIGN_OR_RETURN(entry, queries_->Get(query_id));
   }
-  const std::string& tree = params["tree"];
-  if (entry.kind == "lca") {
-    CRIMSON_ASSIGN_OR_RETURN(LcaAnswer a, Lca(tree, params["a"], params["b"]));
-    return StrFormat("lca node=%u name=%s", a.node, a.name.c_str());
-  }
-  if (entry.kind == "project") {
-    std::vector<std::string> species;
-    for (std::string_view s : StrSplit(params["species"], ',')) {
-      species.emplace_back(s);
+  auto decoded = DecodeQueryRequest(entry.kind, entry.params);
+  if (!decoded.ok()) {
+    if (decoded.status().IsUnimplemented()) {
+      return Status::Unimplemented(
+          StrFormat("cannot rerun query kind '%s'", entry.kind.c_str()));
     }
-    CRIMSON_ASSIGN_OR_RETURN(PhyloTree p, Project(tree, species));
-    return WriteNewick(p);
+    return decoded.status();
   }
-  if (entry.kind == "sample_uniform") {
-    CRIMSON_ASSIGN_OR_RETURN(int64_t k, ParseInt64(params["k"]));
-    CRIMSON_ASSIGN_OR_RETURN(std::vector<std::string> names,
-                             SampleUniform(tree, static_cast<size_t>(k)));
-    return JoinSpecies(names);
-  }
-  if (entry.kind == "sample_time") {
-    CRIMSON_ASSIGN_OR_RETURN(int64_t k, ParseInt64(params["k"]));
-    CRIMSON_ASSIGN_OR_RETURN(double t, ParseDouble(params["time"]));
-    CRIMSON_ASSIGN_OR_RETURN(
-        std::vector<std::string> names,
-        SampleWithRespectToTime(tree, static_cast<size_t>(k), t));
-    return JoinSpecies(names);
-  }
-  if (entry.kind == "clade") {
-    std::vector<std::string> species;
-    for (std::string_view s : StrSplit(params["species"], ',')) {
-      species.emplace_back(s);
-    }
-    CRIMSON_ASSIGN_OR_RETURN(CladeAnswer c, MinimalClade(tree, species));
-    return StrFormat("clade root=%u nodes=%zu", c.root, c.node_count);
-  }
-  if (entry.kind == "pattern_match") {
-    CRIMSON_ASSIGN_OR_RETURN(
-        PatternAnswer p,
-        MatchPattern(tree, params["pattern"], params["weights"] == "1"));
-    return StrFormat("exact=%d rf=%.4f", p.exact ? 1 : 0, p.rf_normalized);
-  }
-  return Status::Unimplemented(
-      StrFormat("cannot rerun query kind '%s'", entry.kind.c_str()));
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(decoded->first));
+  CRIMSON_ASSIGN_OR_RETURN(QueryResult result, Execute(ref, decoded->second));
+  return RenderResult(result);
 }
 
 Result<std::string> Crimson::ExportNexus(const std::string& tree_name) {
-  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const TreeHandle> handle,
+                           HandleFor(ref));
   NexusDocument doc;
   for (NodeId n : handle->tree.Leaves()) {
     doc.taxa.push_back(handle->tree.name(n));
   }
-  CRIMSON_ASSIGN_OR_RETURN(
-      doc.sequences, species_->SequencesForTree(handle->info.tree_id));
+  {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    CRIMSON_ASSIGN_OR_RETURN(
+        doc.sequences, species_->SequencesForTree(handle->info.tree_id));
+  }
   NexusTree nt;
   nt.name = tree_name;
   nt.tree = handle->tree;
@@ -328,12 +447,17 @@ Result<std::string> Crimson::ExportNexus(const std::string& tree_name) {
 
 Result<std::string> Crimson::RenderTree(const std::string& tree_name,
                                         size_t max_nodes) {
-  CRIMSON_ASSIGN_OR_RETURN(TreeHandle * handle, Handle(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const TreeHandle> handle,
+                           HandleFor(ref));
   AsciiRenderOptions options;
   options.max_nodes = max_nodes;
   return RenderAscii(handle->tree, options);
 }
 
-Status Crimson::Flush() { return db_->Flush(); }
+Status Crimson::Flush() {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  return db_->Flush();
+}
 
 }  // namespace crimson

@@ -4,20 +4,37 @@
 // index), and the benchmark manager together -- the architecture of the
 // paper's Figure 3, with the GUI replaced by this API and the example
 // CLI programs (see DESIGN.md substitutions).
+//
+// Session model: trees are bound once to an opaque TreeRef handle
+// (LoadNewick/LoadNexus/LoadTree/OpenTree); every structure query is a
+// typed QueryRequest executed through the single Execute dispatch,
+// which also records the query history. ExecuteBatch runs independent
+// read queries concurrently on a worker pool. The session is
+// thread-safe: the handle cache is guarded by a shared_mutex, the
+// single-user storage engine by a mutex, and query execution itself
+// touches only immutable per-tree state.
 
 #ifndef CRIMSON_CRIMSON_CRIMSON_H_
 #define CRIMSON_CRIMSON_CRIMSON_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
+#include "common/span.h"
+#include "common/thread_pool.h"
 #include "crimson/benchmark_manager.h"
 #include "crimson/data_loader.h"
+#include "crimson/query_request.h"
 #include "crimson/repositories.h"
+#include "crimson/tree_ref.h"
 #include "query/clade.h"
 #include "query/pattern_match.h"
 #include "storage/database.h"
@@ -31,75 +48,94 @@ struct CrimsonOptions {
   size_t buffer_pool_pages = 4096;
   /// Layered-Dewey bound f used when indexing loaded trees.
   uint32_t f = 8;
-  /// Deterministic seed for sampling queries.
+  /// Deterministic seed for sampling queries. Every query draws from
+  /// its own Rng seeded by (seed, query ticket), so results are
+  /// reproducible regardless of whether queries run sequentially or
+  /// batched across threads.
   uint64_t seed = 42;
+  /// Worker threads backing ExecuteBatch (>= 1).
+  size_t batch_workers = 4;
 };
 
-/// Facade over the whole system. Not thread-safe (single-user demo
-/// semantics, as in the paper).
+/// Load result: the DataLoader's report plus the session handle for
+/// the loaded tree.
+struct SessionLoadReport : LoadReport {
+  TreeRef ref;
+};
+
+/// Facade over the whole system. Thread-safe: any number of threads
+/// may load trees and execute queries on one session concurrently.
 class Crimson {
  public:
   static Result<std::unique_ptr<Crimson>> Open(
       const CrimsonOptions& options = {});
+
+  ~Crimson();
 
   Crimson(const Crimson&) = delete;
   Crimson& operator=(const Crimson&) = delete;
 
   // -- loading (paper §3 "Loading Data") -----------------------------------
 
-  Result<LoadReport> LoadNewick(
+  Result<SessionLoadReport> LoadNewick(
       const std::string& name, const std::string& newick,
       LoadMode mode = LoadMode::kTreeStructureOnly);
-  Result<LoadReport> LoadNexus(
+  Result<SessionLoadReport> LoadNexus(
       const std::string& name, const std::string& nexus,
       LoadMode mode = LoadMode::kTreeWithSpeciesData);
-  Result<LoadReport> LoadTree(const std::string& name, const PhyloTree& tree);
+  Result<SessionLoadReport> LoadTree(const std::string& name,
+                                     const PhyloTree& tree);
   Result<LoadReport> AppendSpeciesData(
       const std::string& tree_name,
       const std::map<std::string, std::string>& sequences);
 
+  /// Binds an already-stored tree to a handle (materializing the
+  /// in-memory index on first open; afterwards a cache hit).
+  Result<TreeRef> OpenTree(const std::string& name);
+
   Result<std::vector<TreeInfo>> ListTrees() const;
 
-  /// The in-memory handle for a loaded tree (cached after first use).
+  /// Metadata for a bound tree.
+  Result<TreeInfo> GetTreeInfo(TreeRef tree) const;
+
+  /// The in-memory tree for a handle; stable for the session lifetime.
+  Result<const PhyloTree*> GetTree(TreeRef tree) const;
   Result<const PhyloTree*> GetTree(const std::string& name);
 
-  // -- structure queries (recorded in the query history) -------------------
+  // -- the typed query layer (paper §2 queries, one dispatch path) ---------
 
-  /// LCA of two species; returns the ancestor's node id and name.
-  struct LcaAnswer {
-    NodeId node = kNoNode;
-    std::string name;
-  };
+  /// Executes one typed query against a bound tree. This is the single
+  /// code path for all six query kinds: history recording and
+  /// RerunQuery replay both hang off it.
+  Result<QueryResult> Execute(TreeRef tree, const QueryRequest& request);
+
+  /// Executes a list of independent read queries on the worker pool.
+  /// Results (including sampling draws) are byte-identical to running
+  /// the same list sequentially through Execute: each request is
+  /// assigned its query ticket in list order before dispatch.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      TreeRef tree, Span<const QueryRequest> requests);
+
+  // -- legacy named wrappers over Execute ----------------------------------
+  //
+  // Back-compat shims for the string-keyed facade; each resolves the
+  // name to a TreeRef and forwards one typed request. New code should
+  // bind a TreeRef once and call Execute directly.
+
+  using LcaAnswer = ::crimson::LcaAnswer;
+  using CladeAnswer = ::crimson::CladeAnswer;
+  using PatternAnswer = ::crimson::PatternAnswer;
+
   Result<LcaAnswer> Lca(const std::string& tree_name, const std::string& a,
                         const std::string& b);
-
-  /// Projection of the tree induced by the named species (Fig. 2).
   Result<PhyloTree> Project(const std::string& tree_name,
                             const std::vector<std::string>& species);
-
-  /// Uniform random species sample.
   Result<std::vector<std::string>> SampleUniform(const std::string& tree_name,
                                                  size_t k);
-
-  /// Sampling with respect to evolutionary time (paper §2.2).
   Result<std::vector<std::string>> SampleWithRespectToTime(
       const std::string& tree_name, size_t k, double time);
-
-  /// Minimal spanning clade size + root for the named species.
-  struct CladeAnswer {
-    NodeId root = kNoNode;
-    size_t node_count = 0;
-    size_t leaf_count = 0;
-  };
   Result<CladeAnswer> MinimalClade(const std::string& tree_name,
                                    const std::vector<std::string>& species);
-
-  /// Tree pattern match against a Newick pattern (paper §2.2).
-  struct PatternAnswer {
-    bool exact = false;
-    double rf_normalized = 0.0;  // similarity of pattern vs projection
-    PhyloTree projection;
-  };
   Result<PatternAnswer> MatchPattern(const std::string& tree_name,
                                      const std::string& pattern_newick,
                                      bool match_weights = false);
@@ -107,17 +143,21 @@ class Crimson {
   // -- benchmarking ---------------------------------------------------------
 
   /// Evaluates a reconstruction algorithm against a loaded gold tree;
-  /// sequences come from the species repository.
+  /// sequences come from the species repository. `compute_triplets`
+  /// adds the O(k^3) triplet-distance score; pass false for
+  /// RF-only sweeps.
   Result<BenchmarkRun> Benchmark(const std::string& tree_name,
                                  const ReconstructionAlgorithm& algorithm,
-                                 const SelectionSpec& selection);
+                                 const SelectionSpec& selection,
+                                 bool compute_triplets = true);
 
   // -- query history (paper §2.1 Query Repository) -------------------------
 
   Result<std::vector<QueryRepository::Entry>> QueryHistory(size_t limit = 50);
 
-  /// Re-executes a recorded query by id; returns the fresh result
-  /// summary. Supported kinds: lca, project, sample_uniform,
+  /// Re-executes a recorded query by id: the stored typed request is
+  /// decoded and replayed through Execute. Returns the fresh result
+  /// rendering. Supported kinds: lca, project, sample_uniform,
   /// sample_time, clade, pattern_match.
   Result<std::string> RerunQuery(int64_t query_id);
 
@@ -139,6 +179,8 @@ class Crimson {
  private:
   Crimson() = default;
 
+  /// Immutable per-tree state: built once under the handle-cache lock,
+  /// then shared (read-only) by any number of query threads.
   struct TreeHandle {
     TreeInfo info;
     PhyloTree tree;
@@ -150,20 +192,41 @@ class Crimson {
     explicit TreeHandle(uint32_t f) : scheme(f) {}
   };
 
-  Result<TreeHandle*> Handle(const std::string& name);
-  Result<std::vector<NodeId>> ResolveSpecies(
-      TreeHandle* handle, const std::vector<std::string>& species) const;
-  void RecordQuery(const std::string& kind, const std::string& params,
+  Result<std::shared_ptr<const TreeHandle>> HandleFor(TreeRef tree) const;
+  /// Pure query execution on immutable handle state; safe to call
+  /// concurrently. `ticket` seeds the per-query Rng for sampling.
+  Result<QueryResult> ExecuteOnHandle(const TreeHandle& handle,
+                                      const QueryRequest& request,
+                                      uint64_t ticket) const;
+  static Result<std::vector<NodeId>> ResolveSpecies(
+      const TreeHandle& handle, const std::vector<std::string>& species);
+  void RecordQuery(std::string_view kind, const std::string& params,
                    const std::string& summary);
+  Result<SessionLoadReport> FinishLoad(Result<LoadReport> report);
 
   CrimsonOptions options_;
-  Rng rng_{42};
   std::unique_ptr<Database> db_;
   std::unique_ptr<TreeRepository> trees_;
   std::unique_ptr<SpeciesRepository> species_;
   std::unique_ptr<QueryRepository> queries_;
   std::unique_ptr<DataLoader> loader_;
-  std::map<std::string, std::unique_ptr<TreeHandle>> handles_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Serializes access to the single-user storage engine (db_ and the
+  /// repositories above). Never held while executing query compute.
+  mutable std::mutex db_mu_;
+
+  /// Guards the handle cache. Shared for ref lookup on the query path,
+  /// exclusive only for the brief insertion of a freshly materialized
+  /// handle (materialization itself runs without this lock). Never
+  /// held together with db_mu_.
+  mutable std::shared_mutex handles_mu_;
+  std::vector<std::shared_ptr<const TreeHandle>> handles_;
+  std::map<std::string, uint64_t, std::less<>> handle_ids_;
+
+  /// Monotone query ticket; combined with options_.seed to derive the
+  /// per-query Rng (see QuerySeed in crimson.cc).
+  std::atomic<uint64_t> ticket_{0};
 };
 
 }  // namespace crimson

@@ -1,0 +1,173 @@
+#include "crimson/query_request.h"
+
+#include <map>
+
+#include "common/overloaded.h"
+#include "common/string_util.h"
+#include "tree/newick.h"
+
+namespace crimson {
+
+namespace {
+
+std::string JoinSpecies(const std::vector<std::string>& species) {
+  std::string out;
+  for (size_t i = 0; i < species.size(); ++i) {
+    if (i) out.push_back(',');
+    out += species[i];
+  }
+  return out;
+}
+
+std::vector<std::string> SplitSpecies(std::string_view joined) {
+  std::vector<std::string> out;
+  for (std::string_view s : StrSplit(joined, ',')) {
+    if (!s.empty()) out.emplace_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view QueryKindName(const QueryRequest& request) {
+  return std::visit(
+      Overloaded{
+          [](const LcaQuery&) { return std::string_view("lca"); },
+          [](const ProjectQuery&) { return std::string_view("project"); },
+          [](const SampleUniformQuery&) {
+            return std::string_view("sample_uniform");
+          },
+          [](const SampleTimeQuery&) {
+            return std::string_view("sample_time");
+          },
+          [](const CladeQuery&) { return std::string_view("clade"); },
+          [](const PatternQuery&) {
+            return std::string_view("pattern_match");
+          },
+      },
+      request);
+}
+
+std::string SummarizeResult(const QueryResult& result) {
+  return std::visit(
+      Overloaded{
+          [](const LcaAnswer& a) {
+            return StrFormat("lca node=%u name=%s", a.node, a.name.c_str());
+          },
+          [](const ProjectAnswer& a) {
+            return StrFormat("projection nodes=%zu", a.projection.size());
+          },
+          [](const SampleAnswer& a) {
+            return StrFormat("sampled %zu species", a.species.size());
+          },
+          [](const CladeAnswer& a) {
+            return StrFormat("clade root=%u nodes=%zu leaves=%zu", a.root,
+                             a.node_count, a.leaf_count);
+          },
+          [](const PatternAnswer& a) {
+            return StrFormat("exact=%d rf=%.4f", a.exact ? 1 : 0,
+                             a.rf_normalized);
+          },
+      },
+      result);
+}
+
+std::string RenderResult(const QueryResult& result) {
+  return std::visit(
+      Overloaded{
+          [](const LcaAnswer& a) {
+            return StrFormat("lca node=%u name=%s", a.node, a.name.c_str());
+          },
+          [](const ProjectAnswer& a) { return WriteNewick(a.projection); },
+          [](const SampleAnswer& a) { return JoinSpecies(a.species); },
+          [](const CladeAnswer& a) {
+            return StrFormat("clade root=%u nodes=%zu", a.root, a.node_count);
+          },
+          [](const PatternAnswer& a) {
+            return StrFormat("exact=%d rf=%.4f", a.exact ? 1 : 0,
+                             a.rf_normalized);
+          },
+      },
+      result);
+}
+
+std::string EncodeQueryParams(const std::string& tree_name,
+                              const QueryRequest& request) {
+  return std::visit(
+      Overloaded{
+          [&](const LcaQuery& q) {
+            return StrFormat("tree=%s&a=%s&b=%s", tree_name.c_str(),
+                             q.a.c_str(), q.b.c_str());
+          },
+          [&](const ProjectQuery& q) {
+            return StrFormat("tree=%s&species=%s", tree_name.c_str(),
+                             JoinSpecies(q.species).c_str());
+          },
+          [&](const SampleUniformQuery& q) {
+            return StrFormat("tree=%s&k=%zu", tree_name.c_str(), q.k);
+          },
+          [&](const SampleTimeQuery& q) {
+            return StrFormat("tree=%s&k=%zu&time=%.17g", tree_name.c_str(),
+                             q.k, q.time);
+          },
+          [&](const CladeQuery& q) {
+            return StrFormat("tree=%s&species=%s", tree_name.c_str(),
+                             JoinSpecies(q.species).c_str());
+          },
+          [&](const PatternQuery& q) {
+            return StrFormat("tree=%s&pattern=%s&weights=%d",
+                             tree_name.c_str(), q.pattern_newick.c_str(),
+                             q.match_weights ? 1 : 0);
+          },
+      },
+      request);
+}
+
+Result<std::pair<std::string, QueryRequest>> DecodeQueryRequest(
+    const std::string& kind, const std::string& params) {
+  std::map<std::string, std::string> kv;
+  for (std::string_view pair : StrSplit(params, '&')) {
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    kv[std::string(pair.substr(0, eq))] = std::string(pair.substr(eq + 1));
+  }
+  std::string tree = kv["tree"];
+  if (tree.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("query params missing tree name: '%s'", params.c_str()));
+  }
+  if (kind == "lca") {
+    return std::make_pair(std::move(tree),
+                          QueryRequest(LcaQuery{kv["a"], kv["b"]}));
+  }
+  if (kind == "project") {
+    return std::make_pair(
+        std::move(tree), QueryRequest(ProjectQuery{SplitSpecies(kv["species"])}));
+  }
+  if (kind == "sample_uniform") {
+    CRIMSON_ASSIGN_OR_RETURN(int64_t k, ParseInt64(kv["k"]));
+    return std::make_pair(
+        std::move(tree),
+        QueryRequest(SampleUniformQuery{static_cast<size_t>(k)}));
+  }
+  if (kind == "sample_time") {
+    CRIMSON_ASSIGN_OR_RETURN(int64_t k, ParseInt64(kv["k"]));
+    CRIMSON_ASSIGN_OR_RETURN(double t, ParseDouble(kv["time"]));
+    return std::make_pair(
+        std::move(tree),
+        QueryRequest(SampleTimeQuery{static_cast<size_t>(k), t}));
+  }
+  if (kind == "clade") {
+    return std::make_pair(
+        std::move(tree), QueryRequest(CladeQuery{SplitSpecies(kv["species"])}));
+  }
+  if (kind == "pattern_match") {
+    return std::make_pair(
+        std::move(tree),
+        QueryRequest(PatternQuery{kv["pattern"], kv["weights"] == "1"}));
+  }
+  return Status::Unimplemented(
+      StrFormat("cannot decode query kind '%s'", kind.c_str()));
+}
+
+}  // namespace crimson

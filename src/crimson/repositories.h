@@ -14,6 +14,11 @@
 //   species(tree_id, species_name*, node_id, sequence)
 //   queries(query_id*, timestamp, kind, params, summary)
 //   (* = indexed column)
+//
+// Thread safety: the repositories inherit the storage engine's
+// single-user semantics and are NOT individually thread-safe; the
+// Crimson session serializes every repository call behind its storage
+// mutex (see crimson.h).
 
 #ifndef CRIMSON_CRIMSON_REPOSITORIES_H_
 #define CRIMSON_CRIMSON_REPOSITORIES_H_

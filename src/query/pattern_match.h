@@ -17,7 +17,8 @@
 namespace crimson {
 
 /// Reusable matcher over one target tree; builds the leaf-name lookup
-/// once.
+/// once. Immutable after construction; Match/ProjectPattern are const,
+/// so one matcher may be shared across threads.
 class PatternMatcher {
  public:
   /// projector must outlive the matcher (and owns the target tree ref).

@@ -22,7 +22,9 @@ namespace crimson {
 
 /// Reusable projector; precomputes pre-order ranks, depths, and root
 /// path weights of the source tree once (O(n)), then answers each
-/// projection in O(|S| log |S| + |S| * lca_cost).
+/// projection in O(|S| log |S| + |S| * lca_cost). Immutable after
+/// construction; Project is const and allocates only locals, so one
+/// projector may be shared across threads.
 class TreeProjector {
  public:
   /// Both arguments must outlive the projector; scheme must be built

@@ -16,6 +16,9 @@
 namespace crimson {
 
 /// Reusable sampler over one tree (precomputes leaves and weights).
+/// Immutable after construction: all query methods are const and draw
+/// randomness only from the caller-supplied Rng, so one Sampler may be
+/// shared by any number of threads (each with its own Rng).
 class Sampler {
  public:
   explicit Sampler(const PhyloTree* tree);

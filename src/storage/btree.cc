@@ -117,11 +117,20 @@ int UpperBound(const char* d, const Slice& key) {
   return lo;
 }
 
-/// Child to descend into for `key`: first cell with key < cell_key
-/// routes left; otherwise the rightmost child. Returns the slot index or
-/// num_cells for the rightmost child.
+/// Child to descend into when *inserting* `key`: first cell with
+/// key < cell_key routes left; otherwise the rightmost child. Keys equal
+/// to a separator go right, so duplicate inserts append to the run.
 int ChildIndexFor(const char* d, const Slice& key) {
   return UpperBound(d, key);
+}
+
+/// Child to descend into when *searching* for the first entry >= `key`.
+/// A duplicate run that straddled a split leaves keys equal to the
+/// separator in the left subtree, so reads must take the leftmost child
+/// whose separator is >= key (LowerBound), not the insert route --
+/// otherwise Seek/Get/Delete skip the run's leading entries.
+int SeekChildIndexFor(const char* d, const Slice& key) {
+  return LowerBound(d, key);
 }
 
 PageId ChildAt(const char* d, int idx) {
@@ -451,21 +460,30 @@ Status BTree::Get(const Slice& key, std::string* value) const {
     CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
     const char* d = guard.data();
     if (NodeType(d) == PageType::kBTreeInternal) {
-      node = ChildAt(d, ChildIndexFor(d, key));
+      node = ChildAt(d, SeekChildIndexFor(d, key));
       continue;
     }
     if (NodeType(d) != PageType::kBTreeLeaf) {
       return Status::Corruption("not a btree node");
     }
-    int pos = LowerBound(d, key);
-    if (pos < NumCells(d)) {
-      LeafCell c = ParseLeafCell(d, CellOffset(d, pos));
-      if (c.key == key) {
-        value->assign(c.value.data(), c.value.size());
-        return Status::OK();
+    // The leaf holding the first entry >= key may end before the key
+    // (the subtree left of an equal separator); hop to the sibling.
+    PageGuard lg = std::move(guard);
+    int pos = LowerBound(lg.data(), key);
+    while (true) {
+      const char* ld = lg.data();
+      if (pos >= NumCells(ld)) {
+        PageId next = Link(ld);
+        if (next == kInvalidPageId) return Status::NotFound("key not in index");
+        CRIMSON_ASSIGN_OR_RETURN(lg, pool_->Fetch(next));
+        pos = 0;
+        continue;
       }
+      LeafCell c = ParseLeafCell(ld, CellOffset(ld, pos));
+      if (c.key != key) return Status::NotFound("key not in index");
+      value->assign(c.value.data(), c.value.size());
+      return Status::OK();
     }
-    return Status::NotFound("key not in index");
   }
 }
 
@@ -476,22 +494,21 @@ Status BTree::Delete(const Slice& key, const Slice* value) {
     CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
     char* d = guard.data();
     if (NodeType(d) == PageType::kBTreeInternal) {
-      node = ChildAt(d, ChildIndexFor(d, key));
+      node = ChildAt(d, SeekChildIndexFor(d, key));
       continue;
     }
     if (NodeType(d) != PageType::kBTreeLeaf) {
       return Status::Corruption("not a btree node");
     }
     // Scan this leaf and right siblings while keys match.
-    PageId leaf = node;
-    int pos = LowerBound(d, key);
+    PageGuard lg = std::move(guard);
+    int pos = LowerBound(lg.data(), key);
     while (true) {
-      CRIMSON_ASSIGN_OR_RETURN(PageGuard lg, pool_->Fetch(leaf));
       char* ld = lg.data();
       if (pos >= NumCells(ld)) {
         PageId next = Link(ld);
         if (next == kInvalidPageId) return Status::NotFound("key not found");
-        leaf = next;
+        CRIMSON_ASSIGN_OR_RETURN(lg, pool_->Fetch(next));
         pos = 0;
         continue;
       }
@@ -528,7 +545,7 @@ Status BTree::Iterator::DescendToLeaf(const Slice* target) {
     CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, tree_->pool_->Fetch(node));
     const char* d = guard.data();
     if (NodeType(d) == PageType::kBTreeInternal) {
-      int idx = target ? ChildIndexFor(d, *target) : 0;
+      int idx = target ? SeekChildIndexFor(d, *target) : 0;
       node = ChildAt(d, idx);
       continue;
     }

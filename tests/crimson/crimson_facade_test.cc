@@ -132,6 +132,21 @@ TEST_F(CrimsonFacadeTest, RerunQueryReproducesAnswers) {
   EXPECT_EQ(reparsed->LeafCount(), 3u);
 }
 
+TEST_F(CrimsonFacadeTest, WrappersShareTheTypedExecutePath) {
+  // A legacy wrapper call and the equivalent typed Execute produce
+  // identical history entries -- they are one dispatch path.
+  ASSERT_TRUE(crimson_->Lca("fig1", "Lla", "Spy").ok());
+  auto ref = crimson_->OpenTree("fig1");
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(crimson_->Execute(*ref, LcaQuery{"Lla", "Spy"}).ok());
+  auto history = crimson_->QueryHistory(2);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 2u);
+  EXPECT_EQ((*history)[0].kind, (*history)[1].kind);
+  EXPECT_EQ((*history)[0].params, (*history)[1].params);
+  EXPECT_EQ((*history)[0].summary, (*history)[1].summary);
+}
+
 TEST_F(CrimsonFacadeTest, BenchmarkRequiresSpeciesData) {
   SelectionSpec sel;
   sel.kind = SelectionSpec::Kind::kUniform;

@@ -1,0 +1,314 @@
+// Tests for the handle-based session API: TreeRef binding, the typed
+// Execute dispatch, RerunQuery round-trips across all six query kinds,
+// ExecuteBatch determinism vs. sequential execution, and seed
+// propagation from CrimsonOptions.
+
+#include "crimson/crimson.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/string_util.h"
+#include "tree/newick.h"
+
+namespace crimson {
+namespace {
+
+constexpr char kFig1Newick[] =
+    "(Syn:2.5,((Lla:1,Spy:1):0.5,Bha:1.5):0.75,Bsu:1.25)root;";
+
+/// A star tree with `n` leaves s0..s{n-1}; big enough that uniform
+/// samples under different seeds collide with negligible probability.
+std::string WideNewick(size_t n) {
+  std::string out = "(";
+  for (size_t i = 0; i < n; ++i) {
+    if (i) out.push_back(',');
+    out += StrFormat("s%zu:1", i);
+  }
+  out += ")r;";
+  return out;
+}
+
+std::unique_ptr<Crimson> OpenSession(uint64_t seed, size_t workers = 4) {
+  CrimsonOptions opts;
+  opts.f = 3;
+  opts.seed = seed;
+  opts.batch_workers = workers;
+  auto c = Crimson::Open(opts);
+  EXPECT_TRUE(c.ok()) << c.status();
+  return std::move(c).value();
+}
+
+TEST(TreeRefTest, LoadReturnsHandleAndOpenTreeIsStable) {
+  auto crimson = OpenSession(42);
+  auto report = crimson->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->ref.valid());
+  EXPECT_EQ(report->nodes_loaded, 8u);
+
+  auto reopened = crimson->OpenTree("fig1");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*reopened, report->ref);
+
+  EXPECT_TRUE(crimson->OpenTree("ghost").status().IsNotFound());
+}
+
+TEST(TreeRefTest, InvalidRefsAreRejected) {
+  auto crimson = OpenSession(42);
+  ASSERT_TRUE(crimson->LoadNewick("fig1", kFig1Newick).ok());
+  TreeRef invalid;
+  EXPECT_FALSE(invalid.valid());
+  auto r = crimson->Execute(invalid, LcaQuery{"Lla", "Spy"});
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  // A ref from another session does not resolve here either.
+  auto other = OpenSession(42);
+  ASSERT_TRUE(other->LoadNewick("a", kFig1Newick).ok());
+  ASSERT_TRUE(other->LoadNewick("b", kFig1Newick).ok());
+  auto foreign = other->OpenTree("b");
+  ASSERT_TRUE(foreign.ok());
+  EXPECT_TRUE(
+      crimson->Execute(*foreign, LcaQuery{"Lla", "Spy"}).status()
+          .IsInvalidArgument());
+}
+
+TEST(ExecuteTest, AllSixKindsFlowThroughOneDispatch) {
+  auto crimson = OpenSession(42);
+  auto report = crimson->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(report.ok());
+  TreeRef tree = report->ref;
+
+  auto lca = crimson->Execute(tree, LcaQuery{"Lla", "Syn"});
+  ASSERT_TRUE(lca.ok()) << lca.status();
+  EXPECT_EQ(std::get<LcaAnswer>(*lca).name, "root");
+
+  auto proj = crimson->Execute(tree, ProjectQuery{{"Bha", "Lla", "Syn"}});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(std::get<ProjectAnswer>(*proj).projection.LeafCount(), 3u);
+
+  auto uni = crimson->Execute(tree, SampleUniformQuery{3});
+  ASSERT_TRUE(uni.ok());
+  EXPECT_EQ(std::get<SampleAnswer>(*uni).species.size(), 3u);
+
+  auto timed = crimson->Execute(tree, SampleTimeQuery{4, 1.0});
+  ASSERT_TRUE(timed.ok());
+  const auto& names = std::get<SampleAnswer>(*timed).species;
+  std::set<std::string> set(names.begin(), names.end());
+  EXPECT_TRUE(set.count("Bha"));
+  EXPECT_TRUE(set.count("Syn"));
+  EXPECT_TRUE(set.count("Bsu"));
+
+  auto clade = crimson->Execute(tree, CladeQuery{{"Lla", "Spy"}});
+  ASSERT_TRUE(clade.ok());
+  EXPECT_EQ(std::get<CladeAnswer>(*clade).node_count, 3u);
+  EXPECT_EQ(std::get<CladeAnswer>(*clade).leaf_count, 2u);
+
+  auto pattern = crimson->Execute(
+      tree, PatternQuery{"((Bha:1.5,Lla:1.5):0.75,Syn:2.5);", true});
+  ASSERT_TRUE(pattern.ok());
+  EXPECT_TRUE(std::get<PatternAnswer>(*pattern).exact);
+
+  // Every execution above went through the recorded-history path.
+  auto history = crimson->QueryHistory();
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 6u);
+  EXPECT_EQ((*history)[0].kind, "pattern_match");
+  EXPECT_EQ((*history)[5].kind, "lca");
+}
+
+TEST(RerunTest, RoundTripAcrossAllSixKinds) {
+  auto crimson = OpenSession(42);
+  auto report = crimson->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(report.ok());
+  TreeRef tree = report->ref;
+
+  const QueryRequest requests[] = {
+      QueryRequest(LcaQuery{"Lla", "Syn"}),
+      QueryRequest(ProjectQuery{{"Bha", "Lla", "Syn"}}),
+      QueryRequest(SampleUniformQuery{3}),
+      QueryRequest(SampleTimeQuery{4, 1.0}),
+      QueryRequest(CladeQuery{{"Lla", "Spy"}}),
+      QueryRequest(PatternQuery{"((Bha:1.5,Lla:1.5):0.75,Syn:2.5);", true}),
+  };
+  std::map<std::string, int64_t> original_ids;
+  for (const QueryRequest& request : requests) {
+    ASSERT_TRUE(crimson->Execute(tree, request).ok());
+    auto history = crimson->QueryHistory(1);
+    ASSERT_TRUE(history.ok());
+    const auto& entry = (*history)[0];
+    EXPECT_EQ(entry.kind, std::string(QueryKindName(request)));
+    original_ids[entry.kind] = entry.query_id;
+
+    auto rerun = crimson->RerunQuery(entry.query_id);
+    ASSERT_TRUE(rerun.ok()) << entry.kind << ": " << rerun.status();
+
+    // The rerun re-executes through Execute, so it appends its own
+    // history entry whose kind and summary must match the original.
+    auto after = crimson->QueryHistory(1);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ((*after)[0].kind, entry.kind);
+    EXPECT_EQ((*after)[0].summary, entry.summary) << entry.kind;
+    EXPECT_EQ((*after)[0].params, entry.params) << entry.kind;
+  }
+
+  // Deterministic kinds reproduce their exact output.
+  auto lca_rerun_text = crimson->RerunQuery(original_ids["lca"]);
+  ASSERT_TRUE(lca_rerun_text.ok());
+  EXPECT_NE(lca_rerun_text->find("name=root"), std::string::npos);
+  auto proj_rerun = crimson->RerunQuery(original_ids["project"]);
+  ASSERT_TRUE(proj_rerun.ok());
+  auto reparsed = ParseNewick(*proj_rerun);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->LeafCount(), 3u);
+}
+
+TEST(ExecuteBatchTest, BatchedIdenticalToSequentialForSameSeed) {
+  // Session A executes the list batched on >= 4 workers; session B
+  // (same seed) executes it sequentially. Rendered results must be
+  // byte-identical, index by index.
+  std::vector<QueryRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    requests.emplace_back(LcaQuery{"Lla", i % 2 ? "Syn" : "Spy"});
+    requests.emplace_back(SampleUniformQuery{3});
+    requests.emplace_back(ProjectQuery{{"Bha", "Lla", "Syn"}});
+    requests.emplace_back(SampleTimeQuery{4, 1.0});
+    requests.emplace_back(CladeQuery{{"Lla", "Spy"}});
+    requests.emplace_back(
+        PatternQuery{"((Bha:1.5,Lla:1.5):0.75,Syn:2.5);", true});
+  }
+
+  auto a = OpenSession(/*seed=*/7, /*workers=*/4);
+  auto ra = a->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(ra.ok());
+  auto batched = a->ExecuteBatch(ra->ref, requests);
+  ASSERT_EQ(batched.size(), requests.size());
+
+  auto b = OpenSession(/*seed=*/7, /*workers=*/4);
+  auto rb = b->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(rb.ok());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto sequential = b->Execute(rb->ref, requests[i]);
+    ASSERT_TRUE(sequential.ok()) << i << ": " << sequential.status();
+    ASSERT_TRUE(batched[i].ok()) << i << ": " << batched[i].status();
+    EXPECT_EQ(RenderResult(*batched[i]), RenderResult(*sequential))
+        << "request " << i;
+  }
+
+  // Histories agree in order, kind, and summary too.
+  auto ha = a->QueryHistory(requests.size());
+  auto hb = b->QueryHistory(requests.size());
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(hb.ok());
+  ASSERT_EQ(ha->size(), hb->size());
+  for (size_t i = 0; i < ha->size(); ++i) {
+    EXPECT_EQ((*ha)[i].kind, (*hb)[i].kind);
+    EXPECT_EQ((*ha)[i].summary, (*hb)[i].summary);
+  }
+}
+
+TEST(ExecuteBatchTest, ErrorsAreReportedPerQuery) {
+  auto crimson = OpenSession(42);
+  auto report = crimson->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(report.ok());
+  std::vector<QueryRequest> requests = {
+      QueryRequest(LcaQuery{"Lla", "Spy"}),
+      QueryRequest(LcaQuery{"Lla", "Zzz"}),  // unknown species
+      QueryRequest(SampleUniformQuery{3}),
+  };
+  auto results = crimson->ExecuteBatch(report->ref, requests);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].status().IsNotFound());
+  EXPECT_TRUE(results[2].ok());
+  // Only the successes were recorded.
+  auto history = crimson->QueryHistory();
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->size(), 2u);
+}
+
+TEST(SeedTest, DifferentSeedsProduceDifferentSamples) {
+  const std::string wide = WideNewick(48);
+  auto a = OpenSession(/*seed=*/1);
+  auto b = OpenSession(/*seed=*/2);
+  auto c = OpenSession(/*seed=*/1);
+  ASSERT_TRUE(a->LoadNewick("wide", wide).ok());
+  ASSERT_TRUE(b->LoadNewick("wide", wide).ok());
+  ASSERT_TRUE(c->LoadNewick("wide", wide).ok());
+
+  auto sa = a->SampleUniform("wide", 8);
+  auto sb = b->SampleUniform("wide", 8);
+  auto sc = c->SampleUniform("wide", 8);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  ASSERT_TRUE(sc.ok());
+  EXPECT_NE(*sa, *sb) << "different seeds must produce different samples";
+  EXPECT_EQ(*sa, *sc) << "equal seeds must reproduce the same samples";
+}
+
+TEST(SeedTest, EachQueryDrawsFromItsOwnTicketedRng) {
+  // Two same-seed sessions issue the same queries but interleaved with
+  // different non-sampling queries; sampling results must still agree
+  // because tickets advance identically.
+  auto a = OpenSession(9);
+  auto b = OpenSession(9);
+  ASSERT_TRUE(a->LoadNewick("fig1", kFig1Newick).ok());
+  ASSERT_TRUE(b->LoadNewick("fig1", kFig1Newick).ok());
+  ASSERT_TRUE(a->Lca("fig1", "Lla", "Spy").ok());
+  ASSERT_TRUE(b->MinimalClade("fig1", {"Lla", "Spy"}).ok());
+  auto sa = a->SampleUniform("fig1", 3);
+  auto sb = b->SampleUniform("fig1", 3);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_EQ(*sa, *sb);
+}
+
+TEST(ConcurrencyTest, ParallelExecuteOnSharedSession) {
+  auto crimson = OpenSession(42, /*workers=*/4);
+  auto report = crimson->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(report.ok());
+  TreeRef tree = report->ref;
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Result<QueryResult> r =
+            (t + i) % 2 == 0
+                ? crimson->Execute(tree, LcaQuery{"Lla", "Syn"})
+                : crimson->Execute(tree, CladeQuery{{"Lla", "Spy"}});
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto history = crimson->QueryHistory(kThreads * kPerThread);
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(ConcurrencyTest, ConcurrentOpenTreeMaterializesOnce) {
+  auto crimson = OpenSession(42);
+  ASSERT_TRUE(crimson->LoadNewick("fig1", kFig1Newick).ok());
+  ASSERT_TRUE(crimson->LoadNewick("fig2", kFig1Newick).ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      auto ref = crimson->OpenTree(t % 2 ? "fig1" : "fig2");
+      if (!ref.ok()) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace crimson

@@ -160,6 +160,44 @@ TEST_F(BTreeTest, DuplicateKeysAllRetained) {
   EXPECT_EQ(values.size(), 500u);
 }
 
+TEST_F(BTreeTest, DuplicateRunStraddlingSplitsIsFullyVisible) {
+  // Regression: a duplicate run long enough to straddle leaf splits
+  // (and push equal keys into the subtree LEFT of an equal separator)
+  // must still be fully reachable. Read descent has to lower-bound on
+  // separators; upper-bound descent used to land mid-run, so Seek
+  // returned a suffix and Get/Delete missed leading entries.
+  const int kDupes = 2000;
+  for (int i = 0; i < kDupes; ++i) {
+    ASSERT_TRUE(tree_->Insert(Slice("dupkey"), Slice(U64Key(i))).ok());
+  }
+  ASSERT_TRUE(tree_->Insert(Slice("aaa"), Slice("x")).ok());
+  ASSERT_TRUE(tree_->Insert(Slice("zzz"), Slice("y")).ok());
+
+  auto it = tree_->NewIterator();
+  ASSERT_TRUE(it.Seek(Slice("dupkey")).ok());
+  int count = 0;
+  while (it.Valid() && it.key() == Slice("dupkey")) {
+    ++count;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, kDupes);
+
+  // Get finds the run even when its head is left of a separator.
+  std::string v;
+  EXPECT_TRUE(tree_->Get(Slice("dupkey"), &v).ok());
+  // Delete by (key, value) reaches the first-inserted (leftmost) entry.
+  std::string first = U64Key(0);
+  Slice first_slice(first);
+  EXPECT_TRUE(tree_->Delete(Slice("dupkey"), &first_slice).ok());
+  ASSERT_TRUE(it.Seek(Slice("dupkey")).ok());
+  count = 0;
+  while (it.Valid() && it.key() == Slice("dupkey")) {
+    ++count;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, kDupes - 1);
+}
+
 TEST_F(BTreeTest, DeleteSpecificValueAmongDuplicates) {
   ASSERT_TRUE(tree_->Insert(Slice("d"), Slice("1")).ok());
   ASSERT_TRUE(tree_->Insert(Slice("d"), Slice("2")).ok());
