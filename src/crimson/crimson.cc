@@ -40,6 +40,8 @@ Result<std::unique_ptr<Crimson>> Crimson::Open(const CrimsonOptions& options) {
     CRIMSON_ASSIGN_OR_RETURN(c->db_, Database::Open(options.db_path, db_opts));
   }
   CRIMSON_ASSIGN_OR_RETURN(c->trees_, TreeRepository::Open(c->db_.get()));
+  c->trees_->set_bulk_load_threshold(options.bulk_load_threshold);
+  c->trees_->set_persist_labels(options.persist_labels);
   CRIMSON_ASSIGN_OR_RETURN(c->species_, SpeciesRepository::Open(c->db_.get()));
   CRIMSON_ASSIGN_OR_RETURN(c->queries_, QueryRepository::Open(c->db_.get()));
   c->loader_ = std::make_unique<DataLoader>(c->trees_.get(),
@@ -112,6 +114,7 @@ Result<TreeRef> Crimson::OpenTree(const std::string& name) {
   // work; the insertion below double-checks and keeps one handle.
   auto handle = [&]() -> Result<std::shared_ptr<TreeHandle>> {
     std::shared_ptr<TreeHandle> h;
+    Result<std::string> blob = Status::NotFound("labels not fetched");
     {
       std::lock_guard<std::mutex> db_lock(db_mu_);
       CRIMSON_ASSIGN_OR_RETURN(TreeInfo info, trees_->GetTreeInfo(name));
@@ -119,9 +122,35 @@ Result<TreeRef> Crimson::OpenTree(const std::string& name) {
           static_cast<uint32_t>(info.f > 0 ? info.f : options_.f));
       h->info = info;
       CRIMSON_ASSIGN_OR_RETURN(h->tree, trees_->LoadTree(info.tree_id));
+      // Fetch the persisted labeling here; the O(n) decode runs below,
+      // outside the storage lock.
+      blob = trees_->LoadSchemeBlob(info.tree_id);
     }
-    // Index build is pure compute; no lock held.
-    CRIMSON_RETURN_IF_ERROR(h->scheme.Build(h->tree));
+    // Label decode / index build is pure compute; no lock held. Prefer
+    // the persisted labeling (O(n) reads) and fall back to relabeling
+    // when it is absent, corrupt, or stale relative to the tree.
+    bool have_labels = false;
+    if (blob.ok()) {
+      LayeredDeweyScheme stored;
+      Status decoded = stored.DecodeFrom(Slice(*blob));
+      if (decoded.ok() && stored.node_count() == h->tree.size()) {
+        h->scheme = std::move(stored);
+        have_labels = true;
+      } else {
+        CRIMSON_LOG(kWarning)
+            << "stored labels for '" << name << "' unusable ("
+            << (decoded.ok() ? Status::Corruption("node count mismatch")
+                             : decoded)
+            << "); relabeling";
+      }
+    } else if (!blob.status().IsNotFound()) {
+      CRIMSON_LOG(kWarning) << "stored labels for '" << name
+                            << "' unreadable (" << blob.status()
+                            << "); relabeling";
+    }
+    if (!have_labels) {
+      CRIMSON_RETURN_IF_ERROR(h->scheme.Build(h->tree));
+    }
     h->sampler = std::make_unique<Sampler>(&h->tree);
     h->projector = std::make_unique<TreeProjector>(&h->tree, &h->scheme);
     h->matcher = std::make_unique<PatternMatcher>(h->projector.get());

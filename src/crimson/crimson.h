@@ -48,6 +48,14 @@ struct CrimsonOptions {
   size_t buffer_pool_pages = 4096;
   /// Layered-Dewey bound f used when indexing loaded trees.
   uint32_t f = 8;
+  /// Trees with at least this many nodes take the bulk-load storage
+  /// path on ingest (batch row encoding + bottom-up index builds).
+  /// SIZE_MAX forces per-row inserts, 0 always bulk-loads.
+  size_t bulk_load_threshold = 512;
+  /// Persist the serialized layered-Dewey labels alongside each stored
+  /// tree so the first OpenTree bind deserializes them (O(n) reads)
+  /// instead of relabeling from scratch.
+  bool persist_labels = true;
   /// Deterministic seed for sampling queries. Every query draws from
   /// its own Rng seeded by (seed, query ticket), so results are
   /// reproducible regardless of whether queries run sequentially or

@@ -91,7 +91,11 @@ Result<LoadReport> DataLoader::AppendSpecies(
   LoadReport report;
   report.tree_id = info.tree_id;
   report.tree_name = tree_name;
-  uint64_t done = 0;
+  // Resolve every species first (errors surface before any write),
+  // then store the whole batch through the bulk path.
+  std::vector<SpeciesRepository::SpeciesEntry> entries;
+  entries.reserve(sequences.size());
+  uint64_t resolved = 0;
   for (const auto& [species, seq] : sequences) {
     Result<NodeId> node = trees_->FindNodeByName(info.tree_id, species);
     if (!node.ok()) {
@@ -99,11 +103,14 @@ Result<LoadReport> DataLoader::AppendSpecies(
                           << "' not found in tree '" << tree_name << "'";
       return node.status();
     }
-    CRIMSON_RETURN_IF_ERROR(
-        species_->Put(info.tree_id, species, *node, seq));
-    ++done;
-    if (progress && done % 1024 == 0) progress("species", done);
+    entries.push_back({species, *node, seq});
+    ++resolved;
+    if (progress && resolved % 1024 == 0) progress("resolving", resolved);
   }
+  uint64_t done = entries.size();
+  CRIMSON_RETURN_IF_ERROR(species_->PutBatch(info.tree_id,
+                                             std::move(entries)));
+  if (progress) progress("species", done);
   report.species_loaded = done;
   report.seconds = timer.ElapsedSeconds();
   CRIMSON_LOG(kInfo) << "appended " << done << " sequences to '" << tree_name

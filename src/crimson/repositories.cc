@@ -77,6 +77,14 @@ Result<std::unique_ptr<TreeRepository>> TreeRepository::Open(Database* db) {
                    {{"subtrees_by_key", "subtree_key", /*unique=*/true},
                     {"subtrees_by_tree", "tree_id", /*unique=*/false}}));
   repo->subtrees_ = std::make_unique<Table>(std::move(subtrees));
+
+  Schema labels_schema({{"tree_id", ColumnType::kInt64},
+                        {"scheme_blob", ColumnType::kBytes}});
+  CRIMSON_ASSIGN_OR_RETURN(
+      Table labels,
+      OpenOrCreate(db, "labels", labels_schema,
+                   {{"labels_by_tree", "tree_id", /*unique=*/true}}));
+  repo->labels_ = std::make_unique<Table>(std::move(labels));
   return repo;
 }
 
@@ -102,28 +110,72 @@ Result<int64_t> TreeRepository::StoreTree(const std::string& name,
               static_cast<int64_t>(tree.MaxDepth())};
   CRIMSON_RETURN_IF_ERROR(trees_->Insert(meta).status());
 
+  // Batch-encode all node and subtree rows. Node keys pack
+  // (tree_id << 32 | node), so arena order already emits sorted key
+  // runs for the point-access index -- exactly what BulkAppend wants.
+  const bool bulk = tree.size() >= bulk_load_threshold_;
   std::vector<double> weights = tree.RootPathWeights();
+  std::vector<Row> node_rows;
+  node_rows.reserve(tree.size());
   for (NodeId n = 0; n < tree.size(); ++n) {
-    Row row = {PackKey(tree_id, n),
-               tree_id,
-               tree.name(n),
-               static_cast<int64_t>(
-                   n == tree.root() ? -1 : static_cast<int64_t>(tree.parent(n))),
-               tree.edge_length(n),
-               weights[n],
-               static_cast<int64_t>(scheme.SubtreeOf(n)),
-               static_cast<int64_t>(scheme.LocalDepth(n))};
-    CRIMSON_RETURN_IF_ERROR(nodes_->Insert(row).status());
+    node_rows.push_back(
+        {PackKey(tree_id, n),
+         tree_id,
+         tree.name(n),
+         static_cast<int64_t>(
+             n == tree.root() ? -1 : static_cast<int64_t>(tree.parent(n))),
+         tree.edge_length(n),
+         weights[n],
+         static_cast<int64_t>(scheme.SubtreeOf(n)),
+         static_cast<int64_t>(scheme.LocalDepth(n))});
   }
+  std::vector<Row> subtree_rows;
+  subtree_rows.reserve(scheme.NumSubtrees(0));
   for (uint32_t s = 0; s < scheme.NumSubtrees(0); ++s) {
     NodeId src = scheme.SourceOfSubtree(s);
-    Row row = {PackKey(tree_id, s), tree_id,
-               static_cast<int64_t>(src == kNoNode ? -1
-                                                   : static_cast<int64_t>(src)),
-               static_cast<int64_t>(0)};
-    CRIMSON_RETURN_IF_ERROR(subtrees_->Insert(row).status());
+    subtree_rows.push_back(
+        {PackKey(tree_id, s), tree_id,
+         static_cast<int64_t>(src == kNoNode ? -1
+                                             : static_cast<int64_t>(src)),
+         static_cast<int64_t>(0)});
+  }
+  if (bulk) {
+    CRIMSON_RETURN_IF_ERROR(nodes_->BulkAppend(node_rows).status());
+    CRIMSON_RETURN_IF_ERROR(subtrees_->BulkAppend(subtree_rows).status());
+  } else {
+    for (const Row& row : node_rows) {
+      CRIMSON_RETURN_IF_ERROR(nodes_->Insert(row).status());
+    }
+    for (const Row& row : subtree_rows) {
+      CRIMSON_RETURN_IF_ERROR(subtrees_->Insert(row).status());
+    }
+  }
+  if (persist_labels_) {
+    std::string blob;
+    scheme.EncodeTo(&blob);
+    Row row = {tree_id, std::move(blob)};
+    CRIMSON_RETURN_IF_ERROR(labels_->Insert(row).status());
   }
   return tree_id;
+}
+
+Result<std::string> TreeRepository::LoadSchemeBlob(int64_t tree_id) const {
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<RecordId> rids,
+                           labels_->IndexLookup("labels_by_tree", tree_id));
+  if (rids.empty()) {
+    return Status::NotFound(StrFormat("no stored labels for tree %lld",
+                                      static_cast<long long>(tree_id)));
+  }
+  Row row;
+  CRIMSON_RETURN_IF_ERROR(labels_->Get(rids[0], &row));
+  return std::move(std::get<std::string>(row[1]));
+}
+
+Result<LayeredDeweyScheme> TreeRepository::LoadScheme(int64_t tree_id) const {
+  CRIMSON_ASSIGN_OR_RETURN(std::string blob, LoadSchemeBlob(tree_id));
+  LayeredDeweyScheme scheme;
+  CRIMSON_RETURN_IF_ERROR(scheme.DecodeFrom(Slice(blob)));
+  return scheme;
 }
 
 Result<TreeInfo> TreeRepository::GetTreeInfo(const std::string& name) const {
@@ -283,6 +335,11 @@ Status TreeRepository::DropTree(int64_t tree_id) {
   for (const RecordId& rid : sub_rids) {
     CRIMSON_RETURN_IF_ERROR(subtrees_->Delete(rid));
   }
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<RecordId> label_rids,
+                           labels_->IndexLookup("labels_by_tree", tree_id));
+  for (const RecordId& rid : label_rids) {
+    CRIMSON_RETURN_IF_ERROR(labels_->Delete(rid));
+  }
   return Status::OK();
 }
 
@@ -314,6 +371,19 @@ Status SpeciesRepository::Put(int64_t tree_id, const std::string& species,
                                       : static_cast<int64_t>(node)),
              sequence};
   return species_->Insert(row).status();
+}
+
+Status SpeciesRepository::PutBatch(int64_t tree_id,
+                                   std::vector<SpeciesEntry> entries) {
+  std::vector<Row> rows;
+  rows.reserve(entries.size());
+  for (SpeciesEntry& e : entries) {
+    rows.push_back({tree_id, std::move(e.species),
+                    static_cast<int64_t>(
+                        e.node == kNoNode ? -1 : static_cast<int64_t>(e.node)),
+                    std::move(e.sequence)});
+  }
+  return species_->BulkAppend(rows).status();
 }
 
 Result<std::string> SpeciesRepository::GetSequence(

@@ -11,6 +11,9 @@
 //         root_weight*, subtree, local_depth)
 //     - node_key packs (tree_id << 32 | node_id) for point access
 //   subtrees(tree_id*, subtree_id, source_node, root_node)
+//   labels(tree_id*, scheme_blob)
+//     - the serialized layered-Dewey scheme (all layers), so binding a
+//       stored tree deserializes labels instead of relabeling
 //   species(tree_id, species_name*, node_id, sequence)
 //   queries(query_id*, timestamp, kind, params, summary)
 //   (* = indexed column)
@@ -55,9 +58,32 @@ class TreeRepository {
   static Result<std::unique_ptr<TreeRepository>> Open(Database* db);
 
   /// Persists a tree (structure + labeling) under a unique name.
-  /// Returns the assigned tree id.
+  /// Returns the assigned tree id. Trees with at least
+  /// bulk_load_threshold nodes take the bulk ingest path: rows are
+  /// batch-encoded and appended through Table::BulkAppend (sorted key
+  /// runs, bottom-up index builds) instead of per-row Insert.
   Result<int64_t> StoreTree(const std::string& name, const PhyloTree& tree,
                             const LayeredDeweyScheme& scheme);
+
+  /// Node count at which StoreTree switches to the bulk path. Set to
+  /// SIZE_MAX to force per-row inserts (benchmarks baseline), 0 to
+  /// always bulk-load.
+  void set_bulk_load_threshold(size_t threshold) {
+    bulk_load_threshold_ = threshold;
+  }
+
+  /// Whether StoreTree also persists the serialized layered-Dewey
+  /// scheme so OpenTree can skip relabeling (on by default).
+  void set_persist_labels(bool persist) { persist_labels_ = persist; }
+
+  /// The serialized labeling persisted by StoreTree, decoded. NotFound
+  /// for trees stored without labels (pre-upgrade databases or
+  /// persist_labels=false).
+  Result<LayeredDeweyScheme> LoadScheme(int64_t tree_id) const;
+
+  /// The raw persisted label blob (callers that hold the storage lock
+  /// can fetch here and run the O(n) decode outside it).
+  Result<std::string> LoadSchemeBlob(int64_t tree_id) const;
 
   /// Tree metadata by name.
   Result<TreeInfo> GetTreeInfo(const std::string& name) const;
@@ -103,6 +129,9 @@ class TreeRepository {
   std::unique_ptr<Table> trees_;
   std::unique_ptr<Table> nodes_;
   std::unique_ptr<Table> subtrees_;
+  std::unique_ptr<Table> labels_;
+  size_t bulk_load_threshold_ = 512;
+  bool persist_labels_ = true;
 };
 
 /// Stores species data (gene sequences) keyed by species name.
@@ -114,6 +143,17 @@ class SpeciesRepository {
   /// kNoNode when unknown).
   Status Put(int64_t tree_id, const std::string& species, NodeId node,
              const std::string& sequence);
+
+  /// One resolved species row for PutBatch.
+  struct SpeciesEntry {
+    std::string species;
+    NodeId node = kNoNode;
+    std::string sequence;
+  };
+
+  /// Adds many species at once through the bulk storage path
+  /// (Table::BulkAppend); equivalent to Put per entry.
+  Status PutBatch(int64_t tree_id, std::vector<SpeciesEntry> entries);
 
   /// Sequence by species name (first match).
   Result<std::string> GetSequence(const std::string& species) const;

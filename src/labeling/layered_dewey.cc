@@ -92,6 +92,123 @@ Status LayeredDeweyScheme::Build(const PhyloTree& tree) {
   return Status::OK();
 }
 
+namespace {
+
+void PutU32Vector(std::string* dst, const std::vector<uint32_t>& v) {
+  PutVarint32(dst, static_cast<uint32_t>(v.size()));
+  for (uint32_t x : v) PutVarint32(dst, x);
+}
+
+bool GetU32Vector(Slice* input, std::vector<uint32_t>* v) {
+  uint32_t n = 0;
+  if (!GetVarint32(input, &n)) return false;
+  // Sanity bound: every element needs at least one encoded byte.
+  if (n > input->size()) return false;
+  v->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!GetVarint32(input, &(*v)[i])) return false;
+  }
+  return true;
+}
+
+constexpr uint32_t kLayeredDeweyFormatVersion = 1;
+
+}  // namespace
+
+void LayeredDeweyScheme::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, kLayeredDeweyFormatVersion);
+  PutVarint32(dst, f_);
+  PutVarint32(dst, static_cast<uint32_t>(layers_.size()));
+  for (const Layer& layer : layers_) {
+    PutU32Vector(dst, layer.parent);
+    PutU32Vector(dst, layer.ordinal);
+    PutU32Vector(dst, layer.subtree);
+    PutU32Vector(dst, layer.local_depth);
+    PutU32Vector(dst, layer.subtree_source);
+    PutU32Vector(dst, layer.subtree_root);
+    PutVarint32(dst, layer.num_subtrees);
+  }
+}
+
+Status LayeredDeweyScheme::DecodeFrom(Slice input) {
+  uint32_t version = 0, f = 0, n_layers = 0;
+  if (!GetVarint32(&input, &version) ||
+      version != kLayeredDeweyFormatVersion) {
+    return Status::Corruption("layered dewey blob: bad version");
+  }
+  if (!GetVarint32(&input, &f) || f < 3) {
+    return Status::Corruption("layered dewey blob: bad f");
+  }
+  if (!GetVarint32(&input, &n_layers) || n_layers > 64) {
+    return Status::Corruption("layered dewey blob: bad layer count");
+  }
+  std::vector<Layer> layers(n_layers);
+  for (Layer& layer : layers) {
+    if (!GetU32Vector(&input, &layer.parent) ||
+        !GetU32Vector(&input, &layer.ordinal) ||
+        !GetU32Vector(&input, &layer.subtree) ||
+        !GetU32Vector(&input, &layer.local_depth) ||
+        !GetU32Vector(&input, &layer.subtree_source) ||
+        !GetU32Vector(&input, &layer.subtree_root) ||
+        !GetVarint32(&input, &layer.num_subtrees)) {
+      return Status::Corruption("layered dewey blob: truncated layer");
+    }
+    size_t n = layer.parent.size();
+    if (layer.ordinal.size() != n || layer.subtree.size() != n ||
+        layer.local_depth.size() != n ||
+        layer.subtree_source.size() != layer.num_subtrees ||
+        layer.subtree_root.size() != layer.num_subtrees) {
+      return Status::Corruption("layered dewey blob: inconsistent layer");
+    }
+  }
+  if (!input.empty()) {
+    return Status::Corruption("layered dewey blob: trailing bytes");
+  }
+  // Value/structure validation, so a parsable-but-corrupt blob (bit
+  // flips on disk) surfaces as Corruption here -- triggering the
+  // rebuild fallback -- rather than out-of-bounds indexing at query
+  // time. Build's invariants: parents precede children, subtree ids
+  // are dense and in range, local depths are bounded by f, each layer
+  // has one item per subtree of the layer below, and the top layer is
+  // a single subtree.
+  for (size_t li = 0; li < layers.size(); ++li) {
+    const Layer& layer = layers[li];
+    size_t n = layer.parent.size();
+    if (n == 0 || layer.num_subtrees == 0 || layer.num_subtrees > n) {
+      return Status::Corruption("layered dewey blob: bad layer shape");
+    }
+    if (layer.parent[0] != kNoItem || layer.subtree_source[0] != kNoItem) {
+      return Status::Corruption("layered dewey blob: bad layer root");
+    }
+    for (size_t i = 1; i < n; ++i) {
+      if (layer.parent[i] >= i) {
+        return Status::Corruption("layered dewey blob: parent out of range");
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (layer.subtree[i] >= layer.num_subtrees || layer.local_depth[i] >= f) {
+        return Status::Corruption("layered dewey blob: label out of range");
+      }
+    }
+    for (uint32_t s = 0; s < layer.num_subtrees; ++s) {
+      if ((s > 0 && layer.subtree_source[s] >= n) ||
+          layer.subtree_root[s] >= n) {
+        return Status::Corruption("layered dewey blob: subtree out of range");
+      }
+    }
+    if (li + 1 < layers.size()) {
+      if (layers[li + 1].parent.size() != layer.num_subtrees) {
+        return Status::Corruption("layered dewey blob: layer size mismatch");
+      }
+    } else if (layer.num_subtrees != 1) {
+      return Status::Corruption("layered dewey blob: unterminated top layer");
+    }
+  }
+  f_ = f;
+  layers_ = std::move(layers);
+  return Status::OK();
+}
+
 uint32_t LayeredDeweyScheme::WithinSubtreeLca(const Layer& layer, uint32_t a,
                                               uint32_t b) const {
   // Equalize local depths, then walk in lockstep; at most 2(f-1) steps.

@@ -72,6 +72,16 @@ class LayeredDeweyScheme final : public LabelingScheme {
   /// Depth of node n within its subtree (0 = subtree root).
   uint32_t LocalDepth(NodeId n) const { return layers_[0].local_depth[n]; }
 
+  /// Serializes the built scheme (all layers) so a stored tree can be
+  /// re-bound without relabeling. The encoding is canonical: two
+  /// schemes built over the same tree with the same f encode to the
+  /// same bytes.
+  void EncodeTo(std::string* dst) const;
+
+  /// Restores a scheme previously written by EncodeTo, replacing any
+  /// current state. Corruption on malformed input.
+  Status DecodeFrom(Slice input);
+
  private:
   static constexpr uint32_t kNoItem = 0xffffffffu;
 

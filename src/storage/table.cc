@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 #include "common/string_util.h"
 #include "storage/key_codec.h"
@@ -115,6 +117,106 @@ Result<RecordId> Table::Insert(const Row& row) {
         index_trees_[i]->Insert(Slice(keys[i]), Slice(rid_value)));
   }
   return rid;
+}
+
+Result<std::vector<RecordId>> Table::BulkAppend(const std::vector<Row>& rows) {
+  const size_t n_indexes = def_.indexes.size();
+  // Encode all rows and index keys up front so failures happen before
+  // any mutation.
+  std::vector<std::string> encoded(rows.size());
+  std::vector<std::vector<std::string>> keys(n_indexes);
+  for (auto& k : keys) k.resize(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    CRIMSON_RETURN_IF_ERROR(EncodeRow(def_.schema, rows[r], &encoded[r]));
+    for (size_t i = 0; i < n_indexes; ++i) {
+      const IndexDef& idx = def_.indexes[i];
+      CRIMSON_RETURN_IF_ERROR(EncodeValueKey(
+          def_.schema.column(idx.column).type, rows[r][idx.column],
+          &keys[i][r]));
+    }
+  }
+
+  // Sort row ordinals per index (cheap to swap; keys stay put). Tie
+  // order among duplicate keys is chosen so the final index is
+  // byte-identical to per-row Insert, which *prepends* to a duplicate
+  // run (leaf insert at LowerBound): a bulk-built index lays ties out
+  // directly, so they go in reverse row order; ordered inserts into an
+  // existing index each prepend, so feeding ties in row order ends up
+  // reversed on its own.
+  std::vector<bool> index_empty(n_indexes);
+  for (size_t i = 0; i < n_indexes; ++i) {
+    CRIMSON_ASSIGN_OR_RETURN(bool empty, index_trees_[i]->Empty());
+    index_empty[i] = empty;
+  }
+  std::vector<std::vector<uint32_t>> orders(n_indexes);
+  for (size_t i = 0; i < n_indexes; ++i) {
+    std::vector<uint32_t>& order = orders[i];
+    order.resize(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      order[r] = static_cast<uint32_t>(r);
+    }
+    const std::vector<std::string>& k = keys[i];
+    if (index_empty[i]) {
+      std::sort(order.begin(), order.end(), [&k](uint32_t a, uint32_t b) {
+        if (k[a] != k[b]) return k[a] < k[b];
+        return a > b;
+      });
+    } else {
+      std::stable_sort(order.begin(), order.end(),
+                       [&k](uint32_t a, uint32_t b) { return k[a] < k[b]; });
+    }
+  }
+
+  // Unique constraints: duplicates within the batch, then collisions
+  // with already-stored rows (skipped entirely when the index is empty).
+  for (size_t i = 0; i < n_indexes; ++i) {
+    const IndexDef& idx = def_.indexes[i];
+    if (!idx.unique) continue;
+    const std::vector<std::string>& k = keys[i];
+    const std::vector<uint32_t>& order = orders[i];
+    for (size_t r = 1; r < order.size(); ++r) {
+      if (k[order[r]] == k[order[r - 1]]) {
+        return Status::AlreadyExists(
+            StrFormat("unique index %s violated within batch",
+                      idx.name.c_str()));
+      }
+    }
+    if (index_empty[i]) continue;
+    for (uint32_t r : order) {
+      std::string ignored;
+      Status s = index_trees_[i]->Get(Slice(k[r]), &ignored);
+      if (s.ok()) {
+        return Status::AlreadyExists(
+            StrFormat("unique index %s violated", idx.name.c_str()));
+      }
+      if (!s.IsNotFound()) return s;
+    }
+  }
+
+  std::vector<RecordId> rids(rows.size());
+  std::string rid_values;  // packed 8-byte index values, one per row
+  rid_values.resize(rows.size() * 8);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    CRIMSON_ASSIGN_OR_RETURN(rids[r], heap_->Insert(Slice(encoded[r])));
+    std::string packed = U64Key(rids[r].Pack());
+    memcpy(&rid_values[r * 8], packed.data(), 8);
+  }
+
+  for (size_t i = 0; i < n_indexes; ++i) {
+    std::vector<std::pair<Slice, Slice>> run(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      uint32_t src = orders[i][r];
+      run[r] = {Slice(keys[i][src]), Slice(&rid_values[src * 8], 8)};
+    }
+    if (index_empty[i]) {
+      CRIMSON_RETURN_IF_ERROR(index_trees_[i]->BulkLoad(run));
+    } else {
+      for (const auto& [key, value] : run) {
+        CRIMSON_RETURN_IF_ERROR(index_trees_[i]->Insert(key, value));
+      }
+    }
+  }
+  return rids;
 }
 
 Status Table::Get(const RecordId& id, Row* row) const {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sim/tree_sim.h"
 #include "storage/file.h"
 #include "tree/tree_builders.h"
@@ -200,6 +202,162 @@ TEST(RepositoriesPersistenceTest, SurvivesReopen) {
     auto species = SpeciesRepository::Open(db->get());
     ASSERT_TRUE(species.ok());
     EXPECT_EQ(*(*species)->GetSequence("Bha"), "ACGT");
+  }
+  RemoveFile(path);
+}
+
+// ---------------------------------------------------------------------------
+// Persisted label index + bulk-load path
+// ---------------------------------------------------------------------------
+
+TEST_F(RepositoriesTest, PersistedLabelsByteMatchFreshRelabel) {
+  Rng rng(0x1AB31);
+  YuleOptions opts;
+  opts.n_leaves = 800;
+  auto t = SimulateYule(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  LayeredDeweyScheme fresh(8);
+  ASSERT_TRUE(fresh.Build(*t).ok());
+  auto id = trees_->StoreTree("labeled", *t, fresh);
+  ASSERT_TRUE(id.ok());
+
+  auto loaded = trees_->LoadScheme(*id);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  std::string fresh_bytes, loaded_bytes;
+  fresh.EncodeTo(&fresh_bytes);
+  loaded->EncodeTo(&loaded_bytes);
+  EXPECT_EQ(loaded_bytes, fresh_bytes);
+  EXPECT_EQ(loaded->f(), fresh.f());
+  EXPECT_EQ(loaded->node_count(), t->size());
+
+  // The deserialized scheme answers queries like the fresh one.
+  for (int i = 0; i < 200; ++i) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(t->size()));
+    NodeId b = static_cast<NodeId>(rng.Uniform(t->size()));
+    EXPECT_EQ(*loaded->Lca(a, b), *fresh.Lca(a, b));
+  }
+}
+
+TEST_F(RepositoriesTest, LabelsRemovedWithTree) {
+  int64_t id = StoreFig1("doomed_labels");
+  ASSERT_TRUE(trees_->LoadScheme(id).ok());
+  ASSERT_TRUE(trees_->DropTree(id).ok());
+  EXPECT_TRUE(trees_->LoadScheme(id).status().IsNotFound());
+}
+
+TEST_F(RepositoriesTest, LabelsOptional) {
+  trees_->set_persist_labels(false);
+  int64_t id = StoreFig1("unlabeled");
+  EXPECT_TRUE(trees_->LoadScheme(id).status().IsNotFound());
+  // The tree itself still round-trips.
+  auto loaded = trees_->LoadTree(id);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(PhyloTree::Equal(*loaded, MakePaperFigure1Tree(), 1e-9,
+                               /*ordered=*/true));
+}
+
+/// Bulk-loaded and per-row stores must be observationally identical
+/// through every repository read path.
+void CheckBulkMatchesPerRowStore(uint32_t n_leaves, uint64_t seed) {
+  Rng rng(seed);
+  YuleOptions opts;
+  opts.n_leaves = n_leaves;
+  auto t = SimulateYule(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  LayeredDeweyScheme scheme(8);
+  ASSERT_TRUE(scheme.Build(*t).ok());
+
+  auto db_bulk = std::move(Database::OpenInMemory()).value();
+  auto bulk = std::move(TreeRepository::Open(db_bulk.get())).value();
+  bulk->set_bulk_load_threshold(0);
+  auto db_row = std::move(Database::OpenInMemory()).value();
+  auto per_row = std::move(TreeRepository::Open(db_row.get())).value();
+  per_row->set_bulk_load_threshold(std::numeric_limits<size_t>::max());
+
+  auto id_bulk = bulk->StoreTree("yule", *t, scheme);
+  auto id_row = per_row->StoreTree("yule", *t, scheme);
+  ASSERT_TRUE(id_bulk.ok() && id_row.ok());
+  ASSERT_EQ(*id_bulk, *id_row);
+
+  auto loaded_bulk = bulk->LoadTree(*id_bulk);
+  auto loaded_row = per_row->LoadTree(*id_row);
+  ASSERT_TRUE(loaded_bulk.ok() && loaded_row.ok());
+  EXPECT_TRUE(PhyloTree::Equal(*loaded_bulk, *t, 1e-9, /*ordered=*/true));
+  EXPECT_TRUE(
+      PhyloTree::Equal(*loaded_bulk, *loaded_row, 1e-9, /*ordered=*/true));
+
+  for (int i = 0; i < 50; ++i) {
+    NodeId n = static_cast<NodeId>(rng.Uniform(t->size()));
+    auto row_a = bulk->GetNode(*id_bulk, n);
+    auto row_b = per_row->GetNode(*id_row, n);
+    ASSERT_TRUE(row_a.ok() && row_b.ok());
+    EXPECT_EQ(row_a->parent, row_b->parent);
+    EXPECT_EQ(row_a->name, row_b->name);
+    EXPECT_EQ(row_a->subtree, row_b->subtree);
+    EXPECT_DOUBLE_EQ(row_a->root_weight, row_b->root_weight);
+  }
+  for (int i = 0; i < 20; ++i) {
+    std::string name =
+        "S" + std::to_string(rng.Uniform(n_leaves));
+    auto n_a = bulk->FindNodeByName(*id_bulk, name);
+    auto n_b = per_row->FindNodeByName(*id_row, name);
+    ASSERT_TRUE(n_a.ok() && n_b.ok()) << name;
+    EXPECT_EQ(*n_a, *n_b) << name;
+  }
+  auto range_a = bulk->NodesInTimeRange(*id_bulk, 0.5, 2.0);
+  auto range_b = per_row->NodesInTimeRange(*id_row, 0.5, 2.0);
+  ASSERT_TRUE(range_a.ok() && range_b.ok());
+  EXPECT_EQ(*range_a, *range_b);
+}
+
+TEST(RepositoriesBulkTest, BulkStoreMatchesPerRowStore) {
+  CheckBulkMatchesPerRowStore(700, 0xB0B0);
+}
+
+TEST(RepositoriesBulkStressTest, LargeBulkStoresMatchPerRow) {
+  // Dialed-up version: ctest -C stress -L stress.
+  Rng rng(0x57E5);
+  for (int rep = 0; rep < 2; ++rep) {
+    CheckBulkMatchesPerRowStore(4000 + static_cast<uint32_t>(
+                                           rng.Uniform(4000)),
+                                rng.Next());
+  }
+}
+
+TEST(RepositoriesPersistenceTest, LabelsSurviveReopen) {
+  std::string path = testing::TempDir() + "/crimson_labels_test.db";
+  RemoveFile(path);
+  int64_t tree_id;
+  std::string stored_bytes;
+  {
+    auto db = Database::Open(path);
+    ASSERT_TRUE(db.ok());
+    auto trees = TreeRepository::Open(db->get());
+    ASSERT_TRUE(trees.ok());
+    Rng rng(0xD15C);
+    YuleOptions opts;
+    opts.n_leaves = 300;
+    auto t = SimulateYule(opts, &rng);
+    ASSERT_TRUE(t.ok());
+    LayeredDeweyScheme scheme(5);
+    ASSERT_TRUE(scheme.Build(*t).ok());
+    auto id = (*trees)->StoreTree("persisted_labels", *t, scheme);
+    ASSERT_TRUE(id.ok());
+    tree_id = *id;
+    scheme.EncodeTo(&stored_bytes);
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+  {
+    auto db = Database::Open(path);
+    ASSERT_TRUE(db.ok());
+    auto trees = TreeRepository::Open(db->get());
+    ASSERT_TRUE(trees.ok());
+    auto scheme = (*trees)->LoadScheme(tree_id);
+    ASSERT_TRUE(scheme.ok()) << scheme.status();
+    std::string reloaded_bytes;
+    scheme->EncodeTo(&reloaded_bytes);
+    EXPECT_EQ(reloaded_bytes, stored_bytes);
+    EXPECT_EQ(scheme->f(), 5u);
   }
   RemoveFile(path);
 }

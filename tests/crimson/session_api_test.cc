@@ -8,11 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <map>
 #include <set>
 #include <thread>
 
 #include "common/string_util.h"
+#include "sim/tree_sim.h"
 #include "tree/newick.h"
 
 namespace crimson {
@@ -263,6 +265,47 @@ TEST(SeedTest, EachQueryDrawsFromItsOwnTicketedRng) {
   ASSERT_TRUE(sa.ok());
   ASSERT_TRUE(sb.ok());
   EXPECT_EQ(*sa, *sb);
+}
+
+TEST(BulkLoadPathTest, BulkAndPerRowSessionsAnswerIdentically) {
+  // A bulk-loaded tree (bottom-up index builds + persisted labels) must
+  // answer every query kind byte-identically to an insert-loaded one.
+  Rng tree_rng(0xFACE);
+  auto yule = SimulateYule([] {
+    YuleOptions opts;
+    opts.n_leaves = 600;
+    return opts;
+  }(), &tree_rng);
+  ASSERT_TRUE(yule.ok());
+
+  CrimsonOptions per_row_opts;
+  per_row_opts.bulk_load_threshold = std::numeric_limits<size_t>::max();
+  per_row_opts.persist_labels = false;
+  CrimsonOptions bulk_opts;
+  bulk_opts.bulk_load_threshold = 0;
+  bulk_opts.persist_labels = true;
+
+  auto per_row = std::move(Crimson::Open(per_row_opts)).value();
+  auto bulk = std::move(Crimson::Open(bulk_opts)).value();
+  TreeRef ref_a = per_row->LoadTree("yule", *yule).value().ref;
+  TreeRef ref_b = bulk->LoadTree("yule", *yule).value().ref;
+
+  std::vector<QueryRequest> requests = {
+      LcaQuery{"S10", "S500"},
+      ProjectQuery{{"S1", "S99", "S250", "S420"}},
+      SampleUniformQuery{12},
+      SampleTimeQuery{12, 0.8},
+      CladeQuery{{"S33", "S44", "S55"}},
+      PatternQuery{"(S1,S2);", false},
+  };
+  for (const QueryRequest& request : requests) {
+    auto a = per_row->Execute(ref_a, request);
+    auto b = bulk->Execute(ref_b, request);
+    ASSERT_EQ(a.ok(), b.ok()) << QueryKindName(request);
+    if (a.ok()) {
+      EXPECT_EQ(RenderResult(*a), RenderResult(*b)) << QueryKindName(request);
+    }
+  }
 }
 
 TEST(ConcurrencyTest, ParallelExecuteOnSharedSession) {

@@ -11,6 +11,9 @@
 #include "labeling/dewey_scheme.h"
 #include "labeling/interval_scheme.h"
 #include "labeling/layered_dewey.h"
+#include "query/clade.h"
+#include "query/projection.h"
+#include "sim/tree_sim.h"
 #include "tree/tree_builders.h"
 
 namespace crimson {
@@ -83,6 +86,119 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<ShapeCase>& info) {
       return info.param.name;
     });
+
+// ---------------------------------------------------------------------------
+// Randomized differential testing on simulated phylogenies: every
+// scheme must agree with every other on LCA, minimal spanning clade,
+// and projection over seeded Yule / birth-death trees -- the workload
+// regime the paper targets, not just hand-built shapes.
+// ---------------------------------------------------------------------------
+
+void RunDifferential(const PhyloTree& t, uint64_t seed, int lca_probes,
+                     int clade_probes, int projection_probes,
+                     const char* label) {
+  auto schemes = AllSchemes();
+  for (auto& s : schemes) {
+    ASSERT_TRUE(s->Build(t).ok()) << s->name() << " on " << label;
+  }
+  std::vector<NodeId> leaves = t.Leaves();
+  ASSERT_GE(leaves.size(), 3u);
+  Rng rng(seed);
+
+  for (int i = 0; i < lca_probes; ++i) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(t.size()));
+    NodeId b = static_cast<NodeId>(rng.Uniform(t.size()));
+    NodeId expected = *schemes[0]->Lca(a, b);
+    for (size_t k = 1; k < schemes.size(); ++k) {
+      ASSERT_EQ(*schemes[k]->Lca(a, b), expected)
+          << schemes[k]->name() << " disagrees on LCA(" << a << "," << b
+          << ") for " << label;
+    }
+  }
+
+  for (int i = 0; i < clade_probes; ++i) {
+    size_t k_leaves = 2 + rng.Uniform(5);
+    std::vector<NodeId> subset;
+    for (size_t j = 0; j < k_leaves; ++j) {
+      subset.push_back(leaves[rng.Uniform(leaves.size())]);
+    }
+    auto expected = MinimalSpanningClade(t, *schemes[0], subset);
+    ASSERT_TRUE(expected.ok());
+    for (size_t k = 1; k < schemes.size(); ++k) {
+      auto got = MinimalSpanningClade(t, *schemes[k], subset);
+      ASSERT_TRUE(got.ok()) << schemes[k]->name();
+      ASSERT_EQ(got->root, expected->root)
+          << schemes[k]->name() << " disagrees on clade root for " << label;
+      ASSERT_EQ(got->nodes, expected->nodes)
+          << schemes[k]->name() << " disagrees on clade nodes for " << label;
+    }
+  }
+
+  std::vector<std::unique_ptr<TreeProjector>> projectors;
+  for (auto& s : schemes) {
+    projectors.push_back(std::make_unique<TreeProjector>(&t, s.get()));
+  }
+  for (int i = 0; i < projection_probes; ++i) {
+    size_t k_leaves = 2 + rng.Uniform(12);
+    std::vector<NodeId> subset;
+    for (size_t j = 0; j < k_leaves; ++j) {
+      subset.push_back(leaves[rng.Uniform(leaves.size())]);
+    }
+    auto expected = projectors[0]->Project(subset);
+    ASSERT_TRUE(expected.ok());
+    for (size_t k = 1; k < projectors.size(); ++k) {
+      auto got = projectors[k]->Project(subset);
+      ASSERT_TRUE(got.ok()) << schemes[k]->name();
+      ASSERT_TRUE(PhyloTree::Equal(*expected, *got, 1e-9, /*ordered=*/true))
+          << schemes[k]->name() << " disagrees on projection for " << label;
+    }
+  }
+}
+
+TEST(CrossSchemeRandomizedTest, YuleTreesDifferential) {
+  Rng rng(0x9E1E);
+  for (uint32_t n_leaves : {50u, 300u, 1000u}) {
+    YuleOptions opts;
+    opts.n_leaves = n_leaves;
+    auto t = SimulateYule(opts, &rng);
+    ASSERT_TRUE(t.ok());
+    RunDifferential(*t, 0xD1FF + n_leaves, 300, 60, 60, "yule");
+  }
+}
+
+TEST(CrossSchemeRandomizedTest, BirthDeathTreesDifferential) {
+  Rng rng(0xB1D7);
+  for (bool prune : {true, false}) {
+    BirthDeathOptions opts;
+    opts.n_leaves = 400;
+    opts.death_rate = 0.4;
+    opts.prune_extinct = prune;
+    auto t = SimulateBirthDeath(opts, &rng);
+    ASSERT_TRUE(t.ok());
+    RunDifferential(*t, 0xBDBD + prune, 300, 60, 60,
+                    prune ? "birth_death_pruned" : "birth_death_full");
+  }
+}
+
+TEST(CrossSchemeRandomizedStressTest, LargeSimulatedTreesDifferential) {
+  // Dialed-up sweep over bigger trees and more probes:
+  // ctest -C stress -L stress.
+  Rng rng(0x57E557);
+  for (int rep = 0; rep < 3; ++rep) {
+    YuleOptions yopts;
+    yopts.n_leaves = 5000 + static_cast<uint32_t>(rng.Uniform(5000));
+    auto yule = SimulateYule(yopts, &rng);
+    ASSERT_TRUE(yule.ok());
+    RunDifferential(*yule, rng.Next(), 2000, 300, 300, "yule_stress");
+
+    BirthDeathOptions bopts;
+    bopts.n_leaves = 2000;
+    bopts.death_rate = 0.5;
+    auto bd = SimulateBirthDeath(bopts, &rng);
+    ASSERT_TRUE(bd.ok());
+    RunDifferential(*bd, rng.Next(), 2000, 300, 300, "birth_death_stress");
+  }
+}
 
 TEST(LabelFootprintTest, PaperClaimOnLabelSizes) {
   // Deep tree: plain Dewey labels grow linearly with depth, layered

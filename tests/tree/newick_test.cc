@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
+#include "sim/tree_sim.h"
 #include "tree/tree_builders.h"
 
 namespace crimson {
@@ -130,6 +132,72 @@ TEST(NewickRoundTripTest, RandomTreesSurviveRoundTrip) {
     auto reparsed = ParseNewick(WriteNewick(t));
     ASSERT_TRUE(reparsed.ok());
     EXPECT_TRUE(PhyloTree::Equal(t, *reparsed, 1e-6, /*ordered=*/true));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized simulate -> serialize -> reparse round trips, including
+// labels that force quoting and escaping.
+// ---------------------------------------------------------------------------
+
+/// Renames a fraction of nodes to labels containing Newick
+/// metacharacters (spaces, quotes, parens, commas, colons, brackets,
+/// semicolons) that the writer must quote/escape.
+void InjectAwkwardLabels(PhyloTree* t, Rng* rng) {
+  static const char* kAwkward[] = {
+      "Homo sapiens",   "it's",          "a,b",        "(paren)",
+      "colon:label",    "semi;label",    "[bracketed]", "tab\tname",
+      "quote''double",  " leading",      "trailing ",   "'wrapped'",
+  };
+  for (NodeId n = 0; n < t->size(); ++n) {
+    if (rng->OneIn(4)) {
+      std::string label(kAwkward[rng->Uniform(sizeof(kAwkward) /
+                                              sizeof(kAwkward[0]))]);
+      // Unique suffix keeps FindByName-based assertions unambiguous.
+      t->set_name(n, label + "#" + std::to_string(n));
+    }
+  }
+}
+
+void CheckSimulatedRoundTrip(uint32_t n_leaves, uint64_t seed,
+                             bool birth_death) {
+  Rng rng(seed);
+  PhyloTree t;
+  if (birth_death) {
+    BirthDeathOptions opts;
+    opts.n_leaves = n_leaves;
+    opts.death_rate = 0.4;
+    auto sim = SimulateBirthDeath(opts, &rng);
+    ASSERT_TRUE(sim.ok());
+    t = std::move(*sim);
+  } else {
+    YuleOptions opts;
+    opts.n_leaves = n_leaves;
+    auto sim = SimulateYule(opts, &rng);
+    ASSERT_TRUE(sim.ok());
+    t = std::move(*sim);
+  }
+  InjectAwkwardLabels(&t, &rng);
+  std::string text = WriteNewick(t);
+  auto reparsed = ParseNewick(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  // Topology + branch-length isomorphism (writer precision bounds eps).
+  EXPECT_TRUE(PhyloTree::Equal(t, *reparsed, 1e-6, /*ordered=*/true));
+}
+
+TEST(NewickRoundTripTest, SimulatedTreesWithQuotedLabelsRoundTrip) {
+  for (int rep = 0; rep < 6; ++rep) {
+    CheckSimulatedRoundTrip(100 + 40 * rep, 0x4E3 + rep, rep % 2 == 1);
+  }
+}
+
+TEST(NewickRoundTripStressTest, LargeSimulatedTreesRoundTrip) {
+  // Dialed-up version: ctest -C stress -L stress.
+  Rng rng(0x57E);
+  for (int rep = 0; rep < 8; ++rep) {
+    CheckSimulatedRoundTrip(
+        2000 + static_cast<uint32_t>(rng.Uniform(4000)), rng.Next(),
+        rep % 2 == 1);
   }
 }
 

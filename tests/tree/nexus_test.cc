@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
+#include "sim/tree_sim.h"
 #include "tree/newick.h"
 #include "tree/tree_builders.h"
 
@@ -165,6 +167,71 @@ TEST(NexusWriteTest, QuotedNamesSurviveRoundTrip) {
   auto reparsed = ParseNexus(WriteNexus(doc));
   ASSERT_TRUE(reparsed.ok()) << reparsed.status();
   EXPECT_NE(reparsed->trees[0].tree.FindByName("Homo sapiens"), kNoNode);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized simulate -> serialize -> reparse round trips with quoted
+// and escaped taxon labels plus sequence data.
+// ---------------------------------------------------------------------------
+
+void CheckSimulatedNexusRoundTrip(uint32_t n_leaves, uint64_t seed) {
+  Rng rng(seed);
+  YuleOptions opts;
+  opts.n_leaves = n_leaves;
+  auto sim = SimulateYule(opts, &rng);
+  ASSERT_TRUE(sim.ok());
+  PhyloTree t = std::move(*sim);
+
+  // Rename a fraction of the leaves to labels that force quoting in
+  // TAXLABELS, MATRIX, and the embedded Newick.
+  static const char* kAwkward[] = {"Homo sapiens", "it's", "semi;x",
+                                   "paren(x)", "comma,x", "equals=x"};
+  std::vector<NodeId> leaves = t.Leaves();
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    if (rng.OneIn(3)) {
+      std::string label(kAwkward[rng.Uniform(sizeof(kAwkward) /
+                                             sizeof(kAwkward[0]))]);
+      t.set_name(leaves[i], label + "#" + std::to_string(i));
+    }
+  }
+
+  NexusDocument doc;
+  const size_t nchar = 24;
+  for (NodeId n : t.Leaves()) {
+    doc.taxa.push_back(t.name(n));
+    std::string seq;
+    for (size_t c = 0; c < nchar; ++c) seq.push_back("ACGT"[rng.Uniform(4)]);
+    doc.sequences[t.name(n)] = std::move(seq);
+  }
+  NexusTree nt;
+  nt.name = "simulated";
+  nt.tree = t;
+  doc.trees.push_back(std::move(nt));
+
+  auto reparsed = ParseNexus(WriteNexus(doc));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->taxa, doc.taxa);
+  EXPECT_EQ(reparsed->sequences, doc.sequences);
+  ASSERT_EQ(reparsed->trees.size(), 1u);
+  EXPECT_EQ(reparsed->trees[0].name, "simulated");
+  // Topology/branch-length isomorphism of the embedded tree.
+  EXPECT_TRUE(PhyloTree::Equal(reparsed->trees[0].tree, t, 1e-6,
+                               /*ordered=*/true));
+}
+
+TEST(NexusRoundTripTest, SimulatedDocumentsWithQuotedTaxaRoundTrip) {
+  for (int rep = 0; rep < 5; ++rep) {
+    CheckSimulatedNexusRoundTrip(60 + 30 * rep, 0xAE05 + rep);
+  }
+}
+
+TEST(NexusRoundTripStressTest, LargeSimulatedDocumentsRoundTrip) {
+  // Dialed-up version: ctest -C stress -L stress.
+  Rng rng(0x57E57);
+  for (int rep = 0; rep < 6; ++rep) {
+    CheckSimulatedNexusRoundTrip(
+        1000 + static_cast<uint32_t>(rng.Uniform(2000)), rng.Next());
+  }
 }
 
 TEST(NexusParseTest, PaperFigure1AsNexusRoundTrip) {
