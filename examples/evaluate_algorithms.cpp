@@ -1,8 +1,13 @@
 // Evaluate phylogenetic tree reconstruction algorithms against a
 // gold-standard simulation tree -- the central use case of the paper
-// (Benchmark Manager, §2.2). Reproduces the E11 experiment as a
-// readable report: NJ vs UPGMA across sample sizes and sequence
-// lengths, scored by Robinson-Foulds distance to the true projection.
+// (Benchmark Manager, §2.2) -- through the typed Experiment API.
+// Reproduces the E11 experiment: NJ vs UPGMA across sample sizes and
+// sequence lengths, scored by Robinson-Foulds distance to the true
+// projection. The whole sweep per sequence length is ONE
+// ExperimentSpec (algorithm registry names x a uniform-k selection
+// grid x replicates): replicates fan out on the session worker pool,
+// the spec and every score row are persisted, and the final report is
+// replayed byte-identically from storage via RerunExperiment.
 //
 // Run:  ./evaluate_algorithms [n_leaves]
 
@@ -44,12 +49,25 @@ int main(int argc, char** argv) {
   printf("gold standard: %zu leaves, clock broken (rate spread 3x)\n\n",
          gold.LeafCount());
 
+  // One spec covers the whole NJ-vs-UPGMA sweep for a sequence length:
+  // 2 algorithms x 3 sample sizes x 5 replicates = 30 runs, fanned out
+  // on the session worker pool with ticketed RNGs (byte-identical to a
+  // sequential sweep).
+  ExperimentSpec spec;
+  spec.algorithms = {"nj", "upgma"};
+  for (size_t k : {16, 64, 256}) {
+    if (k > gold.LeafCount()) continue;
+    SelectionSpec sel;
+    sel.kind = SelectionSpec::Kind::kUniform;
+    sel.k = k;
+    spec.selections.push_back(sel);
+  }
+  spec.replicates = 5;
+  spec.compute_triplets = false;
+
   printf("%-8s %6s %8s | %-18s %-18s\n", "seq_len", "k", "reps",
          "NJ rf_norm(avg)", "UPGMA rf_norm(avg)");
   printf("---------------------------------------------------------------\n");
-
-  auto nj = MakeNjAlgorithm(DistanceCorrection::kJC69);
-  auto upgma = MakeUpgmaAlgorithm(DistanceCorrection::kJC69);
 
   for (size_t seq_len : {250, 1000}) {
     SeqEvolveOptions seq_opts;
@@ -59,36 +77,47 @@ int main(int argc, char** argv) {
     auto evolver = Unwrap(SequenceEvolver::Create(seq_opts), "evolver");
     auto sequences = Unwrap(evolver.EvolveLeaves(gold, &rng), "evolve");
 
-    // One Crimson session per sweep: the gold standard is loaded once
-    // and evaluations run through the facade's Benchmark path (which
-    // also records them in the query history).
+    // One Crimson session per sweep: the gold standard is loaded once,
+    // its evaluation state (sequence map + benchmark manager) is built
+    // once and cached against the handle, and the whole grid runs as a
+    // single persisted experiment.
     CrimsonOptions options;
     options.seed = 4711 + seq_len;
     auto crimson = Unwrap(Crimson::Open(options), "open");
     std::string tree_name = "gold_" + std::to_string(seq_len);
-    Unwrap(crimson->LoadTree(tree_name, gold), "load tree");
+    TreeRef tree = Unwrap(crimson->LoadTree(tree_name, gold), "load").ref;
     Unwrap(crimson->AppendSpeciesData(tree_name, sequences), "load species");
 
-    for (size_t k : {16, 64, 256}) {
-      const int reps = 5;
-      double nj_rf = 0, upgma_rf = 0;
-      for (int rep = 0; rep < reps; ++rep) {
-        SelectionSpec sel;
-        sel.kind = SelectionSpec::Kind::kUniform;
-        sel.k = k;
-        nj_rf += Unwrap(crimson->Benchmark(tree_name, *nj, sel,
-                                           /*compute_triplets=*/false),
-                        "nj")
-                     .rf.normalized;
-        upgma_rf += Unwrap(crimson->Benchmark(tree_name, *upgma, sel,
-                                              /*compute_triplets=*/false),
-                           "upgma")
-                        .rf.normalized;
-      }
-      printf("%-8zu %6zu %8d | %-18.4f %-18.4f%s\n", seq_len, k, reps,
-             nj_rf / reps, upgma_rf / reps,
-             nj_rf <= upgma_rf ? "   <- NJ wins" : "");
+    ExperimentReport report =
+        Unwrap(crimson->RunExperiment(tree, spec), "experiment");
+
+    // cells are algorithm-major in spec order: NJ cells first.
+    const size_t n_sels = spec.selections.size();
+    for (size_t s = 0; s < n_sels; ++s) {
+      const ExperimentCell& nj_cell = report.cells[s];
+      const ExperimentCell& upgma_cell = report.cells[n_sels + s];
+      printf("%-8zu %6zu %8zu | %-18.4f %-18.4f%s\n", seq_len,
+             spec.selections[s].k, spec.replicates,
+             nj_cell.mean_rf_normalized, upgma_cell.mean_rf_normalized,
+             nj_cell.mean_rf_normalized <= upgma_cell.mean_rf_normalized
+                 ? "   <- NJ wins"
+                 : "");
     }
+
+    // The spec, runs and aggregates are persisted: replaying the
+    // stored experiment reproduces the report exactly.
+    ExperimentReport replay = Unwrap(
+        crimson->RerunExperiment(report.experiment_id), "rerun");
+    for (size_t i = 0; i < report.runs.size(); ++i) {
+      if (replay.runs[i].rf.distance != report.runs[i].rf.distance) {
+        fprintf(stderr, "replay diverged at run %zu\n", i);
+        return 1;
+      }
+    }
+    printf("         (experiment %lld: %zu runs persisted, replay "
+           "verified)\n",
+           static_cast<long long>(report.experiment_id),
+           report.runs.size());
   }
   printf(
       "\nExpected shape (paper/benchmarking lore): NJ <= UPGMA on\n"

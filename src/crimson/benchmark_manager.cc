@@ -2,67 +2,35 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
-#include "recon/nj.h"
-#include "recon/upgma.h"
 
 namespace crimson {
-
-namespace {
-
-class NjAlgorithm final : public ReconstructionAlgorithm {
- public:
-  explicit NjAlgorithm(DistanceCorrection c) : correction_(c) {}
-  std::string name() const override { return "neighbor_joining"; }
-  Result<PhyloTree> Reconstruct(
-      const std::map<std::string, std::string>& sequences) const override {
-    CRIMSON_ASSIGN_OR_RETURN(DistanceMatrix m,
-                             ComputeDistanceMatrix(sequences, correction_));
-    return NeighborJoining(m);
-  }
-
- private:
-  DistanceCorrection correction_;
-};
-
-class UpgmaAlgorithm final : public ReconstructionAlgorithm {
- public:
-  explicit UpgmaAlgorithm(DistanceCorrection c) : correction_(c) {}
-  std::string name() const override { return "upgma"; }
-  Result<PhyloTree> Reconstruct(
-      const std::map<std::string, std::string>& sequences) const override {
-    CRIMSON_ASSIGN_OR_RETURN(DistanceMatrix m,
-                             ComputeDistanceMatrix(sequences, correction_));
-    return Upgma(m);
-  }
-
- private:
-  DistanceCorrection correction_;
-};
-
-}  // namespace
-
-std::unique_ptr<ReconstructionAlgorithm> MakeNjAlgorithm(
-    DistanceCorrection correction) {
-  return std::make_unique<NjAlgorithm>(correction);
-}
-
-std::unique_ptr<ReconstructionAlgorithm> MakeUpgmaAlgorithm(
-    DistanceCorrection correction) {
-  return std::make_unique<UpgmaAlgorithm>(correction);
-}
 
 BenchmarkManager::BenchmarkManager(
     const PhyloTree* gold_tree,
     const std::map<std::string, std::string>* sequences, uint32_t f)
-    : tree_(gold_tree), sequences_(sequences), scheme_(f) {}
+    : tree_(gold_tree),
+      sequences_(sequences),
+      owned_scheme_(std::make_unique<LayeredDeweyScheme>(f)),
+      scheme_(owned_scheme_.get()) {}
+
+BenchmarkManager::BenchmarkManager(
+    const PhyloTree* gold_tree,
+    const std::map<std::string, std::string>* sequences,
+    const LayeredDeweyScheme* scheme)
+    : tree_(gold_tree), sequences_(sequences), scheme_(scheme) {}
 
 Status BenchmarkManager::Init() {
   if (tree_ == nullptr || tree_->empty()) {
     return Status::InvalidArgument("benchmark manager needs a gold tree");
   }
-  CRIMSON_RETURN_IF_ERROR(scheme_.Build(*tree_));
+  if (owned_scheme_ != nullptr) {
+    CRIMSON_RETURN_IF_ERROR(owned_scheme_->Build(*tree_));
+  } else if (scheme_ == nullptr || scheme_->node_count() != tree_->size()) {
+    return Status::InvalidArgument(
+        "borrowed labeling scheme does not match the gold tree");
+  }
   sampler_ = std::make_unique<Sampler>(tree_);
-  projector_ = std::make_unique<TreeProjector>(tree_, &scheme_);
+  projector_ = std::make_unique<TreeProjector>(tree_, scheme_);
   return Status::OK();
 }
 

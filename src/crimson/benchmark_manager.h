@@ -18,29 +18,13 @@
 #include "labeling/layered_dewey.h"
 #include "query/projection.h"
 #include "query/sampling.h"
+#include "recon/algorithm.h"
 #include "recon/distance.h"
 #include "recon/rf_distance.h"
 #include "recon/triplet.h"
 #include "tree/phylo_tree.h"
 
 namespace crimson {
-
-/// A tree inference algorithm under evaluation. Implementations exist
-/// for NJ and UPGMA; users plug in their own.
-class ReconstructionAlgorithm {
- public:
-  virtual ~ReconstructionAlgorithm() = default;
-  virtual std::string name() const = 0;
-  /// Builds a tree whose leaves are exactly the keys of `sequences`.
-  virtual Result<PhyloTree> Reconstruct(
-      const std::map<std::string, std::string>& sequences) const = 0;
-};
-
-/// Distance-based algorithms shipped with Crimson.
-std::unique_ptr<ReconstructionAlgorithm> MakeNjAlgorithm(
-    DistanceCorrection correction = DistanceCorrection::kJC69);
-std::unique_ptr<ReconstructionAlgorithm> MakeUpgmaAlgorithm(
-    DistanceCorrection correction = DistanceCorrection::kJC69);
 
 /// How to choose the species sample (the three demo selection modes).
 struct SelectionSpec {
@@ -77,6 +61,14 @@ class BenchmarkManager {
                    const std::map<std::string, std::string>* sequences,
                    uint32_t f = 8);
 
+  /// Borrows an already-built labeling of `gold_tree` (which must
+  /// outlive the manager): Init() skips the O(n) relabel. This is the
+  /// constructor the session's cached evaluation state uses -- the
+  /// TreeHandle's scheme is reused instead of rebuilt.
+  BenchmarkManager(const PhyloTree* gold_tree,
+                   const std::map<std::string, std::string>* sequences,
+                   const LayeredDeweyScheme* scheme);
+
   Status Init();
 
   /// Runs one evaluation.
@@ -86,7 +78,7 @@ class BenchmarkManager {
 
   const Sampler& sampler() const { return *sampler_; }
   const TreeProjector& projector() const { return *projector_; }
-  const LayeredDeweyScheme& scheme() const { return scheme_; }
+  const LayeredDeweyScheme& scheme() const { return *scheme_; }
 
  private:
   Result<std::vector<NodeId>> SelectSpecies(const SelectionSpec& selection,
@@ -94,7 +86,9 @@ class BenchmarkManager {
 
   const PhyloTree* tree_;
   const std::map<std::string, std::string>* sequences_;
-  LayeredDeweyScheme scheme_;
+  /// Built by Init() when owned; pre-built and borrowed otherwise.
+  std::unique_ptr<LayeredDeweyScheme> owned_scheme_;
+  const LayeredDeweyScheme* scheme_ = nullptr;
   std::unique_ptr<Sampler> sampler_;
   std::unique_ptr<TreeProjector> projector_;
 };

@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "common/overloaded.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "query/lca.h"
 #include "recon/rf_distance.h"
 #include "tree/ascii_render.h"
@@ -44,6 +45,8 @@ Result<std::unique_ptr<Crimson>> Crimson::Open(const CrimsonOptions& options) {
   c->trees_->set_persist_labels(options.persist_labels);
   CRIMSON_ASSIGN_OR_RETURN(c->species_, SpeciesRepository::Open(c->db_.get()));
   CRIMSON_ASSIGN_OR_RETURN(c->queries_, QueryRepository::Open(c->db_.get()));
+  CRIMSON_ASSIGN_OR_RETURN(c->experiments_,
+                           ExperimentRepository::Open(c->db_.get()));
   c->loader_ = std::make_unique<DataLoader>(c->trees_.get(),
                                             c->species_.get(), options.f);
   c->pool_ = std::make_unique<ThreadPool>(
@@ -57,6 +60,9 @@ Result<SessionLoadReport> Crimson::FinishLoad(Result<LoadReport> report) {
   if (!report.ok()) return report.status();
   SessionLoadReport out;
   static_cast<LoadReport&>(out) = *report;
+  // Loads can attach sequences to an existing tree (e.g. LoadNexus
+  // with kAppendSpeciesData); drop any stale evaluation state.
+  InvalidateEvalState(out.tree_name);
   CRIMSON_ASSIGN_OR_RETURN(out.ref, OpenTree(out.tree_name));
   return out;
 }
@@ -93,8 +99,29 @@ Result<SessionLoadReport> Crimson::LoadTree(const std::string& name,
 Result<LoadReport> Crimson::AppendSpeciesData(
     const std::string& tree_name,
     const std::map<std::string, std::string>& sequences) {
-  std::lock_guard<std::mutex> lock(db_mu_);
-  return loader_->AppendSpecies(tree_name, sequences);
+  Result<LoadReport> report = [&] {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    return loader_->AppendSpecies(tree_name, sequences);
+  }();
+  if (report.ok()) {
+    // The tree's sequence map changed: drop any cached evaluation
+    // state so the next experiment rebuilds it from storage.
+    InvalidateEvalState(tree_name);
+  }
+  return report;
+}
+
+void Crimson::InvalidateEvalState(const std::string& tree_name) {
+  uint64_t id = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(handles_mu_);
+    auto it = handle_ids_.find(tree_name);
+    if (it != handle_ids_.end()) id = it->second;
+  }
+  if (id == 0) return;  // never bound, so nothing cached
+  std::lock_guard<std::mutex> lock(eval_mu_);
+  eval_cache_.erase(id);
+  ++eval_generation_[id];
 }
 
 Result<std::vector<TreeInfo>> Crimson::ListTrees() const {
@@ -391,37 +418,267 @@ Result<Crimson::PatternAnswer> Crimson::MatchPattern(
   return std::get<PatternAnswer>(std::move(r));
 }
 
-// -- benchmarking -----------------------------------------------------------
+// -- the Experiment API -----------------------------------------------------
+
+/// Cached per-tree evaluation state. The sequence map is fetched from
+/// the species repository once; the manager borrows the handle's tree
+/// and layered-Dewey scheme (no relabel) and is shared, immutable,
+/// across all experiment workers. The handle shared_ptr keeps the
+/// borrowed tree/scheme alive.
+struct Crimson::EvalState {
+  std::shared_ptr<const TreeHandle> handle;
+  std::map<std::string, std::string> sequences;
+  BenchmarkManager manager;
+
+  EvalState(std::shared_ptr<const TreeHandle> h,
+            std::map<std::string, std::string> seqs)
+      : handle(std::move(h)),
+        sequences(std::move(seqs)),
+        manager(&handle->tree, &sequences, &handle->scheme) {}
+};
+
+Result<std::shared_ptr<const Crimson::EvalState>> Crimson::EvalStateFor(
+    TreeRef tree) {
+  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const TreeHandle> handle,
+                           HandleFor(tree));
+  for (;;) {
+    uint64_t generation;
+    {
+      std::lock_guard<std::mutex> lock(eval_mu_);
+      auto it = eval_cache_.find(tree.id());
+      if (it != eval_cache_.end()) return it->second;
+      generation = eval_generation_[tree.id()];
+    }
+    // Build outside eval_mu_ (storage fetch + manager init); a racing
+    // build may duplicate the work and the insertion keeps one state.
+    std::map<std::string, std::string> seqs;
+    {
+      std::lock_guard<std::mutex> lock(db_mu_);
+      CRIMSON_ASSIGN_OR_RETURN(
+          seqs, species_->SequencesForTree(handle->info.tree_id));
+    }
+    if (seqs.empty()) {
+      return Status::FailedPrecondition(
+          StrFormat("tree '%s' has no species data loaded",
+                    handle->info.name.c_str()));
+    }
+    auto state = std::make_shared<EvalState>(handle, std::move(seqs));
+    CRIMSON_RETURN_IF_ERROR(state->manager.Init());
+    std::lock_guard<std::mutex> lock(eval_mu_);
+    if (eval_generation_[tree.id()] != generation) {
+      // An invalidation landed while this state was being built from
+      // the pre-invalidation sequence map; rebuild from storage.
+      continue;
+    }
+    auto [it, inserted] = eval_cache_.emplace(tree.id(), std::move(state));
+    return it->second;
+  }
+}
+
+Result<ExperimentReport> Crimson::RunExperimentJobs(
+    const EvalState& eval, const ExperimentSpec& spec,
+    const std::vector<const ReconstructionAlgorithm*>& instances,
+    uint64_t seed, uint64_t base_ticket) const {
+  const size_t jobs = spec.job_count();
+  const size_t per_algorithm = spec.selections.size() * spec.replicates;
+  std::vector<Result<BenchmarkRun>> results(
+      jobs, Result<BenchmarkRun>(Status::Internal("run not executed")));
+  WallTimer timer;
+  // Tickets were assigned to jobs in spec order before dispatch, so
+  // every replicate draws exactly what it would draw under the
+  // sequential legacy Benchmark loop -- any worker count produces
+  // byte-identical runs.
+  pool_->ParallelFor(jobs, [&](size_t i) {
+    const size_t algorithm = i / per_algorithm;
+    const size_t selection = (i % per_algorithm) / spec.replicates;
+    Rng rng(QuerySeed(seed, base_ticket + i));
+    results[i] = eval.manager.Evaluate(*instances[algorithm],
+                                       spec.selections[selection], &rng,
+                                       spec.compute_triplets);
+  });
+  ExperimentReport report;
+  report.tree_name = eval.handle->info.name;
+  report.spec = spec;
+  report.seed = seed;
+  report.base_ticket = base_ticket;
+  report.runs.reserve(jobs);
+  for (size_t i = 0; i < jobs; ++i) {
+    if (!results[i].ok()) return results[i].status();
+    report.runs.push_back(std::move(*results[i]));
+  }
+  report.cells = AggregateCells(spec, report.runs);
+  report.total_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+Status Crimson::PersistExperiment(ExperimentReport* report) {
+  std::vector<ExperimentRepository::RunRow> run_rows;
+  run_rows.reserve(report->runs.size());
+  for (size_t i = 0; i < report->runs.size(); ++i) {
+    const BenchmarkRun& run = report->runs[i];
+    ExperimentRepository::RunRow row;
+    row.ordinal = static_cast<int64_t>(i);
+    row.algorithm = run.algorithm;
+    const size_t per_algorithm =
+        report->spec.selections.size() * report->spec.replicates;
+    row.selection_index =
+        static_cast<int64_t>((i % per_algorithm) / report->spec.replicates);
+    row.replicate = static_cast<int64_t>(i % report->spec.replicates);
+    row.sample_size = static_cast<int64_t>(run.sample_size);
+    row.rf_distance = static_cast<int64_t>(run.rf.distance);
+    row.rf_splits_a = static_cast<int64_t>(run.rf.splits_a);
+    row.rf_splits_b = static_cast<int64_t>(run.rf.splits_b);
+    row.rf_normalized = run.rf.normalized;
+    row.triplet_total = static_cast<int64_t>(run.triplets.total);
+    row.triplet_differing = static_cast<int64_t>(run.triplets.differing);
+    row.triplet_fraction = run.triplets.fraction;
+    row.seconds = run.sample_seconds + run.project_seconds +
+                  run.reconstruct_seconds + run.compare_seconds;
+    run_rows.push_back(std::move(row));
+  }
+  std::vector<ExperimentRepository::CellRow> cell_rows;
+  cell_rows.reserve(report->cells.size());
+  for (size_t i = 0; i < report->cells.size(); ++i) {
+    const ExperimentCell& cell = report->cells[i];
+    ExperimentRepository::CellRow row;
+    row.ordinal = static_cast<int64_t>(i);
+    row.algorithm = cell.algorithm;
+    row.selection_index = static_cast<int64_t>(cell.selection_index);
+    row.replicates = static_cast<int64_t>(cell.replicates);
+    row.mean_rf_normalized = cell.mean_rf_normalized;
+    row.min_rf_normalized = cell.min_rf_normalized;
+    row.max_rf_normalized = cell.max_rf_normalized;
+    row.mean_triplet_fraction = cell.mean_triplet_fraction;
+    row.total_seconds = cell.total_seconds;
+    cell_rows.push_back(std::move(row));
+  }
+
+  std::lock_guard<std::mutex> lock(db_mu_);
+  CRIMSON_ASSIGN_OR_RETURN(
+      report->experiment_id,
+      experiments_->PutExperiment(report->tree_name,
+                                  EncodeExperimentSpec(report->spec),
+                                  report->seed, report->base_ticket));
+  for (auto& row : run_rows) row.experiment_id = report->experiment_id;
+  for (auto& row : cell_rows) row.experiment_id = report->experiment_id;
+  CRIMSON_RETURN_IF_ERROR(experiments_->PutRuns(run_rows));
+  return experiments_->PutCells(cell_rows);
+}
+
+Result<std::vector<std::unique_ptr<ReconstructionAlgorithm>>>
+Crimson::InstantiateAlgorithms(const ExperimentSpec& spec) {
+  // One shared instance per algorithm name (Reconstruct is const and
+  // thread-safe by contract).
+  std::vector<std::unique_ptr<ReconstructionAlgorithm>> owned;
+  owned.reserve(spec.algorithms.size());
+  for (const std::string& name : spec.algorithms) {
+    CRIMSON_ASSIGN_OR_RETURN(std::unique_ptr<ReconstructionAlgorithm> alg,
+                             AlgorithmRegistry::Global().Create(name));
+    owned.push_back(std::move(alg));
+  }
+  return owned;
+}
+
+namespace {
+
+std::vector<const ReconstructionAlgorithm*> RawPointers(
+    const std::vector<std::unique_ptr<ReconstructionAlgorithm>>& owned) {
+  std::vector<const ReconstructionAlgorithm*> instances;
+  instances.reserve(owned.size());
+  for (const auto& alg : owned) instances.push_back(alg.get());
+  return instances;
+}
+
+}  // namespace
+
+Result<ExperimentReport> Crimson::RunExperiment(TreeRef tree,
+                                                const ExperimentSpec& spec) {
+  CRIMSON_RETURN_IF_ERROR(ValidateExperimentSpec(spec));
+  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const EvalState> eval,
+                           EvalStateFor(tree));
+  CRIMSON_ASSIGN_OR_RETURN(
+      std::vector<std::unique_ptr<ReconstructionAlgorithm>> owned,
+      InstantiateAlgorithms(spec));
+  const uint64_t base =
+      ticket_.fetch_add(spec.job_count(), std::memory_order_relaxed);
+  CRIMSON_ASSIGN_OR_RETURN(
+      ExperimentReport report,
+      RunExperimentJobs(*eval, spec, RawPointers(owned), options_.seed,
+                        base));
+  CRIMSON_RETURN_IF_ERROR(PersistExperiment(&report));
+  RecordQuery("experiment",
+              StrFormat("tree=%s&id=%lld&spec=%s",
+                        report.tree_name.c_str(),
+                        static_cast<long long>(report.experiment_id),
+                        EncodeExperimentSpec(spec).c_str()),
+              SummarizeExperiment(report));
+  return report;
+}
+
+Result<ExperimentReport> Crimson::RerunExperiment(int64_t experiment_id) {
+  ExperimentRepository::ExperimentRow row;
+  {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    CRIMSON_ASSIGN_OR_RETURN(row,
+                             experiments_->GetExperiment(experiment_id));
+  }
+  CRIMSON_ASSIGN_OR_RETURN(ExperimentSpec spec,
+                           DecodeExperimentSpec(row.spec));
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(row.tree_name));
+  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const EvalState> eval,
+                           EvalStateFor(ref));
+  CRIMSON_ASSIGN_OR_RETURN(
+      std::vector<std::unique_ptr<ReconstructionAlgorithm>> owned,
+      InstantiateAlgorithms(spec));
+  // Replay with the *stored* RNG provenance: the session ticket
+  // counter is not consulted, so the replay reproduces the original
+  // rows on any session over this database.
+  CRIMSON_ASSIGN_OR_RETURN(
+      ExperimentReport report,
+      RunExperimentJobs(*eval, spec, RawPointers(owned), row.seed,
+                        row.base_ticket));
+  report.experiment_id = experiment_id;
+  return report;
+}
+
+Result<std::vector<ExperimentRepository::ExperimentRow>>
+Crimson::ListExperiments() const {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  return experiments_->ListExperiments();
+}
+
+// -- benchmarking (legacy wrapper) ------------------------------------------
 
 Result<BenchmarkRun> Crimson::Benchmark(
     const std::string& tree_name, const ReconstructionAlgorithm& algorithm,
     const SelectionSpec& selection, bool compute_triplets) {
   CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
-  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const TreeHandle> handle,
-                           HandleFor(ref));
-  std::map<std::string, std::string> seqs;
-  {
-    std::lock_guard<std::mutex> lock(db_mu_);
-    CRIMSON_ASSIGN_OR_RETURN(
-        seqs, species_->SequencesForTree(handle->info.tree_id));
-  }
-  if (seqs.empty()) {
-    return Status::FailedPrecondition(
-        StrFormat("tree '%s' has no species data loaded",
-                  tree_name.c_str()));
-  }
-  BenchmarkManager manager(&handle->tree, &seqs,
-                           static_cast<uint32_t>(handle->info.f));
-  CRIMSON_RETURN_IF_ERROR(manager.Init());
-  uint64_t ticket = ticket_.fetch_add(1, std::memory_order_relaxed);
-  Rng rng(QuerySeed(options_.seed, ticket));
+  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const EvalState> eval,
+                           EvalStateFor(ref));
+  ExperimentSpec spec;
+  spec.algorithms = {algorithm.name()};
+  spec.selections = {selection};
+  spec.replicates = 1;
+  spec.compute_triplets = compute_triplets;
+  const uint64_t base = ticket_.fetch_add(1, std::memory_order_relaxed);
   CRIMSON_ASSIGN_OR_RETURN(
-      BenchmarkRun run,
-      manager.Evaluate(algorithm, selection, &rng, compute_triplets));
-  RecordQuery(
-      "benchmark",
+      ExperimentReport report,
+      RunExperimentJobs(*eval, spec, {&algorithm}, options_.seed, base));
+  BenchmarkRun run = std::move(report.runs[0]);
+  // History row: the pre-Experiment-API keys plus the encoded spec, so
+  // the entry replays through the experiment path (the algorithm name
+  // must be registered for the replay to resolve it). Benchmark takes
+  // a raw algorithm reference, so its name never went through spec
+  // validation: if it (or a species list) cannot be encoded, record
+  // the legacy keys only rather than a corrupt spec.
+  std::string params =
       StrFormat("tree=%s&algorithm=%s&k=%zu", tree_name.c_str(),
-                run.algorithm.c_str(), run.sample_size),
+                run.algorithm.c_str(), run.sample_size);
+  if (ValidateExperimentSpec(spec).ok()) {
+    params += "&spec=" + EncodeExperimentSpec(spec);
+  }
+  RecordQuery(
+      "benchmark", params,
       StrFormat("rf=%zu/%zu normalized=%.4f", run.rf.distance,
                 run.rf.splits_a + run.rf.splits_b, run.rf.normalized));
   return run;
@@ -441,6 +698,22 @@ Result<std::string> Crimson::RerunQuery(int64_t query_id) {
     std::lock_guard<std::mutex> lock(db_mu_);
     CRIMSON_ASSIGN_OR_RETURN(entry, queries_->Get(query_id));
   }
+  if (entry.kind == "experiment" || entry.kind == "benchmark") {
+    CRIMSON_ASSIGN_OR_RETURN(DecodedExperimentParams decoded,
+                             DecodeExperimentParams(entry.params));
+    if (decoded.experiment_id.has_value()) {
+      // Stored experiment: replay exactly (stored seed + tickets).
+      CRIMSON_ASSIGN_OR_RETURN(ExperimentReport report,
+                               RerunExperiment(*decoded.experiment_id));
+      return RenderExperimentReport(report);
+    }
+    // Legacy "benchmark" row: re-run as a fresh experiment through the
+    // registry (fresh tickets, so sampling selections may redraw).
+    CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(decoded.tree_name));
+    CRIMSON_ASSIGN_OR_RETURN(ExperimentReport report,
+                             RunExperiment(ref, decoded.spec));
+    return RenderExperimentReport(report);
+  }
   auto decoded = DecodeQueryRequest(entry.kind, entry.params);
   if (!decoded.ok()) {
     if (decoded.status().IsUnimplemented()) {
@@ -454,10 +727,9 @@ Result<std::string> Crimson::RerunQuery(int64_t query_id) {
   return RenderResult(result);
 }
 
-Result<std::string> Crimson::ExportNexus(const std::string& tree_name) {
-  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
+Result<std::string> Crimson::ExportNexus(TreeRef tree) {
   CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const TreeHandle> handle,
-                           HandleFor(ref));
+                           HandleFor(tree));
   NexusDocument doc;
   for (NodeId n : handle->tree.Leaves()) {
     doc.taxa.push_back(handle->tree.name(n));
@@ -468,20 +740,29 @@ Result<std::string> Crimson::ExportNexus(const std::string& tree_name) {
         doc.sequences, species_->SequencesForTree(handle->info.tree_id));
   }
   NexusTree nt;
-  nt.name = tree_name;
+  nt.name = handle->info.name;
   nt.tree = handle->tree;
   doc.trees.push_back(std::move(nt));
   return WriteNexus(doc);
 }
 
-Result<std::string> Crimson::RenderTree(const std::string& tree_name,
-                                        size_t max_nodes) {
-  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
+Result<std::string> Crimson::RenderTree(TreeRef tree, size_t max_nodes) {
   CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const TreeHandle> handle,
-                           HandleFor(ref));
+                           HandleFor(tree));
   AsciiRenderOptions options;
   options.max_nodes = max_nodes;
   return RenderAscii(handle->tree, options);
+}
+
+Result<std::string> Crimson::ExportNexus(const std::string& tree_name) {
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
+  return ExportNexus(ref);
+}
+
+Result<std::string> Crimson::RenderTree(const std::string& tree_name,
+                                        size_t max_nodes) {
+  CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
+  return RenderTree(ref, max_nodes);
 }
 
 Status Crimson::Flush() {

@@ -9,10 +9,15 @@
 // (LoadNewick/LoadNexus/LoadTree/OpenTree); every structure query is a
 // typed QueryRequest executed through the single Execute dispatch,
 // which also records the query history. ExecuteBatch runs independent
-// read queries concurrently on a worker pool. The session is
-// thread-safe: the handle cache is guarded by a shared_mutex, the
-// single-user storage engine by a mutex, and query execution itself
-// touches only immutable per-tree state.
+// read queries concurrently on a worker pool. Evaluation follows the
+// same shape: RunExperiment executes a serializable ExperimentSpec
+// (algorithm registry names x selection grid x replicates) on the
+// worker pool against per-tree cached evaluation state, persists the
+// spec and scores, and RerunExperiment replays stored workloads
+// byte-identically. The session is thread-safe: the handle cache is
+// guarded by a shared_mutex, the single-user storage engine by a
+// mutex, and query execution itself touches only immutable per-tree
+// state.
 
 #ifndef CRIMSON_CRIMSON_CRIMSON_H_
 #define CRIMSON_CRIMSON_CRIMSON_H_
@@ -32,6 +37,7 @@
 #include "common/thread_pool.h"
 #include "crimson/benchmark_manager.h"
 #include "crimson/data_loader.h"
+#include "crimson/experiment_spec.h"
 #include "crimson/query_request.h"
 #include "crimson/repositories.h"
 #include "crimson/tree_ref.h"
@@ -85,37 +91,38 @@ class Crimson {
 
   // -- loading (paper §3 "Loading Data") -----------------------------------
 
-  Result<SessionLoadReport> LoadNewick(
+  [[nodiscard]] Result<SessionLoadReport> LoadNewick(
       const std::string& name, const std::string& newick,
       LoadMode mode = LoadMode::kTreeStructureOnly);
-  Result<SessionLoadReport> LoadNexus(
+  [[nodiscard]] Result<SessionLoadReport> LoadNexus(
       const std::string& name, const std::string& nexus,
       LoadMode mode = LoadMode::kTreeWithSpeciesData);
-  Result<SessionLoadReport> LoadTree(const std::string& name,
-                                     const PhyloTree& tree);
-  Result<LoadReport> AppendSpeciesData(
+  [[nodiscard]] Result<SessionLoadReport> LoadTree(const std::string& name,
+                                                   const PhyloTree& tree);
+  [[nodiscard]] Result<LoadReport> AppendSpeciesData(
       const std::string& tree_name,
       const std::map<std::string, std::string>& sequences);
 
   /// Binds an already-stored tree to a handle (materializing the
   /// in-memory index on first open; afterwards a cache hit).
-  Result<TreeRef> OpenTree(const std::string& name);
+  [[nodiscard]] Result<TreeRef> OpenTree(const std::string& name);
 
-  Result<std::vector<TreeInfo>> ListTrees() const;
+  [[nodiscard]] Result<std::vector<TreeInfo>> ListTrees() const;
 
   /// Metadata for a bound tree.
-  Result<TreeInfo> GetTreeInfo(TreeRef tree) const;
+  [[nodiscard]] Result<TreeInfo> GetTreeInfo(TreeRef tree) const;
 
   /// The in-memory tree for a handle; stable for the session lifetime.
-  Result<const PhyloTree*> GetTree(TreeRef tree) const;
-  Result<const PhyloTree*> GetTree(const std::string& name);
+  [[nodiscard]] Result<const PhyloTree*> GetTree(TreeRef tree) const;
+  [[nodiscard]] Result<const PhyloTree*> GetTree(const std::string& name);
 
   // -- the typed query layer (paper §2 queries, one dispatch path) ---------
 
   /// Executes one typed query against a bound tree. This is the single
   /// code path for all six query kinds: history recording and
   /// RerunQuery replay both hang off it.
-  Result<QueryResult> Execute(TreeRef tree, const QueryRequest& request);
+  [[nodiscard]] Result<QueryResult> Execute(TreeRef tree,
+                                            const QueryRequest& request);
 
   /// Executes a list of independent read queries on the worker pool.
   /// Results (including sampling draws) are byte-identical to running
@@ -134,49 +141,91 @@ class Crimson {
   using CladeAnswer = ::crimson::CladeAnswer;
   using PatternAnswer = ::crimson::PatternAnswer;
 
-  Result<LcaAnswer> Lca(const std::string& tree_name, const std::string& a,
-                        const std::string& b);
-  Result<PhyloTree> Project(const std::string& tree_name,
-                            const std::vector<std::string>& species);
-  Result<std::vector<std::string>> SampleUniform(const std::string& tree_name,
-                                                 size_t k);
-  Result<std::vector<std::string>> SampleWithRespectToTime(
+  [[nodiscard]] Result<LcaAnswer> Lca(const std::string& tree_name,
+                                      const std::string& a,
+                                      const std::string& b);
+  [[nodiscard]] Result<PhyloTree> Project(
+      const std::string& tree_name, const std::vector<std::string>& species);
+  [[nodiscard]] Result<std::vector<std::string>> SampleUniform(
+      const std::string& tree_name, size_t k);
+  [[nodiscard]] Result<std::vector<std::string>> SampleWithRespectToTime(
       const std::string& tree_name, size_t k, double time);
-  Result<CladeAnswer> MinimalClade(const std::string& tree_name,
-                                   const std::vector<std::string>& species);
-  Result<PatternAnswer> MatchPattern(const std::string& tree_name,
-                                     const std::string& pattern_newick,
-                                     bool match_weights = false);
+  [[nodiscard]] Result<CladeAnswer> MinimalClade(
+      const std::string& tree_name, const std::vector<std::string>& species);
+  [[nodiscard]] Result<PatternAnswer> MatchPattern(
+      const std::string& tree_name, const std::string& pattern_newick,
+      bool match_weights = false);
 
-  // -- benchmarking ---------------------------------------------------------
+  // -- the Experiment API (paper §2.2 Benchmark Manager) -------------------
+
+  /// Runs a whole evaluation workload -- algorithm registry names x
+  /// selection grid x replicates -- against a bound gold tree.
+  /// Replicates fan out on the session worker pool with ticketed
+  /// (seed, ticket) RNGs, so results are byte-identical to running the
+  /// grid sequentially (the ExecuteBatch contract). The gold tree's
+  /// evaluation state (sequence map + BenchmarkManager) is built once
+  /// and cached against the handle, not per call. The spec, every
+  /// BenchmarkRun's scores, and per-cell aggregates are persisted in
+  /// the Experiment Repository; the returned report carries the
+  /// assigned experiment id.
+  [[nodiscard]] Result<ExperimentReport> RunExperiment(
+      TreeRef tree, const ExperimentSpec& spec);
+
+  /// Replays a stored experiment: decodes the persisted spec and
+  /// re-runs it with the stored RNG provenance (seed + base ticket).
+  /// As long as the tree's stored species data is unchanged since the
+  /// experiment ran, the replay reproduces the original report
+  /// byte-for-byte (scores and topologies; timings differ) on any
+  /// session over the same database; evaluation state is rebuilt from
+  /// current storage, so later sequence changes flow into the replay.
+  /// Nothing new is persisted.
+  [[nodiscard]] Result<ExperimentReport> RerunExperiment(
+      int64_t experiment_id);
+
+  /// All persisted experiments, oldest first.
+  [[nodiscard]] Result<std::vector<ExperimentRepository::ExperimentRow>>
+  ListExperiments() const;
+
+  // -- benchmarking (legacy wrapper over the Experiment API) ---------------
 
   /// Evaluates a reconstruction algorithm against a loaded gold tree;
   /// sequences come from the species repository. `compute_triplets`
   /// adds the O(k^3) triplet-distance score; pass false for
-  /// RF-only sweeps.
-  Result<BenchmarkRun> Benchmark(const std::string& tree_name,
-                                 const ReconstructionAlgorithm& algorithm,
-                                 const SelectionSpec& selection,
-                                 bool compute_triplets = true);
+  /// RF-only sweeps. Thin wrapper over a 1-replicate, 1-cell
+  /// experiment (same cached evaluation state and RNG ticketing; no
+  /// experiment row is persisted). New code should build an
+  /// ExperimentSpec and call RunExperiment.
+  [[nodiscard]] Result<BenchmarkRun> Benchmark(
+      const std::string& tree_name, const ReconstructionAlgorithm& algorithm,
+      const SelectionSpec& selection, bool compute_triplets = true);
 
   // -- query history (paper §2.1 Query Repository) -------------------------
 
-  Result<std::vector<QueryRepository::Entry>> QueryHistory(size_t limit = 50);
+  [[nodiscard]] Result<std::vector<QueryRepository::Entry>> QueryHistory(
+      size_t limit = 50);
 
   /// Re-executes a recorded query by id: the stored typed request is
   /// decoded and replayed through Execute. Returns the fresh result
   /// rendering. Supported kinds: lca, project, sample_uniform,
-  /// sample_time, clade, pattern_match.
-  Result<std::string> RerunQuery(int64_t query_id);
+  /// sample_time, clade, pattern_match -- plus "experiment" entries
+  /// (replayed exactly via RerunExperiment) and "benchmark" entries
+  /// (re-run as a 1-replicate experiment through RunExperiment).
+  [[nodiscard]] Result<std::string> RerunQuery(int64_t query_id);
 
-  /// Exports a loaded tree (and any stored sequences) as a NEXUS
+  /// Exports a bound tree (and any stored sequences) as a NEXUS
   /// document -- the demo's "view as NEXUS" output path.
-  Result<std::string> ExportNexus(const std::string& tree_name);
+  [[nodiscard]] Result<std::string> ExportNexus(TreeRef tree);
 
-  /// Renders a loaded tree (or a projection) as an ASCII dendrogram --
-  /// the library stand-in for the demo's Walrus viewer.
-  Result<std::string> RenderTree(const std::string& tree_name,
-                                 size_t max_nodes = 512);
+  /// Renders a bound tree as an ASCII dendrogram -- the library
+  /// stand-in for the demo's Walrus viewer.
+  [[nodiscard]] Result<std::string> RenderTree(TreeRef tree,
+                                               size_t max_nodes = 512);
+
+  // Name-keyed shims over the TreeRef overloads above.
+  [[nodiscard]] Result<std::string> ExportNexus(
+      const std::string& tree_name);
+  [[nodiscard]] Result<std::string> RenderTree(const std::string& tree_name,
+                                               size_t max_nodes = 512);
 
   /// Persists all state to disk (no-op for in-memory databases).
   Status Flush();
@@ -200,12 +249,39 @@ class Crimson {
     explicit TreeHandle(uint32_t f) : scheme(f) {}
   };
 
+  /// Cached evaluation state for one gold tree: the sequence map plus
+  /// a BenchmarkManager borrowing the handle's tree and labeling.
+  /// Immutable once built and shared across experiment workers;
+  /// invalidated when AppendSpeciesData changes the tree's sequences.
+  struct EvalState;
+
   Result<std::shared_ptr<const TreeHandle>> HandleFor(TreeRef tree) const;
   /// Pure query execution on immutable handle state; safe to call
   /// concurrently. `ticket` seeds the per-query Rng for sampling.
   Result<QueryResult> ExecuteOnHandle(const TreeHandle& handle,
                                       const QueryRequest& request,
                                       uint64_t ticket) const;
+  /// Cached-or-built evaluation state for a bound tree;
+  /// FailedPrecondition when the tree has no species data.
+  Result<std::shared_ptr<const EvalState>> EvalStateFor(TreeRef tree);
+  /// Drops the tree's cached evaluation state and bumps its
+  /// generation, so in-flight EvalStateFor builds that read the old
+  /// sequence map cannot re-cache it.
+  void InvalidateEvalState(const std::string& tree_name);
+  /// One instance per spec algorithm name, resolved from the global
+  /// registry (shared by the run and replay paths).
+  static Result<std::vector<std::unique_ptr<ReconstructionAlgorithm>>>
+  InstantiateAlgorithms(const ExperimentSpec& spec);
+  /// Fans the spec's jobs out on the worker pool. Job i draws from
+  /// Rng(QuerySeed(seed, base_ticket + i)), so any worker count
+  /// produces the sequential byte stream.
+  Result<ExperimentReport> RunExperimentJobs(
+      const EvalState& eval, const ExperimentSpec& spec,
+      const std::vector<const ReconstructionAlgorithm*>& instances,
+      uint64_t seed, uint64_t base_ticket) const;
+  /// Persists report rows and records the history entry; fills in the
+  /// assigned experiment id.
+  Status PersistExperiment(ExperimentReport* report);
   static Result<std::vector<NodeId>> ResolveSpecies(
       const TreeHandle& handle, const std::vector<std::string>& species);
   void RecordQuery(std::string_view kind, const std::string& params,
@@ -217,6 +293,7 @@ class Crimson {
   std::unique_ptr<TreeRepository> trees_;
   std::unique_ptr<SpeciesRepository> species_;
   std::unique_ptr<QueryRepository> queries_;
+  std::unique_ptr<ExperimentRepository> experiments_;
   std::unique_ptr<DataLoader> loader_;
   std::unique_ptr<ThreadPool> pool_;
 
@@ -231,6 +308,15 @@ class Crimson {
   mutable std::shared_mutex handles_mu_;
   std::vector<std::shared_ptr<const TreeHandle>> handles_;
   std::map<std::string, uint64_t, std::less<>> handle_ids_;
+
+  /// Guards the evaluation-state cache (keyed by handle id). Never
+  /// held while evaluating, and never together with db_mu_ or
+  /// handles_mu_.
+  mutable std::mutex eval_mu_;
+  std::map<uint64_t, std::shared_ptr<const EvalState>> eval_cache_;
+  /// Bumped by InvalidateEvalState; EvalStateFor re-checks it before
+  /// inserting a freshly built state (lost-invalidation guard).
+  std::map<uint64_t, uint64_t> eval_generation_;
 
   /// Monotone query ticket; combined with options_.seed to derive the
   /// per-query Rng (see QuerySeed in crimson.cc).

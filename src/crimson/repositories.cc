@@ -429,6 +429,227 @@ Result<uint64_t> SpeciesRepository::Count() const {
 }
 
 // ---------------------------------------------------------------------------
+// ExperimentRepository
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ExperimentRepository>> ExperimentRepository::Open(
+    Database* db) {
+  auto repo =
+      std::unique_ptr<ExperimentRepository>(new ExperimentRepository(db));
+
+  Schema experiments_schema({{"experiment_id", ColumnType::kInt64},
+                             {"created", ColumnType::kInt64},
+                             {"tree_name", ColumnType::kString},
+                             {"spec", ColumnType::kString},
+                             {"seed", ColumnType::kInt64},
+                             {"base_ticket", ColumnType::kInt64}});
+  CRIMSON_ASSIGN_OR_RETURN(
+      Table experiments,
+      OpenOrCreate(db, "experiments", experiments_schema,
+                   {{"experiments_by_id", "experiment_id",
+                     /*unique=*/true}}));
+  repo->experiments_ = std::make_unique<Table>(std::move(experiments));
+
+  Schema runs_schema({{"run_key", ColumnType::kInt64},
+                      {"experiment_id", ColumnType::kInt64},
+                      {"ordinal", ColumnType::kInt64},
+                      {"algorithm", ColumnType::kString},
+                      {"selection_index", ColumnType::kInt64},
+                      {"replicate", ColumnType::kInt64},
+                      {"sample_size", ColumnType::kInt64},
+                      {"rf_distance", ColumnType::kInt64},
+                      {"rf_splits_a", ColumnType::kInt64},
+                      {"rf_splits_b", ColumnType::kInt64},
+                      {"rf_normalized", ColumnType::kDouble},
+                      {"triplet_total", ColumnType::kInt64},
+                      {"triplet_differing", ColumnType::kInt64},
+                      {"triplet_fraction", ColumnType::kDouble},
+                      {"seconds", ColumnType::kDouble}});
+  CRIMSON_ASSIGN_OR_RETURN(
+      Table runs,
+      OpenOrCreate(db, "experiment_runs", runs_schema,
+                   {{"experiment_runs_by_key", "run_key", /*unique=*/true},
+                    {"experiment_runs_by_experiment", "experiment_id",
+                     /*unique=*/false}}));
+  repo->runs_ = std::make_unique<Table>(std::move(runs));
+
+  Schema cells_schema({{"cell_key", ColumnType::kInt64},
+                       {"experiment_id", ColumnType::kInt64},
+                       {"ordinal", ColumnType::kInt64},
+                       {"algorithm", ColumnType::kString},
+                       {"selection_index", ColumnType::kInt64},
+                       {"replicates", ColumnType::kInt64},
+                       {"mean_rf_normalized", ColumnType::kDouble},
+                       {"min_rf_normalized", ColumnType::kDouble},
+                       {"max_rf_normalized", ColumnType::kDouble},
+                       {"mean_triplet_fraction", ColumnType::kDouble},
+                       {"total_seconds", ColumnType::kDouble}});
+  CRIMSON_ASSIGN_OR_RETURN(
+      Table cells,
+      OpenOrCreate(db, "experiment_cells", cells_schema,
+                   {{"experiment_cells_by_key", "cell_key", /*unique=*/true},
+                    {"experiment_cells_by_experiment", "experiment_id",
+                     /*unique=*/false}}));
+  repo->cells_ = std::make_unique<Table>(std::move(cells));
+
+  CRIMSON_RETURN_IF_ERROR(
+      repo->experiments_->Scan([&](const RecordId&, const Row& row) {
+        repo->next_id_ =
+            std::max(repo->next_id_, std::get<int64_t>(row[0]) + 1);
+        return true;
+      }));
+  return repo;
+}
+
+Result<int64_t> ExperimentRepository::PutExperiment(
+    const std::string& tree_name, const std::string& spec, uint64_t seed,
+    uint64_t base_ticket) {
+  int64_t id = next_id_++;
+  Row row = {id,
+             NowMicros(),
+             tree_name,
+             spec,
+             static_cast<int64_t>(seed),
+             static_cast<int64_t>(base_ticket)};
+  CRIMSON_RETURN_IF_ERROR(experiments_->Insert(row).status());
+  return id;
+}
+
+Status ExperimentRepository::PutRuns(const std::vector<RunRow>& rows) {
+  std::vector<Row> encoded;
+  encoded.reserve(rows.size());
+  for (const RunRow& r : rows) {
+    encoded.push_back({PackKey(r.experiment_id,
+                               static_cast<uint32_t>(r.ordinal)),
+                       r.experiment_id, r.ordinal, r.algorithm,
+                       r.selection_index, r.replicate, r.sample_size,
+                       r.rf_distance, r.rf_splits_a, r.rf_splits_b,
+                       r.rf_normalized, r.triplet_total, r.triplet_differing,
+                       r.triplet_fraction, r.seconds});
+  }
+  return runs_->BulkAppend(encoded).status();
+}
+
+Status ExperimentRepository::PutCells(const std::vector<CellRow>& rows) {
+  std::vector<Row> encoded;
+  encoded.reserve(rows.size());
+  for (const CellRow& c : rows) {
+    encoded.push_back({PackKey(c.experiment_id,
+                               static_cast<uint32_t>(c.ordinal)),
+                       c.experiment_id, c.ordinal, c.algorithm,
+                       c.selection_index, c.replicates, c.mean_rf_normalized,
+                       c.min_rf_normalized, c.max_rf_normalized,
+                       c.mean_triplet_fraction, c.total_seconds});
+  }
+  return cells_->BulkAppend(encoded).status();
+}
+
+Result<ExperimentRepository::ExperimentRow>
+ExperimentRepository::GetExperiment(int64_t experiment_id) const {
+  CRIMSON_ASSIGN_OR_RETURN(
+      std::vector<RecordId> rids,
+      experiments_->IndexLookup("experiments_by_id", experiment_id));
+  if (rids.empty()) {
+    return Status::NotFound(StrFormat(
+        "no experiment %lld", static_cast<long long>(experiment_id)));
+  }
+  Row row;
+  CRIMSON_RETURN_IF_ERROR(experiments_->Get(rids[0], &row));
+  ExperimentRow out;
+  out.experiment_id = std::get<int64_t>(row[0]);
+  out.created_micros = std::get<int64_t>(row[1]);
+  out.tree_name = std::get<std::string>(row[2]);
+  out.spec = std::get<std::string>(row[3]);
+  out.seed = static_cast<uint64_t>(std::get<int64_t>(row[4]));
+  out.base_ticket = static_cast<uint64_t>(std::get<int64_t>(row[5]));
+  return out;
+}
+
+Result<std::vector<ExperimentRepository::ExperimentRow>>
+ExperimentRepository::ListExperiments() const {
+  std::vector<ExperimentRow> out;
+  CRIMSON_RETURN_IF_ERROR(
+      experiments_->Scan([&](const RecordId&, const Row& row) {
+        ExperimentRow e;
+        e.experiment_id = std::get<int64_t>(row[0]);
+        e.created_micros = std::get<int64_t>(row[1]);
+        e.tree_name = std::get<std::string>(row[2]);
+        e.spec = std::get<std::string>(row[3]);
+        e.seed = static_cast<uint64_t>(std::get<int64_t>(row[4]));
+        e.base_ticket = static_cast<uint64_t>(std::get<int64_t>(row[5]));
+        out.push_back(std::move(e));
+        return true;
+      }));
+  std::sort(out.begin(), out.end(),
+            [](const ExperimentRow& a, const ExperimentRow& b) {
+              return a.experiment_id < b.experiment_id;
+            });
+  return out;
+}
+
+Result<std::vector<ExperimentRepository::RunRow>>
+ExperimentRepository::RunsFor(int64_t experiment_id) const {
+  CRIMSON_ASSIGN_OR_RETURN(
+      std::vector<RecordId> rids,
+      runs_->IndexLookup("experiment_runs_by_experiment", experiment_id));
+  std::vector<RunRow> out;
+  out.reserve(rids.size());
+  for (const RecordId& rid : rids) {
+    Row row;
+    CRIMSON_RETURN_IF_ERROR(runs_->Get(rid, &row));
+    RunRow r;
+    r.experiment_id = std::get<int64_t>(row[1]);
+    r.ordinal = std::get<int64_t>(row[2]);
+    r.algorithm = std::get<std::string>(row[3]);
+    r.selection_index = std::get<int64_t>(row[4]);
+    r.replicate = std::get<int64_t>(row[5]);
+    r.sample_size = std::get<int64_t>(row[6]);
+    r.rf_distance = std::get<int64_t>(row[7]);
+    r.rf_splits_a = std::get<int64_t>(row[8]);
+    r.rf_splits_b = std::get<int64_t>(row[9]);
+    r.rf_normalized = std::get<double>(row[10]);
+    r.triplet_total = std::get<int64_t>(row[11]);
+    r.triplet_differing = std::get<int64_t>(row[12]);
+    r.triplet_fraction = std::get<double>(row[13]);
+    r.seconds = std::get<double>(row[14]);
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(), [](const RunRow& a, const RunRow& b) {
+    return a.ordinal < b.ordinal;
+  });
+  return out;
+}
+
+Result<std::vector<ExperimentRepository::CellRow>>
+ExperimentRepository::CellsFor(int64_t experiment_id) const {
+  CRIMSON_ASSIGN_OR_RETURN(
+      std::vector<RecordId> rids,
+      cells_->IndexLookup("experiment_cells_by_experiment", experiment_id));
+  std::vector<CellRow> out;
+  out.reserve(rids.size());
+  for (const RecordId& rid : rids) {
+    Row row;
+    CRIMSON_RETURN_IF_ERROR(cells_->Get(rid, &row));
+    CellRow c;
+    c.experiment_id = std::get<int64_t>(row[1]);
+    c.ordinal = std::get<int64_t>(row[2]);
+    c.algorithm = std::get<std::string>(row[3]);
+    c.selection_index = std::get<int64_t>(row[4]);
+    c.replicates = std::get<int64_t>(row[5]);
+    c.mean_rf_normalized = std::get<double>(row[6]);
+    c.min_rf_normalized = std::get<double>(row[7]);
+    c.max_rf_normalized = std::get<double>(row[8]);
+    c.mean_triplet_fraction = std::get<double>(row[9]);
+    c.total_seconds = std::get<double>(row[10]);
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(), [](const CellRow& a, const CellRow& b) {
+    return a.ordinal < b.ordinal;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // QueryRepository
 // ---------------------------------------------------------------------------
 

@@ -16,6 +16,17 @@
 //       stored tree deserializes labels instead of relabeling
 //   species(tree_id, species_name*, node_id, sequence)
 //   queries(query_id*, timestamp, kind, params, summary)
+//   experiments(experiment_id*, created, tree_name, spec, seed,
+//               base_ticket)
+//     - the serialized ExperimentSpec plus its RNG provenance, so
+//       RerunExperiment replays stored workloads byte-identically
+//   experiment_runs(run_key*, experiment_id*, ordinal, algorithm,
+//                   selection_index, replicate, sample_size, rf_*,
+//                   triplet_*, seconds)
+//     - run_key packs (experiment_id << 32 | ordinal)
+//   experiment_cells(cell_key*, experiment_id*, algorithm,
+//                    selection_index, replicates, rf aggregates,
+//                    mean_triplet, seconds)
 //   (* = indexed column)
 //
 // Thread safety: the repositories inherit the storage engine's
@@ -174,6 +185,89 @@ class SpeciesRepository {
 
   Database* db_;
   std::unique_ptr<Table> species_;
+};
+
+/// Persisted evaluation workloads (the Experiment API's storage side):
+/// the serialized ExperimentSpec, every per-run BenchmarkRun score
+/// row, and the per-cell aggregates. Specs carry their RNG provenance
+/// (seed + base ticket) so a stored experiment replays
+/// byte-identically on any session over the same database.
+class ExperimentRepository {
+ public:
+  static Result<std::unique_ptr<ExperimentRepository>> Open(Database* db);
+
+  struct ExperimentRow {
+    int64_t experiment_id = 0;
+    int64_t created_micros = 0;
+    std::string tree_name;
+    std::string spec;  // EncodeExperimentSpec output
+    uint64_t seed = 0;
+    uint64_t base_ticket = 0;
+  };
+
+  /// One BenchmarkRun's persisted scores. `ordinal` is the job index
+  /// in spec order (algorithm-major, selection, replicate innermost).
+  struct RunRow {
+    int64_t experiment_id = 0;
+    int64_t ordinal = 0;
+    std::string algorithm;  // the algorithm's self-reported name()
+    int64_t selection_index = 0;
+    int64_t replicate = 0;
+    int64_t sample_size = 0;
+    int64_t rf_distance = 0;
+    int64_t rf_splits_a = 0;
+    int64_t rf_splits_b = 0;
+    double rf_normalized = 0;
+    int64_t triplet_total = 0;
+    int64_t triplet_differing = 0;
+    double triplet_fraction = 0;
+    double seconds = 0;
+  };
+
+  /// Aggregate row per (algorithm, selection) grid cell.
+  struct CellRow {
+    int64_t experiment_id = 0;
+    int64_t ordinal = 0;       // cell index in spec order
+    std::string algorithm;     // registry name from the spec
+    int64_t selection_index = 0;
+    int64_t replicates = 0;
+    double mean_rf_normalized = 0;
+    double min_rf_normalized = 0;
+    double max_rf_normalized = 0;
+    double mean_triplet_fraction = 0;
+    double total_seconds = 0;
+  };
+
+  /// Allocates the next experiment id and stores the spec row.
+  Result<int64_t> PutExperiment(const std::string& tree_name,
+                                const std::string& spec, uint64_t seed,
+                                uint64_t base_ticket);
+
+  /// Stores all run rows of one experiment (bulk append).
+  Status PutRuns(const std::vector<RunRow>& rows);
+
+  /// Stores all cell aggregates of one experiment (bulk append).
+  Status PutCells(const std::vector<CellRow>& rows);
+
+  Result<ExperimentRow> GetExperiment(int64_t experiment_id) const;
+
+  /// All stored experiments, oldest first.
+  Result<std::vector<ExperimentRow>> ListExperiments() const;
+
+  /// Run rows of one experiment in ordinal order.
+  Result<std::vector<RunRow>> RunsFor(int64_t experiment_id) const;
+
+  /// Cell rows of one experiment in ordinal order.
+  Result<std::vector<CellRow>> CellsFor(int64_t experiment_id) const;
+
+ private:
+  explicit ExperimentRepository(Database* db) : db_(db) {}
+
+  Database* db_;
+  std::unique_ptr<Table> experiments_;
+  std::unique_ptr<Table> runs_;
+  std::unique_ptr<Table> cells_;
+  int64_t next_id_ = 1;
 };
 
 /// Query history: every user-visible query is recorded and can be

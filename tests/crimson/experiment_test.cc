@@ -1,0 +1,428 @@
+// Tests for the typed, handle-based Experiment API: spec round-trips,
+// the algorithm registry, parallel-vs-legacy-sequential byte identity,
+// persistence + exact replay on a reopened database, evaluation-state
+// caching, and replay of "benchmark"/"experiment" history entries.
+
+#include "crimson/experiment_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crimson/crimson.h"
+#include "sim/seq_evolve.h"
+#include "sim/tree_sim.h"
+#include "tree/newick.h"
+
+namespace crimson {
+namespace {
+
+void RemoveFile(const std::string& path) { std::remove(path.c_str()); }
+
+/// Deterministic gold standard shared by the tests: a small Yule tree
+/// plus JC69 sequences for every leaf.
+struct Gold {
+  PhyloTree tree;
+  std::map<std::string, std::string> sequences;
+};
+
+const Gold& SharedGold() {
+  static const Gold* gold = [] {
+    auto* g = new Gold();
+    Rng rng(0xE11);
+    YuleOptions opts;
+    opts.n_leaves = 48;
+    g->tree = std::move(SimulateYule(opts, &rng)).value();
+    SeqEvolveOptions seq_opts;
+    seq_opts.seq_length = 160;
+    auto evolver = SequenceEvolver::Create(seq_opts);
+    g->sequences = std::move(evolver->EvolveLeaves(g->tree, &rng)).value();
+    return g;
+  }();
+  return *gold;
+}
+
+std::unique_ptr<Crimson> OpenSessionWithGold(uint64_t seed, size_t workers) {
+  CrimsonOptions opts;
+  opts.seed = seed;
+  opts.batch_workers = workers;
+  auto session = std::move(Crimson::Open(opts)).value();
+  EXPECT_TRUE(session->LoadTree("gold", SharedGold().tree).ok());
+  EXPECT_TRUE(
+      session->AppendSpeciesData("gold", SharedGold().sequences).ok());
+  return session;
+}
+
+ExperimentSpec GridSpec() {
+  ExperimentSpec spec;
+  spec.algorithms = {"nj", "upgma"};
+  SelectionSpec uniform;
+  uniform.kind = SelectionSpec::Kind::kUniform;
+  uniform.k = 8;
+  SelectionSpec timed;
+  timed.kind = SelectionSpec::Kind::kWithRespectToTime;
+  timed.k = 6;
+  timed.time = 0.5;
+  spec.selections = {uniform, timed};
+  spec.replicates = 2;
+  spec.compute_triplets = true;
+  return spec;
+}
+
+/// Everything about a run except wall-clock timings.
+void ExpectRunsEqual(const BenchmarkRun& a, const BenchmarkRun& b,
+                     const std::string& context) {
+  EXPECT_EQ(a.algorithm, b.algorithm) << context;
+  EXPECT_EQ(a.sample_size, b.sample_size) << context;
+  EXPECT_EQ(a.rf.distance, b.rf.distance) << context;
+  EXPECT_EQ(a.rf.splits_a, b.rf.splits_a) << context;
+  EXPECT_EQ(a.rf.splits_b, b.rf.splits_b) << context;
+  EXPECT_EQ(a.rf.normalized, b.rf.normalized) << context;
+  EXPECT_EQ(a.triplets.total, b.triplets.total) << context;
+  EXPECT_EQ(a.triplets.differing, b.triplets.differing) << context;
+  EXPECT_EQ(WriteNewick(a.reference), WriteNewick(b.reference)) << context;
+  EXPECT_EQ(WriteNewick(a.reconstructed), WriteNewick(b.reconstructed))
+      << context;
+}
+
+// -- spec (de)serialization -------------------------------------------------
+
+TEST(ExperimentSpecTest, EncodeDecodeRoundTrip) {
+  ExperimentSpec spec;
+  spec.algorithms = {"nj", "upgma", "my_algo"};
+  SelectionSpec uniform;
+  uniform.kind = SelectionSpec::Kind::kUniform;
+  uniform.k = 32;
+  SelectionSpec timed;
+  timed.kind = SelectionSpec::Kind::kWithRespectToTime;
+  timed.k = 16;
+  timed.time = 0.125;
+  SelectionSpec list;
+  list.kind = SelectionSpec::Kind::kUserList;
+  list.species = {"Syn", "Lla", "Bsu"};
+  spec.selections = {uniform, timed, list};
+  spec.replicates = 7;
+  spec.compute_triplets = false;
+
+  auto decoded = DecodeExperimentSpec(EncodeExperimentSpec(spec));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->algorithms, spec.algorithms);
+  EXPECT_EQ(decoded->replicates, spec.replicates);
+  EXPECT_EQ(decoded->compute_triplets, spec.compute_triplets);
+  ASSERT_EQ(decoded->selections.size(), 3u);
+  EXPECT_EQ(decoded->selections[0].kind, SelectionSpec::Kind::kUniform);
+  EXPECT_EQ(decoded->selections[0].k, 32u);
+  EXPECT_EQ(decoded->selections[1].kind,
+            SelectionSpec::Kind::kWithRespectToTime);
+  EXPECT_EQ(decoded->selections[1].k, 16u);
+  EXPECT_EQ(decoded->selections[1].time, 0.125);
+  EXPECT_EQ(decoded->selections[2].kind, SelectionSpec::Kind::kUserList);
+  EXPECT_EQ(decoded->selections[2].species, list.species);
+}
+
+TEST(ExperimentSpecTest, DecodeRejectsMalformedSpecs) {
+  EXPECT_FALSE(DecodeExperimentSpec("").ok());
+  EXPECT_FALSE(DecodeExperimentSpec("algs=nj").ok());          // no sels
+  EXPECT_FALSE(DecodeExperimentSpec("sels=u:8").ok());         // no algs
+  EXPECT_FALSE(DecodeExperimentSpec("algs=nj;sels=x:8").ok()); // bad kind
+  EXPECT_FALSE(DecodeExperimentSpec("algs=nj;sels=t:8").ok()); // no time
+  EXPECT_FALSE(DecodeExperimentSpec("algs=nj;reps=0;sels=u:8").ok());
+}
+
+TEST(ExperimentSpecTest, ValidateRejectsEmptyAndUnencodable) {
+  ExperimentSpec empty;
+  EXPECT_TRUE(ValidateExperimentSpec(empty).IsInvalidArgument());
+  ExperimentSpec bad_name = GridSpec();
+  bad_name.algorithms = {"a;b"};
+  EXPECT_TRUE(ValidateExperimentSpec(bad_name).IsInvalidArgument());
+  // '&' would corrupt the k=v&k=v history params the spec embeds in.
+  ExperimentSpec amp_name = GridSpec();
+  amp_name.algorithms = {"a&b"};
+  EXPECT_TRUE(ValidateExperimentSpec(amp_name).IsInvalidArgument());
+  ExperimentSpec bad_species = GridSpec();
+  SelectionSpec list;
+  list.kind = SelectionSpec::Kind::kUserList;
+  list.species = {"has|pipe"};
+  bad_species.selections = {list};
+  EXPECT_TRUE(ValidateExperimentSpec(bad_species).IsInvalidArgument());
+}
+
+TEST(ExperimentSpecTest, LegacyBenchmarkParamsDecode) {
+  // A pre-Experiment-API "benchmark" history row maps onto a
+  // 1-replicate uniform spec.
+  auto decoded =
+      DecodeExperimentParams("tree=gold&algorithm=neighbor_joining&k=16");
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->tree_name, "gold");
+  EXPECT_FALSE(decoded->experiment_id.has_value());
+  ASSERT_EQ(decoded->spec.algorithms.size(), 1u);
+  EXPECT_EQ(decoded->spec.algorithms[0], "neighbor_joining");
+  ASSERT_EQ(decoded->spec.selections.size(), 1u);
+  EXPECT_EQ(decoded->spec.selections[0].kind, SelectionSpec::Kind::kUniform);
+  EXPECT_EQ(decoded->spec.selections[0].k, 16u);
+  EXPECT_EQ(decoded->spec.replicates, 1u);
+}
+
+// -- the algorithm registry -------------------------------------------------
+
+TEST(AlgorithmRegistryTest, BuiltinsArePreRegistered) {
+  auto& registry = AlgorithmRegistry::Global();
+  EXPECT_TRUE(registry.Contains("nj"));
+  EXPECT_TRUE(registry.Contains("neighbor_joining"));
+  EXPECT_TRUE(registry.Contains("upgma"));
+  auto nj = registry.Create("nj");
+  ASSERT_TRUE(nj.ok());
+  EXPECT_EQ((*nj)->name(), "neighbor_joining");
+  EXPECT_TRUE(registry.Create("ghost_algorithm").status().IsNotFound());
+}
+
+TEST(AlgorithmRegistryTest, UserFactoriesRegisterOnce) {
+  auto& registry = AlgorithmRegistry::Global();
+  ASSERT_TRUE(registry
+                  .Register("registry_test_nj",
+                            [] { return MakeNjAlgorithm(); })
+                  .ok());
+  EXPECT_TRUE(registry
+                  .Register("registry_test_nj",
+                            [] { return MakeNjAlgorithm(); })
+                  .IsAlreadyExists());
+  EXPECT_TRUE(
+      registry.Register("nj", [] { return MakeNjAlgorithm(); })
+          .IsAlreadyExists());
+  auto created = registry.Create("registry_test_nj");
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ((*created)->name(), "neighbor_joining");
+}
+
+// -- RunExperiment ----------------------------------------------------------
+
+TEST(ExperimentTest, ParallelRunMatchesLegacySequentialBenchmarkLoop) {
+  // Session A runs the whole grid through RunExperiment on 4 workers;
+  // session B (same seed, fresh tickets) walks the same grid through
+  // the sequential legacy Benchmark wrapper. Every run must be
+  // byte-identical, including the sampled projections and
+  // reconstructed topologies.
+  const ExperimentSpec spec = GridSpec();
+  auto a = OpenSessionWithGold(/*seed=*/77, /*workers=*/4);
+  auto ref_a = a->OpenTree("gold");
+  ASSERT_TRUE(ref_a.ok());
+  auto report = a->RunExperiment(*ref_a, spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->runs.size(), spec.job_count());
+  EXPECT_GT(report->experiment_id, 0);
+
+  auto b = OpenSessionWithGold(/*seed=*/77, /*workers=*/4);
+  auto nj = MakeNjAlgorithm();
+  auto upgma = MakeUpgmaAlgorithm();
+  const ReconstructionAlgorithm* instances[] = {nj.get(), upgma.get()};
+  size_t job = 0;
+  for (const ReconstructionAlgorithm* algorithm : instances) {
+    for (const SelectionSpec& selection : spec.selections) {
+      for (size_t rep = 0; rep < spec.replicates; ++rep, ++job) {
+        auto run = b->Benchmark("gold", *algorithm, selection,
+                                spec.compute_triplets);
+        ASSERT_TRUE(run.ok()) << "job " << job << ": " << run.status();
+        ExpectRunsEqual(report->runs[job], *run,
+                        "job " + std::to_string(job));
+      }
+    }
+  }
+
+  // The aggregates cover every cell of the grid.
+  ASSERT_EQ(report->cells.size(),
+            spec.algorithms.size() * spec.selections.size());
+  for (const ExperimentCell& cell : report->cells) {
+    EXPECT_EQ(cell.replicates, spec.replicates);
+    EXPECT_GE(cell.max_rf_normalized, cell.min_rf_normalized);
+  }
+}
+
+TEST(ExperimentTest, WorkerCountDoesNotChangeResults) {
+  const ExperimentSpec spec = GridSpec();
+  auto one = OpenSessionWithGold(/*seed=*/5, /*workers=*/1);
+  auto many = OpenSessionWithGold(/*seed=*/5, /*workers=*/8);
+  auto ref_one = one->OpenTree("gold");
+  auto ref_many = many->OpenTree("gold");
+  ASSERT_TRUE(ref_one.ok());
+  ASSERT_TRUE(ref_many.ok());
+  auto r1 = one->RunExperiment(*ref_one, spec);
+  auto r8 = many->RunExperiment(*ref_many, spec);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_TRUE(r8.ok()) << r8.status();
+  ASSERT_EQ(r1->runs.size(), r8->runs.size());
+  for (size_t i = 0; i < r1->runs.size(); ++i) {
+    ExpectRunsEqual(r1->runs[i], r8->runs[i], "job " + std::to_string(i));
+  }
+}
+
+TEST(ExperimentTest, RejectsBadSpecsAndUnknownAlgorithms) {
+  auto session = OpenSessionWithGold(/*seed=*/3, /*workers=*/2);
+  auto ref = session->OpenTree("gold");
+  ASSERT_TRUE(ref.ok());
+  ExperimentSpec empty;
+  EXPECT_TRUE(
+      session->RunExperiment(*ref, empty).status().IsInvalidArgument());
+  ExperimentSpec unknown = GridSpec();
+  unknown.algorithms = {"ghost_algorithm"};
+  EXPECT_TRUE(session->RunExperiment(*ref, unknown).status().IsNotFound());
+  EXPECT_TRUE(
+      session->RunExperiment(TreeRef(), GridSpec()).status()
+          .IsInvalidArgument());
+}
+
+TEST(ExperimentTest, PersistsAndReplaysOnReopenedDatabase) {
+  std::string path = testing::TempDir() + "/crimson_experiment.db";
+  RemoveFile(path);
+  const ExperimentSpec spec = GridSpec();
+  ExperimentReport original;
+  {
+    CrimsonOptions opts;
+    opts.db_path = path;
+    opts.seed = 11;
+    auto session = std::move(Crimson::Open(opts)).value();
+    ASSERT_TRUE(session->LoadTree("gold", SharedGold().tree).ok());
+    ASSERT_TRUE(
+        session->AppendSpeciesData("gold", SharedGold().sequences).ok());
+    auto ref = session->OpenTree("gold");
+    ASSERT_TRUE(ref.ok());
+    auto report = session->RunExperiment(*ref, spec);
+    ASSERT_TRUE(report.ok()) << report.status();
+    original = std::move(*report);
+    ASSERT_TRUE(session->Flush().ok());
+  }
+  {
+    // Different session seed: the replay must use the experiment's
+    // stored RNG provenance, not the session's.
+    CrimsonOptions opts;
+    opts.db_path = path;
+    opts.seed = 999;
+    auto session = std::move(Crimson::Open(opts)).value();
+
+    auto listed = session->ListExperiments();
+    ASSERT_TRUE(listed.ok());
+    ASSERT_EQ(listed->size(), 1u);
+    EXPECT_EQ((*listed)[0].experiment_id, original.experiment_id);
+    EXPECT_EQ((*listed)[0].tree_name, "gold");
+    EXPECT_EQ((*listed)[0].spec, EncodeExperimentSpec(spec));
+
+    auto replay = session->RerunExperiment(original.experiment_id);
+    ASSERT_TRUE(replay.ok()) << replay.status();
+    EXPECT_EQ(replay->experiment_id, original.experiment_id);
+    ASSERT_EQ(replay->runs.size(), original.runs.size());
+    for (size_t i = 0; i < original.runs.size(); ++i) {
+      ExpectRunsEqual(original.runs[i], replay->runs[i],
+                      "job " + std::to_string(i));
+    }
+
+    // The persisted run rows carry the same scores the report did.
+    auto repo = ExperimentRepository::Open(session->database());
+    ASSERT_TRUE(repo.ok());
+    auto rows = (*repo)->RunsFor(original.experiment_id);
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows->size(), original.runs.size());
+    for (size_t i = 0; i < rows->size(); ++i) {
+      const auto& row = (*rows)[i];
+      const BenchmarkRun& run = original.runs[i];
+      EXPECT_EQ(row.ordinal, static_cast<int64_t>(i));
+      EXPECT_EQ(row.algorithm, run.algorithm);
+      EXPECT_EQ(row.sample_size, static_cast<int64_t>(run.sample_size));
+      EXPECT_EQ(row.rf_distance, static_cast<int64_t>(run.rf.distance));
+      EXPECT_EQ(row.rf_normalized, run.rf.normalized);
+      EXPECT_EQ(row.triplet_total,
+                static_cast<int64_t>(run.triplets.total));
+      EXPECT_EQ(row.triplet_differing,
+                static_cast<int64_t>(run.triplets.differing));
+    }
+    auto cells = (*repo)->CellsFor(original.experiment_id);
+    ASSERT_TRUE(cells.ok());
+    ASSERT_EQ(cells->size(), original.cells.size());
+    for (size_t i = 0; i < cells->size(); ++i) {
+      EXPECT_EQ((*cells)[i].algorithm, original.cells[i].algorithm);
+      EXPECT_EQ((*cells)[i].mean_rf_normalized,
+                original.cells[i].mean_rf_normalized);
+    }
+  }
+  RemoveFile(path);
+}
+
+TEST(ExperimentTest, EvalStateIsInvalidatedByAppendSpeciesData) {
+  CrimsonOptions opts;
+  opts.seed = 21;
+  auto session = std::move(Crimson::Open(opts)).value();
+  const Gold& gold = SharedGold();
+  ASSERT_TRUE(session->LoadTree("gold", gold.tree).ok());
+  auto ref = session->OpenTree("gold");
+  ASSERT_TRUE(ref.ok());
+
+  // No species data yet: the experiment cannot run (and the failure
+  // must not be cached).
+  ExperimentSpec spec = GridSpec();
+  EXPECT_TRUE(
+      session->RunExperiment(*ref, spec).status().IsFailedPrecondition());
+
+  // Load half the sequences; a user-list selection over a species from
+  // the missing half fails inside evaluation.
+  std::map<std::string, std::string> first_half, second_half;
+  size_t i = 0;
+  for (const auto& [species, seq] : gold.sequences) {
+    (i++ % 2 == 0 ? first_half : second_half)[species] = seq;
+  }
+  ASSERT_TRUE(session->AppendSpeciesData("gold", first_half).ok());
+  SelectionSpec missing;
+  missing.kind = SelectionSpec::Kind::kUserList;
+  auto it = second_half.begin();
+  missing.species = {it->first, std::next(it)->first,
+                     std::next(it, 2)->first};
+  ExperimentSpec missing_spec;
+  missing_spec.algorithms = {"nj"};
+  missing_spec.selections = {missing};
+  EXPECT_TRUE(
+      session->RunExperiment(*ref, missing_spec).status().IsNotFound());
+
+  // Appending the other half must invalidate the cached sequence map:
+  // the same spec now succeeds.
+  ASSERT_TRUE(session->AppendSpeciesData("gold", second_half).ok());
+  auto rerun = session->RunExperiment(*ref, missing_spec);
+  EXPECT_TRUE(rerun.ok()) << rerun.status();
+}
+
+// -- history replay ---------------------------------------------------------
+
+TEST(ExperimentTest, HistoryEntriesReplayThroughTheExperimentPath) {
+  auto session = OpenSessionWithGold(/*seed=*/31, /*workers=*/4);
+  auto ref = session->OpenTree("gold");
+  ASSERT_TRUE(ref.ok());
+
+  // An "experiment" entry replays exactly (stored seed + tickets).
+  auto report = session->RunExperiment(*ref, GridSpec());
+  ASSERT_TRUE(report.ok());
+  auto history = session->QueryHistory(1);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 1u);
+  EXPECT_EQ((*history)[0].kind, "experiment");
+  auto replayed = session->RerunQuery((*history)[0].query_id);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_EQ(*replayed, RenderExperimentReport(*report));
+
+  // A "benchmark" entry (the legacy wrapper) re-runs as a fresh
+  // 1-replicate experiment through the registry.
+  auto nj = MakeNjAlgorithm();
+  SelectionSpec sel;
+  sel.kind = SelectionSpec::Kind::kUniform;
+  sel.k = 6;
+  ASSERT_TRUE(session->Benchmark("gold", *nj, sel, false).ok());
+  history = session->QueryHistory(1);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ((*history)[0].kind, "benchmark");
+  auto bench_replay = session->RerunQuery((*history)[0].query_id);
+  ASSERT_TRUE(bench_replay.ok()) << bench_replay.status();
+  EXPECT_NE(bench_replay->find("neighbor_joining"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crimson

@@ -308,6 +308,33 @@ TEST(BulkLoadPathTest, BulkAndPerRowSessionsAnswerIdentically) {
   }
 }
 
+TEST(TreeRefTest, ExportAndRenderTakeHandles) {
+  // The TreeRef overloads answer identically to the name-keyed shims
+  // and reject refs the session did not issue.
+  auto crimson = OpenSession(42);
+  auto report = crimson->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(report.ok());
+  TreeRef tree = report->ref;
+
+  auto nexus_ref = crimson->ExportNexus(tree);
+  auto nexus_name = crimson->ExportNexus("fig1");
+  ASSERT_TRUE(nexus_ref.ok()) << nexus_ref.status();
+  ASSERT_TRUE(nexus_name.ok());
+  EXPECT_EQ(*nexus_ref, *nexus_name);
+  EXPECT_NE(nexus_ref->find("#NEXUS"), std::string::npos);
+
+  auto art_ref = crimson->RenderTree(tree);
+  auto art_name = crimson->RenderTree("fig1");
+  ASSERT_TRUE(art_ref.ok()) << art_ref.status();
+  ASSERT_TRUE(art_name.ok());
+  EXPECT_EQ(*art_ref, *art_name);
+  EXPECT_NE(art_ref->find("Lla"), std::string::npos);
+
+  TreeRef invalid;
+  EXPECT_TRUE(crimson->ExportNexus(invalid).status().IsInvalidArgument());
+  EXPECT_TRUE(crimson->RenderTree(invalid).status().IsInvalidArgument());
+}
+
 TEST(ConcurrencyTest, ParallelExecuteOnSharedSession) {
   auto crimson = OpenSession(42, /*workers=*/4);
   auto report = crimson->LoadNewick("fig1", kFig1Newick);

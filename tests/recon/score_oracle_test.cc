@@ -1,0 +1,269 @@
+// Brute-force differential tests for the two scores experiments rank
+// algorithms by. RfDistance is checked against a set-of-leaf-sets
+// bipartition oracle (explicit std::set enumeration, complement
+// canonicalization); TripletDistance against an
+// ancestry-of-pairwise-LCAs oracle built on PhyloTree::NaiveLca. Both
+// run over random (multifurcating) trees with <= 12 leaves, where the
+// O(2^n)/O(k^3) enumerations are exact and cheap, plus hand-computed
+// fixed cases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "recon/rf_distance.h"
+#include "recon/triplet.h"
+#include "tree/newick.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+namespace {
+
+// -- random tree generation -------------------------------------------------
+
+/// Attaches a random subtree over `names` under `parent`: leaves for
+/// singletons, otherwise an unnamed internal node with 2 or sometimes
+/// 3 children over a random partition (so multifurcations occur).
+void AttachRandom(PhyloTree* tree, NodeId parent,
+                  std::vector<std::string> names, Rng* rng) {
+  if (names.size() == 1) {
+    tree->AddChild(parent, names[0], 1.0 + rng->NextDouble());
+    return;
+  }
+  rng->Shuffle(&names);
+  size_t groups = 2;
+  if (names.size() >= 3 && rng->OneIn(3)) groups = 3;
+  // groups-1 distinct cut points inside [1, size-1] split the shuffled
+  // names into non-empty slices.
+  std::vector<uint64_t> cuts =
+      rng->SampleWithoutReplacement(names.size() - 1, groups - 1);
+  for (uint64_t& c : cuts) ++c;
+  cuts.push_back(0);
+  cuts.push_back(names.size());
+  std::sort(cuts.begin(), cuts.end());
+  for (size_t g = 0; g + 1 < cuts.size(); ++g) {
+    std::vector<std::string> slice(names.begin() + cuts[g],
+                                   names.begin() + cuts[g + 1]);
+    if (slice.size() == 1) {
+      tree->AddChild(parent, slice[0], 1.0 + rng->NextDouble());
+    } else {
+      NodeId inner = tree->AddChild(parent, "", 1.0 + rng->NextDouble());
+      AttachRandom(tree, inner, std::move(slice), rng);
+    }
+  }
+}
+
+PhyloTree RandomTree(const std::vector<std::string>& leaves, Rng* rng) {
+  PhyloTree tree;
+  NodeId root = tree.AddRoot("", 0.0);
+  AttachRandom(&tree, root, leaves, rng);
+  return tree;
+}
+
+std::vector<std::string> LeafNames(size_t n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) names.push_back("L" + std::to_string(i));
+  return names;
+}
+
+// -- brute-force RF oracle --------------------------------------------------
+
+using Split = std::set<std::string>;
+
+/// All non-trivial bipartitions as explicit leaf-name sets, canonical
+/// side = the one NOT containing `ref_leaf`.
+std::set<Split> BruteSplits(const PhyloTree& tree, const Split& all_leaves,
+                            const std::string& ref_leaf) {
+  std::set<Split> out;
+  tree.PostOrder([&](NodeId n) {
+    if (n == tree.root()) return true;
+    Split side;
+    tree.PreOrder(
+        [&](NodeId m) {
+          if (tree.is_leaf(m)) side.insert(tree.name(m));
+          return true;
+        },
+        n);
+    if (side.size() < 2 || side.size() > all_leaves.size() - 2) return true;
+    if (side.count(ref_leaf)) {
+      Split flipped;
+      std::set_difference(all_leaves.begin(), all_leaves.end(),
+                          side.begin(), side.end(),
+                          std::inserter(flipped, flipped.end()));
+      out.insert(std::move(flipped));
+    } else {
+      out.insert(std::move(side));
+    }
+    return true;
+  });
+  return out;
+}
+
+RfResult BruteRf(const PhyloTree& a, const PhyloTree& b) {
+  Split all;
+  for (NodeId n : a.Leaves()) all.insert(a.name(n));
+  const std::string& ref_leaf = *all.begin();
+  std::set<Split> sa = BruteSplits(a, all, ref_leaf);
+  std::set<Split> sb = BruteSplits(b, all, ref_leaf);
+  size_t common = 0;
+  for (const Split& s : sa) common += sb.count(s);
+  RfResult r;
+  r.splits_a = sa.size();
+  r.splits_b = sb.size();
+  r.distance = sa.size() + sb.size() - 2 * common;
+  size_t denom = sa.size() + sb.size();
+  r.normalized =
+      denom == 0 ? 0.0
+                 : static_cast<double>(r.distance) / static_cast<double>(denom);
+  return r;
+}
+
+// -- brute-force triplet oracle ---------------------------------------------
+
+/// Resolves {a,b,c} by LCA ancestry instead of LCA depth: exactly one
+/// pairwise LCA can lie strictly below LCA(a,b,c); that pair is the
+/// closest. 0: (a,b); 1: (a,c); 2: (b,c); 3: unresolved.
+int BruteResolve(const PhyloTree& t, NodeId a, NodeId b, NodeId c) {
+  NodeId ab = t.NaiveLca(a, b);
+  NodeId ac = t.NaiveLca(a, c);
+  NodeId bc = t.NaiveLca(b, c);
+  NodeId abc = t.NaiveLca(ab, c);
+  if (ab != abc) return 0;
+  if (ac != abc) return 1;
+  if (bc != abc) return 2;
+  return 3;
+}
+
+TripletResult BruteTriplets(const PhyloTree& a, const PhyloTree& b) {
+  // Shared leaf order: sorted names.
+  std::vector<std::string> names;
+  for (NodeId n : a.Leaves()) names.push_back(a.name(n));
+  std::sort(names.begin(), names.end());
+  std::vector<NodeId> in_a, in_b;
+  for (const std::string& name : names) {
+    in_a.push_back(a.FindByName(name));
+    in_b.push_back(b.FindByName(name));
+  }
+  TripletResult r;
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      for (size_t l = j + 1; l < names.size(); ++l) {
+        ++r.total;
+        if (BruteResolve(a, in_a[i], in_a[j], in_a[l]) !=
+            BruteResolve(b, in_b[i], in_b[j], in_b[l])) {
+          ++r.differing;
+        }
+      }
+    }
+  }
+  r.fraction = r.total == 0 ? 0.0
+                            : static_cast<double>(r.differing) /
+                                  static_cast<double>(r.total);
+  return r;
+}
+
+// -- the differentials ------------------------------------------------------
+
+TEST(RfOracleTest, RandomTreePairsMatchBruteForce) {
+  Rng rng(0x5EED01);
+  for (int iter = 0; iter < 200; ++iter) {
+    size_t n = 4 + rng.Uniform(9);  // 4..12 leaves
+    std::vector<std::string> names = LeafNames(n);
+    PhyloTree a = RandomTree(names, &rng);
+    PhyloTree b = RandomTree(names, &rng);
+    auto fast = RobinsonFoulds(a, b);
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    RfResult brute = BruteRf(a, b);
+    EXPECT_EQ(fast->distance, brute.distance)
+        << "iter " << iter << "\nA: " << WriteNewick(a)
+        << "\nB: " << WriteNewick(b);
+    EXPECT_EQ(fast->splits_a, brute.splits_a) << "iter " << iter;
+    EXPECT_EQ(fast->splits_b, brute.splits_b) << "iter " << iter;
+    EXPECT_DOUBLE_EQ(fast->normalized, brute.normalized) << "iter " << iter;
+  }
+}
+
+TEST(RfOracleTest, IdenticalTreesAreDistanceZero) {
+  Rng rng(0x5EED02);
+  for (int iter = 0; iter < 50; ++iter) {
+    size_t n = 4 + rng.Uniform(9);
+    PhyloTree a = RandomTree(LeafNames(n), &rng);
+    auto rf = RobinsonFoulds(a, a);
+    ASSERT_TRUE(rf.ok());
+    EXPECT_EQ(rf->distance, 0u);
+    EXPECT_EQ(rf->splits_a, rf->splits_b);
+  }
+}
+
+TEST(RfOracleTest, HandComputedCases) {
+  // ((a,b),(c,d)) vs ((a,c),(b,d)): each has one non-trivial split
+  // ({a,b} vs {a,c}); they disagree, so distance 2.
+  PhyloTree t1 = std::move(ParseNewick("((a,b),(c,d));")).value();
+  PhyloTree t2 = std::move(ParseNewick("((a,c),(b,d));")).value();
+  auto rf = RobinsonFoulds(t1, t2);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(rf->splits_a, 1u);
+  EXPECT_EQ(rf->splits_b, 1u);
+  EXPECT_EQ(rf->distance, 2u);
+  EXPECT_DOUBLE_EQ(rf->normalized, 1.0);
+
+  // A star tree has no non-trivial splits at all.
+  PhyloTree star = std::move(ParseNewick("(a,b,c,d);")).value();
+  auto rf_star = RobinsonFoulds(t1, star);
+  ASSERT_TRUE(rf_star.ok());
+  EXPECT_EQ(rf_star->splits_b, 0u);
+  EXPECT_EQ(rf_star->distance, 1u);
+}
+
+TEST(TripletOracleTest, RandomTreePairsMatchBruteForce) {
+  Rng rng(0x5EED03);
+  for (int iter = 0; iter < 200; ++iter) {
+    size_t n = 4 + rng.Uniform(9);
+    std::vector<std::string> names = LeafNames(n);
+    PhyloTree a = RandomTree(names, &rng);
+    PhyloTree b = RandomTree(names, &rng);
+    auto fast = TripletDistance(a, b);
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    TripletResult brute = BruteTriplets(a, b);
+    EXPECT_EQ(fast->total, brute.total) << "iter " << iter;
+    EXPECT_EQ(fast->differing, brute.differing)
+        << "iter " << iter << "\nA: " << WriteNewick(a)
+        << "\nB: " << WriteNewick(b);
+    EXPECT_DOUBLE_EQ(fast->fraction, brute.fraction) << "iter " << iter;
+  }
+}
+
+TEST(TripletOracleTest, IdenticalTreesHaveNoDifferingTriples) {
+  Rng rng(0x5EED04);
+  for (int iter = 0; iter < 50; ++iter) {
+    size_t n = 4 + rng.Uniform(9);
+    PhyloTree a = RandomTree(LeafNames(n), &rng);
+    auto td = TripletDistance(a, a);
+    ASSERT_TRUE(td.ok());
+    size_t k = a.LeafCount();
+    EXPECT_EQ(td->total, k * (k - 1) * (k - 2) / 6);
+    EXPECT_EQ(td->differing, 0u);
+  }
+}
+
+TEST(TripletOracleTest, HandComputedCases) {
+  // ((a,b),c,d) vs ((a,c),b,d): abc and acd flip between resolved
+  // pairs, abd goes resolved -> unresolved, bcd stays unresolved:
+  // 3 of 4 triples differ.
+  PhyloTree t1 = std::move(ParseNewick("((a,b),c,d);")).value();
+  PhyloTree t2 = std::move(ParseNewick("((a,c),b,d);")).value();
+  auto td = TripletDistance(t1, t2);
+  ASSERT_TRUE(td.ok());
+  EXPECT_EQ(td->total, 4u);
+  EXPECT_EQ(td->differing, 3u);
+  EXPECT_DOUBLE_EQ(td->fraction, 0.75);
+}
+
+}  // namespace
+}  // namespace crimson
