@@ -26,29 +26,83 @@ uint64_t QuerySeed(uint64_t session_seed, uint64_t ticket) {
   return SplitMix64(&state);
 }
 
+/// Status of either a Status or a Result<T> (TransactLocked works
+/// over both shapes of repository write).
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+
 }  // namespace
 
-Crimson::~Crimson() = default;
+Crimson::~Crimson() {
+  // A dropped session must not lose dirty pages (and, with durability
+  // on, a clean close checkpoints so the next open skips replay).
+  // db_ is null when Open failed partway.
+  if (db_ == nullptr) return;
+  Status s = Flush();
+  if (!s.ok()) {
+    CRIMSON_LOG(kWarning) << "flush on session close failed: " << s;
+  }
+}
+
+template <typename Fn>
+auto Crimson::TransactLocked(Fn&& fn) -> decltype(fn()) {
+  Result<Txn> txn = db_->Begin();
+  if (!txn.ok()) return txn.status();
+  auto result = fn();
+  if (StatusOf(result).ok()) {
+    Status committed = txn->Commit();
+    if (!committed.ok()) {
+      Status reopened = ReopenRepositoriesLocked();
+      if (!reopened.ok()) {
+        CRIMSON_LOG(kError) << "repository reopen after failed commit: "
+                            << reopened;
+      }
+      return committed;
+    }
+  } else {
+    txn->Abort();
+    if (db_->durable()) {
+      Status reopened = ReopenRepositoriesLocked();
+      if (!reopened.ok()) {
+        CRIMSON_LOG(kError) << "repository reopen after abort: " << reopened;
+      }
+    }
+  }
+  return result;
+}
+
+Status Crimson::ReopenRepositoriesLocked() {
+  CRIMSON_ASSIGN_OR_RETURN(Txn txn, db_->Begin());
+  CRIMSON_ASSIGN_OR_RETURN(trees_, TreeRepository::Open(db_.get()));
+  trees_->set_bulk_load_threshold(options_.bulk_load_threshold);
+  trees_->set_persist_labels(options_.persist_labels);
+  CRIMSON_ASSIGN_OR_RETURN(species_, SpeciesRepository::Open(db_.get()));
+  CRIMSON_ASSIGN_OR_RETURN(queries_, QueryRepository::Open(db_.get()));
+  CRIMSON_ASSIGN_OR_RETURN(experiments_, ExperimentRepository::Open(db_.get()));
+  loader_ = std::make_unique<DataLoader>(trees_.get(), species_.get(),
+                                         options_.f);
+  return txn.Commit();
+}
 
 Result<std::unique_ptr<Crimson>> Crimson::Open(const CrimsonOptions& options) {
   auto c = std::unique_ptr<Crimson>(new Crimson());
   c->options_ = options;
   DatabaseOptions db_opts;
   db_opts.buffer_pool_pages = options.buffer_pool_pages;
+  db_opts.durability = options.durability;
+  db_opts.wal_checkpoint_bytes = options.wal_checkpoint_bytes;
+  db_opts.env = options.storage_env;
   if (options.db_path.empty()) {
     CRIMSON_ASSIGN_OR_RETURN(c->db_, Database::OpenInMemory(db_opts));
   } else {
     CRIMSON_ASSIGN_OR_RETURN(c->db_, Database::Open(options.db_path, db_opts));
   }
-  CRIMSON_ASSIGN_OR_RETURN(c->trees_, TreeRepository::Open(c->db_.get()));
-  c->trees_->set_bulk_load_threshold(options.bulk_load_threshold);
-  c->trees_->set_persist_labels(options.persist_labels);
-  CRIMSON_ASSIGN_OR_RETURN(c->species_, SpeciesRepository::Open(c->db_.get()));
-  CRIMSON_ASSIGN_OR_RETURN(c->queries_, QueryRepository::Open(c->db_.get()));
-  CRIMSON_ASSIGN_OR_RETURN(c->experiments_,
-                           ExperimentRepository::Open(c->db_.get()));
-  c->loader_ = std::make_unique<DataLoader>(c->trees_.get(),
-                                            c->species_.get(), options.f);
+  // Repository open may create tables on a fresh database: one
+  // transaction makes the whole schema setup atomic.
+  CRIMSON_RETURN_IF_ERROR(c->ReopenRepositoriesLocked());
   c->pool_ = std::make_unique<ThreadPool>(
       options.batch_workers > 0 ? options.batch_workers : 1);
   return c;
@@ -72,7 +126,7 @@ Result<SessionLoadReport> Crimson::LoadNewick(const std::string& name,
                                               LoadMode mode) {
   Result<LoadReport> report = [&] {
     std::lock_guard<std::mutex> lock(db_mu_);
-    return loader_->LoadNewick(name, newick, mode);
+    return TransactLocked([&] { return loader_->LoadNewick(name, newick, mode); });
   }();
   return FinishLoad(std::move(report));
 }
@@ -82,7 +136,7 @@ Result<SessionLoadReport> Crimson::LoadNexus(const std::string& name,
                                              LoadMode mode) {
   Result<LoadReport> report = [&] {
     std::lock_guard<std::mutex> lock(db_mu_);
-    return loader_->LoadNexus(name, nexus, mode);
+    return TransactLocked([&] { return loader_->LoadNexus(name, nexus, mode); });
   }();
   return FinishLoad(std::move(report));
 }
@@ -91,7 +145,7 @@ Result<SessionLoadReport> Crimson::LoadTree(const std::string& name,
                                             const PhyloTree& tree) {
   Result<LoadReport> report = [&] {
     std::lock_guard<std::mutex> lock(db_mu_);
-    return loader_->LoadTree(name, tree);
+    return TransactLocked([&] { return loader_->LoadTree(name, tree); });
   }();
   return FinishLoad(std::move(report));
 }
@@ -101,7 +155,8 @@ Result<LoadReport> Crimson::AppendSpeciesData(
     const std::map<std::string, std::string>& sequences) {
   Result<LoadReport> report = [&] {
     std::lock_guard<std::mutex> lock(db_mu_);
-    return loader_->AppendSpecies(tree_name, sequences);
+    return TransactLocked(
+        [&] { return loader_->AppendSpecies(tree_name, sequences); });
   }();
   if (report.ok()) {
     // The tree's sequence map changed: drop any cached evaluation
@@ -319,7 +374,8 @@ Result<QueryResult> Crimson::ExecuteOnHandle(const TreeHandle& handle,
 void Crimson::RecordQuery(std::string_view kind, const std::string& params,
                           const std::string& summary) {
   std::lock_guard<std::mutex> lock(db_mu_);
-  Result<int64_t> r = queries_->Record(std::string(kind), params, summary);
+  Result<int64_t> r = TransactLocked(
+      [&] { return queries_->Record(std::string(kind), params, summary); });
   if (!r.ok()) {
     CRIMSON_LOG(kWarning) << "query history write failed: " << r.status();
   }
@@ -554,15 +610,20 @@ Status Crimson::PersistExperiment(ExperimentReport* report) {
   }
 
   std::lock_guard<std::mutex> lock(db_mu_);
-  CRIMSON_ASSIGN_OR_RETURN(
-      report->experiment_id,
-      experiments_->PutExperiment(report->tree_name,
-                                  EncodeExperimentSpec(report->spec),
-                                  report->seed, report->base_ticket));
-  for (auto& row : run_rows) row.experiment_id = report->experiment_id;
-  for (auto& row : cell_rows) row.experiment_id = report->experiment_id;
-  CRIMSON_RETURN_IF_ERROR(experiments_->PutRuns(run_rows));
-  return experiments_->PutCells(cell_rows);
+  // One transaction covers the experiment row, all run rows, and all
+  // cell aggregates: a crash mid-persist recovers to either no trace
+  // of the experiment or all of it.
+  return TransactLocked([&]() -> Status {
+    CRIMSON_ASSIGN_OR_RETURN(
+        report->experiment_id,
+        experiments_->PutExperiment(report->tree_name,
+                                    EncodeExperimentSpec(report->spec),
+                                    report->seed, report->base_ticket));
+    for (auto& row : run_rows) row.experiment_id = report->experiment_id;
+    for (auto& row : cell_rows) row.experiment_id = report->experiment_id;
+    CRIMSON_RETURN_IF_ERROR(experiments_->PutRuns(run_rows));
+    return experiments_->PutCells(cell_rows);
+  });
 }
 
 Result<std::vector<std::unique_ptr<ReconstructionAlgorithm>>>
@@ -768,6 +829,11 @@ Result<std::string> Crimson::RenderTree(const std::string& tree_name,
 Status Crimson::Flush() {
   std::lock_guard<std::mutex> lock(db_mu_);
   return db_->Flush();
+}
+
+Status Crimson::Checkpoint() {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  return db_->Checkpoint();
 }
 
 }  // namespace crimson

@@ -69,6 +69,19 @@ struct CrimsonOptions {
   uint64_t seed = 42;
   /// Worker threads backing ExecuteBatch (>= 1).
   size_t batch_workers = 4;
+  /// Crash-durability discipline for on-disk databases (requires
+  /// db_path). kOff preserves the legacy behavior and file format;
+  /// kCommit wraps every repository write in a WAL transaction whose
+  /// commit fsyncs the log; kGroupCommit additionally coalesces
+  /// concurrent commit fsyncs. On open, a committed WAL prefix left by
+  /// a crash is replayed before any read.
+  Durability durability = Durability::kOff;
+  /// Auto-checkpoint (flush + WAL truncation) once the log exceeds
+  /// this many bytes; 0 = only explicit Checkpoint()/Flush() truncate.
+  uint64_t wal_checkpoint_bytes = 16ull << 20;
+  /// Filesystem hooks for the database file and WAL segments; crash
+  /// tests substitute a fault-injecting environment.
+  StorageEnv storage_env = PosixStorageEnv();
 };
 
 /// Load result: the DataLoader's report plus the session handle for
@@ -227,8 +240,15 @@ class Crimson {
   [[nodiscard]] Result<std::string> RenderTree(const std::string& tree_name,
                                                size_t max_nodes = 512);
 
-  /// Persists all state to disk (no-op for in-memory databases).
+  /// Persists all state to disk (no-op for in-memory databases). With
+  /// durability on this is a full checkpoint. Also invoked on session
+  /// destruction, so a dropped session never loses dirty pages.
   Status Flush();
+
+  /// Durable truncation point: flushes all dirty pages, fsyncs the
+  /// database file, and truncates the write-ahead log. No-op content
+  /// with durability off (equivalent to Flush).
+  Status Checkpoint();
 
   Database* database() { return db_.get(); }
   SpeciesRepository* species_repository() { return species_.get(); }
@@ -287,6 +307,16 @@ class Crimson {
   void RecordQuery(std::string_view kind, const std::string& params,
                    const std::string& summary);
   Result<SessionLoadReport> FinishLoad(Result<LoadReport> report);
+  /// Runs fn (one logical repository write) inside a Txn; db_mu_ must
+  /// be held. Commits on success; aborts on failure. After an abort
+  /// with durability on, the repositories are reopened: their
+  /// in-memory hints (heap tails, cached counts, next ids) may
+  /// reflect the rolled-back writes.
+  template <typename Fn>
+  auto TransactLocked(Fn&& fn) -> decltype(fn());
+  /// Rebuilds the repository handles (and the loader over them) from
+  /// current storage; db_mu_ must be held.
+  Status ReopenRepositoriesLocked();
 
   CrimsonOptions options_;
   std::unique_ptr<Database> db_;

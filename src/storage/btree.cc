@@ -277,6 +277,7 @@ size_t ChooseSplitPoint(const std::vector<std::string>& keys) {
 // ---------------------------------------------------------------------------
 
 Result<BTree> BTree::Create(BufferPool* pool) {
+  CRIMSON_RETURN_IF_ERROR(pool->RequireWritable());
   PageId root_id;
   {
     CRIMSON_ASSIGN_OR_RETURN(PageGuard root, pool->New(&root_id));
@@ -324,6 +325,7 @@ Status BTree::SetRoot(PageId root) {
 // ---------------------------------------------------------------------------
 
 Status BTree::Insert(const Slice& key, const Slice& value, bool unique) {
+  CRIMSON_RETURN_IF_ERROR(pool_->RequireWritable());
   if (key.size() > kMaxKeySize) {
     return Status::InvalidArgument(
         StrFormat("key too large (%zu > %zu)", key.size(), kMaxKeySize));
@@ -483,6 +485,7 @@ Status BTree::BulkLoad(
 }
 
 Status BTree::BulkLoad(const std::vector<std::pair<Slice, Slice>>& entries) {
+  CRIMSON_RETURN_IF_ERROR(pool_->RequireWritable());
   CRIMSON_ASSIGN_OR_RETURN(bool empty, Empty());
   if (!empty) {
     return Status::FailedPrecondition("bulk load requires an empty btree");
@@ -655,6 +658,7 @@ Status BTree::Get(const Slice& key, std::string* value) const {
 }
 
 Status BTree::Delete(const Slice& key, const Slice* value) {
+  CRIMSON_RETURN_IF_ERROR(pool_->RequireWritable());
   CRIMSON_ASSIGN_OR_RETURN(PageId node, Root());
   // Descend to the leaf that contains the first occurrence.
   while (true) {

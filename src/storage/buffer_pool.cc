@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/coding.h"
 #include "common/string_util.h"
 
 namespace crimson {
@@ -19,7 +20,7 @@ const char* PageGuard::data() const {
 
 void PageGuard::MarkDirty() {
   assert(valid());
-  pool_->frames_[frame_].dirty = true;
+  pool_->OnDirty(frame_);
 }
 
 void PageGuard::Release() {
@@ -29,7 +30,8 @@ void PageGuard::Release() {
   }
 }
 
-BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
+BufferPool::BufferPool(Pager* pager, size_t capacity, WalContext* wal_ctx)
+    : pager_(pager), wal_ctx_(wal_ctx) {
   assert(capacity >= 8 && "buffer pool needs at least 8 frames");
   frames_.resize(capacity);
   free_frames_.reserve(capacity);
@@ -50,12 +52,55 @@ void BufferPool::Unpin(size_t frame_index) {
   }
 }
 
-Status BufferPool::WriteBack(Frame& frame) {
-  if (frame.dirty) {
-    CRIMSON_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.data()));
-    frame.dirty = false;
-    ++stats_.dirty_writebacks;
+void BufferPool::OnDirty(size_t frame_index) {
+  Frame& f = frames_[frame_index];
+  f.dirty = true;
+  // Content changed: any previously logged image is stale.
+  f.page_lsn = 0;
+  if (wal_enabled()) {
+    assert(wal_ctx_->txn_active &&
+           "page dirtied outside a transaction with durability on");
+    if (wal_ctx_->txn_active) wal_ctx_->dirty_pages.insert(f.page_id);
   }
+}
+
+Status BufferPool::RequireWritable() const {
+  if (wal_enabled() && !wal_ctx_->txn_active) {
+    return Status::FailedPrecondition(
+        "durability is enabled: mutations must run inside a transaction "
+        "(Database::Begin)");
+  }
+  return Status::OK();
+}
+
+bool BufferPool::PinnedByTxn(const Frame& f) const {
+  return wal_enabled() && wal_ctx_->txn_active && f.dirty &&
+         f.page_id < wal_ctx_->txn_base_page_count;
+}
+
+Status BufferPool::WriteBack(Frame& frame) {
+  if (!frame.dirty) return Status::OK();
+  if (wal_enabled()) {
+    // Log-before-data: the frame's after-image must be in the log
+    // before the data page hits the file.
+    if (frame.page_lsn == 0) {
+      CRIMSON_ASSIGN_OR_RETURN(
+          frame.page_lsn,
+          wal_ctx_->wal->AppendPageImage(frame.page_id, frame.data.data()));
+    }
+    // ... and durable, unless the page is brand-new in the active
+    // transaction (unreachable from the committed header, so a torn
+    // write here can never corrupt committed state).
+    const bool new_in_txn = wal_ctx_->txn_active &&
+                            frame.page_id >= wal_ctx_->txn_base_page_count;
+    if (!new_in_txn) {
+      CRIMSON_RETURN_IF_ERROR(
+          wal_ctx_->wal->Sync(frame.page_lsn, /*group=*/true));
+    }
+  }
+  CRIMSON_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.data()));
+  frame.dirty = false;
+  ++stats_.dirty_writebacks;
   return Status::OK();
 }
 
@@ -65,19 +110,36 @@ Result<size_t> BufferPool::GetVictimFrame() {
     free_frames_.pop_back();
     return idx;
   }
-  if (lru_.empty()) {
-    return Status::ResourceExhausted(
-        "buffer pool exhausted: all frames pinned");
+  // Scan from the LRU end, skipping frames the active transaction must
+  // keep resident (no-steal for pre-existing pages).
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    size_t idx = *it;
+    Frame& f = frames_[idx];
+    assert(f.pin_count == 0 && f.valid);
+    if (PinnedByTxn(f)) continue;
+    CRIMSON_RETURN_IF_ERROR(WriteBack(f));
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+    page_table_.erase(f.page_id);
+    f.valid = false;
+    ++stats_.evictions;
+    return idx;
   }
-  size_t idx = lru_.back();
-  lru_.pop_back();
+  return Status::ResourceExhausted(
+      "buffer pool exhausted: all frames pinned or held by the active "
+      "transaction");
+}
+
+Result<size_t> BufferPool::InstallFrame(PageId id) {
+  CRIMSON_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Frame& f = frames_[idx];
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.page_lsn = 0;
+  f.valid = true;
   f.in_lru = false;
-  assert(f.pin_count == 0 && f.valid);
-  CRIMSON_RETURN_IF_ERROR(WriteBack(f));
-  page_table_.erase(f.page_id);
-  f.valid = false;
-  ++stats_.evictions;
+  page_table_[id] = idx;
   return idx;
 }
 
@@ -95,38 +157,94 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
     return PageGuard(this, idx, id);
   }
   ++stats_.misses;
-  CRIMSON_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  CRIMSON_ASSIGN_OR_RETURN(size_t idx, InstallFrame(id));
   Frame& f = frames_[idx];
   Status s = pager_->ReadPage(id, f.data.data());
   if (!s.ok()) {
+    page_table_.erase(id);
+    f.valid = false;
+    f.pin_count = 0;
     free_frames_.push_back(idx);
     return s;
   }
-  f.page_id = id;
-  f.pin_count = 1;
-  f.dirty = false;
-  f.valid = true;
-  f.in_lru = false;
-  page_table_[id] = idx;
   return PageGuard(this, idx, id);
 }
 
-Result<PageGuard> BufferPool::New(PageId* out_id) {
-  CRIMSON_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
-  CRIMSON_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+Result<PageGuard> BufferPool::NewWal(PageId* out_id) {
+  CRIMSON_RETURN_IF_ERROR(RequireWritable());
+  if (pager_->freelist_head() != kInvalidPageId) {
+    // Pop the freelist through the cache: the head node may have been
+    // formatted by this very transaction and exist only in the pool.
+    PageId id = pager_->freelist_head();
+    CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, Fetch(id));
+    if (static_cast<PageType>(guard.data()[0]) != PageType::kFree) {
+      return Status::Corruption(
+          StrFormat("freelist page %u is not marked free", id));
+    }
+    PageId next = DecodeFixed32(guard.data() + 1);
+    CRIMSON_RETURN_IF_ERROR(pager_->DeferredSetFreelistHead(next));
+    memset(guard.data(), 0, kPageSize);
+    guard.MarkDirty();
+    *out_id = id;
+    return guard;
+  }
+  CRIMSON_ASSIGN_OR_RETURN(PageId id, pager_->DeferredAllocateFromExtension());
+  CRIMSON_ASSIGN_OR_RETURN(size_t idx, InstallFrame(id));
   Frame& f = frames_[idx];
   memset(f.data.data(), 0, kPageSize);
-  f.page_id = id;
-  f.pin_count = 1;
+  PageGuard guard(this, idx, id);
+  guard.MarkDirty();
+  *out_id = id;
+  return guard;
+}
+
+Result<PageGuard> BufferPool::New(PageId* out_id) {
+  if (wal_enabled()) return NewWal(out_id);
+  CRIMSON_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
+  CRIMSON_ASSIGN_OR_RETURN(size_t idx, InstallFrame(id));
+  Frame& f = frames_[idx];
+  memset(f.data.data(), 0, kPageSize);
   f.dirty = true;  // zeroed content must reach disk
-  f.valid = true;
-  f.in_lru = false;
-  page_table_[id] = idx;
   *out_id = id;
   return PageGuard(this, idx, id);
 }
 
+Status BufferPool::FreeWal(PageId id) {
+  CRIMSON_RETURN_IF_ERROR(RequireWritable());
+  if (id == kHeaderPageId || id >= pager_->page_count()) {
+    return Status::InvalidArgument(StrFormat("cannot free page %u", id));
+  }
+  // Format the freelist node in the cache (its old content is
+  // irrelevant, so a victim frame is installed without a disk read);
+  // the commit logs and force-writes it like any other page.
+  size_t idx;
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    idx = it->second;
+    if (frames_[idx].pin_count > 0) {
+      return Status::FailedPrecondition(
+          StrFormat("freeing pinned page %u", id));
+    }
+    if (frames_[idx].in_lru) {
+      lru_.erase(frames_[idx].lru_pos);
+      frames_[idx].in_lru = false;
+    }
+    ++frames_[idx].pin_count;
+  } else {
+    CRIMSON_ASSIGN_OR_RETURN(idx, InstallFrame(id));
+  }
+  {
+    PageGuard guard(this, idx, id);
+    memset(guard.data(), 0, kPageSize);
+    guard.data()[0] = static_cast<char>(PageType::kFree);
+    EncodeFixed32(guard.data() + 1, pager_->freelist_head());
+    guard.MarkDirty();
+  }
+  return pager_->DeferredSetFreelistHead(id);
+}
+
 Status BufferPool::Free(PageId id) {
+  if (wal_enabled()) return FreeWal(id);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     Frame& f = frames_[it->second];
@@ -146,13 +264,62 @@ Status BufferPool::Free(PageId id) {
   return pager_->FreePage(id);
 }
 
+Status BufferPool::LogTxnPages() {
+  if (!wal_enabled() || !wal_ctx_->txn_active) return Status::OK();
+  for (PageId id : wal_ctx_->dirty_pages) {
+    auto it = page_table_.find(id);
+    if (it == page_table_.end()) continue;  // spilled: image already logged
+    Frame& f = frames_[it->second];
+    if (!f.valid || !f.dirty || f.page_lsn != 0) continue;
+    CRIMSON_ASSIGN_OR_RETURN(
+        f.page_lsn, wal_ctx_->wal->AppendPageImage(id, f.data.data()));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::ForceTxnPages(const std::set<PageId>& pages) {
+  for (PageId id : pages) {
+    auto it = page_table_.find(id);
+    if (it == page_table_.end()) continue;  // spilled: already on disk
+    Frame& f = frames_[it->second];
+    if (!f.valid || !f.dirty) continue;
+    CRIMSON_RETURN_IF_ERROR(pager_->WritePage(id, f.data.data()));
+    f.dirty = false;
+    ++stats_.dirty_writebacks;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DiscardTxnPages() {
+  if (wal_ctx_ == nullptr) return Status::OK();
+  for (PageId id : wal_ctx_->dirty_pages) {
+    auto it = page_table_.find(id);
+    if (it == page_table_.end()) continue;
+    Frame& f = frames_[it->second];
+    if (f.pin_count > 0) {
+      return Status::Internal(
+          StrFormat("aborting transaction with page %u still pinned", id));
+    }
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.valid = false;
+    f.dirty = false;
+    f.page_lsn = 0;
+    free_frames_.push_back(it->second);
+    page_table_.erase(it);
+  }
+  return Status::OK();
+}
+
 Status BufferPool::FlushAll() {
   for (Frame& f : frames_) {
     if (f.valid) {
       CRIMSON_RETURN_IF_ERROR(WriteBack(f));
     }
   }
-  return pager_->Flush();
+  return Status::OK();
 }
 
 }  // namespace crimson

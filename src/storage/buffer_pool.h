@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -20,10 +21,31 @@
 #include "common/status.h"
 #include "storage/page.h"
 #include "storage/pager.h"
+#include "storage/wal.h"
 
 namespace crimson {
 
 class BufferPool;
+
+/// Shared WAL/transaction state between the Database (which drives
+/// Begin/Commit/Abort) and the BufferPool (which tracks dirty pages
+/// and enforces log-before-data). Null wal = durability off, legacy
+/// behavior throughout.
+struct WalContext {
+  Wal* wal = nullptr;
+  bool txn_active = false;
+  uint64_t txn_id = 0;
+  /// Pages >= this id were allocated by the active transaction: they
+  /// are unreachable from the committed on-disk state, so the pool may
+  /// spill them to disk mid-transaction (after logging their image)
+  /// when a huge transaction -- e.g. a bulk load -- outgrows the pool.
+  /// Pre-existing pages dirtied by the transaction must stay resident
+  /// until commit (no-steal), preserving the committed bytes on disk.
+  uint32_t txn_base_page_count = 0;
+  /// Every page the active transaction dirtied (ordered: commit logs
+  /// images deterministically).
+  std::set<PageId> dirty_pages;
+};
 
 /// RAII pin on a cached page. While a PageGuard is alive the frame
 /// cannot be evicted. Call MarkDirty() after mutating data().
@@ -77,10 +99,18 @@ struct BufferPoolStats {
 
 /// Page cache over a Pager. Single-threaded by design (Crimson's demo
 /// workload is a loader plus an interactive reader).
+///
+/// With a WalContext attached, the pool is the WAL capture point:
+/// every mutation in the engine flows through PageGuard::MarkDirty, so
+/// the context's dirty set is exactly the transaction's write set, and
+/// WriteBack enforces the log-before-data rule via per-frame page_lsn
+/// (a dirty frame's after-image must be in the durable log before the
+/// data page is written).
 class BufferPool {
  public:
-  /// capacity = number of resident pages.
-  BufferPool(Pager* pager, size_t capacity);
+  /// capacity = number of resident pages. wal_ctx may be null
+  /// (durability off) and must outlive the pool.
+  BufferPool(Pager* pager, size_t capacity, WalContext* wal_ctx = nullptr);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -94,8 +124,29 @@ class BufferPool {
   /// Frees a page back to the pager; the page must not be pinned.
   Status Free(PageId id);
 
-  /// Writes back all dirty pages and syncs the file.
+  /// Writes back all dirty pages. (Header write + file sync are the
+  /// caller's job -- Database::Flush orders data pages first.)
   Status FlushAll();
+
+  /// FailedPrecondition when durability is on but no transaction is
+  /// active: mutations outside a Txn would bypass crash recovery.
+  /// Mutation entry points (BTree, HeapFile, Table) call this first.
+  Status RequireWritable() const;
+
+  // -- transaction hooks (driven by Database) ------------------------------
+
+  /// Appends after-images of the active transaction's dirty pages that
+  /// are still resident (spilled pages already logged theirs).
+  Status LogTxnPages();
+
+  /// Writes the transaction's resident dirty pages to the database
+  /// file (no sync) and marks them clean. Call after the commit record
+  /// is durable.
+  Status ForceTxnPages(const std::set<PageId>& pages);
+
+  /// Abort: invalidates every frame the transaction dirtied, so later
+  /// fetches reread the committed bytes from disk.
+  Status DiscardTxnPages();
 
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats(); }
@@ -110,16 +161,27 @@ class BufferPool {
     int pin_count = 0;
     bool dirty = false;
     bool valid = false;
+    Lsn page_lsn = 0;  // lsn of the logged image of this content; 0 = none
     std::vector<char> data;
     std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0 && valid
     bool in_lru = false;
   };
 
   void Unpin(size_t frame_index);
+  void OnDirty(size_t frame_index);
   Result<size_t> GetVictimFrame();
   Status WriteBack(Frame& frame);
+  bool wal_enabled() const { return wal_ctx_ != nullptr && wal_ctx_->wal; }
+  /// True when the frame must stay resident until commit (dirtied
+  /// pre-existing page of the active transaction; see WalContext).
+  bool PinnedByTxn(const Frame& f) const;
+  Result<PageGuard> NewWal(PageId* out_id);
+  Status FreeWal(PageId id);
+  /// Installs `id` into a victim frame without reading the file.
+  Result<size_t> InstallFrame(PageId id);
 
   Pager* pager_;
+  WalContext* wal_ctx_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> page_table_;
   std::list<size_t> lru_;        // front = most recent

@@ -1,32 +1,165 @@
 #include "storage/database.h"
 
+#include "common/log.h"
 #include "common/string_util.h"
 #include "storage/file.h"
+#include "storage/recovery.h"
 
 namespace crimson {
 
+Status Txn::Commit() {
+  if (db_ == nullptr) return Status::OK();
+  Database* db = db_;
+  db_ = nullptr;
+  return db->CommitTxn();
+}
+
+void Txn::Abort() {
+  if (db_ == nullptr) return;
+  Database* db = db_;
+  db_ = nullptr;
+  db->AbortTxn();
+}
+
 Result<std::unique_ptr<Database>> Database::Open(
     const std::string& path, const DatabaseOptions& options) {
-  CRIMSON_ASSIGN_OR_RETURN(std::unique_ptr<File> file, OpenPosixFile(path));
-  return Build(std::move(file), options);
+  CRIMSON_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                           options.env.open_file(path));
+  return Build(std::move(file), options, path);
 }
 
 Result<std::unique_ptr<Database>> Database::OpenInMemory(
     const DatabaseOptions& options) {
-  return Build(NewMemFile(), options);
+  if (options.durability != Durability::kOff) {
+    return Status::InvalidArgument(
+        "in-memory databases cannot be durable; use Database::Open");
+  }
+  return Build(NewMemFile(), options, /*path=*/"");
 }
 
 Result<std::unique_ptr<Database>> Database::Build(
-    std::unique_ptr<File> file, const DatabaseOptions& options) {
+    std::unique_ptr<File> file, const DatabaseOptions& options,
+    const std::string& path) {
   auto db = std::unique_ptr<Database>(new Database());
-  CRIMSON_ASSIGN_OR_RETURN(db->pager_, Pager::Open(std::move(file)));
-  db->pool_ = std::make_unique<BufferPool>(db->pager_.get(),
-                                           options.buffer_pool_pages);
+  db->options_ = options;
+  const bool want_wal =
+      options.durability != Durability::kOff && !path.empty();
+  if (!path.empty()) {
+    // Replay a leftover WAL even when this open is not durable:
+    // committed transactions of the previous (durable) run must not be
+    // lost just because the reader runs with durability off.
+    const std::string wal_base = path + "-wal";
+    CRIMSON_ASSIGN_OR_RETURN(bool has_wal,
+                             WalExists(wal_base, options.env));
+    if (has_wal) {
+      CRIMSON_RETURN_IF_ERROR(
+          RecoverFromWal(wal_base, options.env, file.get()).status());
+    }
+    if (want_wal) {
+      WalOptions wal_opts;
+      wal_opts.segment_bytes = options.wal_segment_bytes;
+      CRIMSON_ASSIGN_OR_RETURN(db->wal_,
+                               Wal::Open(wal_base, options.env, wal_opts));
+      db->wal_ctx_.wal = db->wal_.get();
+    } else if (has_wal) {
+      // The recovered state is in the database file (synced by the
+      // replay); drop the log so a later durable open cannot replay it
+      // over newer non-WAL writes.
+      CRIMSON_RETURN_IF_ERROR(Wal::RemoveLog(wal_base, options.env));
+    }
+  }
+  CRIMSON_ASSIGN_OR_RETURN(
+      db->pager_, Pager::Open(std::move(file), /*deferred_header=*/want_wal));
+  db->pool_ = std::make_unique<BufferPool>(
+      db->pager_.get(), options.buffer_pool_pages,
+      db->wal_ ? &db->wal_ctx_ : nullptr);
   if (db->pager_->catalog_root() == kInvalidPageId) {
+    CRIMSON_ASSIGN_OR_RETURN(Txn txn, db->Begin());
     CRIMSON_ASSIGN_OR_RETURN(BTree catalog, BTree::Create(db->pool_.get()));
     CRIMSON_RETURN_IF_ERROR(db->pager_->SetCatalogRoot(catalog.anchor()));
+    CRIMSON_RETURN_IF_ERROR(txn.Commit());
   }
   return db;
+}
+
+Result<Txn> Database::Begin() {
+  if (wal_ == nullptr) return Txn();
+  if (wal_ctx_.txn_active) {
+    return Status::FailedPrecondition(
+        "a transaction is already active (no nesting)");
+  }
+  wal_ctx_.txn_active = true;
+  wal_ctx_.txn_id = next_txn_id_++;
+  wal_ctx_.txn_base_page_count = pager_->page_count();
+  wal_ctx_.dirty_pages.clear();
+  txn_header_snapshot_ = pager_->snapshot();
+  txn_wal_mark_ = wal_->mark();
+  return Txn(this);
+}
+
+Status Database::CommitTxn() {
+  if (wal_ == nullptr) return Status::OK();
+  if (!wal_ctx_.txn_active) {
+    return Status::FailedPrecondition("no active transaction to commit");
+  }
+  // Read-only transaction: nothing to log, nothing to sync.
+  if (wal_ctx_.dirty_pages.empty() && !pager_->header_dirty()) {
+    wal_ctx_.txn_active = false;
+    return Status::OK();
+  }
+  // 1. Log every after-image plus the header, then the commit record.
+  // 2. Make the log durable (the group-commit knob picks the sync
+  //    discipline). Until this point any failure aborts cleanly.
+  Status s = [&]() -> Status {
+    CRIMSON_RETURN_IF_ERROR(pool_->LogTxnPages());
+    CRIMSON_RETURN_IF_ERROR(
+        wal_->AppendHeaderImage(pager_->page_count(), pager_->freelist_head(),
+                                pager_->catalog_root())
+            .status());
+    CRIMSON_ASSIGN_OR_RETURN(Lsn commit_lsn,
+                             wal_->AppendCommit(wal_ctx_.txn_id));
+    return wal_->Sync(commit_lsn,
+                      options_.durability == Durability::kGroupCommit);
+  }();
+  if (!s.ok()) {
+    AbortTxn();
+    return s;
+  }
+  // The transaction is durable from here on, so Commit reports
+  // success regardless of what follows: if a data-file write below
+  // fails, the pool still holds the dirty frames (a later eviction
+  // re-syncs page_lsn and retries), the header stays flagged dirty,
+  // and recovery has the redo -- consistency is never at risk.
+  wal_ctx_.txn_active = false;
+  std::set<PageId> pages;
+  pages.swap(wal_ctx_.dirty_pages);
+  Status lazy = pool_->ForceTxnPages(pages);
+  if (lazy.ok()) lazy = pager_->WriteHeaderIfDirty();
+  if (lazy.ok() && options_.wal_checkpoint_bytes > 0 &&
+      wal_->size_bytes() > options_.wal_checkpoint_bytes) {
+    lazy = Checkpoint();
+  }
+  if (!lazy.ok()) {
+    CRIMSON_LOG(kWarning)
+        << "post-commit writeback deferred (txn is durable): " << lazy;
+  }
+  return Status::OK();
+}
+
+void Database::AbortTxn() {
+  if (wal_ == nullptr || !wal_ctx_.txn_active) return;
+  Status discard = pool_->DiscardTxnPages();
+  if (!discard.ok()) {
+    CRIMSON_LOG(kError) << "transaction abort: " << discard;
+  }
+  pager_->Restore(txn_header_snapshot_);
+  Status rewind = wal_->Rewind(txn_wal_mark_);
+  if (!rewind.ok()) {
+    CRIMSON_LOG(kError) << "transaction abort: WAL rewind failed ("
+                        << rewind << "); the log is now read-only";
+  }
+  wal_ctx_.txn_active = false;
+  wal_ctx_.dirty_pages.clear();
 }
 
 Result<BTree> Database::CatalogTree() const {
@@ -105,6 +238,25 @@ Result<std::vector<std::string>> Database::ListTables() const {
   return names;
 }
 
-Status Database::Flush() { return pool_->FlushAll(); }
+Status Database::Flush() {
+  if (wal_ != nullptr) return Checkpoint();
+  // Data pages must reach the file before the header sync: a header
+  // that advertises pages whose bytes never landed is corruption.
+  CRIMSON_RETURN_IF_ERROR(pool_->FlushAll());
+  return pager_->Flush();
+}
+
+Status Database::Checkpoint() {
+  if (wal_ctx_.txn_active) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint inside a transaction");
+  }
+  CRIMSON_RETURN_IF_ERROR(pool_->FlushAll());
+  CRIMSON_RETURN_IF_ERROR(pager_->Flush());  // header write + fdatasync
+  if (wal_ != nullptr) {
+    CRIMSON_RETURN_IF_ERROR(wal_->Reset());
+  }
+  return Status::OK();
+}
 
 }  // namespace crimson

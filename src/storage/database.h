@@ -1,5 +1,15 @@
 // Database: top of the storage engine. Owns the file, pager, buffer
-// pool, and catalog, and hands out Table handles by name.
+// pool, write-ahead log, and catalog, and hands out Table handles by
+// name.
+//
+// Durability model (see DESIGN.md "Durability & recovery"):
+//  - kOff: no WAL, no transactions; today's behavior and file format.
+//  - kCommit / kGroupCommit: every mutation runs inside an explicit
+//    Txn (Begin/Commit). Commit appends the transaction's page
+//    after-images plus a commit record to the WAL and fsyncs it before
+//    any data page reaches the database file; kGroupCommit lets
+//    concurrent committers share one fsync. Database::Open replays the
+//    committed WAL prefix left by a crash before reading the header.
 
 #ifndef CRIMSON_STORAGE_DATABASE_H_
 #define CRIMSON_STORAGE_DATABASE_H_
@@ -14,12 +24,33 @@
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
 #include "storage/table.h"
+#include "storage/wal.h"
 
 namespace crimson {
+
+/// Commit-durability discipline of a database.
+enum class Durability {
+  /// No write-ahead log; a crash can corrupt the database (legacy).
+  kOff,
+  /// Every Txn::Commit fsyncs the log before returning.
+  kCommit,
+  /// Like kCommit, but concurrent committers coalesce behind one
+  /// fsync (identical durability, higher commit throughput).
+  kGroupCommit,
+};
 
 struct DatabaseOptions {
   /// Buffer pool capacity in pages (default 1024 pages = 8 MiB).
   size_t buffer_pool_pages = 1024;
+  /// Crash-durability discipline (on-disk databases only).
+  Durability durability = Durability::kOff;
+  /// WAL segment rotation size.
+  uint64_t wal_segment_bytes = 4ull << 20;
+  /// Auto-checkpoint once the WAL exceeds this size (0 = only explicit
+  /// Checkpoint()/Flush() truncate the log).
+  uint64_t wal_checkpoint_bytes = 16ull << 20;
+  /// Filesystem hooks; tests substitute fault-injecting environments.
+  StorageEnv env = PosixStorageEnv();
 };
 
 /// Column spec used when creating a table.
@@ -29,14 +60,58 @@ struct IndexSpec {
   bool unique = false;
 };
 
+class Database;
+
+/// Move-only transaction handle. With durability off this is inert
+/// (Commit/Abort are no-ops), so call sites are uniform across modes.
+/// Destruction without Commit aborts: the pool discards the
+/// transaction's dirty frames, the pager restores its header snapshot,
+/// and the WAL rewinds -- the database reverts to the pre-Begin state.
+class Txn {
+ public:
+  Txn() = default;
+  Txn(Txn&& other) noexcept { *this = std::move(other); }
+  Txn& operator=(Txn&& other) noexcept {
+    if (this != &other) {
+      Abort();
+      db_ = other.db_;
+      other.db_ = nullptr;
+    }
+    return *this;
+  }
+  ~Txn() { Abort(); }
+
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+
+  /// Makes the transaction durable. After Commit returns OK the
+  /// changes survive any crash; after an error before the log sync the
+  /// transaction is rolled back.
+  Status Commit();
+
+  /// Rolls the transaction back (idempotent; no-op after Commit).
+  void Abort();
+
+  bool active() const { return db_ != nullptr; }
+
+ private:
+  friend class Database;
+  explicit Txn(Database* db) : db_(db) {}
+
+  Database* db_ = nullptr;
+};
+
 /// Embedded single-user database. Not thread-safe.
 class Database {
  public:
-  /// Opens (or creates) an on-disk database.
+  /// Opens (or creates) an on-disk database. With durability on (or a
+  /// leftover WAL from a durable run), committed WAL records are
+  /// replayed before the header is read.
   static Result<std::unique_ptr<Database>> Open(
       const std::string& path, const DatabaseOptions& options = {});
 
-  /// Opens a fully in-memory database (tests, benches).
+  /// Opens a fully in-memory database (tests, benches). Durability
+  /// must be kOff: there is no medium to recover from.
   static Result<std::unique_ptr<Database>> OpenInMemory(
       const DatabaseOptions& options = {});
 
@@ -56,22 +131,51 @@ class Database {
   /// Names of all tables.
   Result<std::vector<std::string>> ListTables() const;
 
-  /// Writes back all dirty pages and syncs.
+  /// Begins a transaction (inert with durability off). One transaction
+  /// at a time: the engine is single-user and callers already
+  /// serialize writes.
+  [[nodiscard]] Result<Txn> Begin();
+
+  /// True while a transaction is open.
+  bool in_txn() const { return wal_ctx_.txn_active; }
+
+  /// True when this database runs with a write-ahead log.
+  bool durable() const { return wal_ != nullptr; }
+
+  /// Writes back all dirty pages, then syncs the header -- data pages
+  /// always reach the file before the header sync. With durability on
+  /// this is a full Checkpoint.
   Status Flush();
 
+  /// Durable truncation point: flushes everything, fsyncs the database
+  /// file, and truncates the WAL. FailedPrecondition inside a Txn.
+  Status Checkpoint();
+
   BufferPool* buffer_pool() { return pool_.get(); }
+  Wal* wal() { return wal_.get(); }
   const BufferPoolStats& stats() const { return pool_->stats(); }
 
  private:
+  friend class Txn;
+
   Database() = default;
 
   static Result<std::unique_ptr<Database>> Build(
-      std::unique_ptr<File> file, const DatabaseOptions& options);
+      std::unique_ptr<File> file, const DatabaseOptions& options,
+      const std::string& path);
 
   Result<BTree> CatalogTree() const;
+  Status CommitTxn();
+  void AbortTxn();
 
+  DatabaseOptions options_;
   std::unique_ptr<Pager> pager_;
+  std::unique_ptr<Wal> wal_;
+  WalContext wal_ctx_;
   std::unique_ptr<BufferPool> pool_;
+  uint64_t next_txn_id_ = 1;
+  Pager::HeaderSnapshot txn_header_snapshot_;
+  Wal::Mark txn_wal_mark_;
 };
 
 }  // namespace crimson

@@ -135,4 +135,28 @@ Status RemoveFile(const std::string& path) {
 
 std::unique_ptr<File> NewMemFile() { return std::make_unique<MemFile>(); }
 
+StorageEnv PosixStorageEnv() {
+  StorageEnv env;
+  env.open_file = [](const std::string& path) { return OpenPosixFile(path); };
+  env.file_exists = [](const std::string& path) -> Result<bool> {
+    struct stat st;
+    if (stat(path.c_str(), &st) == 0) return true;
+    if (errno == ENOENT) return false;
+    return ErrnoStatus("stat " + path);
+  };
+  env.remove_file = [](const std::string& path) { return RemoveFile(path); };
+  env.sync_dir = [](const std::string& path) -> Status {
+    size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    if (dir.empty()) dir = "/";
+    int fd = open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open dir " + dir);
+    Status s;
+    if (fsync(fd) != 0) s = ErrnoStatus("fsync dir " + dir);
+    close(fd);
+    return s;
+  };
+  return env;
+}
+
 }  // namespace crimson

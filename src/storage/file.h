@@ -6,6 +6,7 @@
 #define CRIMSON_STORAGE_FILE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,6 +47,25 @@ Status RemoveFile(const std::string& path);
 
 /// Creates an empty in-memory file.
 std::unique_ptr<File> NewMemFile();
+
+/// Minimal filesystem interface used wherever the storage engine opens
+/// files by name (the database file, WAL segments). Tests substitute a
+/// fault-injecting or memory-backed environment to simulate crashes at
+/// arbitrary write/sync boundaries (see tests/storage/fault_injection.h).
+struct StorageEnv {
+  /// Opens the file, creating it if absent.
+  std::function<Result<std::unique_ptr<File>>(const std::string&)> open_file;
+  /// True if a file exists at the path.
+  std::function<Result<bool>(const std::string&)> file_exists;
+  /// Removes the file (OK if already absent).
+  std::function<Status(const std::string&)> remove_file;
+  /// Durably persists the directory entry of `path` (fsync of the
+  /// parent directory; needed after creating or deleting WAL segments).
+  std::function<Status(const std::string&)> sync_dir;
+};
+
+/// The default environment over the real filesystem.
+StorageEnv PosixStorageEnv();
 
 }  // namespace crimson
 

@@ -28,6 +28,7 @@ void HeapFile::FormatHeapPage(char* data) {
 }
 
 Result<HeapFile> HeapFile::Create(BufferPool* pool) {
+  CRIMSON_RETURN_IF_ERROR(pool->RequireWritable());
   PageId id;
   CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool->New(&id));
   FormatHeapPage(guard.data());
@@ -141,6 +142,7 @@ Result<RecordId> HeapFile::InsertPayload(const char* payload, uint16_t len,
 }
 
 Result<RecordId> HeapFile::Insert(const Slice& record) {
+  CRIMSON_RETURN_IF_ERROR(pool_->RequireWritable());
   if (record.size() <= kMaxInlineRecord) {
     return InsertPayload(record.data(), static_cast<uint16_t>(record.size()),
                          /*overflow_stub=*/false);
@@ -198,6 +200,7 @@ Status HeapFile::Get(const RecordId& id, std::string* out) const {
 }
 
 Status HeapFile::Delete(const RecordId& id) {
+  CRIMSON_RETURN_IF_ERROR(pool_->RequireWritable());
   PageId overflow_first = kInvalidPageId;
   {
     CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(id.page));

@@ -8,8 +8,10 @@
 
 namespace crimson {
 
-Result<std::unique_ptr<Pager>> Pager::Open(std::unique_ptr<File> file) {
+Result<std::unique_ptr<Pager>> Pager::Open(std::unique_ptr<File> file,
+                                           bool deferred_header) {
   auto pager = std::unique_ptr<Pager>(new Pager(std::move(file)));
+  pager->deferred_ = deferred_header;
   if (pager->file_->Size() == 0) {
     CRIMSON_RETURN_IF_ERROR(pager->InitializeFresh());
   } else {
@@ -72,6 +74,10 @@ Status Pager::WritePage(PageId id, const char* buf) {
 }
 
 Result<PageId> Pager::AllocatePage() {
+  if (deferred_) {
+    return Status::Internal(
+        "AllocatePage bypasses the WAL; use the BufferPool in deferred mode");
+  }
   if (freelist_head_ != kInvalidPageId) {
     PageId id = freelist_head_;
     // A free page stores the next freelist entry at byte offset 1
@@ -98,6 +104,10 @@ Result<PageId> Pager::AllocatePage() {
 }
 
 Status Pager::FreePage(PageId id) {
+  if (deferred_) {
+    return Status::Internal(
+        "FreePage bypasses the WAL; use the BufferPool in deferred mode");
+  }
   if (id == kHeaderPageId || id >= page_count_) {
     return Status::InvalidArgument(StrFormat("cannot free page %u", id));
   }
@@ -111,12 +121,59 @@ Status Pager::FreePage(PageId id) {
 
 Status Pager::SetCatalogRoot(PageId root) {
   catalog_root_ = root;
+  if (deferred_) {
+    header_dirty_ = true;
+    return Status::OK();
+  }
   return WriteHeader();
 }
 
 Status Pager::Flush() {
   CRIMSON_RETURN_IF_ERROR(WriteHeader());
+  header_dirty_ = false;
   return file_->Sync();
+}
+
+Result<PageId> Pager::DeferredAllocateFromExtension() {
+  if (!deferred_) {
+    return Status::Internal("deferred allocation requires deferred mode");
+  }
+  PageId id = page_count_;
+  ++page_count_;
+  header_dirty_ = true;
+  return id;
+}
+
+Status Pager::DeferredSetFreelistHead(PageId head) {
+  if (!deferred_) {
+    return Status::Internal("deferred freelist relink requires deferred mode");
+  }
+  freelist_head_ = head;
+  header_dirty_ = true;
+  return Status::OK();
+}
+
+Status Pager::WriteHeaderIfDirty() {
+  if (!header_dirty_) return Status::OK();
+  CRIMSON_RETURN_IF_ERROR(WriteHeader());
+  header_dirty_ = false;
+  return Status::OK();
+}
+
+Pager::HeaderSnapshot Pager::snapshot() const {
+  HeaderSnapshot snap;
+  snap.page_count = page_count_;
+  snap.freelist_head = freelist_head_;
+  snap.catalog_root = catalog_root_;
+  snap.header_dirty = header_dirty_;
+  return snap;
+}
+
+void Pager::Restore(const HeaderSnapshot& snap) {
+  page_count_ = snap.page_count;
+  freelist_head_ = snap.freelist_head;
+  catalog_root_ = snap.catalog_root;
+  header_dirty_ = snap.header_dirty;
 }
 
 }  // namespace crimson

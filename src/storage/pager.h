@@ -15,10 +15,21 @@ namespace crimson {
 
 /// Owns the database file and its header. All page reads/writes go
 /// through here; the BufferPool caches on top.
+///
+/// Two header-write disciplines:
+///  - Eager (default, durability off): AllocatePage/FreePage/
+///    SetCatalogRoot persist the header immediately -- today's
+///    behavior and file format, byte for byte.
+///  - Deferred (WAL mode): header mutations only update memory and set
+///    a dirty flag; the transaction commit logs a header image and
+///    force-writes the page, so a crash mid-transaction leaves the
+///    on-disk header (and freelist) at the previous committed state.
 class Pager {
  public:
   /// Opens an existing database file or initializes a fresh one.
-  static Result<std::unique_ptr<Pager>> Open(std::unique_ptr<File> file);
+  /// `deferred_header` selects the WAL-mode write discipline above.
+  static Result<std::unique_ptr<Pager>> Open(std::unique_ptr<File> file,
+                                             bool deferred_header = false);
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
@@ -46,6 +57,35 @@ class Pager {
   /// Flushes the header and syncs the file.
   Status Flush();
 
+  // -- WAL-mode (deferred header) surface ----------------------------------
+
+  bool deferred_header() const { return deferred_; }
+  bool header_dirty() const { return header_dirty_; }
+  PageId freelist_head() const { return freelist_head_; }
+
+  /// Extends the page count without touching the file; the new page's
+  /// first write (spill, commit force, or WAL replay) extends it.
+  Result<PageId> DeferredAllocateFromExtension();
+
+  /// Relinks the freelist head in memory; the freelist node itself is
+  /// formatted as a normal (logged) page by the BufferPool.
+  Status DeferredSetFreelistHead(PageId head);
+
+  /// Writes the header page if any deferred mutation is pending. Plain
+  /// write, no sync -- the commit already logged the header image.
+  Status WriteHeaderIfDirty();
+
+  /// In-memory header state captured at transaction begin and restored
+  /// on abort.
+  struct HeaderSnapshot {
+    uint32_t page_count = 1;
+    PageId freelist_head = kInvalidPageId;
+    PageId catalog_root = kInvalidPageId;
+    bool header_dirty = false;
+  };
+  HeaderSnapshot snapshot() const;
+  void Restore(const HeaderSnapshot& snap);
+
  private:
   explicit Pager(std::unique_ptr<File> file) : file_(std::move(file)) {}
 
@@ -57,6 +97,8 @@ class Pager {
   uint32_t page_count_ = 1;
   PageId freelist_head_ = kInvalidPageId;
   PageId catalog_root_ = kInvalidPageId;
+  bool deferred_ = false;
+  bool header_dirty_ = false;
 };
 
 }  // namespace crimson

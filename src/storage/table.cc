@@ -90,6 +90,7 @@ const IndexDef* Table::FindIndexDef(std::string_view name,
 }
 
 Result<RecordId> Table::Insert(const Row& row) {
+  CRIMSON_RETURN_IF_ERROR(pool_->RequireWritable());
   std::string encoded;
   CRIMSON_RETURN_IF_ERROR(EncodeRow(def_.schema, row, &encoded));
 
@@ -120,6 +121,7 @@ Result<RecordId> Table::Insert(const Row& row) {
 }
 
 Result<std::vector<RecordId>> Table::BulkAppend(const std::vector<Row>& rows) {
+  CRIMSON_RETURN_IF_ERROR(pool_->RequireWritable());
   const size_t n_indexes = def_.indexes.size();
   // Encode all rows and index keys up front so failures happen before
   // any mutation.
@@ -226,6 +228,7 @@ Status Table::Get(const RecordId& id, Row* row) const {
 }
 
 Status Table::Delete(const RecordId& id) {
+  CRIMSON_RETURN_IF_ERROR(pool_->RequireWritable());
   Row row;
   CRIMSON_RETURN_IF_ERROR(Get(id, &row));
   std::string rid_value = U64Key(id.Pack());

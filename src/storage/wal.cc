@@ -1,0 +1,400 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/string_util.h"
+
+namespace crimson {
+
+namespace {
+
+/// Lazily built table for CRC32 (IEEE 802.3 polynomial, reflected).
+const uint32_t* Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+/// How many consecutive missing indices the segment prober tolerates
+/// while hunting for stale leftovers from an interrupted truncation.
+constexpr uint32_t kSegmentProbeWindow = 8;
+
+}  // namespace
+
+uint32_t Crc32(const char* data, size_t n, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ static_cast<uint8_t>(data[i])) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string WalSegmentPath(const std::string& base, uint32_t index) {
+  return base + StrFormat(".%06u", index);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& base,
+                                       const StorageEnv& env,
+                                       const WalOptions& options) {
+  auto wal = std::unique_ptr<Wal>(new Wal(base, env, options));
+  // Find the highest generation stamped on any surviving segment so the
+  // new era can never collide with a stale leftover.
+  uint64_t max_gen = 0;
+  uint32_t misses = 0;
+  for (uint32_t idx = 1; misses < kSegmentProbeWindow; ++idx) {
+    CRIMSON_ASSIGN_OR_RETURN(bool exists,
+                             env.file_exists(WalSegmentPath(base, idx)));
+    if (!exists) {
+      ++misses;
+      continue;
+    }
+    misses = 0;
+    CRIMSON_ASSIGN_OR_RETURN(std::unique_ptr<File> f,
+                             env.open_file(WalSegmentPath(base, idx)));
+    if (f->Size() >= kWalSegmentHeaderSize) {
+      std::vector<char> hdr(kWalSegmentHeaderSize);
+      CRIMSON_RETURN_IF_ERROR(f->Read(0, hdr.size(), hdr.data()));
+      if (memcmp(hdr.data(), kWalMagic, sizeof(kWalMagic)) == 0) {
+        max_gen = std::max(max_gen, DecodeFixed64(hdr.data() + 8));
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(wal->mu_);
+  CRIMSON_RETURN_IF_ERROR(wal->ResetLocked(max_gen + 1));
+  return wal;
+}
+
+Status Wal::OpenSegmentLocked(uint32_t index, bool truncate) {
+  CRIMSON_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                           env_.open_file(WalSegmentPath(base_, index)));
+  seg_file_ = std::move(file);
+  if (truncate && seg_file_->Size() > 0) {
+    CRIMSON_RETURN_IF_ERROR(seg_file_->Truncate(0));
+  }
+  std::string hdr;
+  hdr.append(kWalMagic, sizeof(kWalMagic));
+  PutFixed64(&hdr, generation_);
+  PutFixed32(&hdr, index);
+  PutFixed32(&hdr, 0);  // reserved
+  CRIMSON_RETURN_IF_ERROR(seg_file_->Write(0, hdr.data(), hdr.size()));
+  seg_index_ = index;
+  seg_written_ = kWalSegmentHeaderSize;
+  needs_dir_sync_ = true;
+  ++segments_created_;
+  return Status::OK();
+}
+
+Status Wal::InvalidateChain(const std::string& base, const StorageEnv& env,
+                            uint32_t first_removed) {
+  // Step 1: atomically invalidate the old chain. Segment 1 heads it, so
+  // a zero-length (or torn-header) segment 1 makes recovery see an
+  // empty log regardless of what later segments still hold.
+  const std::string seg1 = WalSegmentPath(base, 1);
+  CRIMSON_ASSIGN_OR_RETURN(bool seg1_exists, env.file_exists(seg1));
+  if (seg1_exists) {
+    CRIMSON_ASSIGN_OR_RETURN(std::unique_ptr<File> f, env.open_file(seg1));
+    if (f->Size() > 0) {
+      CRIMSON_RETURN_IF_ERROR(f->Truncate(0));
+      CRIMSON_RETURN_IF_ERROR(f->Sync());
+    }
+  }
+  // Step 2: remove stale segments (safe in any order now).
+  uint32_t misses = 0;
+  for (uint32_t idx = first_removed; misses < kSegmentProbeWindow; ++idx) {
+    CRIMSON_ASSIGN_OR_RETURN(bool exists,
+                             env.file_exists(WalSegmentPath(base, idx)));
+    if (!exists) {
+      ++misses;
+      continue;
+    }
+    misses = 0;
+    CRIMSON_RETURN_IF_ERROR(env.remove_file(WalSegmentPath(base, idx)));
+  }
+  return Status::OK();
+}
+
+Status Wal::RemoveLog(const std::string& base, const StorageEnv& env) {
+  CRIMSON_RETURN_IF_ERROR(InvalidateChain(base, env, /*first_removed=*/2));
+  return env.remove_file(WalSegmentPath(base, 1));
+}
+
+Status Wal::ResetLocked(uint64_t new_generation) {
+  pending_.clear();
+  CRIMSON_RETURN_IF_ERROR(InvalidateChain(base_, env_, /*first_removed=*/2));
+  // Start the new era in segment 1.
+  generation_ = new_generation;
+  appended_lsn_ = flushed_lsn_ = durable_lsn_ = 0;
+  size_bytes_ = 0;
+  pending_commits_.clear();
+  last_group_batch_ = 0;
+  return OpenSegmentLocked(1, /*truncate=*/true);
+}
+
+Status Wal::Reset() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !sync_in_progress_; });
+  if (!sticky_.ok()) return sticky_;
+  Status s = ResetLocked(generation_ + 1);
+  if (!s.ok()) sticky_ = s;
+  return s;
+}
+
+Result<Lsn> Wal::Append(WalRecordType type, const std::string& body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!sticky_.ok()) return sticky_;
+
+  std::string payload;
+  payload.reserve(9 + body.size());
+  payload.push_back(static_cast<char>(type));
+  PutFixed64(&payload, appended_lsn_ + 1);
+  payload.append(body);
+
+  const uint64_t record_size = kWalRecordHeaderSize + payload.size();
+  // Rotate at record granularity so records never span segments.
+  if (seg_written_ + pending_.size() + record_size > options_.segment_bytes &&
+      seg_written_ + pending_.size() > kWalSegmentHeaderSize) {
+    Status s = RotateLocked();
+    if (!s.ok()) {
+      sticky_ = s;
+      return s;
+    }
+  }
+
+  ++appended_lsn_;
+  size_bytes_ += record_size;
+  PutFixed32(&pending_, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&pending_, Crc32(payload.data(), payload.size()));
+  pending_.append(payload);
+
+  if (pending_.size() >= options_.flush_threshold) {
+    Status s = FlushLocked();
+    if (!s.ok()) {
+      sticky_ = s;
+      return s;
+    }
+  }
+  return appended_lsn_;
+}
+
+Result<Lsn> Wal::AppendPageImage(PageId page, const char* image) {
+  std::string body;
+  body.reserve(4 + kPageSize);
+  PutFixed32(&body, page);
+  body.append(image, kPageSize);
+  return Append(WalRecordType::kPageImage, body);
+}
+
+Result<Lsn> Wal::AppendHeaderImage(uint32_t page_count, PageId freelist_head,
+                                   PageId catalog_root) {
+  std::string body;
+  PutFixed32(&body, page_count);
+  PutFixed32(&body, freelist_head);
+  PutFixed32(&body, catalog_root);
+  return Append(WalRecordType::kHeaderImage, body);
+}
+
+Result<Lsn> Wal::AppendCommit(uint64_t txn_id) {
+  std::string body;
+  PutFixed64(&body, txn_id);
+  Result<Lsn> lsn = Append(WalRecordType::kCommit, body);
+  if (lsn.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_commits_.push_back(*lsn);
+    if (leader_collecting_) cv_.notify_all();
+  }
+  return lsn;
+}
+
+Status Wal::FlushLocked() {
+  if (pending_.empty()) return Status::OK();
+  CRIMSON_RETURN_IF_ERROR(
+      seg_file_->Write(seg_written_, pending_.data(), pending_.size()));
+  seg_written_ += pending_.size();
+  pending_.clear();
+  flushed_lsn_ = appended_lsn_;
+  return Status::OK();
+}
+
+Status Wal::RotateLocked() {
+  CRIMSON_RETURN_IF_ERROR(FlushLocked());
+  // Close out the full segment durably so later Syncs only ever need to
+  // touch the current segment (and the directory entry).
+  CRIMSON_RETURN_IF_ERROR(seg_file_->Sync());
+  if (needs_dir_sync_) {
+    CRIMSON_RETURN_IF_ERROR(env_.sync_dir(base_));
+    needs_dir_sync_ = false;
+  }
+  durable_lsn_ = std::max(durable_lsn_, flushed_lsn_);
+  return OpenSegmentLocked(seg_index_ + 1, /*truncate=*/true);
+}
+
+Status Wal::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!sticky_.ok()) return sticky_;
+  Status s = FlushLocked();
+  if (!s.ok()) sticky_ = s;
+  return s;
+}
+
+Status Wal::Sync(Lsn lsn, bool group) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!sticky_.ok()) return sticky_;
+    if (group && durable_lsn_ >= lsn) return Status::OK();
+    if (sync_in_progress_) {
+      // A leader's fdatasync is in flight; wait for it. In group mode
+      // it may cover us; in exclusive mode we still do our own after.
+      cv_.wait(lock);
+      continue;
+    }
+    // Exclusive mode falls through even when durable_lsn_ already
+    // covers lsn: per-commit-fsync semantics issue a dedicated
+    // fdatasync for every committer.
+    if (group && options_.group_window_us > 0 && last_group_batch_ > 1) {
+      // Committers are arriving concurrently: hold the flush until as
+      // many commits as the last batch have queued (commit appends
+      // notify us, so this resolves in microseconds under steady
+      // load), or until the window expires on falling load.
+      leader_collecting_ = true;
+      const uint64_t want = last_group_batch_;
+      cv_.wait_for(lock, std::chrono::microseconds(options_.group_window_us),
+                   [&] {
+                     return pending_commits_.size() >= want || !sticky_.ok();
+                   });
+      leader_collecting_ = false;
+      if (!sticky_.ok()) {
+        cv_.notify_all();
+        return sticky_;
+      }
+    }
+    Status s = FlushLocked();
+    if (!s.ok()) {
+      sticky_ = s;
+      cv_.notify_all();
+      return s;
+    }
+    const Lsn target = flushed_lsn_;
+    // Shared copy: a concurrent append may rotate (and replace)
+    // seg_file_ while this fsync runs outside the lock. Records up to
+    // `target` are in this file, and a rotation fsyncs the segment it
+    // retires, so the durability claim below stays valid either way.
+    std::shared_ptr<File> file = seg_file_;
+    const bool dir_sync = needs_dir_sync_;
+    const uint64_t created_at_capture = segments_created_;
+    sync_in_progress_ = true;
+    lock.unlock();
+
+    Status sync_status = file->Sync();
+    if (sync_status.ok() && dir_sync) sync_status = env_.sync_dir(base_);
+
+    lock.lock();
+    sync_in_progress_ = false;
+    if (!sync_status.ok()) {
+      sticky_ = sync_status;
+      cv_.notify_all();
+      return sync_status;
+    }
+    // Only clear the flag if no segment was created while the
+    // directory fsync ran -- a fresh segment needs its own.
+    if (dir_sync && segments_created_ == created_at_capture) {
+      needs_dir_sync_ = false;
+    }
+    durable_lsn_ = std::max(durable_lsn_, target);
+    uint64_t covered = 0;
+    while (!pending_commits_.empty() && pending_commits_.front() <= target) {
+      pending_commits_.pop_front();
+      ++covered;
+    }
+    if (covered > 0) last_group_batch_ = covered;
+    cv_.notify_all();
+    if (durable_lsn_ >= lsn) return Status::OK();
+  }
+}
+
+Wal::Mark Wal::mark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Mark m;
+  m.lsn = appended_lsn_;
+  m.segment = seg_index_;
+  m.offset = seg_written_ + pending_.size();
+  return m;
+}
+
+Status Wal::Rewind(const Mark& mark) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !sync_in_progress_; });
+  if (!sticky_.ok()) return sticky_;
+  auto fail = [&](Status s) {
+    sticky_ = s;
+    return s;
+  };
+  if (mark.lsn > appended_lsn_) {
+    return fail(Status::Internal("WAL rewind past the append position"));
+  }
+  if (mark.segment == seg_index_ && mark.offset >= seg_written_) {
+    // The whole rewound range is still buffered.
+    pending_.resize(mark.offset - seg_written_);
+  } else {
+    pending_.clear();
+    if (mark.segment != seg_index_) {
+      // Drop segments created during the aborted transaction.
+      for (uint32_t idx = seg_index_; idx > mark.segment; --idx) {
+        Status s = env_.remove_file(WalSegmentPath(base_, idx));
+        if (!s.ok()) return fail(s);
+      }
+      Result<std::unique_ptr<File>> reopened =
+          env_.open_file(WalSegmentPath(base_, mark.segment));
+      if (!reopened.ok()) return fail(reopened.status());
+      seg_file_ = std::shared_ptr<File>(std::move(*reopened));
+      seg_index_ = mark.segment;
+      needs_dir_sync_ = true;
+    }
+    Status s = seg_file_->Truncate(mark.offset);
+    if (!s.ok()) return fail(s);
+    seg_written_ = mark.offset;
+  }
+  appended_lsn_ = mark.lsn;
+  flushed_lsn_ = std::min(flushed_lsn_, mark.lsn);
+  durable_lsn_ = std::min(durable_lsn_, mark.lsn);
+  while (!pending_commits_.empty() && pending_commits_.back() > mark.lsn) {
+    pending_commits_.pop_back();
+  }
+  return Status::OK();
+}
+
+Lsn Wal::appended_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_lsn_;
+}
+
+Lsn Wal::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+uint64_t Wal::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+uint64_t Wal::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_bytes_;
+}
+
+}  // namespace crimson

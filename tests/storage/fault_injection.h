@@ -1,0 +1,223 @@
+// FaultInjectionEnv: a memory-backed StorageEnv that simulates crashes
+// at arbitrary I/O boundaries for deterministic recovery testing.
+//
+// Every write/sync/truncate across all files of the environment bumps
+// one global op counter. Arming a fail point makes the op with that
+// index -- and every op after it -- fail with IOError (sticky), like a
+// process that lost its disk; a torn fail point additionally persists
+// a prefix of the failing write, simulating a partial-sector write.
+//
+// File contents survive File-object destruction, so dropping a session
+// and reopening against the same environment models a process crash.
+// The environment tracks which bytes were covered by a successful
+// Sync: CrashToDurable() reverts every file to its last-synced state
+// (and un-creates files whose directory entry was never sync_dir'd),
+// modelling the strictest interpretation of a power failure.
+
+#ifndef CRIMSON_TESTS_STORAGE_FAULT_INJECTION_H_
+#define CRIMSON_TESTS_STORAGE_FAULT_INJECTION_H_
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/file.h"
+
+namespace crimson {
+namespace test {
+
+class FaultInjectionEnv {
+ public:
+  FaultInjectionEnv() : inner_(std::make_shared<Inner>()) {}
+
+  /// StorageEnv whose files live in (and persist across reopens of)
+  /// this environment.
+  StorageEnv env() {
+    StorageEnv e;
+    auto inner = inner_;
+    e.open_file =
+        [inner](const std::string& path) -> Result<std::unique_ptr<File>> {
+      std::lock_guard<std::mutex> lock(inner->mu);
+      FileState& fs = inner->files[path];
+      if (!fs.exists) {
+        fs.exists = true;
+        fs.current.clear();
+      }
+      return std::unique_ptr<File>(new FaultFile(inner, path));
+    };
+    e.file_exists = [inner](const std::string& path) -> Result<bool> {
+      std::lock_guard<std::mutex> lock(inner->mu);
+      auto it = inner->files.find(path);
+      return it != inner->files.end() && it->second.exists;
+    };
+    e.remove_file = [inner](const std::string& path) -> Status {
+      std::lock_guard<std::mutex> lock(inner->mu);
+      auto it = inner->files.find(path);
+      // The durable entry (if any) lingers until the next sync_dir --
+      // an unlink is not crash-durable until its directory is synced.
+      if (it != inner->files.end()) it->second.exists = false;
+      return Status::OK();
+    };
+    e.sync_dir = [inner](const std::string&) -> Status {
+      std::lock_guard<std::mutex> lock(inner->mu);
+      CRIMSON_RETURN_IF_ERROR(inner->CountOpLocked(nullptr, nullptr, 0));
+      for (auto& [path, fs] : inner->files) fs.exists_durable = fs.exists;
+      return Status::OK();
+    };
+    return e;
+  }
+
+  /// The op with 1-based index `op_index` (counted from the last
+  /// ResetOpCount) and every later op fail with IOError. With
+  /// torn=true the failing write persists its first half.
+  void ArmFailPoint(uint64_t op_index, bool torn = false) {
+    std::lock_guard<std::mutex> lock(inner_->mu);
+    inner_->fail_at = op_index;
+    inner_->torn = torn;
+    inner_->triggered = false;
+  }
+
+  void Disarm() {
+    std::lock_guard<std::mutex> lock(inner_->mu);
+    inner_->fail_at = 0;
+    inner_->triggered = false;
+  }
+
+  void ResetOpCount() {
+    std::lock_guard<std::mutex> lock(inner_->mu);
+    inner_->op_count = 0;
+  }
+
+  uint64_t ops_performed() const {
+    std::lock_guard<std::mutex> lock(inner_->mu);
+    return inner_->op_count;
+  }
+
+  bool triggered() const {
+    std::lock_guard<std::mutex> lock(inner_->mu);
+    return inner_->triggered;
+  }
+
+  /// Simulates power loss: every file reverts to its last successfully
+  /// synced content, and files whose creation (or deletion) was never
+  /// made durable with sync_dir revert their existence too.
+  void CrashToDurable() {
+    std::lock_guard<std::mutex> lock(inner_->mu);
+    for (auto it = inner_->files.begin(); it != inner_->files.end();) {
+      FileState& fs = it->second;
+      fs.exists = fs.exists_durable;
+      fs.current = fs.durable;
+      if (!fs.exists && !fs.exists_durable) {
+        it = inner_->files.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Raw bytes of one file ("" when absent) -- for byte-equality checks.
+  std::string FileContents(const std::string& path) const {
+    std::lock_guard<std::mutex> lock(inner_->mu);
+    auto it = inner_->files.find(path);
+    return it != inner_->files.end() && it->second.exists ? it->second.current
+                                                          : std::string();
+  }
+
+ private:
+  struct FileState {
+    std::string current;         // content visible to the process
+    std::string durable;         // content as of the last Sync
+    bool exists = false;         // directory entry (process view)
+    bool exists_durable = false; // directory entry survived sync_dir
+  };
+
+  struct Inner {
+    mutable std::mutex mu;
+    std::map<std::string, FileState> files;
+    uint64_t op_count = 0;
+    uint64_t fail_at = 0;  // 0 = disarmed
+    bool torn = false;
+    bool triggered = false;
+
+    /// Counts one write/sync op; returns IOError at/after the fail
+    /// point. For a torn write, persists the first half of (data, n)
+    /// into fs before failing.
+    Status CountOpLocked(FileState* fs, const char* data, size_t n,
+                         uint64_t offset = 0) {
+      ++op_count;
+      if (fail_at == 0 || op_count < fail_at) return Status::OK();
+      if (op_count == fail_at && torn && fs != nullptr && data != nullptr &&
+          n > 1) {
+        size_t half = n / 2;
+        if (fs->current.size() < offset + half) {
+          fs->current.resize(offset + half);
+        }
+        memcpy(&fs->current[offset], data, half);
+      }
+      triggered = true;
+      return Status::IOError("injected fault");
+    }
+  };
+
+  class FaultFile final : public File {
+   public:
+    FaultFile(std::shared_ptr<Inner> inner, std::string path)
+        : inner_(std::move(inner)), path_(std::move(path)) {}
+
+    Status Read(uint64_t offset, size_t n, char* scratch) const override {
+      std::lock_guard<std::mutex> lock(inner_->mu);
+      const FileState& fs = inner_->files[path_];
+      if (offset + n > fs.current.size()) {
+        return Status::IOError("fault-injection read past EOF");
+      }
+      memcpy(scratch, fs.current.data() + offset, n);
+      return Status::OK();
+    }
+
+    Status Write(uint64_t offset, const char* data, size_t n) override {
+      std::lock_guard<std::mutex> lock(inner_->mu);
+      FileState& fs = inner_->files[path_];
+      CRIMSON_RETURN_IF_ERROR(inner_->CountOpLocked(&fs, data, n, offset));
+      if (fs.current.size() < offset + n) fs.current.resize(offset + n);
+      memcpy(&fs.current[offset], data, n);
+      return Status::OK();
+    }
+
+    Status Sync() override {
+      std::lock_guard<std::mutex> lock(inner_->mu);
+      FileState& fs = inner_->files[path_];
+      CRIMSON_RETURN_IF_ERROR(inner_->CountOpLocked(nullptr, nullptr, 0));
+      fs.durable = fs.current;
+      return Status::OK();
+    }
+
+    uint64_t Size() const override {
+      std::lock_guard<std::mutex> lock(inner_->mu);
+      return inner_->files[path_].current.size();
+    }
+
+    Status Truncate(uint64_t new_size) override {
+      std::lock_guard<std::mutex> lock(inner_->mu);
+      FileState& fs = inner_->files[path_];
+      CRIMSON_RETURN_IF_ERROR(inner_->CountOpLocked(nullptr, nullptr, 0));
+      fs.current.resize(new_size);
+      return Status::OK();
+    }
+
+   private:
+    std::shared_ptr<Inner> inner_;
+    const std::string path_;
+  };
+
+  std::shared_ptr<Inner> inner_;
+};
+
+}  // namespace test
+}  // namespace crimson
+
+#endif  // CRIMSON_TESTS_STORAGE_FAULT_INJECTION_H_
