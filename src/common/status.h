@@ -100,6 +100,9 @@ class Status {
     return code() == StatusCode::kFailedPrecondition;
   }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
 
   /// Message attached at construction; empty for OK.

@@ -87,6 +87,17 @@ Status Crimson::ReopenRepositoriesLocked() {
   return txn.Commit();
 }
 
+Crimson::StorageReadGuard Crimson::AcquireStorageRead() const {
+  StorageReadGuard guard;
+  if (options_.serialize_storage_reads) {
+    guard.exclusive = std::unique_lock<std::shared_mutex>(db_mu_);
+  } else {
+    guard.shared = std::shared_lock<std::shared_mutex>(db_mu_);
+  }
+  guard.epoch = db_->BeginRead();
+  return guard;
+}
+
 Result<std::unique_ptr<Crimson>> Crimson::Open(const CrimsonOptions& options) {
   auto c = std::unique_ptr<Crimson>(new Crimson());
   c->options_ = options;
@@ -125,7 +136,7 @@ Result<SessionLoadReport> Crimson::LoadNewick(const std::string& name,
                                               const std::string& newick,
                                               LoadMode mode) {
   Result<LoadReport> report = [&] {
-    std::lock_guard<std::mutex> lock(db_mu_);
+    std::lock_guard<std::shared_mutex> lock(db_mu_);
     return TransactLocked([&] { return loader_->LoadNewick(name, newick, mode); });
   }();
   return FinishLoad(std::move(report));
@@ -135,7 +146,7 @@ Result<SessionLoadReport> Crimson::LoadNexus(const std::string& name,
                                              const std::string& nexus,
                                              LoadMode mode) {
   Result<LoadReport> report = [&] {
-    std::lock_guard<std::mutex> lock(db_mu_);
+    std::lock_guard<std::shared_mutex> lock(db_mu_);
     return TransactLocked([&] { return loader_->LoadNexus(name, nexus, mode); });
   }();
   return FinishLoad(std::move(report));
@@ -144,7 +155,7 @@ Result<SessionLoadReport> Crimson::LoadNexus(const std::string& name,
 Result<SessionLoadReport> Crimson::LoadTree(const std::string& name,
                                             const PhyloTree& tree) {
   Result<LoadReport> report = [&] {
-    std::lock_guard<std::mutex> lock(db_mu_);
+    std::lock_guard<std::shared_mutex> lock(db_mu_);
     return TransactLocked([&] { return loader_->LoadTree(name, tree); });
   }();
   return FinishLoad(std::move(report));
@@ -154,7 +165,7 @@ Result<LoadReport> Crimson::AppendSpeciesData(
     const std::string& tree_name,
     const std::map<std::string, std::string>& sequences) {
   Result<LoadReport> report = [&] {
-    std::lock_guard<std::mutex> lock(db_mu_);
+    std::lock_guard<std::shared_mutex> lock(db_mu_);
     return TransactLocked(
         [&] { return loader_->AppendSpecies(tree_name, sequences); });
   }();
@@ -180,7 +191,7 @@ void Crimson::InvalidateEvalState(const std::string& tree_name) {
 }
 
 Result<std::vector<TreeInfo>> Crimson::ListTrees() const {
-  std::lock_guard<std::mutex> lock(db_mu_);
+  StorageReadGuard read = AcquireStorageRead();
   return trees_->ListTrees();
 }
 
@@ -198,7 +209,7 @@ Result<TreeRef> Crimson::OpenTree(const std::string& name) {
     std::shared_ptr<TreeHandle> h;
     Result<std::string> blob = Status::NotFound("labels not fetched");
     {
-      std::lock_guard<std::mutex> db_lock(db_mu_);
+      StorageReadGuard read = AcquireStorageRead();
       CRIMSON_ASSIGN_OR_RETURN(TreeInfo info, trees_->GetTreeInfo(name));
       h = std::make_shared<TreeHandle>(
           static_cast<uint32_t>(info.f > 0 ? info.f : options_.f));
@@ -373,7 +384,7 @@ Result<QueryResult> Crimson::ExecuteOnHandle(const TreeHandle& handle,
 
 void Crimson::RecordQuery(std::string_view kind, const std::string& params,
                           const std::string& summary) {
-  std::lock_guard<std::mutex> lock(db_mu_);
+  std::lock_guard<std::shared_mutex> lock(db_mu_);
   Result<int64_t> r = TransactLocked(
       [&] { return queries_->Record(std::string(kind), params, summary); });
   if (!r.ok()) {
@@ -509,7 +520,7 @@ Result<std::shared_ptr<const Crimson::EvalState>> Crimson::EvalStateFor(
     // build may duplicate the work and the insertion keeps one state.
     std::map<std::string, std::string> seqs;
     {
-      std::lock_guard<std::mutex> lock(db_mu_);
+      StorageReadGuard read = AcquireStorageRead();
       CRIMSON_ASSIGN_OR_RETURN(
           seqs, species_->SequencesForTree(handle->info.tree_id));
     }
@@ -609,7 +620,7 @@ Status Crimson::PersistExperiment(ExperimentReport* report) {
     cell_rows.push_back(std::move(row));
   }
 
-  std::lock_guard<std::mutex> lock(db_mu_);
+  std::lock_guard<std::shared_mutex> lock(db_mu_);
   // One transaction covers the experiment row, all run rows, and all
   // cell aggregates: a crash mid-persist recovers to either no trace
   // of the experiment or all of it.
@@ -679,7 +690,7 @@ Result<ExperimentReport> Crimson::RunExperiment(TreeRef tree,
 Result<ExperimentReport> Crimson::RerunExperiment(int64_t experiment_id) {
   ExperimentRepository::ExperimentRow row;
   {
-    std::lock_guard<std::mutex> lock(db_mu_);
+    StorageReadGuard read = AcquireStorageRead();
     CRIMSON_ASSIGN_OR_RETURN(row,
                              experiments_->GetExperiment(experiment_id));
   }
@@ -704,7 +715,7 @@ Result<ExperimentReport> Crimson::RerunExperiment(int64_t experiment_id) {
 
 Result<std::vector<ExperimentRepository::ExperimentRow>>
 Crimson::ListExperiments() const {
-  std::lock_guard<std::mutex> lock(db_mu_);
+  StorageReadGuard read = AcquireStorageRead();
   return experiments_->ListExperiments();
 }
 
@@ -749,14 +760,14 @@ Result<BenchmarkRun> Crimson::Benchmark(
 
 Result<std::vector<QueryRepository::Entry>> Crimson::QueryHistory(
     size_t limit) {
-  std::lock_guard<std::mutex> lock(db_mu_);
+  StorageReadGuard read = AcquireStorageRead();
   return queries_->History(limit);
 }
 
 Result<std::string> Crimson::RerunQuery(int64_t query_id) {
   QueryRepository::Entry entry;
   {
-    std::lock_guard<std::mutex> lock(db_mu_);
+    StorageReadGuard read = AcquireStorageRead();
     CRIMSON_ASSIGN_OR_RETURN(entry, queries_->Get(query_id));
   }
   if (entry.kind == "experiment" || entry.kind == "benchmark") {
@@ -796,7 +807,7 @@ Result<std::string> Crimson::ExportNexus(TreeRef tree) {
     doc.taxa.push_back(handle->tree.name(n));
   }
   {
-    std::lock_guard<std::mutex> lock(db_mu_);
+    StorageReadGuard read = AcquireStorageRead();
     CRIMSON_ASSIGN_OR_RETURN(
         doc.sequences, species_->SequencesForTree(handle->info.tree_id));
   }
@@ -827,12 +838,12 @@ Result<std::string> Crimson::RenderTree(const std::string& tree_name,
 }
 
 Status Crimson::Flush() {
-  std::lock_guard<std::mutex> lock(db_mu_);
+  std::lock_guard<std::shared_mutex> lock(db_mu_);
   return db_->Flush();
 }
 
 Status Crimson::Checkpoint() {
-  std::lock_guard<std::mutex> lock(db_mu_);
+  std::lock_guard<std::shared_mutex> lock(db_mu_);
   return db_->Checkpoint();
 }
 

@@ -14,10 +14,14 @@
 // (algorithm registry names x selection grid x replicates) on the
 // worker pool against per-tree cached evaluation state, persists the
 // spec and scores, and RerunExperiment replays stored workloads
-// byte-identically. The session is thread-safe: the handle cache is
-// guarded by a shared_mutex, the single-user storage engine by a
-// mutex, and query execution itself touches only immutable per-tree
-// state.
+// byte-identically. The session is thread-safe AND read-concurrent:
+// the handle cache is guarded by a shared_mutex, storage writes hold
+// the storage lock exclusively, while storage *reads* (cold OpenTree
+// binds, label-scheme loads, sequence fetches, history/experiment
+// lookups) hold it shared plus a Database read epoch -- so readers
+// never queue behind each other, only behind the single writer (see
+// DESIGN.md "Concurrency" and the README thread-safety table).
+// Query execution itself touches only immutable per-tree state.
 
 #ifndef CRIMSON_CRIMSON_CRIMSON_H_
 #define CRIMSON_CRIMSON_CRIMSON_H_
@@ -69,6 +73,11 @@ struct CrimsonOptions {
   uint64_t seed = 42;
   /// Worker threads backing ExecuteBatch (>= 1).
   size_t batch_workers = 4;
+  /// Benchmark baseline knob: route storage *reads* through the
+  /// exclusive writer lock instead of the shared read path, restoring
+  /// the pre-concurrency single-lock engine. bench_concurrent_reads
+  /// measures the shared path's speedup against this.
+  bool serialize_storage_reads = false;
   /// Crash-durability discipline for on-disk databases (requires
   /// db_path). kOff preserves the legacy behavior and file format;
   /// kCommit wraps every repository write in a WAL transaction whose
@@ -307,15 +316,25 @@ class Crimson {
   void RecordQuery(std::string_view kind, const std::string& params,
                    const std::string& summary);
   Result<SessionLoadReport> FinishLoad(Result<LoadReport> report);
+  /// Shared storage-read section: db_mu_ held shared (writers take it
+  /// exclusive) plus a Database read epoch, so repository reads from
+  /// any number of threads overlap. With serialize_storage_reads the
+  /// section degrades to the exclusive lock (bench baseline).
+  struct StorageReadGuard {
+    std::shared_lock<std::shared_mutex> shared;
+    std::unique_lock<std::shared_mutex> exclusive;
+    Database::ReadTxn epoch;
+  };
+  StorageReadGuard AcquireStorageRead() const;
   /// Runs fn (one logical repository write) inside a Txn; db_mu_ must
-  /// be held. Commits on success; aborts on failure. After an abort
+  /// be held exclusive. Commits on success; aborts on failure. After an abort
   /// with durability on, the repositories are reopened: their
   /// in-memory hints (heap tails, cached counts, next ids) may
   /// reflect the rolled-back writes.
   template <typename Fn>
   auto TransactLocked(Fn&& fn) -> decltype(fn());
   /// Rebuilds the repository handles (and the loader over them) from
-  /// current storage; db_mu_ must be held.
+  /// current storage; db_mu_ must be held exclusive.
   Status ReopenRepositoriesLocked();
 
   CrimsonOptions options_;
@@ -327,9 +346,13 @@ class Crimson {
   std::unique_ptr<DataLoader> loader_;
   std::unique_ptr<ThreadPool> pool_;
 
-  /// Serializes access to the single-user storage engine (db_ and the
-  /// repositories above). Never held while executing query compute.
-  mutable std::mutex db_mu_;
+  /// The storage lock. Writers (loads, history appends, experiment
+  /// persistence -- everything inside TransactLocked) hold it
+  /// exclusive; storage reads hold it shared together with a Database
+  /// read epoch (AcquireStorageRead), so cold binds, scheme loads, and
+  /// sequence fetches from concurrent threads proceed in parallel.
+  /// Never held while executing query compute.
+  mutable std::shared_mutex db_mu_;
 
   /// Guards the handle cache. Shared for ref lookup on the query path,
   /// exclusive only for the brief insertion of a freshly materialized

@@ -30,9 +30,12 @@
 //   (* = indexed column)
 //
 // Thread safety: the repositories inherit the storage engine's
-// single-user semantics and are NOT individually thread-safe; the
-// Crimson session serializes every repository call behind its storage
-// mutex (see crimson.h).
+// single-writer / multi-reader semantics. The Crimson session holds
+// its storage lock exclusive (plus a Database writer epoch) around
+// every repository *write*, and shared (plus a read epoch) around
+// repository *reads* -- so reads from any number of threads proceed
+// in parallel through the latched buffer pool (see crimson.h and
+// DESIGN.md "Concurrency").
 
 #ifndef CRIMSON_CRIMSON_REPOSITORIES_H_
 #define CRIMSON_CRIMSON_REPOSITORIES_H_

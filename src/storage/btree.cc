@@ -314,7 +314,8 @@ Result<PageId> BTree::Root() const {
 }
 
 Status BTree::SetRoot(PageId root) {
-  CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(anchor_));
+  CRIMSON_ASSIGN_OR_RETURN(PageGuard guard,
+                           pool_->Fetch(anchor_, PageIntent::kWrite));
   EncodeFixed32(guard.data() + 1, root);
   guard.MarkDirty();
   return Status::OK();
@@ -354,7 +355,9 @@ Status BTree::Insert(const Slice& key, const Slice& value, bool unique) {
 
 Status BTree::InsertInto(PageId node, const Slice& key, const Slice& value,
                          bool unique, std::optional<SplitResult>* split) {
-  CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
+  // Write intent even for routing nodes: a child split mutates them.
+  CRIMSON_ASSIGN_OR_RETURN(PageGuard guard,
+                           pool_->Fetch(node, PageIntent::kWrite));
   char* d = guard.data();
 
   if (NodeType(d) == PageType::kBTreeLeaf) {
@@ -566,7 +569,8 @@ Status BTree::BulkLoad(const std::vector<std::pair<Slice, Slice>>& entries) {
         FormatNode(leaf.data(), PageType::kBTreeLeaf);
         level.push_back({entries[i].first.ToString(), leaf_id});
         if (prev_leaf != kInvalidPageId) {
-          CRIMSON_ASSIGN_OR_RETURN(PageGuard prev, pool_->Fetch(prev_leaf));
+          CRIMSON_ASSIGN_OR_RETURN(
+              PageGuard prev, pool_->Fetch(prev_leaf, PageIntent::kWrite));
           SetLink(prev.data(), leaf_id);
           prev.MarkDirty();
         }
@@ -660,9 +664,12 @@ Status BTree::Get(const Slice& key, std::string* value) const {
 Status BTree::Delete(const Slice& key, const Slice* value) {
   CRIMSON_RETURN_IF_ERROR(pool_->RequireWritable());
   CRIMSON_ASSIGN_OR_RETURN(PageId node, Root());
-  // Descend to the leaf that contains the first occurrence.
+  // Descend to the leaf that contains the first occurrence. Write
+  // intent throughout: the fetched node may turn out to be the leaf
+  // this call mutates.
   while (true) {
-    CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
+    CRIMSON_ASSIGN_OR_RETURN(PageGuard guard,
+                             pool_->Fetch(node, PageIntent::kWrite));
     char* d = guard.data();
     if (NodeType(d) == PageType::kBTreeInternal) {
       node = ChildAt(d, SeekChildIndexFor(d, key));
@@ -679,7 +686,7 @@ Status BTree::Delete(const Slice& key, const Slice* value) {
       if (pos >= NumCells(ld)) {
         PageId next = Link(ld);
         if (next == kInvalidPageId) return Status::NotFound("key not found");
-        CRIMSON_ASSIGN_OR_RETURN(lg, pool_->Fetch(next));
+        CRIMSON_ASSIGN_OR_RETURN(lg, pool_->Fetch(next, PageIntent::kWrite));
         pos = 0;
         continue;
       }

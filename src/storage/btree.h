@@ -38,7 +38,10 @@
 
 namespace crimson {
 
-/// B+Tree handle. Not thread-safe.
+/// B+Tree handle. Read operations (Get/Empty/Count/Iterator) are safe
+/// from any number of threads under the buffer pool's shared frame
+/// latches; mutations belong to the single writer (Database writer
+/// epoch) and take exclusive latches on the pages they touch.
 class BTree {
  public:
   /// Maximum key/value sizes, chosen so several cells fit per page.

@@ -20,12 +20,14 @@ const char* PageGuard::data() const {
 
 void PageGuard::MarkDirty() {
   assert(valid());
+  assert(intent_ == PageIntent::kWrite &&
+         "MarkDirty on a read-latched guard");
   pool_->OnDirty(frame_);
 }
 
 void PageGuard::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    pool_->Unpin(frame_, intent_);
     pool_ = nullptr;
   }
 }
@@ -37,22 +39,41 @@ BufferPool::BufferPool(Pager* pager, size_t capacity, WalContext* wal_ctx)
   free_frames_.reserve(capacity);
   for (size_t i = 0; i < capacity; ++i) {
     frames_[i].data.resize(kPageSize);
+    frames_[i].latch = std::make_unique<std::shared_mutex>();
     free_frames_.push_back(capacity - 1 - i);  // hand out low indices first
   }
 }
 
-void BufferPool::Unpin(size_t frame_index) {
+void BufferPool::Unpin(size_t frame_index, PageIntent intent) {
   Frame& f = frames_[frame_index];
+  // Latch first, pin second: once the pin drops the frame may be
+  // evicted and repurposed, and a repurposed frame's latch must be
+  // free (eviction only picks pin_count == 0 frames, whose latches
+  // are by construction unheld).
+  if (intent == PageIntent::kWrite) {
+    f.latch->unlock();
+  } else {
+    f.latch->unlock_shared();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   assert(f.pin_count > 0);
   --f.pin_count;
-  if (f.pin_count == 0 && f.valid) {
-    lru_.push_front(frame_index);
-    f.lru_pos = lru_.begin();
-    f.in_lru = true;
+  if (f.pin_count == 0) {
+    if (f.valid) {
+      lru_.push_front(frame_index);
+      f.lru_pos = lru_.begin();
+      f.in_lru = true;
+    } else {
+      // The frame went invalid while pinned (its installer's disk read
+      // failed under waiters); the last waiter returns it to the free
+      // list.
+      free_frames_.push_back(frame_index);
+    }
   }
 }
 
 void BufferPool::OnDirty(size_t frame_index) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& f = frames_[frame_index];
   f.dirty = true;
   // Content changed: any previously logged image is stale.
@@ -104,7 +125,7 @@ Status BufferPool::WriteBack(Frame& frame) {
   return Status::OK();
 }
 
-Result<size_t> BufferPool::GetVictimFrame() {
+Result<size_t> BufferPool::GetVictimFrameLocked() {
   if (!free_frames_.empty()) {
     size_t idx = free_frames_.back();
     free_frames_.pop_back();
@@ -130,8 +151,8 @@ Result<size_t> BufferPool::GetVictimFrame() {
       "transaction");
 }
 
-Result<size_t> BufferPool::InstallFrame(PageId id) {
-  CRIMSON_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+Result<size_t> BufferPool::InstallFrameLocked(PageId id) {
+  CRIMSON_ASSIGN_OR_RETURN(size_t idx, GetVictimFrameLocked());
   Frame& f = frames_[idx];
   f.page_id = id;
   f.pin_count = 1;
@@ -140,34 +161,79 @@ Result<size_t> BufferPool::InstallFrame(PageId id) {
   f.valid = true;
   f.in_lru = false;
   page_table_[id] = idx;
+  // The installer claims the content latch exclusively *before* the
+  // mapping escapes mu_: a victim frame's latch is by construction
+  // free (pin_count was 0), so this cannot block, and any thread that
+  // finds the new mapping waits on the latch until the installer has
+  // put the content in place (disk read, zero-fill, ...).
+  bool latched = f.latch->try_lock();
+  assert(latched && "victim frame latch must be free");
+  (void)latched;
   return idx;
 }
 
-Result<PageGuard> BufferPool::Fetch(PageId id) {
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    ++stats_.hits;
-    size_t idx = it->second;
-    Frame& f = frames_[idx];
-    if (f.pin_count == 0 && f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
-    }
-    ++f.pin_count;
-    return PageGuard(this, idx, id);
-  }
-  ++stats_.misses;
-  CRIMSON_ASSIGN_OR_RETURN(size_t idx, InstallFrame(id));
+PageGuard BufferPool::PinAndLatch(std::unique_lock<std::mutex> lock,
+                                  size_t idx, PageId id, PageIntent intent) {
   Frame& f = frames_[idx];
-  Status s = pager_->ReadPage(id, f.data.data());
-  if (!s.ok()) {
-    page_table_.erase(id);
-    f.valid = false;
-    f.pin_count = 0;
-    free_frames_.push_back(idx);
-    return s;
+  if (f.pin_count == 0 && f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
   }
-  return PageGuard(this, idx, id);
+  ++f.pin_count;
+  // The pin keeps the frame from being evicted or repurposed, so the
+  // latch can be taken without the table mutex; a kWrite acquisition
+  // blocks here until concurrent readers of this page drain.
+  lock.unlock();
+  if (intent == PageIntent::kWrite) {
+    f.latch->lock();
+  } else {
+    f.latch->lock_shared();
+  }
+  return PageGuard(this, idx, id, intent);
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId id, PageIntent intent) {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = page_table_.find(id);
+    if (it != page_table_.end()) {
+      size_t idx = it->second;
+      ++stats_.hits;
+      PageGuard guard = PinAndLatch(std::move(lock), idx, id, intent);
+      // A pinned frame can only go invalid if its installer's disk
+      // read failed while this thread waited on the latch (both reads
+      // below are ordered by that latch handoff); retry the fetch.
+      Frame& f = frames_[idx];
+      if (!f.valid || f.page_id != id) continue;  // guard releases
+      return guard;
+    }
+    ++stats_.misses;
+    CRIMSON_ASSIGN_OR_RETURN(size_t idx, InstallFrameLocked(id));
+    Frame& f = frames_[idx];
+    lock.unlock();
+    // Disk read with no pool lock held, so cold misses from different
+    // threads overlap; the exclusive latch taken at install blocks
+    // threads that find the new mapping until the content is in place.
+    Status read = pager_->ReadPage(id, f.data.data());
+    if (!read.ok()) {
+      std::lock_guard<std::mutex> relock(mu_);
+      page_table_.erase(id);
+      f.valid = false;  // published to waiters by the latch handoff
+      f.latch->unlock();
+      assert(f.pin_count > 0);
+      --f.pin_count;
+      if (f.pin_count == 0) free_frames_.push_back(idx);
+      return read;
+    }
+    if (intent == PageIntent::kRead) {
+      // std::shared_mutex has no downgrade: release and retake shared.
+      // A writer slipping into the gap just means newer content --
+      // indistinguishable from arriving a moment later.
+      f.latch->unlock();
+      f.latch->lock_shared();
+    }
+    return PageGuard(this, idx, id, intent);
+  }
 }
 
 Result<PageGuard> BufferPool::NewWal(PageId* out_id) {
@@ -176,7 +242,8 @@ Result<PageGuard> BufferPool::NewWal(PageId* out_id) {
     // Pop the freelist through the cache: the head node may have been
     // formatted by this very transaction and exist only in the pool.
     PageId id = pager_->freelist_head();
-    CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, Fetch(id));
+    CRIMSON_ASSIGN_OR_RETURN(PageGuard guard,
+                             Fetch(id, PageIntent::kWrite));
     if (static_cast<PageType>(guard.data()[0]) != PageType::kFree) {
       return Status::Corruption(
           StrFormat("freelist page %u is not marked free", id));
@@ -189,24 +256,29 @@ Result<PageGuard> BufferPool::NewWal(PageId* out_id) {
     return guard;
   }
   CRIMSON_ASSIGN_OR_RETURN(PageId id, pager_->DeferredAllocateFromExtension());
-  CRIMSON_ASSIGN_OR_RETURN(size_t idx, InstallFrame(id));
+  std::unique_lock<std::mutex> lock(mu_);
+  CRIMSON_ASSIGN_OR_RETURN(size_t idx, InstallFrameLocked(id));
   Frame& f = frames_[idx];
   memset(f.data.data(), 0, kPageSize);
-  PageGuard guard(this, idx, id);
+  lock.unlock();
+  PageGuard guard(this, idx, id, PageIntent::kWrite);
   guard.MarkDirty();
   *out_id = id;
   return guard;
 }
 
 Result<PageGuard> BufferPool::New(PageId* out_id) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
   if (wal_enabled()) return NewWal(out_id);
   CRIMSON_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
-  CRIMSON_ASSIGN_OR_RETURN(size_t idx, InstallFrame(id));
+  std::unique_lock<std::mutex> lock(mu_);
+  CRIMSON_ASSIGN_OR_RETURN(size_t idx, InstallFrameLocked(id));
   Frame& f = frames_[idx];
   memset(f.data.data(), 0, kPageSize);
   f.dirty = true;  // zeroed content must reach disk
+  lock.unlock();
   *out_id = id;
-  return PageGuard(this, idx, id);
+  return PageGuard(this, idx, id, PageIntent::kWrite);
 }
 
 Status BufferPool::FreeWal(PageId id) {
@@ -218,23 +290,31 @@ Status BufferPool::FreeWal(PageId id) {
   // irrelevant, so a victim frame is installed without a disk read);
   // the commit logs and force-writes it like any other page.
   size_t idx;
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    idx = it->second;
-    if (frames_[idx].pin_count > 0) {
-      return Status::FailedPrecondition(
-          StrFormat("freeing pinned page %u", id));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = page_table_.find(id);
+    if (it != page_table_.end()) {
+      idx = it->second;
+      if (frames_[idx].pin_count > 0) {
+        return Status::FailedPrecondition(
+            StrFormat("freeing pinned page %u", id));
+      }
+      if (frames_[idx].in_lru) {
+        lru_.erase(frames_[idx].lru_pos);
+        frames_[idx].in_lru = false;
+      }
+      ++frames_[idx].pin_count;
+      // Resident frame, pin was 0: its latch is free (see
+      // InstallFrameLocked, which latches the fresh-install case).
+      bool latched = frames_[idx].latch->try_lock();
+      assert(latched && "unpinned frame latch must be free");
+      (void)latched;
+    } else {
+      CRIMSON_ASSIGN_OR_RETURN(idx, InstallFrameLocked(id));
     }
-    if (frames_[idx].in_lru) {
-      lru_.erase(frames_[idx].lru_pos);
-      frames_[idx].in_lru = false;
-    }
-    ++frames_[idx].pin_count;
-  } else {
-    CRIMSON_ASSIGN_OR_RETURN(idx, InstallFrame(id));
   }
   {
-    PageGuard guard(this, idx, id);
+    PageGuard guard(this, idx, id, PageIntent::kWrite);
     memset(guard.data(), 0, kPageSize);
     guard.data()[0] = static_cast<char>(PageType::kFree);
     EncodeFixed32(guard.data() + 1, pager_->freelist_head());
@@ -244,28 +324,34 @@ Status BufferPool::FreeWal(PageId id) {
 }
 
 Status BufferPool::Free(PageId id) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
   if (wal_enabled()) return FreeWal(id);
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    Frame& f = frames_[it->second];
-    if (f.pin_count > 0) {
-      return Status::FailedPrecondition(
-          StrFormat("freeing pinned page %u", id));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = page_table_.find(id);
+    if (it != page_table_.end()) {
+      Frame& f = frames_[it->second];
+      if (f.pin_count > 0) {
+        return Status::FailedPrecondition(
+            StrFormat("freeing pinned page %u", id));
+      }
+      if (f.in_lru) {
+        lru_.erase(f.lru_pos);
+        f.in_lru = false;
+      }
+      f.valid = false;
+      f.dirty = false;
+      free_frames_.push_back(it->second);
+      page_table_.erase(it);
     }
-    if (f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
-    }
-    f.valid = false;
-    f.dirty = false;
-    free_frames_.push_back(it->second);
-    page_table_.erase(it);
   }
   return pager_->FreePage(id);
 }
 
 Status BufferPool::LogTxnPages() {
+  std::lock_guard<std::mutex> writer(writer_mu_);
   if (!wal_enabled() || !wal_ctx_->txn_active) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
   for (PageId id : wal_ctx_->dirty_pages) {
     auto it = page_table_.find(id);
     if (it == page_table_.end()) continue;  // spilled: image already logged
@@ -278,6 +364,8 @@ Status BufferPool::LogTxnPages() {
 }
 
 Status BufferPool::ForceTxnPages(const std::set<PageId>& pages) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   for (PageId id : pages) {
     auto it = page_table_.find(id);
     if (it == page_table_.end()) continue;  // spilled: already on disk
@@ -291,7 +379,9 @@ Status BufferPool::ForceTxnPages(const std::set<PageId>& pages) {
 }
 
 Status BufferPool::DiscardTxnPages() {
+  std::lock_guard<std::mutex> writer(writer_mu_);
   if (wal_ctx_ == nullptr) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
   for (PageId id : wal_ctx_->dirty_pages) {
     auto it = page_table_.find(id);
     if (it == page_table_.end()) continue;
@@ -314,12 +404,24 @@ Status BufferPool::DiscardTxnPages() {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& f : frames_) {
     if (f.valid) {
       CRIMSON_RETURN_IF_ERROR(WriteBack(f));
     }
   }
   return Status::OK();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = BufferPoolStats();
 }
 
 }  // namespace crimson

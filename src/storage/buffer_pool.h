@@ -1,11 +1,30 @@
-// BufferPool: fixed-capacity page cache with LRU eviction and pin
-// counting. All higher layers (heap files, B+Trees) access pages through
-// PageGuard handles obtained here.
+// BufferPool: fixed-capacity page cache with LRU eviction, pin
+// counting, and per-frame reader-writer latches. All higher layers
+// (heap files, B+Trees) access pages through PageGuard handles obtained
+// here.
 //
 // The paper's "database challenge #1" argues that gold-standard trees are
 // huge while individual queries touch small portions, making buffered
 // random access (not main-memory structures) the right design; the buffer
 // pool is where that trade-off lives, and bench_storage measures it.
+//
+// Concurrency (see DESIGN.md "Concurrency"):
+//  - The frame table (page_table_, LRU list, free list, pin counts,
+//    dirty bits, stats) is guarded by an internal mutex held only for
+//    short map/list operations.
+//  - Every frame carries a reader-writer latch. Fetch(id, kRead) pins
+//    the frame and holds the latch shared; Fetch(id, kWrite) (and New)
+//    hold it exclusive. Any number of readers share a page; a writer
+//    excludes them for that page only.
+//  - A cold miss installs the mapping first: the installer claims the
+//    victim frame's latch exclusively under the table mutex, then
+//    releases the mutex and reads from disk straight into the frame.
+//    Misses from different threads overlap -- the property
+//    bench_concurrent_reads gates on -- while threads that find the
+//    in-flight mapping block on the latch until the content lands.
+//  - Structural multi-step mutations (New/Free and the transaction
+//    hooks) additionally serialize behind a writer mutex; the engine
+//    above already guarantees a single writer via Database's epochs.
 
 #ifndef CRIMSON_STORAGE_BUFFER_POOL_H_
 #define CRIMSON_STORAGE_BUFFER_POOL_H_
@@ -13,7 +32,9 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -27,10 +48,17 @@ namespace crimson {
 
 class BufferPool;
 
+/// Declared access mode of a page pin. Readers share the frame latch;
+/// a writer holds it exclusively (and is the only mode that may call
+/// MarkDirty).
+enum class PageIntent { kRead, kWrite };
+
 /// Shared WAL/transaction state between the Database (which drives
 /// Begin/Commit/Abort) and the BufferPool (which tracks dirty pages
 /// and enforces log-before-data). Null wal = durability off, legacy
-/// behavior throughout.
+/// behavior throughout. Mutated only by the single writer; readers
+/// that trigger evictions observe it under the Database read epoch,
+/// which excludes the writer.
 struct WalContext {
   Wal* wal = nullptr;
   bool txn_active = false;
@@ -48,12 +76,15 @@ struct WalContext {
 };
 
 /// RAII pin on a cached page. While a PageGuard is alive the frame
-/// cannot be evicted. Call MarkDirty() after mutating data().
+/// cannot be evicted and its latch is held in the guard's declared
+/// mode. Call MarkDirty() after mutating data() (kWrite guards only).
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, size_t frame_index, PageId page_id)
-      : pool_(pool), frame_(frame_index), page_id_(page_id) {}
+  PageGuard(BufferPool* pool, size_t frame_index, PageId page_id,
+            PageIntent intent)
+      : pool_(pool), frame_(frame_index), page_id_(page_id),
+        intent_(intent) {}
   ~PageGuard() { Release(); }
 
   PageGuard(const PageGuard&) = delete;
@@ -65,6 +96,7 @@ class PageGuard {
       pool_ = other.pool_;
       frame_ = other.frame_;
       page_id_ = other.page_id_;
+      intent_ = other.intent_;
       other.pool_ = nullptr;
     }
     return *this;
@@ -72,21 +104,23 @@ class PageGuard {
 
   bool valid() const { return pool_ != nullptr; }
   PageId page_id() const { return page_id_; }
+  PageIntent intent() const { return intent_; }
 
   char* data();
   const char* data() const;
 
   /// Records that the caller mutated the page; it will be written back
-  /// on eviction or flush.
+  /// on eviction or flush. Requires a kWrite guard.
   void MarkDirty();
 
-  /// Drops the pin early (idempotent).
+  /// Drops the latch and pin early (idempotent).
   void Release();
 
  private:
   BufferPool* pool_ = nullptr;
   size_t frame_ = 0;
   PageId page_id_ = kInvalidPageId;
+  PageIntent intent_ = PageIntent::kRead;
 };
 
 /// Cache statistics (cumulative).
@@ -97,8 +131,11 @@ struct BufferPoolStats {
   uint64_t dirty_writebacks = 0;
 };
 
-/// Page cache over a Pager. Single-threaded by design (Crimson's demo
-/// workload is a loader plus an interactive reader).
+/// Page cache over a Pager. Thread-safe: any number of reader threads
+/// may Fetch concurrently (including cold misses); mutations assume
+/// the engine's single-writer discipline (Database writer epochs) but
+/// are additionally serialized behind an internal writer mutex so
+/// pool-level races cannot corrupt the frame table.
 ///
 /// With a WalContext attached, the pool is the WAL capture point:
 /// every mutation in the engine flows through PageGuard::MarkDirty, so
@@ -115,10 +152,12 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Fetches a page, reading it from disk on miss. The guard pins it.
-  Result<PageGuard> Fetch(PageId id);
+  /// Fetches a page, reading it from disk on miss. The guard pins it
+  /// and holds its frame latch in the requested mode; kWrite blocks
+  /// until concurrent readers of that page release their guards.
+  Result<PageGuard> Fetch(PageId id, PageIntent intent = PageIntent::kRead);
 
-  /// Allocates a brand-new page (zeroed) and pins it.
+  /// Allocates a brand-new page (zeroed) and pins it (kWrite).
   Result<PageGuard> New(PageId* out_id);
 
   /// Frees a page back to the pager; the page must not be pinned.
@@ -148,8 +187,8 @@ class BufferPool {
   /// fetches reread the committed bytes from disk.
   Status DiscardTxnPages();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  BufferPoolStats stats() const;
+  void ResetStats();
   size_t capacity() const { return frames_.size(); }
   Pager* pager() { return pager_; }
 
@@ -163,13 +202,22 @@ class BufferPool {
     bool valid = false;
     Lsn page_lsn = 0;  // lsn of the logged image of this content; 0 = none
     std::vector<char> data;
+    /// Content latch: shared by kRead guards, exclusive for kWrite.
+    /// Uncontended whenever pin_count is 0 (guards hold it while
+    /// pinned), so eviction never blocks on it.
+    std::unique_ptr<std::shared_mutex> latch;
     std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0 && valid
     bool in_lru = false;
   };
 
-  void Unpin(size_t frame_index);
+  void Unpin(size_t frame_index, PageIntent intent);
   void OnDirty(size_t frame_index);
-  Result<size_t> GetVictimFrame();
+  /// Pins frame `idx` (mu_ held via `lock`), releases the table mutex,
+  /// then acquires the frame latch -- so a blocked latch never holds
+  /// up unrelated fetches.
+  PageGuard PinAndLatch(std::unique_lock<std::mutex> lock, size_t idx,
+                        PageId id, PageIntent intent);
+  Result<size_t> GetVictimFrameLocked();
   Status WriteBack(Frame& frame);
   bool wal_enabled() const { return wal_ctx_ != nullptr && wal_ctx_->wal; }
   /// True when the frame must stay resident until commit (dirtied
@@ -177,12 +225,28 @@ class BufferPool {
   bool PinnedByTxn(const Frame& f) const;
   Result<PageGuard> NewWal(PageId* out_id);
   Status FreeWal(PageId id);
-  /// Installs `id` into a victim frame without reading the file.
-  Result<size_t> InstallFrame(PageId id);
+  /// Installs `id` into a victim frame (pinned, not latched) without
+  /// reading the file. mu_ must be held.
+  Result<size_t> InstallFrameLocked(PageId id);
 
   Pager* pager_;
   WalContext* wal_ctx_;
   std::vector<Frame> frames_;
+
+  /// Guards the frame table: page_table_, lru_, free_frames_, frame
+  /// metadata (pin counts, dirty/valid flags), and stats_. Held for
+  /// map/list operations and for the write-back of a *dirty* eviction
+  /// victim (a deliberate simplification: releasing mu_ mid-eviction
+  /// would need an "evicting" frame state and a re-check; dirty
+  /// evictions are rare on the read paths this PR parallelizes, since
+  /// steady-state read working sets are clean). Never held while a
+  /// caller computes on page content, and never during a cold-miss
+  /// disk read.
+  mutable std::mutex mu_;
+  /// Serializes multi-step structural mutations (New/Free, transaction
+  /// hooks). Always acquired before mu_.
+  std::mutex writer_mu_;
+
   std::unordered_map<PageId, size_t> page_table_;
   std::list<size_t> lru_;        // front = most recent
   std::vector<size_t> free_frames_;

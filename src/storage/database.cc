@@ -21,6 +21,13 @@ void Txn::Abort() {
   db->AbortTxn();
 }
 
+void Database::ReadTxn::End() {
+  if (db_ == nullptr) return;
+  const Database* db = db_;
+  db_ = nullptr;
+  db->epoch_mu_.unlock_shared();
+}
+
 Result<std::unique_ptr<Database>> Database::Open(
     const std::string& path, const DatabaseOptions& options) {
   CRIMSON_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
@@ -83,28 +90,55 @@ Result<std::unique_ptr<Database>> Database::Build(
 }
 
 Result<Txn> Database::Begin() {
-  if (wal_ == nullptr) return Txn();
-  if (wal_ctx_.txn_active) {
+  if (writer_thread_.load(std::memory_order_acquire) ==
+      std::this_thread::get_id()) {
     return Status::FailedPrecondition(
         "a transaction is already active (no nesting)");
   }
-  wal_ctx_.txn_active = true;
-  wal_ctx_.txn_id = next_txn_id_++;
-  wal_ctx_.txn_base_page_count = pager_->page_count();
-  wal_ctx_.dirty_pages.clear();
-  txn_header_snapshot_ = pager_->snapshot();
-  txn_wal_mark_ = wal_->mark();
+  // Enter the writer epoch: waits for readers to drain and for any
+  // concurrent transaction to finish, then excludes both.
+  epoch_mu_.lock();
+  writer_thread_.store(std::this_thread::get_id(),
+                       std::memory_order_release);
+  writer_active_.store(true, std::memory_order_release);
+  if (wal_ != nullptr) {
+    wal_ctx_.txn_active = true;
+    wal_ctx_.txn_id = next_txn_id_++;
+    wal_ctx_.txn_base_page_count = pager_->page_count();
+    wal_ctx_.dirty_pages.clear();
+    txn_header_snapshot_ = pager_->snapshot();
+    txn_wal_mark_ = wal_->mark();
+  }
   return Txn(this);
 }
 
+Database::ReadTxn Database::BeginRead() const {
+  epoch_mu_.lock_shared();
+  return ReadTxn(this);
+}
+
+void Database::ReleaseWriterEpoch() {
+  writer_active_.store(false, std::memory_order_release);
+  writer_thread_.store(std::thread::id(), std::memory_order_release);
+  epoch_mu_.unlock();
+}
+
 Status Database::CommitTxn() {
-  if (wal_ == nullptr) return Status::OK();
+  // Non-durable transaction: nothing was logged; the commit just
+  // closes the writer epoch (dirty pages reach disk via eviction or
+  // Flush, exactly the legacy discipline).
+  if (wal_ == nullptr) {
+    ReleaseWriterEpoch();
+    return Status::OK();
+  }
   if (!wal_ctx_.txn_active) {
+    ReleaseWriterEpoch();
     return Status::FailedPrecondition("no active transaction to commit");
   }
   // Read-only transaction: nothing to log, nothing to sync.
   if (wal_ctx_.dirty_pages.empty() && !pager_->header_dirty()) {
     wal_ctx_.txn_active = false;
+    ReleaseWriterEpoch();
     return Status::OK();
   }
   // 1. Log every after-image plus the header, then the commit record.
@@ -135,6 +169,9 @@ Status Database::CommitTxn() {
   pages.swap(wal_ctx_.dirty_pages);
   Status lazy = pool_->ForceTxnPages(pages);
   if (lazy.ok()) lazy = pager_->WriteHeaderIfDirty();
+  // Leave the epoch before a possible auto-checkpoint: Checkpoint
+  // re-enters it exclusively on its own.
+  ReleaseWriterEpoch();
   if (lazy.ok() && options_.wal_checkpoint_bytes > 0 &&
       wal_->size_bytes() > options_.wal_checkpoint_bytes) {
     lazy = Checkpoint();
@@ -147,7 +184,10 @@ Status Database::CommitTxn() {
 }
 
 void Database::AbortTxn() {
-  if (wal_ == nullptr || !wal_ctx_.txn_active) return;
+  if (wal_ == nullptr || !wal_ctx_.txn_active) {
+    ReleaseWriterEpoch();
+    return;
+  }
   Status discard = pool_->DiscardTxnPages();
   if (!discard.ok()) {
     CRIMSON_LOG(kError) << "transaction abort: " << discard;
@@ -160,6 +200,7 @@ void Database::AbortTxn() {
   }
   wal_ctx_.txn_active = false;
   wal_ctx_.dirty_pages.clear();
+  ReleaseWriterEpoch();
 }
 
 Result<BTree> Database::CatalogTree() const {
@@ -240,6 +281,11 @@ Result<std::vector<std::string>> Database::ListTables() const {
 
 Status Database::Flush() {
   if (wal_ != nullptr) return Checkpoint();
+  if (writer_thread_.load(std::memory_order_acquire) ==
+      std::this_thread::get_id()) {
+    return Status::FailedPrecondition("cannot flush inside a transaction");
+  }
+  std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
   // Data pages must reach the file before the header sync: a header
   // that advertises pages whose bytes never landed is corruption.
   CRIMSON_RETURN_IF_ERROR(pool_->FlushAll());
@@ -247,10 +293,12 @@ Status Database::Flush() {
 }
 
 Status Database::Checkpoint() {
-  if (wal_ctx_.txn_active) {
+  if (writer_thread_.load(std::memory_order_acquire) ==
+      std::this_thread::get_id()) {
     return Status::FailedPrecondition(
         "cannot checkpoint inside a transaction");
   }
+  std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
   CRIMSON_RETURN_IF_ERROR(pool_->FlushAll());
   CRIMSON_RETURN_IF_ERROR(pager_->Flush());  // header write + fdatasync
   if (wal_ != nullptr) {

@@ -10,12 +10,22 @@
 //    any data page reaches the database file; kGroupCommit lets
 //    concurrent committers share one fsync. Database::Open replays the
 //    committed WAL prefix left by a crash before reading the header.
+//
+// Concurrency model (see DESIGN.md "Concurrency"): single writer,
+// many readers. Begin() opens a *writer epoch* (exclusive) regardless
+// of durability; BeginRead() opens a *read epoch* (shared). Read
+// epochs exclude only the writer, never each other, so any number of
+// threads may run B+Tree descents, heap reads, and table lookups
+// concurrently -- the BufferPool below is fully thread-safe for reads.
 
 #ifndef CRIMSON_STORAGE_DATABASE_H_
 #define CRIMSON_STORAGE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -62,11 +72,13 @@ struct IndexSpec {
 
 class Database;
 
-/// Move-only transaction handle. With durability off this is inert
-/// (Commit/Abort are no-ops), so call sites are uniform across modes.
-/// Destruction without Commit aborts: the pool discards the
-/// transaction's dirty frames, the pager restores its header snapshot,
-/// and the WAL rewinds -- the database reverts to the pre-Begin state.
+/// Move-only transaction handle. Holds the database's writer epoch for
+/// its lifetime: readers (BeginRead) are excluded until Commit/Abort.
+/// With durability off nothing is logged, but the epoch still applies,
+/// so call sites are uniform across modes. Destruction without Commit
+/// aborts: the pool discards the transaction's dirty frames, the pager
+/// restores its header snapshot, and the WAL rewinds -- the database
+/// reverts to the pre-Begin state.
 class Txn {
  public:
   Txn() = default;
@@ -86,7 +98,7 @@ class Txn {
 
   /// Makes the transaction durable. After Commit returns OK the
   /// changes survive any crash; after an error before the log sync the
-  /// transaction is rolled back.
+  /// transaction is rolled back. Releases the writer epoch.
   Status Commit();
 
   /// Rolls the transaction back (idempotent; no-op after Commit).
@@ -101,9 +113,41 @@ class Txn {
   Database* db_ = nullptr;
 };
 
-/// Embedded single-user database. Not thread-safe.
+/// Embedded single-writer / multi-reader database.
 class Database {
  public:
+  /// Move-only shared read transaction. While alive, the writer
+  /// (Begin) is excluded; other ReadTxns are not. Release with End()
+  /// or destruction, on the same thread that called BeginRead.
+  class ReadTxn {
+   public:
+    ReadTxn() = default;
+    ReadTxn(ReadTxn&& other) noexcept { *this = std::move(other); }
+    ReadTxn& operator=(ReadTxn&& other) noexcept {
+      if (this != &other) {
+        End();
+        db_ = other.db_;
+        other.db_ = nullptr;
+      }
+      return *this;
+    }
+    ~ReadTxn() { End(); }
+
+    ReadTxn(const ReadTxn&) = delete;
+    ReadTxn& operator=(const ReadTxn&) = delete;
+
+    /// Leaves the read epoch (idempotent).
+    void End();
+
+    bool active() const { return db_ != nullptr; }
+
+   private:
+    friend class Database;
+    explicit ReadTxn(const Database* db) : db_(db) {}
+
+    const Database* db_ = nullptr;
+  };
+
   /// Opens (or creates) an on-disk database. With durability on (or a
   /// leftover WAL from a durable run), committed WAL records are
   /// replayed before the header is read.
@@ -131,20 +175,29 @@ class Database {
   /// Names of all tables.
   Result<std::vector<std::string>> ListTables() const;
 
-  /// Begins a transaction (inert with durability off). One transaction
-  /// at a time: the engine is single-user and callers already
-  /// serialize writes.
+  /// Begins a write transaction, entering the writer epoch: blocks
+  /// until concurrent readers drain, then excludes new ones until
+  /// Commit/Abort. One writer at a time (a second Begin from another
+  /// thread waits; from the same thread it fails -- no nesting). With
+  /// durability off the transaction logs nothing but still provides
+  /// the writer exclusion.
   [[nodiscard]] Result<Txn> Begin();
 
-  /// True while a transaction is open.
-  bool in_txn() const { return wal_ctx_.txn_active; }
+  /// Enters a shared read epoch: excludes the writer only. Readers of
+  /// the storage engine (table lookups, scans, tree descents) hold one
+  /// of these so their page accesses never interleave with a
+  /// transaction's mutations.
+  [[nodiscard]] ReadTxn BeginRead() const;
+
+  /// True while a write transaction is open.
+  bool in_txn() const { return writer_active_.load(std::memory_order_acquire); }
 
   /// True when this database runs with a write-ahead log.
   bool durable() const { return wal_ != nullptr; }
 
   /// Writes back all dirty pages, then syncs the header -- data pages
   /// always reach the file before the header sync. With durability on
-  /// this is a full Checkpoint.
+  /// this is a full Checkpoint. Takes the writer epoch.
   Status Flush();
 
   /// Durable truncation point: flushes everything, fsyncs the database
@@ -153,7 +206,7 @@ class Database {
 
   BufferPool* buffer_pool() { return pool_.get(); }
   Wal* wal() { return wal_.get(); }
-  const BufferPoolStats& stats() const { return pool_->stats(); }
+  BufferPoolStats stats() const { return pool_->stats(); }
 
  private:
   friend class Txn;
@@ -167,6 +220,7 @@ class Database {
   Result<BTree> CatalogTree() const;
   Status CommitTxn();
   void AbortTxn();
+  void ReleaseWriterEpoch();
 
   DatabaseOptions options_;
   std::unique_ptr<Pager> pager_;
@@ -176,6 +230,14 @@ class Database {
   uint64_t next_txn_id_ = 1;
   Pager::HeaderSnapshot txn_header_snapshot_;
   Wal::Mark txn_wal_mark_;
+
+  /// The single-writer / multi-reader epoch lock: Begin/Flush/
+  /// Checkpoint hold it exclusive, BeginRead holds it shared.
+  mutable std::shared_mutex epoch_mu_;
+  /// Thread currently inside the writer epoch (detects same-thread
+  /// nested Begin, which would otherwise self-deadlock).
+  std::atomic<std::thread::id> writer_thread_{};
+  std::atomic<bool> writer_active_{false};
 };
 
 }  // namespace crimson

@@ -7,6 +7,8 @@
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/string_util.h"
 
@@ -80,9 +82,14 @@ class PosixFile final : public File {
   uint64_t size_ = 0;
 };
 
+// Internally synchronized (reads shared, writes exclusive): the buffer
+// pool issues cold-miss reads without holding any pool lock, so
+// concurrent reads must not race a write-back resizing the backing
+// vector. PosixFile gets the same property from pread/pwrite.
 class MemFile final : public File {
  public:
   Status Read(uint64_t offset, size_t n, char* scratch) const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     if (offset + n > data_.size()) {
       return Status::IOError(
           StrFormat("mem read past EOF (off=%llu n=%zu size=%zu)",
@@ -93,6 +100,7 @@ class MemFile final : public File {
   }
 
   Status Write(uint64_t offset, const char* data, size_t n) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     if (offset + n > data_.size()) data_.resize(offset + n);
     memcpy(data_.data() + offset, data, n);
     return Status::OK();
@@ -100,14 +108,19 @@ class MemFile final : public File {
 
   Status Sync() override { return Status::OK(); }
 
-  uint64_t Size() const override { return data_.size(); }
+  uint64_t Size() const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return data_.size();
+  }
 
   Status Truncate(uint64_t new_size) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     data_.resize(new_size);
     return Status::OK();
   }
 
  private:
+  mutable std::shared_mutex mu_;
   std::vector<char> data_;
 };
 

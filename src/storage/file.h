@@ -16,8 +16,10 @@
 
 namespace crimson {
 
-/// Random-access byte file. Not thread-safe; the buffer pool serializes
-/// access.
+/// Random-access byte file. Concurrent Reads are safe, and Reads may
+/// run concurrently with Writes to disjoint offsets (the buffer pool
+/// issues cold-miss reads without holding its own locks). Concurrent
+/// Writes are serialized by the caller.
 class File {
  public:
   virtual ~File() = default;

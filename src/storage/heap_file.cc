@@ -75,7 +75,8 @@ Result<PageId> HeapFile::WriteOverflowChain(const Slice& record) {
     memcpy(d + kOverflowHeaderSize, record.data() + off, chunk);
     guard.MarkDirty();
     if (prev != kInvalidPageId) {
-      CRIMSON_ASSIGN_OR_RETURN(PageGuard pg, pool_->Fetch(prev));
+      CRIMSON_ASSIGN_OR_RETURN(PageGuard pg,
+                               pool_->Fetch(prev, PageIntent::kWrite));
       EncodeFixed32(pg.data() + 1, id);
       pg.MarkDirty();
     } else {
@@ -109,7 +110,8 @@ Result<RecordId> HeapFile::InsertPayload(const char* payload, uint16_t len,
                                          bool overflow_stub) {
   // Try the tail page first; extend the chain if it cannot fit.
   for (int attempt = 0; attempt < 2; ++attempt) {
-    CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(tail_page_));
+    CRIMSON_ASSIGN_OR_RETURN(PageGuard guard,
+                             pool_->Fetch(tail_page_, PageIntent::kWrite));
     char* d = guard.data();
     uint16_t slots = NumSlots(d);
     uint32_t dir_end = kHeaderSize + (slots + 1u) * kSlotSize;
@@ -203,7 +205,8 @@ Status HeapFile::Delete(const RecordId& id) {
   CRIMSON_RETURN_IF_ERROR(pool_->RequireWritable());
   PageId overflow_first = kInvalidPageId;
   {
-    CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(id.page));
+    CRIMSON_ASSIGN_OR_RETURN(PageGuard guard,
+                             pool_->Fetch(id.page, PageIntent::kWrite));
     char* d = guard.data();
     if (static_cast<PageType>(d[0]) != PageType::kHeap) {
       return Status::Corruption(
@@ -238,14 +241,22 @@ Status HeapFile::Scan(
   PageId cur = first_page_;
   std::string big;  // reassembly buffer for overflow records
   while (cur != kInvalidPageId) {
-    PageId next;
-    uint16_t slots;
-    {
+    PageId next = kInvalidPageId;
+    // Inline records are delivered under the page guard; an overflow
+    // stub forces the guard to drop first, because Get() re-fetches
+    // this same page and recursively latching one frame's
+    // shared_mutex on one thread is undefined behavior. The page is
+    // re-fetched (a cache hit) and the slot walk resumes -- the
+    // single-writer epoch guarantees the page cannot change between
+    // the two guards.
+    uint16_t s = 0;
+    for (;;) {
       CRIMSON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(cur));
       const char* d = guard.data();
       next = NextPage(d);
-      slots = NumSlots(d);
-      for (uint16_t s = 0; s < slots; ++s) {
+      uint16_t slots = NumSlots(d);
+      bool resume = false;
+      for (; s < slots; ++s) {
         const char* slot = d + kHeaderSize + s * kSlotSize;
         if (DecodeFixed16(slot) == kTombstoneOffset) continue;
         uint16_t raw_len = DecodeFixed16(slot + 2);
@@ -254,12 +265,15 @@ Status HeapFile::Scan(
           uint16_t offset = DecodeFixed16(slot);
           if (!fn(rid, Slice(d + offset, raw_len))) return Status::OK();
         } else {
-          // Re-fetch through Get to assemble the overflow chain. We must
-          // do this outside the guard scope to limit pins; collect first.
+          guard.Release();  // d is dead from here
           CRIMSON_RETURN_IF_ERROR(Get(rid, &big));
           if (!fn(rid, Slice(big))) return Status::OK();
+          ++s;
+          resume = true;
+          break;
         }
       }
+      if (!resume) break;
     }
     cur = next;
   }

@@ -57,7 +57,9 @@ struct RecordId {
   }
 };
 
-/// Unordered record file. Not thread-safe.
+/// Unordered record file. Get/Scan are safe from any number of
+/// threads under the buffer pool's shared frame latches; mutations
+/// belong to the single writer (Database writer epoch).
 class HeapFile {
  public:
   /// Creates a new heap file; returns its first page id (the handle that

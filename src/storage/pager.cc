@@ -60,7 +60,8 @@ Status Pager::WriteHeader() {
 Status Pager::ReadPage(PageId id, char* buf) const {
   if (id >= page_count_) {
     return Status::OutOfRange(
-        StrFormat("read of page %u beyond page count %u", id, page_count_));
+        StrFormat("read of page %u beyond page count %u", id,
+                  page_count_.load()));
   }
   return file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, buf);
 }
@@ -68,7 +69,8 @@ Status Pager::ReadPage(PageId id, char* buf) const {
 Status Pager::WritePage(PageId id, const char* buf) {
   if (id >= page_count_) {
     return Status::OutOfRange(
-        StrFormat("write of page %u beyond page count %u", id, page_count_));
+        StrFormat("write of page %u beyond page count %u", id,
+                  page_count_.load()));
   }
   return file_->Write(static_cast<uint64_t>(id) * kPageSize, buf, kPageSize);
 }

@@ -4,6 +4,7 @@
 #ifndef CRIMSON_STORAGE_PAGER_H_
 #define CRIMSON_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <memory>
 
 #include "common/result.h"
@@ -24,6 +25,12 @@ namespace crimson {
 ///    a dirty flag; the transaction commit logs a header image and
 ///    force-writes the page, so a crash mid-transaction leaves the
 ///    on-disk header (and freelist) at the previous committed state.
+///
+/// Thread safety: page reads may run concurrently (PosixFile uses
+/// pread; MemFile synchronizes internally). Header mutations belong to
+/// the single writer -- the Database writer epoch excludes readers --
+/// but the in-memory header fields are relaxed atomics so concurrent
+/// readers of page_count()/catalog_root() never tear.
 class Pager {
  public:
   /// Opens an existing database file or initializes a fresh one.
@@ -94,11 +101,11 @@ class Pager {
   Status InitializeFresh();
 
   std::unique_ptr<File> file_;
-  uint32_t page_count_ = 1;
-  PageId freelist_head_ = kInvalidPageId;
-  PageId catalog_root_ = kInvalidPageId;
+  std::atomic<uint32_t> page_count_{1};
+  std::atomic<PageId> freelist_head_{kInvalidPageId};
+  std::atomic<PageId> catalog_root_{kInvalidPageId};
   bool deferred_ = false;
-  bool header_dirty_ = false;
+  std::atomic<bool> header_dirty_{false};
 };
 
 }  // namespace crimson

@@ -38,7 +38,11 @@ struct TableDef {
   static Result<TableDef> DecodeFrom(Slice input);
 };
 
-/// Open handle to a table. Not thread-safe.
+/// Open handle to a table. Point/range lookups and scans are safe
+/// from any number of threads under the buffer pool's shared frame
+/// latches; mutations belong to the single writer (Database writer
+/// epoch), which also owns the handle's in-memory hints (heap tail,
+/// record count).
 class Table {
  public:
   /// Materializes a handle from a definition (heap and indexes must

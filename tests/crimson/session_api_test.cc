@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "common/string_util.h"
+#include "sim/seq_evolve.h"
 #include "sim/tree_sim.h"
 #include "tree/newick.h"
 
@@ -211,6 +212,41 @@ TEST(ExecuteBatchTest, BatchedIdenticalToSequentialForSameSeed) {
   }
 }
 
+TEST(ExecuteBatchTest, OneWorkerAndEightWorkersAreByteIdentical) {
+  // The worker count is a pure throughput knob: ExecuteBatch on a
+  // single worker and on eight must produce byte-identical renderings
+  // for all six query kinds (tickets are assigned in list order before
+  // dispatch, so the draws cannot depend on scheduling).
+  std::vector<QueryRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    requests.emplace_back(LcaQuery{"Lla", i % 2 ? "Syn" : "Spy"});
+    requests.emplace_back(ProjectQuery{{"Bha", "Lla", "Syn"}});
+    requests.emplace_back(SampleUniformQuery{3});
+    requests.emplace_back(SampleTimeQuery{4, 1.0});
+    requests.emplace_back(CladeQuery{{"Lla", "Spy"}});
+    requests.emplace_back(
+        PatternQuery{"((Bha:1.5,Lla:1.5):0.75,Syn:2.5);", true});
+  }
+
+  auto one = OpenSession(/*seed=*/11, /*workers=*/1);
+  auto eight = OpenSession(/*seed=*/11, /*workers=*/8);
+  auto r1 = one->LoadNewick("fig1", kFig1Newick);
+  auto r8 = eight->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r8.ok());
+
+  auto out1 = one->ExecuteBatch(r1->ref, requests);
+  auto out8 = eight->ExecuteBatch(r8->ref, requests);
+  ASSERT_EQ(out1.size(), requests.size());
+  ASSERT_EQ(out8.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(out1[i].ok()) << i << ": " << out1[i].status();
+    ASSERT_TRUE(out8[i].ok()) << i << ": " << out8[i].status();
+    EXPECT_EQ(RenderResult(*out1[i]), RenderResult(*out8[i]))
+        << "request " << i;
+  }
+}
+
 TEST(ExecuteBatchTest, ErrorsAreReportedPerQuery) {
   auto crimson = OpenSession(42);
   auto report = crimson->LoadNewick("fig1", kFig1Newick);
@@ -362,6 +398,71 @@ TEST(ConcurrencyTest, ParallelExecuteOnSharedSession) {
   auto history = crimson->QueryHistory(kThreads * kPerThread);
   ASSERT_TRUE(history.ok());
   EXPECT_EQ(history->size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(ConcurrencyTest, RerunExperimentReplaysExactlyWhileReadersRun) {
+  // An experiment is persisted, then replayed while reader threads
+  // hammer the shared read path (queries, history, exports): the
+  // replay must still match the original report run for run, because
+  // it uses the *stored* RNG provenance, not the live ticket counter.
+  Rng tree_rng(0x5EED);
+  YuleOptions yule_opts;
+  yule_opts.n_leaves = 32;
+  auto gold = SimulateYule(yule_opts, &tree_rng);
+  ASSERT_TRUE(gold.ok());
+  SeqEvolveOptions seq_opts;
+  seq_opts.seq_length = 96;
+  auto evolver = SequenceEvolver::Create(seq_opts);
+  auto sequences = evolver->EvolveLeaves(*gold, &tree_rng);
+  ASSERT_TRUE(sequences.ok());
+
+  auto crimson = OpenSession(42, /*workers=*/4);
+  auto load = crimson->LoadTree("gold", *gold);
+  ASSERT_TRUE(load.ok());
+  ASSERT_TRUE(crimson->AppendSpeciesData("gold", *sequences).ok());
+
+  ExperimentSpec spec;
+  spec.algorithms = {"nj", "upgma"};
+  SelectionSpec sel;
+  sel.kind = SelectionSpec::Kind::kUniform;
+  sel.k = 8;
+  spec.selections = {sel};
+  spec.replicates = 2;
+  spec.compute_triplets = false;
+  auto original = crimson->RunExperiment(load->ref, spec);
+  ASSERT_TRUE(original.ok()) << original.status();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!crimson->Execute(load->ref, LcaQuery{"S1", "S20"}).ok()) {
+          ++failures;
+        }
+        if (!crimson->QueryHistory(3).ok()) ++failures;
+        if (!crimson->ExportNexus(load->ref).ok()) ++failures;
+      }
+    });
+  }
+  auto replay = crimson->RerunExperiment(original->experiment_id);
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+
+  ASSERT_EQ(replay->runs.size(), original->runs.size());
+  for (size_t i = 0; i < original->runs.size(); ++i) {
+    const BenchmarkRun& a = original->runs[i];
+    const BenchmarkRun& b = replay->runs[i];
+    EXPECT_EQ(a.algorithm, b.algorithm) << "run " << i;
+    EXPECT_EQ(a.sample_size, b.sample_size) << "run " << i;
+    EXPECT_EQ(a.rf.distance, b.rf.distance) << "run " << i;
+    EXPECT_EQ(a.rf.normalized, b.rf.normalized) << "run " << i;
+    EXPECT_EQ(WriteNewick(a.reconstructed), WriteNewick(b.reconstructed))
+        << "run " << i;
+  }
 }
 
 TEST(ConcurrencyTest, ConcurrentOpenTreeMaterializesOnce) {

@@ -1,0 +1,279 @@
+// Buffer-pool torture tests: a pool capped at a handful of frames,
+// many threads pinning/unpinning/mutating pages under the per-frame
+// latches. Asserts pin-count invariants (pinned frames are never
+// evicted or repurposed), no lost dirty bits or updates, and clean
+// interaction with an active WAL transaction. `*Stress*` variants
+// (ctest -C stress -L stress) dial threads and iterations up.
+
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "storage/database.h"
+#include "storage/file.h"
+#include "storage/wal.h"
+#include "storage/page.h"
+
+namespace crimson {
+namespace {
+
+// Page payload under torture: [0..8) version, [8..16) checksum of the
+// payload region, [16..16+kPayload) bytes derived from (page, version).
+constexpr size_t kPayload = 256;
+
+void FillPage(char* d, PageId id, uint64_t version) {
+  EncodeFixed64(d, version);
+  for (size_t i = 0; i < kPayload; ++i) {
+    d[16 + i] = static_cast<char>((id * 31 + version * 7 + i) & 0xff);
+  }
+  EncodeFixed64(d + 8, Fnv1a64(d + 16, kPayload, /*seed=*/id ^ version));
+}
+
+/// True if the page is internally consistent (a torn read -- e.g. a
+/// writer mid-mutation or an eviction clobbering a pinned frame --
+/// fails the checksum).
+bool CheckPage(const char* d, PageId id, uint64_t* version_out) {
+  uint64_t version = DecodeFixed64(d);
+  uint64_t sum = DecodeFixed64(d + 8);
+  if (sum != Fnv1a64(d + 16, kPayload, id ^ version)) return false;
+  for (size_t i = 0; i < kPayload; ++i) {
+    if (d[16 + i] !=
+        static_cast<char>((id * 31 + version * 7 + i) & 0xff)) {
+      return false;
+    }
+  }
+  *version_out = version;
+  return true;
+}
+
+void RunPinMutateTorture(int threads, int ops_per_thread, int n_pages,
+                         size_t pool_frames) {
+  auto pager = std::move(Pager::Open(NewMemFile())).value();
+  BufferPool pool(pager.get(), pool_frames);
+
+  std::vector<PageId> pages(n_pages);
+  for (int i = 0; i < n_pages; ++i) {
+    auto g = pool.New(&pages[i]);
+    ASSERT_TRUE(g.ok());
+    FillPage(g->data(), pages[i], 0);
+    g->MarkDirty();
+  }
+
+  std::vector<std::atomic<uint64_t>> writes(n_pages);
+  for (auto& w : writes) w.store(0);
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(0xD00D + t);
+      // More threads than frames: transient ResourceExhausted is the
+      // pool working as specified (all frames pinned); retry. Any
+      // other error, or a failed content check, is a real failure.
+      auto fetch = [&](PageId id, PageIntent intent) -> Result<PageGuard> {
+        for (;;) {
+          Result<PageGuard> g = pool.Fetch(id, intent);
+          if (g.ok() || !g.status().IsResourceExhausted()) return g;
+          std::this_thread::yield();
+        }
+      };
+      for (int op = 0; op < ops_per_thread; ++op) {
+        int i = static_cast<int>(rng.Next() % n_pages);
+        bool write = (rng.Next() % 4) == 0;  // 1-in-4 ops mutate
+        if (write) {
+          auto g = fetch(pages[i], PageIntent::kWrite);
+          if (!g.ok()) {
+            ++failures;
+            continue;
+          }
+          uint64_t version;
+          if (!CheckPage(g->data(), pages[i], &version)) ++failures;
+          FillPage(g->data(), pages[i], version + 1);
+          g->MarkDirty();
+          writes[i].fetch_add(1, std::memory_order_relaxed);
+        } else {
+          auto g = fetch(pages[i], PageIntent::kRead);
+          if (!g.ok()) {
+            ++failures;
+            continue;
+          }
+          uint64_t version;
+          if (!CheckPage(g->data(), pages[i], &version)) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // No lost updates / dirty bits: every page's version equals its
+  // write count, through the pool and -- after FlushAll -- on disk.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  std::vector<char> buf(kPageSize);
+  for (int i = 0; i < n_pages; ++i) {
+    uint64_t version = 0;
+    {
+      auto g = pool.Fetch(pages[i]);
+      ASSERT_TRUE(g.ok());
+      ASSERT_TRUE(CheckPage(g->data(), pages[i], &version)) << "page " << i;
+      EXPECT_EQ(version, writes[i].load()) << "page " << i;
+    }
+    ASSERT_TRUE(pager->ReadPage(pages[i], buf.data()).ok());
+    ASSERT_TRUE(CheckPage(buf.data(), pages[i], &version)) << "page " << i;
+    EXPECT_EQ(version, writes[i].load()) << "disk page " << i;
+  }
+}
+
+TEST(BufferPoolTortureTest, PinMutateUnderTinyPool) {
+  RunPinMutateTorture(/*threads=*/8, /*ops_per_thread=*/600, /*n_pages=*/24,
+                      /*pool_frames=*/8);
+}
+
+TEST(BufferPoolTortureTest, StressPinMutateUnderTinyPool) {
+  RunPinMutateTorture(/*threads=*/24, /*ops_per_thread=*/4000,
+                      /*n_pages=*/64, /*pool_frames=*/8);
+}
+
+TEST(BufferPoolTortureTest, PinnedFramesSurviveEvictionChurn) {
+  auto pager = std::move(Pager::Open(NewMemFile())).value();
+  BufferPool pool(pager.get(), /*capacity=*/8);
+
+  constexpr int kPinned = 3;
+  constexpr int kChurnPages = 40;
+  std::vector<PageId> pinned(kPinned);
+  std::vector<PageId> churn(kChurnPages);
+  for (int i = 0; i < kPinned; ++i) {
+    auto g = pool.New(&pinned[i]);
+    ASSERT_TRUE(g.ok());
+    FillPage(g->data(), pinned[i], 100 + i);
+    g->MarkDirty();
+  }
+  for (int i = 0; i < kChurnPages; ++i) {
+    auto g = pool.New(&churn[i]);
+    ASSERT_TRUE(g.ok());
+    FillPage(g->data(), churn[i], 0);
+    g->MarkDirty();
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  // Holders keep long-lived read pins and verify the frame content
+  // never changes underneath them while churners force evictions.
+  for (int t = 0; t < kPinned; ++t) {
+    threads.emplace_back([&, t] {
+      auto g = pool.Fetch(pinned[t], PageIntent::kRead);
+      if (!g.ok()) {
+        ++failures;
+        return;
+      }
+      std::vector<char> snapshot(g->data(), g->data() + 16 + kPayload);
+      for (int spin = 0; spin < 400; ++spin) {
+        std::this_thread::yield();
+        if (memcmp(snapshot.data(), g->data(), snapshot.size()) != 0) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0xABC + t);
+      for (int op = 0; op < 800; ++op) {
+        PageId id = churn[rng.Next() % kChurnPages];
+        auto g = pool.Fetch(id, PageIntent::kRead);
+        if (!g.ok()) {
+          // With 3 frames pinned long-term, 8 frames total, and 4
+          // churners each pinning one page, exhaustion is possible
+          // only if every frame is pinned -- it is not an error here,
+          // but content corruption would be.
+          continue;
+        }
+        uint64_t version;
+        if (!CheckPage(g->data(), id, &version)) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(pool.stats().evictions, 0u);
+}
+
+TEST(BufferPoolTortureTest, ReadersShareFramesWithActiveWalTransaction) {
+  // A durable database: one writer thread runs WAL transactions while
+  // reader threads hold read epochs and scan. The pool's latches plus
+  // the writer epoch must keep every observed row decodable and every
+  // observed state a committed one.
+  constexpr const char* kPath = "/tmp/crimson_pool_torture.db";
+  std::remove(kPath);
+  ASSERT_TRUE(
+      Wal::RemoveLog(std::string(kPath) + "-wal", PosixStorageEnv()).ok());
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 16;
+  opts.durability = Durability::kCommit;
+  auto db_or = Database::Open(kPath, opts);
+  ASSERT_TRUE(db_or.ok()) << db_or.status();
+  auto db = std::move(db_or).value();
+  Schema schema({{"id", ColumnType::kInt64}, {"val", ColumnType::kString}});
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(
+        db->CreateTable("t", schema, {{"t_by_id", "id", true}}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  constexpr int kBatches = 25;
+  constexpr int kBatchSize = 5;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int round = 0; round < kBatches; ++round) {
+        Database::ReadTxn read = db->BeginRead();
+        auto table = db->OpenTable("t");
+        if (!table.ok()) {
+          ++failures;
+          return;
+        }
+        int64_t count = 0;
+        Status s = table->Scan([&](const RecordId&, const Row& row) {
+          if (std::get<std::string>(row[1]).size() != 64) ++failures;
+          ++count;
+          return true;
+        });
+        if (!s.ok() || count % kBatchSize != 0) ++failures;
+      }
+    });
+  }
+  for (int b = 0; b < kBatches; ++b) {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn.ok());
+    auto table = db->OpenTable("t");
+    ASSERT_TRUE(table.ok());
+    for (int i = 0; i < kBatchSize; ++i) {
+      ASSERT_TRUE(
+          table->Insert({int64_t{b} * kBatchSize + i, std::string(64, 'x')})
+              .ok());
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  db.reset();
+  std::remove(kPath);
+  ASSERT_TRUE(
+      Wal::RemoveLog(std::string(kPath) + "-wal", PosixStorageEnv()).ok());
+}
+
+}  // namespace
+}  // namespace crimson

@@ -1,0 +1,421 @@
+// Single-writer / multi-reader concurrency tests.
+//
+// Storage level: shared read transactions (Database::BeginRead) racing
+// a write transaction -- readers must only ever observe complete
+// committed batches, never a transaction's intermediate state.
+//
+// Session level: N reader threads doing cold OpenTree binds plus all
+// six query kinds racing a writer doing LoadTree / AppendSpeciesData /
+// RunExperiment persistence; every reader result must be
+// byte-identical to a single-threaded baseline. `*Stress*` variants
+// (ctest -C stress -L stress) scale trees, threads, and iterations up.
+
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "crimson/crimson.h"
+#include "sim/seq_evolve.h"
+#include "sim/tree_sim.h"
+#include "tree/newick.h"
+
+namespace crimson {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Storage-level: read epochs vs the writer
+// ---------------------------------------------------------------------------
+
+Schema KvSchema() {
+  return Schema({{"id", ColumnType::kInt64}, {"payload", ColumnType::kString}});
+}
+
+/// Readers under BeginRead race a writer committing fixed-size batches.
+/// Without the writer epoch a reader could observe a half-applied
+/// batch (or a torn B+Tree split); with it, every observed row count
+/// is a multiple of the batch size and ids are contiguous.
+void RunEpochExclusionTest(int batches, int batch_size, int reader_threads) {
+  auto db = std::move(Database::OpenInMemory()).value();
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(db->CreateTable("kv", KvSchema(),
+                                {{"kv_by_id", "id", /*unique=*/true}})
+                    .ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  // Readers run a fixed number of rounds rather than spinning on a
+  // stop flag: pthread rwlocks prefer readers, so an unbounded reader
+  // loop could starve the writer indefinitely.
+  const int reader_rounds = batches * 2;
+  std::atomic<int> reader_failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(reader_threads);
+  for (int t = 0; t < reader_threads; ++t) {
+    readers.emplace_back([&] {
+      int64_t last_seen = 0;
+      for (int round = 0; round < reader_rounds; ++round) {
+        Database::ReadTxn read = db->BeginRead();
+        auto table = db->OpenTable("kv");
+        if (!table.ok()) {
+          ++reader_failures;
+          return;
+        }
+        int64_t count = 0;
+        int64_t max_id = -1;
+        Status s = table->Scan([&](const RecordId&, const Row& row) {
+          int64_t id = std::get<int64_t>(row[0]);
+          if (std::get<std::string>(row[1]) !=
+              StrFormat("payload-%lld", static_cast<long long>(id))) {
+            ++reader_failures;
+          }
+          if (id > max_id) max_id = id;
+          ++count;
+          return true;
+        });
+        read.End();
+        if (!s.ok()) ++reader_failures;
+        // A read epoch excludes the writer, so only complete batches
+        // are ever visible: count is a batch multiple, ids are the
+        // contiguous prefix, and counts never go backwards.
+        if (count % batch_size != 0) ++reader_failures;
+        if (count > 0 && max_id != count - 1) ++reader_failures;
+        if (count < last_seen) ++reader_failures;
+        last_seen = count;
+      }
+    });
+  }
+
+  for (int b = 0; b < batches; ++b) {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn.ok());
+    auto table = db->OpenTable("kv");
+    ASSERT_TRUE(table.ok());
+    for (int i = 0; i < batch_size; ++i) {
+      int64_t id = static_cast<int64_t>(b) * batch_size + i;
+      ASSERT_TRUE(
+          table
+              ->Insert({id, StrFormat("payload-%lld",
+                                      static_cast<long long>(id))})
+              .ok());
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(reader_failures.load(), 0);
+
+  auto final_table = db->OpenTable("kv");
+  ASSERT_TRUE(final_table.ok());
+  EXPECT_EQ(final_table->row_count(),
+            static_cast<uint64_t>(batches) * batch_size);
+}
+
+TEST(ReadEpochTest, ReadersOnlySeeCompleteCommittedBatches) {
+  RunEpochExclusionTest(/*batches=*/30, /*batch_size=*/7,
+                        /*reader_threads=*/4);
+}
+
+TEST(ReadEpochTest, StressReadersOnlySeeCompleteCommittedBatches) {
+  RunEpochExclusionTest(/*batches=*/150, /*batch_size=*/13,
+                        /*reader_threads=*/8);
+}
+
+TEST(ReadEpochTest, NestedBeginFromSameThreadFails) {
+  auto db = std::move(Database::OpenInMemory()).value();
+  auto txn = db->Begin();
+  ASSERT_TRUE(txn.ok());
+  EXPECT_TRUE(db->Begin().status().IsFailedPrecondition());
+  EXPECT_TRUE(db->Flush().IsFailedPrecondition());
+  ASSERT_TRUE(txn->Commit().ok());
+  // After commit a new transaction (and a flush) work again.
+  auto txn2 = db->Begin();
+  ASSERT_TRUE(txn2.ok());
+  ASSERT_TRUE(txn2->Commit().ok());
+  EXPECT_TRUE(db->Flush().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Session-level: cold binds + all six query kinds vs a writer
+// ---------------------------------------------------------------------------
+
+constexpr const char* kDbPath = "/tmp/crimson_concurrent_access.db";
+
+struct GoldTree {
+  PhyloTree tree;
+  std::map<std::string, std::string> sequences;
+};
+
+GoldTree MakeGold(uint32_t n_leaves, uint64_t seed) {
+  GoldTree g;
+  Rng rng(seed);
+  YuleOptions opts;
+  opts.n_leaves = n_leaves;
+  g.tree = std::move(SimulateYule(opts, &rng)).value();
+  SeqEvolveOptions seq_opts;
+  seq_opts.seq_length = 96;
+  auto evolver = SequenceEvolver::Create(seq_opts);
+  g.sequences = std::move(evolver->EvolveLeaves(g.tree, &rng)).value();
+  return g;
+}
+
+std::string TreeName(int i) { return StrFormat("tree%d", i); }
+
+/// Creates the shared on-disk database with `n_trees` gold trees.
+void BuildSharedDb(int n_trees, uint32_t n_leaves) {
+  std::remove(kDbPath);
+  CrimsonOptions opts;
+  opts.db_path = kDbPath;
+  auto session = std::move(Crimson::Open(opts)).value();
+  for (int i = 0; i < n_trees; ++i) {
+    GoldTree gold = MakeGold(n_leaves, 0xC0FFEE + i);
+    ASSERT_TRUE(session->LoadTree(TreeName(i), gold.tree).ok());
+    ASSERT_TRUE(
+        session->AppendSpeciesData(TreeName(i), gold.sequences).ok());
+  }
+  ASSERT_TRUE(session->Flush().ok());
+}
+
+/// The six query kinds against an n-leaf gold tree (leaves S0..S{n-1}).
+std::vector<QueryRequest> SixKinds(uint32_t n_leaves) {
+  const std::string a = StrFormat("S%u", n_leaves / 7);
+  const std::string b = StrFormat("S%u", n_leaves - 2);
+  return {
+      QueryRequest(LcaQuery{a, b}),
+      QueryRequest(ProjectQuery{{"S1", a, b, "S0"}}),
+      QueryRequest(SampleUniformQuery{10}),
+      QueryRequest(SampleTimeQuery{8, 0.5}),
+      QueryRequest(CladeQuery{{"S2", "S3", a}}),
+      QueryRequest(PatternQuery{"(S1,S2);", false}),
+  };
+}
+
+std::unique_ptr<Crimson> OpenSharedSession(size_t pool_pages = 128) {
+  CrimsonOptions opts;
+  opts.db_path = kDbPath;
+  opts.buffer_pool_pages = pool_pages;
+  opts.batch_workers = 8;
+  opts.seed = 42;
+  auto c = Crimson::Open(opts);
+  EXPECT_TRUE(c.ok()) << c.status();
+  return std::move(c).value();
+}
+
+/// Concurrent cold binds + all six kinds must reproduce a sequential
+/// session byte-for-byte: binds race across threads (parallel storage
+/// reads), then the per-tree batches consume tickets in the same
+/// global order as the baseline, so even the sampling draws match.
+void RunColdBindIdentityTest(int n_trees, uint32_t n_leaves,
+                             size_t pool_pages) {
+  BuildSharedDb(n_trees, n_leaves);
+  std::vector<QueryRequest> requests = SixKinds(n_leaves);
+
+  // Sequential baseline: bind + execute in tree order.
+  std::vector<std::vector<std::string>> baseline(n_trees);
+  std::vector<std::string> baseline_nexus(n_trees);
+  {
+    auto session = OpenSharedSession(pool_pages);
+    for (int i = 0; i < n_trees; ++i) {
+      auto ref = session->OpenTree(TreeName(i));
+      ASSERT_TRUE(ref.ok()) << ref.status();
+      for (const QueryRequest& request : requests) {
+        auto r = session->Execute(*ref, request);
+        ASSERT_TRUE(r.ok()) << r.status();
+        baseline[i].push_back(RenderResult(*r));
+      }
+      auto nexus = session->ExportNexus(*ref);
+      ASSERT_TRUE(nexus.ok());
+      baseline_nexus[i] = std::move(*nexus);
+    }
+  }
+
+  // Concurrent session: every tree bound (and exported) cold from its
+  // own thread, racing the others through the storage engine.
+  auto session = OpenSharedSession(pool_pages);
+  std::vector<TreeRef> refs(n_trees);
+  std::vector<std::string> nexus(n_trees);
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(n_trees);
+    for (int i = 0; i < n_trees; ++i) {
+      threads.emplace_back([&, i] {
+        auto ref = session->OpenTree(TreeName(i));
+        if (!ref.ok()) {
+          ++failures;
+          return;
+        }
+        refs[i] = *ref;
+        auto doc = session->ExportNexus(*ref);
+        if (!doc.ok()) {
+          ++failures;
+          return;
+        }
+        nexus[i] = std::move(*doc);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  ASSERT_EQ(failures.load(), 0);
+  for (int i = 0; i < n_trees; ++i) {
+    EXPECT_EQ(nexus[i], baseline_nexus[i]) << TreeName(i);
+  }
+
+  // Per-tree batches in baseline order: tickets line up, so all six
+  // kinds (sampling included) must be byte-identical.
+  for (int i = 0; i < n_trees; ++i) {
+    auto results = session->ExecuteBatch(refs[i], requests);
+    ASSERT_EQ(results.size(), requests.size());
+    for (size_t q = 0; q < requests.size(); ++q) {
+      ASSERT_TRUE(results[q].ok()) << results[q].status();
+      EXPECT_EQ(RenderResult(*results[q]), baseline[i][q])
+          << TreeName(i) << " query " << q;
+    }
+  }
+}
+
+TEST(ConcurrentAccessTest, ColdBindsAndSixKindsMatchSequentialBaseline) {
+  RunColdBindIdentityTest(/*n_trees=*/6, /*n_leaves=*/96, /*pool_pages=*/64);
+}
+
+TEST(ConcurrentAccessTest,
+     StressColdBindsAndSixKindsMatchSequentialBaseline) {
+  RunColdBindIdentityTest(/*n_trees=*/12, /*n_leaves=*/256, /*pool_pages=*/64);
+}
+
+/// Reader threads loop over deterministic queries + storage reads
+/// while one writer loads new trees, appends species data, and
+/// persists experiments. Deterministic reader results must stay
+/// byte-identical to the pre-writer baseline; sampling draws stay
+/// structurally valid (their tickets interleave with the writer's
+/// experiment tickets, which is exactly the unspecified-order case the
+/// determinism contract scopes out).
+void RunReadersVsWriterTest(int n_trees, uint32_t n_leaves,
+                            int reader_threads, int reader_rounds,
+                            int writer_trees) {
+  BuildSharedDb(n_trees, n_leaves);
+  auto session = OpenSharedSession(/*pool_pages=*/128);
+
+  // Deterministic kinds only (no tickets consumed by these).
+  std::vector<QueryRequest> det = {
+      QueryRequest(LcaQuery{"S1", StrFormat("S%u", n_leaves - 2)}),
+      QueryRequest(ProjectQuery{{"S0", "S1", "S2", "S3"}}),
+      QueryRequest(CladeQuery{{"S2", "S3", "S4"}}),
+      QueryRequest(PatternQuery{"(S1,S2);", false}),
+  };
+  std::vector<std::vector<std::string>> baseline(n_trees);
+  std::vector<TreeRef> refs(n_trees);
+  for (int i = 0; i < n_trees; ++i) {
+    auto ref = session->OpenTree(TreeName(i));
+    ASSERT_TRUE(ref.ok());
+    refs[i] = *ref;
+    for (const QueryRequest& request : det) {
+      auto r = session->Execute(refs[i], request);
+      ASSERT_TRUE(r.ok()) << r.status();
+      baseline[i].push_back(RenderResult(*r));
+    }
+  }
+
+  std::atomic<int> failures{0};
+  std::atomic<int64_t> writer_experiment{-1};
+
+  std::thread writer([&] {
+    ExperimentSpec spec;
+    spec.algorithms = {"nj"};
+    SelectionSpec sel;
+    sel.kind = SelectionSpec::Kind::kUniform;
+    sel.k = 8;
+    spec.selections = {sel};
+    spec.replicates = 1;
+    spec.compute_triplets = false;
+    for (int w = 0; w < writer_trees; ++w) {
+      GoldTree gold = MakeGold(n_leaves / 2, 0xBEEF00 + w);
+      const std::string name = StrFormat("writer%d", w);
+      auto load = session->LoadTree(name, gold.tree);
+      if (!load.ok()) {
+        ++failures;
+        return;
+      }
+      if (!session->AppendSpeciesData(name, gold.sequences).ok()) {
+        ++failures;
+        return;
+      }
+      auto report = session->RunExperiment(load->ref, spec);
+      if (!report.ok()) {
+        ++failures;
+        return;
+      }
+      writer_experiment.store(report->experiment_id,
+                              std::memory_order_release);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(reader_threads);
+  for (int t = 0; t < reader_threads; ++t) {
+    readers.emplace_back([&, t] {
+      for (int round = 0; round < reader_rounds; ++round) {
+        int i = (t + round) % n_trees;
+        for (size_t q = 0; q < det.size(); ++q) {
+          auto r = session->Execute(refs[i], det[q]);
+          if (!r.ok() || RenderResult(*r) != baseline[i][q]) {
+            ++failures;
+          }
+        }
+        // Sampling kinds run too (racing the writer's tickets):
+        // results must be structurally valid draws from this tree.
+        auto uni = session->Execute(refs[i], SampleUniformQuery{5});
+        if (!uni.ok() ||
+            std::get<SampleAnswer>(*uni).species.size() != 5) {
+          ++failures;
+        }
+        auto timed = session->Execute(refs[i], SampleTimeQuery{4, 0.5});
+        if (!timed.ok() ||
+            std::get<SampleAnswer>(*timed).species.size() != 4) {
+          ++failures;
+        }
+        if (!session->QueryHistory(5).ok()) ++failures;
+        auto trees = session->ListTrees();
+        if (!trees.ok() || trees->size() < static_cast<size_t>(n_trees)) {
+          ++failures;
+        }
+        if (!session->ExportNexus(refs[i]).ok()) ++failures;
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : readers) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // The writer's persisted experiments replay on the live session.
+  int64_t experiment_id = writer_experiment.load(std::memory_order_acquire);
+  ASSERT_GE(experiment_id, 0);
+  auto replay = session->RerunExperiment(experiment_id);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->runs.size(), 1u);
+}
+
+TEST(ConcurrentAccessTest, ReadersRaceWriterWithByteIdenticalResults) {
+  RunReadersVsWriterTest(/*n_trees=*/4, /*n_leaves=*/64,
+                         /*reader_threads=*/4, /*reader_rounds=*/8,
+                         /*writer_trees=*/3);
+}
+
+TEST(ConcurrentAccessTest, StressReadersRaceWriterWithByteIdenticalResults) {
+  RunReadersVsWriterTest(/*n_trees=*/6, /*n_leaves=*/128,
+                         /*reader_threads=*/8, /*reader_rounds=*/24,
+                         /*writer_trees=*/8);
+}
+
+}  // namespace
+}  // namespace crimson
