@@ -1,0 +1,354 @@
+// bench_network: closed-loop multi-client throughput/latency for the
+// wire protocol (CrimsonServer + CrimsonClient over loopback).
+//
+// One server over a fresh in-memory session; N client threads each run
+// a closed loop of single LCA queries (issue, wait, repeat) against a
+// stored Yule tree, for N in {1, 4, 16, 64}. A deterministic injected
+// per-query execution delay (--delay-us, default 2000) models query
+// compute inside an execution slot, so the scaling shape is
+// reproducible across machines -- including single-core CI boxes,
+// because overlapping *sleeps* need concurrency in the server's slot
+// discipline, not extra cores: with E execution slots the ceiling is
+// E/delay queries/sec no matter the core count.
+//
+// Backpressure is part of the measurement: admission is capped
+// (--max-inflight, default 32), so at 64 clients the server sheds load
+// with kUnavailable + retry-after instead of queueing without bound.
+// Clients sleep the server's hint and retry (the canonical loop);
+// reported latency is per successful request, rejects are counted
+// separately. That is exactly why p99 stays bounded at saturation:
+// admitted work is at most max_inflight deep, everything else waits
+// client-side.
+//
+// Byte identity: after the timed phase, all six query kinds run over
+// the wire and on a fresh same-seed in-process session; the encoded
+// result payloads must match byte for byte.
+//
+// Writes BENCH_network.json. With --gate, exits non-zero unless
+//   - QPS grows monotonically from 1 to 4 to 16 clients,
+//   - at 64 clients the server rejected work (backpressure engaged)
+//     and successful-request p99 stayed under 100x the injected delay,
+//   - the six-kind wire vs in-process byte identity holds.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "crimson/crimson.h"
+#include "crimson/service.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "sim/tree_sim.h"
+#include "tree/newick.h"
+
+namespace crimson {
+namespace {
+
+constexpr uint32_t kLeaves = 96;
+constexpr uint64_t kSeed = 42;
+
+std::string BenchNewick() {
+  Rng rng(0xBE7);
+  YuleOptions yule;
+  yule.n_leaves = kLeaves;
+  auto tree = SimulateYule(yule, &rng);
+  if (!tree.ok()) return {};
+  return WriteNewick(*tree);
+}
+
+std::vector<QueryRequest> SixKinds() {
+  return {
+      QueryRequest(LcaQuery{"S19", "S94"}),
+      QueryRequest(ProjectQuery{{"S0", "S1", "S19", "S94"}}),
+      QueryRequest(SampleUniformQuery{10}),
+      QueryRequest(SampleTimeQuery{8, 0.5}),
+      QueryRequest(CladeQuery{{"S2", "S3", "S19"}}),
+      QueryRequest(PatternQuery{"(S1,S2);", false}),
+  };
+}
+
+struct LevelResult {
+  int clients = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  double seconds = 0;
+  double qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  bool ok = false;
+};
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  if (sorted_in_place->empty()) return 0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  size_t idx = static_cast<size_t>(p * (sorted_in_place->size() - 1));
+  return (*sorted_in_place)[idx];
+}
+
+/// `clients` closed loops of `ops_per_client` successful LCA queries
+/// each against one running server.
+LevelResult RunLevel(uint16_t port, int clients, int ops_per_client) {
+  LevelResult out;
+  out.clients = clients;
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<uint64_t> rejects(clients, 0);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::ClientOptions copts;
+      copts.port = port;
+      auto client_or = net::CrimsonClient::Connect(copts);
+      if (!client_or.ok()) {
+        ++failures;
+        return;
+      }
+      auto client = std::move(client_or).value();
+      const QueryRequest request(LcaQuery{"S19", "S94"});
+      latencies[c].reserve(ops_per_client);
+      for (int i = 0; i < ops_per_client;) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto r = client->Execute("bench", request);
+        auto us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+        if (r.ok()) {
+          latencies[c].push_back(us);
+          ++i;
+        } else if (r.status().IsUnavailable()) {
+          ++rejects[c];
+          int64_t backoff = std::max<int64_t>(r.status().retry_after_ms(), 1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        } else {
+          fprintf(stderr, "client %d failed: %s\n", c,
+                  r.status().ToString().c_str());
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (failures.load() != 0) return out;
+
+  std::vector<double> all;
+  for (auto& l : latencies) {
+    out.completed += l.size();
+    all.insert(all.end(), l.begin(), l.end());
+  }
+  for (uint64_t r : rejects) out.rejected += r;
+  out.qps = out.seconds > 0 ? out.completed / out.seconds : 0;
+  out.p50_us = Percentile(&all, 0.50);
+  out.p99_us = Percentile(&all, 0.99);
+  out.ok = true;
+  return out;
+}
+
+/// Six query kinds over the wire vs a fresh same-seed in-process
+/// session: encoded result payloads must be byte-identical.
+bool CheckByteIdentity(const std::string& newick) {
+  CrimsonOptions wire_opts;
+  wire_opts.seed = kSeed;
+  auto wire_session_or = Crimson::Open(wire_opts);
+  if (!wire_session_or.ok()) return false;
+  auto wire_session = std::move(wire_session_or).value();
+  SessionService service(wire_session.get());
+  auto server_or = net::CrimsonServer::Start(&service);
+  if (!server_or.ok()) return false;
+  auto server = std::move(server_or).value();
+  net::ClientOptions copts;
+  copts.port = server->port();
+  auto client_or = net::CrimsonClient::Connect(copts);
+  if (!client_or.ok()) return false;
+  auto client = std::move(client_or).value();
+  if (!client->StoreNewick("twin", newick).ok()) return false;
+
+  CrimsonOptions local_opts;
+  local_opts.seed = kSeed;
+  auto local_or = Crimson::Open(local_opts);
+  if (!local_or.ok()) return false;
+  auto local = std::move(local_or).value();
+  auto report = local->LoadNewick("twin", newick);
+  if (!report.ok()) return false;
+
+  for (const auto& request : SixKinds()) {
+    auto remote = client->Execute("twin", request);
+    auto in_process = local->Execute(report->ref, request);
+    if (remote.ok() != in_process.ok()) return false;
+    if (!remote.ok()) continue;
+    std::string remote_bytes, local_bytes;
+    net::EncodeQueryResult(&remote_bytes, *remote);
+    net::EncodeQueryResult(&local_bytes, *in_process);
+    if (remote_bytes != local_bytes) {
+      fprintf(stderr, "byte identity broken for %s\n",
+              std::string(QueryKindName(request)).c_str());
+      return false;
+    }
+  }
+  return server->Shutdown().ok();
+}
+
+}  // namespace
+
+int Run(int argc, char** argv) {
+  int delay_us = 2000;
+  int ops_per_client = 100;
+  size_t exec_slots = 8;
+  size_t max_inflight = 32;
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--gate") == 0) gate = true;
+    if (strncmp(argv[i], "--delay-us=", 11) == 0) {
+      delay_us = atoi(argv[i] + 11);
+    }
+    if (strncmp(argv[i], "--ops=", 6) == 0) ops_per_client = atoi(argv[i] + 6);
+    if (strncmp(argv[i], "--workers=", 10) == 0) {
+      exec_slots = static_cast<size_t>(atoi(argv[i] + 10));
+    }
+    if (strncmp(argv[i], "--max-inflight=", 15) == 0) {
+      max_inflight = static_cast<size_t>(atoi(argv[i] + 15));
+    }
+  }
+
+  const std::string newick = BenchNewick();
+  if (newick.empty()) {
+    fprintf(stderr, "tree simulation failed\n");
+    return 1;
+  }
+
+  CrimsonOptions session_opts;
+  session_opts.seed = kSeed;
+  session_opts.batch_workers = exec_slots;
+  auto session_or = Crimson::Open(session_opts);
+  if (!session_or.ok()) {
+    fprintf(stderr, "session open failed: %s\n",
+            session_or.status().ToString().c_str());
+    return 1;
+  }
+  auto session = std::move(session_or).value();
+  SessionService service(session.get());
+
+  net::ServerOptions server_opts;
+  server_opts.max_connections = 128;
+  server_opts.max_exec_concurrency = exec_slots;
+  server_opts.max_inflight_queries = max_inflight;
+  server_opts.retry_after_ms = 2;
+  server_opts.inject_query_delay_us = delay_us;
+  auto server_or = net::CrimsonServer::Start(&service, server_opts);
+  if (!server_or.ok()) {
+    fprintf(stderr, "server start failed: %s\n",
+            server_or.status().ToString().c_str());
+    return 1;
+  }
+  auto server = std::move(server_or).value();
+
+  {
+    net::ClientOptions copts;
+    copts.port = server->port();
+    auto seeder = net::CrimsonClient::Connect(copts);
+    if (!seeder.ok() || !(*seeder)->StoreNewick("bench", newick).ok()) {
+      fprintf(stderr, "bench tree store failed\n");
+      return 1;
+    }
+  }
+
+  const int levels[] = {1, 4, 16, 64};
+  std::vector<LevelResult> results;
+  for (int clients : levels) {
+    LevelResult r = RunLevel(server->port(), clients, ops_per_client);
+    if (!r.ok) {
+      fprintf(stderr, "level with %d clients failed\n", clients);
+      return 1;
+    }
+    results.push_back(r);
+  }
+  if (!server->Shutdown().ok()) {
+    fprintf(stderr, "server drain failed\n");
+    return 1;
+  }
+
+  const bool identical = CheckByteIdentity(newick);
+
+  const LevelResult& l1 = results[0];
+  const LevelResult& l4 = results[1];
+  const LevelResult& l16 = results[2];
+  const LevelResult& l64 = results[3];
+  const double p99_bound_us = 100.0 * delay_us;
+  const bool qps_monotone = l4.qps > l1.qps && l16.qps >= l4.qps;
+  const bool saturation_bounded =
+      l64.rejected > 0 && l64.p99_us <= p99_bound_us;
+  const bool pass = qps_monotone && saturation_bounded && identical;
+
+  printf("closed-loop wire protocol, %dus injected query delay, "
+         "%zu exec slots, %zu admission slots:\n",
+         delay_us, exec_slots, max_inflight);
+  for (const LevelResult& r : results) {
+    printf("  %2d client(s): %8.0f q/s   p50 %7.0fus   p99 %7.0fus   "
+           "%llu ok, %llu rejected\n",
+           r.clients, r.qps, r.p50_us, r.p99_us,
+           static_cast<unsigned long long>(r.completed),
+           static_cast<unsigned long long>(r.rejected));
+  }
+  printf("six-kind wire vs in-process byte identity: %s\n"
+         "gate (QPS monotone 1->4->16, p99@64 <= %.0fus with rejects, "
+         "identity): %s\n",
+         identical ? "OK" : "MISMATCH", p99_bound_us, pass ? "PASS" : "FAIL");
+
+  FILE* json = fopen("BENCH_network.json", "w");
+  if (json != nullptr) {
+    fprintf(json,
+            "{\n"
+            "  \"delay_us\": %d,\n"
+            "  \"exec_slots\": %zu,\n"
+            "  \"max_inflight\": %zu,\n"
+            "  \"ops_per_client\": %d,\n"
+            "  \"levels\": [\n",
+            delay_us, exec_slots, max_inflight, ops_per_client);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const LevelResult& r = results[i];
+      fprintf(json,
+              "    {\"clients\": %d, \"qps\": %.1f, \"p50_us\": %.1f, "
+              "\"p99_us\": %.1f, \"completed\": %llu, \"rejected\": %llu}%s\n",
+              r.clients, r.qps, r.p50_us, r.p99_us,
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.rejected),
+              i + 1 < results.size() ? "," : "");
+    }
+    fprintf(json,
+            "  ],\n"
+            "  \"byte_identical\": %s,\n"
+            "  \"qps_monotone\": %s,\n"
+            "  \"p99_bound_us\": %.1f,\n"
+            "  \"saturation_bounded\": %s,\n"
+            "  \"pass\": %s\n"
+            "}\n",
+            identical ? "true" : "false", qps_monotone ? "true" : "false",
+            p99_bound_us, saturation_bounded ? "true" : "false",
+            pass ? "true" : "false");
+    fclose(json);
+  }
+
+  if (gate && !pass) {
+    fprintf(stderr, "GATE FAILURE: see BENCH_network.json\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace crimson
+
+int main(int argc, char** argv) { return crimson::Run(argc, argv); }

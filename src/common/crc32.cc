@@ -1,0 +1,36 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace crimson {
+
+namespace {
+
+/// Lazily built table for CRC32 (IEEE 802.3 polynomial, reflected).
+const uint32_t* Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+}  // namespace
+
+uint32_t Crc32(const char* data, size_t n, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ static_cast<uint8_t>(data[i])) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace crimson

@@ -1,0 +1,18 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) shared by the WAL record
+// framing and the network wire protocol.
+
+#ifndef CRIMSON_COMMON_CRC32_H_
+#define CRIMSON_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crimson {
+
+/// Running CRC: pass the previous value as `seed` to extend a checksum
+/// across multiple buffers.
+uint32_t Crc32(const char* data, size_t n, uint32_t seed = 0);
+
+}  // namespace crimson
+
+#endif  // CRIMSON_COMMON_CRC32_H_

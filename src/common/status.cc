@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

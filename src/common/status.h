@@ -29,6 +29,7 @@ enum class StatusCode : int {
   kUnimplemented = 8,
   kInternal = 9,
   kResourceExhausted = 10,
+  kUnavailable = 11,
 };
 
 /// Returns a stable lowercase name for a code ("ok", "not_found", ...).
@@ -84,6 +85,14 @@ class Status {
   static Status ResourceExhausted(std::string_view msg) {
     return Status(StatusCode::kResourceExhausted, msg);
   }
+  /// Transient overload: the operation was rejected (not failed) and is
+  /// safe to retry. `retry_after_ms` is the server's backoff hint
+  /// (0 = none); it survives copies and round-trips the wire protocol.
+  static Status Unavailable(std::string_view msg, int64_t retry_after_ms = 0) {
+    Status s(StatusCode::kUnavailable, msg);
+    s.rep_->retry_after_ms = retry_after_ms;
+    return s;
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -104,6 +113,11 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+
+  /// Suggested retry delay attached to an Unavailable status; 0 when
+  /// absent or for any other code.
+  int64_t retry_after_ms() const { return rep_ ? rep_->retry_after_ms : 0; }
 
   /// Message attached at construction; empty for OK.
   std::string_view message() const {
@@ -122,6 +136,7 @@ class Status {
     Rep(StatusCode c, std::string_view m) : code(c), message(m) {}
     StatusCode code;
     std::string message;
+    int64_t retry_after_ms = 0;  // only meaningful for kUnavailable
   };
 
   Status(StatusCode code, std::string_view msg)

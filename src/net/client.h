@@ -1,0 +1,120 @@
+// CrimsonClient: a small, typed C++ client for the Crimson wire
+// protocol. One client owns one connection and speaks the same
+// QueryRequest/QueryResult values as the in-process session API, so
+// code written against Crimson::Execute ports to the remote API by
+// swapping the session for a client.
+//
+// Pipelining: ExecuteBatch writes all requests back-to-back before
+// reading any response. The server coalesces such runs into one
+// ExecuteBatch dispatch; responses come back in request order and are
+// byte-identical to issuing the queries one at a time.
+//
+// Backpressure: when the server is saturated it answers with
+// Status::Unavailable carrying retry_after_ms. The client surfaces
+// that status verbatim (it does not retry on its own); callers decide
+// whether to back off and retry -- see ExecuteWithRetry for the
+// canonical loop.
+//
+// Thread safety: none. A client is one connection with one in-order
+// response stream; use one client per thread.
+
+#ifndef CRIMSON_NET_CLIENT_H_
+#define CRIMSON_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/span.h"
+#include "crimson/data_loader.h"
+#include "crimson/query_request.h"
+#include "crimson/repositories.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace crimson {
+namespace net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Frames with larger payloads are treated as stream corruption.
+  uint32_t max_frame_payload = kMaxPayloadBytes;
+};
+
+class CrimsonClient {
+ public:
+  static Result<std::unique_ptr<CrimsonClient>> Connect(
+      const ClientOptions& options);
+
+  CrimsonClient(const CrimsonClient&) = delete;
+  CrimsonClient& operator=(const CrimsonClient&) = delete;
+
+  /// Round-trips an opaque payload; returns the echo.
+  [[nodiscard]] Result<std::string> Ping(const std::string& payload = {});
+
+  /// Binds a stored tree on the server; returns its metadata.
+  [[nodiscard]] Result<TreeInfo> OpenTree(const std::string& name);
+
+  /// Parses + stores a tree document on the server.
+  [[nodiscard]] Result<TreeInfo> StoreNewick(
+      const std::string& name, const std::string& newick,
+      LoadMode mode = LoadMode::kTreeStructureOnly);
+  [[nodiscard]] Result<TreeInfo> StoreNexus(
+      const std::string& name, const std::string& nexus,
+      LoadMode mode = LoadMode::kTreeWithSpeciesData);
+
+  [[nodiscard]] Result<std::vector<TreeInfo>> ListTrees();
+
+  /// One typed query against a named tree on the server.
+  [[nodiscard]] Result<QueryResult> Execute(const std::string& tree_name,
+                                            const QueryRequest& request);
+
+  /// Pipelined queries: all requests are written before any response
+  /// is read; results come back in request order. On a transport
+  /// failure the remaining entries carry that failure.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::string& tree_name, Span<const QueryRequest> requests);
+
+  /// Execute with bounded retry on kUnavailable: sleeps the server's
+  /// retry_after_ms hint (or 1ms when absent) between attempts.
+  [[nodiscard]] Result<QueryResult> ExecuteWithRetry(
+      const std::string& tree_name, const QueryRequest& request,
+      int max_attempts = 8);
+
+  /// The server's query history, newest first.
+  [[nodiscard]] Result<std::vector<QueryRepository::Entry>> History(
+      size_t limit = 50);
+
+  /// Asks the server for a durable checkpoint.
+  Status Checkpoint();
+
+  /// Sticky transport status: OK until the connection breaks.
+  const Status& transport_status() const { return transport_; }
+
+ private:
+  explicit CrimsonClient(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Writes one frame.
+  Status SendRequest(MessageType type, Slice payload);
+  /// Reads exactly one frame (blocking).
+  Result<Frame> ReadFrame();
+  /// Sends `payload` as `type` and expects `ok_type` back; a kError
+  /// response decodes into its carried Status.
+  Result<Frame> RoundTrip(MessageType type, Slice payload,
+                          MessageType ok_type);
+  /// Interprets a response frame as `ok_type` or a typed error.
+  Result<Frame> ExpectType(Frame frame, MessageType ok_type);
+
+  Socket socket_;
+  ClientOptions options_;
+  std::string buffer_;  // bytes received but not yet framed
+  Status transport_;    // sticky; non-OK poisons every later call
+};
+
+}  // namespace net
+}  // namespace crimson
+
+#endif  // CRIMSON_NET_CLIENT_H_

@@ -1,0 +1,396 @@
+#include "net/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/coding.h"
+#include "common/string_util.h"
+
+namespace crimson {
+namespace net {
+
+/// One accepted connection: its socket, its serving thread, and a done
+/// flag the accept loop uses to reap finished slots.
+struct CrimsonServer::Connection {
+  Socket socket;
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+CrimsonServer::CrimsonServer(SessionService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Result<std::unique_ptr<CrimsonServer>> CrimsonServer::Start(
+    SessionService* service, const ServerOptions& options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("server requires a session service");
+  }
+  if (options.max_exec_concurrency == 0 || options.max_connections == 0 ||
+      options.max_pipeline_batch == 0 || options.max_inflight_queries == 0) {
+    return Status::InvalidArgument("server bounds must be >= 1");
+  }
+  std::unique_ptr<CrimsonServer> server(new CrimsonServer(service, options));
+  CRIMSON_ASSIGN_OR_RETURN(server->listener_,
+                           ListenTcp(options.host, options.port));
+  CRIMSON_ASSIGN_OR_RETURN(server->port_, BoundPort(server->listener_));
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+CrimsonServer::~CrimsonServer() { Shutdown(); }
+
+Status CrimsonServer::Shutdown() {
+  if (shut_down_.exchange(true)) return Status::OK();
+  stopping_.store(true);
+  // Wake the accept loop; further connects fail at the socket layer.
+  listener_.ShutdownBoth();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Half-close every connection's read side: blocked reads wake with
+  // EOF, already-buffered requests still execute, and their responses
+  // still flush before the serving thread exits.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) conn->socket.ShutdownRead();
+  }
+  JoinConnections(/*all=*/true);
+  // Everything in flight has drained; make the session durable.
+  return service_->Checkpoint();
+}
+
+ServerStats CrimsonServer::stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_rejected = connections_rejected_.load();
+  s.frames_received = frames_received_.load();
+  s.queries_executed = queries_executed_.load();
+  s.batches_executed = batches_executed_.load();
+  s.queries_rejected_unavailable = queries_rejected_.load();
+  s.protocol_errors = protocol_errors_.load();
+  return s;
+}
+
+void CrimsonServer::JoinConnections(bool all) {
+  std::vector<std::unique_ptr<Connection>> reaped;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (all) {
+      reaped.swap(conns_);
+    } else {
+      for (size_t i = 0; i < conns_.size();) {
+        if (conns_[i]->done.load()) {
+          reaped.push_back(std::move(conns_[i]));
+          conns_[i] = std::move(conns_.back());
+          conns_.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  for (auto& conn : reaped) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void CrimsonServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    Result<Socket> accepted = AcceptTcp(listener_);
+    if (!accepted.ok()) {
+      if (stopping_.load()) break;
+      // Transient accept failure (e.g. EMFILE): back off briefly
+      // instead of spinning.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    JoinConnections(/*all=*/false);
+    size_t active = 0;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      active = conns_.size();
+    }
+    if (active >= options_.max_connections) {
+      // Turn the connection away before allocating any serving state.
+      connections_rejected_.fetch_add(1);
+      std::string out;
+      AppendError(&out,
+                  Status::Unavailable(
+                      StrFormat("connection pool full (%zu active)", active),
+                      options_.retry_after_ms));
+      SendAll(*accepted, out.data(), out.size());
+      continue;  // Socket closes as `accepted` goes out of scope.
+    }
+    connections_accepted_.fetch_add(1);
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(*accepted);
+    // Bounded blocking reads so serving threads notice Shutdown even
+    // on idle connections.
+    SetRecvTimeout(conn->socket, options_.poll_interval_ms);
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void CrimsonServer::ServeConnection(Connection* conn) {
+  std::string buffer;
+  char chunk[64 * 1024];
+  bool closing = false;
+  while (!closing) {
+    Result<size_t> got = RecvSome(conn->socket, chunk, sizeof(chunk));
+    if (!got.ok()) {
+      if (got.status().IsUnavailable()) {
+        // Receive timeout: just a stop-flag check point.
+        if (!stopping_.load()) continue;
+        closing = true;
+      } else {
+        closing = true;  // Hard socket error.
+      }
+    } else if (*got == 0) {
+      // Clean EOF (client close or drain half-close): fall through to
+      // process whatever complete frames are still buffered.
+      closing = true;
+    } else {
+      buffer.append(chunk, *got);
+    }
+
+    // Drain every complete frame currently buffered.
+    std::vector<Frame> frames;
+    Slice in(buffer);
+    std::string frame_error;
+    bool bad_stream = false;
+    for (;;) {
+      Frame f;
+      FrameDecode d =
+          DecodeFrame(&in, &f, &frame_error, options_.max_frame_payload);
+      if (d == FrameDecode::kFrame) {
+        frames.push_back(std::move(f));
+        continue;
+      }
+      if (d == FrameDecode::kBad) bad_stream = true;
+      break;
+    }
+    buffer.erase(0, buffer.size() - in.size());
+    frames_received_.fetch_add(frames.size());
+
+    std::string out;
+    size_t i = 0;
+    while (i < frames.size()) {
+      if (frames[i].type == MessageType::kQuery) {
+        i = DispatchQueries(frames, i, &out);
+      } else {
+        HandleFrame(frames[i], &out);
+        ++i;
+      }
+    }
+    if (bad_stream) {
+      // Framing has lost sync; a typed error is the last thing this
+      // connection can meaningfully carry.
+      protocol_errors_.fetch_add(1);
+      AppendError(&out, Status::Corruption(StrFormat(
+                            "protocol error: %s", frame_error.c_str())));
+      closing = true;
+    }
+    if (!out.empty() &&
+        !SendAll(conn->socket, out.data(), out.size()).ok()) {
+      closing = true;
+    }
+  }
+  conn->socket.Close();
+  conn->done.store(true);
+}
+
+size_t CrimsonServer::DispatchQueries(const std::vector<Frame>& frames,
+                                      size_t i, std::string* out) {
+  std::string tree_name;
+  std::vector<QueryRequest> run;
+  while (i < frames.size() && frames[i].type == MessageType::kQuery &&
+         run.size() < options_.max_pipeline_batch) {
+    Slice payload(frames[i].payload);
+    Result<QueryEnvelope> env = DecodeQueryEnvelope(&payload);
+    if (!env.ok() || !payload.empty()) {
+      // Flush what we have (order!) then answer this frame with a
+      // typed error; the connection stays usable.
+      if (!run.empty()) {
+        ExecuteQueryRun(tree_name, run, out);
+        run.clear();
+      }
+      protocol_errors_.fetch_add(1);
+      AppendError(out, env.ok() ? Status::InvalidArgument(
+                                      "trailing bytes after query payload")
+                                : env.status());
+      ++i;
+      continue;
+    }
+    if (run.empty()) {
+      tree_name = env->tree_name;
+    } else if (env->tree_name != tree_name) {
+      break;  // Different tree: flush this run, start a new one.
+    }
+    run.push_back(std::move(env->request));
+    ++i;
+  }
+  if (!run.empty()) ExecuteQueryRun(tree_name, run, out);
+  return i;
+}
+
+void CrimsonServer::ExecuteQueryRun(const std::string& tree_name,
+                                    const std::vector<QueryRequest>& run,
+                                    std::string* out) {
+  const size_t n = run.size();
+  // Admission control: bound waiting + executing queries globally.
+  size_t admitted = admitted_.fetch_add(n);
+  if (admitted + n > options_.max_inflight_queries) {
+    admitted_.fetch_sub(n);
+    queries_rejected_.fetch_add(n);
+    Status reject = Status::Unavailable(
+        StrFormat("server saturated: %zu queries in flight", admitted),
+        options_.retry_after_ms);
+    for (size_t k = 0; k < n; ++k) AppendError(out, reject);
+    return;
+  }
+  AcquireExecSlot();
+  if (options_.inject_query_delay_us > 0) {
+    // Deterministic stand-in for query compute (bench/test only).
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<int64_t>(options_.inject_query_delay_us) *
+        static_cast<int64_t>(n)));
+  }
+  std::vector<Result<QueryResult>> results = service_->ExecuteBatch(
+      tree_name, Span<const QueryRequest>(run.data(), run.size()));
+  ReleaseExecSlot();
+  admitted_.fetch_sub(n);
+  batches_executed_.fetch_add(1);
+  queries_executed_.fetch_add(n);
+  for (const Result<QueryResult>& r : results) {
+    if (!r.ok()) {
+      AppendError(out, r.status());
+      continue;
+    }
+    std::string payload;
+    EncodeQueryResult(&payload, *r);
+    AppendFrame(out, MessageType::kQueryOk, payload);
+  }
+}
+
+void CrimsonServer::HandleFrame(const Frame& frame, std::string* out) {
+  Slice in(frame.payload);
+  switch (frame.type) {
+    case MessageType::kPing: {
+      AppendFrame(out, MessageType::kPong, frame.payload);
+      return;
+    }
+    case MessageType::kOpenTree: {
+      Slice name;
+      if (!GetLengthPrefixedSlice(&in, &name) || !in.empty()) {
+        protocol_errors_.fetch_add(1);
+        AppendError(out,
+                    Status::InvalidArgument("malformed open-tree payload"));
+        return;
+      }
+      Result<TreeInfo> info = service_->OpenTree(name.ToString());
+      if (!info.ok()) {
+        AppendError(out, info.status());
+        return;
+      }
+      std::string payload;
+      EncodeTreeInfo(&payload, *info);
+      AppendFrame(out, MessageType::kOpenTreeOk, payload);
+      return;
+    }
+    case MessageType::kStoreTree: {
+      Result<StoreTreeRequest> req = DecodeStoreTreeRequest(&in);
+      if (!req.ok() || !in.empty()) {
+        protocol_errors_.fetch_add(1);
+        AppendError(out, req.ok() ? Status::InvalidArgument(
+                                        "trailing bytes after store payload")
+                                  : req.status());
+        return;
+      }
+      Result<TreeInfo> info =
+          req->format == TreeFormat::kNewick
+              ? service_->StoreNewick(req->name, req->text, req->mode)
+              : service_->StoreNexus(req->name, req->text, req->mode);
+      if (!info.ok()) {
+        AppendError(out, info.status());
+        return;
+      }
+      std::string payload;
+      EncodeTreeInfo(&payload, *info);
+      AppendFrame(out, MessageType::kStoreTreeOk, payload);
+      return;
+    }
+    case MessageType::kListTrees: {
+      Result<std::vector<TreeInfo>> infos = service_->ListTrees();
+      if (!infos.ok()) {
+        AppendError(out, infos.status());
+        return;
+      }
+      std::string payload;
+      EncodeTreeInfoList(&payload, *infos);
+      AppendFrame(out, MessageType::kListTreesOk, payload);
+      return;
+    }
+    case MessageType::kHistory: {
+      uint64_t limit = 0;
+      if (!GetVarint64(&in, &limit) || !in.empty()) {
+        protocol_errors_.fetch_add(1);
+        AppendError(out,
+                    Status::InvalidArgument("malformed history payload"));
+        return;
+      }
+      Result<std::vector<QueryRepository::Entry>> entries =
+          service_->History(static_cast<size_t>(limit));
+      if (!entries.ok()) {
+        AppendError(out, entries.status());
+        return;
+      }
+      std::string payload;
+      EncodeHistoryEntries(&payload, *entries);
+      AppendFrame(out, MessageType::kHistoryOk, payload);
+      return;
+    }
+    case MessageType::kCheckpoint: {
+      Status s = service_->Checkpoint();
+      if (!s.ok()) {
+        AppendError(out, s);
+        return;
+      }
+      AppendFrame(out, MessageType::kCheckpointOk, Slice());
+      return;
+    }
+    default: {
+      protocol_errors_.fetch_add(1);
+      AppendError(out, Status::Unimplemented(StrFormat(
+                           "unexpected message type %u",
+                           static_cast<unsigned>(frame.type))));
+      return;
+    }
+  }
+}
+
+void CrimsonServer::AppendError(std::string* out, const Status& status) {
+  std::string payload;
+  EncodeStatusPayload(&payload, status);
+  AppendFrame(out, MessageType::kError, payload);
+}
+
+void CrimsonServer::AcquireExecSlot() {
+  std::unique_lock<std::mutex> lock(exec_mu_);
+  exec_cv_.wait(lock,
+                [this] { return exec_in_use_ < options_.max_exec_concurrency; });
+  ++exec_in_use_;
+}
+
+void CrimsonServer::ReleaseExecSlot() {
+  {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    --exec_in_use_;
+  }
+  exec_cv_.notify_one();
+}
+
+}  // namespace net
+}  // namespace crimson

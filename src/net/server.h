@@ -1,0 +1,169 @@
+// CrimsonServer: the network front door. Multiplexes many client
+// connections onto one Crimson session through the SessionService
+// dispatch seam.
+//
+// Architecture: an accept loop with a bounded connection pool
+// (thread-per-connection; connections beyond the bound are turned away
+// with kUnavailable + retry-after before any state is allocated), a
+// per-connection decode loop that drains every complete frame the
+// socket has buffered, and a coalescing dispatcher that folds
+// consecutive pipelined queries against the same tree into one
+// ExecuteBatch call on the session worker pool -- so a client that
+// pipelines N queries pays one dispatch, yet the response bytes are
+// identical to sequential execution (the ExecuteBatch contract).
+//
+// Admission control: at most `max_exec_concurrency` query batches
+// execute at once (a semaphore bounds the compute the server will do
+// concurrently) and at most `max_inflight_queries` admitted queries
+// may be waiting or executing. Arrivals beyond that are rejected
+// immediately with Status::Unavailable carrying `retry_after_ms` --
+// bounded queues and a typed retry signal instead of unbounded
+// buffering, so p99 stays bounded when the pool saturates.
+//
+// Shutdown: Shutdown() (the SIGTERM path in crimson_server) stops the
+// accept loop, half-closes every connection's read side so in-flight
+// requests finish and their responses still flush, joins all
+// connection threads, and then checkpoints the session through the
+// service -- a graceful drain, not an abort.
+
+#ifndef CRIMSON_NET_SERVER_H_
+#define CRIMSON_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "crimson/service.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace crimson {
+namespace net {
+
+struct ServerOptions {
+  /// Bind address; loopback by default.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port (read it back via CrimsonServer::port).
+  uint16_t port = 0;
+  /// Connection pool bound; further connects are rejected with
+  /// kUnavailable + retry-after and closed.
+  size_t max_connections = 64;
+  /// Frames with larger payloads are rejected as corrupt.
+  uint32_t max_frame_payload = 16u << 20;
+  /// Coalescing cap: at most this many consecutive pipelined queries
+  /// fold into one ExecuteBatch dispatch.
+  size_t max_pipeline_batch = 64;
+  /// Admission bound: maximum queries admitted (waiting + executing)
+  /// across all connections before arrivals are rejected.
+  size_t max_inflight_queries = 128;
+  /// Concurrent query-batch executions (the server-side worker bound).
+  size_t max_exec_concurrency = 8;
+  /// Backoff hint attached to every kUnavailable rejection.
+  int retry_after_ms = 20;
+  /// Granularity at which blocked connection reads re-check the stop
+  /// flag.
+  int poll_interval_ms = 100;
+  /// Deterministic per-query execution delay (microseconds), injected
+  /// inside an execution slot. Test/bench knob modelling query compute
+  /// so saturation behavior is reproducible across machines; 0 in
+  /// production.
+  int inject_query_delay_us = 0;
+};
+
+/// Monotonic counters, readable at any time (values are snapshots).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t frames_received = 0;
+  uint64_t queries_executed = 0;
+  uint64_t batches_executed = 0;
+  uint64_t queries_rejected_unavailable = 0;
+  uint64_t protocol_errors = 0;
+};
+
+class CrimsonServer {
+ public:
+  /// Binds, starts the accept loop, and returns a running server. The
+  /// service (and its session) must outlive the server.
+  static Result<std::unique_ptr<CrimsonServer>> Start(
+      SessionService* service, const ServerOptions& options = {});
+
+  /// Shuts down (gracefully) if still running.
+  ~CrimsonServer();
+
+  CrimsonServer(const CrimsonServer&) = delete;
+  CrimsonServer& operator=(const CrimsonServer&) = delete;
+
+  /// The bound port (useful with ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, let in-flight requests finish and
+  /// flush, join every connection, checkpoint the session. Idempotent.
+  Status Shutdown();
+
+  ServerStats stats() const;
+
+ private:
+  CrimsonServer(SessionService* service, ServerOptions options);
+
+  struct Connection;
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  /// Coalesces the run of pipelined kQuery frames starting at `i` and
+  /// executes it; returns the index one past the run.
+  size_t DispatchQueries(const std::vector<Frame>& frames, size_t i,
+                         std::string* out);
+  /// Handles one decoded non-query frame, appending response frame(s)
+  /// to `out`.
+  void HandleFrame(const Frame& frame, std::string* out);
+  /// Executes a coalesced run of same-tree pipelined queries.
+  void ExecuteQueryRun(const std::string& tree_name,
+                       const std::vector<QueryRequest>& run, std::string* out);
+  void AppendError(std::string* out, const Status& status);
+  /// Blocks until an execution slot is free (bounded wait: admission
+  /// caps how many callers can be queued here).
+  void AcquireExecSlot();
+  void ReleaseExecSlot();
+  /// Reaps finished connection slots; with `all`, joins everything.
+  void JoinConnections(bool all);
+
+  SessionService* service_;
+  ServerOptions options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shut_down_{false};
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  /// Admitted queries (waiting for a slot or executing).
+  std::atomic<size_t> admitted_{0};
+  /// Counting semaphore for execution slots.
+  std::mutex exec_mu_;
+  std::condition_variable exec_cv_;
+  size_t exec_in_use_ = 0;
+
+  // Stats (relaxed counters; stats() snapshots them).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> queries_executed_{0};
+  std::atomic<uint64_t> batches_executed_{0};
+  std::atomic<uint64_t> queries_rejected_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace net
+}  // namespace crimson
+
+#endif  // CRIMSON_NET_SERVER_H_

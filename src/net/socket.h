@@ -1,0 +1,93 @@
+// Minimal blocking TCP helpers for the network layer: an RAII socket
+// wrapper plus listen/accept/connect and whole-buffer send. IPv4
+// loopback/any only -- the server is a front door for the storage
+// engine, not a general-purpose networking library.
+
+#ifndef CRIMSON_NET_SOCKET_H_
+#define CRIMSON_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace crimson {
+namespace net {
+
+/// Owning file-descriptor wrapper. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Releases ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void Close();
+
+  /// Half-closes both directions, waking any thread blocked in
+  /// recv/accept on this socket. Safe to call from another thread.
+  void ShutdownBoth();
+
+  /// Half-closes the read side only: a blocked recv wakes with EOF but
+  /// pending responses can still be written (the graceful-drain path).
+  void ShutdownRead();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to `host`:`port` (port 0 = ephemeral; read
+/// the assignment back via BoundPort).
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         int backlog = 128);
+
+/// The port a listening socket is bound to.
+Result<uint16_t> BoundPort(const Socket& listener);
+
+/// Blocks for one inbound connection. Fails once the listener has been
+/// shut down or closed.
+Result<Socket> AcceptTcp(const Socket& listener);
+
+/// Blocking connect; enables TCP_NODELAY (the protocol is
+/// request/response, Nagle only adds latency).
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Writes all n bytes (retrying short writes and EINTR; SIGPIPE is
+/// suppressed per-call).
+Status SendAll(const Socket& sock, const char* data, size_t n);
+
+/// Reads up to n bytes; 0 means clean EOF. A receive timeout set via
+/// SetRecvTimeout surfaces as kUnavailable (caller decides whether to
+/// poll again).
+Result<size_t> RecvSome(const Socket& sock, char* buf, size_t n);
+
+/// Bounds every subsequent blocking recv on the socket.
+Status SetRecvTimeout(const Socket& sock, int timeout_ms);
+
+}  // namespace net
+}  // namespace crimson
+
+#endif  // CRIMSON_NET_SOCKET_H_

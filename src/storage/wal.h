@@ -38,6 +38,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/crc32.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/file.h"
@@ -54,9 +55,6 @@ enum class WalRecordType : uint8_t {
   kHeaderImage = 2,
   kCommit = 3,
 };
-
-/// CRC32 (IEEE, reflected) used to frame WAL records.
-uint32_t Crc32(const char* data, size_t n, uint32_t seed = 0);
 
 inline constexpr char kWalMagic[8] = {'C', 'R', 'W', 'A', 'L', 'S', 'E', 'G'};
 inline constexpr uint32_t kWalSegmentHeaderSize = 24;

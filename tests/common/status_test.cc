@@ -32,6 +32,34 @@ TEST(StatusTest, EveryFactoryMapsToItsPredicate) {
   EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+}
+
+TEST(StatusTest, UnavailableCarriesRetryAfter) {
+  Status s = Status::Unavailable("server saturated", 250);
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.retry_after_ms(), 250);
+  EXPECT_EQ(s.message(), "server saturated");
+  EXPECT_EQ(s.ToString(), "unavailable: server saturated");
+
+  // Default hint is "none"; other codes and OK report none too.
+  EXPECT_EQ(Status::Unavailable("no hint").retry_after_ms(), 0);
+  EXPECT_EQ(Status::IOError("disk").retry_after_ms(), 0);
+  EXPECT_EQ(Status::OK().retry_after_ms(), 0);
+}
+
+TEST(StatusTest, RetryAfterSurvivesCopyAndMove) {
+  Status s = Status::Unavailable("busy", 42);
+  Status copied = s;
+  EXPECT_EQ(copied.retry_after_ms(), 42);
+  Status assigned = Status::IOError("disk");
+  assigned = s;
+  EXPECT_EQ(assigned.retry_after_ms(), 42);
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsUnavailable());
+  EXPECT_EQ(moved.retry_after_ms(), 42);
 }
 
 TEST(StatusTest, CopyPreservesState) {
@@ -62,6 +90,7 @@ TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "corruption");
   EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
             "resource_exhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "unavailable");
 }
 
 Status FailIfNegative(int x) {
