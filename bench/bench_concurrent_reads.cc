@@ -26,11 +26,18 @@
 // query kinds per tree; every rendering and every NEXUS export must
 // be identical across the two modes.
 //
+// A final overlap phase measures snapshot-read liveness: one thread
+// bulk-stores a large tree (--writer-leaves, default 8000) while this
+// thread keeps exporting a bound tree, timing each read. MVCC page
+// versions let the exports resolve against the last committed epoch,
+// so reads keep completing at idle-grade latency through the store.
+//
 // Writes BENCH_concurrent_reads.json. With --gate, exits non-zero
 // unless the shared path sustains >= 3x the serialized aggregate
 // throughput at 8 threads (the CI smoke contract) with identity
-// intact.
+// intact and at least 4 reads complete during the bulk store.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -221,6 +228,96 @@ bool Identical(const PhaseResult& a, const PhaseResult& b) {
   return a.nexus == b.nexus && a.six == b.six;
 }
 
+struct WriteOverlapResult {
+  double write_seconds = 0;        // the bulk StoreTree transaction
+  double idle_mean_ms = 0;         // mean read latency, quiet engine
+  double during_mean_ms = 0;       // mean read latency, store in flight
+  double during_max_ms = 0;        // worst single read during the store
+  int64_t reads_during_write = 0;  // reads completed while store ran
+  bool ok = false;
+};
+
+/// Snapshot-read liveness during a bulk write: one thread bulk-stores
+/// a large tree while this thread keeps exporting an already-bound
+/// tree. Under the MVCC snapshot path the exports resolve against the
+/// last committed epoch (page versions, not the writer's lock), so
+/// reads keep completing -- and keep their idle-grade latency --
+/// for the whole store. Before snapshots, this loop would stall for
+/// the entire transaction and complete ~0 reads.
+WriteOverlapResult RunWriteOverlap(const std::string& path,
+                                   uint32_t writer_leaves,
+                                   size_t pool_pages) {
+  WriteOverlapResult out;
+  CrimsonOptions opts;
+  opts.db_path = path;
+  opts.buffer_pool_pages = pool_pages;
+  opts.seed = 42;
+  auto session_or = Crimson::Open(opts);
+  if (!session_or.ok()) {
+    fprintf(stderr, "overlap session open failed: %s\n",
+            session_or.status().ToString().c_str());
+    return out;
+  }
+  auto session = std::move(session_or).value();
+  auto ref = session->OpenTree(TreeName(0));
+  if (!ref.ok()) return out;
+
+  // Simulate the writer's tree outside the measured window.
+  Rng rng(0xB16);
+  YuleOptions yule;
+  yule.n_leaves = writer_leaves;
+  auto big = SimulateYule(yule, &rng);
+  if (!big.ok()) return out;
+
+  auto one_read_ms = [&]() -> double {
+    auto t0 = std::chrono::steady_clock::now();
+    auto doc = session->ExportNexus(*ref);
+    if (!doc.ok()) return -1;
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  const int kIdleReads = 16;
+  double idle_total = 0;
+  for (int i = 0; i < kIdleReads; ++i) {
+    double ms = one_read_ms();
+    if (ms < 0) return out;
+    idle_total += ms;
+  }
+  out.idle_mean_ms = idle_total / kIdleReads;
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<bool> writer_ok{true};
+  std::thread writer([&] {
+    auto t0 = std::chrono::steady_clock::now();
+    if (!session->LoadTree("bulkwrite", *big).ok()) {
+      writer_ok.store(false, std::memory_order_release);
+    }
+    out.write_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    writer_done.store(true, std::memory_order_release);
+  });
+  double during_total = 0;
+  while (!writer_done.load(std::memory_order_acquire)) {
+    double ms = one_read_ms();
+    if (ms < 0) {
+      writer.join();
+      return out;
+    }
+    during_total += ms;
+    if (ms > out.during_max_ms) out.during_max_ms = ms;
+    ++out.reads_during_write;
+  }
+  writer.join();
+  if (out.reads_during_write > 0) {
+    out.during_mean_ms = during_total / out.reads_during_write;
+  }
+  out.ok = writer_ok.load(std::memory_order_acquire);
+  return out;
+}
+
 }  // namespace
 
 int Run(int argc, char** argv) {
@@ -229,6 +326,7 @@ int Run(int argc, char** argv) {
   uint32_t n_leaves = 96;
   int delay_us = 400;
   size_t pool_pages = 64;
+  uint32_t writer_leaves = 8000;
   bool gate = false;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--gate") == 0) gate = true;
@@ -242,6 +340,9 @@ int Run(int argc, char** argv) {
     }
     if (strncmp(argv[i], "--pool-pages=", 13) == 0) {
       pool_pages = static_cast<size_t>(atoi(argv[i] + 13));
+    }
+    if (strncmp(argv[i], "--writer-leaves=", 16) == 0) {
+      writer_leaves = static_cast<uint32_t>(atoi(argv[i] + 16));
     }
   }
 
@@ -267,7 +368,14 @@ int Run(int argc, char** argv) {
   PhaseResult raw_shared = RunPhase(path, false, n_trees, n_leaves, threads,
                                     0, pool_pages);
 
-  const bool pass = speedup >= 3.0 && identical;
+  // Snapshot-read liveness while a bulk store is in flight.
+  WriteOverlapResult overlap =
+      RunWriteOverlap(path, writer_leaves, pool_pages);
+
+  const int64_t kMinReadsDuringWrite = 4;
+  const bool overlap_pass =
+      overlap.ok && overlap.reads_during_write >= kMinReadsDuringWrite;
+  const bool pass = speedup >= 3.0 && identical && overlap_pass;
   printf(
       "cold-read throughput, %d trees x %u leaves, %d threads, "
       "%dus injected read latency, %zu-page pool:\n"
@@ -277,13 +385,19 @@ int Run(int argc, char** argv) {
       "  serialized               : %8.1f binds+exports/s\n"
       "  shared                   : %8.1f binds+exports/s\n"
       "six-kind + NEXUS byte identity across modes: %s\n"
-      "gate (shared >= 3x, identity): %s\n",
+      "snapshot reads during a %u-leaf bulk store (%.3fs write):\n"
+      "  completed during write   : %lld exports (idle mean %.2fms, "
+      "during mean %.2fms, during max %.2fms)\n"
+      "gate (shared >= 3x, identity, >= %lld reads during write): %s\n",
       n_trees, n_leaves, threads, delay_us, pool_pages,
       serialized.tasks_per_sec, serialized.seconds, shared.tasks_per_sec,
       shared.seconds, speedup,
       raw_serialized.ok ? raw_serialized.tasks_per_sec : 0,
       raw_shared.ok ? raw_shared.tasks_per_sec : 0,
-      identical ? "OK" : "MISMATCH", pass ? "PASS" : "FAIL");
+      identical ? "OK" : "MISMATCH", writer_leaves, overlap.write_seconds,
+      static_cast<long long>(overlap.reads_during_write),
+      overlap.idle_mean_ms, overlap.during_mean_ms, overlap.during_max_ms,
+      static_cast<long long>(kMinReadsDuringWrite), pass ? "PASS" : "FAIL");
 
   FILE* json = fopen("BENCH_concurrent_reads.json", "w");
   if (json != nullptr) {
@@ -300,6 +414,13 @@ int Run(int argc, char** argv) {
             "  \"raw_serialized_tasks_per_sec\": %.2f,\n"
             "  \"raw_shared_tasks_per_sec\": %.2f,\n"
             "  \"byte_identical\": %s,\n"
+            "  \"writer_leaves\": %u,\n"
+            "  \"write_seconds\": %.3f,\n"
+            "  \"reads_during_write\": %lld,\n"
+            "  \"read_ms_idle_mean\": %.3f,\n"
+            "  \"read_ms_during_write_mean\": %.3f,\n"
+            "  \"read_ms_during_write_max\": %.3f,\n"
+            "  \"gate_min_reads_during_write\": %lld,\n"
             "  \"gate_min_speedup\": 3.0,\n"
             "  \"pass\": %s\n"
             "}\n",
@@ -307,14 +428,23 @@ int Run(int argc, char** argv) {
             serialized.tasks_per_sec, shared.tasks_per_sec, speedup,
             raw_serialized.ok ? raw_serialized.tasks_per_sec : 0.0,
             raw_shared.ok ? raw_shared.tasks_per_sec : 0.0,
-            identical ? "true" : "false", pass ? "true" : "false");
+            identical ? "true" : "false", writer_leaves,
+            overlap.write_seconds,
+            static_cast<long long>(overlap.reads_during_write),
+            overlap.idle_mean_ms, overlap.during_mean_ms,
+            overlap.during_max_ms,
+            static_cast<long long>(kMinReadsDuringWrite),
+            pass ? "true" : "false");
     fclose(json);
   }
 
   std::remove(path.c_str());
   if (gate && !pass) {
-    fprintf(stderr, "GATE FAILURE: speedup %.2fx < 3.0x or identity broken\n",
-            speedup);
+    fprintf(stderr,
+            "GATE FAILURE: speedup %.2fx < 3.0x, identity broken, or only "
+            "%lld reads completed during the bulk store (need >= %lld)\n",
+            speedup, static_cast<long long>(overlap.reads_during_write),
+            static_cast<long long>(kMinReadsDuringWrite));
     return 1;
   }
   return 0;

@@ -1,6 +1,7 @@
 #include "crimson/crimson.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "common/log.h"
@@ -47,14 +48,46 @@ Crimson::~Crimson() {
   }
 }
 
+std::shared_ptr<const Crimson::RepoSet> Crimson::Repos() const {
+  std::lock_guard<std::mutex> lock(repos_mu_);
+  return repos_;
+}
+
 template <typename Fn>
 auto Crimson::TransactLocked(Fn&& fn) -> decltype(fn()) {
+  // Every write transaction first drains the history buffer into the
+  // queries table, so buffered entries ride along with the next write
+  // and replay order (query id) is preserved. The buffer keeps its
+  // entries until the transaction's fate is known -- there is never a
+  // window where an entry is in neither the buffer nor committed
+  // storage, so history readers need no lock against this drain
+  // (QueryHistory dedups the brief both-places overlap by id).
+  std::vector<QueryRepository::Entry> pending;
+  {
+    std::lock_guard<std::mutex> hist_lock(history_mu_);
+    pending = history_buffer_;
+  }
+  // Only TransactLocked erases from the buffer, and every caller holds
+  // db_mu_ exclusive, so `pending` is still the buffer's prefix when
+  // the transaction resolves.
+  auto drop_persisted = [&] {
+    if (pending.empty()) return;
+    std::lock_guard<std::mutex> hist_lock(history_mu_);
+    history_buffer_.erase(history_buffer_.begin(),
+                          history_buffer_.begin() + pending.size());
+  };
+  std::shared_ptr<const RepoSet> repos = Repos();
   Result<Txn> txn = db_->Begin();
   if (!txn.ok()) return txn.status();
-  auto result = fn();
+  Status hist = pending.empty() ? Status::OK()
+                                : repos->queries->RecordBatch(pending);
+  auto result = hist.ok() ? fn() : decltype(fn())(hist);
   if (StatusOf(result).ok()) {
     Status committed = txn->Commit();
     if (!committed.ok()) {
+      // Rolled back (durable) or indeterminate: keep the buffer; a
+      // later drain re-inserts, and RecordBatch skips ids that did
+      // reach storage.
       Status reopened = ReopenRepositoriesLocked();
       if (!reopened.ok()) {
         CRIMSON_LOG(kError) << "repository reopen after failed commit: "
@@ -62,13 +95,21 @@ auto Crimson::TransactLocked(Fn&& fn) -> decltype(fn()) {
       }
       return committed;
     }
+    drop_persisted();
   } else {
     txn->Abort();
     if (db_->durable()) {
+      // The WAL rolled the batch back; the entries live on in the
+      // buffer for the next drain.
       Status reopened = ReopenRepositoriesLocked();
       if (!reopened.ok()) {
         CRIMSON_LOG(kError) << "repository reopen after abort: " << reopened;
       }
+    } else if (hist.ok()) {
+      // Without a WAL an abort cannot undo the batch -- the rows are
+      // in storage for good, so the buffer must drop them or a later
+      // drain would duplicate them.
+      drop_persisted();
     }
   }
   return result;
@@ -76,26 +117,53 @@ auto Crimson::TransactLocked(Fn&& fn) -> decltype(fn()) {
 
 Status Crimson::ReopenRepositoriesLocked() {
   CRIMSON_ASSIGN_OR_RETURN(Txn txn, db_->Begin());
-  CRIMSON_ASSIGN_OR_RETURN(trees_, TreeRepository::Open(db_.get()));
-  trees_->set_bulk_load_threshold(options_.bulk_load_threshold);
-  trees_->set_persist_labels(options_.persist_labels);
-  CRIMSON_ASSIGN_OR_RETURN(species_, SpeciesRepository::Open(db_.get()));
-  CRIMSON_ASSIGN_OR_RETURN(queries_, QueryRepository::Open(db_.get()));
-  CRIMSON_ASSIGN_OR_RETURN(experiments_, ExperimentRepository::Open(db_.get()));
-  loader_ = std::make_unique<DataLoader>(trees_.get(), species_.get(),
-                                         options_.f);
-  return txn.Commit();
+  auto repos = std::make_shared<RepoSet>();
+  CRIMSON_ASSIGN_OR_RETURN(repos->trees, TreeRepository::Open(db_.get()));
+  repos->trees->set_bulk_load_threshold(options_.bulk_load_threshold);
+  repos->trees->set_persist_labels(options_.persist_labels);
+  CRIMSON_ASSIGN_OR_RETURN(repos->species, SpeciesRepository::Open(db_.get()));
+  CRIMSON_ASSIGN_OR_RETURN(repos->queries, QueryRepository::Open(db_.get()));
+  CRIMSON_ASSIGN_OR_RETURN(repos->experiments,
+                           ExperimentRepository::Open(db_.get()));
+  repos->loader = std::make_unique<DataLoader>(repos->trees.get(),
+                                               repos->species.get(),
+                                               options_.f);
+  CRIMSON_RETURN_IF_ERROR(txn.Commit());
+  const int64_t persisted_next = repos->queries->next_id();
+  {
+    std::lock_guard<std::mutex> lock(repos_mu_);
+    repos_ = std::move(repos);
+  }
+  // Advance the session's id counter past the persisted ids, never
+  // backwards (Execute threads bump it concurrently, and buffered
+  // entries already carry ids beyond the persisted range).
+  int64_t cur = next_query_id_.load(std::memory_order_relaxed);
+  while (cur < persisted_next &&
+         !next_query_id_.compare_exchange_weak(cur, persisted_next,
+                                               std::memory_order_relaxed)) {
+  }
+  return Status::OK();
 }
 
 Crimson::StorageReadGuard Crimson::AcquireStorageRead() const {
   StorageReadGuard guard;
   if (options_.serialize_storage_reads) {
+    // Bench baseline: pre-MVCC behavior, reads queue behind the writer
+    // (and each other) on the exclusive lock.
     guard.exclusive = std::unique_lock<std::shared_mutex>(db_mu_);
-  } else {
-    guard.shared = std::shared_lock<std::shared_mutex>(db_mu_);
   }
+  guard.repos = Repos();
   guard.epoch = db_->BeginRead();
   return guard;
+}
+
+Status Crimson::FlushHistory() {
+  {
+    std::lock_guard<std::mutex> hist_lock(history_mu_);
+    if (history_buffer_.empty()) return Status::OK();
+  }
+  std::lock_guard<std::shared_mutex> lock(db_mu_);
+  return TransactLocked([] { return Status::OK(); });
 }
 
 Result<std::unique_ptr<Crimson>> Crimson::Open(const CrimsonOptions& options) {
@@ -137,7 +205,9 @@ Result<SessionLoadReport> Crimson::LoadNewick(const std::string& name,
                                               LoadMode mode) {
   Result<LoadReport> report = [&] {
     std::lock_guard<std::shared_mutex> lock(db_mu_);
-    return TransactLocked([&] { return loader_->LoadNewick(name, newick, mode); });
+    auto repos = Repos();
+    return TransactLocked(
+        [&] { return repos->loader->LoadNewick(name, newick, mode); });
   }();
   return FinishLoad(std::move(report));
 }
@@ -147,7 +217,9 @@ Result<SessionLoadReport> Crimson::LoadNexus(const std::string& name,
                                              LoadMode mode) {
   Result<LoadReport> report = [&] {
     std::lock_guard<std::shared_mutex> lock(db_mu_);
-    return TransactLocked([&] { return loader_->LoadNexus(name, nexus, mode); });
+    auto repos = Repos();
+    return TransactLocked(
+        [&] { return repos->loader->LoadNexus(name, nexus, mode); });
   }();
   return FinishLoad(std::move(report));
 }
@@ -156,7 +228,9 @@ Result<SessionLoadReport> Crimson::LoadTree(const std::string& name,
                                             const PhyloTree& tree) {
   Result<LoadReport> report = [&] {
     std::lock_guard<std::shared_mutex> lock(db_mu_);
-    return TransactLocked([&] { return loader_->LoadTree(name, tree); });
+    auto repos = Repos();
+    return TransactLocked(
+        [&] { return repos->loader->LoadTree(name, tree); });
   }();
   return FinishLoad(std::move(report));
 }
@@ -166,8 +240,9 @@ Result<LoadReport> Crimson::AppendSpeciesData(
     const std::map<std::string, std::string>& sequences) {
   Result<LoadReport> report = [&] {
     std::lock_guard<std::shared_mutex> lock(db_mu_);
+    auto repos = Repos();
     return TransactLocked(
-        [&] { return loader_->AppendSpecies(tree_name, sequences); });
+        [&] { return repos->loader->AppendSpecies(tree_name, sequences); });
   }();
   if (report.ok()) {
     // The tree's sequence map changed: drop any cached evaluation
@@ -192,7 +267,7 @@ void Crimson::InvalidateEvalState(const std::string& tree_name) {
 
 Result<std::vector<TreeInfo>> Crimson::ListTrees() const {
   StorageReadGuard read = AcquireStorageRead();
-  return trees_->ListTrees();
+  return read.repos->trees->ListTrees();
 }
 
 Result<TreeRef> Crimson::OpenTree(const std::string& name) {
@@ -210,14 +285,16 @@ Result<TreeRef> Crimson::OpenTree(const std::string& name) {
     Result<std::string> blob = Status::NotFound("labels not fetched");
     {
       StorageReadGuard read = AcquireStorageRead();
-      CRIMSON_ASSIGN_OR_RETURN(TreeInfo info, trees_->GetTreeInfo(name));
+      CRIMSON_ASSIGN_OR_RETURN(TreeInfo info,
+                               read.repos->trees->GetTreeInfo(name));
       h = std::make_shared<TreeHandle>(
           static_cast<uint32_t>(info.f > 0 ? info.f : options_.f));
       h->info = info;
-      CRIMSON_ASSIGN_OR_RETURN(h->tree, trees_->LoadTree(info.tree_id));
+      CRIMSON_ASSIGN_OR_RETURN(h->tree,
+                               read.repos->trees->LoadTree(info.tree_id));
       // Fetch the persisted labeling here; the O(n) decode runs below,
-      // outside the storage lock.
-      blob = trees_->LoadSchemeBlob(info.tree_id);
+      // outside the read snapshot.
+      blob = read.repos->trees->LoadSchemeBlob(info.tree_id);
     }
     // Label decode / index build is pure compute; no lock held. Prefer
     // the persisted labeling (O(n) reads) and fall back to relabeling
@@ -384,11 +461,33 @@ Result<QueryResult> Crimson::ExecuteOnHandle(const TreeHandle& handle,
 
 void Crimson::RecordQuery(std::string_view kind, const std::string& params,
                           const std::string& summary) {
-  std::lock_guard<std::shared_mutex> lock(db_mu_);
-  Result<int64_t> r = TransactLocked(
-      [&] { return queries_->Record(std::string(kind), params, summary); });
-  if (!r.ok()) {
-    CRIMSON_LOG(kWarning) << "query history write failed: " << r.status();
+  // The headline concurrency fix: history appends no longer enter the
+  // writer epoch on the query path. The entry gets its final id and
+  // timestamp now and sits in the in-memory buffer until the next
+  // write transaction (or Flush/Checkpoint) drains it.
+  QueryRepository::Entry entry;
+  entry.query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  entry.timestamp_micros = NowMicros();
+  entry.kind = std::string(kind);
+  entry.params = params;
+  entry.summary = summary;
+  size_t buffered;
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    history_buffer_.push_back(std::move(entry));
+    buffered = history_buffer_.size();
+  }
+  if (buffered >= options_.history_buffer_cap) {
+    // Over the cap: flush opportunistically, but never block a query
+    // behind a bulk load -- if the writer lock is taken, the buffer
+    // just keeps growing until the writer's own drain.
+    std::unique_lock<std::shared_mutex> lock(db_mu_, std::try_to_lock);
+    if (lock.owns_lock()) {
+      Status s = TransactLocked([] { return Status::OK(); });
+      if (!s.ok()) {
+        CRIMSON_LOG(kWarning) << "query history flush failed: " << s;
+      }
+    }
   }
 }
 
@@ -522,7 +621,7 @@ Result<std::shared_ptr<const Crimson::EvalState>> Crimson::EvalStateFor(
     {
       StorageReadGuard read = AcquireStorageRead();
       CRIMSON_ASSIGN_OR_RETURN(
-          seqs, species_->SequencesForTree(handle->info.tree_id));
+          seqs, read.repos->species->SequencesForTree(handle->info.tree_id));
     }
     if (seqs.empty()) {
       return Status::FailedPrecondition(
@@ -621,19 +720,20 @@ Status Crimson::PersistExperiment(ExperimentReport* report) {
   }
 
   std::lock_guard<std::shared_mutex> lock(db_mu_);
+  auto repos = Repos();
   // One transaction covers the experiment row, all run rows, and all
   // cell aggregates: a crash mid-persist recovers to either no trace
   // of the experiment or all of it.
   return TransactLocked([&]() -> Status {
     CRIMSON_ASSIGN_OR_RETURN(
         report->experiment_id,
-        experiments_->PutExperiment(report->tree_name,
-                                    EncodeExperimentSpec(report->spec),
-                                    report->seed, report->base_ticket));
+        repos->experiments->PutExperiment(report->tree_name,
+                                          EncodeExperimentSpec(report->spec),
+                                          report->seed, report->base_ticket));
     for (auto& row : run_rows) row.experiment_id = report->experiment_id;
     for (auto& row : cell_rows) row.experiment_id = report->experiment_id;
-    CRIMSON_RETURN_IF_ERROR(experiments_->PutRuns(run_rows));
-    return experiments_->PutCells(cell_rows);
+    CRIMSON_RETURN_IF_ERROR(repos->experiments->PutRuns(run_rows));
+    return repos->experiments->PutCells(cell_rows);
   });
 }
 
@@ -691,8 +791,8 @@ Result<ExperimentReport> Crimson::RerunExperiment(int64_t experiment_id) {
   ExperimentRepository::ExperimentRow row;
   {
     StorageReadGuard read = AcquireStorageRead();
-    CRIMSON_ASSIGN_OR_RETURN(row,
-                             experiments_->GetExperiment(experiment_id));
+    CRIMSON_ASSIGN_OR_RETURN(
+        row, read.repos->experiments->GetExperiment(experiment_id));
   }
   CRIMSON_ASSIGN_OR_RETURN(ExperimentSpec spec,
                            DecodeExperimentSpec(row.spec));
@@ -716,7 +816,7 @@ Result<ExperimentReport> Crimson::RerunExperiment(int64_t experiment_id) {
 Result<std::vector<ExperimentRepository::ExperimentRow>>
 Crimson::ListExperiments() const {
   StorageReadGuard read = AcquireStorageRead();
-  return experiments_->ListExperiments();
+  return read.repos->experiments->ListExperiments();
 }
 
 // -- benchmarking (legacy wrapper) ------------------------------------------
@@ -760,15 +860,60 @@ Result<BenchmarkRun> Crimson::Benchmark(
 
 Result<std::vector<QueryRepository::Entry>> Crimson::QueryHistory(
     size_t limit) {
+  // Buffer copy strictly before the storage read. A mid-drain entry
+  // stays in the buffer until its transaction commits, so with this
+  // order it shows up in at least one source (possibly both -- the
+  // merge dedups by id); the reverse order could miss an entry that
+  // commits-and-drops between the two reads. No lock is held against
+  // the drain, so history stays readable during a bulk store.
+  std::vector<QueryRepository::Entry> merged;
+  {
+    std::lock_guard<std::mutex> hist_lock(history_mu_);
+    merged = history_buffer_;
+  }
   StorageReadGuard read = AcquireStorageRead();
-  return queries_->History(limit);
+  CRIMSON_ASSIGN_OR_RETURN(std::vector<QueryRepository::Entry> stored,
+                           read.repos->queries->History(limit));
+  merged.insert(merged.end(), std::make_move_iterator(stored.begin()),
+                std::make_move_iterator(stored.end()));
+  // Replay order: newest first by id, exactly as if every entry had
+  // been persisted synchronously.
+  std::sort(merged.begin(), merged.end(),
+            [](const QueryRepository::Entry& a,
+               const QueryRepository::Entry& b) {
+              return a.query_id > b.query_id;
+            });
+  merged.erase(std::unique(merged.begin(), merged.end(),
+                           [](const QueryRepository::Entry& a,
+                              const QueryRepository::Entry& b) {
+                             return a.query_id == b.query_id;
+                           }),
+               merged.end());
+  if (merged.size() > limit) merged.resize(limit);
+  return merged;
 }
 
 Result<std::string> Crimson::RerunQuery(int64_t query_id) {
   QueryRepository::Entry entry;
   {
-    StorageReadGuard read = AcquireStorageRead();
-    CRIMSON_ASSIGN_OR_RETURN(entry, queries_->Get(query_id));
+    // Buffer before storage, same reasoning as QueryHistory: a
+    // mid-drain entry is still buffered until its transaction commits,
+    // so this order finds it in one place or the other.
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> hist_lock(history_mu_);
+      for (const QueryRepository::Entry& e : history_buffer_) {
+        if (e.query_id == query_id) {
+          entry = e;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      StorageReadGuard read = AcquireStorageRead();
+      CRIMSON_ASSIGN_OR_RETURN(entry, read.repos->queries->Get(query_id));
+    }
   }
   if (entry.kind == "experiment" || entry.kind == "benchmark") {
     CRIMSON_ASSIGN_OR_RETURN(DecodedExperimentParams decoded,
@@ -809,7 +954,8 @@ Result<std::string> Crimson::ExportNexus(TreeRef tree) {
   {
     StorageReadGuard read = AcquireStorageRead();
     CRIMSON_ASSIGN_OR_RETURN(
-        doc.sequences, species_->SequencesForTree(handle->info.tree_id));
+        doc.sequences,
+        read.repos->species->SequencesForTree(handle->info.tree_id));
   }
   NexusTree nt;
   nt.name = handle->info.name;
@@ -838,13 +984,19 @@ Result<std::string> Crimson::RenderTree(const std::string& tree_name,
 }
 
 Status Crimson::Flush() {
+  // Buffered history rows must not outlive a flush (the destructor
+  // relies on this: a dropped session loses no history).
+  Status hist = FlushHistory();
   std::lock_guard<std::shared_mutex> lock(db_mu_);
-  return db_->Flush();
+  Status s = db_->Flush();
+  return hist.ok() ? s : hist;
 }
 
 Status Crimson::Checkpoint() {
+  Status hist = FlushHistory();
   std::lock_guard<std::shared_mutex> lock(db_mu_);
-  return db_->Checkpoint();
+  Status s = db_->Checkpoint();
+  return hist.ok() ? s : hist;
 }
 
 }  // namespace crimson

@@ -18,10 +18,14 @@
 // the handle cache is guarded by a shared_mutex, storage writes hold
 // the storage lock exclusively, while storage *reads* (cold OpenTree
 // binds, label-scheme loads, sequence fetches, history/experiment
-// lookups) hold it shared plus a Database read epoch -- so readers
-// never queue behind each other, only behind the single writer (see
-// DESIGN.md "Concurrency" and the README thread-safety table).
-// Query execution itself touches only immutable per-tree state.
+// lookups) take a Database read snapshot instead of any session-wide
+// lock -- readers neither queue behind each other NOR behind the
+// single writer; a query racing a 60k-node StoreTree observes the
+// pre-commit state byte-identically. Query history is buffered in
+// memory and flushed by the writer path (see history_buffer_cap), so
+// read-only queries never enter the writer epoch (see DESIGN.md
+// "Concurrency" and the README thread-safety table). Query execution
+// itself touches only immutable per-tree state.
 
 #ifndef CRIMSON_CRIMSON_CRIMSON_H_
 #define CRIMSON_CRIMSON_CRIMSON_H_
@@ -74,10 +78,19 @@ struct CrimsonOptions {
   /// Worker threads backing ExecuteBatch (>= 1).
   size_t batch_workers = 4;
   /// Benchmark baseline knob: route storage *reads* through the
-  /// exclusive writer lock instead of the shared read path, restoring
-  /// the pre-concurrency single-lock engine. bench_concurrent_reads
-  /// measures the shared path's speedup against this.
+  /// exclusive writer lock instead of the snapshot read path,
+  /// restoring the pre-concurrency single-lock engine.
+  /// bench_concurrent_reads measures the snapshot path's speedup
+  /// against this.
   bool serialize_storage_reads = false;
+  /// Query-history entries buffered in memory before an opportunistic
+  /// synchronous flush is attempted. History appends go to this buffer
+  /// (read-only queries never enter the writer path for them); the
+  /// buffer drains into the queries table inside the next write
+  /// transaction, on Flush/Checkpoint, or when it reaches this cap
+  /// while the writer lock happens to be free. Replay order (query id)
+  /// is preserved across the buffer/storage boundary.
+  size_t history_buffer_cap = 1024;
   /// Crash-durability discipline for on-disk databases (requires
   /// db_path). kOff preserves the legacy behavior and file format;
   /// kCommit wraps every repository write in a WAL transaction whose
@@ -260,7 +273,10 @@ class Crimson {
   Status Checkpoint();
 
   Database* database() { return db_.get(); }
-  SpeciesRepository* species_repository() { return species_.get(); }
+  /// The current species repository. The pointer stays valid until the
+  /// next repository reopen (a failed durable write), so callers
+  /// should not cache it across writes.
+  SpeciesRepository* species_repository() { return Repos()->species.get(); }
 
  private:
   Crimson() = default;
@@ -316,43 +332,79 @@ class Crimson {
   void RecordQuery(std::string_view kind, const std::string& params,
                    const std::string& summary);
   Result<SessionLoadReport> FinishLoad(Result<LoadReport> report);
-  /// Shared storage-read section: db_mu_ held shared (writers take it
-  /// exclusive) plus a Database read epoch, so repository reads from
-  /// any number of threads overlap. With serialize_storage_reads the
-  /// section degrades to the exclusive lock (bench baseline).
+  /// One generation of repository handles over the database. Swapped
+  /// wholesale (under repos_mu_) when a failed durable write forces a
+  /// reopen; readers that grabbed the previous generation finish on it
+  /// safely -- its tables and trees still resolve against committed
+  /// storage through their MVCC snapshots.
+  struct RepoSet {
+    std::unique_ptr<TreeRepository> trees;
+    std::unique_ptr<SpeciesRepository> species;
+    std::unique_ptr<QueryRepository> queries;
+    std::unique_ptr<ExperimentRepository> experiments;
+    std::unique_ptr<DataLoader> loader;
+  };
+  /// The current repository generation (brief repos_mu_ critical
+  /// section; safe from any thread).
+  std::shared_ptr<const RepoSet> Repos() const;
+  /// Storage-read section: the current repositories plus a Database
+  /// read snapshot. Lock-free against the writer -- a reader neither
+  /// waits for nor stalls a concurrent StoreTree; its repository reads
+  /// resolve against the snapshot's committed page images. With
+  /// serialize_storage_reads the section instead takes db_mu_
+  /// exclusive (bench baseline, pre-MVCC behavior).
   struct StorageReadGuard {
-    std::shared_lock<std::shared_mutex> shared;
+    std::shared_ptr<const RepoSet> repos;
     std::unique_lock<std::shared_mutex> exclusive;
     Database::ReadTxn epoch;
   };
   StorageReadGuard AcquireStorageRead() const;
   /// Runs fn (one logical repository write) inside a Txn; db_mu_ must
-  /// be held exclusive. Commits on success; aborts on failure. After an abort
-  /// with durability on, the repositories are reopened: their
-  /// in-memory hints (heap tails, cached counts, next ids) may
-  /// reflect the rolled-back writes.
+  /// be held exclusive. Drains the history buffer into the same
+  /// transaction first, so buffered entries become durable with the
+  /// next write; the buffer keeps its entries until the transaction
+  /// resolves (dropped once persisted, kept when rolled back), so
+  /// history readers never race a half-done drain. Commits on success;
+  /// aborts on failure. After an abort with durability on, the
+  /// repositories are reopened: their in-memory hints (heap tails,
+  /// cached counts, next ids) may reflect the rolled-back writes.
   template <typename Fn>
   auto TransactLocked(Fn&& fn) -> decltype(fn());
   /// Rebuilds the repository handles (and the loader over them) from
-  /// current storage; db_mu_ must be held exclusive.
+  /// current storage and publishes them as a new generation; db_mu_
+  /// must be held exclusive.
   Status ReopenRepositoriesLocked();
+  /// Synchronously drains the history buffer inside its own write
+  /// transaction (no-op when empty). Takes db_mu_ exclusive.
+  Status FlushHistory();
 
   CrimsonOptions options_;
   std::unique_ptr<Database> db_;
-  std::unique_ptr<TreeRepository> trees_;
-  std::unique_ptr<SpeciesRepository> species_;
-  std::unique_ptr<QueryRepository> queries_;
-  std::unique_ptr<ExperimentRepository> experiments_;
-  std::unique_ptr<DataLoader> loader_;
   std::unique_ptr<ThreadPool> pool_;
 
-  /// The storage lock. Writers (loads, history appends, experiment
-  /// persistence -- everything inside TransactLocked) hold it
-  /// exclusive; storage reads hold it shared together with a Database
-  /// read epoch (AcquireStorageRead), so cold binds, scheme loads, and
-  /// sequence fetches from concurrent threads proceed in parallel.
-  /// Never held while executing query compute.
+  /// Guards the repos_ pointer swap/copy only (reopen vs. readers).
+  mutable std::mutex repos_mu_;
+  std::shared_ptr<const RepoSet> repos_;
+
+  /// The storage *write* lock. Writers (loads, experiment persistence,
+  /// history flushes -- everything around TransactLocked) hold it
+  /// exclusive. Snapshot reads do not take it at all (see
+  /// AcquireStorageRead); with serialize_storage_reads they take it
+  /// exclusive as the bench baseline. Never held while executing query
+  /// compute.
   mutable std::shared_mutex db_mu_;
+
+  /// In-memory query-history buffer (see history_buffer_cap). Entries
+  /// carry their final ids (next_query_id_) and timestamps at enqueue
+  /// time; TransactLocked drains the buffer into the queries table,
+  /// erasing entries only after their transaction committed (so an
+  /// entry is always findable in the buffer or in committed storage,
+  /// and QueryHistory/RerunQuery take no lock against the drain).
+  /// Lock order: db_mu_ -> history_mu_; history_mu_ is leaf-only.
+  mutable std::mutex history_mu_;
+  std::vector<QueryRepository::Entry> history_buffer_;
+  /// Next history id; seeded from storage at open/reopen.
+  std::atomic<int64_t> next_query_id_{1};
 
   /// Guards the handle cache. Shared for ref lookup on the query path,
   /// exclusive only for the brief insertion of a freshly materialized

@@ -14,12 +14,6 @@ int64_t PackKey(int64_t tree_id, uint32_t local) {
   return (tree_id << 32) | static_cast<int64_t>(local);
 }
 
-int64_t NowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::system_clock::now().time_since_epoch())
-      .count();
-}
-
 Result<Table> OpenOrCreate(Database* db, const std::string& name,
                            const Schema& schema,
                            const std::vector<IndexSpec>& indexes) {
@@ -29,6 +23,12 @@ Result<Table> OpenOrCreate(Database* db, const std::string& name,
 }
 
 }  // namespace
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
 
 // ---------------------------------------------------------------------------
 // TreeRepository
@@ -680,6 +680,20 @@ Result<int64_t> QueryRepository::Record(const std::string& kind,
   Row row = {id, NowMicros(), kind, params, summary};
   CRIMSON_RETURN_IF_ERROR(queries_->Insert(row).status());
   return id;
+}
+
+Status QueryRepository::RecordBatch(const std::vector<Entry>& entries) {
+  for (const Entry& e : entries) {
+    Row row = {e.query_id, e.timestamp_micros, e.kind, e.params, e.summary};
+    Status s = queries_->Insert(row).status();
+    // Ids are globally unique, so AlreadyExists can only mean this
+    // entry reached storage on an earlier, partially-surviving drain
+    // (e.g. an abort without a WAL to roll it back) -- skipping it
+    // makes re-drains idempotent.
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+    next_id_ = std::max(next_id_, e.query_id + 1);
+  }
+  return Status::OK();
 }
 
 Result<std::vector<QueryRepository::Entry>> QueryRepository::History(

@@ -54,6 +54,11 @@
 
 namespace crimson {
 
+/// Wall-clock microseconds since the epoch (the repositories' row
+/// timestamp source; the session's history buffer stamps entries with
+/// it at enqueue time so deferred flushes keep the original times).
+int64_t NowMicros();
+
 /// Metadata row for a stored tree.
 struct TreeInfo {
   int64_t tree_id = 0;
@@ -292,11 +297,22 @@ class QueryRepository {
   Result<int64_t> Record(const std::string& kind, const std::string& params,
                          const std::string& summary);
 
+  /// Appends pre-built entries (ids and timestamps already assigned by
+  /// the session's history buffer) in one pass. Idempotent per id:
+  /// entries whose id is already stored are skipped, so a drain that
+  /// partially survived an unlogged abort can safely re-run. Advances
+  /// next_id_ past the largest id seen.
+  Status RecordBatch(const std::vector<Entry>& entries);
+
   /// Most recent `limit` entries, newest first.
   Result<std::vector<Entry>> History(size_t limit = 50) const;
 
   /// One entry by id.
   Result<Entry> Get(int64_t query_id) const;
+
+  /// The id the next Record call would assign (seeded from a full scan
+  /// at Open; the session's history buffer continues the sequence).
+  int64_t next_id() const { return next_id_; }
 
  private:
   explicit QueryRepository(Database* db) : db_(db) {}

@@ -5,10 +5,33 @@
 #include <utility>
 
 #include "common/coding.h"
+#include "common/random.h"
 #include "common/string_util.h"
 
 namespace crimson {
 namespace net {
+
+int64_t ComputeRetryBackoffMs(const ClientOptions& options, int attempt,
+                              int64_t server_hint_ms) {
+  const int64_t base = options.retry_base_ms > 1 ? options.retry_base_ms : 1;
+  const int64_t cap = options.retry_max_ms > base ? options.retry_max_ms : base;
+  int64_t exp = base;
+  for (int i = 0; i < attempt && exp < cap; ++i) exp *= 2;
+  if (exp > cap) exp = cap;
+  // Equal jitter: keep half the ceiling as a floor so backoff still
+  // grows with the attempt number, randomize the rest. The stream is a
+  // pure function of (seed, attempt) -- no global RNG state -- so a
+  // fixed seed replays the exact schedule.
+  uint64_t state = options.retry_jitter_seed ^
+                   (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(attempt) + 1));
+  const uint64_t r = SplitMix64(&state);
+  const int64_t half = exp / 2;
+  const int64_t jittered =
+      half + static_cast<int64_t>(r % static_cast<uint64_t>(exp - half + 1));
+  const int64_t hint = server_hint_ms > 0 ? server_hint_ms : 0;
+  const int64_t delay = hint + jittered;
+  return delay > 1 ? delay : 1;
+}
 
 Result<std::unique_ptr<CrimsonClient>> CrimsonClient::Connect(
     const ClientOptions& options) {
@@ -16,6 +39,14 @@ Result<std::unique_ptr<CrimsonClient>> CrimsonClient::Connect(
                            ConnectTcp(options.host, options.port));
   std::unique_ptr<CrimsonClient> client(new CrimsonClient(std::move(sock)));
   client->options_ = options;
+  if (client->options_.retry_jitter_seed == 0) {
+    // Derive a per-connection seed so concurrent clients retrying the
+    // same saturated server don't share a jitter stream.
+    uint64_t raw = reinterpret_cast<uintptr_t>(client.get()) ^
+                   (static_cast<uint64_t>(client->socket_.fd()) << 32) ^
+                   options.port;
+    client->options_.retry_jitter_seed = SplitMix64(&raw);
+  }
   return client;
 }
 
@@ -203,9 +234,10 @@ Result<QueryResult> CrimsonClient::ExecuteWithRetry(
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     result = Execute(tree_name, request);
     if (result.ok() || !result.status().IsUnavailable()) return result;
-    int64_t backoff_ms = result.status().retry_after_ms();
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(backoff_ms > 0 ? backoff_ms : 1));
+    if (attempt + 1 >= max_attempts) break;  // out of attempts: don't sleep
+    const int64_t delay_ms = ComputeRetryBackoffMs(
+        options_, attempt, result.status().retry_after_ms());
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
   }
   return result;
 }

@@ -13,7 +13,10 @@
 // Status::Unavailable carrying retry_after_ms. The client surfaces
 // that status verbatim (it does not retry on its own); callers decide
 // whether to back off and retry -- see ExecuteWithRetry for the
-// canonical loop.
+// canonical loop. The retry loop sleeps a capped exponential backoff
+// with deterministic seeded jitter (ComputeRetryBackoffMs) on top of
+// the server's hint, so colliding clients spread out instead of
+// re-stampeding the server in lockstep.
 //
 // Thread safety: none. A client is one connection with one in-order
 // response stream; use one client per thread.
@@ -42,7 +45,28 @@ struct ClientOptions {
   uint16_t port = 0;
   /// Frames with larger payloads are treated as stream corruption.
   uint32_t max_frame_payload = kMaxPayloadBytes;
+  /// ExecuteWithRetry backoff: first-attempt ceiling in milliseconds.
+  /// The ceiling doubles per attempt, clamped to retry_max_ms.
+  int64_t retry_base_ms = 10;
+  /// ExecuteWithRetry backoff: per-attempt ceiling cap in milliseconds.
+  int64_t retry_max_ms = 2000;
+  /// Seed for the backoff jitter. 0 (the default) derives a
+  /// per-connection seed at Connect so concurrent clients decorrelate;
+  /// any other value makes the retry schedule fully deterministic
+  /// (tests, replay).
+  uint64_t retry_jitter_seed = 0;
 };
+
+/// The delay ExecuteWithRetry sleeps after a kUnavailable response on
+/// `attempt` (0-based) when the server hinted `server_hint_ms` (<= 0
+/// when absent). Pure function of its arguments: the jitter stream is
+/// derived from options.retry_jitter_seed and the attempt number, so a
+/// fixed seed yields a fixed schedule. The result is
+///   max(hint, 0) + equal-jitter(exp)   where
+///   exp = min(retry_base_ms << attempt, retry_max_ms)
+/// and equal-jitter draws uniformly from [exp/2, exp]. Always >= 1.
+int64_t ComputeRetryBackoffMs(const ClientOptions& options, int attempt,
+                              int64_t server_hint_ms);
 
 class CrimsonClient {
  public:
@@ -78,8 +102,10 @@ class CrimsonClient {
   std::vector<Result<QueryResult>> ExecuteBatch(
       const std::string& tree_name, Span<const QueryRequest> requests);
 
-  /// Execute with bounded retry on kUnavailable: sleeps the server's
-  /// retry_after_ms hint (or 1ms when absent) between attempts.
+  /// Execute with bounded retry on kUnavailable: between attempts,
+  /// sleeps the server's retry_after_ms hint plus capped exponential
+  /// backoff with seeded jitter (see ComputeRetryBackoffMs and the
+  /// retry_* options). Does not sleep after the final attempt.
   [[nodiscard]] Result<QueryResult> ExecuteWithRetry(
       const std::string& tree_name, const QueryRequest& request,
       int max_attempts = 8);

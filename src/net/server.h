@@ -18,7 +18,19 @@
 // may be waiting or executing. Arrivals beyond that are rejected
 // immediately with Status::Unavailable carrying `retry_after_ms` --
 // bounded queues and a typed retry signal instead of unbounded
-// buffering, so p99 stays bounded when the pool saturates.
+// buffering, so p99 stays bounded when the pool saturates. (Clients
+// honor the hint: CrimsonClient::ExecuteWithRetry adds it to a
+// seeded-jitter capped exponential backoff, so a rejected fleet does
+// not stampede back in lockstep.)
+//
+// Query latency during stores: queries admitted here never queue
+// behind a StoreTree/AppendSpecies from another connection. The
+// session's read path runs against an MVCC snapshot of the last
+// committed state (DESIGN.md "Concurrency"), so a bulk store holds
+// the writer lock without stalling concurrent query execution -- and
+// recording those queries' history rows is an in-memory buffered
+// append drained by the next write transaction, not a write of its
+// own.
 //
 // Shutdown: Shutdown() (the SIGTERM path in crimson_server) stops the
 // accept loop, half-closes every connection's read side so in-flight

@@ -10,16 +10,22 @@ namespace crimson {
 
 char* PageGuard::data() {
   assert(valid());
+  // Snapshot-backed guards are read-only by contract (kRead intent;
+  // MarkDirty asserts): the non-const view exists only because the
+  // read paths up the stack take char*.
+  if (snapshot_ != nullptr) return const_cast<char*>(snapshot_->data());
   return pool_->frames_[frame_].data.data();
 }
 
 const char* PageGuard::data() const {
   assert(valid());
+  if (snapshot_ != nullptr) return snapshot_->data();
   return pool_->frames_[frame_].data.data();
 }
 
 void PageGuard::MarkDirty() {
   assert(valid());
+  assert(snapshot_ == nullptr && "MarkDirty on a snapshot-backed guard");
   assert(intent_ == PageIntent::kWrite &&
          "MarkDirty on a read-latched guard");
   pool_->OnDirty(frame_);
@@ -30,10 +36,12 @@ void PageGuard::Release() {
     pool_->Unpin(frame_, intent_);
     pool_ = nullptr;
   }
+  snapshot_.reset();
 }
 
-BufferPool::BufferPool(Pager* pager, size_t capacity, WalContext* wal_ctx)
-    : pager_(pager), wal_ctx_(wal_ctx) {
+BufferPool::BufferPool(Pager* pager, size_t capacity, WalContext* wal_ctx,
+                       PageVersions* versions)
+    : pager_(pager), wal_ctx_(wal_ctx), versions_(versions) {
   assert(capacity >= 8 && "buffer pool needs at least 8 frames");
   frames_.resize(capacity);
   free_frames_.reserve(capacity);
@@ -193,6 +201,19 @@ PageGuard BufferPool::PinAndLatch(std::unique_lock<std::mutex> lock,
 }
 
 Result<PageGuard> BufferPool::Fetch(PageId id, PageIntent intent) {
+  const bool snapshot_reads =
+      versions_ != nullptr && intent == PageIntent::kRead;
+  if (snapshot_reads) {
+    // Lock-free pre-resolution: threads with no snapshot (including the
+    // writer) fall straight through to the frame path; a snapshot
+    // reader whose page already changed gets the captured image with no
+    // frame, pin, or latch at all.
+    std::shared_ptr<const std::vector<char>> img;
+    if (versions_->ResolveForThread(id, &img) ==
+        PageVersions::Resolution::kUseVersion) {
+      return PageGuard(std::move(img), id);
+    }
+  }
   for (;;) {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = page_table_.find(id);
@@ -205,6 +226,21 @@ Result<PageGuard> BufferPool::Fetch(PageId id, PageIntent intent) {
       // below are ordered by that latch handoff); retry the fetch.
       Frame& f = frames_[idx];
       if (!f.valid || f.page_id != id) continue;  // guard releases
+      if (intent == PageIntent::kWrite && versions_ != nullptr) {
+        // First exclusive take of a committed page in this transaction:
+        // capture its pre-image before the caller mutates it. Under the
+        // exclusive latch the content is exactly the committed bytes.
+        versions_->MaybeCapture(id, f.data.data());
+      } else if (snapshot_reads) {
+        // The writer may have captured this page between the pre-
+        // resolution above and our shared latch; re-check so a snapshot
+        // reader never sees the writer's in-place mutation.
+        std::shared_ptr<const std::vector<char>> img;
+        if (versions_->ResolveForThread(id, &img) ==
+            PageVersions::Resolution::kUseVersion) {
+          return PageGuard(std::move(img), id);  // frame guard releases
+        }
+      }
       return guard;
     }
     ++stats_.misses;
@@ -231,6 +267,19 @@ Result<PageGuard> BufferPool::Fetch(PageId id, PageIntent intent) {
       // indistinguishable from arriving a moment later.
       f.latch->unlock();
       f.latch->lock_shared();
+      if (snapshot_reads) {
+        std::shared_ptr<const std::vector<char>> img;
+        if (versions_->ResolveForThread(id, &img) ==
+            PageVersions::Resolution::kUseVersion) {
+          PageGuard drop(this, idx, id, intent);  // releases frame
+          return PageGuard(std::move(img), id);
+        }
+      }
+    } else if (versions_ != nullptr) {
+      // Cold-miss write fetch: the bytes just read are the committed
+      // image (a no-steal pool never spills a txn-dirtied committed
+      // page); capture before the caller mutates.
+      versions_->MaybeCapture(id, f.data.data());
     }
     return PageGuard(this, idx, id, intent);
   }
@@ -281,11 +330,38 @@ Result<PageGuard> BufferPool::New(PageId* out_id) {
   return PageGuard(this, idx, id, PageIntent::kWrite);
 }
 
+Status BufferPool::CaptureBeforeFree(PageId id) {
+  if (versions_ == nullptr || !versions_->WouldCapture(id)) {
+    return Status::OK();
+  }
+  std::vector<char> pre(kPageSize);
+  bool have = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = page_table_.find(id);
+    if (it != page_table_.end() && frames_[it->second].valid) {
+      // No latch needed: the single writer is this thread, so nobody
+      // else can be mutating the frame, and its content is the newest
+      // committed image (newer than disk if dirty from a prior txn).
+      memcpy(pre.data(), frames_[it->second].data.data(), kPageSize);
+      have = true;
+    }
+  }
+  if (!have) {
+    CRIMSON_RETURN_IF_ERROR(pager_->ReadPage(id, pre.data()));
+  }
+  versions_->MaybeCapture(id, pre.data());
+  return Status::OK();
+}
+
 Status BufferPool::FreeWal(PageId id) {
   CRIMSON_RETURN_IF_ERROR(RequireWritable());
   if (id == kHeaderPageId || id >= pager_->page_count()) {
     return Status::InvalidArgument(StrFormat("cannot free page %u", id));
   }
+  // The free clobbers the page into a freelist node without a kWrite
+  // Fetch of its old content: snapshot its committed image first.
+  CRIMSON_RETURN_IF_ERROR(CaptureBeforeFree(id));
   // Format the freelist node in the cache (its old content is
   // irrelevant, so a victim frame is installed without a disk read);
   // the commit logs and force-writes it like any other page.
@@ -326,6 +402,7 @@ Status BufferPool::FreeWal(PageId id) {
 Status BufferPool::Free(PageId id) {
   std::lock_guard<std::mutex> writer(writer_mu_);
   if (wal_enabled()) return FreeWal(id);
+  CRIMSON_RETURN_IF_ERROR(CaptureBeforeFree(id));
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = page_table_.find(id);

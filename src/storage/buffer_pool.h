@@ -41,6 +41,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/page.h"
+#include "storage/page_versions.h"
 #include "storage/pager.h"
 #include "storage/wal.h"
 
@@ -78,6 +79,12 @@ struct WalContext {
 /// RAII pin on a cached page. While a PageGuard is alive the frame
 /// cannot be evicted and its latch is held in the guard's declared
 /// mode. Call MarkDirty() after mutating data() (kWrite guards only).
+///
+/// A kRead guard may instead be *snapshot-backed*: when the calling
+/// thread holds a read snapshot (Database::BeginRead) and the page was
+/// mutated since, Fetch returns a guard over the captured committed
+/// image -- no frame, no pin, no latch, so it never contends with the
+/// writer. Such guards are read-only (MarkDirty asserts).
 class PageGuard {
  public:
   PageGuard() = default;
@@ -85,6 +92,10 @@ class PageGuard {
             PageIntent intent)
       : pool_(pool), frame_(frame_index), page_id_(page_id),
         intent_(intent) {}
+  /// Snapshot-backed read guard over a captured page image.
+  PageGuard(std::shared_ptr<const std::vector<char>> snapshot, PageId page_id)
+      : page_id_(page_id), intent_(PageIntent::kRead),
+        snapshot_(std::move(snapshot)) {}
   ~PageGuard() { Release(); }
 
   PageGuard(const PageGuard&) = delete;
@@ -97,12 +108,14 @@ class PageGuard {
       frame_ = other.frame_;
       page_id_ = other.page_id_;
       intent_ = other.intent_;
+      snapshot_ = std::move(other.snapshot_);
       other.pool_ = nullptr;
+      other.snapshot_.reset();
     }
     return *this;
   }
 
-  bool valid() const { return pool_ != nullptr; }
+  bool valid() const { return pool_ != nullptr || snapshot_ != nullptr; }
   PageId page_id() const { return page_id_; }
   PageIntent intent() const { return intent_; }
 
@@ -121,6 +134,9 @@ class PageGuard {
   size_t frame_ = 0;
   PageId page_id_ = kInvalidPageId;
   PageIntent intent_ = PageIntent::kRead;
+  /// Non-null for snapshot-backed guards: the immutable captured image
+  /// this guard reads instead of a frame.
+  std::shared_ptr<const std::vector<char>> snapshot_;
 };
 
 /// Cache statistics (cumulative).
@@ -146,8 +162,12 @@ struct BufferPoolStats {
 class BufferPool {
  public:
   /// capacity = number of resident pages. wal_ctx may be null
-  /// (durability off) and must outlive the pool.
-  BufferPool(Pager* pager, size_t capacity, WalContext* wal_ctx = nullptr);
+  /// (durability off) and must outlive the pool. versions may be null
+  /// (no snapshot reads: every Fetch sees live frames) and must
+  /// outlive the pool; with it attached, the pool is the MVCC capture
+  /// and resolution point (see page_versions.h).
+  BufferPool(Pager* pager, size_t capacity, WalContext* wal_ctx = nullptr,
+             PageVersions* versions = nullptr);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -155,6 +175,11 @@ class BufferPool {
   /// Fetches a page, reading it from disk on miss. The guard pins it
   /// and holds its frame latch in the requested mode; kWrite blocks
   /// until concurrent readers of that page release their guards.
+  /// With a PageVersions table attached: a kWrite fetch captures the
+  /// page's committed image on the transaction's first take, and a
+  /// kRead fetch from a thread holding a read snapshot resolves
+  /// against it -- returning a snapshot-backed guard (no frame, no
+  /// latch) when the page changed since the snapshot.
   Result<PageGuard> Fetch(PageId id, PageIntent intent = PageIntent::kRead);
 
   /// Allocates a brand-new page (zeroed) and pins it (kWrite).
@@ -225,12 +250,17 @@ class BufferPool {
   bool PinnedByTxn(const Frame& f) const;
   Result<PageGuard> NewWal(PageId* out_id);
   Status FreeWal(PageId id);
+  /// MVCC pre-image capture for a page about to be freed/clobbered
+  /// without a kWrite Fetch: copies the committed bytes from the
+  /// resident frame, or from disk when not resident.
+  Status CaptureBeforeFree(PageId id);
   /// Installs `id` into a victim frame (pinned, not latched) without
   /// reading the file. mu_ must be held.
   Result<size_t> InstallFrameLocked(PageId id);
 
   Pager* pager_;
   WalContext* wal_ctx_;
+  PageVersions* versions_;
   std::vector<Frame> frames_;
 
   /// Guards the frame table: page_table_, lru_, free_frames_, frame

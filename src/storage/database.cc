@@ -25,7 +25,8 @@ void Database::ReadTxn::End() {
   if (db_ == nullptr) return;
   const Database* db = db_;
   db_ = nullptr;
-  db->epoch_mu_.unlock_shared();
+  db->versions_.Unregister(token_);
+  token_ = 0;
 }
 
 Result<std::unique_ptr<Database>> Database::Open(
@@ -79,7 +80,7 @@ Result<std::unique_ptr<Database>> Database::Build(
       db->pager_, Pager::Open(std::move(file), /*deferred_header=*/want_wal));
   db->pool_ = std::make_unique<BufferPool>(
       db->pager_.get(), options.buffer_pool_pages,
-      db->wal_ ? &db->wal_ctx_ : nullptr);
+      db->wal_ ? &db->wal_ctx_ : nullptr, &db->versions_);
   if (db->pager_->catalog_root() == kInvalidPageId) {
     CRIMSON_ASSIGN_OR_RETURN(Txn txn, db->Begin());
     CRIMSON_ASSIGN_OR_RETURN(BTree catalog, BTree::Create(db->pool_.get()));
@@ -95,12 +96,17 @@ Result<Txn> Database::Begin() {
     return Status::FailedPrecondition(
         "a transaction is already active (no nesting)");
   }
-  // Enter the writer epoch: waits for readers to drain and for any
-  // concurrent transaction to finish, then excludes both.
+  // Enter the writer epoch: waits for a concurrent transaction /
+  // Flush / Checkpoint to finish, then excludes them. Readers are not
+  // involved -- they run against snapshots.
   epoch_mu_.lock();
   writer_thread_.store(std::this_thread::get_id(),
                        std::memory_order_release);
   writer_active_.store(true, std::memory_order_release);
+  // Open MVCC capture in every durability mode: even a non-durable
+  // transaction mutates pages in place, and concurrent snapshot
+  // readers must keep seeing the pre-transaction images.
+  versions_.BeginTxn(pager_->page_count());
   if (wal_ != nullptr) {
     wal_ctx_.txn_active = true;
     wal_ctx_.txn_id = next_txn_id_++;
@@ -113,8 +119,10 @@ Result<Txn> Database::Begin() {
 }
 
 Database::ReadTxn Database::BeginRead() const {
-  epoch_mu_.lock_shared();
-  return ReadTxn(this);
+  PageVersions::Snapshot snap = versions_.RegisterSnapshot();
+  ReadTxn txn(this);
+  txn.token_ = snap.token;
+  return txn;
 }
 
 void Database::ReleaseWriterEpoch() {
@@ -128,16 +136,19 @@ Status Database::CommitTxn() {
   // closes the writer epoch (dirty pages reach disk via eviction or
   // Flush, exactly the legacy discipline).
   if (wal_ == nullptr) {
+    versions_.SealTxn();
     ReleaseWriterEpoch();
     return Status::OK();
   }
   if (!wal_ctx_.txn_active) {
+    versions_.SealTxn();
     ReleaseWriterEpoch();
     return Status::FailedPrecondition("no active transaction to commit");
   }
   // Read-only transaction: nothing to log, nothing to sync.
   if (wal_ctx_.dirty_pages.empty() && !pager_->header_dirty()) {
     wal_ctx_.txn_active = false;
+    versions_.SealTxn();
     ReleaseWriterEpoch();
     return Status::OK();
   }
@@ -165,6 +176,10 @@ Status Database::CommitTxn() {
   // re-syncs page_lsn and retries), the header stays flagged dirty,
   // and recovery has the redo -- consistency is never at risk.
   wal_ctx_.txn_active = false;
+  // Publish to readers: snapshots taken from here on see this
+  // transaction's state; older snapshots keep resolving to the
+  // captured pre-images.
+  versions_.SealTxn();
   std::set<PageId> pages;
   pages.swap(wal_ctx_.dirty_pages);
   Status lazy = pool_->ForceTxnPages(pages);
@@ -185,6 +200,10 @@ Status Database::CommitTxn() {
 
 void Database::AbortTxn() {
   if (wal_ == nullptr || !wal_ctx_.txn_active) {
+    // Without a WAL there is no rollback: the mutations stick (legacy
+    // behavior), so visibility-wise this is a commit -- seal so
+    // snapshots taken after it see the mutated state.
+    versions_.SealTxn();
     ReleaseWriterEpoch();
     return;
   }
@@ -200,6 +219,9 @@ void Database::AbortTxn() {
   }
   wal_ctx_.txn_active = false;
   wal_ctx_.dirty_pages.clear();
+  // Drop the aborted captures last: until the frames/disk are restored
+  // above, concurrent snapshot readers must keep hitting the versions.
+  versions_.DropTxn();
   ReleaseWriterEpoch();
 }
 

@@ -12,11 +12,16 @@
 //    committed WAL prefix left by a crash before reading the header.
 //
 // Concurrency model (see DESIGN.md "Concurrency"): single writer,
-// many readers. Begin() opens a *writer epoch* (exclusive) regardless
-// of durability; BeginRead() opens a *read epoch* (shared). Read
-// epochs exclude only the writer, never each other, so any number of
-// threads may run B+Tree descents, heap reads, and table lookups
-// concurrently -- the BufferPool below is fully thread-safe for reads.
+// many readers, MVCC snapshot reads. Begin() opens a *writer epoch*
+// (exclusive among writers/Flush/Checkpoint) regardless of durability;
+// BeginRead() registers a *read snapshot* pinned at the last committed
+// epoch -- it never blocks and never excludes the writer. While a
+// transaction mutates pages in place, the buffer pool captures each
+// page's committed pre-image into a PageVersions side table; readers
+// holding a snapshot resolve Fetch(id, kRead) against it, so they
+// observe the committed state as of their BeginRead byte-for-byte even
+// mid-StoreTree. Any number of threads may run B+Tree descents, heap
+// reads, and table lookups concurrently.
 
 #ifndef CRIMSON_STORAGE_DATABASE_H_
 #define CRIMSON_STORAGE_DATABASE_H_
@@ -32,6 +37,7 @@
 #include "common/status.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
+#include "storage/page_versions.h"
 #include "storage/pager.h"
 #include "storage/table.h"
 #include "storage/wal.h"
@@ -116,9 +122,16 @@ class Txn {
 /// Embedded single-writer / multi-reader database.
 class Database {
  public:
-  /// Move-only shared read transaction. While alive, the writer
-  /// (Begin) is excluded; other ReadTxns are not. Release with End()
-  /// or destruction, on the same thread that called BeginRead.
+  /// Move-only read snapshot. While alive, page reads issued from the
+  /// owning thread observe the committed state as of BeginRead -- a
+  /// concurrent writer neither blocks this reader nor becomes visible
+  /// to it. Readers never exclude each other or the writer.
+  ///
+  /// Threading: queries must run on the thread that called BeginRead
+  /// (snapshot resolution is thread-local), but End() / destruction is
+  /// safe from any thread -- the registry entry is dropped immediately
+  /// and the origin thread's stale stack slot is purged lazily.
+  /// Self-move-assignment and repeated End() are no-ops.
   class ReadTxn {
    public:
     ReadTxn() = default;
@@ -127,7 +140,9 @@ class Database {
       if (this != &other) {
         End();
         db_ = other.db_;
+        token_ = other.token_;
         other.db_ = nullptr;
+        other.token_ = 0;
       }
       return *this;
     }
@@ -136,7 +151,7 @@ class Database {
     ReadTxn(const ReadTxn&) = delete;
     ReadTxn& operator=(const ReadTxn&) = delete;
 
-    /// Leaves the read epoch (idempotent).
+    /// Releases the snapshot (idempotent; any thread).
     void End();
 
     bool active() const { return db_ != nullptr; }
@@ -146,6 +161,7 @@ class Database {
     explicit ReadTxn(const Database* db) : db_(db) {}
 
     const Database* db_ = nullptr;
+    uint64_t token_ = 0;
   };
 
   /// Opens (or creates) an on-disk database. With durability on (or a
@@ -175,18 +191,20 @@ class Database {
   /// Names of all tables.
   Result<std::vector<std::string>> ListTables() const;
 
-  /// Begins a write transaction, entering the writer epoch: blocks
-  /// until concurrent readers drain, then excludes new ones until
-  /// Commit/Abort. One writer at a time (a second Begin from another
-  /// thread waits; from the same thread it fails -- no nesting). With
-  /// durability off the transaction logs nothing but still provides
-  /// the writer exclusion.
+  /// Begins a write transaction, entering the writer epoch. One writer
+  /// at a time (a second Begin from another thread waits; from the
+  /// same thread it fails -- no nesting). Readers do NOT block the
+  /// writer, nor vice versa: live ReadTxns keep resolving against
+  /// their snapshots while the transaction mutates. With durability
+  /// off the transaction logs nothing but still provides the writer
+  /// exclusion.
   [[nodiscard]] Result<Txn> Begin();
 
-  /// Enters a shared read epoch: excludes the writer only. Readers of
-  /// the storage engine (table lookups, scans, tree descents) hold one
-  /// of these so their page accesses never interleave with a
-  /// transaction's mutations.
+  /// Registers a read snapshot pinned at the last committed epoch.
+  /// Never blocks -- not even while a write transaction is open (the
+  /// snapshot then simply predates that transaction's mutations).
+  /// Storage-engine readers (table lookups, scans, tree descents) hold
+  /// one of these so their page accesses are snapshot-consistent.
   [[nodiscard]] ReadTxn BeginRead() const;
 
   /// True while a write transaction is open.
@@ -207,6 +225,8 @@ class Database {
   BufferPool* buffer_pool() { return pool_.get(); }
   Wal* wal() { return wal_.get(); }
   BufferPoolStats stats() const { return pool_->stats(); }
+  /// MVCC side-table counters (captures, version hits, live chains).
+  PageVersions::Stats page_version_stats() const { return versions_.stats(); }
 
  private:
   friend class Txn;
@@ -226,13 +246,17 @@ class Database {
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<Wal> wal_;
   WalContext wal_ctx_;
+  /// MVCC page-version side table; declared before pool_ so it
+  /// outlives the pool that captures into / resolves against it.
+  mutable PageVersions versions_;
   std::unique_ptr<BufferPool> pool_;
   uint64_t next_txn_id_ = 1;
   Pager::HeaderSnapshot txn_header_snapshot_;
   Wal::Mark txn_wal_mark_;
 
-  /// The single-writer / multi-reader epoch lock: Begin/Flush/
-  /// Checkpoint hold it exclusive, BeginRead holds it shared.
+  /// Serializes writers against each other and against Flush/
+  /// Checkpoint. Readers no longer touch it: BeginRead registers a
+  /// snapshot in versions_ instead.
   mutable std::shared_mutex epoch_mu_;
   /// Thread currently inside the writer epoch (detects same-thread
   /// nested Begin, which would otherwise self-deadlock).

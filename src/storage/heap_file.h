@@ -24,6 +24,7 @@
 #ifndef CRIMSON_STORAGE_HEAP_FILE_H_
 #define CRIMSON_STORAGE_HEAP_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -69,8 +70,19 @@ class HeapFile {
   /// Opens an existing heap file rooted at first_page.
   static Result<HeapFile> Open(BufferPool* pool, PageId first_page);
 
-  HeapFile(HeapFile&&) = default;
-  HeapFile& operator=(HeapFile&&) = default;
+  HeapFile(HeapFile&& other) noexcept
+      : pool_(other.pool_),
+        first_page_(other.first_page_),
+        tail_page_(other.tail_page_),
+        record_count_(other.record_count_.load(std::memory_order_relaxed)) {}
+  HeapFile& operator=(HeapFile&& other) noexcept {
+    pool_ = other.pool_;
+    first_page_ = other.first_page_;
+    tail_page_ = other.tail_page_;
+    record_count_.store(other.record_count_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
 
   PageId first_page() const { return first_page_; }
 
@@ -89,8 +101,12 @@ class HeapFile {
   Status Scan(
       const std::function<bool(const RecordId&, const Slice&)>& fn) const;
 
-  /// Number of live records (maintained in memory; recomputed on Open).
-  uint64_t record_count() const { return record_count_; }
+  /// Number of live records (maintained in memory; recomputed on
+  /// Open). Atomic so readers may poll it while the single writer
+  /// inserts/deletes concurrently.
+  uint64_t record_count() const {
+    return record_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   HeapFile(BufferPool* pool, PageId first_page)
@@ -114,8 +130,8 @@ class HeapFile {
 
   BufferPool* pool_;
   PageId first_page_;
-  PageId tail_page_ = kInvalidPageId;  // append hint
-  uint64_t record_count_ = 0;
+  PageId tail_page_ = kInvalidPageId;  // append hint (writer-only)
+  std::atomic<uint64_t> record_count_{0};
 };
 
 }  // namespace crimson

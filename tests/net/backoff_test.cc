@@ -1,0 +1,109 @@
+// Retry-backoff policy tests: ComputeRetryBackoffMs is a pure
+// function of (options, attempt, server hint), so every property the
+// client doc promises -- determinism for a fixed seed, capped
+// exponential growth, equal-jitter bounds, the server hint acting as
+// an additive floor, and schedule divergence across seeds -- is
+// checkable without a socket.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "net/client.h"
+
+namespace crimson {
+namespace net {
+namespace {
+
+ClientOptions Options(uint64_t seed, int64_t base_ms = 10,
+                      int64_t max_ms = 2000) {
+  ClientOptions options;
+  options.retry_jitter_seed = seed;
+  options.retry_base_ms = base_ms;
+  options.retry_max_ms = max_ms;
+  return options;
+}
+
+TEST(RetryBackoffTest, DeterministicForFixedSeed) {
+  ClientOptions options = Options(0xC0FFEE);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    int64_t first = ComputeRetryBackoffMs(options, attempt, 0);
+    int64_t second = ComputeRetryBackoffMs(options, attempt, 0);
+    EXPECT_EQ(first, second) << "attempt " << attempt;
+  }
+}
+
+TEST(RetryBackoffTest, StaysWithinEqualJitterEnvelope) {
+  // Equal jitter keeps each delay in [exp/2, exp] where exp is the
+  // capped exponential for that attempt. Check the envelope across
+  // many seeds so a broken jitter term can't hide behind one draw.
+  const int64_t base = 16;
+  const int64_t cap = 1024;
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    ClientOptions options = Options(seed, base, cap);
+    int64_t exp = base;
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      int64_t delay = ComputeRetryBackoffMs(options, attempt, 0);
+      EXPECT_GE(delay, exp / 2) << "seed " << seed << " attempt " << attempt;
+      EXPECT_LE(delay, exp) << "seed " << seed << " attempt " << attempt;
+      if (exp < cap) exp = std::min<int64_t>(exp * 2, cap);
+    }
+  }
+}
+
+TEST(RetryBackoffTest, GrowsExponentiallyThenClampsAtCap) {
+  ClientOptions options = Options(7, /*base_ms=*/10, /*max_ms=*/200);
+  // Upper bound of the jitter envelope doubles per attempt: 10, 20,
+  // 40, 80, 160, then clamps at 200 forever.
+  const int64_t expected_upper[] = {10, 20, 40, 80, 160, 200, 200, 200};
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    int64_t delay = ComputeRetryBackoffMs(options, attempt, 0);
+    EXPECT_LE(delay, expected_upper[attempt]) << "attempt " << attempt;
+    EXPECT_GE(delay, expected_upper[attempt] / 2) << "attempt " << attempt;
+  }
+}
+
+TEST(RetryBackoffTest, ServerHintIsAnAdditiveFloor) {
+  ClientOptions options = Options(99);
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    int64_t without = ComputeRetryBackoffMs(options, attempt, 0);
+    int64_t with = ComputeRetryBackoffMs(options, attempt, 500);
+    EXPECT_EQ(with, without + 500) << "attempt " << attempt;
+    EXPECT_GE(with, 500);
+  }
+  // Negative / absent hints are ignored, never subtracted.
+  EXPECT_EQ(ComputeRetryBackoffMs(options, 2, -25),
+            ComputeRetryBackoffMs(options, 2, 0));
+}
+
+TEST(RetryBackoffTest, AlwaysAtLeastOneMillisecond) {
+  // Degenerate configs (zero/negative base, inverted cap) still yield
+  // a sane positive delay instead of a busy retry loop.
+  EXPECT_GE(ComputeRetryBackoffMs(Options(1, 0, 0), 0, 0), 1);
+  EXPECT_GE(ComputeRetryBackoffMs(Options(1, -5, -5), 3, 0), 1);
+  EXPECT_GE(ComputeRetryBackoffMs(Options(1, 100, 1), 5, 0), 1);
+}
+
+TEST(RetryBackoffTest, DifferentSeedsDecorrelateSchedules) {
+  // Two clients hammering the same recovering server should not sleep
+  // in lockstep. With a wide-enough envelope the full retry schedules
+  // almost surely differ across seeds.
+  std::set<std::vector<int64_t>> schedules;
+  const int kSeeds = 32;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    ClientOptions options = Options(seed, /*base_ms=*/256, /*max_ms=*/4096);
+    std::vector<int64_t> schedule;
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      schedule.push_back(ComputeRetryBackoffMs(options, attempt, 0));
+    }
+    schedules.insert(schedule);
+  }
+  // Allow a stray collision, but lockstep would collapse to 1.
+  EXPECT_GE(schedules.size(), static_cast<size_t>(kSeeds - 2));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace crimson
