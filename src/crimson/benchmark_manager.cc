@@ -9,7 +9,8 @@ BenchmarkManager::BenchmarkManager(
     const PhyloTree* gold_tree,
     const std::map<std::string, std::string>* sequences, uint32_t f)
     : tree_(gold_tree),
-      sequences_(sequences),
+      owned_source_(std::make_unique<cache::MapSequenceSource>(sequences)),
+      sequences_(owned_source_.get()),
       owned_scheme_(std::make_unique<LayeredDeweyScheme>(f)),
       scheme_(owned_scheme_.get()) {}
 
@@ -17,6 +18,14 @@ BenchmarkManager::BenchmarkManager(
     const PhyloTree* gold_tree,
     const std::map<std::string, std::string>* sequences,
     const LayeredDeweyScheme* scheme)
+    : tree_(gold_tree),
+      owned_source_(std::make_unique<cache::MapSequenceSource>(sequences)),
+      sequences_(owned_source_.get()),
+      scheme_(scheme) {}
+
+BenchmarkManager::BenchmarkManager(const PhyloTree* gold_tree,
+                                   const cache::SequenceSource* sequences,
+                                   const LayeredDeweyScheme* scheme)
     : tree_(gold_tree), sequences_(sequences), scheme_(scheme) {}
 
 Status BenchmarkManager::Init() {
@@ -83,17 +92,14 @@ Result<BenchmarkRun> BenchmarkManager::Evaluate(
   CRIMSON_ASSIGN_OR_RETURN(run.reference, projector_->Project(sample));
   run.project_seconds = timer.ElapsedSeconds();
 
-  // Collect the sampled species' sequences.
-  std::map<std::string, std::string> seqs;
-  for (NodeId n : sample) {
-    auto it = sequences_->find(tree_->name(n));
-    if (it == sequences_->end()) {
-      return Status::NotFound(
-          StrFormat("no sequence for sampled species '%s'",
-                    tree_->name(n).c_str()));
-    }
-    seqs.emplace(it->first, it->second);
-  }
+  // Collect the sampled species' sequences through the source (a
+  // cracked store materializes only this slice; a map source just
+  // copies). Missing species surface as NotFound from the source.
+  std::vector<std::string> wanted;
+  wanted.reserve(sample.size());
+  for (NodeId n : sample) wanted.push_back(tree_->name(n));
+  using SequenceMap = std::map<std::string, std::string>;
+  CRIMSON_ASSIGN_OR_RETURN(SequenceMap seqs, sequences_->GetBatch(wanted));
 
   timer.Restart();
   CRIMSON_ASSIGN_OR_RETURN(run.reconstructed, algorithm.Reconstruct(seqs));

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cracked_store.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "labeling/layered_dewey.h"
@@ -62,11 +63,18 @@ class BenchmarkManager {
                    uint32_t f = 8);
 
   /// Borrows an already-built labeling of `gold_tree` (which must
-  /// outlive the manager): Init() skips the O(n) relabel. This is the
-  /// constructor the session's cached evaluation state uses -- the
-  /// TreeHandle's scheme is reused instead of rebuilt.
+  /// outlive the manager): Init() skips the O(n) relabel.
   BenchmarkManager(const PhyloTree* gold_tree,
                    const std::map<std::string, std::string>* sequences,
+                   const LayeredDeweyScheme* scheme);
+
+  /// Borrows a labeling plus an abstract sequence source (which must
+  /// both outlive the manager). This is the constructor the session's
+  /// cached evaluation state uses: the TreeHandle's scheme is reused
+  /// instead of rebuilt, and sequences come through the cracked store
+  /// so only the sampled slices are ever materialized.
+  BenchmarkManager(const PhyloTree* gold_tree,
+                   const cache::SequenceSource* sequences,
                    const LayeredDeweyScheme* scheme);
 
   Status Init();
@@ -85,7 +93,9 @@ class BenchmarkManager {
                                             Rng* rng) const;
 
   const PhyloTree* tree_;
-  const std::map<std::string, std::string>* sequences_;
+  /// Wraps the map-constructor maps; null when a source is borrowed.
+  std::unique_ptr<cache::MapSequenceSource> owned_source_;
+  const cache::SequenceSource* sequences_;
   /// Built by Init() when owned; pre-built and borrowed otherwise.
   std::unique_ptr<LayeredDeweyScheme> owned_scheme_;
   const LayeredDeweyScheme* scheme_ = nullptr;

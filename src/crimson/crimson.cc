@@ -115,6 +115,27 @@ auto Crimson::TransactLocked(Fn&& fn) -> decltype(fn()) {
   return result;
 }
 
+template <typename Fn>
+auto Crimson::MutateTree(const std::string& tree_name, Fn&& fn)
+    -> decltype(fn()) {
+  std::lock_guard<std::shared_mutex> lock(db_mu_);
+  // Bump the tree's cache generation while holding the writer lock:
+  // entries stamped before this point stop validating, and queries
+  // stamping from here on carry the new generation but a pre-commit
+  // epoch -- the commit barrier below invalidates those too.
+  query_cache_->BeginTreeMutation(tree_name);
+  auto result = TransactLocked(std::forward<Fn>(fn));
+  if (StatusOf(result).ok()) {
+    // Epoch read after the commit sealed it: every entry stamped with
+    // an earlier epoch is now behind this tree's barrier.
+    query_cache_->CommitTreeMutation(tree_name, db_->committed_epoch());
+  } else {
+    // The abort changed nothing; pre-Begin entries are still correct.
+    query_cache_->AbortTreeMutation(tree_name);
+  }
+  return result;
+}
+
 Status Crimson::ReopenRepositoriesLocked() {
   CRIMSON_ASSIGN_OR_RETURN(Txn txn, db_->Begin());
   auto repos = std::make_shared<RepoSet>();
@@ -184,6 +205,8 @@ Result<std::unique_ptr<Crimson>> Crimson::Open(const CrimsonOptions& options) {
   CRIMSON_RETURN_IF_ERROR(c->ReopenRepositoriesLocked());
   c->pool_ = std::make_unique<ThreadPool>(
       options.batch_workers > 0 ? options.batch_workers : 1);
+  c->query_cache_ =
+      std::make_unique<cache::QueryCache>(options.query_cache_bytes);
   return c;
 }
 
@@ -203,53 +226,73 @@ Result<SessionLoadReport> Crimson::FinishLoad(Result<LoadReport> report) {
 Result<SessionLoadReport> Crimson::LoadNewick(const std::string& name,
                                               const std::string& newick,
                                               LoadMode mode) {
-  Result<LoadReport> report = [&] {
-    std::lock_guard<std::shared_mutex> lock(db_mu_);
-    auto repos = Repos();
-    return TransactLocked(
-        [&] { return repos->loader->LoadNewick(name, newick, mode); });
-  }();
+  Result<LoadReport> report = MutateTree(
+      name, [&] { return Repos()->loader->LoadNewick(name, newick, mode); });
   return FinishLoad(std::move(report));
 }
 
 Result<SessionLoadReport> Crimson::LoadNexus(const std::string& name,
                                              const std::string& nexus,
                                              LoadMode mode) {
-  Result<LoadReport> report = [&] {
-    std::lock_guard<std::shared_mutex> lock(db_mu_);
-    auto repos = Repos();
-    return TransactLocked(
-        [&] { return repos->loader->LoadNexus(name, nexus, mode); });
-  }();
+  Result<LoadReport> report = MutateTree(
+      name, [&] { return Repos()->loader->LoadNexus(name, nexus, mode); });
   return FinishLoad(std::move(report));
 }
 
 Result<SessionLoadReport> Crimson::LoadTree(const std::string& name,
                                             const PhyloTree& tree) {
-  Result<LoadReport> report = [&] {
-    std::lock_guard<std::shared_mutex> lock(db_mu_);
-    auto repos = Repos();
-    return TransactLocked(
-        [&] { return repos->loader->LoadTree(name, tree); });
-  }();
+  Result<LoadReport> report = MutateTree(
+      name, [&] { return Repos()->loader->LoadTree(name, tree); });
   return FinishLoad(std::move(report));
 }
 
 Result<LoadReport> Crimson::AppendSpeciesData(
     const std::string& tree_name,
     const std::map<std::string, std::string>& sequences) {
-  Result<LoadReport> report = [&] {
-    std::lock_guard<std::shared_mutex> lock(db_mu_);
-    auto repos = Repos();
-    return TransactLocked(
-        [&] { return repos->loader->AppendSpecies(tree_name, sequences); });
-  }();
+  Result<LoadReport> report = MutateTree(tree_name, [&] {
+    return Repos()->loader->AppendSpecies(tree_name, sequences);
+  });
   if (report.ok()) {
     // The tree's sequence map changed: drop any cached evaluation
     // state so the next experiment rebuilds it from storage.
     InvalidateEvalState(tree_name);
   }
   return report;
+}
+
+Status Crimson::DropTree(const std::string& name) {
+  Status dropped = MutateTree(name, [&]() -> Status {
+    auto repos = Repos();
+    CRIMSON_ASSIGN_OR_RETURN(TreeInfo info, repos->trees->GetTreeInfo(name));
+    // Structural rows (trees/nodes/subtrees/labels) plus the species
+    // rows, which TreeRepository::DropTree does not own, in one
+    // transaction: a crash recovers to all-or-nothing.
+    CRIMSON_RETURN_IF_ERROR(repos->trees->DropTree(info.tree_id));
+    return repos->species->DropForTree(info.tree_id);
+  });
+  if (!dropped.ok()) return dropped;
+  // Post-commit eviction: cached results, the bound handle, and the
+  // evaluation state all go, so a tree re-stored under this name can
+  // never serve pre-drop state. (MutateTree's generation bump already
+  // stops in-flight queries from inserting stale entries.)
+  query_cache_->EraseTree(name);
+  uint64_t id = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(handles_mu_);
+    ++drop_counts_[name];
+    auto it = handle_ids_.find(name);
+    if (it != handle_ids_.end()) {
+      id = it->second;
+      handles_[id - 1] = nullptr;  // slot is never reused
+      handle_ids_.erase(it);
+    }
+  }
+  if (id != 0) {
+    std::lock_guard<std::mutex> lock(eval_mu_);
+    eval_cache_.erase(id);
+    ++eval_generation_[id];
+  }
+  return Status::OK();
 }
 
 void Crimson::InvalidateEvalState(const std::string& tree_name) {
@@ -271,10 +314,14 @@ Result<std::vector<TreeInfo>> Crimson::ListTrees() const {
 }
 
 Result<TreeRef> Crimson::OpenTree(const std::string& name) {
+ retry:
+  uint64_t drops_before = 0;
   {
     std::shared_lock<std::shared_mutex> lock(handles_mu_);
     auto it = handle_ids_.find(name);
     if (it != handle_ids_.end()) return TreeRef(it->second);
+    auto dit = drop_counts_.find(name);
+    if (dit != drop_counts_.end()) drops_before = dit->second;
   }
   // Materialize without holding the cache lock so a slow first open
   // (storage load + index build on a large tree) never stalls query
@@ -331,6 +378,14 @@ Result<TreeRef> Crimson::OpenTree(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(handles_mu_);
   auto it = handle_ids_.find(name);
   if (it != handle_ids_.end()) return TreeRef(it->second);  // lost the race
+  auto dit = drop_counts_.find(name);
+  if ((dit == drop_counts_.end() ? 0 : dit->second) != drops_before) {
+    // A DropTree landed while this bind was materializing: the handle
+    // reflects deleted storage. Retry against the current state (which
+    // typically resolves to NotFound, or to the re-stored tree).
+    lock.unlock();
+    goto retry;
+  }
   handles_.push_back(std::move(*handle));
   uint64_t id = handles_.size();
   handle_ids_.emplace(name, id);
@@ -344,7 +399,11 @@ Result<std::shared_ptr<const Crimson::TreeHandle>> Crimson::HandleFor(
     return Status::InvalidArgument(
         "invalid TreeRef (not issued by this session)");
   }
-  return handles_[tree.id() - 1];
+  const std::shared_ptr<const TreeHandle>& handle = handles_[tree.id() - 1];
+  if (handle == nullptr) {
+    return Status::NotFound("stale TreeRef (the tree was dropped)");
+  }
+  return handle;
 }
 
 Result<TreeInfo> Crimson::GetTreeInfo(TreeRef tree) const {
@@ -356,8 +415,8 @@ Result<TreeInfo> Crimson::GetTreeInfo(TreeRef tree) const {
 Result<const PhyloTree*> Crimson::GetTree(TreeRef tree) const {
   CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const TreeHandle> handle,
                            HandleFor(tree));
-  // Handles are never evicted, so the pointer stays valid for the
-  // session lifetime.
+  // Handles stay resident until the session closes (or the tree is
+  // dropped, after which HandleFor above fails instead).
   return &handle->tree;
 }
 
@@ -495,9 +554,36 @@ Result<QueryResult> Crimson::Execute(TreeRef tree,
                                      const QueryRequest& request) {
   CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const TreeHandle> handle,
                            HandleFor(tree));
-  uint64_t ticket = ticket_.fetch_add(1, std::memory_order_relaxed);
+  // The ticket is consumed unconditionally -- even on a cache hit --
+  // so a session with the cache on draws the same sampling streams as
+  // one with it off (cache-on/off byte identity).
+  const uint64_t ticket = ticket_.fetch_add(1, std::memory_order_relaxed);
+  const bool cacheable =
+      query_cache_->enabled() && cache::QueryCache::IsCacheable(request);
+  std::string key;
+  if (cacheable) {
+    key = cache::QueryCache::KeyFor(handle->info.name, request);
+    if (std::optional<QueryResult> hit =
+            query_cache_->Lookup(handle->info.name, key)) {
+      RecordQuery(QueryKindName(request),
+                  EncodeQueryParams(handle->info.name, request),
+                  SummarizeResult(*hit));
+      return QueryResult(std::move(*hit));
+    }
+  } else if (query_cache_->enabled()) {
+    query_cache_->NoteBypass();
+  }
+  // Stamp strictly before execution: if a mutation overlaps the run,
+  // the stamp ages out and Insert drops the result.
+  cache::ReadStamp stamp;
+  if (cacheable) {
+    stamp = query_cache_->Stamp(handle->info.name, db_->committed_epoch());
+  }
   Result<QueryResult> result = ExecuteOnHandle(*handle, request, ticket);
   if (result.ok()) {
+    if (cacheable) {
+      query_cache_->Insert(handle->info.name, key, stamp, *result);
+    }
     RecordQuery(QueryKindName(request),
                 EncodeQueryParams(handle->info.name, request),
                 SummarizeResult(*result));
@@ -521,8 +607,27 @@ std::vector<Result<QueryResult>> Crimson::ExecuteBatch(
   // i-th request draws exactly what it would draw under sequential
   // Execute calls -- batched results are byte-identical.
   const uint64_t base = ticket_.fetch_add(n, std::memory_order_relaxed);
+  const bool cache_on = query_cache_->enabled();
   pool_->ParallelFor(n, [&](size_t i) {
-    results[i] = ExecuteOnHandle(handle, requests[i], base + i);
+    const QueryRequest& request = requests[i];
+    if (cache_on && cache::QueryCache::IsCacheable(request)) {
+      const std::string key =
+          cache::QueryCache::KeyFor(handle.info.name, request);
+      if (std::optional<QueryResult> hit =
+              query_cache_->Lookup(handle.info.name, key)) {
+        results[i] = QueryResult(std::move(*hit));
+        return;
+      }
+      cache::ReadStamp stamp =
+          query_cache_->Stamp(handle.info.name, db_->committed_epoch());
+      results[i] = ExecuteOnHandle(handle, request, base + i);
+      if (results[i].ok()) {
+        query_cache_->Insert(handle.info.name, key, stamp, *results[i]);
+      }
+      return;
+    }
+    if (cache_on) query_cache_->NoteBypass();
+    results[i] = ExecuteOnHandle(handle, request, base + i);
   });
   // History is written after the barrier, in request order, keeping the
   // Query Repository deterministic under concurrency.
@@ -586,21 +691,25 @@ Result<Crimson::PatternAnswer> Crimson::MatchPattern(
 
 // -- the Experiment API -----------------------------------------------------
 
-/// Cached per-tree evaluation state. The sequence map is fetched from
-/// the species repository once; the manager borrows the handle's tree
-/// and layered-Dewey scheme (no relabel) and is shared, immutable,
-/// across all experiment workers. The handle shared_ptr keeps the
-/// borrowed tree/scheme alive.
+/// Cached per-tree evaluation state. Sequences are NOT materialized
+/// up front: the cracked store (src/cache) keeps the tree's sorted
+/// leaf-name domain and faults in only the ordinal slices that
+/// experiment samples actually touch, refining its piece map with the
+/// observed mix. The manager borrows the handle's tree and
+/// layered-Dewey scheme (no relabel) and is shared, immutable, across
+/// all experiment workers; the store's internal mutex serializes its
+/// lazy loads. The handle shared_ptr keeps the borrowed tree/scheme
+/// alive.
 struct Crimson::EvalState {
   std::shared_ptr<const TreeHandle> handle;
-  std::map<std::string, std::string> sequences;
+  std::unique_ptr<cache::CrackedSequenceStore> store;
   BenchmarkManager manager;
 
   EvalState(std::shared_ptr<const TreeHandle> h,
-            std::map<std::string, std::string> seqs)
+            std::unique_ptr<cache::CrackedSequenceStore> s)
       : handle(std::move(h)),
-        sequences(std::move(seqs)),
-        manager(&handle->tree, &sequences, &handle->scheme) {}
+        store(std::move(s)),
+        manager(&handle->tree, store.get(), &handle->scheme) {}
 };
 
 Result<std::shared_ptr<const Crimson::EvalState>> Crimson::EvalStateFor(
@@ -615,25 +724,61 @@ Result<std::shared_ptr<const Crimson::EvalState>> Crimson::EvalStateFor(
       if (it != eval_cache_.end()) return it->second;
       generation = eval_generation_[tree.id()];
     }
-    // Build outside eval_mu_ (storage fetch + manager init); a racing
-    // build may duplicate the work and the insertion keeps one state.
-    std::map<std::string, std::string> seqs;
+    // Build outside eval_mu_; a racing build may duplicate the work
+    // and the insertion keeps one state. Only an index-only row count
+    // touches storage here -- sequence bytes load lazily through the
+    // cracked store as samples touch them.
     {
       StorageReadGuard read = AcquireStorageRead();
       CRIMSON_ASSIGN_OR_RETURN(
-          seqs, read.repos->species->SequencesForTree(handle->info.tree_id));
+          uint64_t rows,
+          read.repos->species->CountForTree(handle->info.tree_id));
+      if (rows == 0) {
+        return Status::FailedPrecondition(
+            StrFormat("tree '%s' has no species data loaded",
+                      handle->info.name.c_str()));
+      }
     }
-    if (seqs.empty()) {
-      return Status::FailedPrecondition(
-          StrFormat("tree '%s' has no species data loaded",
-                    handle->info.name.c_str()));
+    // The ordinal domain: the tree's leaf names, sorted and deduped
+    // (in-memory; no storage reads).
+    std::vector<std::string> domain;
+    domain.reserve(handle->tree.LeafCount());
+    for (NodeId leaf : handle->tree.Leaves()) {
+      domain.push_back(handle->tree.name(leaf));
     }
-    auto state = std::make_shared<EvalState>(handle, std::move(seqs));
+    std::sort(domain.begin(), domain.end());
+    domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+    // The store's fetch callback revalidates the eval generation: once
+    // this state is invalidated, a retained reference can no longer
+    // fault in post-invalidation rows that would break its snapshot --
+    // it reports Unavailable and the experiment loop rebuilds.
+    const uint64_t tree_id = handle->info.tree_id;
+    const uint64_t ref_id = tree.id();
+    auto fetch = [this, tree_id, ref_id, generation](
+                     const std::vector<std::string>& names)
+        -> Result<std::map<std::string, std::string>> {
+      {
+        std::lock_guard<std::mutex> lock(eval_mu_);
+        auto it = eval_generation_.find(ref_id);
+        if ((it == eval_generation_.end() ? 0 : it->second) != generation) {
+          return Status::Unavailable(
+              "evaluation state invalidated by a concurrent write; "
+              "rebuild and retry");
+        }
+      }
+      StorageReadGuard read = AcquireStorageRead();
+      return read.repos->species->SequencesForTreeSubset(
+          static_cast<int64_t>(tree_id), names);
+    };
+    auto state = std::make_shared<EvalState>(
+        handle, std::make_unique<cache::CrackedSequenceStore>(
+                    std::move(domain), options_.crack_min_piece,
+                    std::move(fetch)));
     CRIMSON_RETURN_IF_ERROR(state->manager.Init());
     std::lock_guard<std::mutex> lock(eval_mu_);
     if (eval_generation_[tree.id()] != generation) {
-      // An invalidation landed while this state was being built from
-      // the pre-invalidation sequence map; rebuild from storage.
+      // An invalidation landed while this state was being built;
+      // rebuild so its lazy loads see the new storage state.
       continue;
     }
     auto [it, inserted] = eval_cache_.emplace(tree.id(), std::move(state));
@@ -763,20 +908,37 @@ std::vector<const ReconstructionAlgorithm*> RawPointers(
 
 }  // namespace
 
+namespace {
+
+/// Bound on rebuild-and-replay rounds when a concurrent write
+/// invalidates the evaluation state mid-experiment (each round needs
+/// another racing write to fail again, so 4 only trips under a
+/// sustained write storm -- the Unavailable then surfaces).
+constexpr int kMaxEvalRetries = 4;
+
+}  // namespace
+
 Result<ExperimentReport> Crimson::RunExperiment(TreeRef tree,
                                                 const ExperimentSpec& spec) {
   CRIMSON_RETURN_IF_ERROR(ValidateExperimentSpec(spec));
-  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const EvalState> eval,
-                           EvalStateFor(tree));
   CRIMSON_ASSIGN_OR_RETURN(
       std::vector<std::unique_ptr<ReconstructionAlgorithm>> owned,
       InstantiateAlgorithms(spec));
   const uint64_t base =
       ticket_.fetch_add(spec.job_count(), std::memory_order_relaxed);
-  CRIMSON_ASSIGN_OR_RETURN(
-      ExperimentReport report,
-      RunExperimentJobs(*eval, spec, RawPointers(owned), options_.seed,
-                        base));
+  Result<ExperimentReport> ran = Status::Internal("experiment not executed");
+  for (int attempt = 0; attempt < kMaxEvalRetries; ++attempt) {
+    CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const EvalState> eval,
+                             EvalStateFor(tree));
+    ran = RunExperimentJobs(*eval, spec, RawPointers(owned), options_.seed,
+                            base);
+    // Unavailable = the state was invalidated while jobs ran; rebuild
+    // and replay with the same tickets (jobs reseed from (seed,
+    // base + i), so the retry is byte-identical to an unraced run).
+    if (ran.ok() || !ran.status().IsUnavailable()) break;
+  }
+  if (!ran.ok()) return ran.status();
+  ExperimentReport report = std::move(*ran);
   CRIMSON_RETURN_IF_ERROR(PersistExperiment(&report));
   RecordQuery("experiment",
               StrFormat("tree=%s&id=%lld&spec=%s",
@@ -797,18 +959,22 @@ Result<ExperimentReport> Crimson::RerunExperiment(int64_t experiment_id) {
   CRIMSON_ASSIGN_OR_RETURN(ExperimentSpec spec,
                            DecodeExperimentSpec(row.spec));
   CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(row.tree_name));
-  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const EvalState> eval,
-                           EvalStateFor(ref));
   CRIMSON_ASSIGN_OR_RETURN(
       std::vector<std::unique_ptr<ReconstructionAlgorithm>> owned,
       InstantiateAlgorithms(spec));
   // Replay with the *stored* RNG provenance: the session ticket
   // counter is not consulted, so the replay reproduces the original
   // rows on any session over this database.
-  CRIMSON_ASSIGN_OR_RETURN(
-      ExperimentReport report,
-      RunExperimentJobs(*eval, spec, RawPointers(owned), row.seed,
-                        row.base_ticket));
+  Result<ExperimentReport> ran = Status::Internal("experiment not executed");
+  for (int attempt = 0; attempt < kMaxEvalRetries; ++attempt) {
+    CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const EvalState> eval,
+                             EvalStateFor(ref));
+    ran = RunExperimentJobs(*eval, spec, RawPointers(owned), row.seed,
+                            row.base_ticket);
+    if (ran.ok() || !ran.status().IsUnavailable()) break;
+  }
+  if (!ran.ok()) return ran.status();
+  ExperimentReport report = std::move(*ran);
   report.experiment_id = experiment_id;
   return report;
 }
@@ -825,17 +991,21 @@ Result<BenchmarkRun> Crimson::Benchmark(
     const std::string& tree_name, const ReconstructionAlgorithm& algorithm,
     const SelectionSpec& selection, bool compute_triplets) {
   CRIMSON_ASSIGN_OR_RETURN(TreeRef ref, OpenTree(tree_name));
-  CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const EvalState> eval,
-                           EvalStateFor(ref));
   ExperimentSpec spec;
   spec.algorithms = {algorithm.name()};
   spec.selections = {selection};
   spec.replicates = 1;
   spec.compute_triplets = compute_triplets;
   const uint64_t base = ticket_.fetch_add(1, std::memory_order_relaxed);
-  CRIMSON_ASSIGN_OR_RETURN(
-      ExperimentReport report,
-      RunExperimentJobs(*eval, spec, {&algorithm}, options_.seed, base));
+  Result<ExperimentReport> ran = Status::Internal("benchmark not executed");
+  for (int attempt = 0; attempt < kMaxEvalRetries; ++attempt) {
+    CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const EvalState> eval,
+                             EvalStateFor(ref));
+    ran = RunExperimentJobs(*eval, spec, {&algorithm}, options_.seed, base);
+    if (ran.ok() || !ran.status().IsUnavailable()) break;
+  }
+  if (!ran.ok()) return ran.status();
+  ExperimentReport report = std::move(*ran);
   BenchmarkRun run = std::move(report.runs[0]);
   // History row: the pre-Experiment-API keys plus the encoded spec, so
   // the entry replays through the experiment path (the algorithm name
@@ -997,6 +1167,32 @@ Status Crimson::Checkpoint() {
   std::lock_guard<std::shared_mutex> lock(db_mu_);
   Status s = db_->Checkpoint();
   return hist.ok() ? s : hist;
+}
+
+cache::CacheStats Crimson::GetCacheStats() const {
+  cache::CacheStats stats = query_cache_->stats();
+  // Snapshot the live states under eval_mu_, then read their store
+  // counters outside it (the stores take their own mutex; holding
+  // eval_mu_ across that would invert the fetch callback's
+  // store -> eval_mu_ order).
+  std::vector<std::shared_ptr<const EvalState>> states;
+  {
+    std::lock_guard<std::mutex> lock(eval_mu_);
+    states.reserve(eval_cache_.size());
+    for (const auto& [id, state] : eval_cache_) states.push_back(state);
+  }
+  for (const auto& state : states) {
+    cache::CrackedStoreStats s = state->store->stats();
+    ++stats.crack_stores;
+    stats.crack_pieces += s.pieces;
+    stats.crack_loaded_pieces += s.loaded_pieces;
+    stats.crack_sequences_loaded += s.sequences_loaded;
+    stats.crack_sequences_total += s.sequences_total;
+    stats.crack_fetches += s.fetches;
+    stats.crack_batches += s.batches;
+    stats.crack_piece_hits += s.piece_hits;
+  }
+  return stats;
 }
 
 }  // namespace crimson

@@ -39,6 +39,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cache/query_cache.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/span.h"
@@ -104,6 +105,18 @@ struct CrimsonOptions {
   /// Filesystem hooks for the database file and WAL segments; crash
   /// tests substitute a fault-injecting environment.
   StorageEnv storage_env = PosixStorageEnv();
+  /// Byte budget for the session's adaptive result cache over the
+  /// idempotent query kinds (LCA, projection, clade, pattern match --
+  /// never sampling). Cached results are invalidated by mutations of
+  /// their tree and tagged with the MVCC committed epoch, so a hit is
+  /// always byte-identical to re-executing (see DESIGN.md "Adaptive
+  /// caching & cracking"). 0 disables the cache (bench baseline).
+  uint64_t query_cache_bytes = 8ull << 20;
+  /// Cracking granularity for per-tree evaluation state: sequence
+  /// slices are faulted in from storage in aligned runs of at least
+  /// this many leaf ordinals, refining the piece map with the observed
+  /// sample mix instead of materializing every sequence up front.
+  size_t crack_min_piece = 16;
 };
 
 /// Load result: the DataLoader's report plus the session handle for
@@ -142,12 +155,21 @@ class Crimson {
   /// in-memory index on first open; afterwards a cache hit).
   [[nodiscard]] Result<TreeRef> OpenTree(const std::string& name);
 
+  /// Drops a stored tree: structural rows, labels, AND species rows
+  /// are deleted in one write transaction, the bound handle (if any)
+  /// is evicted so stale TreeRefs fail instead of serving deleted
+  /// state, and every cached result / evaluation state for the tree is
+  /// discarded. A tree re-stored under the same name starts fresh.
+  [[nodiscard]] Status DropTree(const std::string& name);
+
   [[nodiscard]] Result<std::vector<TreeInfo>> ListTrees() const;
 
   /// Metadata for a bound tree.
   [[nodiscard]] Result<TreeInfo> GetTreeInfo(TreeRef tree) const;
 
-  /// The in-memory tree for a handle; stable for the session lifetime.
+  /// The in-memory tree for a handle; stable until the session closes
+  /// or the tree is dropped (DropTree frees the handle's state once
+  /// the last in-flight query over it finishes).
   [[nodiscard]] Result<const PhyloTree*> GetTree(TreeRef tree) const;
   [[nodiscard]] Result<const PhyloTree*> GetTree(const std::string& name);
 
@@ -272,6 +294,10 @@ class Crimson {
   /// with durability off (equivalent to Flush).
   Status Checkpoint();
 
+  /// Result-cache counters plus the aggregated cracked-store counters
+  /// of every live evaluation state (see cache::CacheStats).
+  cache::CacheStats GetCacheStats() const;
+
   Database* database() { return db_.get(); }
   /// The current species repository. The pointer stays valid until the
   /// next repository reopen (a failed durable write), so callers
@@ -370,6 +396,13 @@ class Crimson {
   /// cached counts, next ids) may reflect the rolled-back writes.
   template <typename Fn>
   auto TransactLocked(Fn&& fn) -> decltype(fn());
+  /// TransactLocked plus the query-cache invalidation bracket for a
+  /// mutation of `tree_name`: takes db_mu_ exclusive, bumps the tree's
+  /// cache generation before the transaction, and on resolution either
+  /// publishes the post-commit epoch barrier or rolls the generation
+  /// back (abort changed nothing).
+  template <typename Fn>
+  auto MutateTree(const std::string& tree_name, Fn&& fn) -> decltype(fn());
   /// Rebuilds the repository handles (and the loader over them) from
   /// current storage and publishes them as a new generation; db_mu_
   /// must be held exclusive.
@@ -411,8 +444,14 @@ class Crimson {
   /// handle (materialization itself runs without this lock). Never
   /// held together with db_mu_.
   mutable std::shared_mutex handles_mu_;
+  /// Slots are never reused; DropTree nulls a slot out (stale TreeRefs
+  /// then fail handle resolution instead of serving deleted state).
   std::vector<std::shared_ptr<const TreeHandle>> handles_;
   std::map<std::string, uint64_t, std::less<>> handle_ids_;
+  /// Per-name drop counter: OpenTree snapshots it before materializing
+  /// and re-checks before publishing, so a bind racing a DropTree of
+  /// the same name cannot insert a handle for the deleted tree.
+  std::map<std::string, uint64_t, std::less<>> drop_counts_;
 
   /// Guards the evaluation-state cache (keyed by handle id). Never
   /// held while evaluating, and never together with db_mu_ or
@@ -424,8 +463,15 @@ class Crimson {
   std::map<uint64_t, uint64_t> eval_generation_;
 
   /// Monotone query ticket; combined with options_.seed to derive the
-  /// per-query Rng (see QuerySeed in crimson.cc).
+  /// per-query Rng (see QuerySeed in crimson.cc). Cache hits still
+  /// consume a ticket, so a session with the cache on draws the same
+  /// sampling streams as one with it off.
   std::atomic<uint64_t> ticket_{0};
+
+  /// The adaptive result cache (src/cache); always constructed, budget
+  /// 0 makes every operation a cheap no-op. Internally synchronized;
+  /// its invalidation hooks run under db_mu_ via MutateTree.
+  std::unique_ptr<cache::QueryCache> query_cache_;
 };
 
 }  // namespace crimson

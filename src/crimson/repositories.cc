@@ -424,6 +424,46 @@ Result<std::map<std::string, std::string>> SpeciesRepository::SequencesFor(
   return out;
 }
 
+Result<std::map<std::string, std::string>>
+SpeciesRepository::SequencesForTreeSubset(
+    int64_t tree_id, const std::vector<std::string>& names) const {
+  // Name-index probes filtered by tree: GetSequence's "first match"
+  // would be wrong here when the same species name exists under
+  // several trees. Names with no row for this tree are simply absent
+  // from the result (the cracked store records them as missing).
+  std::map<std::string, std::string> out;
+  for (const std::string& name : names) {
+    CRIMSON_ASSIGN_OR_RETURN(
+        std::vector<RecordId> rids,
+        species_->IndexLookup("species_by_name", name));
+    for (const RecordId& rid : rids) {
+      Row row;
+      CRIMSON_RETURN_IF_ERROR(species_->Get(rid, &row));
+      if (std::get<int64_t>(row[0]) != tree_id) continue;
+      // Last match wins, matching SequencesForTree's overwrite order.
+      out[name] = std::get<std::string>(row[3]);
+    }
+  }
+  return out;
+}
+
+Result<uint64_t> SpeciesRepository::CountForTree(int64_t tree_id) const {
+  CRIMSON_ASSIGN_OR_RETURN(
+      std::vector<RecordId> rids,
+      species_->IndexLookup("species_by_tree", tree_id));
+  return static_cast<uint64_t>(rids.size());
+}
+
+Status SpeciesRepository::DropForTree(int64_t tree_id) {
+  CRIMSON_ASSIGN_OR_RETURN(
+      std::vector<RecordId> rids,
+      species_->IndexLookup("species_by_tree", tree_id));
+  for (const RecordId& rid : rids) {
+    CRIMSON_RETURN_IF_ERROR(species_->Delete(rid));
+  }
+  return Status::OK();
+}
+
 Result<uint64_t> SpeciesRepository::Count() const {
   return species_->row_count();
 }

@@ -186,6 +186,20 @@ class SpeciesRepository {
   Result<std::map<std::string, std::string>> SequencesFor(
       const std::vector<std::string>& species) const;
 
+  /// Sequences for a name subset *within one tree* (the cracked
+  /// store's fetch path). Names without a row for this tree are left
+  /// out of the result rather than erroring, and rows from other trees
+  /// that share a species name are filtered.
+  Result<std::map<std::string, std::string>> SequencesForTreeSubset(
+      int64_t tree_id, const std::vector<std::string>& names) const;
+
+  /// Number of species rows for a tree (index-only; no row reads).
+  Result<uint64_t> CountForTree(int64_t tree_id) const;
+
+  /// Deletes every species row of a tree (the session DropTree path;
+  /// TreeRepository::DropTree only removes structural tables).
+  Status DropForTree(int64_t tree_id);
+
   Result<uint64_t> Count() const;
 
  private:

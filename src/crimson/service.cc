@@ -59,6 +59,17 @@ std::vector<Result<QueryResult>> SessionService::ExecuteBatch(
   return session_->ExecuteBatch(*ref, requests);
 }
 
+Status SessionService::DropTree(const std::string& name) {
+  return session_->DropTree(name);
+}
+
+SessionStats SessionService::Stats() const {
+  SessionStats stats;
+  stats.cache = session_->GetCacheStats();
+  stats.pages = session_->database()->page_version_stats();
+  return stats;
+}
+
 Status SessionService::Checkpoint() { return session_->Checkpoint(); }
 
 }  // namespace crimson

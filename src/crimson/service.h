@@ -23,6 +23,14 @@
 
 namespace crimson {
 
+/// Point-in-time server-side counters: the session's adaptive cache
+/// (result cache + cracked stores, shared across every connection)
+/// next to the storage engine's MVCC side table.
+struct SessionStats {
+  cache::CacheStats cache;
+  PageVersions::Stats pages;
+};
+
 /// Thread-safe (the underlying session is); one instance serves every
 /// server connection.
 class SessionService {
@@ -62,6 +70,13 @@ class SessionService {
   /// what lets the server coalesce pipelined connection traffic.
   std::vector<Result<QueryResult>> ExecuteBatch(
       const std::string& tree_name, Span<const QueryRequest> requests);
+
+  /// Drops a stored tree (rows, bound handle, cached state).
+  [[nodiscard]] Status DropTree(const std::string& name);
+
+  /// Cache + MVCC counters (the kStats wire op; also the drain-time
+  /// summary crimson_server logs).
+  [[nodiscard]] SessionStats Stats() const;
 
   /// Durable checkpoint; the server's graceful-drain hook.
   Status Checkpoint();

@@ -253,6 +253,14 @@ Result<std::vector<QueryRepository::Entry>> CrimsonClient::History(
   return DecodeHistoryEntries(&in);
 }
 
+Result<SessionStats> CrimsonClient::ServerStats() {
+  CRIMSON_ASSIGN_OR_RETURN(
+      Frame frame,
+      RoundTrip(MessageType::kStats, Slice(), MessageType::kStatsOk));
+  Slice in(frame.payload);
+  return DecodeSessionStats(&in);
+}
+
 Status CrimsonClient::Checkpoint() {
   Result<Frame> frame =
       RoundTrip(MessageType::kCheckpoint, Slice(), MessageType::kCheckpointOk);

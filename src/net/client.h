@@ -114,6 +114,9 @@ class CrimsonClient {
   [[nodiscard]] Result<std::vector<QueryRepository::Entry>> History(
       size_t limit = 50);
 
+  /// The server's cache + MVCC counters (a point-in-time snapshot).
+  [[nodiscard]] Result<SessionStats> ServerStats();
+
   /// Asks the server for a durable checkpoint.
   Status Checkpoint();
 

@@ -455,6 +455,103 @@ Result<std::vector<QueryRepository::Entry>> DecodeHistoryEntries(Slice* in) {
   return out;
 }
 
+// -- session stats ----------------------------------------------------------
+
+namespace {
+
+/// The stats payload is a counter dictionary, not a positional struct:
+/// decode assigns by key name, so a server that grows new counters
+/// still round-trips against an older client (which skips the keys it
+/// does not know) and vice versa (absent keys stay 0).
+void PutCounter(std::string* dst, const char* key, uint64_t value) {
+  PutString(dst, key);
+  PutVarint64(dst, value);
+}
+
+}  // namespace
+
+void EncodeSessionStats(std::string* dst, const SessionStats& stats) {
+  const cache::CacheStats& c = stats.cache;
+  const PageVersions::Stats& p = stats.pages;
+  const std::pair<const char*, uint64_t> counters[] = {
+      {"cache.hits", c.hits},
+      {"cache.misses", c.misses},
+      {"cache.insertions", c.insertions},
+      {"cache.evictions", c.evictions},
+      {"cache.invalidations", c.invalidations},
+      {"cache.stale_skips", c.stale_skips},
+      {"cache.bypassed", c.bypassed},
+      {"cache.entries", c.entries},
+      {"cache.bytes_used", c.bytes_used},
+      {"cache.budget_bytes", c.budget_bytes},
+      {"crack.stores", c.crack_stores},
+      {"crack.pieces", c.crack_pieces},
+      {"crack.loaded_pieces", c.crack_loaded_pieces},
+      {"crack.sequences_loaded", c.crack_sequences_loaded},
+      {"crack.sequences_total", c.crack_sequences_total},
+      {"crack.fetches", c.crack_fetches},
+      {"crack.batches", c.crack_batches},
+      {"crack.piece_hits", c.crack_piece_hits},
+      {"pages.captured_pages", p.captured_pages},
+      {"pages.version_hits", p.version_hits},
+      {"pages.versions_dropped", p.versions_dropped},
+      {"pages.live_versions", p.live_versions},
+      {"pages.active_snapshots", p.active_snapshots},
+      {"pages.committed_epoch", p.committed_epoch},
+  };
+  PutVarint64(dst, sizeof(counters) / sizeof(counters[0]));
+  for (const auto& [key, value] : counters) PutCounter(dst, key, value);
+}
+
+Result<SessionStats> DecodeSessionStats(Slice* in) {
+  uint64_t n = 0;
+  if (!GetVarint64(in, &n)) return Truncated("stats counter count");
+  if (n > in->size()) return Truncated("stats counter count");
+  SessionStats stats;
+  cache::CacheStats& c = stats.cache;
+  PageVersions::Stats& p = stats.pages;
+  const std::pair<const char*, uint64_t*> fields[] = {
+      {"cache.hits", &c.hits},
+      {"cache.misses", &c.misses},
+      {"cache.insertions", &c.insertions},
+      {"cache.evictions", &c.evictions},
+      {"cache.invalidations", &c.invalidations},
+      {"cache.stale_skips", &c.stale_skips},
+      {"cache.bypassed", &c.bypassed},
+      {"cache.entries", &c.entries},
+      {"cache.bytes_used", &c.bytes_used},
+      {"cache.budget_bytes", &c.budget_bytes},
+      {"crack.stores", &c.crack_stores},
+      {"crack.pieces", &c.crack_pieces},
+      {"crack.loaded_pieces", &c.crack_loaded_pieces},
+      {"crack.sequences_loaded", &c.crack_sequences_loaded},
+      {"crack.sequences_total", &c.crack_sequences_total},
+      {"crack.fetches", &c.crack_fetches},
+      {"crack.batches", &c.crack_batches},
+      {"crack.piece_hits", &c.crack_piece_hits},
+      {"pages.captured_pages", &p.captured_pages},
+      {"pages.version_hits", &p.version_hits},
+      {"pages.versions_dropped", &p.versions_dropped},
+      {"pages.live_versions", &p.live_versions},
+      {"pages.active_snapshots", &p.active_snapshots},
+      {"pages.committed_epoch", &p.committed_epoch},
+  };
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string key;
+    uint64_t value = 0;
+    if (!GetString(in, &key) || !GetVarint64(in, &value)) {
+      return Truncated("stats counter");
+    }
+    for (const auto& [name, slot] : fields) {
+      if (key == name) {
+        *slot = value;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
 // -- status -----------------------------------------------------------------
 
 void EncodeStatusPayload(std::string* dst, const Status& status) {

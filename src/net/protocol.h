@@ -44,6 +44,7 @@
 #include "crimson/data_loader.h"
 #include "crimson/query_request.h"
 #include "crimson/repositories.h"
+#include "crimson/service.h"
 #include "tree/phylo_tree.h"
 
 namespace crimson {
@@ -65,6 +66,7 @@ enum class MessageType : uint8_t {
   kQuery = 5,
   kHistory = 6,
   kCheckpoint = 7,
+  kStats = 8,
   // Responses.
   kPong = 64,
   kOpenTreeOk = 65,
@@ -74,6 +76,7 @@ enum class MessageType : uint8_t {
   kHistoryOk = 69,
   kCheckpointOk = 70,
   kError = 71,
+  kStatsOk = 72,
 };
 
 /// One decoded frame: the type byte plus its (CRC-verified) payload.
@@ -150,6 +153,13 @@ Result<StoreTreeRequest> DecodeStoreTreeRequest(Slice* in);
 void EncodeHistoryEntries(std::string* dst,
                           const std::vector<QueryRepository::Entry>& entries);
 Result<std::vector<QueryRepository::Entry>> DecodeHistoryEntries(Slice* in);
+
+/// kStatsOk payload: a self-describing counter dictionary (varint
+/// count, then per counter a length-prefixed dotted key and a varint
+/// value). Decoders ignore unknown keys and default absent ones to 0,
+/// so either side can gain counters without a version bump.
+void EncodeSessionStats(std::string* dst, const SessionStats& stats);
+Result<SessionStats> DecodeSessionStats(Slice* in);
 
 /// kError payload: status code + message + retry-after hint. The
 /// decoded Status reproduces code, message, and (for kUnavailable)

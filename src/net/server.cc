@@ -352,6 +352,17 @@ void CrimsonServer::HandleFrame(const Frame& frame, std::string* out) {
       AppendFrame(out, MessageType::kHistoryOk, payload);
       return;
     }
+    case MessageType::kStats: {
+      if (!in.empty()) {
+        protocol_errors_.fetch_add(1);
+        AppendError(out, Status::InvalidArgument("malformed stats payload"));
+        return;
+      }
+      std::string payload;
+      EncodeSessionStats(&payload, service_->Stats());
+      AppendFrame(out, MessageType::kStatsOk, payload);
+      return;
+    }
     case MessageType::kCheckpoint: {
       Status s = service_->Checkpoint();
       if (!s.ok()) {

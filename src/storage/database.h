@@ -227,6 +227,9 @@ class Database {
   BufferPoolStats stats() const { return pool_->stats(); }
   /// MVCC side-table counters (captures, version hits, live chains).
   PageVersions::Stats page_version_stats() const { return versions_.stats(); }
+  /// The committed epoch alone (no chain walk; the query cache stamps
+  /// entries with it on every cacheable miss).
+  uint64_t committed_epoch() const { return versions_.committed_epoch(); }
 
  private:
   friend class Txn;

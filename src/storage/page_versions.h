@@ -136,6 +136,14 @@ class PageVersions {
 
   Stats stats() const;
 
+  /// The current committed epoch alone (cheaper than stats(), which
+  /// walks the chains; hot-path callers stamping cache entries use
+  /// this).
+  uint64_t committed_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return committed_epoch_;
+  }
+
  private:
   struct Version {
     /// Last epoch this image was the committed content for.

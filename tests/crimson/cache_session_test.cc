@@ -1,0 +1,409 @@
+// Session-level tests for the adaptive query cache: a cache-enabled
+// session must be byte-identical to a cache-disabled one across every
+// query kind and across random interleavings of queries with
+// StoreTree / AppendSpeciesData / aborted writes; DropTree must evict
+// eagerly so a re-stored same-name tree never serves stale state; and
+// concurrent readers racing a writer must never observe a
+// pre-mutation cached result after the mutation commits.
+
+#include "crimson/crimson.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "sim/seq_evolve.h"
+#include "sim/tree_sim.h"
+
+namespace crimson {
+namespace {
+
+constexpr char kFig1Newick[] =
+    "(Syn:2.5,((Lla:1,Spy:1):0.5,Bha:1.5):0.75,Bsu:1.25)root;";
+constexpr char kAltNewick[] =
+    "((Syn:1,Bsu:1):0.5,(Lla:2,(Spy:1,Bha:1):0.5):0.25)root;";
+
+std::unique_ptr<Crimson> OpenSession(uint64_t seed, uint64_t cache_bytes) {
+  CrimsonOptions opts;
+  opts.f = 3;
+  opts.seed = seed;
+  opts.batch_workers = 4;
+  opts.query_cache_bytes = cache_bytes;
+  auto c = Crimson::Open(opts);
+  EXPECT_TRUE(c.ok()) << c.status();
+  return std::move(c).value();
+}
+
+std::vector<QueryRequest> SixKinds() {
+  return {
+      QueryRequest(LcaQuery{"Lla", "Syn"}),
+      QueryRequest(ProjectQuery{{"Bha", "Lla", "Syn"}}),
+      QueryRequest(SampleUniformQuery{3}),
+      QueryRequest(SampleTimeQuery{4, 1.0}),
+      QueryRequest(CladeQuery{{"Lla", "Spy"}}),
+      QueryRequest(PatternQuery{"((Bha:1.5,Lla:1.5):0.75,Syn:2.5);", true}),
+  };
+}
+
+TEST(CacheSessionTest, RepeatedQueriesHitAndStayByteIdentical) {
+  auto crimson = OpenSession(42, 1 << 20);
+  auto report = crimson->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(report.ok()) << report.status();
+  TreeRef tree = report->ref;
+
+  const QueryRequest cacheable[] = {
+      QueryRequest(LcaQuery{"Lla", "Syn"}),
+      QueryRequest(ProjectQuery{{"Bha", "Lla", "Syn"}}),
+      QueryRequest(CladeQuery{{"Lla", "Spy"}}),
+      QueryRequest(PatternQuery{"((Bha:1.5,Lla:1.5):0.75,Syn:2.5);", true}),
+  };
+  std::vector<std::string> first;
+  for (const QueryRequest& request : cacheable) {
+    auto r = crimson->Execute(tree, request);
+    ASSERT_TRUE(r.ok()) << r.status();
+    first.push_back(RenderResult(*r));
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < 4; ++i) {
+      auto r = crimson->Execute(tree, cacheable[i]);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(RenderResult(*r), first[i]) << "round " << round << " req " << i;
+    }
+  }
+  cache::CacheStats stats = crimson->GetCacheStats();
+  EXPECT_EQ(stats.hits, 12u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.entries, 4u);
+
+  // Cached executions are still recorded in history like uncached ones.
+  auto history = crimson->QueryHistory(32);
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->size(), 16u);
+}
+
+TEST(CacheSessionTest, SamplingBypassesTheCacheButKeepsTicketParity) {
+  // Cache hits consume RNG tickets exactly like the executions they
+  // replace, so a cache-enabled session and a cache-disabled one draw
+  // identical sampling streams through an identical query sequence.
+  auto cached = OpenSession(7, 1 << 20);
+  auto uncached = OpenSession(7, 0);
+  TreeRef ct = cached->LoadNewick("fig1", kFig1Newick).value().ref;
+  TreeRef ut = uncached->LoadNewick("fig1", kFig1Newick).value().ref;
+
+  for (int round = 0; round < 4; ++round) {
+    for (const QueryRequest& request : SixKinds()) {
+      auto a = cached->Execute(ct, request);
+      auto b = uncached->Execute(ut, request);
+      ASSERT_TRUE(a.ok()) << a.status();
+      ASSERT_TRUE(b.ok()) << b.status();
+      EXPECT_EQ(RenderResult(*a), RenderResult(*b))
+          << "round " << round << " kind " << QueryKindName(request);
+    }
+  }
+  cache::CacheStats stats = cached->GetCacheStats();
+  EXPECT_EQ(stats.bypassed, 8u) << "two sampling kinds x four rounds";
+  EXPECT_EQ(stats.hits, 12u) << "four cacheable kinds x three repeat rounds";
+  EXPECT_EQ(uncached->GetCacheStats().hits, 0u);
+}
+
+TEST(CacheSessionTest, RandomInterleavingsMatchUncachedByteForByte) {
+  // Drive two same-seed sessions (cache on / cache off) through an
+  // identical pseudo-random schedule of queries, tree stores, species
+  // appends, and aborted writes; every answer must match byte for
+  // byte, and no answer may leak across a mutation.
+  Rng schedule(0x1234);
+  auto cached = OpenSession(99, 1 << 20);
+  auto uncached = OpenSession(99, 0);
+
+  Rng tree_rng(0xFACE);
+  YuleOptions yule_opts;
+  yule_opts.n_leaves = 40;
+  auto gold = SimulateYule(yule_opts, &tree_rng);
+  ASSERT_TRUE(gold.ok());
+  SeqEvolveOptions seq_opts;
+  seq_opts.seq_length = 64;
+  auto evolver = SequenceEvolver::Create(seq_opts);
+  auto sequences = evolver->EvolveLeaves(*gold, &tree_rng);
+  ASSERT_TRUE(sequences.ok());
+
+  TreeRef ct = cached->LoadNewick("fig1", kFig1Newick).value().ref;
+  TreeRef ut = uncached->LoadNewick("fig1", kFig1Newick).value().ref;
+  const std::vector<QueryRequest> requests = SixKinds();
+
+  int stores = 0;
+  for (int step = 0; step < 120; ++step) {
+    const uint64_t op = schedule.Next() % 10;
+    if (op < 7) {
+      const QueryRequest& request = requests[schedule.Next() % requests.size()];
+      auto a = cached->Execute(ct, request);
+      auto b = uncached->Execute(ut, request);
+      ASSERT_EQ(a.ok(), b.ok()) << "step " << step;
+      if (a.ok()) {
+        EXPECT_EQ(RenderResult(*a), RenderResult(*b)) << "step " << step;
+      }
+    } else if (op == 7) {
+      // Store (or re-store) an unrelated tree: invalidation machinery
+      // runs, fig1 entries must survive.
+      const std::string name = StrFormat("extra%d", stores++ % 3);
+      auto a = cached->LoadNewick(name, kAltNewick);
+      auto b = uncached->LoadNewick(name, kAltNewick);
+      ASSERT_EQ(a.ok(), b.ok()) << "step " << step;
+    } else if (op == 8) {
+      // Append species data to a tree that exists only on round 0
+      // (re-appends conflict), so both outcomes are exercised.
+      auto a = cached->LoadTree("gold", *gold);
+      auto b = uncached->LoadTree("gold", *gold);
+      ASSERT_EQ(a.ok(), b.ok());
+      auto sa = cached->AppendSpeciesData("gold", *sequences);
+      auto sb = uncached->AppendSpeciesData("gold", *sequences);
+      ASSERT_EQ(sa.ok(), sb.ok()) << "step " << step;
+    } else {
+      // Aborted mutation: appending to a tree that does not exist
+      // fails inside the write transaction and must roll back cleanly
+      // (cache generations included).
+      auto a = cached->AppendSpeciesData("ghost", *sequences);
+      auto b = uncached->AppendSpeciesData("ghost", *sequences);
+      EXPECT_FALSE(a.ok()) << "step " << step;
+      ASSERT_EQ(a.ok(), b.ok());
+    }
+  }
+  // The schedule above must actually have exercised the cache.
+  EXPECT_GT(cached->GetCacheStats().hits, 0u);
+}
+
+TEST(CacheSessionTest, AppendSpeciesDataInvalidatesThatTreeOnly) {
+  auto crimson = OpenSession(42, 1 << 20);
+  Rng tree_rng(0xFACE);
+  YuleOptions yule_opts;
+  yule_opts.n_leaves = 24;
+  auto gold = SimulateYule(yule_opts, &tree_rng);
+  ASSERT_TRUE(gold.ok());
+  SeqEvolveOptions seq_opts;
+  seq_opts.seq_length = 48;
+  auto evolver = SequenceEvolver::Create(seq_opts);
+  auto sequences = evolver->EvolveLeaves(*gold, &tree_rng);
+  ASSERT_TRUE(sequences.ok());
+
+  TreeRef fig = crimson->LoadNewick("fig1", kFig1Newick).value().ref;
+  TreeRef yule = crimson->LoadTree("gold", *gold).value().ref;
+  ASSERT_TRUE(crimson->Execute(fig, LcaQuery{"Lla", "Syn"}).ok());
+  ASSERT_TRUE(crimson->Execute(yule, LcaQuery{"S1", "S5"}).ok());
+  ASSERT_EQ(crimson->GetCacheStats().entries, 2u);
+
+  ASSERT_TRUE(crimson->AppendSpeciesData("gold", *sequences).ok());
+
+  // fig1's entry still hits; gold's was invalidated by the append.
+  ASSERT_TRUE(crimson->Execute(fig, LcaQuery{"Lla", "Syn"}).ok());
+  ASSERT_TRUE(crimson->Execute(yule, LcaQuery{"S1", "S5"}).ok());
+  cache::CacheStats stats = crimson->GetCacheStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+}
+
+TEST(DropTreeTest, ReStoredSameNameTreeNeverServesStaleState) {
+  auto crimson = OpenSession(42, 1 << 20);
+  TreeRef old_ref = crimson->LoadNewick("x", kFig1Newick).value().ref;
+
+  auto before = crimson->Execute(old_ref, LcaQuery{"Spy", "Bha"});
+  ASSERT_TRUE(before.ok());
+  // In kFig1Newick, Spy and Bha join below the root (inner node);
+  // in kAltNewick their LCA is their direct unnamed parent at depth 2.
+  const std::string old_rendered = RenderResult(*before);
+
+  ASSERT_TRUE(crimson->DropTree("x").ok());
+  EXPECT_TRUE(crimson->OpenTree("x").status().IsNotFound());
+  // The old handle is dead, not dangling.
+  EXPECT_FALSE(crimson->Execute(old_ref, LcaQuery{"Spy", "Bha"}).ok());
+
+  TreeRef new_ref = crimson->LoadNewick("x", kAltNewick).value().ref;
+  auto after = crimson->Execute(new_ref, LcaQuery{"Spy", "Bha"});
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_NE(RenderResult(*after), old_rendered)
+      << "the re-stored tree has a different topology; equal answers "
+         "mean the drop leaked cached state";
+
+  // By-name execution agrees with the fresh handle too.
+  auto by_name = crimson->Execute(*crimson->OpenTree("x"),
+                                  LcaQuery{"Spy", "Bha"});
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(RenderResult(*by_name), RenderResult(*after));
+}
+
+TEST(DropTreeTest, DropEvictsEvalStateForExperiments) {
+  // Load a tree with sequences, run an experiment (materializes
+  // EvalState), drop it, re-store under the same name with *different*
+  // sequences: the rerun must see the new data, not the resident
+  // pre-drop EvalState.
+  Rng tree_rng(0x5EED);
+  YuleOptions yule_opts;
+  yule_opts.n_leaves = 16;
+  auto gold = SimulateYule(yule_opts, &tree_rng);
+  ASSERT_TRUE(gold.ok());
+  SeqEvolveOptions seq_opts;
+  seq_opts.seq_length = 60;
+  auto evolver = SequenceEvolver::Create(seq_opts);
+  auto seqs_a = evolver->EvolveLeaves(*gold, &tree_rng);
+  ASSERT_TRUE(seqs_a.ok());
+
+  auto crimson = OpenSession(42, 1 << 20);
+  TreeRef ref = crimson->LoadTree("g", *gold).value().ref;
+  ASSERT_TRUE(crimson->AppendSpeciesData("g", *seqs_a).ok());
+
+  ExperimentSpec spec;
+  spec.algorithms = {"nj"};
+  SelectionSpec sel;
+  sel.kind = SelectionSpec::Kind::kUniform;
+  sel.k = 8;
+  spec.selections = {sel};
+  spec.replicates = 1;
+  spec.compute_triplets = false;
+  ASSERT_TRUE(crimson->RunExperiment(ref, spec).ok());
+  EXPECT_GT(crimson->GetCacheStats().crack_stores, 0u);
+
+  ASSERT_TRUE(crimson->DropTree("g").ok());
+  EXPECT_EQ(crimson->GetCacheStats().crack_stores, 0u)
+      << "DropTree must evict the resident EvalState eagerly";
+
+  // Re-store the same name with no sequences: the experiment must now
+  // fail on missing data instead of silently reusing pre-drop state.
+  TreeRef fresh = crimson->LoadTree("g", *gold).value().ref;
+  auto rerun = crimson->RunExperiment(fresh, spec);
+  EXPECT_FALSE(rerun.ok());
+  EXPECT_TRUE(rerun.status().IsFailedPrecondition()) << rerun.status();
+}
+
+TEST(CacheSessionStressTest, ReadersRacingWritersNeverSeeStaleResults) {
+  // Readers hammer one query on tree "hot" while a writer flips the
+  // tree between two topologies via DropTree + re-store. Every
+  // successful answer must match one of the two legal topologies, and
+  // after the writer's final commit a fresh query must see the final
+  // topology (no stale cache survivor).
+  auto crimson = OpenSession(42, 1 << 20);
+  ASSERT_TRUE(crimson->LoadNewick("hot", kFig1Newick).ok());
+
+  // Precompute the two legal renderings from throwaway sessions.
+  std::string legal_a, legal_b;
+  {
+    auto s = OpenSession(1, 0);
+    TreeRef r = s->LoadNewick("hot", kFig1Newick).value().ref;
+    legal_a = RenderResult(*s->Execute(r, LcaQuery{"Spy", "Bha"}));
+  }
+  {
+    auto s = OpenSession(1, 0);
+    TreeRef r = s->LoadNewick("hot", kAltNewick).value().ref;
+    legal_b = RenderResult(*s->Execute(r, LcaQuery{"Spy", "Bha"}));
+  }
+  ASSERT_NE(legal_a, legal_b);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> stale{0};
+  std::atomic<int> hits_ok{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto ref = crimson->OpenTree("hot");
+        if (!ref.ok()) continue;  // racing the drop window
+        auto r = crimson->Execute(*ref, LcaQuery{"Spy", "Bha"});
+        if (!r.ok()) continue;  // handle died mid-flight; also legal
+        const std::string rendered = RenderResult(*r);
+        if (rendered == legal_a || rendered == legal_b) {
+          hits_ok.fetch_add(1);
+        } else {
+          stale.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  bool alt = false;
+  for (int flip = 0; flip < 20; ++flip) {
+    alt = !alt;
+    ASSERT_TRUE(crimson->DropTree("hot").ok());
+    ASSERT_TRUE(
+        crimson->LoadNewick("hot", alt ? kAltNewick : kFig1Newick).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(stale.load(), 0);
+  EXPECT_GT(hits_ok.load(), 0);
+
+  // Post-drain determinism: the final topology answers, not a cached
+  // relic of any earlier flip.
+  auto final_ref = crimson->OpenTree("hot");
+  ASSERT_TRUE(final_ref.ok());
+  auto r = crimson->Execute(*final_ref, LcaQuery{"Spy", "Bha"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(RenderResult(*r), alt ? legal_b : legal_a);
+}
+
+TEST(CacheSessionStressTest, ConcurrentMixedKindsMatchSequentialSession) {
+  // Four threads fire the full six-kind mix at a cached session via
+  // ExecuteBatch while a fifth keeps storing unrelated trees. Every
+  // per-batch result must equal the same batch on a quiet uncached
+  // session (batch determinism is per-batch-ticket, so each batch is
+  // independently reproducible).
+  auto noisy = OpenSession(5, 1 << 20);
+  ASSERT_TRUE(noisy->LoadNewick("fig1", kFig1Newick).ok());
+  TreeRef nt = noisy->OpenTree("fig1").value();
+
+  // Reference answers for the cacheable kinds (sampling kinds draw
+  // from per-batch tickets, so they are checked for success only).
+  auto quiet = OpenSession(5, 0);
+  ASSERT_TRUE(quiet->LoadNewick("fig1", kFig1Newick).ok());
+  TreeRef qt = quiet->OpenTree("fig1").value();
+  const std::vector<QueryRequest> requests = SixKinds();
+  std::vector<std::string> expected(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!cache::QueryCache::IsCacheable(requests[i])) continue;
+    auto r = quiet->Execute(qt, requests[i]);
+    ASSERT_TRUE(r.ok());
+    expected[i] = RenderResult(*r);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 30; ++round) {
+        auto results = noisy->ExecuteBatch(nt, requests);
+        for (size_t i = 0; i < requests.size(); ++i) {
+          if (!results[i].ok()) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          if (!expected[i].empty() &&
+              RenderResult(*results[i]) != expected[i]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    int n = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)noisy->LoadNewick(StrFormat("w%d", n++ % 4), kAltNewick);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  cache::CacheStats stats = noisy->GetCacheStats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_LE(stats.bytes_used, stats.budget_bytes);
+}
+
+}  // namespace
+}  // namespace crimson

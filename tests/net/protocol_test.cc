@@ -493,6 +493,101 @@ TEST(StatusCodecTest, TruncatedStatusFailsCleanly) {
   }
 }
 
+TEST(StatsCodecTest, EveryCounterRoundTrips) {
+  SessionStats stats;
+  stats.cache.hits = 101;
+  stats.cache.misses = 7;
+  stats.cache.insertions = 6;
+  stats.cache.evictions = 5;
+  stats.cache.invalidations = 4;
+  stats.cache.stale_skips = 3;
+  stats.cache.bypassed = 2;
+  stats.cache.entries = 9;
+  stats.cache.bytes_used = 48000;
+  stats.cache.budget_bytes = 1 << 20;
+  stats.cache.crack_stores = 11;
+  stats.cache.crack_pieces = 12;
+  stats.cache.crack_loaded_pieces = 13;
+  stats.cache.crack_sequences_loaded = 14;
+  stats.cache.crack_sequences_total = 15;
+  stats.cache.crack_fetches = 16;
+  stats.cache.crack_batches = 17;
+  stats.cache.crack_piece_hits = 18;
+  stats.pages.captured_pages = 21;
+  stats.pages.version_hits = 22;
+  stats.pages.versions_dropped = 23;
+  stats.pages.live_versions = 24;
+  stats.pages.active_snapshots = 25;
+  stats.pages.committed_epoch = 26;
+
+  std::string bytes;
+  EncodeSessionStats(&bytes, stats);
+  Slice in(bytes);
+  auto decoded = DecodeSessionStats(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(in.empty());
+
+  EXPECT_EQ(decoded->cache.hits, stats.cache.hits);
+  EXPECT_EQ(decoded->cache.misses, stats.cache.misses);
+  EXPECT_EQ(decoded->cache.insertions, stats.cache.insertions);
+  EXPECT_EQ(decoded->cache.evictions, stats.cache.evictions);
+  EXPECT_EQ(decoded->cache.invalidations, stats.cache.invalidations);
+  EXPECT_EQ(decoded->cache.stale_skips, stats.cache.stale_skips);
+  EXPECT_EQ(decoded->cache.bypassed, stats.cache.bypassed);
+  EXPECT_EQ(decoded->cache.entries, stats.cache.entries);
+  EXPECT_EQ(decoded->cache.bytes_used, stats.cache.bytes_used);
+  EXPECT_EQ(decoded->cache.budget_bytes, stats.cache.budget_bytes);
+  EXPECT_EQ(decoded->cache.crack_stores, stats.cache.crack_stores);
+  EXPECT_EQ(decoded->cache.crack_pieces, stats.cache.crack_pieces);
+  EXPECT_EQ(decoded->cache.crack_loaded_pieces,
+            stats.cache.crack_loaded_pieces);
+  EXPECT_EQ(decoded->cache.crack_sequences_loaded,
+            stats.cache.crack_sequences_loaded);
+  EXPECT_EQ(decoded->cache.crack_sequences_total,
+            stats.cache.crack_sequences_total);
+  EXPECT_EQ(decoded->cache.crack_fetches, stats.cache.crack_fetches);
+  EXPECT_EQ(decoded->cache.crack_batches, stats.cache.crack_batches);
+  EXPECT_EQ(decoded->cache.crack_piece_hits, stats.cache.crack_piece_hits);
+  EXPECT_EQ(decoded->pages.captured_pages, stats.pages.captured_pages);
+  EXPECT_EQ(decoded->pages.version_hits, stats.pages.version_hits);
+  EXPECT_EQ(decoded->pages.versions_dropped, stats.pages.versions_dropped);
+  EXPECT_EQ(decoded->pages.live_versions, stats.pages.live_versions);
+  EXPECT_EQ(decoded->pages.active_snapshots, stats.pages.active_snapshots);
+  EXPECT_EQ(decoded->pages.committed_epoch, stats.pages.committed_epoch);
+}
+
+TEST(StatsCodecTest, UnknownKeysAreSkippedAbsentKeysDefaultToZero) {
+  // A "future server" payload: one known counter, one unknown.
+  std::string bytes;
+  PutVarint64(&bytes, 2);
+  PutLengthPrefixedSlice(&bytes, Slice("cache.hits"));
+  PutVarint64(&bytes, 42);
+  PutLengthPrefixedSlice(&bytes, Slice("cache.some_future_counter"));
+  PutVarint64(&bytes, 7);
+
+  Slice in(bytes);
+  auto decoded = DecodeSessionStats(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(decoded->cache.hits, 42u);
+  EXPECT_EQ(decoded->cache.misses, 0u);
+  EXPECT_EQ(decoded->pages.committed_epoch, 0u);
+}
+
+TEST(StatsCodecTest, TruncatedStatsFailCleanly) {
+  SessionStats stats;
+  stats.cache.hits = 5;
+  std::string bytes;
+  EncodeSessionStats(&bytes, stats);
+  for (size_t n = 0; n + 1 < bytes.size(); ++n) {
+    Slice in(bytes.data(), n);
+    auto decoded = DecodeSessionStats(&in);
+    if (!decoded.ok()) {
+      EXPECT_TRUE(decoded.status().IsInvalidArgument());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace crimson

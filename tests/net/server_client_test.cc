@@ -466,6 +466,61 @@ TEST(ServerClientTest, ShutdownDrainsAndCheckpoints) {
   if (late.ok()) EXPECT_FALSE((*late)->Ping("too late").ok());
 }
 
+TEST(ServerClientTest, ServerStatsReflectCacheTraffic) {
+  TestServer t = TestServer::Start(16);
+  auto client = t.Connect();
+  ASSERT_TRUE(client->StoreNewick("fig1", kFig1Newick).ok());
+
+  // Fresh server: no cache traffic yet, but the budget is visible and
+  // the MVCC epoch has advanced past the store.
+  auto before = client->ServerStats();
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_EQ(before->cache.hits, 0u);
+  EXPECT_GT(before->cache.budget_bytes, 0u);
+  EXPECT_GT(before->pages.committed_epoch, 0u);
+
+  // Same cacheable query three times: one miss, two hits -- and the
+  // remote counters match what the in-process session reports.
+  const QueryRequest lca{LcaQuery{"Lla", "Syn"}};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client->Execute("fig1", lca).ok());
+  }
+  ASSERT_TRUE(client->Execute("fig1",
+                              QueryRequest(SampleUniformQuery{3})).ok());
+  auto after = client->ServerStats();
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->cache.hits, 2u);
+  EXPECT_EQ(after->cache.misses, 1u);
+  EXPECT_EQ(after->cache.entries, 1u);
+  EXPECT_EQ(after->cache.bypassed, 1u);
+
+  cache::CacheStats local = t.session->GetCacheStats();
+  EXPECT_EQ(after->cache.hits, local.hits);
+  EXPECT_EQ(after->cache.misses, local.misses);
+  EXPECT_EQ(after->cache.bytes_used, local.bytes_used);
+  EXPECT_EQ(after->pages.committed_epoch,
+            t.session->database()->page_version_stats().committed_epoch);
+}
+
+TEST(ServerClientTest, StatsRejectsTrailingPayloadBytes) {
+  TestServer t = TestServer::Start(17);
+  ClientOptions copts;
+  copts.port = t.server->port();
+  auto sock = ConnectTcp(copts.host, copts.port);
+  ASSERT_TRUE(sock.ok()) << sock.status();
+
+  std::string wire;
+  AppendFrame(&wire, MessageType::kStats, Slice("junk"));
+  ASSERT_TRUE(SendAll(*sock, wire.data(), wire.size()).ok());
+  std::vector<Frame> frames = ReadFrames(*sock, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, MessageType::kError);
+  Slice in(frames[0].payload);
+  Status carried;
+  ASSERT_TRUE(DecodeStatusPayload(&in, &carried).ok());
+  EXPECT_TRUE(carried.IsInvalidArgument());
+}
+
 TEST(ServerClientTest, DestructorShutsDownCleanly) {
   TestServer t = TestServer::Start(15);
   auto client = t.Connect();

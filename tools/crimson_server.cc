@@ -106,6 +106,25 @@ int main(int argc, char** argv) {
          static_cast<unsigned long long>(stats.queries_executed),
          static_cast<unsigned long long>(stats.queries_rejected_unavailable),
          drained.ok() ? "ok" : drained.ToString().c_str());
+  // The service outlives the server, so the session's counters are
+  // still live here: one line of cache + MVCC telemetry for operators
+  // tailing the log.
+  crimson::SessionStats session_stats = service.Stats();
+  printf("cache: %llu hits / %llu misses (%llu entries, %llu bytes), "
+         "%llu invalidations; crack: %llu/%llu sequences loaded across "
+         "%llu stores; mvcc: epoch %llu, %llu live versions\n",
+         static_cast<unsigned long long>(session_stats.cache.hits),
+         static_cast<unsigned long long>(session_stats.cache.misses),
+         static_cast<unsigned long long>(session_stats.cache.entries),
+         static_cast<unsigned long long>(session_stats.cache.bytes_used),
+         static_cast<unsigned long long>(session_stats.cache.invalidations),
+         static_cast<unsigned long long>(
+             session_stats.cache.crack_sequences_loaded),
+         static_cast<unsigned long long>(
+             session_stats.cache.crack_sequences_total),
+         static_cast<unsigned long long>(session_stats.cache.crack_stores),
+         static_cast<unsigned long long>(session_stats.pages.committed_epoch),
+         static_cast<unsigned long long>(session_stats.pages.live_versions));
   fflush(stdout);
   return drained.ok() ? 0 : 1;
 }
