@@ -1,0 +1,287 @@
+// bench_metrics: the observability layer's overhead and correctness
+// gates (see DESIGN.md "Observability").
+//
+//   overhead  -- one hot loop templated over the registry classes,
+//               compiled twice into this binary: once against the real
+//               obs::Counter/obs::Histogram atomic cells, once against
+//               the obs::Noop* twins (the compiled-out baseline). Each
+//               simulated query does a fixed spin of work, then the
+//               instrumented variant adds two counter bumps and one
+//               histogram observation -- the per-query registry
+//               traffic of the session hot path. Repeats interleave
+//               A/B and take the per-variant minimum, so a background
+//               blip cannot charge one side only.
+//   percentile -- a deterministic latency stream is fed to a real
+//               histogram AND kept raw; the histogram's interpolated
+//               p50/p95/p99 must agree with the exact offline
+//               bench::Percentile within one bucket width.
+//   slow log  -- a session with slow_query_micros=1 and a collecting
+//               sink must emit exactly one structured line per
+//               executed query (every query in the scenario costs well
+//               over a microsecond; the cache is off so none
+//               short-circuits), and the same scenario with a huge
+//               threshold must emit none.
+//
+// Also reports instrumented end-to-end session throughput
+// (informational). Writes BENCH_metrics.json; with --gate, exits
+// non-zero unless overhead <= 2%, the percentiles agree, and the slow
+// log is exact.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "crimson/crimson.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace crimson {
+namespace {
+
+constexpr double kMaxOverheadPct = 2.0;
+
+/// Simulated query compute: a few microseconds of serial spin, far
+/// cheaper than any real query, so the measured overhead bound is
+/// conservative.
+inline uint64_t SpinWork(uint64_t x, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+/// The hot loop, templated over the registry family. Returns seconds.
+template <typename Registry>
+double RunHotLoop(Registry* reg, int ops, int work_rounds, uint64_t* sink) {
+  auto* executed = reg->GetCounter("bench.executed");
+  auto* bytes = reg->GetCounter("bench.bytes");
+  auto* latency = reg->GetHistogram("bench.latency_us");
+  uint64_t x = 0x9E3779B97F4A7C15ULL;
+  WallTimer timer;
+  for (int i = 0; i < ops; ++i) {
+    x = SpinWork(x, work_rounds);
+    executed->Increment();
+    bytes->Add(x & 0xFF);
+    latency->Observe(1 + (x & 0xFFFF));
+  }
+  *sink += x;
+  return timer.ElapsedSeconds();
+}
+
+struct OverheadResult {
+  double noop_ns_per_op = 0;
+  double real_ns_per_op = 0;
+  double overhead_pct = 0;
+  bool ok = false;
+};
+
+OverheadResult MeasureOverhead(int ops, int work_rounds, int repeats) {
+  OverheadResult out;
+  obs::NoopRegistry noop;
+  obs::MetricsRegistry real;
+  uint64_t sink = 0;
+  double best_noop = 1e30, best_real = 1e30;
+  for (int r = 0; r < repeats; ++r) {
+    double n = RunHotLoop(&noop, ops, work_rounds, &sink);
+    double t = RunHotLoop(&real, ops, work_rounds, &sink);
+    if (n < best_noop) best_noop = n;
+    if (t < best_real) best_real = t;
+  }
+  if (sink == 0) fprintf(stderr, "(sink zero)\n");  // keep the work live
+  out.noop_ns_per_op = best_noop / ops * 1e9;
+  out.real_ns_per_op = best_real / ops * 1e9;
+  out.overhead_pct =
+      best_noop > 0 ? (best_real - best_noop) / best_noop * 100.0 : 100.0;
+  out.ok = out.overhead_pct <= kMaxOverheadPct;
+  return out;
+}
+
+struct PercentileResult {
+  double max_error_buckets = 0;  // |estimate - exact| / bucket width
+  bool ok = false;
+};
+
+PercentileResult CheckPercentiles(int samples) {
+  obs::Histogram hist(obs::Histogram::DefaultLatencyBoundsUs());
+  std::vector<double> raw;
+  raw.reserve(samples);
+  uint64_t x = 0x21F0AAAD;
+  for (int i = 0; i < samples; ++i) {
+    x = SpinWork(x, 1);
+    // Mixed scale: mostly fast "queries", a heavy tail.
+    uint64_t us = (i % 10 == 0) ? 1 + (x % 900000) : 1 + (x % 3000);
+    hist.Observe(us);
+    raw.push_back(static_cast<double>(us));
+  }
+  obs::HistogramSnapshot snap = hist.Snapshot();
+  PercentileResult out;
+  out.ok = true;
+  for (double p : {50.0, 95.0, 99.0}) {
+    const double exact = bench::Percentile(&raw, p / 100.0);
+    const double estimate = snap.Percentile(p);
+    const double width = snap.BucketWidth(exact);
+    const double err = width > 0 ? std::abs(estimate - exact) / width : 0;
+    if (err > out.max_error_buckets) out.max_error_buckets = err;
+    if (std::abs(estimate - exact) > width) out.ok = false;
+  }
+  return out;
+}
+
+struct SlowLogResult {
+  int queries = 0;
+  int lines_low_threshold = 0;
+  int lines_high_threshold = 0;
+  bool format_ok = true;
+  bool ok = false;
+  double session_qps = 0;
+};
+
+/// Heavy, cache-off queries (pattern matches and wide projections):
+/// every one costs well over 1us, so with slow_query_micros=1 each
+/// must produce a line and with a huge threshold none may.
+SlowLogResult RunSlowLogScenario(int queries) {
+  SlowLogResult out;
+  out.queries = queries;
+  for (int phase = 0; phase < 2; ++phase) {
+    const bool low = phase == 0;
+    std::vector<std::string> lines;
+    std::mutex lines_mu;
+    CrimsonOptions options;
+    options.query_cache_bytes = 0;  // no sub-microsecond hits
+    options.slow_query_micros = low ? 1 : (1ull << 40);
+    options.slow_query_sink = [&](const std::string& line) {
+      std::lock_guard<std::mutex> lock(lines_mu);
+      lines.push_back(line);
+    };
+    auto session_or = Crimson::Open(options);
+    if (!session_or.ok()) return out;
+    auto session = std::move(session_or).value();
+    auto load = session->LoadTree("bench", bench::CachedYule(96));
+    if (!load.ok()) return out;
+    WallTimer timer;
+    for (int i = 0; i < queries; ++i) {
+      QueryRequest request =
+          (i % 2 == 0)
+              ? QueryRequest(PatternQuery{"(S1,(S2,S3));", false})
+              : QueryRequest(ProjectQuery{{"S0", "S5", "S10", "S20", "S40"}});
+      auto r = session->Execute(load->ref, request);
+      if (!r.ok()) {
+        fprintf(stderr, "query failed: %s\n", r.status().ToString().c_str());
+        return out;
+      }
+    }
+    const double seconds = timer.ElapsedSeconds();
+    if (low) {
+      out.lines_low_threshold = static_cast<int>(lines.size());
+      out.session_qps = seconds > 0 ? queries / seconds : 0;
+      for (const std::string& line : lines) {
+        if (line.find("slow_query total_us=") != 0 ||
+            line.find(" kind=") == std::string::npos ||
+            line.find(" params=tree=bench") == std::string::npos ||
+            line.find(" status=ok") == std::string::npos ||
+            line.find(" spans=") == std::string::npos) {
+          out.format_ok = false;
+        }
+      }
+      // Exactness cross-check: the registry counted the same events
+      // the sink saw.
+      if (session->SnapshotMetrics().counter("query.slow") !=
+          static_cast<uint64_t>(lines.size())) {
+        out.format_ok = false;
+      }
+    } else {
+      out.lines_high_threshold = static_cast<int>(lines.size());
+    }
+  }
+  out.ok = out.lines_low_threshold == queries &&
+           out.lines_high_threshold == 0 && out.format_ok;
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  bool gate = false;
+  int ops = 50000;
+  int work_rounds = 1200;
+  int repeats = 7;
+  int samples = 50000;
+  int slow_queries = 50;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--gate") == 0) gate = true;
+    if (strncmp(argv[i], "--ops=", 6) == 0) ops = atoi(argv[i] + 6);
+    if (strncmp(argv[i], "--repeats=", 10) == 0) repeats = atoi(argv[i] + 10);
+  }
+
+  OverheadResult overhead = MeasureOverhead(ops, work_rounds, repeats);
+  PercentileResult pct = CheckPercentiles(samples);
+  SlowLogResult slow = RunSlowLogScenario(slow_queries);
+  const bool pass = overhead.ok && pct.ok && slow.ok;
+
+  printf(
+      "registry hot loop, %d ops x %d repeats (interleaved, min):\n"
+      "  noop baseline : %8.1f ns/op\n"
+      "  instrumented  : %8.1f ns/op  (+%.2f%%, gate <= %.1f%%)\n"
+      "histogram percentiles vs offline exact (%d samples): "
+      "max error %.2f bucket widths: %s\n"
+      "slow-query log (%d heavy queries): threshold 1us -> %d lines, "
+      "huge threshold -> %d lines, format %s: %s\n"
+      "instrumented session throughput: %.0f queries/s\n"
+      "gate: %s\n",
+      ops, repeats, overhead.noop_ns_per_op, overhead.real_ns_per_op,
+      overhead.overhead_pct, kMaxOverheadPct, samples,
+      pct.max_error_buckets, pct.ok ? "OK" : "DISAGREE", slow.queries,
+      slow.lines_low_threshold, slow.lines_high_threshold,
+      slow.format_ok ? "ok" : "BAD", slow.ok ? "OK" : "FAIL",
+      slow.session_qps, pass ? "PASS" : "FAIL");
+
+  FILE* json = fopen("BENCH_metrics.json", "w");
+  if (json != nullptr) {
+    fprintf(json,
+            "{\n"
+            "  \"ops\": %d,\n"
+            "  \"repeats\": %d,\n"
+            "  \"noop_ns_per_op\": %.2f,\n"
+            "  \"instrumented_ns_per_op\": %.2f,\n"
+            "  \"overhead_pct\": %.3f,\n"
+            "  \"gate_max_overhead_pct\": %.1f,\n"
+            "  \"percentile_samples\": %d,\n"
+            "  \"percentile_max_error_buckets\": %.3f,\n"
+            "  \"percentile_ok\": %s,\n"
+            "  \"slow_queries\": %d,\n"
+            "  \"slow_lines_low_threshold\": %d,\n"
+            "  \"slow_lines_high_threshold\": %d,\n"
+            "  \"slow_log_ok\": %s,\n"
+            "  \"session_queries_per_sec\": %.1f,\n"
+            "  \"pass\": %s\n"
+            "}\n",
+            ops, repeats, overhead.noop_ns_per_op, overhead.real_ns_per_op,
+            overhead.overhead_pct, kMaxOverheadPct, samples,
+            pct.max_error_buckets, pct.ok ? "true" : "false", slow.queries,
+            slow.lines_low_threshold, slow.lines_high_threshold,
+            slow.ok ? "true" : "false", slow.session_qps,
+            pass ? "true" : "false");
+    fclose(json);
+  }
+
+  if (gate && !pass) {
+    fprintf(stderr,
+            "GATE FAILURE: overhead %.2f%% (max %.1f%%), percentiles %s, "
+            "slow log %s\n",
+            overhead.overhead_pct, kMaxOverheadPct, pct.ok ? "ok" : "BAD",
+            slow.ok ? "ok" : "BAD");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace crimson
+
+int main(int argc, char** argv) { return crimson::Run(argc, argv); }

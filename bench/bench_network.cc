@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "crimson/crimson.h"
@@ -87,12 +88,7 @@ struct LevelResult {
   bool ok = false;
 };
 
-double Percentile(std::vector<double>* sorted_in_place, double p) {
-  if (sorted_in_place->empty()) return 0;
-  std::sort(sorted_in_place->begin(), sorted_in_place->end());
-  size_t idx = static_cast<size_t>(p * (sorted_in_place->size() - 1));
-  return (*sorted_in_place)[idx];
-}
+using bench::Percentile;
 
 /// `clients` closed loops of `ops_per_client` successful LCA queries
 /// each against one running server.

@@ -5,8 +5,10 @@
 #ifndef CRIMSON_BENCH_BENCH_UTIL_H_
 #define CRIMSON_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "common/random.h"
 #include "sim/tree_sim.h"
@@ -14,6 +16,17 @@
 
 namespace crimson {
 namespace bench {
+
+/// Exact sample percentile (p in [0, 1]) by nearest-rank over the
+/// sorted samples; sorts in place. The offline reference the
+/// histogram-percentile gate in bench_metrics compares against, and
+/// the latency reporter of the closed-loop benches.
+inline double Percentile(std::vector<double>* sorted_in_place, double p) {
+  if (sorted_in_place->empty()) return 0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  size_t idx = static_cast<size_t>(p * (sorted_in_place->size() - 1));
+  return (*sorted_in_place)[idx];
+}
 
 /// Deep chain tree with `depth` levels (the paper's depth regime).
 inline const PhyloTree& CachedCaterpillar(uint32_t depth) {

@@ -49,6 +49,24 @@ uint64_t ApproxResultBytes(const QueryResult& result) {
   return std::visit(Visitor{}, result);
 }
 
+QueryCache::QueryCache(uint64_t budget_bytes, obs::MetricsRegistry* metrics)
+    : budget_(budget_bytes) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  hits_ = metrics->GetCounter("cache.hits");
+  misses_ = metrics->GetCounter("cache.misses");
+  insertions_ = metrics->GetCounter("cache.insertions");
+  evictions_ = metrics->GetCounter("cache.evictions");
+  invalidations_ = metrics->GetCounter("cache.invalidations");
+  stale_skips_ = metrics->GetCounter("cache.stale_skips");
+  bypassed_ = metrics->GetCounter("cache.bypassed");
+  entries_gauge_ = metrics->GetGauge("cache.entries");
+  bytes_used_gauge_ = metrics->GetGauge("cache.bytes_used");
+  metrics->GetGauge("cache.budget_bytes")->Set(budget_);
+}
+
 bool QueryCache::IsCacheable(const QueryRequest& request) {
   return !std::holds_alternative<SampleUniformQuery>(request) &&
          !std::holds_alternative<SampleTimeQuery>(request);
@@ -91,17 +109,17 @@ std::optional<QueryResult> QueryCache::Lookup(const std::string& tree_name,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
-    ++misses_;
+    misses_->Increment();
     return std::nullopt;
   }
   Entry& entry = it->second;
   if (!ValidLocked(tree_name, entry.stamp)) {
-    ++invalidations_;
-    ++misses_;
+    invalidations_->Increment();
+    misses_->Increment();
     EraseEntryLocked(it);
     return std::nullopt;
   }
-  ++hits_;
+  hits_->Increment();
   if (entry.segment == Segment::kProbation) {
     // First re-reference: promote into the protected segment.
     probation_.erase(entry.pos);
@@ -139,7 +157,7 @@ void QueryCache::Insert(const std::string& tree_name, const std::string& key,
   if (!ValidLocked(tree_name, stamp)) {
     // A mutation began or committed while the query ran; the result
     // may reflect a superseded snapshot, so it never enters the cache.
-    ++stale_skips_;
+    stale_skips_->Increment();
     return;
   }
   auto it = entries_.find(key);
@@ -155,7 +173,9 @@ void QueryCache::Insert(const std::string& tree_name, const std::string& key,
   probation_.push_front(eit->first);
   eit->second.pos = probation_.begin();
   bytes_used_ += bytes;
-  ++insertions_;
+  insertions_->Increment();
+  entries_gauge_->Set(entries_.size());
+  bytes_used_gauge_->Set(bytes_used_);
 }
 
 void QueryCache::EvictForLocked(uint64_t incoming_bytes) {
@@ -165,7 +185,7 @@ void QueryCache::EvictForLocked(uint64_t incoming_bytes) {
     if (victim_list->empty()) return;
     auto it = entries_.find(victim_list->back());
     EraseEntryLocked(it);
-    ++evictions_;
+    evictions_->Increment();
   }
 }
 
@@ -180,6 +200,8 @@ void QueryCache::EraseEntryLocked(
   }
   bytes_used_ -= entry.bytes;
   entries_.erase(it);
+  entries_gauge_->Set(entries_.size());
+  bytes_used_gauge_->Set(bytes_used_);
 }
 
 void QueryCache::BeginTreeMutation(const std::string& tree_name) {
@@ -210,7 +232,7 @@ void QueryCache::EraseTree(const std::string& tree_name) {
     if (it->second.tree == tree_name) {
       auto next = std::next(it);
       EraseEntryLocked(it);
-      ++invalidations_;
+      invalidations_->Increment();
       it = next;
     } else {
       ++it;
@@ -222,19 +244,19 @@ void QueryCache::EraseTree(const std::string& tree_name) {
 void QueryCache::NoteBypass() {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mu_);
-  ++bypassed_;
+  bypassed_->Increment();
 }
 
 CacheStats QueryCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   CacheStats stats;
-  stats.hits = hits_;
-  stats.misses = misses_;
-  stats.insertions = insertions_;
-  stats.evictions = evictions_;
-  stats.invalidations = invalidations_;
-  stats.stale_skips = stale_skips_;
-  stats.bypassed = bypassed_;
+  stats.hits = hits_->value();
+  stats.misses = misses_->value();
+  stats.insertions = insertions_->value();
+  stats.evictions = evictions_->value();
+  stats.invalidations = invalidations_->value();
+  stats.stale_skips = stale_skips_->value();
+  stats.bypassed = bypassed_->value();
   stats.entries = entries_.size();
   stats.bytes_used = bytes_used_;
   stats.budget_bytes = budget_;

@@ -46,12 +46,14 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "crimson/query_request.h"
+#include "obs/metrics.h"
 
 namespace crimson {
 namespace cache {
@@ -95,8 +97,13 @@ uint64_t ApproxResultBytes(const QueryResult& result);
 class QueryCache {
  public:
   /// budget_bytes == 0 disables the cache entirely (every Lookup
-  /// misses without counting, Insert is a no-op).
-  explicit QueryCache(uint64_t budget_bytes) : budget_(budget_bytes) {}
+  /// misses without counting, Insert is a no-op). The cache's counters
+  /// are registry-backed cells named after the wire keys (cache.hits,
+  /// cache.misses, ...); when `metrics` is null the cache owns a
+  /// private registry, so standalone instances keep isolated counts.
+  /// stats() reads the cells back -- one source of truth.
+  explicit QueryCache(uint64_t budget_bytes,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
@@ -190,13 +197,19 @@ class QueryCache {
   uint64_t bytes_used_ = 0;
   uint64_t protected_bytes_ = 0;
 
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t insertions_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t invalidations_ = 0;
-  uint64_t stale_skips_ = 0;
-  uint64_t bypassed_ = 0;
+  /// Backing registry when the constructor got none.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  /// Registry-backed counter cells (resolved once in the ctor; bumped
+  /// under mu_, read lock-free by anyone snapshotting the registry).
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* insertions_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Counter* invalidations_ = nullptr;
+  obs::Counter* stale_skips_ = nullptr;
+  obs::Counter* bypassed_ = nullptr;
+  obs::Gauge* entries_gauge_ = nullptr;
+  obs::Gauge* bytes_used_gauge_ = nullptr;
 };
 
 }  // namespace cache

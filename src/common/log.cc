@@ -1,7 +1,9 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 #include <string>
 
@@ -27,6 +29,31 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Compact stable id for the calling thread: a per-process sequence
+/// number handed out on first log, so lines read "tid=3" instead of a
+/// pointer-sized hash.
+uint64_t ThreadLogId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// ISO-8601 UTC wall-clock timestamp with milliseconds, e.g.
+/// "2026-08-07T12:34:56.789Z".
+void FormatTimestamp(char* buf, size_t n) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  size_t len = std::strftime(buf, n, "%Y-%m-%dT%H:%M:%S", &tm);
+  snprintf(buf + len, n - len, ".%03dZ", millis);
+}
 }  // namespace
 
 void SetMinLogLevel(LogLevel level) {
@@ -37,14 +64,32 @@ LogLevel MinLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(std::string_view name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warning" || name == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void LogMessage(LogLevel level, std::string_view file, int line,
                 std::string_view msg) {
   if (level < MinLogLevel()) return;
   // Shorten path to basename for readability.
   size_t slash = file.rfind('/');
   if (slash != std::string_view::npos) file = file.substr(slash + 1);
+  char ts[40];
+  FormatTimestamp(ts, sizeof(ts));
   std::lock_guard<std::mutex> lock(LogMutex());
-  fprintf(stderr, "[%s %.*s:%d] %.*s\n", LevelName(level),
+  fprintf(stderr, "[%s %s tid=%llu %.*s:%d] %.*s\n", ts, LevelName(level),
+          static_cast<unsigned long long>(ThreadLogId()),
           static_cast<int>(file.size()), file.data(), line,
           static_cast<int>(msg.size()), msg.data());
 }

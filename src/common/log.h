@@ -16,6 +16,11 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetMinLogLevel(LogLevel level);
 LogLevel MinLogLevel();
 
+/// Parses "debug" / "info" / "warning" (or "warn") / "error" into
+/// `*level` (case-sensitive); false on anything else. Backs the
+/// crimson_server --log-level flag.
+bool ParseLogLevel(std::string_view name, LogLevel* level);
+
 /// Emits a single log line (thread-safe).
 void LogMessage(LogLevel level, std::string_view file, int line,
                 std::string_view msg);

@@ -189,12 +189,16 @@ Status Crimson::FlushHistory() {
 
 Result<std::unique_ptr<Crimson>> Crimson::Open(const CrimsonOptions& options) {
   auto c = std::unique_ptr<Crimson>(new Crimson());
+  // The registry comes first: the storage engine, the result cache,
+  // and the query-dispatch cells below all bind into it.
+  c->metrics_ = std::make_unique<obs::MetricsRegistry>();
   c->options_ = options;
   DatabaseOptions db_opts;
   db_opts.buffer_pool_pages = options.buffer_pool_pages;
   db_opts.durability = options.durability;
   db_opts.wal_checkpoint_bytes = options.wal_checkpoint_bytes;
   db_opts.env = options.storage_env;
+  db_opts.metrics = c->metrics_.get();
   if (options.db_path.empty()) {
     CRIMSON_ASSIGN_OR_RETURN(c->db_, Database::OpenInMemory(db_opts));
   } else {
@@ -205,8 +209,29 @@ Result<std::unique_ptr<Crimson>> Crimson::Open(const CrimsonOptions& options) {
   CRIMSON_RETURN_IF_ERROR(c->ReopenRepositoriesLocked());
   c->pool_ = std::make_unique<ThreadPool>(
       options.batch_workers > 0 ? options.batch_workers : 1);
-  c->query_cache_ =
-      std::make_unique<cache::QueryCache>(options.query_cache_bytes);
+  c->query_cache_ = std::make_unique<cache::QueryCache>(
+      options.query_cache_bytes, c->metrics_.get());
+  // Resolve the query-dispatch cells once; the hot path then touches
+  // only atomic cells (see obs/metrics.h design rules). The kind names
+  // track the QueryRequest variant order.
+  static constexpr const char* kKindNames[kQueryKindCount] = {
+      "lca",  "project",       "sample_uniform",
+      "sample_time", "clade", "pattern_match"};
+  for (size_t i = 0; i < kQueryKindCount; ++i) {
+    c->kind_cells_[i].latency = c->metrics_->GetHistogram(
+        StrFormat("query.%s.latency_us", kKindNames[i]));
+    c->kind_cells_[i].count =
+        c->metrics_->GetCounter(StrFormat("query.%s.count", kKindNames[i]));
+    c->kind_cells_[i].result_bytes = c->metrics_->GetCounter(
+        StrFormat("query.%s.result_bytes", kKindNames[i]));
+  }
+  for (size_t i = 0; i < obs::kStageCount; ++i) {
+    c->stage_hists_[i] = c->metrics_->GetHistogram(StrFormat(
+        "query.stage.%.*s_us",
+        static_cast<int>(obs::StageName(static_cast<obs::Stage>(i)).size()),
+        obs::StageName(static_cast<obs::Stage>(i)).data()));
+  }
+  c->slow_queries_ = c->metrics_->GetCounter("query.slow");
   return c;
 }
 
@@ -346,6 +371,7 @@ Result<TreeRef> Crimson::OpenTree(const std::string& name) {
     // Label decode / index build is pure compute; no lock held. Prefer
     // the persisted labeling (O(n) reads) and fall back to relabeling
     // when it is absent, corrupt, or stale relative to the tree.
+    obs::SpanTimer decode_span(obs::Stage::kLabelDecode);
     bool have_labels = false;
     if (blob.ok()) {
       LayeredDeweyScheme stored;
@@ -520,6 +546,7 @@ Result<QueryResult> Crimson::ExecuteOnHandle(const TreeHandle& handle,
 
 void Crimson::RecordQuery(std::string_view kind, const std::string& params,
                           const std::string& summary) {
+  obs::SpanTimer span(obs::Stage::kHistoryEnqueue);
   // The headline concurrency fix: history appends no longer enter the
   // writer epoch on the query path. The entry gets its final id and
   // timestamp now and sits in the in-memory buffer until the next
@@ -550,8 +577,48 @@ void Crimson::RecordQuery(std::string_view kind, const std::string& params,
   }
 }
 
+void Crimson::FinishQueryTrace(obs::TraceContext* ctx,
+                               const std::string& tree_name,
+                               const QueryRequest& request,
+                               const Result<QueryResult>& result) const {
+  const int64_t total = ctx->total_us();
+  const KindCells& cells = kind_cells_[request.index()];
+  cells.latency->Observe(static_cast<uint64_t>(total));
+  cells.count->Increment();
+  if (result.ok()) {
+    cells.result_bytes->Add(cache::ApproxResultBytes(*result));
+  }
+  for (size_t i = 0; i < obs::kStageCount; ++i) {
+    const int64_t us = ctx->span_us(static_cast<obs::Stage>(i));
+    if (us > 0) stage_hists_[i]->Observe(static_cast<uint64_t>(us));
+  }
+  if (options_.slow_query_micros > 0 &&
+      total >= static_cast<int64_t>(options_.slow_query_micros)) {
+    slow_queries_->Increment();
+    std::string line = StrFormat(
+        "slow_query total_us=%lld kind=%s params=%s status=%s spans=%s",
+        static_cast<long long>(total),
+        std::string(QueryKindName(request)).c_str(),
+        EncodeQueryParams(tree_name, request).c_str(),
+        result.ok() ? "ok" : result.status().ToString().c_str(),
+        ctx->Breakdown().c_str());
+    if (options_.slow_query_sink) {
+      options_.slow_query_sink(line);
+    } else {
+      CRIMSON_LOG(kWarning) << line;
+    }
+  }
+  // A connection-thread context outlives this query (pipelined runs
+  // reuse it); start the next one clean.
+  ctx->Reset();
+}
+
 Result<QueryResult> Crimson::Execute(TreeRef tree,
                                      const QueryRequest& request) {
+  // Installs a fresh trace context, or adopts the connection thread's
+  // (which already carries the admission wait). FinishQueryTrace
+  // publishes and resets it on every result path below.
+  obs::ScopedTrace trace;
   CRIMSON_ASSIGN_OR_RETURN(std::shared_ptr<const TreeHandle> handle,
                            HandleFor(tree));
   // The ticket is consumed unconditionally -- even on a cache hit --
@@ -563,12 +630,18 @@ Result<QueryResult> Crimson::Execute(TreeRef tree,
   std::string key;
   if (cacheable) {
     key = cache::QueryCache::KeyFor(handle->info.name, request);
-    if (std::optional<QueryResult> hit =
-            query_cache_->Lookup(handle->info.name, key)) {
+    std::optional<QueryResult> hit;
+    {
+      obs::SpanTimer span(obs::Stage::kCacheLookup);
+      hit = query_cache_->Lookup(handle->info.name, key);
+    }
+    if (hit) {
       RecordQuery(QueryKindName(request),
                   EncodeQueryParams(handle->info.name, request),
                   SummarizeResult(*hit));
-      return QueryResult(std::move(*hit));
+      Result<QueryResult> result(std::move(*hit));
+      FinishQueryTrace(trace.context(), handle->info.name, request, result);
+      return result;
     }
   } else if (query_cache_->enabled()) {
     query_cache_->NoteBypass();
@@ -579,7 +652,10 @@ Result<QueryResult> Crimson::Execute(TreeRef tree,
   if (cacheable) {
     stamp = query_cache_->Stamp(handle->info.name, db_->committed_epoch());
   }
-  Result<QueryResult> result = ExecuteOnHandle(*handle, request, ticket);
+  Result<QueryResult> result = [&] {
+    obs::SpanTimer span(obs::Stage::kExecute);
+    return ExecuteOnHandle(*handle, request, ticket);
+  }();
   if (result.ok()) {
     if (cacheable) {
       query_cache_->Insert(handle->info.name, key, stamp, *result);
@@ -588,6 +664,7 @@ Result<QueryResult> Crimson::Execute(TreeRef tree,
                 EncodeQueryParams(handle->info.name, request),
                 SummarizeResult(*result));
   }
+  FinishQueryTrace(trace.context(), handle->info.name, request, result);
   return result;
 }
 
@@ -610,24 +687,44 @@ std::vector<Result<QueryResult>> Crimson::ExecuteBatch(
   const bool cache_on = query_cache_->enabled();
   pool_->ParallelFor(n, [&](size_t i) {
     const QueryRequest& request = requests[i];
+    // Workers install their own context; the calling thread (which
+    // ParallelFor includes) keeps its pre-installed one, so a server's
+    // admission wait lands on the query that thread runs first.
+    obs::ScopedTrace trace;
+    auto finish = [&] {
+      FinishQueryTrace(trace.context(), handle.info.name, request, results[i]);
+    };
     if (cache_on && cache::QueryCache::IsCacheable(request)) {
       const std::string key =
           cache::QueryCache::KeyFor(handle.info.name, request);
-      if (std::optional<QueryResult> hit =
-              query_cache_->Lookup(handle.info.name, key)) {
+      std::optional<QueryResult> hit;
+      {
+        obs::SpanTimer span(obs::Stage::kCacheLookup);
+        hit = query_cache_->Lookup(handle.info.name, key);
+      }
+      if (hit) {
         results[i] = QueryResult(std::move(*hit));
+        finish();
         return;
       }
       cache::ReadStamp stamp =
           query_cache_->Stamp(handle.info.name, db_->committed_epoch());
-      results[i] = ExecuteOnHandle(handle, request, base + i);
+      {
+        obs::SpanTimer span(obs::Stage::kExecute);
+        results[i] = ExecuteOnHandle(handle, request, base + i);
+      }
       if (results[i].ok()) {
         query_cache_->Insert(handle.info.name, key, stamp, *results[i]);
       }
+      finish();
       return;
     }
     if (cache_on) query_cache_->NoteBypass();
-    results[i] = ExecuteOnHandle(handle, request, base + i);
+    {
+      obs::SpanTimer span(obs::Stage::kExecute);
+      results[i] = ExecuteOnHandle(handle, request, base + i);
+    }
+    finish();
   });
   // History is written after the barrier, in request order, keeping the
   // Query Repository deterministic under concurrency.
@@ -728,6 +825,7 @@ Result<std::shared_ptr<const Crimson::EvalState>> Crimson::EvalStateFor(
     // and the insertion keeps one state. Only an index-only row count
     // touches storage here -- sequence bytes load lazily through the
     // cracked store as samples touch them.
+    obs::SpanTimer build_span(obs::Stage::kEvalBuild);
     {
       StorageReadGuard read = AcquireStorageRead();
       CRIMSON_ASSIGN_OR_RETURN(
@@ -773,7 +871,7 @@ Result<std::shared_ptr<const Crimson::EvalState>> Crimson::EvalStateFor(
     auto state = std::make_shared<EvalState>(
         handle, std::make_unique<cache::CrackedSequenceStore>(
                     std::move(domain), options_.crack_min_piece,
-                    std::move(fetch)));
+                    std::move(fetch), metrics_.get()));
     CRIMSON_RETURN_IF_ERROR(state->manager.Init());
     std::lock_guard<std::mutex> lock(eval_mu_);
     if (eval_generation_[tree.id()] != generation) {
@@ -1193,6 +1291,24 @@ cache::CacheStats Crimson::GetCacheStats() const {
     stats.crack_piece_hits += s.piece_hits;
   }
   return stats;
+}
+
+obs::MetricsSnapshot Crimson::SnapshotMetrics() const {
+  // Refresh the derived gauges first: live cracked-store aggregates
+  // (a walk over the current evaluation states -- unlike the crack.*
+  // counters, which are cumulative across state drops) and the MVCC
+  // chain levels. Counters need no refresh; they are written at the
+  // event sites.
+  cache::CacheStats cs = GetCacheStats();
+  metrics_->GetGauge("crack.stores")->Set(cs.crack_stores);
+  metrics_->GetGauge("crack.pieces")->Set(cs.crack_pieces);
+  metrics_->GetGauge("crack.loaded_pieces")->Set(cs.crack_loaded_pieces);
+  metrics_->GetGauge("crack.sequences_total")->Set(cs.crack_sequences_total);
+  PageVersions::Stats ps = db_->page_version_stats();
+  metrics_->GetGauge("pages.live_versions")->Set(ps.live_versions);
+  metrics_->GetGauge("pages.active_snapshots")->Set(ps.active_snapshots);
+  metrics_->GetGauge("pages.committed_epoch")->Set(ps.committed_epoch);
+  return metrics_->Snapshot();
 }
 
 }  // namespace crimson

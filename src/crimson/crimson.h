@@ -31,6 +31,7 @@
 #define CRIMSON_CRIMSON_CRIMSON_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -50,6 +51,8 @@
 #include "crimson/query_request.h"
 #include "crimson/repositories.h"
 #include "crimson/tree_ref.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/clade.h"
 #include "query/pattern_match.h"
 #include "storage/database.h"
@@ -117,6 +120,17 @@ struct CrimsonOptions {
   /// this many leaf ordinals, refining the piece map with the observed
   /// sample mix instead of materializing every sequence up front.
   size_t crack_min_piece = 16;
+  /// Slow-query threshold in microseconds; 0 (the default) disables
+  /// the slow-query log. A query whose wall time meets the threshold
+  /// emits one structured line -- "slow_query total_us=... kind=...
+  /// params=<canonical request encoding> status=... spans=<stage
+  /// breakdown>" -- through slow_query_sink, and bumps the query.slow
+  /// counter either way the sink is set.
+  uint64_t slow_query_micros = 0;
+  /// Destination for slow-query lines; defaults to the process log at
+  /// warning level. Called inline on the query thread: keep it cheap,
+  /// and do not call back into the session from it.
+  std::function<void(const std::string&)> slow_query_sink;
 };
 
 /// Load result: the DataLoader's report plus the session handle for
@@ -298,6 +312,17 @@ class Crimson {
   /// of every live evaluation state (see cache::CacheStats).
   cache::CacheStats GetCacheStats() const;
 
+  /// The session's metrics registry. Every layer under this session --
+  /// storage engine, result cache, cracked stores, query dispatch, and
+  /// any server front door -- writes into it. Valid for the session's
+  /// lifetime; callers may resolve and cache cells.
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// Point-in-time copy of every session metric, with the derived
+  /// gauges (live cracked-store aggregates, MVCC chain levels)
+  /// refreshed first. This is what the wire stats frame carries.
+  obs::MetricsSnapshot SnapshotMetrics() const;
+
   Database* database() { return db_.get(); }
   /// The current species repository. The pointer stays valid until the
   /// next repository reopen (a failed durable write), so callers
@@ -357,6 +382,13 @@ class Crimson {
       const TreeHandle& handle, const std::vector<std::string>& species);
   void RecordQuery(std::string_view kind, const std::string& params,
                    const std::string& summary);
+  /// Publishes one finished query's trace: per-kind latency/count/
+  /// result-bytes, per-stage histograms, and -- past the slow-query
+  /// threshold -- the structured slow line. Resets `ctx` afterwards so
+  /// a reused (connection-thread) context starts the next query clean.
+  void FinishQueryTrace(obs::TraceContext* ctx, const std::string& tree_name,
+                        const QueryRequest& request,
+                        const Result<QueryResult>& result) const;
   Result<SessionLoadReport> FinishLoad(Result<LoadReport> report);
   /// One generation of repository handles over the database. Swapped
   /// wholesale (under repos_mu_) when a failed durable write forces a
@@ -383,6 +415,9 @@ class Crimson {
     std::shared_ptr<const RepoSet> repos;
     std::unique_lock<std::shared_mutex> exclusive;
     Database::ReadTxn epoch;
+    /// Attributes the section's lifetime to the active query trace
+    /// (no-op off the query path).
+    obs::SpanTimer span{obs::Stage::kStorageRead};
   };
   StorageReadGuard AcquireStorageRead() const;
   /// Runs fn (one logical repository write) inside a Txn; db_mu_ must
@@ -411,9 +446,27 @@ class Crimson {
   /// transaction (no-op when empty). Takes db_mu_ exclusive.
   Status FlushHistory();
 
+  /// The session metrics registry. Declared first: every other member
+  /// (database, cache, eval states) may hold resolved cell pointers,
+  /// so the registry must be destroyed last.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+
   CrimsonOptions options_;
   std::unique_ptr<Database> db_;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Query-dispatch cells, resolved once at Open (indexed by the
+  /// QueryRequest variant alternative; see kQueryKindCount).
+  static constexpr size_t kQueryKindCount =
+      std::variant_size_v<QueryRequest>;
+  struct KindCells {
+    obs::Histogram* latency = nullptr;   // query.<kind>.latency_us
+    obs::Counter* count = nullptr;       // query.<kind>.count
+    obs::Counter* result_bytes = nullptr;  // query.<kind>.result_bytes
+  };
+  KindCells kind_cells_[kQueryKindCount];
+  obs::Histogram* stage_hists_[obs::kStageCount] = {};  // query.stage.<s>_us
+  obs::Counter* slow_queries_ = nullptr;                // query.slow
 
   /// Guards the repos_ pointer swap/copy only (reopen vs. readers).
   mutable std::mutex repos_mu_;

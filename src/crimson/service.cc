@@ -67,6 +67,7 @@ SessionStats SessionService::Stats() const {
   SessionStats stats;
   stats.cache = session_->GetCacheStats();
   stats.pages = session_->database()->page_version_stats();
+  stats.metrics = session_->SnapshotMetrics();
   return stats;
 }
 

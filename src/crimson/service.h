@@ -25,10 +25,13 @@ namespace crimson {
 
 /// Point-in-time server-side counters: the session's adaptive cache
 /// (result cache + cracked stores, shared across every connection)
-/// next to the storage engine's MVCC side table.
+/// and the storage engine's MVCC side table, plus the full metrics
+/// snapshot (every layer: query, storage, cache, net) the kStats wire
+/// frame carries alongside the legacy structs.
 struct SessionStats {
   cache::CacheStats cache;
   PageVersions::Stats pages;
+  obs::MetricsSnapshot metrics;
 };
 
 /// Thread-safe (the underlying session is); one instance serves every
@@ -80,6 +83,11 @@ class SessionService {
 
   /// Durable checkpoint; the server's graceful-drain hook.
   Status Checkpoint();
+
+  /// The session's metrics registry; the server front door resolves
+  /// its net.* cells here so remote telemetry lands in the same
+  /// registry as the layers below it.
+  obs::MetricsRegistry* metrics() const { return session_->metrics(); }
 
  private:
   Crimson* session_;

@@ -261,6 +261,11 @@ Result<SessionStats> CrimsonClient::ServerStats() {
   return DecodeSessionStats(&in);
 }
 
+Result<obs::MetricsSnapshot> CrimsonClient::ServerMetrics() {
+  CRIMSON_ASSIGN_OR_RETURN(SessionStats stats, ServerStats());
+  return std::move(stats.metrics);
+}
+
 Status CrimsonClient::Checkpoint() {
   Result<Frame> frame =
       RoundTrip(MessageType::kCheckpoint, Slice(), MessageType::kCheckpointOk);

@@ -117,6 +117,11 @@ class CrimsonClient {
   /// The server's cache + MVCC counters (a point-in-time snapshot).
   [[nodiscard]] Result<SessionStats> ServerStats();
 
+  /// The server's full metrics snapshot -- every layer (query kinds,
+  /// storage, cache, net) with latency histograms. Same wire exchange
+  /// as ServerStats; this accessor just returns the registry view.
+  [[nodiscard]] Result<obs::MetricsSnapshot> ServerMetrics();
+
   /// Asks the server for a durable checkpoint.
   Status Checkpoint();
 

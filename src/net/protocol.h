@@ -156,8 +156,15 @@ Result<std::vector<QueryRepository::Entry>> DecodeHistoryEntries(Slice* in);
 
 /// kStatsOk payload: a self-describing counter dictionary (varint
 /// count, then per counter a length-prefixed dotted key and a varint
-/// value). Decoders ignore unknown keys and default absent ones to 0,
-/// so either side can gain counters without a version bump.
+/// value) followed by a histogram section (varint count, then per
+/// histogram a length-prefixed key, varint bucket count, (bound,
+/// count) varint pairs -- the last bound is UINT64_MAX, the overflow
+/// bucket -- and varint total count and sum). Decoders retain every
+/// counter key in SessionStats::metrics (unknown names included, so a
+/// decoded snapshot re-encodes byte-identically), project the legacy
+/// fixed keys into the cache/pages structs (absent keys stay 0), and
+/// treat a missing histogram section as empty -- so either side can
+/// gain counters or histograms without a version bump.
 void EncodeSessionStats(std::string* dst, const SessionStats& stats);
 Result<SessionStats> DecodeSessionStats(Slice* in);
 

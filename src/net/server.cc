@@ -5,6 +5,8 @@
 
 #include "common/coding.h"
 #include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/trace.h"
 
 namespace crimson {
 namespace net {
@@ -18,7 +20,34 @@ struct CrimsonServer::Connection {
 };
 
 CrimsonServer::CrimsonServer(SessionService* service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : service_(service), options_(std::move(options)) {
+  // The server writes into the session's registry, so one kStats frame
+  // (or one crimson_stats dump) shows every layer of this process.
+  obs::MetricsRegistry* reg = service_->metrics();
+  connections_accepted_ = reg->GetCounter("net.connections_accepted");
+  connections_rejected_ = reg->GetCounter("net.connections_rejected");
+  frames_received_ = reg->GetCounter("net.frames_received");
+  queries_executed_ = reg->GetCounter("net.queries_executed");
+  batches_executed_ = reg->GetCounter("net.batches_executed");
+  queries_rejected_ = reg->GetCounter("net.queries_rejected");
+  protocol_errors_ = reg->GetCounter("net.protocol_errors");
+  retry_afters_ = reg->GetCounter("net.retry_afters_sent");
+  admission_wait_us_ = reg->GetHistogram("net.admission_wait_us");
+  query_run_us_ = reg->GetHistogram("net.op.query_run_us");
+  static constexpr const char* kOpNames[8] = {
+      "ping",    "open_tree",  "store_tree", "list_trees",
+      nullptr /* query: query_run_us_ */, "history", "checkpoint", "stats"};
+  for (size_t i = 0; i < 8; ++i) {
+    op_us_[i] = kOpNames[i] == nullptr
+                    ? nullptr
+                    : reg->GetHistogram(StrFormat("net.op.%s_us", kOpNames[i]));
+  }
+}
+
+obs::Histogram* CrimsonServer::OpHistogram(MessageType type) const {
+  const size_t idx = static_cast<size_t>(type) - 1;
+  return idx < 8 ? op_us_[idx] : nullptr;
+}
 
 Result<std::unique_ptr<CrimsonServer>> CrimsonServer::Start(
     SessionService* service, const ServerOptions& options) {
@@ -59,13 +88,14 @@ Status CrimsonServer::Shutdown() {
 
 ServerStats CrimsonServer::stats() const {
   ServerStats s;
-  s.connections_accepted = connections_accepted_.load();
-  s.connections_rejected = connections_rejected_.load();
-  s.frames_received = frames_received_.load();
-  s.queries_executed = queries_executed_.load();
-  s.batches_executed = batches_executed_.load();
-  s.queries_rejected_unavailable = queries_rejected_.load();
-  s.protocol_errors = protocol_errors_.load();
+  s.connections_accepted = connections_accepted_->value();
+  s.connections_rejected = connections_rejected_->value();
+  s.frames_received = frames_received_->value();
+  s.queries_executed = queries_executed_->value();
+  s.batches_executed = batches_executed_->value();
+  s.queries_rejected_unavailable = queries_rejected_->value();
+  s.protocol_errors = protocol_errors_->value();
+  s.retry_afters_sent = retry_afters_->value();
   return s;
 }
 
@@ -110,7 +140,8 @@ void CrimsonServer::AcceptLoop() {
     }
     if (active >= options_.max_connections) {
       // Turn the connection away before allocating any serving state.
-      connections_rejected_.fetch_add(1);
+      connections_rejected_->Increment();
+      retry_afters_->Increment();
       std::string out;
       AppendError(&out,
                   Status::Unavailable(
@@ -119,7 +150,7 @@ void CrimsonServer::AcceptLoop() {
       SendAll(*accepted, out.data(), out.size());
       continue;  // Socket closes as `accepted` goes out of scope.
     }
-    connections_accepted_.fetch_add(1);
+    connections_accepted_->Increment();
     auto conn = std::make_unique<Connection>();
     conn->socket = std::move(*accepted);
     // Bounded blocking reads so serving threads notice Shutdown even
@@ -173,7 +204,7 @@ void CrimsonServer::ServeConnection(Connection* conn) {
       break;
     }
     buffer.erase(0, buffer.size() - in.size());
-    frames_received_.fetch_add(frames.size());
+    frames_received_->Add(frames.size());
 
     std::string out;
     size_t i = 0;
@@ -188,7 +219,7 @@ void CrimsonServer::ServeConnection(Connection* conn) {
     if (bad_stream) {
       // Framing has lost sync; a typed error is the last thing this
       // connection can meaningfully carry.
-      protocol_errors_.fetch_add(1);
+      protocol_errors_->Increment();
       AppendError(&out, Status::Corruption(StrFormat(
                             "protocol error: %s", frame_error.c_str())));
       closing = true;
@@ -217,7 +248,7 @@ size_t CrimsonServer::DispatchQueries(const std::vector<Frame>& frames,
         ExecuteQueryRun(tree_name, run, out);
         run.clear();
       }
-      protocol_errors_.fetch_add(1);
+      protocol_errors_->Increment();
       AppendError(out, env.ok() ? Status::InvalidArgument(
                                       "trailing bytes after query payload")
                                 : env.status());
@@ -240,18 +271,31 @@ void CrimsonServer::ExecuteQueryRun(const std::string& tree_name,
                                     const std::vector<QueryRequest>& run,
                                     std::string* out) {
   const size_t n = run.size();
+  WallTimer run_timer;
+  // Installs this connection thread's trace context before admission,
+  // so the slot wait below is attributed to the query this thread ends
+  // up running (ExecuteBatch's pool includes the caller); the session
+  // resets the context per query.
+  obs::ScopedTrace trace;
   // Admission control: bound waiting + executing queries globally.
   size_t admitted = admitted_.fetch_add(n);
   if (admitted + n > options_.max_inflight_queries) {
     admitted_.fetch_sub(n);
-    queries_rejected_.fetch_add(n);
+    queries_rejected_->Add(n);
+    retry_afters_->Add(n);
     Status reject = Status::Unavailable(
         StrFormat("server saturated: %zu queries in flight", admitted),
         options_.retry_after_ms);
     for (size_t k = 0; k < n; ++k) AppendError(out, reject);
     return;
   }
-  AcquireExecSlot();
+  {
+    obs::SpanTimer wait_span(obs::Stage::kAdmissionWait);
+    WallTimer wait_timer;
+    AcquireExecSlot();
+    admission_wait_us_->Observe(
+        static_cast<uint64_t>(wait_timer.ElapsedMicros()));
+  }
   if (options_.inject_query_delay_us > 0) {
     // Deterministic stand-in for query compute (bench/test only).
     std::this_thread::sleep_for(std::chrono::microseconds(
@@ -262,8 +306,9 @@ void CrimsonServer::ExecuteQueryRun(const std::string& tree_name,
       tree_name, Span<const QueryRequest>(run.data(), run.size()));
   ReleaseExecSlot();
   admitted_.fetch_sub(n);
-  batches_executed_.fetch_add(1);
-  queries_executed_.fetch_add(n);
+  batches_executed_->Increment();
+  queries_executed_->Add(n);
+  query_run_us_->Observe(static_cast<uint64_t>(run_timer.ElapsedMicros()));
   for (const Result<QueryResult>& r : results) {
     if (!r.ok()) {
       AppendError(out, r.status());
@@ -276,6 +321,17 @@ void CrimsonServer::ExecuteQueryRun(const std::string& tree_name,
 }
 
 void CrimsonServer::HandleFrame(const Frame& frame, std::string* out) {
+  // Per-op wire latency (decode + service call + response encode);
+  // observed on every exit path of the switch below.
+  struct OpScope {
+    obs::Histogram* hist;
+    WallTimer timer;
+    ~OpScope() {
+      if (hist != nullptr) {
+        hist->Observe(static_cast<uint64_t>(timer.ElapsedMicros()));
+      }
+    }
+  } op_scope{OpHistogram(frame.type), {}};
   Slice in(frame.payload);
   switch (frame.type) {
     case MessageType::kPing: {
@@ -285,7 +341,7 @@ void CrimsonServer::HandleFrame(const Frame& frame, std::string* out) {
     case MessageType::kOpenTree: {
       Slice name;
       if (!GetLengthPrefixedSlice(&in, &name) || !in.empty()) {
-        protocol_errors_.fetch_add(1);
+        protocol_errors_->Increment();
         AppendError(out,
                     Status::InvalidArgument("malformed open-tree payload"));
         return;
@@ -303,7 +359,7 @@ void CrimsonServer::HandleFrame(const Frame& frame, std::string* out) {
     case MessageType::kStoreTree: {
       Result<StoreTreeRequest> req = DecodeStoreTreeRequest(&in);
       if (!req.ok() || !in.empty()) {
-        protocol_errors_.fetch_add(1);
+        protocol_errors_->Increment();
         AppendError(out, req.ok() ? Status::InvalidArgument(
                                         "trailing bytes after store payload")
                                   : req.status());
@@ -336,7 +392,7 @@ void CrimsonServer::HandleFrame(const Frame& frame, std::string* out) {
     case MessageType::kHistory: {
       uint64_t limit = 0;
       if (!GetVarint64(&in, &limit) || !in.empty()) {
-        protocol_errors_.fetch_add(1);
+        protocol_errors_->Increment();
         AppendError(out,
                     Status::InvalidArgument("malformed history payload"));
         return;
@@ -354,7 +410,7 @@ void CrimsonServer::HandleFrame(const Frame& frame, std::string* out) {
     }
     case MessageType::kStats: {
       if (!in.empty()) {
-        protocol_errors_.fetch_add(1);
+        protocol_errors_->Increment();
         AppendError(out, Status::InvalidArgument("malformed stats payload"));
         return;
       }
@@ -373,7 +429,7 @@ void CrimsonServer::HandleFrame(const Frame& frame, std::string* out) {
       return;
     }
     default: {
-      protocol_errors_.fetch_add(1);
+      protocol_errors_->Increment();
       AppendError(out, Status::Unimplemented(StrFormat(
                            "unexpected message type %u",
                            static_cast<unsigned>(frame.type))));

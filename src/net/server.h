@@ -55,6 +55,7 @@
 #include "crimson/service.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 
 namespace crimson {
 namespace net {
@@ -90,6 +91,9 @@ struct ServerOptions {
 };
 
 /// Monotonic counters, readable at any time (values are snapshots).
+/// Backed by the session registry's net.* cells (one source of truth:
+/// the same values ride the kStats wire frame), projected into this
+/// struct for existing callers.
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_rejected = 0;
@@ -98,6 +102,7 @@ struct ServerStats {
   uint64_t batches_executed = 0;
   uint64_t queries_rejected_unavailable = 0;
   uint64_t protocol_errors = 0;
+  uint64_t retry_afters_sent = 0;
 };
 
 class CrimsonServer {
@@ -165,14 +170,24 @@ class CrimsonServer {
   std::condition_variable exec_cv_;
   size_t exec_in_use_ = 0;
 
-  // Stats (relaxed counters; stats() snapshots them).
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> connections_rejected_{0};
-  std::atomic<uint64_t> frames_received_{0};
-  std::atomic<uint64_t> queries_executed_{0};
-  std::atomic<uint64_t> batches_executed_{0};
-  std::atomic<uint64_t> queries_rejected_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
+  /// The per-op kStats.. kCheckpoint latency histogram, or null for
+  /// types without one (queries go through query_run_us_ instead).
+  obs::Histogram* OpHistogram(MessageType type) const;
+
+  // Stats: net.* cells in the session registry, resolved once at
+  // construction (relaxed atomics; stats() snapshots them and the
+  // kStats frame carries them).
+  obs::Counter* connections_accepted_;
+  obs::Counter* connections_rejected_;
+  obs::Counter* frames_received_;
+  obs::Counter* queries_executed_;
+  obs::Counter* batches_executed_;
+  obs::Counter* queries_rejected_;
+  obs::Counter* protocol_errors_;
+  obs::Counter* retry_afters_;
+  obs::Histogram* admission_wait_us_;  // net.admission_wait_us
+  obs::Histogram* query_run_us_;       // net.op.query_run_us (per batch)
+  obs::Histogram* op_us_[8];           // net.op.<op>_us, non-query ops
 };
 
 }  // namespace net

@@ -1,0 +1,69 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace crimson {
+namespace obs {
+
+namespace {
+thread_local TraceContext* g_current = nullptr;
+}  // namespace
+
+std::string_view StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kAdmissionWait:
+      return "admission_wait";
+    case Stage::kCacheLookup:
+      return "cache_lookup";
+    case Stage::kEvalBuild:
+      return "eval_build";
+    case Stage::kStorageRead:
+      return "storage_read";
+    case Stage::kLabelDecode:
+      return "label_decode";
+    case Stage::kHistoryEnqueue:
+      return "history_enqueue";
+    case Stage::kExecute:
+      return "execute";
+  }
+  return "unknown";
+}
+
+std::string TraceContext::Breakdown() const {
+  std::string out;
+  for (size_t i = 0; i < kStageCount; ++i) {
+    if (span_us_[i] == 0) continue;
+    if (!out.empty()) out.push_back(' ');
+    out.append(StageName(static_cast<Stage>(i)));
+    char buf[32];
+    snprintf(buf, sizeof(buf), "=%lldus",
+             static_cast<long long>(span_us_[i]));
+    out.append(buf);
+  }
+  return out;
+}
+
+void TraceContext::Reset() {
+  for (size_t i = 0; i < kStageCount; ++i) span_us_[i] = 0;
+  timer_.Restart();
+}
+
+TraceContext* TraceContext::Current() { return g_current; }
+
+ScopedTrace::ScopedTrace() {
+  if (g_current == nullptr) {
+    g_current = &local_;
+    ctx_ = &local_;
+    owner_ = true;
+  } else {
+    ctx_ = g_current;
+    owner_ = false;
+  }
+}
+
+ScopedTrace::~ScopedTrace() {
+  if (owner_) g_current = nullptr;
+}
+
+}  // namespace obs
+}  // namespace crimson

@@ -40,9 +40,15 @@ void PageGuard::Release() {
 }
 
 BufferPool::BufferPool(Pager* pager, size_t capacity, WalContext* wal_ctx,
-                       PageVersions* versions)
+                       PageVersions* versions, obs::MetricsRegistry* metrics)
     : pager_(pager), wal_ctx_(wal_ctx), versions_(versions) {
   assert(capacity >= 8 && "buffer pool needs at least 8 frames");
+  if (metrics != nullptr) {
+    hits_ctr_ = metrics->GetCounter("storage.pool.hits");
+    misses_ctr_ = metrics->GetCounter("storage.pool.misses");
+    evictions_ctr_ = metrics->GetCounter("storage.pool.evictions");
+    writebacks_ctr_ = metrics->GetCounter("storage.pool.dirty_writebacks");
+  }
   frames_.resize(capacity);
   free_frames_.reserve(capacity);
   for (size_t i = 0; i < capacity; ++i) {
@@ -130,6 +136,7 @@ Status BufferPool::WriteBack(Frame& frame) {
   CRIMSON_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.data()));
   frame.dirty = false;
   ++stats_.dirty_writebacks;
+  if (writebacks_ctr_) writebacks_ctr_->Increment();
   return Status::OK();
 }
 
@@ -152,6 +159,7 @@ Result<size_t> BufferPool::GetVictimFrameLocked() {
     page_table_.erase(f.page_id);
     f.valid = false;
     ++stats_.evictions;
+    if (evictions_ctr_) evictions_ctr_->Increment();
     return idx;
   }
   return Status::ResourceExhausted(
@@ -220,6 +228,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id, PageIntent intent) {
     if (it != page_table_.end()) {
       size_t idx = it->second;
       ++stats_.hits;
+      if (hits_ctr_) hits_ctr_->Increment();
       PageGuard guard = PinAndLatch(std::move(lock), idx, id, intent);
       // A pinned frame can only go invalid if its installer's disk
       // read failed while this thread waited on the latch (both reads
@@ -244,6 +253,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id, PageIntent intent) {
       return guard;
     }
     ++stats_.misses;
+    if (misses_ctr_) misses_ctr_->Increment();
     CRIMSON_ASSIGN_OR_RETURN(size_t idx, InstallFrameLocked(id));
     Frame& f = frames_[idx];
     lock.unlock();
@@ -451,6 +461,7 @@ Status BufferPool::ForceTxnPages(const std::set<PageId>& pages) {
     CRIMSON_RETURN_IF_ERROR(pager_->WritePage(id, f.data.data()));
     f.dirty = false;
     ++stats_.dirty_writebacks;
+    if (writebacks_ctr_) writebacks_ctr_->Increment();
   }
   return Status::OK();
 }

@@ -40,6 +40,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/page_versions.h"
 #include "storage/pager.h"
@@ -165,9 +166,12 @@ class BufferPool {
   /// (durability off) and must outlive the pool. versions may be null
   /// (no snapshot reads: every Fetch sees live frames) and must
   /// outlive the pool; with it attached, the pool is the MVCC capture
-  /// and resolution point (see page_versions.h).
+  /// and resolution point (see page_versions.h). `metrics` (optional)
+  /// receives cumulative storage.pool.* counter mirrors -- stats() and
+  /// ResetStats() keep their per-pool semantics regardless.
   BufferPool(Pager* pager, size_t capacity, WalContext* wal_ctx = nullptr,
-             PageVersions* versions = nullptr);
+             PageVersions* versions = nullptr,
+             obs::MetricsRegistry* metrics = nullptr);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -281,6 +285,12 @@ class BufferPool {
   std::list<size_t> lru_;        // front = most recent
   std::vector<size_t> free_frames_;
   BufferPoolStats stats_;
+  /// Telemetry mirrors (null without a registry); bumped under mu_
+  /// alongside stats_, never reset.
+  obs::Counter* hits_ctr_ = nullptr;
+  obs::Counter* misses_ctr_ = nullptr;
+  obs::Counter* evictions_ctr_ = nullptr;
+  obs::Counter* writebacks_ctr_ = nullptr;
 };
 
 }  // namespace crimson

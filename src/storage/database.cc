@@ -78,9 +78,13 @@ Result<std::unique_ptr<Database>> Database::Build(
   }
   CRIMSON_ASSIGN_OR_RETURN(
       db->pager_, Pager::Open(std::move(file), /*deferred_header=*/want_wal));
+  if (options.metrics != nullptr) {
+    db->versions_.BindMetrics(options.metrics);
+    if (db->wal_) db->wal_->BindMetrics(options.metrics);
+  }
   db->pool_ = std::make_unique<BufferPool>(
       db->pager_.get(), options.buffer_pool_pages,
-      db->wal_ ? &db->wal_ctx_ : nullptr, &db->versions_);
+      db->wal_ ? &db->wal_ctx_ : nullptr, &db->versions_, options.metrics);
   if (db->pager_->catalog_root() == kInvalidPageId) {
     CRIMSON_ASSIGN_OR_RETURN(Txn txn, db->Begin());
     CRIMSON_ASSIGN_OR_RETURN(BTree catalog, BTree::Create(db->pool_.get()));

@@ -35,6 +35,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_versions.h"
@@ -67,6 +68,11 @@ struct DatabaseOptions {
   uint64_t wal_checkpoint_bytes = 16ull << 20;
   /// Filesystem hooks; tests substitute fault-injecting environments.
   StorageEnv env = PosixStorageEnv();
+  /// Observability registry the engine mirrors its cumulative counters
+  /// into (storage.pool.*, storage.wal.*, pages.*); null = not
+  /// mirrored. The struct accessors (stats(), page_version_stats())
+  /// stay per-instance either way. Must outlive the database.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Column spec used when creating a table.

@@ -56,6 +56,7 @@ void PageVersions::DropTxn() {
     while (!chain.empty() && chain.back().valid_through == capture_epoch_) {
       chain.pop_back();
       ++stats_.versions_dropped;
+      if (dropped_ctr_) dropped_ctr_->Increment();
     }
     if (chain.empty()) versions_.erase(it);
   }
@@ -75,6 +76,7 @@ void PageVersions::MaybeCapture(PageId id, const char* data) {
   assert(chain.empty() || chain.back().valid_through < capture_epoch_);
   chain.push_back(std::move(v));
   ++stats_.captured_pages;
+  if (captured_ctr_) captured_ctr_->Increment();
 }
 
 bool PageVersions::WouldCapture(PageId id) {
@@ -156,6 +158,7 @@ PageVersions::Resolution PageVersions::ResolveForThread(
     if (v.valid_through >= epoch) {
       *out = v.data;
       ++stats_.version_hits;
+      if (version_hits_ctr_) version_hits_ctr_->Increment();
       return Resolution::kUseVersion;
     }
   }
@@ -176,6 +179,7 @@ void PageVersions::GcLocked() {
     while (keep < chain.size() && chain[keep].valid_through < floor) ++keep;
     if (keep > 0) {
       stats_.versions_dropped += keep;
+      if (dropped_ctr_) dropped_ctr_->Add(keep);
       chain.erase(chain.begin(), chain.begin() + keep);
     }
     if (chain.empty()) {
@@ -184,6 +188,13 @@ void PageVersions::GcLocked() {
       ++it;
     }
   }
+}
+
+void PageVersions::BindMetrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  captured_ctr_ = registry->GetCounter("pages.captured_pages");
+  version_hits_ctr_ = registry->GetCounter("pages.version_hits");
+  dropped_ctr_ = registry->GetCounter("pages.versions_dropped");
 }
 
 PageVersions::Stats PageVersions::stats() const {

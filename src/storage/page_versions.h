@@ -52,6 +52,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/page.h"
 
 namespace crimson {
@@ -136,6 +137,12 @@ class PageVersions {
 
   Stats stats() const;
 
+  /// Mirrors the cumulative counters (pages.captured_pages,
+  /// pages.version_hits, pages.versions_dropped) into `registry` from
+  /// here on. Call before any capture/resolve traffic (Database::Build
+  /// does); stats() stays the per-instance source of truth either way.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
   /// The current committed epoch alone (cheaper than stats(), which
   /// walks the chains; hot-path callers stamping cache entries use
   /// this).
@@ -170,6 +177,11 @@ class PageVersions {
   std::set<PageId> txn_captured_;
 
   Stats stats_;
+  /// Telemetry mirrors (null until BindMetrics): bumped alongside the
+  /// stats_ members so a session registry sees the same counts.
+  obs::Counter* captured_ctr_ = nullptr;
+  obs::Counter* version_hits_ctr_ = nullptr;
+  obs::Counter* dropped_ctr_ = nullptr;
 };
 
 }  // namespace crimson

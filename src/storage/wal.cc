@@ -152,6 +152,8 @@ Result<Lsn> Wal::Append(WalRecordType type, const std::string& body) {
 
   ++appended_lsn_;
   size_bytes_ += record_size;
+  if (appends_ctr_) appends_ctr_->Increment();
+  if (bytes_ctr_) bytes_ctr_->Add(record_size);
   PutFixed32(&pending_, static_cast<uint32_t>(payload.size()));
   PutFixed32(&pending_, Crc32(payload.data(), payload.size()));
   pending_.append(payload);
@@ -275,6 +277,7 @@ Status Wal::Sync(Lsn lsn, bool group) {
     lock.unlock();
 
     Status sync_status = file->Sync();
+    if (fsyncs_ctr_) fsyncs_ctr_->Increment();
     if (sync_status.ok() && dir_sync) sync_status = env_.sync_dir(base_);
 
     lock.lock();
@@ -295,10 +298,22 @@ Status Wal::Sync(Lsn lsn, bool group) {
       pending_commits_.pop_front();
       ++covered;
     }
-    if (covered > 0) last_group_batch_ = covered;
+    if (covered > 0) {
+      last_group_batch_ = covered;
+      if (group_batch_hist_) group_batch_hist_->Observe(covered);
+    }
     cv_.notify_all();
     if (durable_lsn_ >= lsn) return Status::OK();
   }
+}
+
+void Wal::BindMetrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  appends_ctr_ = registry->GetCounter("storage.wal.appends");
+  bytes_ctr_ = registry->GetCounter("storage.wal.bytes");
+  fsyncs_ctr_ = registry->GetCounter("storage.wal.fsyncs");
+  group_batch_hist_ = registry->GetHistogram(
+      "storage.wal.group_batch", {1, 2, 4, 8, 16, 32, 64, 128, 256});
 }
 
 Wal::Mark Wal::mark() const {

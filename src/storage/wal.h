@@ -41,6 +41,7 @@
 #include "common/crc32.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/file.h"
 #include "storage/page.h"
 
@@ -138,6 +139,12 @@ class Wal {
   /// when a consumed WAL must not survive a non-durable open.
   static Status RemoveLog(const std::string& base, const StorageEnv& env);
 
+  /// Mirrors cumulative WAL telemetry (storage.wal.appends / .bytes /
+  /// .fsyncs counters plus the storage.wal.group_batch commit-coalesce
+  /// histogram) into `registry`. Call right after Open, before append
+  /// traffic (Database::Build does).
+  void BindMetrics(obs::MetricsRegistry* registry);
+
   Lsn appended_lsn() const;
   Lsn durable_lsn() const;
   uint64_t generation() const;
@@ -183,6 +190,11 @@ class Wal {
   std::deque<Lsn> pending_commits_;    // commit lsns not yet durable
   uint64_t last_group_batch_ = 0;      // commits covered by the last sync
   Status sticky_;                    // first unrecoverable error, if any
+  /// Telemetry mirrors (null until BindMetrics).
+  obs::Counter* appends_ctr_ = nullptr;
+  obs::Counter* bytes_ctr_ = nullptr;
+  obs::Counter* fsyncs_ctr_ = nullptr;
+  obs::Histogram* group_batch_hist_ = nullptr;
 };
 
 }  // namespace crimson

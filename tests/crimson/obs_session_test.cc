@@ -1,0 +1,197 @@
+// Session-level observability tests: SnapshotMetrics must be populated
+// by every instrumented layer (query kinds, stage spans, storage,
+// cache), the slow-query log must emit exactly the over-threshold
+// queries, and sessions must not share counters.
+
+#include "crimson/crimson.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace crimson {
+namespace {
+
+constexpr char kFig1Newick[] =
+    "(Syn:2.5,((Lla:1,Spy:1):0.5,Bha:1.5):0.75,Bsu:1.25)root;";
+
+std::unique_ptr<Crimson> OpenSession(CrimsonOptions opts = {}) {
+  opts.f = 3;
+  opts.seed = 42;
+  opts.batch_workers = 4;
+  auto c = Crimson::Open(opts);
+  EXPECT_TRUE(c.ok()) << c.status();
+  return std::move(c).value();
+}
+
+std::vector<QueryRequest> SixKinds() {
+  return {
+      QueryRequest(LcaQuery{"Lla", "Syn"}),
+      QueryRequest(ProjectQuery{{"Bha", "Lla", "Syn"}}),
+      QueryRequest(SampleUniformQuery{3}),
+      QueryRequest(SampleTimeQuery{4, 1.0}),
+      QueryRequest(CladeQuery{{"Lla", "Spy"}}),
+      QueryRequest(PatternQuery{"((Bha:1.5,Lla:1.5):0.75,Syn:2.5);", true}),
+  };
+}
+
+TEST(ObsSessionTest, SnapshotPopulatesEveryLayer) {
+  // On-disk + durable so the WAL layer is exercised too.
+  constexpr const char* kDbPath = "/tmp/crimson_obs_session.db";
+  std::remove(kDbPath);
+  CrimsonOptions opts;
+  opts.db_path = kDbPath;
+  opts.durability = Durability::kGroupCommit;
+  auto crimson = OpenSession(std::move(opts));
+  auto report = crimson->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(report.ok()) << report.status();
+  for (int round = 0; round < 2; ++round) {
+    for (const QueryRequest& request : SixKinds()) {
+      ASSERT_TRUE(crimson->Execute(report->ref, request).ok());
+    }
+  }
+  obs::MetricsSnapshot snap = crimson->SnapshotMetrics();
+
+  // Session layer: per-kind latency histograms and counts.
+  for (const char* kind : {"lca", "project", "sample_uniform", "sample_time",
+                           "clade", "pattern_match"}) {
+    std::string base = std::string("query.") + kind;
+    EXPECT_EQ(snap.counter(base + ".count"), 2u) << kind;
+    const obs::HistogramSnapshot* lat = snap.histogram(base + ".latency_us");
+    ASSERT_NE(lat, nullptr) << kind;
+    EXPECT_EQ(lat->count, 2u) << kind;
+  }
+  // Stage spans: the pure-compute span is recorded for every query.
+  const obs::HistogramSnapshot* execute_us =
+      snap.histogram("query.stage.execute_us");
+  ASSERT_NE(execute_us, nullptr);
+  EXPECT_GT(execute_us->count, 0u);
+
+  // Storage layer: loading + reading the tree touched the buffer pool
+  // and appended to the WAL.
+  EXPECT_GT(snap.counter("storage.pool.hits") +
+                snap.counter("storage.pool.misses"),
+            0u);
+  EXPECT_GT(snap.counter("storage.wal.appends"), 0u);
+
+  // Cache layer: cacheable kinds hit on the second round.
+  EXPECT_GT(snap.counter("cache.hits"), 0u);
+  EXPECT_GT(snap.counter("cache.misses"), 0u);
+
+  // MVCC + crack gauges are refreshed at snapshot time.
+  EXPECT_EQ(snap.counters.count("pages.committed_epoch"), 1u);
+  EXPECT_EQ(snap.counters.count("crack.stores"), 1u);
+}
+
+TEST(ObsSessionTest, ResultBytesGrowWithResults) {
+  auto crimson = OpenSession();
+  auto report = crimson->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(
+      crimson->Execute(report->ref, ProjectQuery{{"Bha", "Lla", "Syn"}}).ok());
+  EXPECT_GT(crimson->SnapshotMetrics().counter("query.project.result_bytes"),
+            0u);
+}
+
+TEST(ObsSessionTest, SlowQueryLogEmitsExactlyOverThresholdQueries) {
+  std::vector<std::string> lines;
+  std::mutex mu;
+  CrimsonOptions opts;
+  opts.query_cache_bytes = 0;  // no sub-microsecond cache hits
+  opts.slow_query_micros = 1;
+  opts.slow_query_sink = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  auto crimson = OpenSession(std::move(opts));
+  auto report = crimson->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(report.ok());
+  constexpr int kQueries = 10;
+  for (int i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(
+        crimson
+            ->Execute(report->ref,
+                      PatternQuery{"((Bha:1.5,Lla:1.5):0.75,Syn:2.5);", true})
+            .ok());
+  }
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kQueries));
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.rfind("slow_query total_us=", 0), 0u) << line;
+    EXPECT_NE(line.find(" kind=pattern_match"), std::string::npos) << line;
+    EXPECT_NE(line.find(" params=tree=fig1"), std::string::npos) << line;
+    EXPECT_NE(line.find(" status=ok"), std::string::npos) << line;
+    EXPECT_NE(line.find(" spans="), std::string::npos) << line;
+  }
+  EXPECT_EQ(crimson->SnapshotMetrics().counter("query.slow"),
+            static_cast<uint64_t>(kQueries));
+}
+
+TEST(ObsSessionTest, HugeThresholdLogsNothing) {
+  std::vector<std::string> lines;
+  std::mutex mu;
+  CrimsonOptions opts;
+  opts.slow_query_micros = 1ull << 40;
+  opts.slow_query_sink = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  auto crimson = OpenSession(std::move(opts));
+  auto report = crimson->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(report.ok());
+  for (const QueryRequest& request : SixKinds()) {
+    ASSERT_TRUE(crimson->Execute(report->ref, request).ok());
+  }
+  EXPECT_TRUE(lines.empty());
+  EXPECT_EQ(crimson->SnapshotMetrics().counter("query.slow"), 0u);
+}
+
+TEST(ObsSessionTest, SessionsDoNotShareCounters) {
+  auto a = OpenSession();
+  auto b = OpenSession();
+  auto ra = a->LoadNewick("fig1", kFig1Newick);
+  auto rb = b->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(a->Execute(ra->ref, LcaQuery{"Lla", "Syn"}).ok());
+  }
+  EXPECT_EQ(a->SnapshotMetrics().counter("query.lca.count"), 5u);
+  EXPECT_EQ(b->SnapshotMetrics().counter("query.lca.count"), 0u);
+}
+
+TEST(ObsSessionStress, BatchesRaceSnapshotsWithoutLosingCounts) {
+  auto crimson = OpenSession();
+  auto report = crimson->LoadNewick("fig1", kFig1Newick);
+  ASSERT_TRUE(report.ok());
+  constexpr int kRounds = 50;
+  std::atomic<bool> done{false};
+  std::thread snapshotter([&] {
+    while (!done.load()) {
+      (void)crimson->SnapshotMetrics();
+    }
+  });
+  std::vector<QueryRequest> requests = SixKinds();
+  for (int round = 0; round < kRounds; ++round) {
+    auto results = crimson->ExecuteBatch(report->ref, requests);
+    for (const auto& r : results) ASSERT_TRUE(r.ok());
+  }
+  done.store(true);
+  snapshotter.join();
+  obs::MetricsSnapshot snap = crimson->SnapshotMetrics();
+  uint64_t total = 0;
+  for (const char* kind : {"lca", "project", "sample_uniform", "sample_time",
+                           "clade", "pattern_match"}) {
+    total += snap.counter(std::string("query.") + kind + ".count");
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kRounds) * 6);
+}
+
+}  // namespace
+}  // namespace crimson

@@ -574,6 +574,110 @@ TEST(StatsCodecTest, UnknownKeysAreSkippedAbsentKeysDefaultToZero) {
   EXPECT_EQ(decoded->pages.committed_epoch, 0u);
 }
 
+TEST(StatsCodecTest, RegistryCountersAndHistogramsRoundTrip) {
+  SessionStats stats;
+  stats.metrics.counters["query.lca.count"] = 17;
+  stats.metrics.counters["storage.pool.hits"] = 900;
+  // The 24 legacy keys are encoded from the structs (struct wins over
+  // any same-named registry counter).
+  stats.cache.hits = 3;
+  stats.metrics.counters["cache.hits"] = 999;
+  obs::HistogramSnapshot h;
+  h.bounds = {10, 100, UINT64_MAX};
+  h.counts = {5, 2, 1};
+  h.count = 8;
+  h.sum = 1234;
+  stats.metrics.histograms["query.lca.latency_us"] = h;
+
+  std::string bytes;
+  EncodeSessionStats(&bytes, stats);
+  Slice in(bytes);
+  auto decoded = DecodeSessionStats(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(decoded->metrics.counter("query.lca.count"), 17u);
+  EXPECT_EQ(decoded->metrics.counter("storage.pool.hits"), 900u);
+  EXPECT_EQ(decoded->cache.hits, 3u);  // legacy struct filled from the dict
+  const obs::HistogramSnapshot* dh =
+      decoded->metrics.histogram("query.lca.latency_us");
+  ASSERT_NE(dh, nullptr);
+  EXPECT_EQ(dh->bounds, h.bounds);
+  EXPECT_EQ(dh->counts, h.counts);
+  EXPECT_EQ(dh->count, h.count);
+  EXPECT_EQ(dh->sum, h.sum);
+}
+
+TEST(StatsCodecTest, DecodedSnapshotReEncodesByteIdentically) {
+  SessionStats stats;
+  stats.cache.hits = 42;
+  stats.pages.committed_epoch = 9;
+  stats.metrics.counters["net.frames_received"] = 55;
+  stats.metrics.counters["zz.some_gauge"] = 1;
+  obs::HistogramSnapshot h;
+  h.bounds = {1, 2, 4, UINT64_MAX};
+  h.counts = {1, 0, 3, 0};
+  h.count = 4;
+  h.sum = 13;
+  stats.metrics.histograms["net.op.ping_us"] = h;
+  stats.metrics.histograms["query.stage.execute_us"] = h;
+
+  std::string bytes;
+  EncodeSessionStats(&bytes, stats);
+  Slice in(bytes);
+  auto decoded = DecodeSessionStats(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  std::string again;
+  EncodeSessionStats(&again, *decoded);
+  EXPECT_EQ(again, bytes);
+}
+
+TEST(StatsCodecTest, CounterOnlyPayloadStillDecodes) {
+  // A pre-histogram peer's payload ends right after the counter
+  // dictionary; the decoder must treat the missing histogram section
+  // as empty, not as truncation.
+  std::string bytes;
+  PutVarint64(&bytes, 1);
+  PutLengthPrefixedSlice(&bytes, Slice("cache.hits"));
+  PutVarint64(&bytes, 5);
+
+  Slice in(bytes);
+  auto decoded = DecodeSessionStats(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(decoded->cache.hits, 5u);
+  EXPECT_TRUE(decoded->metrics.histograms.empty());
+}
+
+TEST(StatsCodecTest, UnknownHistogramKeysAreCarriedNotFatal) {
+  // A "future server" histogram under an unknown name must decode
+  // cleanly (and survive a proxy re-encode) without touching any
+  // legacy struct field.
+  std::string bytes;
+  PutVarint64(&bytes, 0);  // no counters
+  PutVarint64(&bytes, 1);  // one histogram
+  PutLengthPrefixedSlice(&bytes, Slice("future.subsystem.latency_us"));
+  PutVarint64(&bytes, 2);  // two buckets
+  PutVarint64(&bytes, 10);
+  PutVarint64(&bytes, 3);
+  PutVarint64(&bytes, UINT64_MAX);
+  PutVarint64(&bytes, 1);
+  PutVarint64(&bytes, 4);   // count
+  PutVarint64(&bytes, 33);  // sum
+
+  Slice in(bytes);
+  auto decoded = DecodeSessionStats(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(decoded->cache.hits, 0u);
+  const obs::HistogramSnapshot* h =
+      decoded->metrics.histogram("future.subsystem.latency_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 4u);
+  EXPECT_EQ(h->sum, 33u);
+  ASSERT_EQ(h->bounds.size(), 2u);
+  EXPECT_EQ(h->bounds[1], UINT64_MAX);
+}
+
 TEST(StatsCodecTest, TruncatedStatsFailCleanly) {
   SessionStats stats;
   stats.cache.hits = 5;

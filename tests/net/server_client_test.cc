@@ -502,6 +502,55 @@ TEST(ServerClientTest, ServerStatsReflectCacheTraffic) {
             t.session->database()->page_version_stats().committed_epoch);
 }
 
+TEST(ServerClientTest, ServerMetricsRoundTripsEveryLayer) {
+  TestServer t = TestServer::Start(21);
+  auto client = t.Connect();
+  ASSERT_TRUE(client->StoreNewick("fig1", kFig1Newick).ok());
+  const QueryRequest lca{LcaQuery{"Lla", "Syn"}};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client->Execute("fig1", lca).ok());
+  }
+
+  auto metrics = client->ServerMetrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+
+  // Session layer: per-kind counters and latency histograms.
+  EXPECT_EQ(metrics->counter("query.lca.count"), 3u);
+  const obs::HistogramSnapshot* lat =
+      metrics->histogram("query.lca.latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 3u);
+  EXPECT_FALSE(lat->bounds.empty());
+  EXPECT_EQ(lat->bounds.back(), UINT64_MAX);
+
+  // Storage layer: the store + reads touched the buffer pool.
+  EXPECT_GT(metrics->counter("storage.pool.hits") +
+                metrics->counter("storage.pool.misses"),
+            0u);
+
+  // Cache layer: one miss, two hits, and the values match the legacy
+  // struct counters on the same wire response.
+  EXPECT_EQ(metrics->counter("cache.hits"), 2u);
+  EXPECT_EQ(metrics->counter("cache.misses"), 1u);
+  auto stats = client->ServerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(metrics->counter("cache.hits"), stats->cache.hits);
+
+  // Net layer: this connection's frames and queries, plus per-op
+  // latency histograms, all counted by the server front door.
+  EXPECT_GT(metrics->counter("net.frames_received"), 0u);
+  EXPECT_EQ(metrics->counter("net.queries_executed"), 3u);
+  EXPECT_EQ(metrics->counter("net.connections_accepted"), 1u);
+  const obs::HistogramSnapshot* query_run =
+      metrics->histogram("net.op.query_run_us");
+  ASSERT_NE(query_run, nullptr);
+  EXPECT_EQ(query_run->count, 3u);
+  const obs::HistogramSnapshot* admission =
+      metrics->histogram("net.admission_wait_us");
+  ASSERT_NE(admission, nullptr);
+  EXPECT_EQ(admission->count, 3u);
+}
+
 TEST(ServerClientTest, StatsRejectsTrailingPayloadBytes) {
   TestServer t = TestServer::Start(17);
   ClientOptions copts;

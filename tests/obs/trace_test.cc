@@ -1,0 +1,152 @@
+// Unit tests for per-query trace spans: thread-local context install /
+// adopt, SpanTimer no-op and move semantics, breakdown formatting, and
+// cross-thread isolation.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace crimson {
+namespace obs {
+namespace {
+
+void SpinFor(std::chrono::microseconds d) {
+  auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(TraceContextTest, NoContextByDefault) {
+  EXPECT_EQ(TraceContext::Current(), nullptr);
+}
+
+TEST(TraceContextTest, ScopedTraceInstallsAndUninstalls) {
+  {
+    ScopedTrace trace;
+    EXPECT_TRUE(trace.owner());
+    EXPECT_EQ(TraceContext::Current(), trace.context());
+  }
+  EXPECT_EQ(TraceContext::Current(), nullptr);
+}
+
+TEST(TraceContextTest, NestedScopeAdoptsTheOuterContext) {
+  ScopedTrace outer;
+  {
+    ScopedTrace inner;
+    EXPECT_FALSE(inner.owner());
+    EXPECT_EQ(inner.context(), outer.context());
+  }
+  // Inner scope exit must not tear down the outer context.
+  EXPECT_EQ(TraceContext::Current(), outer.context());
+}
+
+TEST(TraceContextTest, AddAccumulatesAndIgnoresNonPositive) {
+  ScopedTrace trace;
+  TraceContext* ctx = trace.context();
+  ctx->Add(Stage::kExecute, 10);
+  ctx->Add(Stage::kExecute, 5);
+  ctx->Add(Stage::kExecute, 0);
+  ctx->Add(Stage::kExecute, -7);
+  EXPECT_EQ(ctx->span_us(Stage::kExecute), 15);
+  EXPECT_EQ(ctx->span_us(Stage::kCacheLookup), 0);
+}
+
+TEST(TraceContextTest, BreakdownListsNonzeroSpansInStageOrder) {
+  ScopedTrace trace;
+  TraceContext* ctx = trace.context();
+  ctx->Add(Stage::kExecute, 340);
+  ctx->Add(Stage::kCacheLookup, 12);
+  EXPECT_EQ(ctx->Breakdown(), "cache_lookup=12us execute=340us");
+}
+
+TEST(TraceContextTest, ResetClearsSpansAndRestartsClock) {
+  ScopedTrace trace;
+  TraceContext* ctx = trace.context();
+  ctx->Add(Stage::kEvalBuild, 99);
+  SpinFor(std::chrono::microseconds(5000));
+  EXPECT_GE(ctx->total_us(), 4000);
+  ctx->Reset();
+  EXPECT_EQ(ctx->span_us(Stage::kEvalBuild), 0);
+  EXPECT_LT(ctx->total_us(), 4000);
+}
+
+TEST(SpanTimerTest, NoOpWithoutContext) {
+  ASSERT_EQ(TraceContext::Current(), nullptr);
+  // Must not crash or touch anything.
+  SpanTimer timer(Stage::kStorageRead);
+}
+
+TEST(SpanTimerTest, RecordsElapsedIntoTheActiveContext) {
+  ScopedTrace trace;
+  {
+    SpanTimer timer(Stage::kExecute);
+    SpinFor(std::chrono::microseconds(300));
+  }
+  EXPECT_GE(trace.context()->span_us(Stage::kExecute), 250);
+}
+
+TEST(SpanTimerTest, MoveTransfersOwnershipAndDisarmsSource) {
+  ScopedTrace trace;
+  {
+    SpanTimer a(Stage::kStorageRead);
+    SpinFor(std::chrono::microseconds(200));
+    SpanTimer b(std::move(a));
+    // `a` is disarmed: its destruction here must not double-record.
+  }
+  int64_t recorded = trace.context()->span_us(Stage::kStorageRead);
+  EXPECT_GE(recorded, 150);
+  EXPECT_LT(recorded, 100000);  // one recording, not two huge ones
+}
+
+TEST(SpanTimerTest, MoveAssignFinishesTheOverwrittenSpan) {
+  ScopedTrace trace;
+  {
+    SpanTimer a(Stage::kCacheLookup);
+    SpinFor(std::chrono::microseconds(150));
+    a = SpanTimer(Stage::kEvalBuild);  // finishes the cache_lookup span
+    SpinFor(std::chrono::microseconds(150));
+  }
+  EXPECT_GE(trace.context()->span_us(Stage::kCacheLookup), 100);
+  EXPECT_GE(trace.context()->span_us(Stage::kEvalBuild), 100);
+}
+
+TEST(StageNameTest, AllStagesHaveStableNames) {
+  EXPECT_EQ(StageName(Stage::kAdmissionWait), "admission_wait");
+  EXPECT_EQ(StageName(Stage::kCacheLookup), "cache_lookup");
+  EXPECT_EQ(StageName(Stage::kEvalBuild), "eval_build");
+  EXPECT_EQ(StageName(Stage::kStorageRead), "storage_read");
+  EXPECT_EQ(StageName(Stage::kLabelDecode), "label_decode");
+  EXPECT_EQ(StageName(Stage::kHistoryEnqueue), "history_enqueue");
+  EXPECT_EQ(StageName(Stage::kExecute), "execute");
+}
+
+TEST(TraceContextStress, ContextsAreThreadLocal) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 2000; ++i) {
+        ScopedTrace trace;
+        ASSERT_TRUE(trace.owner());
+        trace.context()->Add(Stage::kExecute, t + 1);
+        {
+          SpanTimer timer(Stage::kCacheLookup);
+        }
+        ASSERT_EQ(trace.context()->span_us(Stage::kExecute), t + 1);
+      }
+      ASSERT_EQ(TraceContext::Current(), nullptr);
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace crimson

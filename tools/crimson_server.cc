@@ -3,27 +3,85 @@
 //   crimson_server --db=/path/to.db [--host=127.0.0.1] [--port=9917]
 //                  [--workers=8] [--max-connections=64]
 //                  [--max-inflight=128] [--durability=off|commit|group]
+//                  [--log-level=debug|info|warning|error]
+//                  [--metrics-dump-secs=N] [--slow-query-micros=N]
 //
 // Prints one "listening on <host>:<port>" line once it is serving
 // (scripts wait for it), then runs until SIGTERM/SIGINT, at which
 // point it drains gracefully: stops accepting, finishes in-flight
 // requests, flushes responses, checkpoints the session, and exits 0.
+// With --metrics-dump-secs=N the serving loop logs one summary line of
+// the session's metrics snapshot every N seconds; --slow-query-micros
+// turns on the session slow-query log at that threshold.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 
+#include "common/log.h"
 #include "crimson/crimson.h"
 #include "crimson/service.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+
+/// One log line summarizing a metrics snapshot: total queries (and
+/// overall latency percentiles folded across the per-kind histograms),
+/// cache and buffer-pool hit traffic, WAL appends, and the wire-level
+/// counts. Operators tailing the log get the health headline; the full
+/// snapshot is one `crimson_stats` call away.
+std::string MetricsDumpLine(const crimson::obs::MetricsSnapshot& m) {
+  uint64_t queries = 0;
+  for (const auto& [key, value] : m.counters) {
+    if (key.rfind("query.", 0) == 0 &&
+        key.size() > 6 && key.compare(key.size() - 6, 6, ".count") == 0) {
+      queries += value;
+    }
+  }
+  // Fold every per-kind latency histogram into one for the headline
+  // percentiles (identical bucket bounds, so counts add bucket-wise).
+  crimson::obs::HistogramSnapshot all;
+  for (const auto& [key, h] : m.histograms) {
+    if (key.rfind("query.", 0) != 0 ||
+        key.size() < 11 || key.compare(key.size() - 11, 11, ".latency_us") != 0) {
+      continue;
+    }
+    if (all.bounds.empty()) {
+      all.bounds = h.bounds;
+      all.counts.assign(h.counts.size(), 0);
+    }
+    if (h.bounds == all.bounds) {
+      for (size_t i = 0; i < h.counts.size(); ++i) all.counts[i] += h.counts[i];
+      all.count += h.count;
+      all.sum += h.sum;
+    }
+  }
+  char line[512];
+  snprintf(line, sizeof(line),
+           "metrics: queries=%llu p50=%.0fus p99=%.0fus slow=%llu "
+           "cache=%llu/%llu hit/miss pool=%llu/%llu hit/miss "
+           "wal_appends=%llu net_frames=%llu net_rejects=%llu",
+           static_cast<unsigned long long>(queries), all.p50(), all.p99(),
+           static_cast<unsigned long long>(m.counter("query.slow")),
+           static_cast<unsigned long long>(m.counter("cache.hits")),
+           static_cast<unsigned long long>(m.counter("cache.misses")),
+           static_cast<unsigned long long>(m.counter("storage.pool.hits")),
+           static_cast<unsigned long long>(m.counter("storage.pool.misses")),
+           static_cast<unsigned long long>(m.counter("storage.wal.appends")),
+           static_cast<unsigned long long>(m.counter("net.frames_received")),
+           static_cast<unsigned long long>(
+               m.counter("net.queries_rejected") +
+               m.counter("net.connections_rejected")));
+  return line;
+}
 
 }  // namespace
 
@@ -38,6 +96,7 @@ int main(int argc, char** argv) {
   CrimsonOptions session_opts;
   ServerOptions server_opts;
   server_opts.port = 9917;
+  int metrics_dump_secs = 0;
   for (int i = 1; i < argc; ++i) {
     if (strncmp(argv[i], "--db=", 5) == 0) {
       session_opts.db_path = argv[i] + 5;
@@ -60,6 +119,18 @@ int main(int argc, char** argv) {
       session_opts.durability = Durability::kGroupCommit;
     } else if (strcmp(argv[i], "--durability=off") == 0) {
       session_opts.durability = Durability::kOff;
+    } else if (strncmp(argv[i], "--log-level=", 12) == 0) {
+      crimson::LogLevel level;
+      if (!crimson::ParseLogLevel(argv[i] + 12, &level)) {
+        fprintf(stderr, "bad --log-level (want debug|info|warning|error)\n");
+        return 2;
+      }
+      crimson::SetMinLogLevel(level);
+    } else if (strncmp(argv[i], "--metrics-dump-secs=", 20) == 0) {
+      metrics_dump_secs = atoi(argv[i] + 20);
+    } else if (strncmp(argv[i], "--slow-query-micros=", 20) == 0) {
+      session_opts.slow_query_micros =
+          static_cast<uint64_t>(atoll(argv[i] + 20));
     } else {
       fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -92,8 +163,14 @@ int main(int argc, char** argv) {
                                       : session_opts.db_path.c_str());
   fflush(stdout);
 
+  int ticks_since_dump = 0;
+  const int dump_every_ticks = metrics_dump_secs * 10;  // 100ms ticks
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (dump_every_ticks > 0 && ++ticks_since_dump >= dump_every_ticks) {
+      ticks_since_dump = 0;
+      CRIMSON_LOG(kInfo) << MetricsDumpLine(session->SnapshotMetrics());
+    }
   }
 
   printf("signal received; draining...\n");

@@ -1,0 +1,61 @@
+// crimson_stats: fetches and pretty-prints a running crimson_server's
+// metrics snapshot over the wire (the kStats frame).
+//
+//   crimson_stats --port=9917 [--host=127.0.0.1]
+//
+// Output: one "snapshot: N counters, M histograms" header (scripts
+// assert on it), then every counter as "name value" sorted by name,
+// then every histogram as one line with count / mean / p50 / p95 /
+// p99. Exit 0 on success, 1 on any connection or protocol error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/client.h"
+#include "obs/metrics.h"
+
+int main(int argc, char** argv) {
+  crimson::net::ClientOptions options;
+  options.port = 9917;
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], "--host=", 7) == 0) {
+      options.host = argv[i] + 7;
+    } else if (strncmp(argv[i], "--port=", 7) == 0) {
+      options.port = static_cast<uint16_t>(atoi(argv[i] + 7));
+    } else {
+      fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      fprintf(stderr, "usage: crimson_stats --port=9917 [--host=...]\n");
+      return 2;
+    }
+  }
+
+  auto client_or = crimson::net::CrimsonClient::Connect(options);
+  if (!client_or.ok()) {
+    fprintf(stderr, "connect failed: %s\n",
+            client_or.status().ToString().c_str());
+    return 1;
+  }
+  auto metrics_or = (*client_or)->ServerMetrics();
+  if (!metrics_or.ok()) {
+    fprintf(stderr, "stats fetch failed: %s\n",
+            metrics_or.status().ToString().c_str());
+    return 1;
+  }
+  const crimson::obs::MetricsSnapshot& m = *metrics_or;
+
+  printf("snapshot: %zu counters, %zu histograms\n", m.counters.size(),
+         m.histograms.size());
+  printf("\ncounters:\n");
+  for (const auto& [name, value] : m.counters) {
+    printf("  %-40s %llu\n", name.c_str(),
+           static_cast<unsigned long long>(value));
+  }
+  printf("\nhistograms:\n");
+  for (const auto& [name, h] : m.histograms) {
+    printf("  %-40s count=%llu mean=%.1f p50=%.0f p95=%.0f p99=%.0f\n",
+           name.c_str(), static_cast<unsigned long long>(h.count), h.mean(),
+           h.p50(), h.p95(), h.p99());
+  }
+  return 0;
+}
