@@ -80,7 +80,7 @@ std::vector<std::string> RunSixKinds(Crimson* session, TreeRef tree,
   std::vector<NodeId> leaves = gold.Leaves();
   std::vector<std::string> set;
   for (size_t i = 0; i < leaves.size(); i += leaves.size() / 5 + 1) {
-    set.push_back(gold.name(leaves[i]));
+    set.emplace_back(gold.name(leaves[i]));
   }
   PhyloTree pattern =
       std::move(session->Project("yule", set)).value();

@@ -73,7 +73,7 @@ void BM_PatternMatch_Miss(benchmark::State& state) {
   }
   // Decoy: random topology over the same leaf names.
   std::vector<std::string> names;
-  for (NodeId n : projection->Leaves()) names.push_back(projection->name(n));
+  for (NodeId n : projection->Leaves()) names.emplace_back(projection->name(n));
   PhyloTree decoy = MakeRandomBinary(static_cast<uint32_t>(names.size()),
                                      &rng);
   std::vector<NodeId> decoy_leaves = decoy.Leaves();

@@ -47,7 +47,7 @@ const Fixture& CachedFixture(uint32_t n_leaves, size_t n_requests,
     fx->tree = fx->session->LoadTree("yule", gold).value().ref;
 
     std::vector<std::string> leaves;
-    for (NodeId n : gold.Leaves()) leaves.push_back(gold.name(n));
+    for (NodeId n : gold.Leaves()) leaves.emplace_back(gold.name(n));
     Rng rng(0xBA7C4);
     fx->requests.reserve(n_requests);
     for (size_t i = 0; i < n_requests; ++i) {

@@ -1,0 +1,295 @@
+// bench_tree_footprint: bytes/node of the packed PhyloTree layout
+// against the legacy struct-of-strings layout, plus the name-addressed
+// query speedup the interned NameIndex buys over linear FindByName
+// resolution (ROADMAP item 2).
+//
+// Footprint: one Yule tree with realistic ~20-character species labels
+// is built in the packed layout (measured via MemoryFootprintBytes
+// after ShrinkToFit) and mirrored into the legacy representation --
+// a std::vector of { std::string name; double edge; 4x NodeId } nodes,
+// exactly the pre-refactor sizeof(Node)==56 shape. Legacy bytes are
+// the vector payload plus, for every label past the 15-char SSO cap,
+// the glibc malloc chunk its heap buffer actually consumes
+// (max(32, round16(capacity + 1 + 8))); header-free SSO names charge
+// nothing extra, so the model is conservative.
+//
+// Resolution: the same tree's labeled-LCA workload addressed by
+// species names -- each query resolves 2 (LCA) or 4 (clade-style) leaf
+// names and folds the layered-Dewey LCA over them. The "linear" mode
+// resolves via PhyloTree::FindByName (the pre-index behavior of
+// Crimson::ResolveSpecies); "indexed" resolves via NameIndex::Find.
+// Results must agree node-for-node.
+//
+// Writes BENCH_tree_footprint.json. With --gate, exits non-zero unless
+// packed bytes/node <= 0.5x legacy bytes/node AND the indexed workload
+// is >= 10x faster than the linear one (the CI smoke contract).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "labeling/layered_dewey.h"
+#include "sim/tree_sim.h"
+#include "tree/name_index.h"
+#include "tree/phylo_tree.h"
+
+namespace crimson {
+namespace {
+
+/// The pre-refactor node shape (sizeof == 56 on LP64): one heap string
+/// and five fields per node.
+struct LegacyNode {
+  std::string name;
+  double edge_length = 0.0;
+  NodeId parent = kNoNode;
+  NodeId first_child = kNoNode;
+  NodeId last_child = kNoNode;
+  NodeId next_sibling = kNoNode;
+};
+
+/// glibc malloc chunk consumed by a heap allocation of `request` bytes.
+size_t MallocChunk(size_t request) {
+  size_t chunk = (request + 8 + 15) & ~static_cast<size_t>(15);
+  return std::max<size_t>(32, chunk);
+}
+
+/// Realistic species label, ~20 chars ("Species_00042_3fa9c1d2").
+std::string SpeciesLabel(uint32_t i) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL * (i + 1);
+  h ^= h >> 29;
+  return StrFormat("Species_%05u_%08x", i,
+                   static_cast<uint32_t>(h & 0xffffffff));
+}
+
+struct Footprint {
+  size_t nodes = 0;
+  size_t packed_bytes = 0;
+  size_t legacy_bytes = 0;
+  double packed_per_node = 0;
+  double legacy_per_node = 0;
+  double ratio = 0;
+};
+
+Footprint MeasureFootprint(const PhyloTree& tree) {
+  Footprint out;
+  out.nodes = tree.size();
+  out.packed_bytes = tree.MemoryFootprintBytes();
+
+  // Mirror into the legacy layout and charge what it actually holds:
+  // the node vector plus each non-SSO name's malloc chunk.
+  std::vector<LegacyNode> legacy;
+  legacy.reserve(tree.size());
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    LegacyNode node;
+    node.name = std::string(tree.name(n));
+    node.edge_length = tree.edge_length(n);
+    node.parent = tree.parent(n);
+    node.first_child = tree.first_child(n);
+    node.next_sibling = tree.next_sibling(n);
+    legacy.push_back(std::move(node));
+  }
+  size_t bytes = legacy.capacity() * sizeof(LegacyNode);
+  for (const LegacyNode& node : legacy) {
+    // libstdc++ SSO holds up to 15 chars inline; longer names own a
+    // heap buffer of capacity+1 bytes.
+    if (node.name.capacity() > 15) {
+      bytes += MallocChunk(node.name.capacity() + 1);
+    }
+  }
+  out.legacy_bytes = bytes;
+  out.packed_per_node = static_cast<double>(out.packed_bytes) / out.nodes;
+  out.legacy_per_node = static_cast<double>(out.legacy_bytes) / out.nodes;
+  out.ratio = out.packed_per_node / out.legacy_per_node;
+  return out;
+}
+
+/// One name-addressed query: 2 names (LCA) or 4 names (clade-style
+/// span), resolved then folded through the labeled LCA.
+struct NameQuery {
+  std::vector<std::string> species;
+};
+
+std::vector<NameQuery> MakeWorkload(uint32_t n_leaves, int ops,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NameQuery> out;
+  out.reserve(ops);
+  for (int i = 0; i < ops; ++i) {
+    NameQuery q;
+    const int k = (i % 2 == 0) ? 2 : 4;  // alternate LCA / clade shape
+    for (int j = 0; j < k; ++j) {
+      q.species.push_back(SpeciesLabel(
+          static_cast<uint32_t>(rng.Uniform(n_leaves))));
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+struct WorkloadResult {
+  double seconds = 0;
+  std::vector<NodeId> answers;
+  bool ok = false;
+};
+
+/// Runs the workload with either linear (FindByName) or indexed
+/// (NameIndex) name resolution; the LCA fold is identical in both.
+WorkloadResult RunWorkload(const PhyloTree& tree,
+                           const LayeredDeweyScheme& scheme,
+                           const NameIndex* index,
+                           const std::vector<NameQuery>& workload) {
+  WorkloadResult out;
+  out.answers.reserve(workload.size());
+  auto start = std::chrono::steady_clock::now();
+  for (const NameQuery& q : workload) {
+    NodeId lca = kNoNode;
+    for (const std::string& s : q.species) {
+      NodeId n = index != nullptr ? index->Find(tree, s)
+                                  : tree.FindByName(s);
+      if (n == kNoNode) return out;
+      if (lca == kNoNode) {
+        lca = n;
+      } else {
+        auto folded = scheme.Lca(lca, n);
+        if (!folded.ok()) return out;
+        lca = *folded;
+      }
+    }
+    out.answers.push_back(lca);
+  }
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+int Run(int argc, char** argv) {
+  uint32_t n_leaves = 30000;  // ~60k nodes with Yule internals
+  int ops = 2000;
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--gate") == 0) gate = true;
+    if (strncmp(argv[i], "--leaves=", 9) == 0) {
+      n_leaves = static_cast<uint32_t>(atoi(argv[i] + 9));
+    }
+    if (strncmp(argv[i], "--ops=", 6) == 0) ops = atoi(argv[i] + 6);
+  }
+
+  Rng rng(0xF007);
+  YuleOptions yule;
+  yule.n_leaves = n_leaves;
+  auto tree_or = SimulateYule(yule, &rng);
+  if (!tree_or.ok()) {
+    fprintf(stderr, "tree simulation failed: %s\n",
+            tree_or.status().ToString().c_str());
+    return 1;
+  }
+  PhyloTree tree = std::move(*tree_or);
+  // Rebuild with realistic-length species labels (Yule's "S123"
+  // defaults mostly fit SSO and would flatter neither layout).
+  // Building fresh interns each label exactly once, as a real parse
+  // of such a file would.
+  {
+    PhyloTree relabeled;
+    relabeled.Reserve(tree.size(), static_cast<size_t>(n_leaves) * 24);
+    uint32_t leaf_ordinal = 0;
+    for (NodeId n = 0; n < tree.size(); ++n) {
+      std::string label =
+          tree.is_leaf(n) ? SpeciesLabel(leaf_ordinal++) : std::string();
+      if (n == 0) {
+        relabeled.AddRoot(label, tree.edge_length(n));
+      } else {
+        relabeled.AddChild(tree.parent(n), label, tree.edge_length(n));
+      }
+    }
+    tree = std::move(relabeled);
+  }
+  tree.ShrinkToFit();
+
+  const Footprint fp = MeasureFootprint(tree);
+
+  LayeredDeweyScheme scheme(8);
+  Status built = scheme.Build(tree);
+  if (!built.ok()) {
+    fprintf(stderr, "labeling failed: %s\n", built.ToString().c_str());
+    return 1;
+  }
+  NameIndex index = NameIndex::Build(tree);
+  const std::vector<NameQuery> workload =
+      MakeWorkload(n_leaves, ops, 0xBEEF);
+
+  WorkloadResult linear = RunWorkload(tree, scheme, nullptr, workload);
+  WorkloadResult indexed = RunWorkload(tree, scheme, &index, workload);
+  if (!linear.ok || !indexed.ok) {
+    fprintf(stderr, "workload failed\n");
+    return 1;
+  }
+  const bool identical = linear.answers == indexed.answers;
+  const double speedup =
+      indexed.seconds > 0 ? linear.seconds / indexed.seconds : 0;
+
+  const bool pass = fp.ratio <= 0.5 && speedup >= 10.0 && identical;
+
+  printf(
+      "packed tree footprint, %zu nodes (%u leaves, ~20-char labels):\n"
+      "  packed layout : %8.1f bytes/node (%zu bytes)\n"
+      "  legacy layout : %8.1f bytes/node (%zu bytes, struct + malloc "
+      "chunks)\n"
+      "  ratio         : %8.3f (gate <= 0.500)\n"
+      "name-addressed LCA/clade workload, %d queries:\n"
+      "  linear FindByName : %9.0f queries/s  (%.3fs)\n"
+      "  NameIndex         : %9.0f queries/s  (%.3fs, %.1fx)\n"
+      "answers identical across modes: %s\n"
+      "gate (ratio <= 0.5, speedup >= 10x, identity): %s\n",
+      fp.nodes, n_leaves, fp.packed_per_node, fp.packed_bytes,
+      fp.legacy_per_node, fp.legacy_bytes, fp.ratio, ops,
+      ops / linear.seconds, linear.seconds, ops / indexed.seconds,
+      indexed.seconds, speedup, identical ? "OK" : "MISMATCH",
+      pass ? "PASS" : "FAIL");
+
+  FILE* json = fopen("BENCH_tree_footprint.json", "w");
+  if (json != nullptr) {
+    fprintf(json,
+            "{\n"
+            "  \"nodes\": %zu,\n"
+            "  \"leaves\": %u,\n"
+            "  \"packed_bytes_per_node\": %.2f,\n"
+            "  \"legacy_bytes_per_node\": %.2f,\n"
+            "  \"footprint_ratio\": %.4f,\n"
+            "  \"ops\": %d,\n"
+            "  \"linear_ops_per_sec\": %.2f,\n"
+            "  \"indexed_ops_per_sec\": %.2f,\n"
+            "  \"resolution_speedup\": %.2f,\n"
+            "  \"answers_identical\": %s,\n"
+            "  \"gate_max_ratio\": 0.5,\n"
+            "  \"gate_min_speedup\": 10.0,\n"
+            "  \"pass\": %s\n"
+            "}\n",
+            fp.nodes, n_leaves, fp.packed_per_node, fp.legacy_per_node,
+            fp.ratio, ops, ops / linear.seconds, ops / indexed.seconds,
+            speedup, identical ? "true" : "false", pass ? "true" : "false");
+    fclose(json);
+  }
+
+  if (gate && !pass) {
+    fprintf(stderr,
+            "GATE FAILURE: footprint ratio %.3f (need <= 0.5), speedup "
+            "%.1fx (need >= 10x), identity %s\n",
+            fp.ratio, speedup, identical ? "ok" : "broken");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace crimson
+
+int main(int argc, char** argv) { return crimson::Run(argc, argv); }

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
          gold.LeafCount(), n_requests, workers);
 
   std::vector<std::string> leaves;
-  for (NodeId n : gold.Leaves()) leaves.push_back(gold.name(n));
+  for (NodeId n : gold.Leaves()) leaves.emplace_back(gold.name(n));
   std::vector<QueryRequest> requests;
   requests.reserve(n_requests);
   for (size_t i = 0; i < n_requests; ++i) {

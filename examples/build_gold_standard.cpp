@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
 
   // ---- NEXUS snapshot -----------------------------------------------------
   NexusDocument doc;
-  for (NodeId n : gold.Leaves()) doc.taxa.push_back(gold.name(n));
+  for (NodeId n : gold.Leaves()) doc.taxa.emplace_back(gold.name(n));
   NexusTree nt;
   nt.name = "gold";
   nt.tree = gold;

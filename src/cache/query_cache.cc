@@ -18,12 +18,8 @@ constexpr uint64_t kProtectedNum = 3;
 constexpr uint64_t kProtectedDen = 4;
 
 uint64_t ApproxTreeBytes(const PhyloTree& tree) {
-  // Node arena: name (SSO'd small string) + links + edge length.
-  uint64_t bytes = tree.size() * 56;
-  for (NodeId n = 0; n < tree.size(); ++n) {
-    bytes += tree.name(n).size();
-  }
-  return bytes;
+  // Packed columns + name arena, straight from the tree (O(1)).
+  return tree.MemoryFootprintBytes();
 }
 
 }  // namespace

@@ -38,6 +38,10 @@ Status BenchmarkManager::Init() {
     return Status::InvalidArgument(
         "borrowed labeling scheme does not match the gold tree");
   }
+  if (names_ == nullptr) {
+    owned_names_ = std::make_unique<NameIndex>(NameIndex::Build(*tree_));
+    names_ = owned_names_.get();
+  }
   sampler_ = std::make_unique<Sampler>(tree_);
   projector_ = std::make_unique<TreeProjector>(tree_, scheme_);
   return Status::OK();
@@ -55,7 +59,7 @@ Result<std::vector<NodeId>> BenchmarkManager::SelectSpecies(
       std::vector<NodeId> out;
       out.reserve(selection.species.size());
       for (const std::string& s : selection.species) {
-        NodeId n = tree_->FindByName(s);
+        NodeId n = names_->Find(*tree_, s);
         if (n == kNoNode || !tree_->is_leaf(n)) {
           return Status::NotFound(
               StrFormat("species '%s' is not a leaf of the gold tree",
@@ -97,7 +101,7 @@ Result<BenchmarkRun> BenchmarkManager::Evaluate(
   // copies). Missing species surface as NotFound from the source.
   std::vector<std::string> wanted;
   wanted.reserve(sample.size());
-  for (NodeId n : sample) wanted.push_back(tree_->name(n));
+  for (NodeId n : sample) wanted.emplace_back(tree_->name(n));
   using SequenceMap = std::map<std::string, std::string>;
   CRIMSON_ASSIGN_OR_RETURN(SequenceMap seqs, sequences_->GetBatch(wanted));
 

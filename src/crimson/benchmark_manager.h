@@ -23,6 +23,7 @@
 #include "recon/distance.h"
 #include "recon/rf_distance.h"
 #include "recon/triplet.h"
+#include "tree/name_index.h"
 #include "tree/phylo_tree.h"
 
 namespace crimson {
@@ -77,6 +78,11 @@ class BenchmarkManager {
                    const cache::SequenceSource* sequences,
                    const LayeredDeweyScheme* scheme);
 
+  /// Borrows a pre-built name index over the gold tree (the session
+  /// passes the TreeHandle's); must outlive the manager. Without one,
+  /// Init() builds a private index. Call before Init().
+  void set_name_index(const NameIndex* names) { names_ = names; }
+
   Status Init();
 
   /// Runs one evaluation.
@@ -99,6 +105,9 @@ class BenchmarkManager {
   /// Built by Init() when owned; pre-built and borrowed otherwise.
   std::unique_ptr<LayeredDeweyScheme> owned_scheme_;
   const LayeredDeweyScheme* scheme_ = nullptr;
+  /// Built by Init() when not borrowed via set_name_index().
+  std::unique_ptr<NameIndex> owned_names_;
+  const NameIndex* names_ = nullptr;
   std::unique_ptr<Sampler> sampler_;
   std::unique_ptr<TreeProjector> projector_;
 };

@@ -364,6 +364,7 @@ Result<TreeRef> Crimson::OpenTree(const std::string& name) {
       h->info = info;
       CRIMSON_ASSIGN_OR_RETURN(h->tree,
                                read.repos->trees->LoadTree(info.tree_id));
+      h->tree.ShrinkToFit();  // handles are read-only; drop build slack
       // Fetch the persisted labeling here; the O(n) decode runs below,
       // outside the read snapshot.
       blob = read.repos->trees->LoadSchemeBlob(info.tree_id);
@@ -394,9 +395,20 @@ Result<TreeRef> Crimson::OpenTree(const std::string& name) {
     if (!have_labels) {
       CRIMSON_RETURN_IF_ERROR(h->scheme.Build(h->tree));
     }
+    h->names = NameIndex::Build(h->tree);
+    if (h->names.has_duplicate_leaf_names()) {
+      // Stored trees from before the duplicate-name check (the loader
+      // now rejects them) keep working under a deterministic rule:
+      // every name-addressed lookup resolves to the first leaf in
+      // arena (insertion) order.
+      CRIMSON_LOG(kWarning)
+          << "tree '" << name << "' has duplicate leaf names; "
+          << "name-addressed queries resolve to the first occurrence";
+    }
     h->sampler = std::make_unique<Sampler>(&h->tree);
     h->projector = std::make_unique<TreeProjector>(&h->tree, &h->scheme);
-    h->matcher = std::make_unique<PatternMatcher>(h->projector.get());
+    h->matcher =
+        std::make_unique<PatternMatcher>(h->projector.get(), &h->names);
     return h;
   }();
   if (!handle.ok()) return handle.status();
@@ -458,7 +470,7 @@ Result<std::vector<NodeId>> Crimson::ResolveSpecies(
   std::vector<NodeId> out;
   out.reserve(species.size());
   for (const std::string& s : species) {
-    NodeId n = handle.tree.FindByName(s);
+    NodeId n = handle.names.Find(handle.tree, s);
     if (n == kNoNode) {
       return Status::NotFound(StrFormat("species '%s' not in tree '%s'",
                                         s.c_str(),
@@ -497,7 +509,9 @@ Result<QueryResult> Crimson::ExecuteOnHandle(const TreeHandle& handle,
                                      handle.sampler->SampleUniform(q.k, &rng));
             SampleAnswer answer;
             answer.species.reserve(nodes.size());
-            for (NodeId n : nodes) answer.species.push_back(handle.tree.name(n));
+            for (NodeId n : nodes) {
+              answer.species.emplace_back(handle.tree.name(n));
+            }
             return QueryResult(std::move(answer));
           },
           [&](const SampleTimeQuery& q) -> Result<QueryResult> {
@@ -507,7 +521,9 @@ Result<QueryResult> Crimson::ExecuteOnHandle(const TreeHandle& handle,
                 handle.sampler->SampleWithRespectToTime(q.k, q.time, &rng));
             SampleAnswer answer;
             answer.species.reserve(nodes.size());
-            for (NodeId n : nodes) answer.species.push_back(handle.tree.name(n));
+            for (NodeId n : nodes) {
+              answer.species.emplace_back(handle.tree.name(n));
+            }
             return QueryResult(std::move(answer));
           },
           [&](const CladeQuery& q) -> Result<QueryResult> {
@@ -806,7 +822,9 @@ struct Crimson::EvalState {
             std::unique_ptr<cache::CrackedSequenceStore> s)
       : handle(std::move(h)),
         store(std::move(s)),
-        manager(&handle->tree, store.get(), &handle->scheme) {}
+        manager(&handle->tree, store.get(), &handle->scheme) {
+    manager.set_name_index(&handle->names);
+  }
 };
 
 Result<std::shared_ptr<const Crimson::EvalState>> Crimson::EvalStateFor(
@@ -839,13 +857,13 @@ Result<std::shared_ptr<const Crimson::EvalState>> Crimson::EvalStateFor(
     }
     // The ordinal domain: the tree's leaf names, sorted and deduped
     // (in-memory; no storage reads).
-    std::vector<std::string> domain;
-    domain.reserve(handle->tree.LeafCount());
-    for (NodeId leaf : handle->tree.Leaves()) {
-      domain.push_back(handle->tree.name(leaf));
+    std::vector<std::string> domain =
+        handle->names.SortedLeafNames(handle->tree);
+    if (handle->names.has_unnamed_leaf()) {
+      // Unnamed leaves contributed "" to the pre-index domain; keep it
+      // so ordinal positions stay stable.
+      domain.insert(domain.begin(), std::string());
     }
-    std::sort(domain.begin(), domain.end());
-    domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
     // The store's fetch callback revalidates the eval generation: once
     // this state is invalidated, a retained reference can no longer
     // fault in post-invalidation rows that would break its snapshot --
@@ -1217,7 +1235,13 @@ Result<std::string> Crimson::ExportNexus(TreeRef tree) {
                            HandleFor(tree));
   NexusDocument doc;
   for (NodeId n : handle->tree.Leaves()) {
-    doc.taxa.push_back(handle->tree.name(n));
+    // The index dedupes taxa (a repeated label would make the TAXA
+    // block invalid NEXUS): only the canonical first leaf of each name
+    // is listed, in leaf pre-order.
+    if (!handle->tree.name(n).empty() &&
+        handle->names.FindLeaf(handle->tree, handle->tree.name(n)) == n) {
+      doc.taxa.emplace_back(handle->tree.name(n));
+    }
   }
   {
     StorageReadGuard read = AcquireStorageRead();

@@ -338,6 +338,10 @@ class Crimson {
     TreeInfo info;
     PhyloTree tree;
     LayeredDeweyScheme scheme;
+    /// Interned name -> NodeId index built once per bind; shared by
+    /// species resolution, the pattern matcher, the cracked store's
+    /// leaf domain, and NEXUS export.
+    NameIndex names;
     std::unique_ptr<Sampler> sampler;
     std::unique_ptr<TreeProjector> projector;
     std::unique_ptr<PatternMatcher> matcher;

@@ -3,9 +3,57 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/coding.h"
+#include "common/log.h"
 #include "common/string_util.h"
 
 namespace crimson {
+
+namespace {
+
+// Packed tree blob format version. Bump on layout changes; decoders
+// reject unknown versions and LoadTree falls back to the row scan.
+constexpr uint32_t kPackedTreeVersion = 1;
+
+}  // namespace
+
+void EncodePackedTree(const PhyloTree& tree, std::string* dst) {
+  const size_t n = tree.size();
+  PutVarint32(dst, kPackedTreeVersion);
+  PutVarint64(dst, n);
+  PutVarint64(dst, tree.name_arena().size());
+  dst->reserve(dst->size() + n * 16 + tree.name_arena().size());
+  for (NodeId p : tree.parents()) PutFixed32(dst, p);
+  for (double e : tree.edge_lengths()) PutDouble(dst, e);
+  for (uint32_t off : tree.name_offsets()) PutFixed32(dst, off);
+  dst->append(tree.name_arena());
+}
+
+Result<PhyloTree> DecodePackedTree(Slice blob) {
+  uint32_t version = 0;
+  uint64_t count = 0, arena_size = 0;
+  if (!GetVarint32(&blob, &version) || !GetVarint64(&blob, &count) ||
+      !GetVarint64(&blob, &arena_size)) {
+    return Status::Corruption("packed tree blob: truncated header");
+  }
+  if (version != kPackedTreeVersion) {
+    return Status::Corruption(
+        StrFormat("packed tree blob: unknown version %u", version));
+  }
+  // Fixed-width columns let the size check precede any allocation.
+  if (blob.size() != count * 16 + arena_size) {
+    return Status::Corruption("packed tree blob: size mismatch");
+  }
+  std::vector<NodeId> parents(count);
+  std::vector<double> edges(count);
+  std::vector<uint32_t> offsets(count);
+  for (uint64_t i = 0; i < count; ++i) GetFixed32(&blob, &parents[i]);
+  for (uint64_t i = 0; i < count; ++i) GetDouble(&blob, &edges[i]);
+  for (uint64_t i = 0; i < count; ++i) GetFixed32(&blob, &offsets[i]);
+  std::string arena(blob.data(), blob.size());
+  return PhyloTree::FromPacked(std::move(parents), std::move(edges),
+                               std::move(offsets), std::move(arena));
+}
 
 namespace {
 
@@ -85,6 +133,14 @@ Result<std::unique_ptr<TreeRepository>> TreeRepository::Open(Database* db) {
       OpenOrCreate(db, "labels", labels_schema,
                    {{"labels_by_tree", "tree_id", /*unique=*/true}}));
   repo->labels_ = std::make_unique<Table>(std::move(labels));
+
+  Schema tree_blobs_schema({{"tree_id", ColumnType::kInt64},
+                            {"tree_blob", ColumnType::kBytes}});
+  CRIMSON_ASSIGN_OR_RETURN(
+      Table tree_blobs,
+      OpenOrCreate(db, "tree_blobs", tree_blobs_schema,
+                   {{"tree_blobs_by_tree", "tree_id", /*unique=*/true}}));
+  repo->tree_blobs_ = std::make_unique<Table>(std::move(tree_blobs));
   return repo;
 }
 
@@ -121,7 +177,7 @@ Result<int64_t> TreeRepository::StoreTree(const std::string& name,
     node_rows.push_back(
         {PackKey(tree_id, n),
          tree_id,
-         tree.name(n),
+         std::string(tree.name(n)),
          static_cast<int64_t>(
              n == tree.root() ? -1 : static_cast<int64_t>(tree.parent(n))),
          tree.edge_length(n),
@@ -155,6 +211,14 @@ Result<int64_t> TreeRepository::StoreTree(const std::string& name,
     scheme.EncodeTo(&blob);
     Row row = {tree_id, std::move(blob)};
     CRIMSON_RETURN_IF_ERROR(labels_->Insert(row).status());
+  }
+  {
+    // Packed tree image: LoadTree decodes this in two memcpy-ish
+    // passes instead of re-interning every name from node rows.
+    std::string blob;
+    EncodePackedTree(tree, &blob);
+    Row row = {tree_id, std::move(blob)};
+    CRIMSON_RETURN_IF_ERROR(tree_blobs_->Insert(row).status());
   }
   return tree_id;
 }
@@ -217,6 +281,25 @@ Result<std::vector<TreeInfo>> TreeRepository::ListTrees() const {
 }
 
 Result<PhyloTree> TreeRepository::LoadTree(int64_t tree_id) const {
+  // Fast path: the packed blob written by StoreTree. Name bytes land in
+  // the arena via one append; no per-node string construction. Absent
+  // (pre-blob database) or unusable blobs fall through to the row scan.
+  {
+    Result<std::vector<RecordId>> rids =
+        tree_blobs_->IndexLookup("tree_blobs_by_tree", tree_id);
+    if (rids.ok() && !rids->empty()) {
+      Row row;
+      Status got = tree_blobs_->Get((*rids)[0], &row);
+      if (got.ok()) {
+        Result<PhyloTree> tree =
+            DecodePackedTree(Slice(std::get<std::string>(row[1])));
+        if (tree.ok()) return tree;
+        CRIMSON_LOG(kWarning)
+            << "packed blob for tree " << tree_id << " unusable ("
+            << tree.status() << "); rebuilding from node rows";
+      }
+    }
+  }
   // Range scan the point-access index over this tree's key interval:
   // keys are (tree_id << 32 | node), so nodes come back in arena order
   // (parents before children) and the tree rebuilds in one pass.
@@ -339,6 +422,12 @@ Status TreeRepository::DropTree(int64_t tree_id) {
                            labels_->IndexLookup("labels_by_tree", tree_id));
   for (const RecordId& rid : label_rids) {
     CRIMSON_RETURN_IF_ERROR(labels_->Delete(rid));
+  }
+  CRIMSON_ASSIGN_OR_RETURN(
+      std::vector<RecordId> blob_rids,
+      tree_blobs_->IndexLookup("tree_blobs_by_tree", tree_id));
+  for (const RecordId& rid : blob_rids) {
+    CRIMSON_RETURN_IF_ERROR(tree_blobs_->Delete(rid));
   }
   return Status::OK();
 }

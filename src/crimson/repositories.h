@@ -14,6 +14,11 @@
 //   labels(tree_id*, scheme_blob)
 //     - the serialized layered-Dewey scheme (all layers), so binding a
 //       stored tree deserializes labels instead of relabeling
+//   tree_blobs(tree_id*, tree_blob)
+//     - the packed column-oriented tree image (parents, edge lengths,
+//       name offsets, one contiguous name arena), so OpenTree
+//       deserializes without re-interning names; LoadTree falls back
+//       to the nodes row scan for databases written before this table
 //   species(tree_id, species_name*, node_id, sequence)
 //   queries(query_id*, timestamp, kind, params, summary)
 //   experiments(experiment_id*, created, tree_name, spec, seed,
@@ -58,6 +63,15 @@ namespace crimson {
 /// timestamp source; the session's history buffer stamps entries with
 /// it at enqueue time so deferred flushes keep the original times).
 int64_t NowMicros();
+
+/// Serializes a tree's packed representation (version, parents, edge
+/// lengths, name offsets, raw name arena) into *dst. The inverse of
+/// DecodePackedTree; exposed for tests and offline tooling.
+void EncodePackedTree(const PhyloTree& tree, std::string* dst);
+
+/// Rebuilds a tree from EncodePackedTree output without re-interning
+/// names (links derive O(n) from the parent column).
+Result<PhyloTree> DecodePackedTree(Slice blob);
 
 /// Metadata row for a stored tree.
 struct TreeInfo {
@@ -110,7 +124,9 @@ class TreeRepository {
   /// All stored trees.
   Result<std::vector<TreeInfo>> ListTrees() const;
 
-  /// Reconstructs the full in-memory tree.
+  /// Reconstructs the full in-memory tree. Prefers the packed blob
+  /// written by StoreTree (no per-name re-interning); falls back to the
+  /// nodes row scan for pre-blob databases.
   Result<PhyloTree> LoadTree(int64_t tree_id) const;
 
   /// Point access: node id of a species by name within a tree (uses the
@@ -149,6 +165,7 @@ class TreeRepository {
   std::unique_ptr<Table> nodes_;
   std::unique_ptr<Table> subtrees_;
   std::unique_ptr<Table> labels_;
+  std::unique_ptr<Table> tree_blobs_;
   size_t bulk_load_threshold_ = 512;
   bool persist_labels_ = true;
 };

@@ -42,7 +42,7 @@ bool GetByte(Slice* in, uint8_t* v) {
   return true;
 }
 
-void PutString(std::string* dst, const std::string& s) {
+void PutString(std::string* dst, std::string_view s) {
   PutLengthPrefixedSlice(dst, Slice(s));
 }
 
@@ -244,7 +244,9 @@ Result<PhyloTree> DecodeTree(Slice* in) {
                   static_cast<unsigned long long>(count)));
   }
   PhyloTree tree;
-  tree.Reserve(count);
+  // The name arena can never exceed the remaining payload, so one
+  // up-front reservation covers both columns and label bytes.
+  tree.Reserve(count, in->size());
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t parent_plus1 = 0;
     std::string name;
@@ -252,6 +254,10 @@ Result<PhyloTree> DecodeTree(Slice* in) {
     if (!GetVarint32(in, &parent_plus1) || !GetString(in, &name) ||
         !GetDouble(in, &edge)) {
       return Truncated("tree node");
+    }
+    if (name.find('\0') != std::string::npos) {
+      return Status::InvalidArgument(
+          "wire decode: tree node name contains NUL");
     }
     if (i == 0) {
       if (parent_plus1 != 0) {
@@ -266,6 +272,7 @@ Result<PhyloTree> DecodeTree(Slice* in) {
       tree.AddChild(parent_plus1 - 1, std::move(name), edge);
     }
   }
+  tree.ShrinkToFit();  // the payload-sized reserve above overshoots
   return tree;
 }
 

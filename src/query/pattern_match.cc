@@ -22,7 +22,11 @@ std::string CanonicalShape(const PhyloTree& t, NodeId n, double eps,
     weight = ":" + std::to_string(q);
   }
   if (t.is_leaf(n)) {
-    return "L[" + t.name(n) + weight + "]";
+    std::string out = "L[";
+    out += t.name(n);
+    out += weight;
+    out += "]";
+    return out;
   }
   std::vector<std::string> kids;
   for (NodeId c = t.first_child(n); c != kNoNode; c = t.next_sibling(c)) {
@@ -38,28 +42,33 @@ std::string CanonicalShape(const PhyloTree& t, NodeId n, double eps,
 
 }  // namespace
 
-PatternMatcher::PatternMatcher(const TreeProjector* projector)
-    : projector_(projector) {
-  const PhyloTree& t = projector_->tree();
-  for (NodeId n = 0; n < t.size(); ++n) {
-    if (t.is_leaf(n) && !t.name(n).empty()) {
-      leaf_by_name_.emplace(t.name(n), n);
-    }
+PatternMatcher::PatternMatcher(const TreeProjector* projector,
+                               const NameIndex* name_index)
+    : projector_(projector), name_index_(name_index) {
+  if (name_index_ == nullptr) {
+    owned_index_ =
+        std::make_unique<NameIndex>(NameIndex::Build(projector_->tree()));
+    name_index_ = owned_index_.get();
   }
 }
 
 Result<PhyloTree> PatternMatcher::ProjectPattern(
     const PhyloTree& pattern) const {
+  const PhyloTree& target = projector_->tree();
   std::vector<NodeId> targets;
   for (NodeId n = 0; n < pattern.size(); ++n) {
     if (!pattern.is_leaf(n)) continue;
-    auto it = leaf_by_name_.find(pattern.name(n));
-    if (it == leaf_by_name_.end()) {
+    // Unnamed pattern leaves can never anchor (the index only carries
+    // non-empty leaf names, like the old per-matcher map).
+    NodeId leaf = pattern.name(n).empty()
+                      ? kNoNode
+                      : name_index_->FindLeaf(target, pattern.name(n));
+    if (leaf == kNoNode) {
       return Status::NotFound(
           StrFormat("pattern leaf '%s' not in target tree",
-                    pattern.name(n).c_str()));
+                    std::string(pattern.name(n)).c_str()));
     }
-    targets.push_back(it->second);
+    targets.push_back(leaf);
   }
   return projector_->Project(std::move(targets));
 }

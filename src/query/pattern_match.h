@@ -8,24 +8,32 @@
 #ifndef CRIMSON_QUERY_PATTERN_MATCH_H_
 #define CRIMSON_QUERY_PATTERN_MATCH_H_
 
+#include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "query/projection.h"
+#include "tree/name_index.h"
 #include "tree/phylo_tree.h"
 
 namespace crimson {
 
-/// Reusable matcher over one target tree; builds the leaf-name lookup
-/// once. Immutable after construction; Match/ProjectPattern are const,
-/// so one matcher may be shared across threads.
+/// Reusable matcher over one target tree. Leaf anchoring goes through a
+/// NameIndex — either one shared by the caller (the session builds one
+/// per bound tree) or one built privately at construction. Immutable
+/// after construction; Match/ProjectPattern are const, so one matcher
+/// may be shared across threads.
 class PatternMatcher {
  public:
   /// projector must outlive the matcher (and owns the target tree ref).
-  explicit PatternMatcher(const TreeProjector* projector);
+  /// If `name_index` is non-null it must be built over the projector's
+  /// tree and outlive the matcher; otherwise the matcher builds its own.
+  explicit PatternMatcher(const TreeProjector* projector,
+                          const NameIndex* name_index = nullptr);
 
   /// Projects the target tree over the pattern's leaf names. Fails with
   /// NotFound if some pattern leaf does not exist in the target.
+  /// Duplicate leaf names in the target anchor to the first leaf in
+  /// arena order.
   Result<PhyloTree> ProjectPattern(const PhyloTree& pattern) const;
 
   struct MatchResult {
@@ -43,7 +51,8 @@ class PatternMatcher {
 
  private:
   const TreeProjector* projector_;
-  std::unordered_map<std::string, NodeId> leaf_by_name_;
+  const NameIndex* name_index_;          // the index actually used
+  std::unique_ptr<NameIndex> owned_index_;  // set when none was shared
 };
 
 }  // namespace crimson

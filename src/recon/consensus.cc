@@ -38,11 +38,11 @@ Status CollectClusters(const PhyloTree& tree,
     Bits& bits = sets[n];
     bits.assign(words, 0);
     if (tree.is_leaf(n)) {
-      auto it = index.find(tree.name(n));
+      auto it = index.find(std::string(tree.name(n)));
       if (it == index.end()) {
         status = Status::InvalidArgument(
             StrFormat("leaf '%s' missing from shared set",
-                      tree.name(n).c_str()));
+                      std::string(tree.name(n)).c_str()));
         return false;
       }
       bits[it->second / 64] |= 1ULL << (it->second % 64);
@@ -78,7 +78,7 @@ Result<PhyloTree> MajorityRuleConsensus(const std::vector<PhyloTree>& trees,
       if (!index.emplace(trees[0].name(n), index.size()).second) {
         return Status::InvalidArgument("duplicate leaf name");
       }
-      names.push_back(trees[0].name(n));
+      names.emplace_back(trees[0].name(n));
     }
   }
   size_t n_leaves = index.size();

@@ -25,11 +25,11 @@ Status CollectSplits(const PhyloTree& tree,
     auto& bits = sets[n];
     bits.assign(words, 0);
     if (tree.is_leaf(n)) {
-      auto it = index.find(tree.name(n));
+      auto it = index.find(std::string(tree.name(n)));
       if (it == index.end()) {
         status = Status::InvalidArgument(
             StrFormat("leaf '%s' missing from the shared leaf set",
-                      tree.name(n).c_str()));
+                      std::string(tree.name(n)).c_str()));
         return false;
       }
       bits[it->second / 64] |= (1ULL << (it->second % 64));
@@ -77,7 +77,7 @@ Result<RfResult> RobinsonFoulds(const PhyloTree& a, const PhyloTree& b) {
     if (!a.is_leaf(n)) return true;
     if (!index.emplace(a.name(n), next).second) {
       status = Status::InvalidArgument(
-          StrFormat("duplicate leaf name '%s'", a.name(n).c_str()));
+          StrFormat("duplicate leaf name '%s'", std::string(a.name(n)).c_str()));
       return false;
     }
     ++next;

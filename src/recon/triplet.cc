@@ -51,14 +51,14 @@ Result<TripletOracle> BuildOracle(
   o.leaves.assign(index.size(), kNoNode);
   for (NodeId n = 0; n < t.size(); ++n) {
     if (!t.is_leaf(n)) continue;
-    auto it = index.find(t.name(n));
+    auto it = index.find(std::string(t.name(n)));
     if (it == index.end()) {
       return Status::InvalidArgument(
-          StrFormat("leaf '%s' not in shared set", t.name(n).c_str()));
+          StrFormat("leaf '%s' not in shared set", std::string(t.name(n)).c_str()));
     }
     if (o.leaves[it->second] != kNoNode) {
       return Status::InvalidArgument(
-          StrFormat("duplicate leaf '%s'", t.name(n).c_str()));
+          StrFormat("duplicate leaf '%s'", std::string(t.name(n)).c_str()));
     }
     o.leaves[it->second] = n;
   }
@@ -76,7 +76,7 @@ Result<TripletResult> TripletDistance(const PhyloTree& a,
                                       const PhyloTree& b) {
   std::unordered_map<std::string, size_t> index;
   for (NodeId n = 0; n < a.size(); ++n) {
-    if (a.is_leaf(n)) index.emplace(a.name(n), index.size());
+    if (a.is_leaf(n)) index.emplace(std::string(a.name(n)), index.size());
   }
   if (index.size() < 3) {
     return Status::InvalidArgument("triplet distance needs >= 3 leaves");

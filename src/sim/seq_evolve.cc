@@ -160,7 +160,7 @@ Result<std::map<std::string, std::string>> SequenceEvolver::EvolveLeaves(
                            EvolveAllNodes(tree, rng));
   std::map<std::string, std::string> out;
   for (NodeId n = 0; n < tree.size(); ++n) {
-    if (tree.is_leaf(n)) out[tree.name(n)] = std::move(all[n]);
+    if (tree.is_leaf(n)) out[std::string(tree.name(n))] = std::move(all[n]);
   }
   return out;
 }

@@ -18,7 +18,7 @@ std::string RenderAscii(const PhyloTree& tree,
 
   std::string out;
   auto label = [&](NodeId n) {
-    std::string text = tree.name(n).empty() ? "?" : tree.name(n);
+    std::string text(tree.name(n).empty() ? std::string_view("?") : tree.name(n));
     if (options.show_edge_lengths && n != tree.root()) {
       text += StrFormat(":%.*g", options.precision, tree.edge_length(n));
     }

@@ -112,6 +112,18 @@ class Scanner {
 Result<PhyloTree> ParseNewick(std::string_view text) {
   Scanner scan(text);
   PhyloTree tree;
+  // Pre-reserve from the input shape so million-node parses stop
+  // reallocation-churning: every leaf follows a '(' or ',' and every
+  // internal node opens with '(', so commas + parens + 1 bounds the
+  // node count; the text length bounds total label bytes.
+  {
+    size_t commas = 0, opens = 0;
+    for (char ch : text) {
+      if (ch == ',') ++commas;
+      if (ch == '(') ++opens;
+    }
+    tree.Reserve(commas + opens + 2, text.size());
+  }
   std::vector<NodeId> open;  // stack of unclosed internal nodes
   bool done = false;
   // After a completed subtree (leaf or closed group), only ',', ')' or
@@ -228,13 +240,14 @@ Result<PhyloTree> ParseNewick(std::string_view text) {
     return Status::InvalidArgument(StrFormat(
         "newick: trailing content after ';' at position %zu", scan.pos()));
   }
+  tree.ShrinkToFit();  // the pre-reserve above may overshoot
   CRIMSON_RETURN_IF_ERROR(tree.Validate());
   return tree;
 }
 
 namespace {
 
-bool NeedsQuoting(const std::string& label) {
+bool NeedsQuoting(std::string_view label) {
   if (label.empty()) return false;
   for (char c : label) {
     if (c == '(' || c == ')' || c == '[' || c == ']' || c == ':' ||
@@ -246,7 +259,7 @@ bool NeedsQuoting(const std::string& label) {
   return false;
 }
 
-void AppendLabel(std::string* out, const std::string& label) {
+void AppendLabel(std::string* out, std::string_view label) {
   if (!NeedsQuoting(label)) {
     out->append(label);
     return;

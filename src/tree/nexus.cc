@@ -186,7 +186,7 @@ Status ParseTreesBlock(NexusScanner* scan, NexusDocument* doc) {
       // Apply TRANSLATE to leaf names.
       if (!translate.empty()) {
         for (NodeId n = 0; n < nt.tree.size(); ++n) {
-          auto it = translate.find(nt.tree.name(n));
+          auto it = translate.find(std::string(nt.tree.name(n)));
           if (it != translate.end()) nt.tree.set_name(n, it->second);
         }
       }

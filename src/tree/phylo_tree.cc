@@ -3,45 +3,159 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 #include "common/string_util.h"
 
 namespace crimson {
 
-NodeId PhyloTree::AddRoot(std::string name, double edge_length) {
-  assert(nodes_.empty() && "AddRoot on non-empty tree");
-  Node n;
-  n.name = std::move(name);
-  n.edge_length = edge_length;
-  nodes_.push_back(std::move(n));
+uint32_t PhyloTree::InternName(std::string_view name) {
+  if (name_arena_.empty()) name_arena_.push_back('\0');
+  if (name.empty()) return 0;
+  uint32_t off = static_cast<uint32_t>(name_arena_.size());
+  name_arena_.append(name.data(), name.size());
+  name_arena_.push_back('\0');
+  return off;
+}
+
+NodeId PhyloTree::AddRoot(std::string_view name, double edge_length) {
+  assert(parent_.empty() && "AddRoot on non-empty tree");
+  uint32_t off = InternName(name);
+  parent_.push_back(kNoNode);
+  first_child_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+  edge_length_.push_back(edge_length);
+  name_offset_.push_back(off);
+  last_child_.push_back(kNoNode);
   return 0;
 }
 
-NodeId PhyloTree::AddChild(NodeId parent, std::string name,
+NodeId PhyloTree::AddChild(NodeId parent, std::string_view name,
                            double edge_length) {
-  assert(parent < nodes_.size());
-  NodeId id = static_cast<NodeId>(nodes_.size());
-  Node n;
-  n.name = std::move(name);
-  n.edge_length = edge_length;
-  n.parent = parent;
-  nodes_.push_back(std::move(n));
-  Node& p = nodes_[parent];
-  if (p.first_child == kNoNode) {
-    p.first_child = id;
+  assert(parent < parent_.size());
+  if (last_child_.size() != parent_.size()) RebuildLastChild();
+  NodeId id = static_cast<NodeId>(parent_.size());
+  uint32_t off = InternName(name);
+  parent_.push_back(parent);
+  first_child_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+  edge_length_.push_back(edge_length);
+  name_offset_.push_back(off);
+  last_child_.push_back(kNoNode);
+  if (first_child_[parent] == kNoNode) {
+    first_child_[parent] = id;
   } else {
-    nodes_[p.last_child].next_sibling = id;
+    next_sibling_[last_child_[parent]] = id;
   }
-  p.last_child = id;
+  last_child_[parent] = id;
   return id;
 }
 
-void PhyloTree::Reserve(size_t n) { nodes_.reserve(n); }
+void PhyloTree::RebuildLastChild() {
+  last_child_.assign(parent_.size(), kNoNode);
+  // Children append in node order, so a node's last child is simply its
+  // highest-id child.
+  for (size_t i = 1; i < parent_.size(); ++i) {
+    last_child_[parent_[i]] = static_cast<NodeId>(i);
+  }
+}
 
-int PhyloTree::OutDegree(NodeId n) const {
-  int d = 0;
-  for (NodeId c = nodes_[n].first_child; c != kNoNode;
-       c = nodes_[c].next_sibling) {
+void PhyloTree::Reserve(size_t n, size_t name_bytes) {
+  parent_.reserve(n);
+  first_child_.reserve(n);
+  next_sibling_.reserve(n);
+  edge_length_.reserve(n);
+  name_offset_.reserve(n);
+  last_child_.reserve(n);
+  if (name_bytes > 0) {
+    // +1 for the shared empty label at offset 0, +n NUL terminators.
+    name_arena_.reserve(1 + name_bytes + n);
+  }
+}
+
+void PhyloTree::ShrinkToFit() {
+  parent_.shrink_to_fit();
+  first_child_.shrink_to_fit();
+  next_sibling_.shrink_to_fit();
+  edge_length_.shrink_to_fit();
+  name_offset_.shrink_to_fit();
+  name_arena_.shrink_to_fit();
+  last_child_.clear();
+  last_child_.shrink_to_fit();
+}
+
+void PhyloTree::set_name(NodeId n, std::string_view name) {
+  uint32_t off = name_offset_[n];
+  if (name.empty()) {
+    if (name_arena_.empty()) name_arena_.push_back('\0');
+    name_offset_[n] = 0;
+    return;
+  }
+  if (off != 0 && name.size() <= std::strlen(name_arena_.c_str() + off)) {
+    // Overwrite in place when the new label fits (renames during
+    // simulation rewrites hit this path); shorter labels re-terminate.
+    std::memcpy(&name_arena_[off], name.data(), name.size());
+    name_arena_[off + name.size()] = '\0';
+    return;
+  }
+  name_offset_[n] = InternName(name);
+}
+
+Result<PhyloTree> PhyloTree::FromPacked(std::vector<NodeId> parents,
+                                        std::vector<double> edge_lengths,
+                                        std::vector<uint32_t> name_offsets,
+                                        std::string name_arena) {
+  size_t n = parents.size();
+  if (edge_lengths.size() != n || name_offsets.size() != n) {
+    return Status::InvalidArgument("packed tree: column length mismatch");
+  }
+  if (n == 0) return PhyloTree();
+  if (name_arena.empty() || name_arena[0] != '\0' ||
+      name_arena.back() != '\0') {
+    return Status::InvalidArgument("packed tree: malformed name arena");
+  }
+  if (parents[0] != kNoNode) {
+    return Status::InvalidArgument("packed tree: root has a parent");
+  }
+  for (size_t i = 1; i < n; ++i) {
+    if (parents[i] >= i) {
+      return Status::InvalidArgument(
+          "packed tree: parent does not precede child");
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (name_offsets[i] >= name_arena.size()) {
+      return Status::InvalidArgument(
+          "packed tree: name offset out of bounds");
+    }
+  }
+  PhyloTree tree;
+  tree.parent_ = std::move(parents);
+  tree.edge_length_ = std::move(edge_lengths);
+  tree.name_offset_ = std::move(name_offsets);
+  tree.name_arena_ = std::move(name_arena);
+  tree.first_child_.assign(n, kNoNode);
+  tree.next_sibling_.assign(n, kNoNode);
+  // Children-in-insertion-order is node order, so one ascending pass
+  // threading each child after its parent's current last child rebuilds
+  // both link columns.
+  std::vector<NodeId> last(n, kNoNode);
+  for (size_t i = 1; i < n; ++i) {
+    NodeId p = tree.parent_[i];
+    NodeId id = static_cast<NodeId>(i);
+    if (tree.first_child_[p] == kNoNode) {
+      tree.first_child_[p] = id;
+    } else {
+      tree.next_sibling_[last[p]] = id;
+    }
+    last[p] = id;
+  }
+  return tree;
+}
+
+uint32_t PhyloTree::OutDegree(NodeId n) const {
+  uint32_t d = 0;
+  for (NodeId c = first_child_[n]; c != kNoNode; c = next_sibling_[c]) {
     ++d;
   }
   return d;
@@ -49,60 +163,14 @@ int PhyloTree::OutDegree(NodeId n) const {
 
 std::vector<NodeId> PhyloTree::Children(NodeId n) const {
   std::vector<NodeId> out;
-  for (NodeId c = nodes_[n].first_child; c != kNoNode;
-       c = nodes_[c].next_sibling) {
+  for (NodeId c = first_child_[n]; c != kNoNode; c = next_sibling_[c]) {
     out.push_back(c);
   }
   return out;
 }
 
-void PhyloTree::PreOrder(const std::function<bool(NodeId)>& fn,
-                         NodeId start) const {
-  if (nodes_.empty()) return;
-  // Sibling-chain trick: visiting n pushes its next sibling (resuming
-  // the parent's child list later) and then its first child, so no
-  // per-node child vector is materialized.
-  std::vector<NodeId> stack = {start};
-  while (!stack.empty()) {
-    NodeId n = stack.back();
-    stack.pop_back();
-    if (!fn(n)) return;
-    if (n != start && nodes_[n].next_sibling != kNoNode) {
-      stack.push_back(nodes_[n].next_sibling);
-    }
-    if (nodes_[n].first_child != kNoNode) {
-      stack.push_back(nodes_[n].first_child);
-    }
-  }
-}
-
-void PhyloTree::PostOrder(const std::function<bool(NodeId)>& fn,
-                          NodeId start) const {
-  if (nodes_.empty()) return;
-  // Two-phase iterative post-order using the sibling-chain trick: an
-  // unexpanded node pushes (sibling, unexpanded), (self, expanded),
-  // (first child, unexpanded); every child subtree completes above the
-  // expanded marker.
-  std::vector<std::pair<NodeId, bool>> stack = {{start, false}};
-  while (!stack.empty()) {
-    auto [n, expanded] = stack.back();
-    stack.pop_back();
-    if (expanded) {
-      if (!fn(n)) return;
-      continue;
-    }
-    if (n != start && nodes_[n].next_sibling != kNoNode) {
-      stack.push_back({nodes_[n].next_sibling, false});
-    }
-    stack.push_back({n, true});
-    if (nodes_[n].first_child != kNoNode) {
-      stack.push_back({nodes_[n].first_child, false});
-    }
-  }
-}
-
 std::vector<uint32_t> PhyloTree::PreOrderRanks() const {
-  std::vector<uint32_t> rank(nodes_.size(), 0);
+  std::vector<uint32_t> rank(parent_.size(), 0);
   uint32_t next = 0;
   PreOrder([&](NodeId n) {
     rank[n] = next++;
@@ -112,18 +180,18 @@ std::vector<uint32_t> PhyloTree::PreOrderRanks() const {
 }
 
 std::vector<uint32_t> PhyloTree::Depths() const {
-  std::vector<uint32_t> depth(nodes_.size(), 0);
+  std::vector<uint32_t> depth(parent_.size(), 0);
   // Arena order guarantees parents precede children.
-  for (size_t i = 1; i < nodes_.size(); ++i) {
-    depth[i] = depth[nodes_[i].parent] + 1;
+  for (size_t i = 1; i < parent_.size(); ++i) {
+    depth[i] = depth[parent_[i]] + 1;
   }
   return depth;
 }
 
 std::vector<double> PhyloTree::RootPathWeights() const {
-  std::vector<double> w(nodes_.size(), 0.0);
-  for (size_t i = 1; i < nodes_.size(); ++i) {
-    w[i] = w[nodes_[i].parent] + nodes_[i].edge_length;
+  std::vector<double> w(parent_.size(), 0.0);
+  for (size_t i = 1; i < parent_.size(); ++i) {
+    w[i] = w[parent_[i]] + edge_length_[i];
   }
   return w;
 }
@@ -139,8 +207,8 @@ std::vector<NodeId> PhyloTree::Leaves() const {
 
 size_t PhyloTree::LeafCount() const {
   size_t n = 0;
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].first_child == kNoNode) ++n;
+  for (size_t i = 0; i < first_child_.size(); ++i) {
+    if (first_child_[i] == kNoNode) ++n;
   }
   return n;
 }
@@ -153,19 +221,30 @@ uint32_t PhyloTree::MaxDepth() const {
 }
 
 NodeId PhyloTree::FindByName(std::string_view name) const {
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    if (this->name(static_cast<NodeId>(i)) == name) {
+      return static_cast<NodeId>(i);
+    }
   }
   return kNoNode;
+}
+
+size_t PhyloTree::MemoryFootprintBytes() const {
+  return parent_.capacity() * sizeof(NodeId) +
+         first_child_.capacity() * sizeof(NodeId) +
+         next_sibling_.capacity() * sizeof(NodeId) +
+         edge_length_.capacity() * sizeof(double) +
+         name_offset_.capacity() * sizeof(uint32_t) +
+         last_child_.capacity() * sizeof(NodeId) + name_arena_.capacity();
 }
 
 NodeId PhyloTree::NaiveLca(NodeId a, NodeId b) const {
   std::vector<uint32_t> depth = Depths();
   while (a != b) {
     if (depth[a] >= depth[b]) {
-      a = nodes_[a].parent;
+      a = parent_[a];
     } else {
-      b = nodes_[b].parent;
+      b = parent_[b];
     }
   }
   return a;
@@ -174,7 +253,7 @@ NodeId PhyloTree::NaiveLca(NodeId a, NodeId b) const {
 bool PhyloTree::IsAncestorOrSelf(NodeId anc, NodeId n) const {
   while (n != kNoNode) {
     if (n == anc) return true;
-    n = nodes_[n].parent;
+    n = parent_[n];
   }
   return false;
 }
@@ -224,8 +303,8 @@ bool PhyloTree::Equal(const PhyloTree& a, const PhyloTree& b, double eps,
 }
 
 Status PhyloTree::Validate() const {
-  if (nodes_.empty()) return Status::OK();
-  if (nodes_[0].parent != kNoNode) {
+  if (parent_.empty()) return Status::OK();
+  if (parent_[0] != kNoNode) {
     return Status::Corruption("root has a parent");
   }
   size_t reachable = 0;
@@ -233,18 +312,23 @@ Status PhyloTree::Validate() const {
     ++reachable;
     return true;
   });
-  if (reachable != nodes_.size()) {
+  if (reachable != parent_.size()) {
     return Status::Corruption(
         StrFormat("%zu of %zu nodes reachable from root", reachable,
-                  nodes_.size()));
+                  parent_.size()));
   }
   // Child lists must agree with parent pointers.
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    for (NodeId c = nodes_[i].first_child; c != kNoNode;
-         c = nodes_[c].next_sibling) {
-      if (nodes_[c].parent != static_cast<NodeId>(i)) {
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    for (NodeId c = first_child_[i]; c != kNoNode; c = next_sibling_[c]) {
+      if (parent_[c] != static_cast<NodeId>(i)) {
         return Status::Corruption("child/parent pointer mismatch");
       }
+    }
+  }
+  // Name offsets must land inside the arena.
+  for (size_t i = 0; i < name_offset_.size(); ++i) {
+    if (name_offset_[i] >= name_arena_.size()) {
+      return Status::Corruption("name offset out of arena bounds");
     }
   }
   return Status::OK();

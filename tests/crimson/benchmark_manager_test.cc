@@ -81,7 +81,7 @@ TEST_F(BenchmarkManagerTest, UserListSelection) {
   EXPECT_EQ(run->sample_size, 5u);
   std::set<std::string> names;
   for (NodeId n : run->reference.Leaves()) {
-    names.insert(run->reference.name(n));
+    names.insert(std::string(run->reference.name(n)));
   }
   EXPECT_EQ(names, (std::set<std::string>{"S0", "S1", "S2", "S3", "S4"}));
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "sim/seq_evolve.h"
 #include "storage/file.h"
 #include "tree/newick.h"
@@ -259,6 +261,47 @@ TEST(CrimsonViewerTest, ExportNexusAndRender) {
   EXPECT_NE(art->find("Lla:1"), std::string::npos);
   EXPECT_NE(art->find("└──"), std::string::npos);
   EXPECT_TRUE((*c)->RenderTree("ghost").status().IsNotFound());
+}
+
+TEST(CrimsonDuplicateBind, PreexistingDuplicateTreeBindsFirstOccurrence) {
+  // Trees stored before the ingest-time duplicate check still open:
+  // the bind warns and every name-addressed lookup resolves to the
+  // first occurrence in node order, deterministically.
+  const char* db_path = "dup_bind_facade.db";
+  std::remove(db_path);
+  {
+    auto db = Database::Open(db_path, {});
+    ASSERT_TRUE(db.ok()) << db.status();
+    auto trees = TreeRepository::Open(db->get());
+    ASSERT_TRUE(trees.ok());
+    PhyloTree t;
+    t.AddRoot("root");
+    NodeId inner = t.AddChild(0, "", 1.0);
+    t.AddChild(inner, "Dup", 1.0);  // node 2: first occurrence
+    t.AddChild(inner, "C", 1.0);
+    t.AddChild(0, "Dup", 2.0);  // node 4: shadowed duplicate
+    LayeredDeweyScheme scheme(3);
+    ASSERT_TRUE(scheme.Build(t).ok());
+    ASSERT_TRUE((*trees)->StoreTree("legacy_dups", t, scheme).ok());
+    ASSERT_TRUE(db.value()->Checkpoint().ok());
+  }
+  CrimsonOptions opts;
+  opts.db_path = db_path;
+  opts.f = 3;
+  auto c = Crimson::Open(opts);
+  ASSERT_TRUE(c.ok()) << c.status();
+  auto ref = (*c)->OpenTree("legacy_dups");
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  auto tree = (*c)->GetTree(*ref);
+  ASSERT_TRUE(tree.ok());
+  // "Dup" resolves to node 2 (the first occurrence), so LCA(Dup, C) is
+  // their shared parent -- not the root that the shadowed node 4 would
+  // produce.
+  auto lca = (*c)->Lca("legacy_dups", "Dup", "C");
+  ASSERT_TRUE(lca.ok()) << lca.status();
+  EXPECT_EQ(lca->node, (*tree)->parent((*tree)->FindByName("Dup")));
+  EXPECT_NE(lca->node, (*tree)->root());
+  std::remove(db_path);
 }
 
 }  // namespace

@@ -130,6 +130,19 @@ TEST_F(LoaderTest, LoadPrebuiltTree) {
   EXPECT_TRUE(PhyloTree::Equal(*loaded, t, 1e-9, /*ordered=*/true));
 }
 
+TEST_F(LoaderTest, DuplicateLeafNamesRejectedAtIngest) {
+  // Duplicate leaf names would make name-addressed queries ambiguous;
+  // ingest rejects them before anything is written.
+  auto report = loader_->LoadNewick("dups", "((A:1,A:1):1,B:2);");
+  ASSERT_TRUE(report.status().IsInvalidArgument());
+  EXPECT_NE(report.status().ToString().find("duplicate leaf name"),
+            std::string::npos);
+  EXPECT_NE(report.status().ToString().find("'A'"), std::string::npos);
+  EXPECT_TRUE(trees_->GetTreeInfo("dups").status().IsNotFound());
+  // Internal-node names may repeat leaf names freely.
+  EXPECT_TRUE(loader_->LoadNewick("ok", "((A:1,B:1)A:1,C:2);").ok());
+}
+
 TEST_F(LoaderTest, NexusWithoutTreesRejected) {
   const char* no_trees = "#NEXUS\nBEGIN TAXA;\nTAXLABELS A B;\nEND;\n";
   EXPECT_TRUE(loader_->LoadNexus("x", no_trees, LoadMode::kTreeStructureOnly)

@@ -139,7 +139,7 @@ TEST_F(EndToEndTest, NexusExportImportCycle) {
   // Round-trip the gold standard through NEXUS, as the demo's
   // loading/visualizing story requires.
   NexusDocument doc;
-  for (NodeId n : gold_.Leaves()) doc.taxa.push_back(gold_.name(n));
+  for (NodeId n : gold_.Leaves()) doc.taxa.emplace_back(gold_.name(n));
   for (const auto& [name, seq] : seqs_) doc.sequences[name] = seq;
   NexusTree nt;
   nt.name = "gold";

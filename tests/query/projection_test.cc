@@ -135,14 +135,14 @@ TEST_P(ProjectionPropertyTest, InvariantsOnRandomSamples) {
   std::set<std::string> sample_names;
   for (uint64_t i : pick) {
     sample.push_back(leaves[i]);
-    sample_names.insert(t.name(leaves[i]));
+    sample_names.insert(std::string(t.name(leaves[i])));
   }
   auto proj = projector.Project(sample);
   ASSERT_TRUE(proj.ok()) << proj.status();
 
   // (1) Leaf set preserved exactly.
   std::set<std::string> proj_names;
-  for (NodeId n : proj->Leaves()) proj_names.insert(proj->name(n));
+  for (NodeId n : proj->Leaves()) proj_names.insert(std::string(proj->name(n)));
   EXPECT_EQ(proj_names, sample_names);
 
   // (2) Every internal node has out-degree >= 2 (paper definition).

@@ -38,7 +38,7 @@ TEST_F(PaperSamplingTest, TimeSampleMatchesPaperOutcomes) {
     auto sample = sampler_->SampleWithRespectToTime(4, 1.0, &rng);
     ASSERT_TRUE(sample.ok()) << sample.status();
     std::set<std::string> names;
-    for (NodeId n : *sample) names.insert(tree_.name(n));
+    for (NodeId n : *sample) names.insert(std::string(tree_.name(n)));
     std::set<std::string> a = {"Bha", "Lla", "Syn", "Bsu"};
     std::set<std::string> b = {"Bha", "Spy", "Syn", "Bsu"};
     EXPECT_TRUE(names == a || names == b)
@@ -99,7 +99,7 @@ TEST_F(PaperSamplingTest, LeavesUnder) {
   NodeId p = tree_.parent(tree_.parent(tree_.FindByName("Lla")));
   auto leaves = sampler_->LeavesUnder(p);
   std::set<std::string> names;
-  for (NodeId n : leaves) names.insert(tree_.name(n));
+  for (NodeId n : leaves) names.insert(std::string(tree_.name(n)));
   EXPECT_EQ(names, (std::set<std::string>{"Bha", "Lla", "Spy"}));
 }
 

@@ -18,7 +18,7 @@ DistanceMatrix AdditiveMatrix(const PhyloTree& t) {
   std::vector<NodeId> leaves = t.Leaves();
   std::vector<double> w = t.RootPathWeights();
   std::vector<uint32_t> depth = t.Depths();
-  for (NodeId l : leaves) m.names.push_back(t.name(l));
+  for (NodeId l : leaves) m.names.emplace_back(t.name(l));
   size_t n = leaves.size();
   m.d.assign(n, std::vector<double>(n, 0.0));
   for (size_t i = 0; i < n; ++i) {

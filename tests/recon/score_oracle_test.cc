@@ -86,7 +86,7 @@ std::set<Split> BruteSplits(const PhyloTree& tree, const Split& all_leaves,
     Split side;
     tree.PreOrder(
         [&](NodeId m) {
-          if (tree.is_leaf(m)) side.insert(tree.name(m));
+          if (tree.is_leaf(m)) side.insert(std::string(tree.name(m)));
           return true;
         },
         n);
@@ -107,7 +107,7 @@ std::set<Split> BruteSplits(const PhyloTree& tree, const Split& all_leaves,
 
 RfResult BruteRf(const PhyloTree& a, const PhyloTree& b) {
   Split all;
-  for (NodeId n : a.Leaves()) all.insert(a.name(n));
+  for (NodeId n : a.Leaves()) all.insert(std::string(a.name(n)));
   const std::string& ref_leaf = *all.begin();
   std::set<Split> sa = BruteSplits(a, all, ref_leaf);
   std::set<Split> sb = BruteSplits(b, all, ref_leaf);
@@ -143,7 +143,7 @@ int BruteResolve(const PhyloTree& t, NodeId a, NodeId b, NodeId c) {
 TripletResult BruteTriplets(const PhyloTree& a, const PhyloTree& b) {
   // Shared leaf order: sorted names.
   std::vector<std::string> names;
-  for (NodeId n : a.Leaves()) names.push_back(a.name(n));
+  for (NodeId n : a.Leaves()) names.emplace_back(a.name(n));
   std::sort(names.begin(), names.end());
   std::vector<NodeId> in_a, in_b;
   for (const std::string& name : names) {

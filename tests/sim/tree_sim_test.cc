@@ -65,7 +65,7 @@ TEST(YuleTest, UniqueLeafNames) {
   auto t = SimulateYule(opts, &rng);
   ASSERT_TRUE(t.ok());
   std::set<std::string> names;
-  for (NodeId n : t->Leaves()) names.insert(t->name(n));
+  for (NodeId n : t->Leaves()) names.insert(std::string(t->name(n)));
   EXPECT_EQ(names.size(), 300u);
 }
 

@@ -344,7 +344,7 @@ void FingerprintTree(Crimson* session, const std::string& name,
   auto tree = session->GetTree(*ref);
   ASSERT_TRUE(tree.ok());
   std::vector<std::string> leaves;
-  for (NodeId n : (*tree)->Leaves()) leaves.push_back((*tree)->name(n));
+  for (NodeId n : (*tree)->Leaves()) leaves.emplace_back((*tree)->name(n));
   ASSERT_GE(leaves.size(), 6u);
   std::vector<QueryRequest> requests = {
       LcaQuery{leaves.front(), leaves.back()},

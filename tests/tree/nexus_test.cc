@@ -198,10 +198,10 @@ void CheckSimulatedNexusRoundTrip(uint32_t n_leaves, uint64_t seed) {
   NexusDocument doc;
   const size_t nchar = 24;
   for (NodeId n : t.Leaves()) {
-    doc.taxa.push_back(t.name(n));
+    doc.taxa.emplace_back(t.name(n));
     std::string seq;
     for (size_t c = 0; c < nchar; ++c) seq.push_back("ACGT"[rng.Uniform(4)]);
-    doc.sequences[t.name(n)] = std::move(seq);
+    doc.sequences[std::string(t.name(n))] = std::move(seq);
   }
   NexusTree nt;
   nt.name = "simulated";
@@ -238,7 +238,7 @@ TEST(NexusParseTest, PaperFigure1AsNexusRoundTrip) {
   NexusDocument doc;
   PhyloTree fig1 = MakePaperFigure1Tree();
   for (NodeId n = 0; n < fig1.size(); ++n) {
-    if (fig1.is_leaf(n)) doc.taxa.push_back(fig1.name(n));
+    if (fig1.is_leaf(n)) doc.taxa.emplace_back(fig1.name(n));
   }
   NexusTree nt;
   nt.name = "fig1";

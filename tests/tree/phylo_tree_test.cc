@@ -64,7 +64,7 @@ TEST(PhyloTreeTest, PreOrderVisitsParentFirstLeftToRight) {
   PhyloTree t = MakePaperFigure1Tree();
   std::vector<std::string> order;
   t.PreOrder([&](NodeId n) {
-    order.push_back(t.name(n));
+    order.emplace_back(t.name(n));
     return true;
   });
   ASSERT_EQ(order.size(), 8u);
@@ -108,7 +108,7 @@ TEST(PhyloTreeTest, SubtreeTraversalDoesNotEscape) {
   std::vector<std::string> names;
   t.PreOrder(
       [&](NodeId n) {
-        names.push_back(t.name(n));
+        names.emplace_back(t.name(n));
         return true;
       },
       p);
